@@ -1,0 +1,174 @@
+//! The H2O model: a modern HTTP/2 server.
+//!
+//! Table 1 distinctives: `set_tid_address` and `accept4`/`eventfd2` are on
+//! the *implement* list (H2O's thread runtime validates TID bookkeeping),
+//! `dup` is stubbable (stdio redirect), `getuid` is fakeable (root check).
+
+use loupe_kernel::LinuxSim;
+use loupe_syscalls::Sysno;
+
+use crate::code::AppCode;
+use crate::env::Env;
+use crate::libc::{LibcFlavor, LibcRuntime};
+use crate::model::{AppKind, AppModel, AppSpec, Exit};
+use crate::runtime::{
+    self, event_setup, listen_socket, serve_requests, EventApi, ResponsePath, ServeCfg,
+};
+use crate::workload::Workload;
+
+/// The H2O web server.
+#[derive(Debug, Clone, Default)]
+pub struct H2o;
+
+impl H2o {
+    /// Creates the model.
+    pub fn new() -> H2o {
+        H2o
+    }
+}
+
+impl AppModel for H2o {
+    fn name(&self) -> &str {
+        "h2o"
+    }
+
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "h2o".into(),
+            version: "2.2.6".into(),
+            year: 2021,
+            port: Some(8443),
+            kind: AppKind::WebServer,
+            libc: LibcFlavor::GlibcDynamic,
+        }
+    }
+
+    fn provision(&self, sim: &mut LinuxSim) {
+        runtime::provision_base(sim);
+        sim.vfs.add_file("/etc/h2o/h2o.conf", b"listen: 8443\n".to_vec());
+        sim.vfs.add_file("/srv/h2o/index.html", vec![b'2'; 512]);
+    }
+
+    fn run(&self, env: &mut Env<'_>, workload: Workload) -> Result<(), Exit> {
+        let mut libc = LibcRuntime::init(env, LibcFlavor::GlibcDynamic)?;
+
+        // Thread runtime bookkeeping: set_tid_address is validated.
+        if env.sys(Sysno::set_tid_address, [0x7100, 0, 0, 0, 0, 0]).ret <= 0 {
+            return Err(Exit::Crash("thread runtime: TID bookkeeping failed".into()));
+        }
+        // Root check: getuid — stub crashes, fake (0) passes.
+        if env.sys0(Sysno::getuid).ret < 0 {
+            return Err(Exit::Crash("cannot determine user".into()));
+        }
+        // stdio redirect via dup: optional.
+        if env.sys(Sysno::dup, [2, 0, 0, 0, 0, 0]).ret < 0 {
+            env.feature("stdio-redirect", false);
+        }
+        // Entropy for session tickets: getrandom, fallback to /dev/urandom.
+        let rnd = env.sys(Sysno::getrandom, [0, 32, 0, 0, 0, 0]);
+        if rnd.ret < 32 || rnd.payload.as_bytes().is_none() {
+            let f = env.sys_path(Sysno::openat, [0; 6], "/dev/urandom");
+            if f.ret < 0 {
+                return Err(Exit::Crash("no entropy source for TLS".into()));
+            }
+            let r = env.sys(Sysno::read, [f.ret as u64, 0, 32, 0, 0, 0]);
+            if r.ret < 32 {
+                return Err(Exit::Crash("cannot read entropy".into()));
+            }
+            let _ = env.sys(Sysno::close, [f.ret as u64, 0, 0, 0, 0, 0]);
+        }
+
+        let conf = env.sys_path(Sysno::openat, [0; 6], "/etc/h2o/h2o.conf");
+        if conf.ret < 0 {
+            return Err(Exit::Crash("failed to load configuration".into()));
+        }
+        let _ = env.sys(Sysno::read, [conf.ret as u64, 0, 2048, 0, 0, 0]);
+        let _ = env.sys(Sysno::close, [conf.ret as u64, 0, 0, 0, 0, 0]);
+
+        // Worker notification eventfd: required.
+        let efd = env.sys(Sysno::eventfd2, [0, 0x80000, 0, 0, 0, 0]);
+        if efd.ret < 0 {
+            return Err(Exit::Crash("failed to create notification eventfd".into()));
+        }
+        let efd = efd.ret as u64;
+        let _ = libc.start_thread(env);
+
+        let listen_fd = listen_socket(env, 8443, false, true)?;
+        let ep = event_setup(env, EventApi::Epoll, &[listen_fd])?;
+
+        let cfg = ServeCfg {
+            port: 8443,
+            listen_fd,
+            epoll_fd: ep,
+            fallback_api: EventApi::Epoll,
+            read_syscall: Sysno::read,
+            response: ResponsePath::Writev,
+            response_len: 512,
+            work_per_request: 70,
+            access_log_fd: None,
+            accept4: true,
+            close_every: 8,
+        };
+        serve_requests(env, &cfg, workload.requests(), |env, i, _| {
+            let w = env.sys_data(Sysno::write, [efd, 0, 8, 0, 0, 0], vec![1u8; 8]);
+            if w.ret < 0 {
+                return Err(Exit::Hung("worker notification lost".into()));
+            }
+            let woke = env.sys(Sysno::read, [efd, 0, 8, 0, 0, 0]);
+            if woke.payload.as_u64().is_none() {
+                return Err(Exit::Hung("worker never woke".into()));
+            }
+            if i % 16 == 15 {
+                let _ = env.sys0(Sysno::clock_gettime);
+            }
+            Ok(())
+        })?;
+
+        if workload.checks_aux_features() {
+            let st = env.sys_path(Sysno::stat, [0; 6], "/srv/h2o/index.html");
+            env.feature("file-serving", !st.is_err());
+            let _ = env.sys(Sysno::ioctl, [1, 0x5401, 0, 0, 0, 0]);
+        }
+
+        let _ = env.sys(Sysno::close, [listen_fd, 0, 0, 0, 0, 0]);
+        let _ = env.sys0(Sysno::exit_group);
+        Ok(())
+    }
+
+    fn code(&self) -> AppCode {
+        use Sysno as S;
+        AppCode::new()
+            .with_checked(&[
+                S::socket, S::bind, S::listen, S::accept4, S::fcntl, S::epoll_create1,
+                S::epoll_ctl, S::epoll_wait, S::read, S::write, S::writev, S::close,
+                S::openat, S::stat, S::fstat, S::eventfd2, S::set_tid_address, S::getrandom,
+                S::mmap, S::munmap, S::brk, S::clone, S::futex, S::dup, S::sendfile,
+                S::setsockopt, S::rt_sigaction,
+            ])
+            .with_unchecked(&[
+                S::getuid, S::getpid, S::clock_gettime, S::ioctl, S::exit_group,
+                S::rt_sigprocmask, S::madvise, S::sched_yield,
+            ])
+            .with_binary_extra(&[
+                S::memfd_create, S::timerfd_create, S::timerfd_settime, S::pipe2,
+                S::socketpair, S::getdents64, S::unlink, S::setuid, S::setgid,
+            ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_benchmark() {
+        let mut sim = LinuxSim::new();
+        let app = H2o::new();
+        app.provision(&mut sim);
+        let mut env = Env::new(&mut sim);
+        app.run(&mut env, Workload::Benchmark).unwrap();
+        let out = env.finish(Exit::Clean);
+        assert_eq!(out.responses, 200);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+}

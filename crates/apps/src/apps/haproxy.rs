@@ -1,0 +1,175 @@
+//! The HAProxy model: a TCP/HTTP proxy.
+//!
+//! Distinctives: backend `connect` is load-bearing (no backend, no
+//! service), `prlimit64` is *required* (HAProxy computes its connection
+//! budget from RLIMIT_NOFILE and refuses to start without it — Table 1
+//! Kerla implements 302 for HAProxy), and a raft of socket-option calls are
+//! unchecked and stubbable (§5.2: HAProxy tops the bench stub/fake ratio
+//! at 65%).
+
+use loupe_kernel::LinuxSim;
+use loupe_syscalls::Sysno;
+
+use crate::code::AppCode;
+use crate::env::Env;
+use crate::libc::{LibcFlavor, LibcRuntime};
+use crate::model::{AppKind, AppModel, AppSpec, Exit};
+use crate::runtime::{
+    self, daemonize, event_setup, listen_socket, serve_requests, EventApi, ResponsePath, ServeCfg,
+};
+use crate::workload::Workload;
+
+/// The HAProxy load balancer.
+#[derive(Debug, Clone, Default)]
+pub struct Haproxy;
+
+impl Haproxy {
+    /// Creates the model.
+    pub fn new() -> Haproxy {
+        Haproxy
+    }
+}
+
+impl AppModel for Haproxy {
+    fn name(&self) -> &str {
+        "haproxy"
+    }
+
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "haproxy".into(),
+            version: "2.4.7".into(),
+            year: 2021,
+            port: Some(8000),
+            kind: AppKind::Proxy,
+            libc: LibcFlavor::GlibcDynamic,
+        }
+    }
+
+    fn provision(&self, sim: &mut LinuxSim) {
+        runtime::provision_base(sim);
+        sim.vfs.add_file(
+            "/etc/haproxy/haproxy.cfg",
+            b"frontend fe\n  bind :8000\nbackend be\n  server s1 127.0.0.1:9000\n".to_vec(),
+        );
+    }
+
+    fn run(&self, env: &mut Env<'_>, workload: Workload) -> Result<(), Exit> {
+        let libc = &mut LibcRuntime::init(env, LibcFlavor::GlibcDynamic)?;
+
+        let conf = env.sys_path(Sysno::openat, [0; 6], "/etc/haproxy/haproxy.cfg");
+        if conf.ret < 0 {
+            return Err(Exit::Crash("cannot open configuration".into()));
+        }
+        let _ = env.sys(Sysno::read, [conf.ret as u64, 0, 4096, 0, 0, 0]);
+        let _ = env.sys(Sysno::close, [conf.ret as u64, 0, 0, 0, 0, 0]);
+
+        // Connection budget from RLIMIT_NOFILE: *fatal* when unavailable
+        // ("[ALERT] Cannot get/set RLIMIT_NOFILE").
+        let rl = env.sys(Sysno::prlimit64, [0, 7, 0, 0, 0, 0]);
+        if rl.is_err() || !matches!(rl.payload, loupe_kernel::Payload::Pair(..)) {
+            return Err(Exit::Crash("[ALERT] cannot compute resource limits".into()));
+        }
+
+        // Backlog tuning reads the kernel's somaxconn (ignore-resilient).
+        let _ = runtime::read_pseudo(env, Sysno::openat, "/proc/sys/net/core/somaxconn");
+        daemonize(env, Sysno::openat, "/var/run/haproxy.pid");
+        // CLI/master socketpair.
+        let _ = env.sys(Sysno::socketpair, [1, 1, 0, 0, 0, 0]);
+        // setgroups/setgid/setuid: checked, fatal (fakeable, Table 1).
+        runtime::drop_privileges(env, false)?;
+
+        let listen_fd = listen_socket(env, 8000, false, true)?;
+        let ep = event_setup(env, EventApi::Epoll, &[listen_fd])?;
+        // Backend health check: connect must work or every request 503s.
+        let be = env.sys(Sysno::socket, [2, 1, 0, 0, 0, 0]);
+        if be.ret < 0 {
+            return Err(Exit::Crash("cannot create backend socket".into()));
+        }
+        let be_fd = be.ret as u64;
+        if env.sys(Sysno::connect, [be_fd, 9000, 0, 0, 0, 0]).ret < 0 {
+            return Err(Exit::Crash("no backend server available".into()));
+        }
+        // Per-connection tuning: unchecked, stub/fake freely.
+        let _ = env.sys(Sysno::setsockopt, [be_fd, 6, 1, 1, 0, 0]);
+        let _ = env.sys(Sysno::getsockopt, [be_fd, 1, 4, 0, 0, 0]);
+
+        let cfg = ServeCfg {
+            port: 8000,
+            listen_fd,
+            epoll_fd: ep,
+            fallback_api: EventApi::Epoll,
+            read_syscall: Sysno::read,
+            response: ResponsePath::Write,
+            response_len: 256,
+            work_per_request: 40,
+            access_log_fd: None,
+            accept4: true,
+            close_every: 8,
+        };
+        serve_requests(env, &cfg, workload.requests(), |env, i, _| {
+            // Forward to backend and relay: modelled as backend write.
+            let w = env.sys_data(Sysno::write, [be_fd, 0, 0, 0, 0, 0], vec![b'F'; 128]);
+            if w.ret < 0 {
+                env.fail("backend forward failed");
+            }
+            if i % 20 == 19 {
+                let _ = env.sys0(Sysno::clock_gettime);
+            }
+            Ok(())
+        })?;
+
+        if workload.checks_aux_features() {
+            // Stats socket + reload path.
+            let _ = env.sys0(Sysno::getpid);
+            let _ = env.sys(Sysno::rt_sigaction, [10, 0x1, 0, 0, 0, 0]);
+            let chroot = env.sys_path(Sysno::chroot, [0; 6], "/var/lib/haproxy");
+            env.feature("chroot-jail", !chroot.is_err());
+            env.feature("stats", true);
+        }
+
+        libc.printf(env, "haproxy: stopping\n");
+        let _ = env.sys(Sysno::close, [be_fd, 0, 0, 0, 0, 0]);
+        let _ = env.sys(Sysno::close, [listen_fd, 0, 0, 0, 0, 0]);
+        let _ = env.sys0(Sysno::exit_group);
+        Ok(())
+    }
+
+    fn code(&self) -> AppCode {
+        use Sysno as S;
+        AppCode::new()
+            .with_checked(&[
+                S::socket, S::bind, S::listen, S::accept4, S::accept, S::connect, S::fcntl,
+                S::epoll_create1, S::epoll_ctl, S::epoll_wait, S::read, S::write, S::close,
+                S::openat, S::prlimit64, S::setrlimit, S::setuid, S::setgid, S::setgroups,
+                S::chroot, S::clone, S::socketpair, S::sendto, S::recvfrom, S::brk, S::mmap,
+                S::munmap, S::rt_sigaction, S::pipe2, S::sendmsg, S::recvmsg, S::shutdown,
+            ])
+            .with_unchecked(&[
+                S::setsockopt, S::getsockopt, S::getpid, S::clock_gettime, S::gettimeofday,
+                S::umask, S::setsid, S::exit_group, S::rt_sigprocmask, S::sched_yield,
+                S::getuid, S::geteuid,
+            ])
+            .with_binary_extra(&[
+                S::timer_create, S::timer_settime, S::timer_delete, S::eventfd2, S::statfs,
+                S::getrandom, S::sched_setaffinity, S::sysinfo, S::splice,
+            ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxies_all_requests() {
+        let mut sim = LinuxSim::new();
+        let app = Haproxy::new();
+        app.provision(&mut sim);
+        let mut env = Env::new(&mut sim);
+        app.run(&mut env, Workload::Benchmark).unwrap();
+        let out = env.finish(Exit::Clean);
+        assert_eq!(out.responses, 200);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+}

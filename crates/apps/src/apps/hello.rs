@@ -1,0 +1,103 @@
+//! The hello-world model (Table 4): prints one line and exits.
+//!
+//! Its entire syscall footprint *is* the libc init sequence plus the
+//! `printf` path and `exit_group`, which is exactly what §5.6 measures
+//! across glibc/musl and dynamic/static linking.
+
+use loupe_kernel::LinuxSim;
+use loupe_syscalls::Sysno;
+
+use crate::code::AppCode;
+use crate::env::Env;
+use crate::libc::{LibcFlavor, LibcRuntime};
+use crate::model::{AppKind, AppModel, AppSpec, Exit};
+use crate::runtime;
+use crate::workload::Workload;
+
+/// A trivial "Hello, world!" program, parameterised by libc build.
+#[derive(Debug, Clone)]
+pub struct Hello {
+    libc: LibcFlavor,
+}
+
+impl Hello {
+    /// Creates a hello-world linked against `libc`.
+    pub fn new(libc: LibcFlavor) -> Hello {
+        Hello { libc }
+    }
+
+    /// All four Table 4 build configurations.
+    pub fn table4_matrix() -> Vec<Hello> {
+        vec![
+            Hello::new(LibcFlavor::GlibcDynamic),
+            Hello::new(LibcFlavor::GlibcStatic),
+            Hello::new(LibcFlavor::MuslDynamic),
+            Hello::new(LibcFlavor::MuslStatic),
+        ]
+    }
+}
+
+impl AppModel for Hello {
+    fn name(&self) -> &str {
+        match self.libc {
+            LibcFlavor::GlibcDynamic => "hello-glibc-dynamic",
+            LibcFlavor::GlibcStatic => "hello-glibc-static",
+            LibcFlavor::MuslDynamic => "hello-musl-dynamic",
+            LibcFlavor::MuslStatic => "hello-musl-static",
+            LibcFlavor::OldGlibc32 => "hello-glibc232",
+        }
+    }
+
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: self.name().to_owned(),
+            version: "1.0".into(),
+            year: 2021,
+            port: None,
+            kind: AppKind::Utility,
+            libc: self.libc,
+        }
+    }
+
+    fn provision(&self, sim: &mut LinuxSim) {
+        runtime::provision_base(sim);
+    }
+
+    fn run(&self, env: &mut Env<'_>, _workload: Workload) -> Result<(), Exit> {
+        let mut libc = LibcRuntime::init(env, self.libc)?;
+        libc.printf(env, "Hello, world!\n");
+        env.record_response(); // the printed line is the observable output
+        let _ = env.sys0(Sysno::exit_group);
+        Ok(())
+    }
+
+    fn code(&self) -> AppCode {
+        AppCode::new().with_unchecked(&[self.libc.printf_syscall(), Sysno::exit_group])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loupe_kernel::Kernel;
+
+    #[test]
+    fn prints_hello_on_every_libc() {
+        for hello in Hello::table4_matrix() {
+            let mut sim = LinuxSim::new();
+            hello.provision(&mut sim);
+            let mut env = Env::new(&mut sim);
+            hello.run(&mut env, Workload::HealthCheck).unwrap();
+            let out = env.finish(Exit::Clean);
+            assert_eq!(out.responses, 1, "{}", hello.name());
+            assert!(
+                sim.host_mut()
+                    .console
+                    .iter()
+                    .any(|l| l.contains("Hello, world!")),
+                "{}",
+                hello.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The Apache httpd model (prefork MPM).
+//!
+//! Table 1 distinctives (Kerla step 1): `clone`, `openat` and `setsockopt`
+//! are on the *implement* list — the prefork master must fork workers, and
+//! Apache treats `SO_REUSEADDR` failure as fatal. Fig. 8 uses a 2006-era
+//! variant.
+
+use loupe_kernel::LinuxSim;
+use loupe_syscalls::Sysno;
+
+use crate::code::AppCode;
+use crate::env::Env;
+use crate::libc::{LibcFlavor, LibcRuntime};
+use crate::model::{AppKind, AppModel, AppSpec, Exit};
+use crate::runtime::{self, daemonize, serve_requests, EventApi, ResponsePath, ServeCfg};
+use crate::workload::Workload;
+
+/// The Apache httpd web server.
+#[derive(Debug, Clone)]
+pub struct Httpd {
+    year: u32,
+}
+
+impl Httpd {
+    /// A modern (2021, 2.4.x) httpd.
+    pub fn modern() -> Httpd {
+        Httpd { year: 2021 }
+    }
+
+    /// A 2006-era (2.2.x) httpd for the evolution experiment (Fig. 8).
+    pub fn legacy() -> Httpd {
+        Httpd { year: 2006 }
+    }
+
+    fn is_modern(&self) -> bool {
+        self.year >= 2015
+    }
+}
+
+impl AppModel for Httpd {
+    fn name(&self) -> &str {
+        if self.is_modern() {
+            "httpd"
+        } else {
+            "httpd-2.2"
+        }
+    }
+
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: self.name().to_owned(),
+            version: if self.is_modern() { "2.4.51" } else { "2.2.3" }.into(),
+            year: self.year,
+            port: Some(8088),
+            kind: AppKind::WebServer,
+            libc: LibcFlavor::GlibcDynamic,
+        }
+    }
+
+    fn provision(&self, sim: &mut LinuxSim) {
+        runtime::provision_base(sim);
+        sim.vfs.add_file(
+            "/etc/apache2/httpd.conf",
+            b"Listen 8088\nDocumentRoot /srv/apache\n".to_vec(),
+        );
+        sim.vfs.add_file("/srv/apache/index.html", vec![b'A'; 512]);
+    }
+
+    fn run(&self, env: &mut Env<'_>, workload: Workload) -> Result<(), Exit> {
+        let mut libc = LibcRuntime::init(env, LibcFlavor::GlibcDynamic)?;
+
+        let open_sys = if self.is_modern() { Sysno::openat } else { Sysno::open };
+        let conf = env.sys_path(open_sys, [0; 6], "/etc/apache2/httpd.conf");
+        if conf.ret < 0 {
+            return Err(Exit::Crash("could not open configuration".into()));
+        }
+        let _ = env.sys(Sysno::read, [conf.ret as u64, 0, 4096, 0, 0, 0]);
+        let _ = env.sys(Sysno::close, [conf.ret as u64, 0, 0, 0, 0, 0]);
+
+        // Scoreboard shared memory.
+        let sb = env.sys(Sysno::mmap, [0, 128 * 1024, 3, 0x21 /* shared */, u64::MAX, 0]);
+        if sb.ret <= 0 {
+            return Err(Exit::Crash("could not create scoreboard".into()));
+        }
+
+        // Listener with *checked* SO_REUSEADDR (Apache aborts).
+        let s = env.sys(Sysno::socket, [2, 1, 0, 0, 0, 0]);
+        if s.ret < 0 {
+            return Err(Exit::Crash("could not create socket".into()));
+        }
+        let listen_fd = s.ret as u64;
+        if env.sys(Sysno::setsockopt, [listen_fd, 1, 2, 1, 0, 0]).ret < 0 {
+            return Err(Exit::Crash("setsockopt(SO_REUSEADDR) failed".into()));
+        }
+        // APR verifies the option took hold (a faked setsockopt cannot
+        // satisfy the read-back).
+        let applied = env.sys(Sysno::getsockopt, [listen_fd, 1, 2, 0, 0, 0]);
+        if applied.payload.as_u64() != Some(1) {
+            return Err(Exit::Crash("SO_REUSEADDR not applied".into()));
+        }
+        if env.sys(Sysno::bind, [listen_fd, 8088, 0, 0, 0, 0]).ret < 0 {
+            return Err(Exit::Crash("could not bind to address".into()));
+        }
+        if env.sys(Sysno::listen, [listen_fd, 511, 0, 0, 0, 0]).ret < 0 {
+            return Err(Exit::Crash("could not listen".into()));
+        }
+        if env.sys(Sysno::fcntl, [listen_fd, 4, 0x800, 0, 0, 0]).ret < 0 {
+            return Err(Exit::Crash("could not set listener non-blocking".into()));
+        }
+
+        daemonize(env, open_sys, "/var/run/httpd.pid");
+        // Prefork workers: clone is required. A *faked* clone returns 0,
+        // turning the master into a child that exits after its request
+        // quota — nobody supervises the listener and service stops
+        // (unlike Nginx, whose worker loop is the serving loop).
+        for _ in 0..2 {
+            let tid = libc.start_thread(env);
+            if tid < 0 {
+                return Err(Exit::Crash("fork: unable to fork new process".into()));
+            }
+            if tid == 0 {
+                return Err(Exit::Hung(
+                    "prefork master became a child; listener unsupervised".into(),
+                ));
+            }
+        }
+        let _ = env.sys(Sysno::rt_sigaction, [17, 0x1, 0, 0, 0, 0]);
+
+        let log = env.sys_path(open_sys, [0, 0, 0x440, 0, 0, 0], "/var/log/apache2/access.log");
+        let access_log_fd = if log.ret >= 0 {
+            Some(log.ret as u64)
+        } else {
+            env.feature("access-logging", false);
+            None
+        };
+
+        let cfg = ServeCfg {
+            port: 8088,
+            listen_fd,
+            epoll_fd: None,
+            fallback_api: if self.is_modern() { EventApi::Poll } else { EventApi::Select },
+            read_syscall: Sysno::read,
+            response: ResponsePath::Writev,
+            response_len: 512,
+            work_per_request: 65,
+            access_log_fd,
+            accept4: self.is_modern(),
+            close_every: 8,
+        };
+        serve_requests(env, &cfg, workload.requests(), |env, i, _| {
+            if i % 10 == 9 {
+                let _ = env.sys_path(Sysno::stat, [0; 6], "/srv/apache/index.html");
+                let _ = env.sys0(Sysno::gettimeofday);
+                // Reap any exited child.
+                let _ = env.sys(Sysno::wait4, [u64::MAX, 0, 1, 0, 0, 0]);
+            }
+            Ok(())
+        })?;
+
+        if workload.checks_aux_features() {
+            // .htaccess lookups walk the tree.
+            let _ = env.sys_path(Sysno::stat, [0; 6], "/srv/apache/.htaccess");
+            let _ = env.sys_path(Sysno::access, [0; 6], "/srv/apache/index.html");
+            let _ = env.sys0(Sysno::getpid);
+            let _ = env.sys0(Sysno::uname);
+            env.feature("htaccess", true);
+        }
+
+        let _ = env.sys(Sysno::munmap, [sb.ret as u64, 128 * 1024, 0, 0, 0, 0]);
+        let _ = env.sys(Sysno::close, [listen_fd, 0, 0, 0, 0, 0]);
+        let _ = env.sys0(Sysno::exit_group);
+        Ok(())
+    }
+
+    fn code(&self) -> AppCode {
+        use Sysno as S;
+        let mut code = AppCode::new()
+            .with_checked(&[
+                S::socket, S::bind, S::listen, S::accept, S::setsockopt, S::fcntl, S::read,
+                S::writev, S::close, S::open, S::openat, S::stat, S::fstat, S::mmap,
+                S::munmap, S::brk, S::clone, S::wait4, S::kill, S::rt_sigaction, S::setuid,
+                S::setgid, S::setgroups, S::chown, S::access, S::poll, S::select, S::lseek,
+                S::getdents64, S::semget, S::semop,
+            ])
+            .with_unchecked(&[
+                S::write, S::getpid, S::getppid, S::gettimeofday, S::umask, S::setsid,
+                S::uname, S::exit_group, S::rt_sigprocmask, S::times, S::alarm,
+            ])
+            .with_binary_extra(&[
+                S::shmget, S::shmat, S::shmctl, S::epoll_create1, S::epoll_ctl, S::epoll_wait,
+                S::sendfile, S::pipe, S::dup2, S::chroot, S::getrlimit, S::setrlimit,
+            ]);
+        if self.is_modern() {
+            code.source_syscalls.insert(S::accept4);
+            code.source_syscalls.insert(S::prlimit64);
+        }
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_eras_serve_requests() {
+        for app in [Httpd::modern(), Httpd::legacy()] {
+            let mut sim = LinuxSim::new();
+            app.provision(&mut sim);
+            let mut env = Env::new(&mut sim);
+            app.run(&mut env, Workload::Benchmark).unwrap();
+            let out = env.finish(Exit::Clean);
+            assert_eq!(out.responses, 200, "{}", app.name());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The iPerf3 model: a TCP throughput benchmark server (Table 2's third
+//! application). The workload streams large chunks; the performance metric
+//! is bytes moved per unit time. The only Table 2 effect here is the
+//! glibc brk→mmap allocator fallback (+memory).
+
+use loupe_kernel::LinuxSim;
+use loupe_syscalls::Sysno;
+
+use crate::code::AppCode;
+use crate::env::Env;
+use crate::libc::{LibcFlavor, LibcRuntime};
+use crate::model::{AppKind, AppModel, AppSpec, Exit};
+use crate::runtime::{self, event_setup, listen_socket, EventApi};
+use crate::workload::Workload;
+
+/// The iPerf3 network benchmark tool (server mode).
+#[derive(Debug, Clone, Default)]
+pub struct Iperf3;
+
+impl Iperf3 {
+    /// Creates the model.
+    pub fn new() -> Iperf3 {
+        Iperf3
+    }
+}
+
+impl AppModel for Iperf3 {
+    fn name(&self) -> &str {
+        "iperf3"
+    }
+
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "iperf3".into(),
+            version: "3.10".into(),
+            year: 2021,
+            port: Some(5201),
+            kind: AppKind::NetTool,
+            libc: LibcFlavor::GlibcDynamic,
+        }
+    }
+
+    fn provision(&self, sim: &mut LinuxSim) {
+        runtime::provision_base(sim);
+    }
+
+    fn run(&self, env: &mut Env<'_>, workload: Workload) -> Result<(), Exit> {
+        let mut libc = LibcRuntime::init(env, LibcFlavor::GlibcDynamic)?;
+
+        // Receive buffer through malloc (brk heap, or the mmap fallback
+        // that costs memory when brk is unavailable — Table 2).
+        let _buf = libc.malloc(env, 128 * 1024);
+        let _ = env.sys0(Sysno::getpid);
+        let _ = env.sys0(Sysno::uname);
+        let _ = env.sys0(Sysno::clock_gettime);
+        libc.printf(env, "-----------------------------------------------------------\n");
+
+        let listen_fd = listen_socket(env, 5201, false, true)?;
+        // TCP tuning: best-effort.
+        let _ = env.sys(Sysno::setsockopt, [listen_fd, 6, 1, 1, 0, 0]); // TCP_NODELAY
+        let ep = event_setup(env, EventApi::Epoll, &[listen_fd])?;
+        let ep = ep.expect("epoll api");
+
+        // One control + one data connection, then stream chunks.
+        let Some(ctrl) = env.host_mut().connect(5201) else {
+            env.fail("client could not connect");
+            return Ok(());
+        };
+        env.host_mut().send(ctrl, &b"{cookie}"[..]);
+        if env.sys(Sysno::epoll_wait, [ep, 0, 16, 0, 0, 0]).ret <= 0 {
+            return Err(Exit::Hung("no events on control connection".into()));
+        }
+        let acc = env.sys(Sysno::accept4, [listen_fd, 0, 0, 0x800, 0, 0]);
+        if acc.ret < 0 {
+            env.fail("accept failed");
+            return Ok(());
+        }
+        let cfd = acc.ret as u64;
+        let _ = env.sys(Sysno::read, [cfd, 0, 128, 0, 0, 0]);
+
+        let chunks = workload.requests();
+        let chunk = vec![b'D'; 128 * 1024];
+        for i in 0..chunks {
+            // Test script streams a chunk; server reads and accounts it.
+            env.host_mut().send(ctrl, chunk.clone());
+            let r = env.sys(Sysno::read, [cfd, 0, 128 * 1024, 0, 0, 0]);
+            if r.ret <= 0 {
+                env.fail("stream read failed");
+                break;
+            }
+            env.charge(20); // checksum + accounting
+            env.record_response();
+            if i % 50 == 49 {
+                let _ = env.sys0(Sysno::clock_gettime);
+            }
+        }
+
+        // Final stats exchange, verified end-to-end.
+        let stats = env.sys_data(Sysno::write, [cfd, 0, 0, 0, 0, 0], &b"{results}"[..]);
+        if stats.ret < 0 || env.host_mut().recv(ctrl).is_none() {
+            env.fail("client never received results");
+        }
+        let _ = env.sys(Sysno::close, [cfd, 0, 0, 0, 0, 0]);
+        let _ = env.sys(Sysno::close, [listen_fd, 0, 0, 0, 0, 0]);
+        let _ = env.sys0(Sysno::exit_group);
+        Ok(())
+    }
+
+    fn code(&self) -> AppCode {
+        use Sysno as S;
+        AppCode::new()
+            .with_checked(&[
+                S::socket, S::bind, S::listen, S::accept, S::accept4, S::setsockopt, S::read,
+                S::write, S::close, S::epoll_create1, S::epoll_ctl, S::epoll_wait, S::mmap,
+                S::brk, S::munmap, S::openat, S::fcntl, S::connect, S::getsockopt, S::select,
+            ])
+            .with_unchecked(&[
+                S::getpid, S::uname, S::clock_gettime, S::gettimeofday, S::exit_group,
+                S::rt_sigaction, S::nanosleep,
+            ])
+            .with_binary_extra(&[S::sendto, S::recvfrom, S::getrusage, S::sysinfo, S::pipe])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_all_chunks() {
+        let mut sim = LinuxSim::new();
+        let app = Iperf3::new();
+        app.provision(&mut sim);
+        let mut env = Env::new(&mut sim);
+        app.run(&mut env, Workload::Benchmark).unwrap();
+        let out = env.finish(Exit::Clean);
+        assert_eq!(out.responses, 200);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(out.elapsed > 0);
+    }
+
+    #[test]
+    fn throughput_dominated_by_data_movement() {
+        let mut sim = LinuxSim::new();
+        let app = Iperf3::new();
+        app.provision(&mut sim);
+        let mut env = Env::new(&mut sim);
+        app.run(&mut env, Workload::HealthCheck).unwrap();
+        let short = env.finish(Exit::Clean);
+
+        let mut sim2 = LinuxSim::new();
+        app.provision(&mut sim2);
+        let mut env2 = Env::new(&mut sim2);
+        app.run(&mut env2, Workload::Benchmark).unwrap();
+        let long = env2.finish(Exit::Clean);
+        assert!(long.elapsed > short.elapsed * 10);
+    }
+}

@@ -1,0 +1,201 @@
+//! The Lighttpd model.
+//!
+//! Contrast with Nginx: Lighttpd *warns and continues* when it cannot drop
+//! privileges (setuid/setgid/setgroups are stubbable — Table 1 Kerla stubs
+//! 105/106/116 for Lighttpd), its daemonize pipe (`pipe2`) is optional,
+//! but `epoll_create1` is required (no legacy fallback in the model).
+
+use loupe_kernel::LinuxSim;
+use loupe_syscalls::Sysno;
+
+use crate::code::AppCode;
+use crate::env::Env;
+use crate::libc::{LibcFlavor, LibcRuntime};
+use crate::model::{AppKind, AppModel, AppSpec, Exit};
+use crate::runtime::{self, serve_requests, EventApi, ResponsePath, ServeCfg};
+use crate::workload::Workload;
+
+/// The Lighttpd web server.
+#[derive(Debug, Clone, Default)]
+pub struct Lighttpd;
+
+impl Lighttpd {
+    /// Creates the model.
+    pub fn new() -> Lighttpd {
+        Lighttpd
+    }
+}
+
+impl AppModel for Lighttpd {
+    fn name(&self) -> &str {
+        "lighttpd"
+    }
+
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "lighttpd".into(),
+            version: "1.4.59".into(),
+            year: 2021,
+            port: Some(8081),
+            kind: AppKind::WebServer,
+            libc: LibcFlavor::GlibcDynamic,
+        }
+    }
+
+    fn provision(&self, sim: &mut LinuxSim) {
+        runtime::provision_base(sim);
+        sim.vfs.add_file(
+            "/etc/lighttpd/lighttpd.conf",
+            b"server.port = 8081\nserver.document-root = \"/srv/www\"\n".to_vec(),
+        );
+        sim.vfs.add_file("/srv/www/index.html", vec![b'h'; 400]);
+    }
+
+    fn run(&self, env: &mut Env<'_>, workload: Workload) -> Result<(), Exit> {
+        let mut libc = LibcRuntime::init(env, LibcFlavor::GlibcDynamic)?;
+
+        let conf = env.sys_path(Sysno::openat, [0; 6], "/etc/lighttpd/lighttpd.conf");
+        if conf.ret < 0 {
+            return Err(Exit::Crash("configuration file not found".into()));
+        }
+        let _ = env.sys(Sysno::read, [conf.ret as u64, 0, 4096, 0, 0, 0]);
+        let _ = env.sys(Sysno::close, [conf.ret as u64, 0, 0, 0, 0, 0]);
+
+        // Daemonize handshake pipe: optional.
+        let pipe = env.sys(Sysno::pipe2, [0, 0, 0, 0, 0, 0]);
+        if pipe.ret < 0 {
+            env.feature("daemonize-handshake", false);
+        }
+        let _ = env.sys0(Sysno::setsid);
+        let _ = env.sys(Sysno::umask, [0o022, 0, 0, 0, 0, 0]);
+
+        // Privilege drop: warn-and-continue (unlike Nginx).
+        for (call, args) in [
+            (Sysno::setgroups, [0u64, 0, 0, 0, 0, 0]),
+            (Sysno::setgid, [33, 0, 0, 0, 0, 0]),
+            (Sysno::setuid, [33, 0, 0, 0, 0, 0]),
+        ] {
+            if env.sys(call, args).ret < 0 {
+                env.feature("privilege-drop", false);
+            }
+        }
+
+        let listen_fd = runtime::listen_socket(env, 8081, false, true)?;
+        // fdevent backend: epoll_create1 only — required.
+        let ep = env.sys(Sysno::epoll_create1, [0x80000, 0, 0, 0, 0, 0]);
+        if ep.ret < 0 {
+            return Err(Exit::Crash("fdevent: failed to initialize epoll".into()));
+        }
+        let ep = ep.ret as u64;
+        if env.sys(Sysno::epoll_ctl, [ep, 1, listen_fd, 0, 0, 0]).ret < 0 {
+            return Err(Exit::Crash("fdevent: epoll_ctl failed".into()));
+        }
+
+        let log = env.sys_path(
+            Sysno::openat,
+            [0, 0, 0x440, 0, 0, 0],
+            "/var/log/lighttpd/access.log",
+        );
+        let access_log_fd = if log.ret >= 0 {
+            Some(log.ret as u64)
+        } else {
+            env.feature("access-logging", false);
+            None
+        };
+
+        let cfg = ServeCfg {
+            port: 8081,
+            listen_fd,
+            epoll_fd: Some(ep),
+            fallback_api: EventApi::Epoll,
+            read_syscall: Sysno::read,
+            response: ResponsePath::Writev,
+            response_len: 400,
+            work_per_request: 45,
+            access_log_fd,
+            accept4: true,
+            close_every: 8,
+        };
+        serve_requests(env, &cfg, workload.requests(), |env, i, cfd| {
+            if i % 10 == 9 {
+                // Static file stat for caching headers.
+                let _ = env.sys_path(Sysno::stat, [0; 6], "/srv/www/index.html");
+                let _ = env.sys0(Sysno::clock_gettime);
+            }
+            if i % 30 == 29 {
+                // Occasional sendfile of the document root file.
+                let f = env.sys_path(Sysno::openat, [0; 6], "/srv/www/index.html");
+                if f.ret >= 0 {
+                    let _ = env.sys(Sysno::sendfile, [cfd, f.ret as u64, 0, 400, 0, 0]);
+                    let _ = env.sys(Sysno::close, [f.ret as u64, 0, 0, 0, 0, 0]);
+                }
+            }
+            Ok(())
+        })?;
+
+        if workload.checks_aux_features() {
+            let _ = env.sys0(Sysno::getuid);
+            let _ = env.sys0(Sysno::getpid);
+            let _ = env.sys_path(Sysno::getdents64, [0; 6], "/srv/www");
+            let dir = env.sys_path(Sysno::openat, [0; 6], "/srv/www");
+            if dir.ret >= 0 {
+                let listing = env.sys(Sysno::getdents64, [dir.ret as u64, 0, 0, 0, 0, 0]);
+                env.feature("dir-listing", listing.ret >= 0);
+                let _ = env.sys(Sysno::close, [dir.ret as u64, 0, 0, 0, 0, 0]);
+            }
+        }
+
+        libc.printf(env, "lighttpd: graceful shutdown\n");
+        let _ = env.sys(Sysno::close, [listen_fd, 0, 0, 0, 0, 0]);
+        let _ = env.sys0(Sysno::exit_group);
+        Ok(())
+    }
+
+    fn code(&self) -> AppCode {
+        use Sysno as S;
+        AppCode::new()
+            .with_checked(&[
+                S::socket, S::bind, S::listen, S::accept4, S::accept, S::fcntl,
+                S::epoll_create1, S::epoll_ctl, S::epoll_wait, S::read, S::writev, S::close,
+                S::openat, S::open, S::stat, S::fstat, S::sendfile, S::pipe2, S::mmap,
+                S::munmap, S::brk, S::clone, S::rt_sigaction, S::getdents64, S::lseek,
+                S::pread64, S::pwrite64,
+            ])
+            .with_unchecked(&[
+                S::write, S::setuid, S::setgid, S::setgroups, S::setsid, S::umask, S::getpid,
+                S::getuid, S::clock_gettime, S::exit_group, S::rt_sigprocmask, S::madvise,
+            ])
+            .with_binary_extra(&[
+                S::chroot, S::prctl, S::getrlimit, S::prlimit64, S::setrlimit, S::sysinfo,
+                S::socketpair, S::kill, S::wait4, S::unlink,
+            ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_benchmark() {
+        let mut sim = LinuxSim::new();
+        let app = Lighttpd::new();
+        app.provision(&mut sim);
+        let mut env = Env::new(&mut sim);
+        app.run(&mut env, Workload::Benchmark).unwrap();
+        let out = env.finish(Exit::Clean);
+        assert_eq!(out.responses, 200);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn suite_lists_directories() {
+        let mut sim = LinuxSim::new();
+        let app = Lighttpd::new();
+        app.provision(&mut sim);
+        let mut env = Env::new(&mut sim);
+        app.run(&mut env, Workload::TestSuite).unwrap();
+        let out = env.finish(Exit::Clean);
+        assert_eq!(out.features.get("dir-listing"), Some(&true));
+    }
+}

@@ -1,0 +1,186 @@
+//! The Memcached model.
+//!
+//! Threaded worker pool: `eventfd2` is the dispatch mechanism and is
+//! *required* (Table 1: Unikraft/Fuchsia both implement 290 to unlock
+//! Memcached), while `set_robust_list`/`set_tid_address`/`clock_nanosleep`
+//! are stubbable (Table 1's stub columns).
+
+use loupe_kernel::LinuxSim;
+use loupe_syscalls::Sysno;
+
+use crate::code::AppCode;
+use crate::env::Env;
+use crate::libc::{LibcFlavor, LibcRuntime};
+use crate::model::{AppKind, AppModel, AppSpec, Exit};
+use crate::runtime::{
+    self, event_setup, listen_socket, serve_requests, EventApi, ResponsePath, ServeCfg,
+};
+use crate::workload::Workload;
+
+/// The Memcached in-memory cache.
+#[derive(Debug, Clone, Default)]
+pub struct Memcached;
+
+impl Memcached {
+    /// Creates the model.
+    pub fn new() -> Memcached {
+        Memcached
+    }
+}
+
+impl AppModel for Memcached {
+    fn name(&self) -> &str {
+        "memcached"
+    }
+
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "memcached".into(),
+            version: "1.6.12".into(),
+            year: 2021,
+            port: Some(11211),
+            kind: AppKind::KeyValue,
+            libc: LibcFlavor::GlibcDynamic,
+        }
+    }
+
+    fn provision(&self, sim: &mut LinuxSim) {
+        runtime::provision_base(sim);
+    }
+
+    fn run(&self, env: &mut Env<'_>, workload: Workload) -> Result<(), Exit> {
+        let mut libc = LibcRuntime::init(env, LibcFlavor::GlibcDynamic)?;
+
+        // Refuses to run as root without -u: checks getuid (fake 0 works,
+        // the subsequent setuid path is what Table 1 faking covers).
+        if env.sys0(Sysno::getuid).ret < 0 {
+            return Err(Exit::Crash("can't determine current user".into()));
+        }
+        // Raise NOFILE: warns and continues on failure.
+        runtime::tune_fd_limit(env, Sysno::prlimit64, 16384);
+        // Ignore SIGPIPE: checked, fatal if it cannot be installed.
+        if env.sys(Sysno::rt_sigaction, [13, 1, 0, 0, 0, 0]).ret < 0 {
+            return Err(Exit::Crash("can't ignore SIGPIPE".into()));
+        }
+        // Slab arena pre-allocation.
+        let arena = env.sys(Sysno::mmap, [0, 4 << 20, 3, 0x22, u64::MAX, 0]);
+        if arena.ret <= 0 {
+            return Err(Exit::Crash("failed to allocate slab arena".into()));
+        }
+
+        // Worker threads, each woken through an eventfd: *required*.
+        let mut worker_efds = Vec::new();
+        for _ in 0..2 {
+            let efd = env.sys(Sysno::eventfd2, [0, 0x80000, 0, 0, 0, 0]);
+            if efd.ret < 0 {
+                return Err(Exit::Crash("failed to create notify eventfd".into()));
+            }
+            worker_efds.push(efd.ret as u64);
+            let _ = libc.start_thread(env);
+        }
+        // LRU crawler naps via clock_nanosleep: failure degrades the
+        // crawler only (stubbable).
+        if env.sys(Sysno::clock_nanosleep, [1, 0, 0, 0, 0, 0]).ret < 0 {
+            env.feature("lru-crawler", false);
+        }
+
+        let listen_fd = listen_socket(env, 11211, false, true)?;
+        let ep = event_setup(env, EventApi::Epoll, &[listen_fd])?;
+
+        let cfg = ServeCfg {
+            port: 11211,
+            listen_fd,
+            epoll_fd: ep,
+            fallback_api: EventApi::Epoll,
+            read_syscall: Sysno::read,
+            response: ResponsePath::Write,
+            response_len: 100,
+            work_per_request: 60,
+            access_log_fd: None,
+            accept4: true,
+            close_every: 8,
+        };
+
+        let efd0 = worker_efds[0];
+        serve_requests(env, &cfg, workload.requests(), |env, i, _| {
+            // Dispatch to a worker through its eventfd; a failed wakeup
+            // means the item is never served.
+            let w = env.sys_data(Sysno::write, [efd0, 0, 8, 0, 0, 0], vec![1u8; 8]);
+            if w.ret < 0 {
+                return Err(Exit::Hung("worker wakeup lost".into()));
+            }
+            // The worker reads the counter back; a faked eventfd2 left us
+            // with a bogus descriptor and the wakeup never arrives.
+            let woke = env.sys(Sysno::read, [efd0, 0, 8, 0, 0, 0]);
+            if woke.payload.as_u64().is_none() {
+                return Err(Exit::Hung("worker never woke".into()));
+            }
+            if i % 32 == 31 {
+                let _ = env.sys0(Sysno::clock_gettime);
+                let _ = env.sys0(Sysno::getrusage);
+            }
+            Ok(())
+        })?;
+
+        if workload.checks_aux_features() {
+            // `stats` command path.
+            let _ = env.sys0(Sysno::getpid);
+            let _ = env.sys0(Sysno::uname);
+            let _ = env.sys(Sysno::madvise, [arena.ret as u64, 4 << 20, 4, 0, 0, 0]);
+            env.feature("stats", true);
+        }
+
+        let _ = env.sys(Sysno::munmap, [arena.ret as u64, 4 << 20, 0, 0, 0, 0]);
+        let _ = env.sys(Sysno::close, [listen_fd, 0, 0, 0, 0, 0]);
+        let _ = env.sys0(Sysno::exit_group);
+        Ok(())
+    }
+
+    fn code(&self) -> AppCode {
+        use Sysno as S;
+        AppCode::new()
+            .with_checked(&[
+                S::socket, S::bind, S::listen, S::accept4, S::accept, S::fcntl, S::epoll_ctl,
+                S::epoll_wait, S::epoll_create1, S::read, S::write, S::close, S::eventfd2,
+                S::mmap, S::munmap, S::brk, S::clone, S::rt_sigaction, S::getuid, S::setuid,
+                S::getrlimit, S::prlimit64, S::setrlimit, S::openat, S::futex, S::sendmsg,
+                S::recvmsg, S::setsockopt, S::getsockopt, S::pipe2,
+            ])
+            .with_unchecked(&[
+                S::getpid, S::uname, S::clock_gettime, S::getrusage, S::madvise,
+                S::clock_nanosleep, S::exit_group, S::rt_sigprocmask, S::sched_yield,
+            ])
+            .with_binary_extra(&[
+                S::sendto, S::recvfrom, S::socketpair, S::getegid, S::geteuid, S::getgid,
+                S::sysinfo, S::mlockall,
+            ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_completes() {
+        let mut sim = LinuxSim::new();
+        let app = Memcached::new();
+        app.provision(&mut sim);
+        let mut env = Env::new(&mut sim);
+        app.run(&mut env, Workload::Benchmark).unwrap();
+        let out = env.finish(Exit::Clean);
+        assert_eq!(out.responses, 200);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn suite_checks_stats() {
+        let mut sim = LinuxSim::new();
+        let app = Memcached::new();
+        app.provision(&mut sim);
+        let mut env = Env::new(&mut sim);
+        app.run(&mut env, Workload::TestSuite).unwrap();
+        let out = env.finish(Exit::Clean);
+        assert_eq!(out.features.get("stats"), Some(&true));
+    }
+}

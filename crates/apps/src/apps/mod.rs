@@ -1,0 +1,36 @@
+//! Detailed application models.
+//!
+//! Each model transcribes, in imperative Rust against the simulated
+//! kernel, the system-call behaviour and failure-resilience logic of one
+//! of the cloud applications the paper analyses in depth. The models are
+//! the ground truth the Loupe engine measures; none of them knows anything
+//! about stubbing or faking — they only react to syscall return values,
+//! exactly like the real programs.
+
+pub mod h2o;
+pub mod haproxy;
+pub mod hello;
+pub mod httpd;
+pub mod iperf3;
+pub mod lighttpd;
+pub mod memcached;
+pub mod mongodb;
+pub mod nginx;
+pub mod redis;
+pub mod sqlite;
+pub mod webfsd;
+pub mod weborf;
+
+pub use h2o::H2o;
+pub use haproxy::Haproxy;
+pub use hello::Hello;
+pub use httpd::Httpd;
+pub use iperf3::Iperf3;
+pub use lighttpd::Lighttpd;
+pub use memcached::Memcached;
+pub use mongodb::MongoDb;
+pub use nginx::Nginx;
+pub use redis::Redis;
+pub use sqlite::Sqlite;
+pub use webfsd::Webfsd;
+pub use weborf::Weborf;

@@ -1,0 +1,246 @@
+//! The MongoDB model: the widest syscall footprint in the set.
+//!
+//! Table 1 lists MongoDB as the most expensive app to unlock on every OS
+//! — the final step for Unikraft, Fuchsia *and* Kerla. The required tail
+//! comes from WiredTiger and the server runtime: `rt_sigtimedwait` (128),
+//! `sysinfo` (99), `mincore` (27), `clock_getres` (229), `flock` (73),
+//! `futex` (202) and `timerfd_create` (283), with `sigaltstack` stubbable
+//! and `statfs` fakeable.
+
+use loupe_kernel::LinuxSim;
+use loupe_syscalls::Sysno;
+
+use crate::code::AppCode;
+use crate::env::Env;
+use crate::libc::{LibcFlavor, LibcRuntime};
+use crate::model::{AppKind, AppModel, AppSpec, Exit};
+use crate::runtime::{
+    self, event_setup, listen_socket, locked_section, serve_requests, EventApi, ResponsePath,
+    ServeCfg,
+};
+use crate::workload::Workload;
+
+/// The MongoDB document database.
+#[derive(Debug, Clone, Default)]
+pub struct MongoDb;
+
+impl MongoDb {
+    /// Creates the model.
+    pub fn new() -> MongoDb {
+        MongoDb
+    }
+}
+
+impl AppModel for MongoDb {
+    fn name(&self) -> &str {
+        "mongodb"
+    }
+
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "mongodb".into(),
+            version: "5.0.3".into(),
+            year: 2021,
+            port: Some(27017),
+            kind: AppKind::Database,
+            libc: LibcFlavor::GlibcDynamic,
+        }
+    }
+
+    fn provision(&self, sim: &mut LinuxSim) {
+        runtime::provision_base(sim);
+        sim.vfs.mkdir("/data/db");
+        sim.vfs.add_file("/data/db/WiredTiger.wt", vec![0u8; 4096]);
+        sim.vfs.add_file("/etc/mongod.conf", b"storage:\n  dbPath: /data/db\n".to_vec());
+    }
+
+    fn run(&self, env: &mut Env<'_>, workload: Workload) -> Result<(), Exit> {
+        let mut libc = LibcRuntime::init(env, LibcFlavor::GlibcDynamic)?;
+
+        // --- startup validation (the "required tail") -----------------------
+        // Clock sanity: WiredTiger validates timer resolution and uses
+        // the returned value to size its spin thresholds.
+        let res = env.sys(Sysno::clock_getres, [1, 0, 0, 0, 0, 0]);
+        if res.ret < 0 || res.payload.as_u64().is_none() {
+            return Err(Exit::Crash("clock source validation failed".into()));
+        }
+        // Memory budget: refuses to start blind.
+        let si = env.sys0(Sysno::sysinfo);
+        if si.ret < 0 || si.payload.as_u64().is_none() {
+            return Err(Exit::Crash("cannot determine system memory".into()));
+        }
+        // Data directory lock: fatal when flock is unavailable.
+        let lockf = env.sys_path(Sysno::openat, [0, 0, 0x40, 0, 0, 0], "/data/db/mongod.lock");
+        if lockf.ret < 0 {
+            return Err(Exit::Crash("cannot open lock file".into()));
+        }
+        let lock = env.sys(Sysno::flock, [lockf.ret as u64, 2, 0, 0, 0, 0]);
+        if lock.ret < 0 || lock.payload.as_u64().is_none() {
+            return Err(Exit::Crash("unable to lock /data/db".into()));
+        }
+        // Filesystem capacity probe: statfs — refuses ENOSYS, accepts fake.
+        if env.sys_path(Sysno::statfs, [0; 6], "/data/db").ret < 0 {
+            return Err(Exit::Crash("cannot statfs data directory".into()));
+        }
+        // Cache residency probing: the residency vector is consumed.
+        let resident = env.sys(Sysno::mincore, [0x7000_0000, 4096, 0, 0, 0, 0]);
+        if resident.ret < 0 || resident.payload.as_bytes().is_none() {
+            return Err(Exit::Crash("cache residency probe failed".into()));
+        }
+        // Signal-handling thread waits with rt_sigtimedwait and consumes
+        // the delivered signal number.
+        let sig = env.sys(Sysno::rt_sigtimedwait, [0, 0, 0, 0, 0, 0]);
+        if sig.ret < 0 || sig.payload.as_u64().is_none() {
+            return Err(Exit::Crash("signal processing thread failed".into()));
+        }
+        // Periodic task timer: created AND armed.
+        let tfd = env.sys(Sysno::timerfd_create, [1, 0, 0, 0, 0, 0]);
+        if tfd.ret < 0 {
+            return Err(Exit::Crash("cannot create maintenance timer".into()));
+        }
+        if env
+            .sys(Sysno::timerfd_settime, [tfd.ret as u64, 0, 0, 0, 0, 0])
+            .ret
+            < 0
+        {
+            return Err(Exit::Crash("cannot arm maintenance timer".into()));
+        }
+        // Stack-overflow handler: stubbable (degrades diagnostics only).
+        if env.sys(Sysno::sigaltstack, [0x7200, 8192, 0, 0, 0, 0]).ret < 0 {
+            env.feature("stack-overflow-diagnostics", false);
+        }
+        // Diagnostics probes: /proc/self/status (memory telemetry) and
+        // the online-CPU list; both degrade to defaults on failure.
+        if !runtime::read_pseudo(env, Sysno::openat, "/proc/self/status") {
+            env.feature("memory-telemetry", false);
+        }
+        let _ = runtime::read_pseudo(env, Sysno::openat, "/sys/devices/system/cpu/online");
+        let _ = env.sys(Sysno::prctl, [15 /* PR_SET_NAME */, 0, 0, 0, 0, 0]);
+        let _ = env.sys0(Sysno::sched_getaffinity);
+        let _ = env.sys(Sysno::getrandom, [0, 16, 0, 0, 0, 0]);
+        runtime::tune_fd_limit(env, Sysno::prlimit64, 64000);
+
+        // WiredTiger cache.
+        let cache = env.sys(Sysno::mmap, [0, 16 << 20, 3, 0x22, u64::MAX, 0]);
+        if cache.ret <= 0 {
+            return Err(Exit::Crash("cannot reserve storage engine cache".into()));
+        }
+        let _ = env.sys(Sysno::madvise, [cache.ret as u64, 16 << 20, 14, 0, 0, 0]);
+
+        // Worker threads.
+        for _ in 0..3 {
+            let _ = libc.start_thread(env);
+        }
+
+        let listen_fd = listen_socket(env, 27017, false, true)?;
+        let ep = event_setup(env, EventApi::Epoll, &[listen_fd])?;
+
+        let db_fd = {
+            let f = env.sys_path(Sysno::openat, [0, 0, 2, 0, 0, 0], "/data/db/WiredTiger.wt");
+            if f.ret < 0 {
+                return Err(Exit::Crash("cannot open storage files".into()));
+            }
+            f.ret as u64
+        };
+
+        let cfg = ServeCfg {
+            port: 27017,
+            listen_fd,
+            epoll_fd: ep,
+            fallback_api: EventApi::Epoll,
+            read_syscall: Sysno::recvmsg,
+            response: ResponsePath::Sendto,
+            response_len: 512,
+            work_per_request: 150,
+            access_log_fd: None,
+            accept4: true,
+            close_every: 8,
+        };
+        serve_requests(env, &cfg, workload.requests(), |env, i, _| {
+            // Storage I/O per operation.
+            let _ = env.sys(Sysno::pread64, [db_fd, 0, 4096, 0, 0, 0]);
+            if i % 4 == 1 {
+                let w = env.sys_data(Sysno::pwrite64, [db_fd, 0, 0, 0, 0, 0], vec![b'B'; 4096]);
+                if w.ret <= 0 {
+                    env.fail("journal write failed");
+                }
+                let _ = env.sys(Sysno::fdatasync, [db_fd, 0, 0, 0, 0, 0]);
+            }
+            // Lock hand-off with the checkpoint thread.
+            if i % 5 == 4 && !locked_section(env, &mut libc, 0x9000, true) {
+                env.charge(300);
+                env.fail("WT_SESSION inconsistent");
+            }
+            if i % 25 == 24 {
+                let _ = env.sys0(Sysno::clock_gettime);
+                let _ = env.sys0(Sysno::getrusage);
+            }
+            Ok(())
+        })?;
+
+        if workload.checks_aux_features() {
+            // Checkpoint + compact.
+            let _ = env.sys(Sysno::fallocate, [db_fd, 0, 0, 1 << 20, 0, 0]);
+            let _ = env.sys(Sysno::ftruncate, [db_fd, 1 << 20, 0, 0, 0, 0]);
+            let _ = env.sys(Sysno::fsync, [db_fd, 0, 0, 0, 0, 0]);
+            let _ = env.sys0(Sysno::uname);
+            let _ = env.sys0(Sysno::getpid);
+            env.feature("checkpoint", true);
+        }
+
+        let _ = env.sys(Sysno::munmap, [cache.ret as u64, 16 << 20, 0, 0, 0, 0]);
+        let _ = env.sys(Sysno::close, [db_fd, 0, 0, 0, 0, 0]);
+        let _ = env.sys(Sysno::close, [listen_fd, 0, 0, 0, 0, 0]);
+        let _ = env.sys0(Sysno::exit_group);
+        Ok(())
+    }
+
+    fn code(&self) -> AppCode {
+        use Sysno as S;
+        AppCode::new()
+            .with_checked(&[
+                S::socket, S::bind, S::listen, S::accept4, S::fcntl, S::epoll_create1,
+                S::epoll_ctl, S::epoll_wait, S::read, S::write, S::recvmsg, S::sendmsg,
+                S::sendto, S::recvfrom, S::close, S::openat, S::stat, S::fstat, S::statfs,
+                S::pread64, S::pwrite64, S::fdatasync, S::fsync, S::fallocate, S::ftruncate,
+                S::flock, S::mmap, S::munmap, S::mremap, S::brk, S::madvise, S::mincore,
+                S::clone, S::futex, S::rt_sigaction, S::rt_sigtimedwait, S::sigaltstack,
+                S::timerfd_create, S::timerfd_settime, S::eventfd2, S::clock_getres,
+                S::sysinfo, S::prlimit64, S::setrlimit, S::getrandom, S::sched_getaffinity,
+                S::set_tid_address, S::unlink, S::rename, S::getdents64, S::lseek,
+            ])
+            .with_unchecked(&[
+                S::getpid, S::gettid, S::clock_gettime, S::gettimeofday, S::getrusage,
+                S::prctl, S::uname, S::exit_group, S::rt_sigprocmask, S::sched_yield,
+                S::nanosleep, S::getcwd, S::umask,
+            ])
+            .with_binary_extra(&[
+                S::shmget, S::shmat, S::semget, S::semop, S::setpriority, S::getpriority,
+                S::io_setup, S::io_submit, S::io_getevents, S::personality, S::setsid,
+                S::socketpair, S::pipe2, S::dup2, S::chdir, S::readlink, S::mlock,
+            ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_operations() {
+        let mut sim = LinuxSim::new();
+        let app = MongoDb::new();
+        app.provision(&mut sim);
+        let mut env = Env::new(&mut sim);
+        app.run(&mut env, Workload::Benchmark).unwrap();
+        let out = env.finish(Exit::Clean);
+        assert_eq!(out.responses, 200);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn code_footprint_is_wide() {
+        let code = MongoDb::new().code();
+        assert!(code.source_syscalls.len() > 55);
+    }
+}

@@ -1,0 +1,460 @@
+//! The Nginx model.
+//!
+//! The richest model in the set, because Table 2 and Table 3 both hinge on
+//! Nginx-specific behaviour:
+//!
+//! * access logs go through `write` while payloads go through `writev`/
+//!   `sendfile` — stubbing `write` *speeds the server up* by skipping log
+//!   I/O without breaking request handling;
+//! * the master process parks in `rt_sigsuspend`; if that call is stubbed
+//!   or faked the master degrades to busy-wait polling (Table 2: -38%);
+//! * a faked `clone` returns 0, so the master believes it is the worker
+//!   and runs the worker loop itself (functional, but leaks master-side
+//!   pools: +memory);
+//! * `prctl(PR_SET_KEEPCAPS)` failure is fatal (Fig. 6b) — unstubbable,
+//!   but perfectly fakeable;
+//! * `sendfile` failure falls back to the `writev` body path
+//!   (alternative-syscall resilience: sendfile is stubbable);
+//! * legacy builds (0.3.19-era) use `accept`/`epoll_create`/`recvfrom` and
+//!   the old glibc wrappers, which is what Table 3 compares.
+
+use loupe_kernel::LinuxSim;
+use loupe_syscalls::Sysno;
+
+use crate::code::AppCode;
+use crate::env::Env;
+use crate::libc::{LibcFlavor, LibcRuntime};
+use crate::model::{AppKind, AppModel, AppSpec, Exit};
+use crate::runtime::{
+    self, daemonize, drop_privileges, event_setup, listen_socket, serve_requests, EventApi,
+    ResponsePath, ServeCfg,
+};
+use crate::workload::Workload;
+
+/// Which era of Nginx is modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Era {
+    /// A 2021 release (1.21.x): `accept4`, `epoll_create1`, `openat`.
+    Modern,
+    /// A 2005/2006-era release (0.3.19): `accept`, `epoll_create`,
+    /// `recvfrom`, `socketpair` master channel, `dup2` stdio redirect.
+    Legacy,
+}
+
+/// The Nginx web server.
+#[derive(Debug, Clone)]
+pub struct Nginx {
+    era: Era,
+    libc: LibcFlavor,
+}
+
+impl Nginx {
+    /// A modern (2021) Nginx on modern glibc.
+    pub fn modern() -> Nginx {
+        Nginx {
+            era: Era::Modern,
+            libc: LibcFlavor::GlibcDynamic,
+        }
+    }
+
+    /// Nginx 0.3.19 built against a modern glibc (Table 3, right column;
+    /// also the "old release" point of Fig. 8).
+    pub fn legacy() -> Nginx {
+        Nginx {
+            era: Era::Legacy,
+            libc: LibcFlavor::GlibcDynamic,
+        }
+    }
+
+    /// Nginx 0.3.19 built against glibc 2.3.2 in 32-bit mode (Table 3,
+    /// left column).
+    pub fn legacy_32bit() -> Nginx {
+        Nginx {
+            era: Era::Legacy,
+            libc: LibcFlavor::OldGlibc32,
+        }
+    }
+
+    fn accept4(&self) -> bool {
+        self.era == Era::Modern
+    }
+}
+
+impl AppModel for Nginx {
+    fn name(&self) -> &str {
+        match (self.era, self.libc) {
+            (Era::Modern, _) => "nginx",
+            (Era::Legacy, LibcFlavor::OldGlibc32) => "nginx-0.3.19-glibc2.3.2",
+            (Era::Legacy, _) => "nginx-0.3.19",
+        }
+    }
+
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: self.name().to_owned(),
+            version: match self.era {
+                Era::Modern => "1.21.6".into(),
+                Era::Legacy => "0.3.19".into(),
+            },
+            year: match self.era {
+                Era::Modern => 2021,
+                Era::Legacy => 2006,
+            },
+            port: Some(80),
+            kind: AppKind::WebServer,
+            libc: self.libc,
+        }
+    }
+
+    fn provision(&self, sim: &mut LinuxSim) {
+        runtime::provision_base(sim);
+        sim.vfs.add_file(
+            "/etc/nginx/nginx.conf",
+            b"worker_processes 1;\nuser www-data;\naccess_log /var/log/nginx/access.log;\n"
+                .to_vec(),
+        );
+        sim.vfs
+            .add_file("/srv/www/index.html", vec![b'<'; 612]);
+        sim.vfs
+            .add_file("/srv/www/large.bin", vec![b'L'; 64 * 1024]);
+        sim.vfs.mkdir("/var/log/nginx");
+    }
+
+    fn run(&self, env: &mut Env<'_>, workload: Workload) -> Result<(), Exit> {
+        let mut libc = LibcRuntime::init(env, self.libc)?;
+
+        // --- configuration ------------------------------------------------
+        let open_sys = self.libc.open_syscall();
+        let conf = env.sys_path(open_sys, [0; 6], "/etc/nginx/nginx.conf");
+        if conf.ret < 0 {
+            return Err(Exit::Crash("[emerg] open() \"/etc/nginx/nginx.conf\" failed".into()));
+        }
+        let conf_fd = conf.ret as u64;
+        if env.sys(Sysno::fstat, [conf_fd, 0, 0, 0, 0, 0]).is_err() {
+            env.feature("config-mtime-check", false);
+        }
+        if env.sys(Sysno::read, [conf_fd, 0, 4096, 0, 0, 0]).ret < 0 {
+            return Err(Exit::Crash("[emerg] cannot read configuration".into()));
+        }
+        let _ = env.sys(Sysno::close, [conf_fd, 0, 0, 0, 0, 0]);
+
+        // geteuid: "am I root?" — stub crashes, fake(0) proceeds fine.
+        let euid = env.sys0(Sysno::geteuid);
+        if euid.ret < 0 {
+            return Err(Exit::Crash("[emerg] getuid() failed".into()));
+        }
+        let _ = env.sys0(Sysno::getpid);
+        if self.era == Era::Legacy {
+            // 0.3.19 probed kernel parameters via sysctl and gettimeofday
+            // at startup.
+            if self.libc != LibcFlavor::OldGlibc32 {
+                let _ = env.sys(Sysno::_sysctl, [0; 6]);
+            }
+            let _ = env.sys0(Sysno::gettimeofday);
+            let _ = env.sys0(Sysno::uname);
+        } else {
+            let _ = env.sys0(Sysno::uname);
+        }
+
+        // Worker auto-sizing probes /proc/cpuinfo; a missing procfs just
+        // means one worker (ignore-resilience).
+        if !runtime::read_pseudo(env, open_sys, "/proc/cpuinfo") {
+            env.feature("worker-autoscale", false);
+        }
+
+        // RLIMIT_NOFILE via the libc wrapper (modern glibc routes getrlimit
+        // through prlimit64 — Table 3's prlimit64-vs-getrlimit difference).
+        runtime::tune_fd_limit(env, self.libc.rlimit_syscall(), 8192);
+
+        // --- sockets and logs ----------------------------------------------
+        // Nginx sets non-blocking via ioctl(FIONBIO), not fcntl (§5.4).
+        let listen_fd = listen_socket(env, 80, true, false)?;
+        let api = EventApi::Epoll;
+        let ep = if self.era == Era::Modern {
+            event_setup(env, api, &[listen_fd])?
+        } else {
+            // Legacy path: epoll_create only (no epoll_create1 in 2006).
+            let r = env.sys(Sysno::epoll_create, [512, 0, 0, 0, 0, 0]);
+            if r.ret < 0 {
+                return Err(Exit::Crash("[emerg] epoll_create() failed".into()));
+            }
+            let ep = r.ret as u64;
+            if env.sys(Sysno::epoll_ctl, [ep, 1, listen_fd, 0, 0, 0]).ret < 0 {
+                return Err(Exit::Crash("[emerg] epoll_ctl() failed".into()));
+            }
+            Some(ep)
+        };
+
+        let log = env.sys_path(
+            open_sys,
+            [0, 0, 0x440 /* O_CREAT|O_APPEND */, 0, 0, 0],
+            "/var/log/nginx/access.log",
+        );
+        let access_log_fd = if log.ret >= 0 {
+            // chown the log to the worker user; root-only, fake-friendly.
+            if env
+                .sys_path(Sysno::chown, [0, 33, 33, 0, 0, 0], "/var/log/nginx/access.log")
+                .ret
+                < 0
+            {
+                env.feature("log-ownership", false);
+            }
+            Some(log.ret as u64)
+        } else {
+            env.feature("access-logging", false);
+            None
+        };
+
+        daemonize(env, open_sys, "/var/run/nginx.pid");
+        if self.era == Era::Legacy {
+            // stdio redirect to /dev/null and the master-worker channel.
+            let _ = env.sys(Sysno::dup2, [2, 1, 0, 0, 0, 0]);
+            let _ = env.sys(Sysno::socketpair, [1, 1, 0, 0, 0, 0]);
+            let _ = env.sys_path(Sysno::mkdir, [0, 0o755, 0, 0, 0, 0], "/var/lib/nginx-tmp");
+        }
+        drop_privileges(env, true)?;
+        // Upstream availability probe (proxy module) + listener flags.
+        let probe = env.sys(Sysno::socket, [2, 1, 0, 0, 0, 0]);
+        if probe.ret >= 0 {
+            let _ = env.sys(Sysno::connect, [probe.ret as u64, 8081, 0, 0, 0, 0]);
+            let _ = env.sys(Sysno::close, [probe.ret as u64, 0, 0, 0, 0, 0]);
+        }
+        let _ = env.sys(Sysno::fcntl, [listen_fd, 3 /* F_GETFL */, 0, 0, 0, 0]);
+
+        // Signal handlers for reload/reap.
+        for sig in [1u64, 15, 17, 10] {
+            if env.sys(Sysno::rt_sigaction, [sig, 0x1000, 0, 0, 0, 0]).ret < 0 {
+                env.feature("signal-handling", false);
+            }
+        }
+        let _ = env.sys(Sysno::rt_sigprocmask, [0, 0, 0, 0, 0, 0]);
+
+        // --- master / worker ----------------------------------------------
+        // Master-side temporary config pool: freed only on the true master
+        // path below. A faked clone() jumps straight to the worker loop and
+        // leaks it (Table 2: clone fake → +memory).
+        let master_pool = env.sys(Sysno::mmap, [0, 1536 * 1024, 3, 0x22, u64::MAX, 0]);
+        let clone_ret = libc.start_thread(env);
+        if clone_ret < 0 {
+            return Err(Exit::Crash("[emerg] fork() failed while spawning worker".into()));
+        }
+        let master_runs_worker_loop = clone_ret == 0;
+        if !master_runs_worker_loop && master_pool.ret > 0 {
+            let _ = env.sys(Sysno::munmap, [master_pool.ret as u64, 1536 * 1024, 0, 0, 0, 0]);
+        }
+        // Worker-side connection/request pools, allocated when the worker
+        // loop starts — in the faked-clone path they coexist with the
+        // never-freed master pool (Table 2: clone fake -> +memory).
+        let _worker_pool = env.sys(Sysno::mmap, [0, 1 << 20, 3, 0x22, u64::MAX, 0]);
+
+        let cfg = ServeCfg {
+            port: 80,
+            listen_fd,
+            epoll_fd: ep,
+            fallback_api: api,
+            read_syscall: if self.era == Era::Modern {
+                Sysno::read
+            } else {
+                Sysno::recvfrom
+            },
+            response: ResponsePath::Writev,
+            response_len: 612,
+            work_per_request: 50,
+            access_log_fd,
+            accept4: self.accept4(),
+            close_every: 8,
+        };
+
+        let n = workload.requests();
+        let mut batch_start = 0u32;
+        while batch_start < n {
+            let batch = (n - batch_start).min(10);
+            serve_requests(env, &cfg, batch, |env, i, cfd| {
+                // Every 25th request serves a large file via sendfile,
+                // falling back to read+writev when sendfile is unavailable
+                // (sendfile is stubbable — alternative-syscall resilience).
+                if (batch_start + i) % 25 == 24 && !self.libc.is_32bit() {
+                    let f = env.sys_path(open_sys, [0; 6], "/srv/www/large.bin");
+                    if f.ret >= 0 {
+                        let ffd = f.ret as u64;
+                        let sent = env.sys(Sysno::sendfile, [cfd, ffd, 0, 65536, 0, 0]);
+                        if sent.ret < 0 {
+                            // Fall back to read+writev.
+                            let r = env.sys(Sysno::pread64, [ffd, 0, 65536, 0, 0, 0]);
+                            if let Some(bytes) = r.payload.as_bytes() {
+                                let _ = env.sys_data(
+                                    Sysno::writev,
+                                    [cfd, 0, 0, 0, 0, 0],
+                                    bytes.clone(),
+                                );
+                            }
+                            env.charge(64);
+                        }
+                        let _ = env.sys(Sysno::close, [ffd, 0, 0, 0, 0, 0]);
+                    }
+                }
+                Ok(())
+            })?;
+            batch_start += batch;
+
+            // The master parks between event batches. A working
+            // rt_sigsuspend returns -EINTR after sleeping off-CPU; a
+            // stub/fake returns instantly and the master burns CPU
+            // polling (Table 2: -38%).
+            if !master_runs_worker_loop {
+                let r = env.sys(Sysno::rt_sigsuspend, [0; 6]);
+                if r.errno() != Some(loupe_syscalls::Errno::EINTR) {
+                    env.charge(135 * u64::from(batch));
+                }
+            }
+        }
+
+        // --- suite-only feature coverage ------------------------------------
+        if workload.checks_aux_features() {
+            // Config reload (SIGHUP path): re-open config, re-stat content.
+            let re = env.sys_path(open_sys, [0; 6], "/etc/nginx/nginx.conf");
+            if re.ret >= 0 {
+                let _ = env.sys(Sysno::pread64, [re.ret as u64, 0, 4096, 0, 0, 0]);
+                let _ = env.sys(Sysno::close, [re.ret as u64, 0, 0, 0, 0, 0]);
+                env.feature("config-reload", true);
+            } else {
+                env.feature("config-reload", false);
+            }
+            let st = env.sys_path(Sysno::stat, [0; 6], "/srv/www/index.html");
+            env.feature("static-stat", !st.is_err());
+            if !self.libc.is_32bit() {
+                let _ = env.sys_path(Sysno::lstat, [0; 6], "/srv/www/index.html");
+            }
+            let _ = env.sys(Sysno::lseek, [3, 0, 0, 0, 0, 0]);
+            // Proxy buffering touches temp files via pwrite64.
+            let tmp = env.sys_path(open_sys, [0, 0, 0x40, 0, 0, 0], "/var/lib/nginx-proxy.tmp");
+            if tmp.ret >= 0 {
+                let w = env.sys_data(
+                    Sysno::pwrite64,
+                    [tmp.ret as u64, 0, 0, 0, 0, 0],
+                    vec![0u8; 1024],
+                );
+                env.feature("proxy-buffering", w.ret > 0);
+                let _ = env.sys(Sysno::close, [tmp.ret as u64, 0, 0, 0, 0, 0]);
+            }
+            // Access-log health: did the log actually grow?
+            if access_log_fd.is_some() {
+                let st = env.sys_path(Sysno::stat, [0; 6], "/var/log/nginx/access.log");
+                let grew = st.payload.as_u64().unwrap_or(0) > 0;
+                env.feature("access-logging", grew);
+            }
+        }
+
+        libc.printf(env, "nginx: shutting down\n");
+        let _ = env.sys(Sysno::close, [listen_fd, 0, 0, 0, 0, 0]);
+        let _ = env.sys0(Sysno::exit_group);
+        Ok(())
+    }
+
+    fn code(&self) -> AppCode {
+        use Sysno as S;
+        let mut code = AppCode::new()
+            .with_checked(&[
+                S::socket, S::bind, S::listen, S::accept, S::setsockopt, S::ioctl, S::fcntl,
+                S::epoll_ctl, S::epoll_wait, S::read, S::writev, S::sendfile, S::close,
+                S::openat, S::open, S::fstat, S::stat, S::lstat, S::pread64, S::pwrite64,
+                S::mmap, S::munmap, S::brk, S::clone, S::rt_sigaction, S::rt_sigsuspend,
+                S::setuid, S::setgid, S::setgroups, S::prctl, S::chown, S::geteuid,
+                S::setrlimit, S::getrlimit, S::prlimit64, S::setsid, S::dup2, S::mkdir,
+                S::socketpair, S::execve, S::lseek, S::recvfrom, S::sendto, S::connect,
+                S::shutdown, S::unlink, S::rename, S::getsockname, S::getsockopt,
+                S::sched_setaffinity, S::kill, S::wait4,
+            ])
+            .with_unchecked(&[
+                S::write, S::umask, S::getpid, S::gettimeofday, S::clock_gettime, S::uname,
+                S::rt_sigprocmask, S::exit_group, S::epoll_create, S::epoll_create1,
+                S::accept4, S::getppid, S::_sysctl, S::times, S::madvise,
+            ])
+            // Error paths and rarely-enabled modules (mail proxy, dav):
+            // visible to static analysis only.
+            .with_binary_extra(&[
+                S::chroot, S::symlink, S::readlink, S::utimensat, S::flock, S::getdents64,
+                S::sysinfo, S::sched_getaffinity, S::eventfd2, S::timerfd_create,
+                S::timerfd_settime, S::setitimer,
+            ]);
+        if self.era == Era::Modern {
+            code.source_syscalls.insert(S::statx);
+        }
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use loupe_kernel::Kernel;
+
+    fn run(nginx: &Nginx, workload: Workload) -> (crate::model::AppOutcome, LinuxSim) {
+        let mut sim = LinuxSim::new();
+        nginx.provision(&mut sim);
+        let mut env = Env::new(&mut sim);
+        let res = nginx.run(&mut env, workload);
+        let exit = match res {
+            Ok(()) => Exit::Clean,
+            Err(e) => e,
+        };
+        (env.finish(exit), sim)
+    }
+
+    #[test]
+    fn benchmark_serves_all_requests() {
+        let (out, _) = run(&Nginx::modern(), Workload::Benchmark);
+        assert!(out.exit.is_clean(), "{:?}", out.exit);
+        assert_eq!(out.responses, u64::from(Workload::Benchmark.requests()));
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn health_check_passes() {
+        let (out, _) = run(&Nginx::modern(), Workload::HealthCheck);
+        assert_eq!(out.responses, 1);
+    }
+
+    #[test]
+    fn suite_covers_aux_features() {
+        let (out, sim) = run(&Nginx::modern(), Workload::TestSuite);
+        assert!(out.exit.is_clean());
+        assert_eq!(out.features.get("access-logging"), Some(&true));
+        assert_eq!(out.features.get("config-reload"), Some(&true));
+        assert!(sim.vfs.size("/var/log/nginx/access.log").unwrap() > 0);
+    }
+
+    #[test]
+    fn legacy_variant_uses_old_syscalls() {
+        let mut sim = LinuxSim::new();
+        let nginx = Nginx::legacy();
+        nginx.provision(&mut sim);
+        let mut env = Env::new(&mut sim);
+        nginx.run(&mut env, Workload::HealthCheck).unwrap();
+        let out = env.finish(Exit::Clean);
+        assert_eq!(out.responses, 1);
+    }
+
+    #[test]
+    fn legacy_32bit_boots() {
+        let (out, _) = run(&Nginx::legacy_32bit(), Workload::HealthCheck);
+        assert!(out.exit.is_clean(), "{:?}", out.exit);
+    }
+
+    #[test]
+    fn code_view_is_superset_of_needs() {
+        let code = Nginx::modern().code();
+        assert!(code.source_syscalls.contains(Sysno::writev));
+        assert!(code.source_syscalls.contains(Sysno::rt_sigsuspend));
+        assert!(code.return_checks[&Sysno::prctl]);
+        assert!(!code.return_checks[&Sysno::write], "log writes unchecked");
+    }
+
+    #[test]
+    fn access_log_contributes_file_growth() {
+        let (_, mut sim) = run(&Nginx::modern(), Workload::Benchmark);
+        assert!(sim.vfs.size("/var/log/nginx/access.log").unwrap() > 100);
+        assert_eq!(sim.host_mut().pending_responses(), 0);
+    }
+}

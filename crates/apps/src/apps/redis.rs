@@ -1,0 +1,375 @@
+//! The Redis model.
+//!
+//! Redis is the paper's running example: 42 syscalls to pass the test
+//! suite, only ~20 required for `redis-benchmark` (§1), with the Table 2
+//! dynamics concentrated here:
+//!
+//! * `getrlimit`/`prlimit64` failure → conservative `maxclients` default
+//!   (Fig. 6a — stubbable);
+//! * `sysinfo` and `ioctl(TCGETS)` failures are ignored (log-only, §5.2);
+//! * `pipe2` failure disables persistence but not the key-value core;
+//! * faked `futex` corrupts lock hand-off: throughput collapses, file
+//!   descriptors leak, and the test script eventually sees wrong data;
+//! * faked `close`/`munmap` leak FDs / memory while staying functional;
+//! * `rt_sigprocmask` failure suppresses the background-free thread, so
+//!   memory is released earlier (-15% RSS).
+
+use loupe_kernel::LinuxSim;
+use loupe_syscalls::Sysno;
+
+use crate::code::AppCode;
+use crate::env::Env;
+use crate::libc::{LibcFlavor, LibcRuntime};
+use crate::model::{AppKind, AppModel, AppSpec, Exit};
+use crate::runtime::{
+    self, event_setup, listen_socket, locked_section, serve_requests, EventApi, ResponsePath,
+    ServeCfg,
+};
+use crate::workload::Workload;
+
+/// The Redis key-value store.
+#[derive(Debug, Clone)]
+pub struct Redis {
+    year: u32,
+}
+
+impl Redis {
+    /// A modern (2021, 6.x) Redis.
+    pub fn modern() -> Redis {
+        Redis { year: 2021 }
+    }
+
+    /// A 2010-era (2.0) Redis for the evolution experiment (Fig. 8).
+    pub fn legacy() -> Redis {
+        Redis { year: 2010 }
+    }
+
+    fn is_modern(&self) -> bool {
+        self.year >= 2015
+    }
+}
+
+impl AppModel for Redis {
+    fn name(&self) -> &str {
+        if self.is_modern() {
+            "redis"
+        } else {
+            "redis-2.0"
+        }
+    }
+
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: self.name().to_owned(),
+            version: if self.is_modern() { "6.2.6" } else { "2.0.4" }.into(),
+            year: self.year,
+            port: Some(6379),
+            kind: AppKind::KeyValue,
+            libc: LibcFlavor::GlibcDynamic,
+        }
+    }
+
+    fn provision(&self, sim: &mut LinuxSim) {
+        runtime::provision_base(sim);
+        sim.vfs.add_file(
+            "/etc/redis/redis.conf",
+            b"maxclients 10000\nappendonly yes\n".to_vec(),
+        );
+        sim.vfs.add_file("/data/appendonly.aof", vec![b'*'; 256]);
+        sim.vfs.mkdir("/data");
+    }
+
+    fn run(&self, env: &mut Env<'_>, workload: Workload) -> Result<(), Exit> {
+        let mut libc = LibcRuntime::init(env, LibcFlavor::GlibcDynamic)?;
+
+        // --- startup -------------------------------------------------------
+        // Config is optional: Redis runs with defaults if it cannot be read.
+        let conf = env.sys_path(Sysno::openat, [0; 6], "/etc/redis/redis.conf");
+        if conf.ret >= 0 {
+            let _ = env.sys(Sysno::read, [conf.ret as u64, 0, 4096, 0, 0, 0]);
+            let _ = env.sys(Sysno::close, [conf.ret as u64, 0, 0, 0, 0, 0]);
+        } else {
+            env.feature("config-file", false);
+        }
+
+        // Terminal width for the startup banner: ignored on failure
+        // ("Redis assumes a safe value of 80 characters", §5.2).
+        let _ = env.sys(Sysno::ioctl, [1, 0x5413 /* TIOCGWINSZ */, 0, 0, 0, 0]);
+        // Total memory for maxmemory hints: only used in debug logs (§5.2).
+        let _ = env.sys0(Sysno::sysinfo);
+        let _ = env.sys0(Sysno::getpid);
+        let _ = env.sys(Sysno::umask, [0o077, 0, 0, 0, 0, 0]);
+        let _ = env.sys0(Sysno::getcwd);
+        libc.printf(env, "* Ready to accept connections\n");
+
+        // Kernel tunable probes (real Redis warns about overcommit and
+        // transparent hugepages at startup): ignore-resilient.
+        if !runtime::read_pseudo(env, Sysno::openat, "/proc/sys/vm/overcommit_memory") {
+            libc.printf(env, "# WARNING overcommit_memory could not be checked\n");
+        }
+        let _ = runtime::read_pseudo(
+            env,
+            Sysno::openat,
+            "/sys/kernel/mm/transparent_hugepage/enabled",
+        );
+
+        // maxclients from RLIMIT_NOFILE (Fig. 6a): safe default on failure.
+        let _maxclients = runtime::tune_fd_limit(env, Sysno::prlimit64, 10032);
+
+        // AOF load: checks file presence with newfstatat, reads with
+        // pread64. A missing file is fine (fresh instance); a *broken
+        // stat/pread* (ENOSYS) is a fatal load error.
+        let st = env.sys_path(Sysno::newfstatat, [0; 6], "/data/appendonly.aof");
+        if st.ret >= 0 {
+            // The stat's size drives the loader's read plan: a faked stat
+            // (no size) is as fatal as a failed one.
+            let Some(aof_size) = st.payload.as_u64() else {
+                return Err(Exit::Crash("Can't stat the append only file".into()));
+            };
+            let aof = env.sys_path(Sysno::openat, [0; 6], "/data/appendonly.aof");
+            if aof.ret >= 0 {
+                let r = env.sys(Sysno::pread64, [aof.ret as u64, 0, 4096, 0, 0, 0]);
+                let loaded = r.payload.as_bytes().map_or(0, |b| b.len() as u64);
+                if r.ret < 0 || loaded < aof_size.min(4096) {
+                    return Err(Exit::Crash("Bad file format reading the append only file".into()));
+                }
+                let _ = env.sys(Sysno::close, [aof.ret as u64, 0, 0, 0, 0, 0]);
+            }
+        } else if st.errno() != Some(loupe_syscalls::Errno::ENOENT) {
+            return Err(Exit::Crash("Can't stat the append only file".into()));
+        }
+
+        // Persistence channel (parent <-> RDB child): stub → disabled with
+        // a log line; fake → garbage fds that surface later (§5.3).
+        let pipe = env.sys(Sysno::pipe2, [0, 0x80000, 0, 0, 0, 0]);
+        let persistence_fds = if pipe.ret == 0 {
+            match pipe.payload.as_fds() {
+                Some(fds) => Some(fds),
+                None => Some([-1, -1]), // faked: "success" without fds
+            }
+        } else {
+            libc.printf(env, "# Can't create pipe: persistence disabled\n");
+            env.feature("persistence", false);
+            None
+        };
+
+        // Background lazy-free thread. pthread_sigmask failure suppresses
+        // the thread (Table 2: sigprocmask → memory freed earlier).
+        let mask = env.sys(Sysno::rt_sigprocmask, [0, 0xffff, 0, 0, 0, 0]);
+        let bg_thread = if mask.ret == 0 {
+            libc.start_thread(env) > 0
+        } else {
+            false
+        };
+
+        // --- sockets --------------------------------------------------------
+        // anetNonBlock uses fcntl(F_SETFL) and treats failure as fatal.
+        let listen_fd = listen_socket(env, 6379, false, true)?;
+        let ep = event_setup(env, EventApi::Epoll, &[listen_fd])?;
+
+        let cfg = ServeCfg {
+            port: 6379,
+            listen_fd,
+            epoll_fd: ep,
+            fallback_api: EventApi::Epoll,
+            read_syscall: Sysno::read,
+            response: ResponsePath::Write,
+            response_len: 64,
+            work_per_request: 120,
+            access_log_fd: None,
+            accept4: self.is_modern(),
+            close_every: 5,
+        };
+
+        // --- event loop -------------------------------------------------------
+        let n = workload.requests();
+        let mut corruption = 0u32;
+        let mut deferred: Vec<(u64, u64)> = Vec::new();
+        let lock_addr = 0x6000u64;
+        let mut batch_buf: Option<(u64, u64)> = None;
+        serve_requests(env, &cfg, n, |env, i, _cfd| {
+            // Every 16 requests: a 256 KiB working buffer (jemalloc huge
+            // class → mmap-backed).
+            if i % 16 == 0 {
+                let r = env.sys(Sysno::mmap, [0, 256 * 1024, 3, 0x22, u64::MAX, 0]);
+                if r.ret > 0 {
+                    let this = (r.ret as u64, 256 * 1024u64);
+                    if let Some(prev) = batch_buf.replace(this) {
+                        if bg_thread {
+                            // Lazy free: the bg thread releases later.
+                            deferred.push(prev);
+                            if deferred.len() >= 4 {
+                                for (addr, len) in deferred.drain(..) {
+                                    let _ = env.sys(Sysno::munmap, [addr, len, 0, 0, 0, 0]);
+                                }
+                            }
+                        } else {
+                            let _ = env.sys(Sysno::munmap, [prev.0, prev.1, 0, 0, 0, 0]);
+                        }
+                    }
+                }
+            }
+            // Every 4th request contends on the dict lock with the bg
+            // thread. A faked/stubbed futex barges into the held section.
+            if i % 4 == 3 && !locked_section(env, &mut libc, lock_addr, true) {
+                corruption += 1;
+                env.charge(2200); // detect + repair the inconsistent entry
+                if corruption % 8 == 0 {
+                    // Inconsistent client bookkeeping re-registers an fd.
+                    let _ = env.sys_path(Sysno::openat, [0; 6], "/dev/null");
+                }
+                if corruption > 3 {
+                    env.fail("WRONGTYPE inconsistent value read");
+                }
+            }
+            // Periodic serverCron: time + stats, all ignore-resilient.
+            if i % 10 == 0 {
+                let _ = env.sys0(Sysno::clock_gettime);
+                let _ = env.sys0(Sysno::getrusage);
+                let _ = env.sys(Sysno::madvise, [0x7000_0000, 4096, 4, 0, 0, 0]);
+            }
+            Ok(())
+        })?;
+
+        // Release anything still deferred.
+        for (addr, len) in deferred.drain(..) {
+            let _ = env.sys(Sysno::munmap, [addr, len, 0, 0, 0, 0]);
+        }
+        if let Some((addr, len)) = batch_buf.take() {
+            let _ = env.sys(Sysno::munmap, [addr, len, 0, 0, 0, 0]);
+        }
+
+        // --- persistence (exercised by the suite) ---------------------------
+        if workload.checks_aux_features() {
+            if let Some([rfd, wfd]) = persistence_fds {
+                // BGSAVE handshake through the pipe, then RDB write-out.
+                let ok = if wfd >= 0 {
+                    let w = env.sys_data(Sysno::write, [wfd as u64, 0, 0, 0, 0, 0], &b"save\n"[..]);
+                    let r = env.sys(Sysno::read, [rfd as u64, 0, 16, 0, 0, 0]);
+                    w.ret > 0 && r.ret > 0
+                } else {
+                    false
+                };
+                let rdb = env.sys_path(Sysno::openat, [0, 0, 0x40, 0, 0, 0], "/data/temp.rdb");
+                let written = if rdb.ret >= 0 {
+                    let fd = rdb.ret as u64;
+                    let w = env.sys_data(Sysno::write, [fd, 0, 0, 0, 0, 0], vec![b'R'; 2048]);
+                    let _ = env.sys(Sysno::fdatasync, [fd, 0, 0, 0, 0, 0]);
+                    let _ = env.sys(Sysno::close, [fd, 0, 0, 0, 0, 0]);
+                    let renamed = env
+                        .sys_path(Sysno::rename, [0; 6], "/data/temp.rdb")
+                        .ret
+                        == 0;
+                    w.ret > 0 && renamed
+                } else {
+                    false
+                };
+                env.feature("persistence", ok && written);
+            }
+            // INFO command surface.
+            let _ = env.sys0(Sysno::uname);
+            let _ = env.sys0(Sysno::times);
+            let _ = env.sys(Sysno::unlink, [0; 6]);
+        }
+
+        if corruption > 0 {
+            libc.printf(env, "# Synchronization anomalies detected\n");
+        }
+        let _ = env.sys(Sysno::close, [listen_fd, 0, 0, 0, 0, 0]);
+        let _ = env.sys0(Sysno::exit_group);
+        Ok(())
+    }
+
+    fn code(&self) -> AppCode {
+        use Sysno as S;
+        let mut code = AppCode::new()
+            .with_checked(&[
+                S::socket, S::bind, S::listen, S::accept, S::accept4, S::fcntl, S::epoll_ctl,
+                S::epoll_wait, S::epoll_create, S::epoll_create1, S::read, S::write, S::close,
+                S::openat, S::open, S::fstat, S::newfstatat, S::pread64, S::pwrite64, S::mmap,
+                S::munmap, S::brk, S::clone, S::rt_sigaction, S::rt_sigprocmask, S::futex,
+                S::pipe2, S::pipe, S::fdatasync, S::fsync, S::rename, S::unlink, S::getrlimit,
+                S::prlimit64, S::setrlimit, S::lseek, S::ftruncate, S::connect, S::setsockopt,
+                S::getsockopt, S::kill, S::wait4, S::execve, S::mremap,
+            ])
+            .with_unchecked(&[
+                S::ioctl, S::sysinfo, S::getpid, S::umask, S::getcwd, S::clock_gettime,
+                S::gettimeofday, S::getrusage, S::madvise, S::uname, S::times, S::exit_group,
+                S::getppid, S::sched_yield, S::getuid,
+            ])
+            // Cluster mode, TLS, modules: present in the binary, never run
+            // by these workloads.
+            .with_binary_extra(&[
+                S::sendto, S::recvfrom, S::sendmsg, S::recvmsg, S::socketpair, S::eventfd2,
+                S::getrandom, S::statfs, S::getdents64, S::chdir, S::setsid, S::setuid,
+                S::setgid, S::sigaltstack, S::mincore,
+            ]);
+        if !self.is_modern() {
+            // 2010-era Redis predates accept4/pipe2 usage.
+            code.source_syscalls.remove(S::accept4);
+            code.source_syscalls.remove(S::pipe2);
+            code.source_syscalls.insert(S::pipe);
+        }
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(redis: &Redis, workload: Workload) -> (crate::model::AppOutcome, LinuxSim) {
+        let mut sim = LinuxSim::new();
+        redis.provision(&mut sim);
+        let mut env = Env::new(&mut sim);
+        let res = redis.run(&mut env, workload);
+        let exit = match res {
+            Ok(()) => Exit::Clean,
+            Err(e) => e,
+        };
+        (env.finish(exit), sim)
+    }
+
+    #[test]
+    fn benchmark_serves_everything() {
+        let (out, _) = run(&Redis::modern(), Workload::Benchmark);
+        assert!(out.exit.is_clean(), "{:?}", out.exit);
+        assert_eq!(out.responses, 200);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn suite_verifies_persistence() {
+        let (out, sim) = run(&Redis::modern(), Workload::TestSuite);
+        assert!(out.exit.is_clean());
+        assert_eq!(out.features.get("persistence"), Some(&true));
+        assert!(sim.vfs.exists("/data/temp.rdb"));
+    }
+
+    #[test]
+    fn no_corruption_on_real_kernel() {
+        let (out, sim) = run(&Redis::modern(), Workload::Benchmark);
+        assert!(out.failures.is_empty());
+        // All working buffers were released; only libc-loader maps remain.
+        assert!(sim.memory().map_count() <= 8, "maps: {}", sim.memory().map_count());
+    }
+
+    #[test]
+    fn legacy_variant_differs_in_code() {
+        let new = Redis::modern().code();
+        let old = Redis::legacy().code();
+        assert!(new.source_syscalls.contains(Sysno::accept4));
+        assert!(!old.source_syscalls.contains(Sysno::accept4));
+        assert!(old.source_syscalls.contains(Sysno::pipe));
+    }
+
+    #[test]
+    fn fd_usage_is_bounded_on_real_kernel() {
+        let (_, sim) = run(&Redis::modern(), Workload::Benchmark);
+        assert!(
+            sim.fd_table().open_count() < 10,
+            "fds: {}",
+            sim.fd_table().open_count()
+        );
+    }
+}

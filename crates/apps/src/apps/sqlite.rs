@@ -1,0 +1,276 @@
+//! The SQLite model: the only non-server among the seven deep-dive apps.
+//!
+//! The workload executes SQL statements against a database file. Resilience
+//! highlights from the paper: `mremap` failure falls back to
+//! `mmap`+copy (§5.2 — mremap is stubbable/fakeable, Table 1 Kerla fakes
+//! 25 to unlock SQLite), while `lseek`, `access` and `unlink` are on the
+//! *implement* list (journal management checks them and aborts).
+
+use loupe_kernel::LinuxSim;
+use loupe_syscalls::Sysno;
+
+use crate::code::AppCode;
+use crate::env::Env;
+use crate::libc::{LibcFlavor, LibcRuntime};
+use crate::model::{AppKind, AppModel, AppSpec, Exit};
+use crate::runtime;
+use crate::workload::Workload;
+
+/// The SQLite database engine, driven through its shell.
+#[derive(Debug, Clone, Default)]
+pub struct Sqlite;
+
+impl Sqlite {
+    /// Creates the model.
+    pub fn new() -> Sqlite {
+        Sqlite
+    }
+}
+
+impl AppModel for Sqlite {
+    fn name(&self) -> &str {
+        "sqlite"
+    }
+
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "sqlite".into(),
+            version: "3.36.0".into(),
+            year: 2021,
+            port: None,
+            kind: AppKind::Database,
+            libc: LibcFlavor::GlibcDynamic,
+        }
+    }
+
+    fn provision(&self, sim: &mut LinuxSim) {
+        runtime::provision_base(sim);
+        sim.vfs.add_file("/data/test.db", vec![0u8; 8192]);
+    }
+
+    fn run(&self, env: &mut Env<'_>, workload: Workload) -> Result<(), Exit> {
+        let mut libc = LibcRuntime::init(env, LibcFlavor::GlibcDynamic)?;
+        let _ = env.sys0(Sysno::getpid);
+        let _ = env.sys0(Sysno::getcwd);
+        let _ = env.sys0(Sysno::geteuid);
+
+        // Temp-name entropy from /dev/urandom, falling back to the clock
+        // (ignore-resilience: the classic SQLite randomness path).
+        if !runtime::read_pseudo(env, Sysno::openat, "/dev/urandom") {
+            let _ = env.sys0(Sysno::gettimeofday);
+        }
+
+        // Open the database; fatal if impossible.
+        let db = env.sys_path(Sysno::openat, [0, 0, 0x42, 0, 0, 0], "/data/test.db");
+        if db.ret < 0 {
+            return Err(Exit::Crash("unable to open database file".into()));
+        }
+        let db_fd = db.ret as u64;
+        if env.sys(Sysno::fstat, [db_fd, 0, 0, 0, 0, 0]).is_err() {
+            return Err(Exit::Crash("cannot fstat database".into()));
+        }
+        // POSIX advisory locks guard the file: checked, fatal.
+        if env.sys(Sysno::fcntl, [db_fd, 6 /* F_SETLK */, 0, 0, 0, 0]).ret < 0 {
+            return Err(Exit::Crash("database is locked".into()));
+        }
+        // Hot-journal detection probes with access(): an error return that
+        // is not ENOENT means the journal state is unknowable — abort.
+        // A *faked* access claims a hot journal exists: SQLite must then
+        // replay it, and aborts when the claimed journal cannot be read.
+        let probe = env.sys_path(Sysno::access, [0; 6], "/data/test.db-journal");
+        if probe.ret < 0 && probe.errno() != Some(loupe_syscalls::Errno::ENOENT) {
+            return Err(Exit::Crash("cannot probe hot journal".into()));
+        }
+        if probe.ret == 0 {
+            let hot = env.sys_path(Sysno::openat, [0; 6], "/data/test.db-journal");
+            if hot.ret < 0 {
+                return Err(Exit::Crash("hot journal vanished during recovery".into()));
+            }
+            let _ = env.sys(Sysno::read, [hot.ret as u64, 0, 4096, 0, 0, 0]);
+            let _ = env.sys(Sysno::close, [hot.ret as u64, 0, 0, 0, 0, 0]);
+        }
+
+        // Page-cache mapping, grown with mremap (fallback: mmap + copy).
+        let map = env.sys(Sysno::mmap, [0, 64 * 1024, 3, 0x22, u64::MAX, 0]);
+        if map.ret <= 0 {
+            return Err(Exit::Crash("cannot map page cache".into()));
+        }
+        let mut cache_addr = map.ret as u64;
+        let mut cache_len = 64 * 1024u64;
+
+        let statements = workload.requests();
+        for i in 0..statements {
+            // Journal for the transaction.
+            let j = env.sys_path(Sysno::openat, [0, 0, 0x40, 0, 0, 0], "/data/test.db-journal");
+            if j.ret < 0 {
+                env.fail("cannot create rollback journal");
+                break;
+            }
+            let jfd = j.ret as u64;
+            let w = env.sys_data(Sysno::write, [jfd, 0, 0, 0, 0, 0], vec![b'J'; 512]);
+            if w.ret <= 0 {
+                env.fail("journal write failed");
+            }
+            let _ = env.sys(Sysno::fsync, [jfd, 0, 0, 0, 0, 0]);
+
+            // Statement execution: seek + paged read/write on the db.
+            if env.sys(Sysno::lseek, [db_fd, u64::from(i % 8) * 1024, 0, 0, 0, 0]).ret < 0 {
+                env.fail("seek failed");
+                let _ = env.sys(Sysno::close, [jfd, 0, 0, 0, 0, 0]);
+                break;
+            }
+            let r = env.sys(Sysno::pread64, [db_fd, 0, 1024, 0, 0, 0]);
+            let w = env.sys_data(Sysno::pwrite64, [db_fd, 0, 0, 0, 0, 0], vec![b'P'; 1024]);
+            env.charge(80); // btree + VM work
+            let _ = env.sys(Sysno::fdatasync, [db_fd, 0, 0, 0, 0, 0]);
+
+            // Page verification (SQLite checksums its pages): seek back to
+            // the page just written and read it. Catches faked seeks,
+            // reads and writes alike — the data itself must round-trip.
+            if i % 4 == 0 {
+                let page_pos = u64::from(i % 8) * 1024 + 1024;
+                let back = env.sys(Sysno::lseek, [db_fd, page_pos, 0, 0, 0, 0]);
+                let check = env.sys(Sysno::read, [db_fd, 0, 1024, 0, 0, 0]);
+                let intact = back.ret as u64 == page_pos
+                    && check
+                        .payload
+                        .as_bytes()
+                        .is_some_and(|b| b.len() == 1024 && b.iter().all(|&x| x == b'P'));
+                if !intact {
+                    env.fail("database disk image is malformed");
+                }
+            }
+
+            // Commit: close + unlink the journal. A journal that cannot be
+            // removed would be replayed as a hot journal on next open —
+            // SQLite treats this as fatal I/O error.
+            let _ = env.sys(Sysno::close, [jfd, 0, 0, 0, 0, 0]);
+            if env
+                .sys_path(Sysno::unlink, [0; 6], "/data/test.db-journal")
+                .ret
+                < 0
+            {
+                env.fail("cannot delete journal: database left in hot state");
+                break;
+            }
+            // Commit is only durable once the journal is *really* gone: a
+            // faked unlink leaves a stale hot journal that would roll the
+            // committed transaction back on the next open.
+            let gone = env.sys_path(Sysno::stat, [0; 6], "/data/test.db-journal");
+            if gone.ret == 0 && gone.payload.as_u64().is_some() {
+                env.fail("stale hot journal after commit; refusing to continue");
+                break;
+            }
+
+            if r.ret >= 0 && w.ret > 0 {
+                env.record_response();
+            } else {
+                env.fail("statement I/O failed");
+            }
+
+            // Cache growth every 16 statements: mremap with mmap fallback.
+            if i % 16 == 15 {
+                let grown = env.sys(Sysno::mremap, [cache_addr, cache_len, cache_len * 2, 1, 0, 0]);
+                if grown.ret > 0 {
+                    cache_addr = grown.ret as u64;
+                    cache_len *= 2;
+                } else {
+                    // §5.2: "reallocating mappings with mmap when mremap
+                    // fails, as we observe in SQLite".
+                    let alt = env.sys(Sysno::mmap, [0, cache_len * 2, 3, 0x22, u64::MAX, 0]);
+                    if alt.ret > 0 {
+                        env.charge(cache_len / 256); // copy cost
+                        let _ = env.sys(Sysno::munmap, [cache_addr, cache_len, 0, 0, 0, 0]);
+                        cache_addr = alt.ret as u64;
+                        cache_len *= 2;
+                    }
+                }
+            }
+        }
+
+        if workload.checks_aux_features() {
+            // The test harness shells out to set up fixtures (the paper's
+            // Ruby-suite-calls-git example, §3.3): those syscalls belong
+            // to the helper binary and must stay out of SQLite's trace.
+            let _ = env.helper_sys(Sysno::clone, [0; 6]);
+            let _ = env.helper_sys(Sysno::execve, [0; 6]);
+            let _ = env.helper_sys(Sysno::getxattr, [0; 6]);
+            let _ = env.helper_sys(Sysno::sethostname, [0; 6]);
+            let _ = env.helper_sys(Sysno::wait4, [0; 6]);
+
+            // VACUUM / temp-file machinery.
+            let t = env.sys_path(Sysno::openat, [0, 0, 0x40, 0, 0, 0], "/tmp/etilqs_1");
+            if t.ret >= 0 {
+                let tfd = t.ret as u64;
+                let _ = env.sys(Sysno::ftruncate, [tfd, 4096, 0, 0, 0, 0]);
+                let _ = env.sys_data(Sysno::write, [tfd, 0, 0, 0, 0, 0], vec![0u8; 4096]);
+                let _ = env.sys(Sysno::close, [tfd, 0, 0, 0, 0, 0]);
+                let renamed = env.sys_path(Sysno::rename, [0; 6], "/tmp/etilqs_1").ret == 0;
+                env.feature("vacuum", renamed);
+            } else {
+                env.feature("vacuum", false);
+            }
+            let _ = env.sys(Sysno::madvise, [cache_addr, cache_len, 1, 0, 0, 0]);
+            let _ = env.sys_path(Sysno::stat, [0; 6], "/data/test.db");
+            let _ = env.sys0(Sysno::uname);
+            let _ = env.sys(Sysno::getdents64, [db_fd, 0, 0, 0, 0, 0]);
+        }
+
+        let _ = env.sys(Sysno::munmap, [cache_addr, cache_len, 0, 0, 0, 0]);
+        let _ = env.sys(Sysno::close, [db_fd, 0, 0, 0, 0, 0]);
+        libc.printf(env, "sqlite> .quit\n");
+        let _ = env.sys0(Sysno::exit_group);
+        Ok(())
+    }
+
+    fn code(&self) -> AppCode {
+        use Sysno as S;
+        AppCode::new()
+            .with_checked(&[
+                S::openat, S::open, S::read, S::write, S::pread64, S::pwrite64, S::lseek,
+                S::close, S::fstat, S::stat, S::access, S::unlink, S::fcntl, S::fsync,
+                S::fdatasync, S::ftruncate, S::mmap, S::munmap, S::mremap, S::brk, S::rename,
+                S::getcwd, S::flock, S::mkdir, S::rmdir,
+            ])
+            .with_unchecked(&[
+                S::getpid, S::geteuid, S::getuid, S::madvise, S::uname, S::getdents64,
+                S::exit_group, S::clock_gettime, S::gettimeofday, S::getrusage, S::utime,
+            ])
+            .with_binary_extra(&[
+                S::shmget, S::shmat, S::shmdt, S::nanosleep, S::readlink, S::statfs,
+                S::utimensat, S::getrandom,
+            ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(w: Workload) -> crate::model::AppOutcome {
+        let mut sim = LinuxSim::new();
+        let app = Sqlite::new();
+        app.provision(&mut sim);
+        let mut env = Env::new(&mut sim);
+        let res = app.run(&mut env, w);
+        let exit = match res {
+            Ok(()) => Exit::Clean,
+            Err(e) => e,
+        };
+        env.finish(exit)
+    }
+
+    #[test]
+    fn executes_all_statements() {
+        let out = run(Workload::Benchmark);
+        assert!(out.exit.is_clean());
+        assert_eq!(out.responses, 200);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn suite_exercises_vacuum() {
+        let out = run(Workload::TestSuite);
+        assert_eq!(out.features.get("vacuum"), Some(&true));
+    }
+}

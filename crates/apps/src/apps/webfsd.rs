@@ -1,0 +1,136 @@
+//! The webfsd model: a single-file static web server.
+//!
+//! Table 1 distinctive (Kerla step 10): the identity getters
+//! `getuid`/`getgid`/`geteuid`/`getegid` are on the *implement* list —
+//! webfsd refuses to serve without knowing who it runs as.
+
+use loupe_kernel::LinuxSim;
+use loupe_syscalls::Sysno;
+
+use crate::code::AppCode;
+use crate::env::Env;
+use crate::libc::{LibcFlavor, LibcRuntime};
+use crate::model::{AppKind, AppModel, AppSpec, Exit};
+use crate::runtime::{self, serve_requests, EventApi, ResponsePath, ServeCfg};
+use crate::workload::Workload;
+
+/// The webfsd web server.
+#[derive(Debug, Clone, Default)]
+pub struct Webfsd;
+
+impl Webfsd {
+    /// Creates the model.
+    pub fn new() -> Webfsd {
+        Webfsd
+    }
+}
+
+impl AppModel for Webfsd {
+    fn name(&self) -> &str {
+        "webfsd"
+    }
+
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "webfsd".into(),
+            version: "1.21".into(),
+            year: 2019,
+            port: Some(8000),
+            kind: AppKind::WebServer,
+            libc: LibcFlavor::GlibcDynamic,
+        }
+    }
+
+    fn provision(&self, sim: &mut LinuxSim) {
+        runtime::provision_base(sim);
+        sim.vfs.add_file("/srv/files/data.bin", vec![b'f'; 1024]);
+    }
+
+    fn run(&self, env: &mut Env<'_>, workload: Workload) -> Result<(), Exit> {
+        let _libc = LibcRuntime::init(env, LibcFlavor::GlibcDynamic)?;
+
+        // Identity sanity checks: webfsd aborts when it cannot tell who it
+        // is (all four getters checked and required).
+        for getter in [Sysno::getuid, Sysno::geteuid, Sysno::getgid, Sysno::getegid] {
+            if env.sys0(getter).ret < 0 {
+                return Err(Exit::Crash("cannot determine process identity".into()));
+            }
+        }
+        let _ = env.sys0(Sysno::getpid);
+
+        // Document root must exist.
+        let root = env.sys_path(Sysno::stat, [0; 6], "/srv/files");
+        if root.is_err() {
+            return Err(Exit::Crash("document root not accessible".into()));
+        }
+
+        let listen_fd = runtime::listen_socket(env, 8000, false, true)?;
+        let cfg = ServeCfg {
+            port: 8000,
+            listen_fd,
+            epoll_fd: None,
+            fallback_api: EventApi::Select,
+            read_syscall: Sysno::read,
+            response: ResponsePath::Sendfile {
+                content_fd_path: "/srv/files/data.bin",
+            },
+            response_len: 1024,
+            work_per_request: 25,
+            access_log_fd: None,
+            accept4: false,
+            close_every: 8,
+        };
+        serve_requests(env, &cfg, workload.requests(), |env, i, _| {
+            if i % 12 == 11 {
+                let _ = env.sys_path(Sysno::stat, [0; 6], "/srv/files/data.bin");
+            }
+            Ok(())
+        })?;
+
+        if workload.checks_aux_features() {
+            let dir = env.sys_path(Sysno::openat, [0; 6], "/srv/files");
+            if dir.ret >= 0 {
+                let l = env.sys(Sysno::getdents64, [dir.ret as u64, 0, 0, 0, 0, 0]);
+                env.feature("dir-index", l.ret >= 0);
+                let _ = env.sys(Sysno::close, [dir.ret as u64, 0, 0, 0, 0, 0]);
+            }
+        }
+
+        let _ = env.sys(Sysno::close, [listen_fd, 0, 0, 0, 0, 0]);
+        let _ = env.sys0(Sysno::exit_group);
+        Ok(())
+    }
+
+    fn code(&self) -> AppCode {
+        use Sysno as S;
+        AppCode::new()
+            .with_checked(&[
+                S::socket, S::bind, S::listen, S::accept, S::read, S::write, S::writev,
+                S::sendfile, S::close, S::openat, S::open, S::stat, S::fstat, S::select,
+                S::fcntl, S::getuid, S::geteuid, S::getgid, S::getegid, S::getdents64,
+                S::brk, S::mmap,
+            ])
+            .with_unchecked(&[
+                S::getpid, S::setsockopt, S::exit_group, S::rt_sigaction, S::gettimeofday,
+                S::umask, S::munmap,
+            ])
+            .with_binary_extra(&[S::setuid, S::setgid, S::chroot, S::chdir, S::lseek])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_files_via_sendfile() {
+        let mut sim = LinuxSim::new();
+        let app = Webfsd::new();
+        app.provision(&mut sim);
+        let mut env = Env::new(&mut sim);
+        app.run(&mut env, Workload::Benchmark).unwrap();
+        let out = env.finish(Exit::Clean);
+        assert_eq!(out.responses, 200);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+}

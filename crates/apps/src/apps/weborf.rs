@@ -1,0 +1,138 @@
+//! The Weborf model: a minimal static-file web server.
+//!
+//! Small syscall footprint; quirks from Table 1 (Kerla): `mprotect` is on
+//! the *implement* list (weborf's thread-stack guard pages are checked)
+//! and `prlimit64` is fakeable.
+
+use loupe_kernel::LinuxSim;
+use loupe_syscalls::Sysno;
+
+use crate::code::AppCode;
+use crate::env::Env;
+use crate::libc::{LibcFlavor, LibcRuntime};
+use crate::model::{AppKind, AppModel, AppSpec, Exit};
+use crate::runtime::{self, serve_requests, EventApi, ResponsePath, ServeCfg};
+use crate::workload::Workload;
+
+/// The Weborf web server.
+#[derive(Debug, Clone, Default)]
+pub struct Weborf;
+
+impl Weborf {
+    /// Creates the model.
+    pub fn new() -> Weborf {
+        Weborf
+    }
+}
+
+impl AppModel for Weborf {
+    fn name(&self) -> &str {
+        "weborf"
+    }
+
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "weborf".into(),
+            version: "0.17".into(),
+            year: 2020,
+            port: Some(8080),
+            kind: AppKind::WebServer,
+            libc: LibcFlavor::GlibcDynamic,
+        }
+    }
+
+    fn provision(&self, sim: &mut LinuxSim) {
+        runtime::provision_base(sim);
+        sim.vfs.add_file("/srv/web/index.html", vec![b'w'; 256]);
+    }
+
+    fn run(&self, env: &mut Env<'_>, workload: Workload) -> Result<(), Exit> {
+        let mut libc = LibcRuntime::init(env, LibcFlavor::GlibcDynamic)?;
+
+        // Thread pool with guard pages: mprotect is checked and fatal.
+        for _ in 0..2 {
+            let stack = env.sys(Sysno::mmap, [0, 256 * 1024, 3, 0x22, u64::MAX, 0]);
+            if stack.ret <= 0 {
+                return Err(Exit::Crash("cannot allocate thread stack".into()));
+            }
+            // The guard page must really be PROT_NONE: weborf re-reads
+            // the applied protection (as /proc/self/maps would show it).
+            let guard = env.sys(Sysno::mprotect, [stack.ret as u64, 4096, 0, 0, 0, 0]);
+            if guard.ret < 0 || guard.payload.as_u64() != Some(0) {
+                return Err(Exit::Crash("cannot install stack guard page".into()));
+            }
+            let _ = libc.start_thread(env);
+        }
+        // prlimit64 for the connection cap: safe default on failure.
+        runtime::tune_fd_limit(env, Sysno::prlimit64, 2048);
+
+        let listen_fd = runtime::listen_socket(env, 8080, false, true)?;
+        // weborf predates epoll in this configuration: poll-based loop.
+        let cfg = ServeCfg {
+            port: 8080,
+            listen_fd,
+            epoll_fd: None,
+            fallback_api: EventApi::Poll,
+            read_syscall: Sysno::read,
+            response: ResponsePath::Write,
+            response_len: 256,
+            work_per_request: 30,
+            access_log_fd: None,
+            accept4: false,
+            close_every: 8,
+        };
+        serve_requests(env, &cfg, workload.requests(), |env, i, _| {
+            if i % 8 == 7 {
+                let _ = env.sys_path(Sysno::stat, [0; 6], "/srv/web/index.html");
+            }
+            Ok(())
+        })?;
+
+        if workload.checks_aux_features() {
+            let dir = env.sys_path(Sysno::openat, [0; 6], "/srv/web");
+            if dir.ret >= 0 {
+                let l = env.sys(Sysno::getdents64, [dir.ret as u64, 0, 0, 0, 0, 0]);
+                env.feature("dir-listing", l.ret >= 0);
+                let _ = env.sys(Sysno::close, [dir.ret as u64, 0, 0, 0, 0, 0]);
+            }
+            let _ = env.sys0(Sysno::getuid);
+        }
+
+        let _ = env.sys(Sysno::close, [listen_fd, 0, 0, 0, 0, 0]);
+        let _ = env.sys0(Sysno::exit_group);
+        Ok(())
+    }
+
+    fn code(&self) -> AppCode {
+        use Sysno as S;
+        AppCode::new()
+            .with_checked(&[
+                S::socket, S::bind, S::listen, S::accept, S::read, S::write, S::close,
+                S::openat, S::open, S::stat, S::fstat, S::mmap, S::mprotect, S::brk, S::clone,
+                S::poll, S::fcntl, S::getdents64, S::futex,
+            ])
+            .with_unchecked(&[
+                S::getuid, S::getpid, S::setsockopt, S::prlimit64, S::getrlimit,
+                S::exit_group, S::clock_gettime, S::rt_sigaction, S::munmap,
+            ])
+            .with_binary_extra(&[S::setuid, S::setgid, S::chdir, S::chroot, S::sendfile])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_health_check_and_benchmark() {
+        for w in [Workload::HealthCheck, Workload::Benchmark] {
+            let mut sim = LinuxSim::new();
+            let app = Weborf::new();
+            app.provision(&mut sim);
+            let mut env = Env::new(&mut sim);
+            app.run(&mut env, w).unwrap();
+            let out = env.finish(Exit::Clean);
+            assert_eq!(out.responses, u64::from(w.requests()));
+        }
+    }
+}

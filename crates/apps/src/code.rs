@@ -1,0 +1,121 @@
+//! The static-analysis view of an application.
+//!
+//! Static analysers cannot run code; they see everything that is *present*:
+//! dead code, error paths, configuration branches that a given deployment
+//! never takes, plus — at the binary level — the whole reachable libc.
+//! [`AppCode`] captures that surface for each app model so the
+//! `loupe-static` analysers can reproduce the over-estimation the paper
+//! quantifies in Figs. 4 and 5.
+
+use std::collections::BTreeMap;
+
+use loupe_syscalls::{Sysno, SysnoSet};
+use serde::{Deserialize, Serialize};
+
+use crate::libc::LibcFlavor;
+
+/// The code-level (as opposed to behaviour-level) description of an app.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppCode {
+    /// Syscall wrappers invoked anywhere in the *application sources*:
+    /// everything the behaviour model can execute, plus error-handling and
+    /// configuration branches no standard workload reaches.
+    pub source_syscalls: SysnoSet,
+    /// Extra syscalls a *binary-level* analyser attributes to the app due
+    /// to over-approximated indirect calls and linked non-libc libraries
+    /// (the libc itself is added by the analyser from
+    /// [`LibcFlavor::code_superset`]).
+    pub binary_extra: SysnoSet,
+    /// For each wrapper used in the sources: does user code check the
+    /// return value? (Fig. 7's manual-inspection ground truth.)
+    pub return_checks: BTreeMap<Sysno, bool>,
+}
+
+impl AppCode {
+    /// Creates an empty code descriptor.
+    pub fn new() -> AppCode {
+        AppCode::default()
+    }
+
+    /// Adds syscalls present in the sources, all with checked returns.
+    pub fn with_checked(mut self, syscalls: &[Sysno]) -> AppCode {
+        for &s in syscalls {
+            self.source_syscalls.insert(s);
+            self.return_checks.insert(s, true);
+        }
+        self
+    }
+
+    /// Adds syscalls present in the sources whose returns are *not*
+    /// checked by user code.
+    pub fn with_unchecked(mut self, syscalls: &[Sysno]) -> AppCode {
+        for &s in syscalls {
+            self.source_syscalls.insert(s);
+            self.return_checks.insert(s, false);
+        }
+        self
+    }
+
+    /// Adds binary-level over-approximation extras.
+    pub fn with_binary_extra(mut self, syscalls: &[Sysno]) -> AppCode {
+        for &s in syscalls {
+            self.binary_extra.insert(s);
+        }
+        self
+    }
+
+    /// The set a source-level static analyser reports: application sources
+    /// plus the libc calls a source analyser resolves through headers.
+    pub fn source_view(&self, libc: LibcFlavor) -> SysnoSet {
+        // Source analysis sees the app code and the libc init calls that
+        // headers/crt0 pull in, but not the whole libc.
+        let mut set = self.source_syscalls.clone();
+        for (s, _) in libc.init_sequence() {
+            set.insert(s);
+        }
+        set.insert(Sysno::exit_group);
+        set
+    }
+
+    /// The set a binary-level static analyser reports: sources + linked
+    /// libc superset + indirect-call over-approximation.
+    pub fn binary_view(&self, libc: LibcFlavor) -> SysnoSet {
+        self.source_view(libc)
+            .union(&self.binary_extra)
+            .union(&libc.code_superset())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let code = AppCode::new()
+            .with_checked(&[Sysno::socket, Sysno::bind])
+            .with_unchecked(&[Sysno::close])
+            .with_binary_extra(&[Sysno::shmget]);
+        assert_eq!(code.source_syscalls.len(), 3);
+        assert_eq!(code.return_checks[&Sysno::socket], true);
+        assert_eq!(code.return_checks[&Sysno::close], false);
+        assert!(code.binary_extra.contains(Sysno::shmget));
+    }
+
+    #[test]
+    fn binary_view_is_superset_of_source_view() {
+        let code = AppCode::new().with_checked(&[Sysno::socket]);
+        let src = code.source_view(LibcFlavor::GlibcDynamic);
+        let bin = code.binary_view(LibcFlavor::GlibcDynamic);
+        assert!(src.is_subset(&bin));
+        assert!(bin.len() > src.len() + 50, "libc superset dominates");
+    }
+
+    #[test]
+    fn source_view_includes_init_sequence() {
+        let code = AppCode::new();
+        let src = code.source_view(LibcFlavor::GlibcDynamic);
+        assert!(src.contains(Sysno::arch_prctl));
+        assert!(src.contains(Sysno::exit_group));
+    }
+}

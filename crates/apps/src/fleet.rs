@@ -1,0 +1,631 @@
+//! The profile-generated application fleet.
+//!
+//! The paper's dataset holds 116 applications; twelve are modelled in
+//! detail in [`crate::apps`]. This module generates the remaining 104 from
+//! seeded profiles with realistic syscall mixes, so aggregate experiments
+//! (API importance, support plans, effort savings) run over a full-size
+//! population. Generation is deterministic: the same name always produces
+//! the same profile, which keeps replicated analyses and the shared
+//! database consistent.
+
+use loupe_kernel::LinuxSim;
+use loupe_syscalls::Sysno;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::code::AppCode;
+use crate::env::Env;
+use crate::libc::{LibcFlavor, LibcRuntime};
+use crate::model::{AppKind, AppModel, AppSpec, Exit};
+use crate::runtime::{
+    self, event_setup, listen_socket, locked_section, serve_requests, EventApi, ResponsePath,
+    ServeCfg,
+};
+use crate::workload::Workload;
+
+/// How a profile app reacts when one of its extra syscalls fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailMode {
+    /// Checked, fatal on error return — stub kills it, fake passes.
+    Fatal,
+    /// The call's *out-of-band result* is consumed — neither stub nor fake
+    /// works (required).
+    NeedsPayload,
+    /// Unchecked or explicitly tolerated — stubbable.
+    Ignore,
+    /// Failure disables a named optional feature — stubbable.
+    Feature(&'static str),
+}
+
+/// One extra syscall in a profile, with its failure semantics.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileCall {
+    /// The syscall issued.
+    pub sysno: Sysno,
+    /// Failure reaction.
+    pub mode: FailMode,
+    /// Issued at init (true) or every k-th request (false).
+    pub at_init: bool,
+}
+
+/// A generated application.
+#[derive(Debug, Clone)]
+pub struct ProfileApp {
+    name: &'static str,
+    kind: AppKind,
+    year: u32,
+    port: Option<u16>,
+    libc: LibcFlavor,
+    threads: bool,
+    privileges: bool,
+    logging: bool,
+    calls: Vec<ProfileCall>,
+    work_per_request: u64,
+    response: ResponsePath,
+}
+
+/// Syscalls whose failure the generated apps tolerate silently (§5.2's
+/// ignore-resilience pool).
+const IGNORE_POOL: &[Sysno] = &[
+    Sysno::sysinfo,
+    Sysno::getrusage,
+    Sysno::madvise,
+    Sysno::ioctl,
+    Sysno::uname,
+    Sysno::times,
+    Sysno::getpriority,
+    Sysno::sched_getaffinity,
+    Sysno::getcwd,
+    Sysno::umask,
+    Sysno::readlink,
+    Sysno::alarm,
+    Sysno::getppid,
+    Sysno::capget,
+    Sysno::utime,
+    Sysno::sched_yield,
+    Sysno::setpriority,
+    Sysno::mlock,
+    Sysno::getsid,
+    Sysno::getpgrp,
+    Sysno::sync,
+    Sysno::fadvise64,
+    Sysno::inotify_init1,
+    Sysno::getegid,
+    Sysno::getresuid,
+];
+
+/// Syscalls the generated apps check and abort on (fakeable, unstubbable).
+const FATAL_POOL: &[Sysno] = &[
+    Sysno::ftruncate,
+    Sysno::flock,
+    Sysno::eventfd2,
+    Sysno::timerfd_create,
+    Sysno::socketpair,
+    Sysno::dup,
+    Sysno::access,
+    Sysno::fdatasync,
+    Sysno::fsync,
+    Sysno::setsockopt,
+    Sysno::rt_sigaction,
+    Sysno::sigaltstack,
+    Sysno::set_tid_address,
+    Sysno::statfs,
+    Sysno::mincore,
+    Sysno::clock_getres,
+    Sysno::mknod,
+    Sysno::setitimer,
+];
+
+/// Syscalls whose payload the generated apps consume (required).
+const PAYLOAD_POOL: &[Sysno] = &[
+    Sysno::pread64,
+    Sysno::getrandom,
+    Sysno::pipe2,
+    Sysno::newfstatat,
+    Sysno::getdents64,
+    Sysno::clock_gettime,
+    Sysno::stat,
+    Sysno::fstat,
+    Sysno::uname,
+    Sysno::getcwd,
+    Sysno::sysinfo,
+    Sysno::getrusage,
+    Sysno::sched_getaffinity,
+    Sysno::clock_getres,
+    Sysno::getrlimit,
+    Sysno::prlimit64,
+    Sysno::socketpair,
+    Sysno::mincore,
+    Sysno::rt_sigtimedwait,
+    Sysno::gettimeofday,
+];
+
+/// Issues one payload-consuming call against real kernel objects (a file
+/// or directory fd where needed), returning the outcome to judge.
+fn issue_payload_call(env: &mut Env<'_>, sysno: Sysno) -> loupe_kernel::SysOutcome {
+    match sysno {
+        Sysno::pread64 => {
+            let f = env.sys_path(Sysno::openat, [0; 6], "/data/input.dat");
+            if f.ret < 0 {
+                return f;
+            }
+            let r = env.sys(Sysno::pread64, [f.ret as u64, 0, 512, 0, 0, 0]);
+            let _ = env.sys(Sysno::close, [f.ret as u64, 0, 0, 0, 0, 0]);
+            r
+        }
+        Sysno::getdents64 => {
+            let d = env.sys_path(Sysno::openat, [0; 6], "/etc");
+            if d.ret < 0 {
+                return d;
+            }
+            let r = env.sys(Sysno::getdents64, [d.ret as u64, 0, 1024, 0, 0, 0]);
+            let _ = env.sys(Sysno::close, [d.ret as u64, 0, 0, 0, 0, 0]);
+            r
+        }
+        Sysno::getrandom => env.sys(Sysno::getrandom, [0, 16, 0, 0, 0, 0]),
+        Sysno::stat | Sysno::newfstatat => env.sys_path(sysno, [0; 6], "/etc/hosts"),
+        s => env.sys(s, [1, 1, 1, 0, 0, 0]),
+    }
+}
+
+/// Feature-gated extras (failure turns a feature off).
+const FEATURE_POOL: &[(Sysno, &str)] = &[
+    (Sysno::chown, "ownership"),
+    (Sysno::fallocate, "preallocation"),
+    (Sysno::utimensat, "timestamps"),
+    (Sysno::symlink, "symlinks"),
+    (Sysno::fchmod, "permissions"),
+    (Sysno::mlockall, "memory-pinning"),
+    (Sysno::inotify_add_watch, "file-watching"),
+    (Sysno::setsid, "daemonization"),
+    (Sysno::nanosleep, "rate-limiting"),
+    (Sysno::msync, "durable-flush"),
+];
+
+/// `(name, kind)` for the 104 generated applications. Names follow the
+/// paper's sources (OpenBenchmarking.org, OSv-apps, Unikraft catalogs).
+pub const FLEET: &[(&str, AppKind)] = &[
+    ("postgres", AppKind::Database),
+    ("mysql", AppKind::Database),
+    ("mariadb", AppKind::Database),
+    ("influxdb", AppKind::Database),
+    ("couchdb", AppKind::Database),
+    ("cassandra", AppKind::Database),
+    ("leveldb-bench", AppKind::Database),
+    ("rocksdb-bench", AppKind::Database),
+    ("etcd", AppKind::KeyValue),
+    ("consul", AppKind::KeyValue),
+    ("keydb", AppKind::KeyValue),
+    ("ssdb", AppKind::KeyValue),
+    ("dragonfly", AppKind::KeyValue),
+    ("tarantool", AppKind::KeyValue),
+    ("aerospike", AppKind::KeyValue),
+    ("riak", AppKind::KeyValue),
+    ("caddy", AppKind::WebServer),
+    ("traefik", AppKind::WebServer),
+    ("tomcat", AppKind::WebServer),
+    ("jetty", AppKind::WebServer),
+    ("cherokee", AppKind::WebServer),
+    ("hiawatha", AppKind::WebServer),
+    ("monkey-httpd", AppKind::WebServer),
+    ("thttpd", AppKind::WebServer),
+    ("boa", AppKind::WebServer),
+    ("darkhttpd", AppKind::WebServer),
+    ("mini-httpd", AppKind::WebServer),
+    ("civetweb", AppKind::WebServer),
+    ("mongoose-ws", AppKind::WebServer),
+    ("uwsgi", AppKind::WebServer),
+    ("gunicorn", AppKind::WebServer),
+    ("puma", AppKind::WebServer),
+    ("unit", AppKind::WebServer),
+    ("openresty", AppKind::WebServer),
+    ("varnish", AppKind::Proxy),
+    ("squid", AppKind::Proxy),
+    ("envoy", AppKind::Proxy),
+    ("pgbouncer", AppKind::Proxy),
+    ("twemproxy", AppKind::Proxy),
+    ("dnsmasq", AppKind::Proxy),
+    ("bind9", AppKind::Proxy),
+    ("unbound", AppKind::Proxy),
+    ("coredns", AppKind::Proxy),
+    ("stunnel", AppKind::Proxy),
+    ("socat", AppKind::NetTool),
+    ("netperf", AppKind::NetTool),
+    ("nuttcp", AppKind::NetTool),
+    ("sockperf", AppKind::NetTool),
+    ("tcpdump", AppKind::NetTool),
+    ("nmap", AppKind::NetTool),
+    ("curl", AppKind::NetTool),
+    ("wget", AppKind::NetTool),
+    ("openssh-server", AppKind::NetTool),
+    ("mosquitto", AppKind::Queue),
+    ("rabbitmq", AppKind::Queue),
+    ("nats-server", AppKind::Queue),
+    ("zeromq-bench", AppKind::Queue),
+    ("beanstalkd", AppKind::Queue),
+    ("gearmand", AppKind::Queue),
+    ("nsqd", AppKind::Queue),
+    ("kafka-lite", AppKind::Queue),
+    ("activemq", AppKind::Queue),
+    ("python3", AppKind::Runtime),
+    ("node", AppKind::Runtime),
+    ("ruby", AppKind::Runtime),
+    ("perl", AppKind::Runtime),
+    ("php-fpm", AppKind::Runtime),
+    ("lua", AppKind::Runtime),
+    ("openjdk-app", AppKind::Runtime),
+    ("erlang-beam", AppKind::Runtime),
+    ("deno", AppKind::Runtime),
+    ("bun", AppKind::Runtime),
+    ("micropython", AppKind::Runtime),
+    ("guile", AppKind::Runtime),
+    ("tcl", AppKind::Runtime),
+    ("ffmpeg", AppKind::Utility),
+    ("imagemagick", AppKind::Utility),
+    ("graphicsmagick", AppKind::Utility),
+    ("gzip", AppKind::Utility),
+    ("zstd", AppKind::Utility),
+    ("xz", AppKind::Utility),
+    ("brotli", AppKind::Utility),
+    ("p7zip", AppKind::Utility),
+    ("openssl-speed", AppKind::Utility),
+    ("john-the-ripper", AppKind::Utility),
+    ("blender-bench", AppKind::Utility),
+    ("x264", AppKind::Utility),
+    ("x265", AppKind::Utility),
+    ("vpxenc", AppKind::Utility),
+    ("dav1d", AppKind::Utility),
+    ("rav1e", AppKind::Utility),
+    ("git", AppKind::Utility),
+    ("rsync", AppKind::Utility),
+    ("sqlite-bench", AppKind::Utility),
+    ("stress-ng", AppKind::Utility),
+    ("sysbench", AppKind::Utility),
+    ("fio", AppKind::Utility),
+    ("iozone", AppKind::Utility),
+    ("bonnie", AppKind::Utility),
+    ("dbench", AppKind::Utility),
+    ("pbzip2", AppKind::Utility),
+    ("lz4", AppKind::Utility),
+    ("jq", AppKind::Utility),
+    ("pandoc-lite", AppKind::Utility),
+];
+
+fn seed_of(name: &str) -> u64 {
+    // FNV-1a, stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl ProfileApp {
+    /// Generates the profile for `name` (deterministic in the name).
+    pub fn generate(name: &'static str, kind: AppKind, index: usize) -> ProfileApp {
+        let mut rng = StdRng::seed_from_u64(seed_of(name));
+        let is_server = !matches!(kind, AppKind::Utility) || rng.random_bool(0.2);
+        let mut calls = Vec::new();
+
+        let n_ignore = rng.random_range(4..=10);
+        for _ in 0..n_ignore {
+            let s = IGNORE_POOL[rng.random_range(0..IGNORE_POOL.len())];
+            calls.push(ProfileCall {
+                sysno: s,
+                mode: FailMode::Ignore,
+                at_init: rng.random_bool(0.6),
+            });
+        }
+        let n_fatal = rng.random_range(2..=6);
+        for _ in 0..n_fatal {
+            let s = FATAL_POOL[rng.random_range(0..FATAL_POOL.len())];
+            calls.push(ProfileCall {
+                sysno: s,
+                mode: FailMode::Fatal,
+                at_init: true,
+            });
+        }
+        let n_payload = rng.random_range(2..=6);
+        for _ in 0..n_payload {
+            let s = PAYLOAD_POOL[rng.random_range(0..PAYLOAD_POOL.len())];
+            calls.push(ProfileCall {
+                sysno: s,
+                mode: FailMode::NeedsPayload,
+                at_init: rng.random_bool(0.5),
+            });
+        }
+        let n_feature = rng.random_range(1..=4);
+        for _ in 0..n_feature {
+            let (s, f) = FEATURE_POOL[rng.random_range(0..FEATURE_POOL.len())];
+            calls.push(ProfileCall {
+                sysno: s,
+                mode: FailMode::Feature(f),
+                at_init: true,
+            });
+        }
+
+        ProfileApp {
+            name,
+            kind,
+            year: rng.random_range(2014..=2022),
+            port: is_server.then(|| 10000 + index as u16),
+            libc: if rng.random_bool(0.15) {
+                LibcFlavor::MuslDynamic
+            } else {
+                LibcFlavor::GlibcDynamic
+            },
+            threads: rng.random_bool(0.55),
+            privileges: is_server && rng.random_bool(0.35),
+            logging: is_server && rng.random_bool(0.5),
+            calls,
+            work_per_request: rng.random_range(30..=150),
+            response: match rng.random_range(0..3) {
+                0 => ResponsePath::Write,
+                1 => ResponsePath::Writev,
+                _ => ResponsePath::Sendto,
+            },
+        }
+    }
+
+    fn issue(&self, env: &mut Env<'_>, call: &ProfileCall) -> Result<(), Exit> {
+        let r = if call.mode == FailMode::NeedsPayload {
+            issue_payload_call(env, call.sysno)
+        } else {
+            match call.sysno {
+                Sysno::stat | Sysno::newfstatat | Sysno::access | Sysno::readlink => {
+                    env.sys_path(call.sysno, [0; 6], "/etc/hosts")
+                }
+                Sysno::statfs => env.sys_path(Sysno::statfs, [0; 6], "/"),
+                // flock needs a real file descriptor.
+                Sysno::flock => {
+                    let f = env.sys_path(Sysno::openat, [0; 6], "/data/input.dat");
+                    if f.ret < 0 {
+                        f
+                    } else {
+                        let r = env.sys(Sysno::flock, [f.ret as u64, 2, 0, 0, 0, 0]);
+                        let _ = env.sys(Sysno::close, [f.ret as u64, 0, 0, 0, 0, 0]);
+                        r
+                    }
+                }
+                s => env.sys(s, [1, 1, 1, 0, 0, 0]),
+            }
+        };
+        match call.mode {
+            FailMode::Ignore => Ok(()),
+            FailMode::Fatal => {
+                if r.ret < 0 {
+                    Err(Exit::Crash(format!("{}: {} failed", self.name, call.sysno.name())))
+                } else {
+                    Ok(())
+                }
+            }
+            FailMode::NeedsPayload => {
+                let has_payload = !matches!(r.payload, loupe_kernel::Payload::None);
+                if r.ret < 0 || !has_payload {
+                    Err(Exit::Crash(format!(
+                        "{}: no usable result from {}",
+                        self.name,
+                        call.sysno.name()
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            FailMode::Feature(f) => {
+                if r.ret < 0 {
+                    env.feature(f, false);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl AppModel for ProfileApp {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: self.name.to_owned(),
+            version: "1.0".into(),
+            year: self.year,
+            port: self.port,
+            kind: self.kind,
+            libc: self.libc,
+        }
+    }
+
+    fn provision(&self, sim: &mut LinuxSim) {
+        runtime::provision_base(sim);
+        sim.vfs.add_file("/data/input.dat", vec![0xab; 8192]);
+    }
+
+    fn run(&self, env: &mut Env<'_>, workload: Workload) -> Result<(), Exit> {
+        let mut libc = LibcRuntime::init(env, self.libc)?;
+
+        for call in self.calls.iter().filter(|c| c.at_init) {
+            self.issue(env, call)?;
+        }
+        if self.privileges {
+            runtime::drop_privileges(env, false)?;
+        }
+        if self.threads {
+            let _ = libc.start_thread(env);
+        }
+        let log_fd = if self.logging {
+            let r = env.sys_path(
+                Sysno::openat,
+                [0, 0, 0x440, 0, 0, 0],
+                "/var/log/app/access.log",
+            );
+            if r.ret >= 0 {
+                Some(r.ret as u64)
+            } else {
+                env.feature("logging", false);
+                None
+            }
+        } else {
+            None
+        };
+
+        let loop_calls: Vec<&ProfileCall> = self.calls.iter().filter(|c| !c.at_init).collect();
+        let n = workload.requests();
+
+        match self.port {
+            Some(port) => {
+                let listen_fd = listen_socket(env, port, false, true)?;
+                let ep = event_setup(env, EventApi::Epoll, &[listen_fd])?;
+                let cfg = ServeCfg {
+                    port,
+                    listen_fd,
+                    epoll_fd: ep,
+                    fallback_api: EventApi::Epoll,
+                    read_syscall: Sysno::read,
+                    response: self.response,
+                    response_len: 200,
+                    work_per_request: self.work_per_request,
+                    access_log_fd: log_fd,
+                    accept4: self.year >= 2012,
+                    close_every: 8,
+                };
+                let threads = self.threads;
+                serve_requests(env, &cfg, n, |env, i, _| {
+                    for (k, call) in loop_calls.iter().enumerate() {
+                        if i as usize % (3 + k) == 0 {
+                            self.issue(env, call)?;
+                        }
+                    }
+                    if threads && i % 6 == 5 && !locked_section(env, &mut libc, 0x8000, true) {
+                        env.charge(300);
+                        env.fail("lock corruption detected");
+                    }
+                    Ok(())
+                })?;
+            }
+            None => {
+                // Utility: process an input file per "request".
+                let f = env.sys_path(Sysno::openat, [0; 6], "/data/input.dat");
+                if f.ret < 0 {
+                    return Err(Exit::Crash("cannot open input".into()));
+                }
+                let fd = f.ret as u64;
+                for i in 0..n {
+                    let r = env.sys(Sysno::read, [fd, 0, 4096, 0, 0, 0]);
+                    env.charge(self.work_per_request);
+                    for (k, call) in loop_calls.iter().enumerate() {
+                        if i as usize % (3 + k) == 0 {
+                            self.issue(env, call)?;
+                        }
+                    }
+                    if self.threads && i % 6 == 5 && !locked_section(env, &mut libc, 0x8000, true)
+                    {
+                        env.charge(300);
+                        env.fail("lock corruption detected");
+                    }
+                    let w = env.sys_data(Sysno::write, [1, 0, 0, 0, 0, 0], vec![b'o'; 64]);
+                    if r.ret >= 0 && w.ret > 0 {
+                        env.record_response();
+                    } else {
+                        env.fail("pipeline I/O failed");
+                    }
+                    let _ = env.sys(Sysno::lseek, [fd, 0, 0, 0, 0, 0]);
+                }
+                let _ = env.sys(Sysno::close, [fd, 0, 0, 0, 0, 0]);
+            }
+        }
+
+        let _ = env.sys0(Sysno::exit_group);
+        Ok(())
+    }
+
+    fn code(&self) -> AppCode {
+        use Sysno as S;
+        let mut code = AppCode::new().with_checked(&[
+            S::openat, S::read, S::write, S::close, S::mmap, S::munmap, S::brk, S::fstat,
+            S::lseek, S::exit_group,
+        ]);
+        if self.port.is_some() {
+            code = code.with_checked(&[
+                S::socket, S::bind, S::listen, S::accept, S::accept4, S::fcntl,
+                S::epoll_create1, S::epoll_ctl, S::epoll_wait, S::writev, S::sendto,
+                S::setsockopt,
+            ]);
+        }
+        if self.threads {
+            code = code.with_checked(&[S::clone, S::futex, S::set_robust_list]);
+        }
+        if self.privileges {
+            code = code.with_checked(&[S::setuid, S::setgid, S::setgroups]);
+        }
+        for call in &self.calls {
+            let checked = !matches!(call.mode, FailMode::Ignore);
+            if checked {
+                code = code.with_checked(&[call.sysno]);
+            } else {
+                code = code.with_unchecked(&[call.sysno]);
+            }
+        }
+        // Dead/error-path extras every real binary carries.
+        code.with_binary_extra(&[
+            S::shmget, S::semget, S::msgget, S::personality, S::swapon, S::chroot,
+            S::setrlimit, S::getrlimit,
+        ])
+    }
+}
+
+/// Generates the full 104-app fleet.
+pub fn generate_fleet() -> Vec<ProfileApp> {
+    FLEET
+        .iter()
+        .enumerate()
+        .map(|(i, (name, kind))| ProfileApp::generate(name, *kind, i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_has_104_unique_names() {
+        let fleet = generate_fleet();
+        assert_eq!(fleet.len(), 104);
+        let names: std::collections::BTreeSet<_> = fleet.iter().map(|a| a.name).collect();
+        assert_eq!(names.len(), 104);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ProfileApp::generate("etcd", AppKind::KeyValue, 3);
+        let b = ProfileApp::generate("etcd", AppKind::KeyValue, 3);
+        assert_eq!(a.calls.len(), b.calls.len());
+        assert_eq!(a.year, b.year);
+        assert_eq!(a.threads, b.threads);
+    }
+
+    #[test]
+    fn every_fleet_app_runs_clean_on_the_full_kernel() {
+        for app in generate_fleet() {
+            let mut sim = LinuxSim::new();
+            app.provision(&mut sim);
+            let mut env = Env::new(&mut sim);
+            let res = app.run(&mut env, Workload::HealthCheck);
+            assert!(res.is_ok(), "{}: {:?}", app.name, res.err());
+            let out = env.finish(Exit::Clean);
+            assert!(out.responses >= 1, "{} produced no output", app.name);
+            assert!(out.failures.is_empty(), "{}: {:?}", app.name, out.failures);
+        }
+    }
+
+    #[test]
+    fn profiles_differ_between_apps() {
+        let a = ProfileApp::generate("postgres", AppKind::Database, 0);
+        let b = ProfileApp::generate("varnish", AppKind::Proxy, 1);
+        let sa: Vec<_> = a.calls.iter().map(|c| c.sysno).collect();
+        let sb: Vec<_> = b.calls.iter().map(|c| c.sysno).collect();
+        assert_ne!(sa, sb);
+    }
+}

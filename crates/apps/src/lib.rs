@@ -1,0 +1,37 @@
+//! Modelled applications for the Loupe reproduction.
+//!
+//! The paper measures 116 real Linux applications. Those binaries (and
+//! their Docker/test-suite harnesses) are not available here, so this crate
+//! provides the closest synthetic equivalent (see `DESIGN.md`):
+//!
+//! * **Detailed models** ([`apps`]) of the cloud applications the paper
+//!   analyses in depth — Nginx, Redis, Memcached, SQLite, HAProxy,
+//!   Lighttpd, Weborf, iPerf3, MongoDB, H2O, Apache httpd, webfsd — written
+//!   as imperative Rust against the simulated kernel, with per-syscall
+//!   failure-resilience logic transcribed from the behaviours the paper
+//!   documents (Fig. 6, §5.2, §5.3, Table 2).
+//! * **A profile-generated fleet** ([`fleet`]) filling the dataset out to
+//!   116 applications for the aggregate experiments (Fig. 3, support
+//!   plans).
+//! * **Libc models** ([`libc`]) — glibc/musl, dynamic/static, modern and
+//!   2003-era — whose init sequences reproduce Tables 3 and 4.
+//!
+//! Every model exposes three views: a *runnable* behaviour (`run`), a
+//! *static-analysis* view ([`code::AppCode`]: the syscalls present in
+//! source and binary, including dead and error-path code), and metadata
+//! (version/year/libc) used by the evolution experiments (Fig. 8).
+
+pub mod apps;
+pub mod code;
+pub mod env;
+pub mod fleet;
+pub mod libc;
+pub mod model;
+pub mod registry;
+pub mod runtime;
+pub mod workload;
+
+pub use code::AppCode;
+pub use env::Env;
+pub use model::{AppKind, AppModel, AppSpec, Exit};
+pub use workload::Workload;

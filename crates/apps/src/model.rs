@@ -1,0 +1,169 @@
+//! The application-model interface and its metadata types.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use loupe_kernel::LinuxSim;
+use serde::{Deserialize, Serialize};
+
+use crate::code::AppCode;
+use crate::env::Env;
+use crate::libc::LibcFlavor;
+use crate::workload::Workload;
+
+/// How an application run ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Exit {
+    /// Normal termination.
+    Clean,
+    /// The application aborted (e.g. a fatal error path like Fig. 6b's
+    /// `exit(2)` after `prctl` failure).
+    Crash(String),
+    /// The application stopped making progress (e.g. event loop starved).
+    Hung(String),
+}
+
+impl Exit {
+    /// Whether the run terminated normally.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, Exit::Clean)
+    }
+}
+
+impl fmt::Display for Exit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exit::Clean => write!(f, "clean exit"),
+            Exit::Crash(why) => write!(f, "crash: {why}"),
+            Exit::Hung(why) => write!(f, "hang: {why}"),
+        }
+    }
+}
+
+/// Broad application kind (used by the fleet generator and reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AppKind {
+    /// HTTP/web servers.
+    WebServer,
+    /// Key-value stores and caches.
+    KeyValue,
+    /// Databases.
+    Database,
+    /// Proxies and load balancers.
+    Proxy,
+    /// Network tools and benchmarks.
+    NetTool,
+    /// Message queues and brokers.
+    Queue,
+    /// Language runtimes and interpreters.
+    Runtime,
+    /// Command-line utilities.
+    Utility,
+}
+
+impl AppKind {
+    /// All kinds.
+    pub const ALL: &'static [AppKind] = &[
+        AppKind::WebServer,
+        AppKind::KeyValue,
+        AppKind::Database,
+        AppKind::Proxy,
+        AppKind::NetTool,
+        AppKind::Queue,
+        AppKind::Runtime,
+        AppKind::Utility,
+    ];
+}
+
+/// Static metadata about an application model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Application name (unique within the registry).
+    pub name: String,
+    /// Modelled release version.
+    pub version: String,
+    /// Release year (used by the evolution experiment, Fig. 8).
+    pub year: u32,
+    /// Listening port, for server applications.
+    pub port: Option<u16>,
+    /// Application kind.
+    pub kind: AppKind,
+    /// The libc the model is "linked" against.
+    pub libc: LibcFlavor,
+}
+
+/// The outcome of a complete application run, evaluated by test scripts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppOutcome {
+    /// How the run ended.
+    pub exit: Exit,
+    /// Responses verified end-to-end by the embedded test script.
+    pub responses: u64,
+    /// Virtual time elapsed during the run.
+    pub elapsed: u64,
+    /// Feature health flags recorded during the run
+    /// (e.g. `"access-logging" -> false` when the log stayed empty).
+    pub features: BTreeMap<String, bool>,
+    /// Application-detected failures (log lines a test script would grep).
+    pub failures: Vec<String>,
+}
+
+impl AppOutcome {
+    /// Throughput in responses per 1000 time units (the benchmark metric).
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed == 0 {
+            return 0.0;
+        }
+        self.responses as f64 * 1000.0 / self.elapsed as f64
+    }
+}
+
+/// A runnable application model.
+///
+/// Implementations are stateless: each analysis run calls [`AppModel::run`]
+/// on a fresh kernel, mirroring Loupe's containerised replicas (§3.1).
+pub trait AppModel: Send + Sync {
+    /// Application name.
+    fn name(&self) -> &str;
+
+    /// Static metadata.
+    fn spec(&self) -> AppSpec;
+
+    /// Pre-populates the filesystem (config files, content roots) before
+    /// the run — the Dockerfile analogue.
+    fn provision(&self, _sim: &mut LinuxSim) {}
+
+    /// Executes the application under `workload`. Returns `Err` for crash
+    /// or hang; `Ok(())` is a clean exit.
+    fn run(&self, env: &mut Env<'_>, workload: Workload) -> Result<(), Exit>;
+
+    /// The static-analysis view of the application's code.
+    fn code(&self) -> AppCode;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_display_and_predicates() {
+        assert!(Exit::Clean.is_clean());
+        assert!(!Exit::Crash("x".into()).is_clean());
+        assert_eq!(Exit::Crash("tls".into()).to_string(), "crash: tls");
+        assert_eq!(Exit::Hung("no events".into()).to_string(), "hang: no events");
+    }
+
+    #[test]
+    fn throughput_handles_zero_time() {
+        let o = AppOutcome {
+            exit: Exit::Clean,
+            responses: 10,
+            elapsed: 0,
+            features: BTreeMap::new(),
+            failures: vec![],
+        };
+        assert_eq!(o.throughput(), 0.0);
+        let o2 = AppOutcome { elapsed: 500, ..o };
+        assert!((o2.throughput() - 20.0).abs() < 1e-9);
+    }
+}

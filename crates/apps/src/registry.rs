@@ -1,0 +1,112 @@
+//! The application registry: the 116-app dataset plus named variants.
+
+use crate::apps::{
+    H2o, Haproxy, Hello, Httpd, Iperf3, Lighttpd, Memcached, MongoDb, Nginx, Redis, Sqlite,
+    Webfsd, Weborf,
+};
+use crate::fleet;
+use crate::libc::LibcFlavor;
+use crate::model::AppModel;
+
+/// The twelve hand-modelled applications.
+pub fn detailed() -> Vec<Box<dyn AppModel>> {
+    vec![
+        Box::new(Nginx::modern()),
+        Box::new(Redis::modern()),
+        Box::new(Memcached::new()),
+        Box::new(Sqlite::new()),
+        Box::new(Haproxy::new()),
+        Box::new(Lighttpd::new()),
+        Box::new(Weborf::new()),
+        Box::new(Iperf3::new()),
+        Box::new(MongoDb::new()),
+        Box::new(H2o::new()),
+        Box::new(Httpd::modern()),
+        Box::new(Webfsd::new()),
+    ]
+}
+
+/// The full 116-application dataset (12 detailed + 104 generated), the
+/// population behind Fig. 3 and the support-plan experiments.
+pub fn dataset() -> Vec<Box<dyn AppModel>> {
+    let mut apps = detailed();
+    for app in fleet::generate_fleet() {
+        apps.push(Box::new(app));
+    }
+    apps
+}
+
+/// The 15 popular cloud applications used in Table 1's support plans:
+/// the 12 detailed models plus three cloud-infrastructure apps from the
+/// fleet.
+pub fn cloud_apps() -> Vec<Box<dyn AppModel>> {
+    let mut apps = detailed();
+    for target in ["etcd", "postgres", "mosquitto"] {
+        let app = fleet::generate_fleet()
+            .into_iter()
+            .find(|a| a.name() == target)
+            .expect("fleet contains the cloud extras");
+        apps.push(Box::new(app));
+    }
+    apps
+}
+
+/// Version/libc variants used by the evolution experiments (Fig. 8,
+/// Table 3) and the hello-world matrix (Table 4). Not part of the
+/// 116-app dataset.
+pub fn variants() -> Vec<Box<dyn AppModel>> {
+    let mut v: Vec<Box<dyn AppModel>> = vec![
+        Box::new(Nginx::legacy()),
+        Box::new(Nginx::legacy_32bit()),
+        Box::new(Redis::legacy()),
+        Box::new(Httpd::legacy()),
+    ];
+    for hello in Hello::table4_matrix() {
+        v.push(Box::new(hello));
+    }
+    v.push(Box::new(Hello::new(LibcFlavor::OldGlibc32)));
+    v
+}
+
+/// Looks an application up by name across the dataset and the variants.
+pub fn find(name: &str) -> Option<Box<dyn AppModel>> {
+    dataset()
+        .into_iter()
+        .chain(variants())
+        .find(|a| a.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_holds_116_unique_apps() {
+        let apps = dataset();
+        assert_eq!(apps.len(), 116);
+        let names: std::collections::BTreeSet<_> =
+            apps.iter().map(|a| a.name().to_owned()).collect();
+        assert_eq!(names.len(), 116);
+    }
+
+    #[test]
+    fn cloud_apps_hold_15() {
+        assert_eq!(cloud_apps().len(), 15);
+    }
+
+    #[test]
+    fn find_resolves_detailed_fleet_and_variant_names() {
+        assert!(find("nginx").is_some());
+        assert!(find("etcd").is_some());
+        assert!(find("nginx-0.3.19-glibc2.3.2").is_some());
+        assert!(find("hello-musl-static").is_some());
+        assert!(find("no-such-app").is_none());
+    }
+
+    #[test]
+    fn specs_are_consistent_with_names() {
+        for app in dataset() {
+            assert_eq!(app.spec().name, app.name());
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! Shared application runtime: the building blocks the detailed app models
+//! are written in.
+//!
+//! Each helper encodes one of the failure-resilience idioms the paper
+//! catalogues in §5.2 (ignore / alternative syscall / safe default /
+//! disable feature / abort), so that the Loupe engine's stub and fake runs
+//! produce the same classifications the authors observed on real software.
+
+use bytes::Bytes;
+use loupe_kernel::LinuxSim;
+use loupe_syscalls::Sysno;
+
+use crate::env::Env;
+use crate::libc::{LibcRuntime, LockOutcome};
+use crate::model::Exit;
+
+/// Pre-populates the VFS with the files every dynamically linked
+/// application needs (the base-image half of the paper's Dockerfiles).
+pub fn provision_base(sim: &mut LinuxSim) {
+    sim.vfs.add_file("/lib/libc.so.6", vec![0x7f; 2048]);
+    sim.vfs.add_file("/etc/passwd", b"root:x:0:0::/root:/bin/sh\n".to_vec());
+    sim.vfs.add_file("/etc/group", b"root:x:0:\n".to_vec());
+    sim.vfs.add_file("/etc/hosts", b"127.0.0.1 localhost\n".to_vec());
+    sim.vfs.add_file("/etc/resolv.conf", b"nameserver 127.0.0.1\n".to_vec());
+    sim.vfs.add_file("/etc/localtime", vec![0x54; 128]);
+    sim.vfs.mkdir("/var/log");
+    sim.vfs.mkdir("/var/run");
+    sim.vfs.mkdir("/tmp");
+}
+
+/// Which readiness API a server uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventApi {
+    /// `epoll_create1` (modern), falling back to `epoll_create`.
+    Epoll,
+    /// `poll(2)`.
+    Poll,
+    /// `select(2)`.
+    Select,
+}
+
+/// How the server writes responses (§5.6: the paper distinguishes `write`
+/// vs `writev` payload paths; Table 2 relies on Nginx logging via `write`
+/// but answering via `writev`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponsePath {
+    /// `write(2)`.
+    Write,
+    /// `writev(2)`.
+    Writev,
+    /// `sendto(2)`.
+    Sendto,
+    /// `sendfile(2)` from a content file, with `writev` for headers.
+    Sendfile {
+        /// VFS path of the file served.
+        content_fd_path: &'static str,
+    },
+}
+
+/// Creates, binds and configures the listening socket.
+///
+/// # Errors
+///
+/// `socket`/`bind`/`listen` failures are fatal (§5.2: fundamental features
+/// that can "almost never" be stubbed or faked). The non-blocking setup is
+/// fatal only when `nonblock_fatal` is set (F_SETFL is required by every
+/// app in the paper's dataset except Nginx, which uses `ioctl(FIONBIO)`).
+pub fn listen_socket(
+    env: &mut Env<'_>,
+    port: u16,
+    nonblock_via_ioctl: bool,
+    nonblock_fatal: bool,
+) -> Result<u64, Exit> {
+    let r = env.sys(Sysno::socket, [2, 1, 0, 0, 0, 0]);
+    if r.ret < 0 {
+        return Err(Exit::Crash("socket() failed".into()));
+    }
+    let fd = r.ret as u64;
+    let r = env.sys(Sysno::setsockopt, [fd, 1, 2, 1, 0, 0]); // SO_REUSEADDR
+    if r.is_err() {
+        env.feature("so-reuseaddr", false); // non-fatal tuning
+    }
+    if env.sys(Sysno::bind, [fd, port as u64, 0, 0, 0, 0]).ret < 0 {
+        return Err(Exit::Crash(format!("bind() to port {port} failed")));
+    }
+    if env.sys(Sysno::listen, [fd, 511, 0, 0, 0, 0]).ret < 0 {
+        return Err(Exit::Crash("listen() failed".into()));
+    }
+    let nb = if nonblock_via_ioctl {
+        env.sys(Sysno::ioctl, [fd, 0x5421 /* FIONBIO */, 1, 0, 0, 0])
+    } else {
+        env.sys(Sysno::fcntl, [fd, 4 /* F_SETFL */, 0x800, 0, 0, 0])
+    };
+    if nb.ret < 0 && nonblock_fatal {
+        return Err(Exit::Crash("cannot set O_NONBLOCK on listener".into()));
+    }
+    // Close-on-exec hardening: universally attempted, never checked
+    // (§5.4: F_SETFD is widely executed and always stubbable).
+    let _ = env.sys(Sysno::fcntl, [fd, 2 /* F_SETFD */, 1, 0, 0, 0]);
+    if !nonblock_via_ioctl && nonblock_fatal {
+        // libevent-style verification: read the flags back. A *faked*
+        // F_SETFL leaves the socket blocking, which would deadlock the
+        // event loop — this is what makes F_SETFL a required sub-feature
+        // (§5.4) while F_SETFD stays stubbable.
+        let flags = env.sys(Sysno::fcntl, [fd, 3 /* F_GETFL */, 0, 0, 0, 0]);
+        if flags.ret < 0 || flags.ret as u64 & 0x800 == 0 {
+            return Err(Exit::Crash("listener did not enter non-blocking mode".into()));
+        }
+    }
+    Ok(fd)
+}
+
+/// Sets up the readiness mechanism and registers `fds`.
+///
+/// # Errors
+///
+/// Event-driven servers cannot run without their readiness API: failures
+/// are fatal crashes, mirroring how real servers abort when
+/// `epoll_create` fails.
+pub fn event_setup(env: &mut Env<'_>, api: EventApi, fds: &[u64]) -> Result<Option<u64>, Exit> {
+    match api {
+        EventApi::Epoll => {
+            let mut r = env.sys(Sysno::epoll_create1, [0; 6]);
+            if r.ret < 0 {
+                // Alternative-syscall resilience: fall back to the legacy
+                // epoll_create (§5.2 "using other system calls").
+                r = env.sys(Sysno::epoll_create, [16, 0, 0, 0, 0, 0]);
+            }
+            if r.ret < 0 {
+                return Err(Exit::Crash("no usable event notification mechanism".into()));
+            }
+            let ep = r.ret as u64;
+            for &fd in fds {
+                if env.sys(Sysno::epoll_ctl, [ep, 1, fd, 0, 0, 0]).ret < 0 {
+                    return Err(Exit::Crash("epoll_ctl(ADD) failed".into()));
+                }
+            }
+            Ok(Some(ep))
+        }
+        EventApi::Poll | EventApi::Select => Ok(None),
+    }
+}
+
+/// Queries the fd limit and sizes the client table (Fig. 6a: Redis).
+///
+/// Returns the configured max-clients. On getter failure the application
+/// logs a warning and adopts a conservative default — the safe-default
+/// resilience that makes `getrlimit`/`prlimit64` stubbable.
+pub fn tune_fd_limit(env: &mut Env<'_>, getter: Sysno, want: u64) -> u64 {
+    let r = match getter {
+        Sysno::prlimit64 => env.sys(Sysno::prlimit64, [0, 7, 0, 0, 0, 0]),
+        _ => env.sys(Sysno::getrlimit, [7, 0, 0, 0, 0, 0]),
+    };
+    match r.payload {
+        loupe_kernel::Payload::Pair(cur, max) if !r.is_err() => {
+            if cur < want && want <= max {
+                // Try to raise the soft limit; ignore failure.
+                let raised = match getter {
+                    Sysno::prlimit64 => env.sys(Sysno::prlimit64, [0, 7, want, max, 0, 0]),
+                    _ => env.sys(Sysno::setrlimit, [7, want, max, 0, 0, 0]),
+                };
+                if !raised.is_err() {
+                    return want - 32;
+                }
+            }
+            cur.saturating_sub(32).min(want)
+        }
+        _ => {
+            // "Unable to obtain the current NOFILE limit, assuming 1024".
+            env.feature("fd-limit-tuning", false);
+            1024 - 32
+        }
+    }
+}
+
+/// Drops root privileges the way the server apps do (Fig. 6b: Nginx).
+///
+/// # Errors
+///
+/// Each step *checks* its return value and treats failure as fatal —
+/// which is why these syscalls cannot be stubbed but *can* be faked
+/// (success without effect is harmless without a user/kernel boundary).
+pub fn drop_privileges(env: &mut Env<'_>, keepcaps: bool) -> Result<(), Exit> {
+    if keepcaps {
+        let r = env.sys(Sysno::prctl, [8 /* PR_SET_KEEPCAPS */, 1, 0, 0, 0, 0]);
+        if r.ret < 0 {
+            return Err(Exit::Crash("prctl(PR_SET_KEEPCAPS, 1) failed".into()));
+        }
+    }
+    if env.sys(Sysno::setgroups, [0, 0, 0, 0, 0, 0]).ret < 0 {
+        return Err(Exit::Crash("setgroups() failed".into()));
+    }
+    if env.sys(Sysno::setgid, [33, 0, 0, 0, 0, 0]).ret < 0 {
+        return Err(Exit::Crash("setgid(www-data) failed".into()));
+    }
+    if env.sys(Sysno::setuid, [33, 0, 0, 0, 0, 0]).ret < 0 {
+        return Err(Exit::Crash("setuid(www-data) failed".into()));
+    }
+    Ok(())
+}
+
+/// Reads a pseudo-file (`/proc`, `/sys`, `/dev`) the way applications
+/// probe kernel tunables at startup: open → read → close. Returns whether
+/// usable content came back; callers treat failure with ignore- or
+/// feature-resilience (§3.3).
+pub fn read_pseudo(env: &mut Env<'_>, open_sys: Sysno, path: &str) -> bool {
+    let f = env.sys_path(open_sys, [0; 6], path);
+    if f.ret < 0 {
+        return false;
+    }
+    let fd = f.ret as u64;
+    let r = env.sys(Sysno::read, [fd, 0, 256, 0, 0, 0]);
+    let _ = env.sys(Sysno::close, [fd, 0, 0, 0, 0, 0]);
+    r.ret >= 0 && r.payload.as_bytes().is_some()
+}
+
+/// Standard daemon housekeeping: new session, umask, pid file. All
+/// failure-oblivious (ignore-resilience, §5.2).
+pub fn daemonize(env: &mut Env<'_>, open_sys: Sysno, pidfile: &str) {
+    let _ = env.sys0(Sysno::setsid);
+    let _ = env.sys(Sysno::umask, [0o022, 0, 0, 0, 0, 0]);
+    let r = env.sys_path(open_sys, [0, 0, 0x40 /* O_CREAT */, 0, 0, 0], pidfile);
+    if r.ret >= 0 {
+        let fd = r.ret as u64;
+        let _ = env.sys_data(Sysno::write, [fd, 0, 0, 0, 0, 0], &b"4242\n"[..]);
+        let _ = env.sys(Sysno::close, [fd, 0, 0, 0, 0, 0]);
+    }
+}
+
+/// Configuration for the request-serving loop.
+#[derive(Debug, Clone)]
+pub struct ServeCfg {
+    /// Listening port.
+    pub port: u16,
+    /// Listener fd (from [`listen_socket`]).
+    pub listen_fd: u64,
+    /// epoll fd (from [`event_setup`]), `None` for poll/select servers.
+    pub epoll_fd: Option<u64>,
+    /// Which API detects readiness when `epoll_fd` is `None`.
+    pub fallback_api: EventApi,
+    /// Which syscall reads requests (`read` for modern apps, `recvfrom` for
+    /// older socket-API code).
+    pub read_syscall: Sysno,
+    /// How responses reach the client.
+    pub response: ResponsePath,
+    /// Response body size in bytes.
+    pub response_len: usize,
+    /// Application compute per request, in time units.
+    pub work_per_request: u64,
+    /// Access-log fd: one `write` per request when set (Table 2's Nginx
+    /// `write` row).
+    pub access_log_fd: Option<u64>,
+    /// Whether to use `accept4` (modern) or `accept` (older apps).
+    pub accept4: bool,
+    /// Keep-alive depth: requests served per client connection before it
+    /// is closed (benchmark clients reuse connections).
+    pub close_every: u32,
+}
+
+/// Per-request hook outcome for [`serve_requests`].
+pub type HookResult = Result<(), Exit>;
+
+/// Drives `n` end-to-end requests: the embedded test script connects a
+/// client, the application accepts/reads/responds through the (interposed)
+/// kernel, and the script verifies the bytes actually arrived.
+///
+/// Returns the number of *verified* responses, also recorded in the env.
+///
+/// # Errors
+///
+/// Propagates crash/hang decisions from the application hook, and declares
+/// the application [`Exit::Hung`] when its event loop stops seeing events
+/// entirely (the paper's "unresponsiveness" failure sign, §3.2).
+pub fn serve_requests(
+    env: &mut Env<'_>,
+    cfg: &ServeCfg,
+    n: u32,
+    mut per_request: impl FnMut(&mut Env<'_>, u32, u64) -> HookResult,
+) -> Result<u64, Exit> {
+    let mut served = 0u64;
+    let mut loop_starved = 0u32;
+    let request = Bytes::from_static(b"GET / HTTP/1.1\r\nHost: localhost\r\n\r\n");
+    let keep_alive = cfg.close_every.max(1);
+    // Live (client-conn, app-fd) pair while a keep-alive batch is open.
+    let mut live: Option<(loupe_kernel::net::ConnId, u64)> = None;
+    for i in 0..n {
+        // ---- test-script side: connect (or reuse) and send a request ----
+        let (conn, known_fd) = match live {
+            Some((conn, fd)) => (conn, Some(fd)),
+            None => {
+                let Some(conn) = env.host_mut().connect(cfg.port) else {
+                    env.fail("connection refused");
+                    break;
+                };
+                (conn, None)
+            }
+        };
+        env.host_mut().send(conn, request.clone());
+
+        // ---- application side ----
+        let ready = match cfg.epoll_fd {
+            Some(ep) => env.sys(Sysno::epoll_wait, [ep, 0, 64, 0, 0, 0]).ret,
+            None => match cfg.fallback_api {
+                EventApi::Select => env.sys(Sysno::select, [64, 0, 0, 0, 0, 0]).ret,
+                _ => env.sys(Sysno::poll, [0, 1, 100, 0, 0, 0]).ret,
+            },
+        };
+        if ready <= 0 {
+            loop_starved += 1;
+            if loop_starved >= 3 {
+                return Err(Exit::Hung("event loop sees no events".into()));
+            }
+            continue;
+        }
+        loop_starved = 0;
+
+        let cfd = match known_fd {
+            Some(fd) => fd,
+            None => {
+                let acc = if cfg.accept4 {
+                    env.sys(Sysno::accept4, [cfg.listen_fd, 0, 0, 0x800, 0, 0])
+                } else {
+                    env.sys(Sysno::accept, [cfg.listen_fd, 0, 0, 0, 0, 0])
+                };
+                if acc.ret < 0 {
+                    env.fail("accept failed");
+                    if env.failure_count() > 3 {
+                        return Err(Exit::Hung("cannot accept connections".into()));
+                    }
+                    continue;
+                }
+                let fd = acc.ret as u64;
+                // Register the accepted connection for readiness (keep-
+                // alive requests arrive on it, not on the listener).
+                if let Some(ep) = cfg.epoll_fd {
+                    let _ = env.sys(Sysno::epoll_ctl, [ep, 1, fd, 0, 0, 0]);
+                }
+                live = Some((conn, fd));
+                fd
+            }
+        };
+
+        let req = env.sys(cfg.read_syscall, [cfd, 0, 4096, 0, 0, 0]);
+        if req.ret <= 0 {
+            env.fail("empty request read");
+            let _ = env.sys(Sysno::close, [cfd, 0, 0, 0, 0, 0]);
+            live = None;
+            continue;
+        }
+
+        env.charge(cfg.work_per_request);
+        per_request(env, i, cfd)?;
+
+        // Access log line (ignore-resilience: failure only degrades the
+        // logging feature, Table 2).
+        if let Some(log_fd) = cfg.access_log_fd {
+            let line = b"127.0.0.1 - - \"GET /\" 200 612\n";
+            let w = env.sys_data(Sysno::write, [log_fd, 0, 0, 0, 0, 0], &line[..]);
+            if w.ret < line.len() as i64 {
+                env.feature("access-logging", false);
+            }
+        }
+
+        // Response.
+        let body = vec![b'X'; cfg.response_len];
+        let sent = match cfg.response {
+            ResponsePath::Write => env.sys_data(Sysno::write, [cfd, 0, 0, 0, 0, 0], body),
+            ResponsePath::Writev => env.sys_data(Sysno::writev, [cfd, 0, 0, 0, 0, 0], body),
+            ResponsePath::Sendto => env.sys_data(Sysno::sendto, [cfd, 0, 0, 0, 0, 0], body),
+            ResponsePath::Sendfile { content_fd_path } => {
+                let header = env.sys_data(
+                    Sysno::writev,
+                    [cfd, 0, 0, 0, 0, 0],
+                    &b"HTTP/1.1 200 OK\r\n\r\n"[..],
+                );
+                if header.ret < 0 {
+                    header
+                } else {
+                    let f = env.sys_path(Sysno::openat, [0; 6], content_fd_path);
+                    if f.ret < 0 {
+                        f
+                    } else {
+                        let ffd = f.ret as u64;
+                        let out =
+                            env.sys(Sysno::sendfile, [cfd, ffd, 0, cfg.response_len as u64, 0, 0]);
+                        let _ = env.sys(Sysno::close, [ffd, 0, 0, 0, 0, 0]);
+                        out
+                    }
+                }
+            }
+        };
+        if sent.ret < 0 {
+            env.fail("response write failed");
+        }
+
+        // Keep-alive: close the connection only at batch boundaries.
+        let batch_done = (i + 1) % keep_alive == 0 || i + 1 == n;
+        if batch_done {
+            let _ = env.sys(Sysno::close, [cfd, 0, 0, 0, 0, 0]);
+            live = None;
+        }
+
+        // ---- test-script side: verify the bytes arrived ----
+        let mut got = 0usize;
+        while let Some(chunk) = env.host_mut().recv(conn) {
+            got += chunk.len();
+        }
+        if got > 0 {
+            env.record_response();
+            served += 1;
+        } else {
+            env.fail("client received no response");
+        }
+        if batch_done {
+            env.host_mut().close(conn);
+        }
+    }
+    Ok(served)
+}
+
+/// A contended pthread lock round-trip with corruption accounting: the
+/// Redis/Table 2 `futex` dynamics.
+///
+/// `contended` forces the slow path (another logical thread holds the
+/// lock). Returns `true` if the critical section was entered consistently.
+pub fn locked_section(
+    env: &mut Env<'_>,
+    libc: &mut LibcRuntime,
+    addr: u64,
+    contended: bool,
+) -> bool {
+    if contended {
+        env.mem_store(addr, 1);
+    }
+    let outcome = libc.lock(env, addr);
+    let consistent = outcome != LockOutcome::Corrupted;
+    // Critical section work.
+    env.charge(5);
+    libc.unlock(env, addr);
+    consistent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loupe_kernel::{Kernel, LinuxSim};
+
+    #[test]
+    fn provision_base_adds_loader_files() {
+        let mut sim = LinuxSim::new();
+        provision_base(&mut sim);
+        assert!(sim.vfs.exists("/lib/libc.so.6"));
+        assert!(sim.vfs.exists("/etc/passwd"));
+    }
+
+    #[test]
+    fn listen_socket_happy_path() {
+        let mut sim = LinuxSim::new();
+        let mut env = Env::new(&mut sim);
+        let fd = listen_socket(&mut env, 8080, false, true).unwrap();
+        assert!(fd >= 3);
+        drop(env);
+        assert!(sim.host_mut().connect(8080).is_some());
+    }
+
+    #[test]
+    fn serve_requests_end_to_end() {
+        let mut sim = LinuxSim::new();
+        provision_base(&mut sim);
+        let mut env = Env::new(&mut sim);
+        let lfd = listen_socket(&mut env, 8080, false, true).unwrap();
+        let ep = event_setup(&mut env, EventApi::Epoll, &[lfd]).unwrap();
+        let cfg = ServeCfg {
+            port: 8080,
+            listen_fd: lfd,
+            epoll_fd: ep,
+            fallback_api: EventApi::Epoll,
+            response: ResponsePath::Writev,
+            response_len: 612,
+            work_per_request: 50,
+            access_log_fd: None,
+            accept4: true,
+            close_every: 8,
+            read_syscall: Sysno::read,
+        };
+        let served = serve_requests(&mut env, &cfg, 10, |_, _, _| Ok(())).unwrap();
+        assert_eq!(served, 10);
+        assert_eq!(env.responses(), 10);
+        assert_eq!(env.failure_count(), 0);
+    }
+
+    #[test]
+    fn access_log_writes_to_file() {
+        let mut sim = LinuxSim::new();
+        provision_base(&mut sim);
+        let mut env = Env::new(&mut sim);
+        let lfd = listen_socket(&mut env, 80, true, false).unwrap();
+        let ep = event_setup(&mut env, EventApi::Epoll, &[lfd]).unwrap();
+        let log = env
+            .sys_path(Sysno::openat, [0, 0, 0x440, 0, 0, 0], "/var/log/access.log")
+            .ret as u64;
+        let cfg = ServeCfg {
+            port: 80,
+            listen_fd: lfd,
+            epoll_fd: ep,
+            fallback_api: EventApi::Epoll,
+            response: ResponsePath::Writev,
+            response_len: 128,
+            work_per_request: 50,
+            access_log_fd: Some(log),
+            accept4: true,
+            close_every: 8,
+            read_syscall: Sysno::read,
+        };
+        serve_requests(&mut env, &cfg, 5, |_, _, _| Ok(())).unwrap();
+        drop(env);
+        assert!(sim.vfs.size("/var/log/access.log").unwrap() > 0);
+    }
+
+    #[test]
+    fn tune_fd_limit_uses_kernel_values_and_defaults() {
+        let mut sim = LinuxSim::new();
+        let mut env = Env::new(&mut sim);
+        let got = tune_fd_limit(&mut env, Sysno::prlimit64, 10000);
+        assert_eq!(got, 10000 - 32, "raised within hard limit");
+    }
+
+    #[test]
+    fn drop_privileges_succeeds_on_full_kernel() {
+        let mut sim = LinuxSim::new();
+        let mut env = Env::new(&mut sim);
+        drop_privileges(&mut env, true).unwrap();
+        assert_eq!(env.sys0(Sysno::geteuid).ret, 33);
+    }
+
+    #[test]
+    fn locked_section_consistent_on_real_kernel() {
+        let mut sim = LinuxSim::new();
+        provision_base(&mut sim);
+        let mut env = Env::new(&mut sim);
+        let mut libc =
+            LibcRuntime::init(&mut env, crate::libc::LibcFlavor::GlibcDynamic).unwrap();
+        assert!(locked_section(&mut env, &mut libc, 0x2000, false));
+        assert!(locked_section(&mut env, &mut libc, 0x2000, true));
+    }
+}

@@ -1,0 +1,84 @@
+//! Workloads: what the test script exercises (§3.2).
+//!
+//! Each workload corresponds to a different level of application-stability
+//! guarantee: a health check shows the app boots and answers once, a
+//! benchmark exercises the hot path under load, and a test suite covers the
+//! broader feature set (and thus traces more system calls — Fig. 4 shows
+//! suites requiring roughly twice the syscalls of benchmarks).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The workload driven by a test script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// A single end-to-end probe ("can the server answer one request?").
+    HealthCheck,
+    /// A standard performance benchmark (`wrk`, `redis-benchmark`, iPerf).
+    Benchmark,
+    /// The application's test suite: core paths plus auxiliary features.
+    TestSuite,
+}
+
+impl Workload {
+    /// All workloads, for iteration.
+    pub const ALL: &'static [Workload] = &[
+        Workload::HealthCheck,
+        Workload::Benchmark,
+        Workload::TestSuite,
+    ];
+
+    /// Number of client requests the embedded test script drives.
+    pub fn requests(self) -> u32 {
+        match self {
+            Workload::HealthCheck => 1,
+            Workload::Benchmark => 200,
+            Workload::TestSuite => 60,
+        }
+    }
+
+    /// Whether auxiliary features (logging, persistence, reload, ...) are
+    /// exercised and checked, not just the hot path.
+    pub fn checks_aux_features(self) -> bool {
+        matches!(self, Workload::TestSuite)
+    }
+
+    /// Short label used in reports (matches the paper's figure axes).
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::HealthCheck => "health",
+            Workload::Benchmark => "bench",
+            Workload::TestSuite => "suite",
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_scale_with_workload_depth() {
+        assert_eq!(Workload::HealthCheck.requests(), 1);
+        assert!(Workload::Benchmark.requests() > Workload::TestSuite.requests());
+    }
+
+    #[test]
+    fn only_suites_check_aux_features() {
+        assert!(!Workload::HealthCheck.checks_aux_features());
+        assert!(!Workload::Benchmark.checks_aux_features());
+        assert!(Workload::TestSuite.checks_aux_features());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Workload::Benchmark.to_string(), "bench");
+        assert_eq!(Workload::ALL.len(), 3);
+    }
+}

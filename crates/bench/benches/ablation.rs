@@ -1,0 +1,144 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * replica count (1 vs 3) — the reliability/runtime trade-off of §3.1;
+//! * sub-feature granularity on vs off — the cost of §5.4's partial-
+//!   implementation analysis;
+//! * greedy plan ordering vs alphabetical — quality measured as the cost
+//!   to support half the apps (printed once; criterion measures runtime).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use loupe_apps::{registry, Workload};
+use loupe_bench::{analyze_apps, requirements};
+use loupe_core::{AnalysisConfig, Engine};
+use loupe_plan::savings::{curve_points, loupe_curve};
+use loupe_plan::AppRequirement;
+
+fn bench_replicas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-replicas");
+    group.sample_size(10);
+    for replicas in [1u32, 3] {
+        group.bench_function(format!("weborf-r{replicas}"), |b| {
+            let app = registry::find("weborf").unwrap();
+            let engine = Engine::new(AnalysisConfig {
+                replicas,
+                ..AnalysisConfig::fast()
+            });
+            b.iter(|| {
+                black_box(
+                    engine
+                        .analyze(app.as_ref(), Workload::HealthCheck)
+                        .unwrap()
+                        .stats
+                        .total_runs(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_subfeatures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-granularity");
+    group.sample_size(10);
+    for (label, explore) in [("syscall-only", false), ("with-subfeatures", true)] {
+        group.bench_function(label, |b| {
+            let app = registry::find("redis").unwrap();
+            let engine = Engine::new(AnalysisConfig {
+                explore_sub_features: explore,
+                explore_pseudo_files: explore,
+                ..AnalysisConfig::fast()
+            });
+            b.iter(|| {
+                black_box(
+                    engine
+                        .analyze(app.as_ref(), Workload::HealthCheck)
+                        .unwrap()
+                        .stats
+                        .features_tested,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_ordering(c: &mut Criterion) {
+    let apps: Vec<_> = registry::dataset().into_iter().take(24).collect();
+    let reports = analyze_apps(apps, Workload::HealthCheck);
+    let reqs = requirements(&reports);
+
+    // Quality comparison, printed once alongside the runtime numbers.
+    let greedy = loupe_curve(&reqs);
+    let mut alpha = reqs.clone();
+    alpha.sort_by(|a, b| a.app.cmp(&b.app));
+    let refs: Vec<&AppRequirement> = alpha.iter().collect();
+    let alphabetical = curve_points("alphabetical", &refs, |a| a.required.clone());
+    let half = reqs.len() / 2;
+    println!(
+        "[ablation] cost to support {half} apps: greedy={:?} alphabetical={:?}",
+        greedy.cost_to_support(half),
+        alphabetical.cost_to_support(half)
+    );
+
+    c.bench_function("ablation-ordering/greedy-24", |b| {
+        b.iter(|| black_box(loupe_curve(&reqs).points.len()));
+    });
+    c.bench_function("ablation-ordering/alphabetical-24", |b| {
+        b.iter(|| {
+            let refs: Vec<&AppRequirement> = alpha.iter().collect();
+            black_box(curve_points("alphabetical", &refs, |a| a.required.clone()).points.len())
+        });
+    });
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    // §6 future work: knowledge transfer across applications. Hints from
+    // three web servers cut the run count of a fourth app's analysis.
+    let engine = Engine::new(AnalysisConfig::fast());
+    let teachers: Vec<_> = ["nginx", "lighttpd", "weborf"]
+        .iter()
+        .map(|n| {
+            let app = registry::find(n).unwrap();
+            engine.analyze(app.as_ref(), Workload::Benchmark).unwrap()
+        })
+        .collect();
+    let hints = loupe_core::transfer_hints(&teachers, 3);
+    let mut group = c.benchmark_group("ablation-transfer");
+    group.sample_size(10);
+    group.bench_function("h2o-cold", |b| {
+        let app = registry::find("h2o").unwrap();
+        b.iter(|| {
+            black_box(
+                engine
+                    .analyze(app.as_ref(), Workload::Benchmark)
+                    .unwrap()
+                    .stats
+                    .total_runs(),
+            )
+        });
+    });
+    group.bench_function("h2o-with-hints", |b| {
+        let app = registry::find("h2o").unwrap();
+        b.iter(|| {
+            black_box(
+                engine
+                    .analyze_with_hints(app.as_ref(), Workload::Benchmark, &hints)
+                    .unwrap()
+                    .stats
+                    .total_runs(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_replicas,
+    bench_subfeatures,
+    bench_plan_ordering,
+    bench_transfer
+);
+criterion_main!(benches);

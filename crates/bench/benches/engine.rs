@@ -1,0 +1,100 @@
+//! Criterion benches for the measurement stack: kernel dispatch,
+//! interposition overhead, and full Loupe analyses (the §3.3 run-time
+//! discussion).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use loupe_apps::{registry, Env, Exit, Workload};
+use loupe_core::{Action, AnalysisConfig, Engine, Interposed, Policy};
+use loupe_kernel::{Invocation, Kernel, LinuxSim};
+use loupe_syscalls::Sysno;
+
+fn bench_kernel_dispatch(c: &mut Criterion) {
+    c.bench_function("kernel/getpid", |b| {
+        let mut k = LinuxSim::new();
+        let inv = Invocation::new(Sysno::getpid, [0; 6]);
+        b.iter(|| black_box(k.syscall(&inv).ret));
+    });
+    c.bench_function("kernel/write-tty", |b| {
+        let mut k = LinuxSim::new();
+        b.iter_batched(
+            || Invocation::new(Sysno::write, [1, 0, 0, 0, 0, 0]).with_data(vec![b'x'; 256]),
+            |inv| black_box(k.syscall(&inv).ret),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_interposition(c: &mut Criterion) {
+    c.bench_function("interpose/allow", |b| {
+        let mut k = Interposed::new(LinuxSim::new(), Policy::allow_all());
+        let inv = Invocation::new(Sysno::getpid, [0; 6]);
+        b.iter(|| black_box(k.syscall(&inv).ret));
+    });
+    c.bench_function("interpose/stub", |b| {
+        let policy = Policy::allow_all().with_syscall(Sysno::getpid, Action::Stub);
+        let mut k = Interposed::new(LinuxSim::new(), policy);
+        let inv = Invocation::new(Sysno::getpid, [0; 6]);
+        b.iter(|| black_box(k.syscall(&inv).ret));
+    });
+}
+
+fn bench_single_run(c: &mut Criterion) {
+    c.bench_function("run/nginx-bench-baseline", |b| {
+        let app = registry::find("nginx").unwrap();
+        b.iter(|| {
+            let mut sim = LinuxSim::new();
+            app.provision(&mut sim);
+            let mut kernel = Interposed::new(sim, Policy::allow_all());
+            let mut env = Env::new(&mut kernel);
+            let res = app.run(&mut env, Workload::Benchmark);
+            let out = match res {
+                Ok(()) => env.finish(Exit::Clean),
+                Err(e) => env.finish(e),
+            };
+            black_box(out.responses)
+        });
+    });
+}
+
+fn bench_full_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    group.bench_function("weborf-health", |b| {
+        let app = registry::find("weborf").unwrap();
+        let engine = Engine::new(AnalysisConfig::fast());
+        b.iter(|| {
+            black_box(
+                engine
+                    .analyze(app.as_ref(), Workload::HealthCheck)
+                    .unwrap()
+                    .required()
+                    .len(),
+            )
+        });
+    });
+    group.bench_function("redis-bench", |b| {
+        let app = registry::find("redis").unwrap();
+        let engine = Engine::new(AnalysisConfig::fast());
+        b.iter(|| {
+            black_box(
+                engine
+                    .analyze(app.as_ref(), Workload::Benchmark)
+                    .unwrap()
+                    .required()
+                    .len(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernel_dispatch,
+    bench_interposition,
+    bench_single_run,
+    bench_full_analysis
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benches for the planner: support-plan generation and API
+//! importance, scaling with fleet size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use loupe_apps::{registry, Workload};
+use loupe_bench::{analyze_apps, requirements};
+use loupe_plan::{api_importance, os, AppRequirement, SupportPlan};
+
+fn measured_requirements(n: usize) -> Vec<AppRequirement> {
+    let apps: Vec<_> = registry::dataset().into_iter().take(n).collect();
+    let reports = analyze_apps(apps, Workload::HealthCheck);
+    requirements(&reports)
+}
+
+fn bench_plan_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan");
+    for n in [8usize, 16, 32] {
+        let reqs = measured_requirements(n);
+        let spec = os::find("kerla").unwrap();
+        group.bench_with_input(BenchmarkId::new("generate", n), &reqs, |b, reqs| {
+            b.iter(|| black_box(SupportPlan::generate(&spec, reqs).steps.len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_importance(c: &mut Criterion) {
+    let reqs = measured_requirements(32);
+    let sets: Vec<_> = reqs.iter().map(|r| r.traced.clone()).collect();
+    c.bench_function("importance/32-apps", |b| {
+        b.iter(|| black_box(api_importance(&sets).len()));
+    });
+}
+
+criterion_group!(benches, bench_plan_generation, bench_importance);
+criterion_main!(benches);

@@ -1,0 +1,273 @@
+//! `loupe` — the command-line front-end of the Loupe reproduction.
+//!
+//! Mirrors the workflows of the upstream tool:
+//!
+//! ```text
+//! loupe list                          # applications in the registry
+//! loupe analyze nginx --workload bench [--json] [--db DIR]
+//! loupe plan --os kerla [--workload bench] [--db DIR]
+//! loupe os-list                       # curated OS support specs
+//! loupe importance [--workload bench] # Fig. 3-style ranking
+//! loupe trace -- /bin/echo hello      # real ptrace backend
+//! ```
+
+use std::process::ExitCode;
+
+use loupe_apps::{registry, Workload};
+use loupe_core::{AnalysisConfig, Engine};
+use loupe_db::Database;
+use loupe_plan::{api_importance, os, AppRequirement, SupportPlan};
+
+fn main() -> ExitCode {
+    // Behave like a Unix tool when piped into head/grep: die on SIGPIPE
+    // instead of panicking on a failed print.
+    #[cfg(unix)]
+    // SAFETY: resetting a signal disposition before any thread is spawned.
+    unsafe {
+        libc::signal(libc::SIGPIPE, libc::SIG_DFL);
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "list" => cmd_list(),
+        "analyze" => cmd_analyze(rest),
+        "plan" => cmd_plan(rest),
+        "os-list" => cmd_os_list(),
+        "importance" => cmd_importance(rest),
+        "trace" => cmd_trace(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("loupe: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: loupe <command> [options]
+
+commands:
+  list                         list applications in the registry
+  analyze <app>                measure an application's OS-feature needs
+      --workload health|bench|suite   (default: bench)
+      --replicas N                    (default: 1)
+      --sub-features                  classify vectored-syscall features too
+      --json                          print the full report as JSON
+      --db DIR                        store the report in a database
+  plan --os <name|file.csv>    incremental support plan for an OS
+      --workload health|bench|suite   (default: bench)
+      --apps a,b,c                    target apps (default: 15 cloud apps)
+      --db DIR                        reuse measurements from a database
+  os-list                      show the curated OS support specs
+  importance                   rank syscalls by how many apps require them
+      --workload health|bench|suite   (default: health)
+      --apps N                        dataset size (default: 116)
+  trace -- <cmd> [args...]     trace a real binary with ptrace
+  help                         this message";
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_workload(args: &[String], default: Workload) -> Result<Workload, String> {
+    match flag_value(args, "--workload") {
+        None => Ok(default),
+        Some("health") => Ok(Workload::HealthCheck),
+        Some("bench") => Ok(Workload::Benchmark),
+        Some("suite") => Ok(Workload::TestSuite),
+        Some(other) => Err(format!("unknown workload `{other}`")),
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<28} {:<10} {:>6}  {}", "NAME", "KIND", "YEAR", "LIBC");
+    for app in registry::dataset() {
+        let spec = app.spec();
+        println!(
+            "{:<28} {:<10} {:>6}  {}",
+            spec.name,
+            format!("{:?}", spec.kind),
+            spec.year,
+            spec.libc.name()
+        );
+    }
+    println!(
+        "\n({} applications; variants: nginx-0.3.19, redis-2.0, httpd-2.2, hello-*)",
+        registry::dataset().len()
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("analyze: missing application name")?;
+    let app = registry::find(name).ok_or_else(|| format!("unknown application `{name}`"))?;
+    let workload = parse_workload(args, Workload::Benchmark)?;
+    let replicas = flag_value(args, "--replicas")
+        .map(|v| v.parse::<u32>().map_err(|_| "bad --replicas".to_owned()))
+        .transpose()?
+        .unwrap_or(1);
+    let sub = args.iter().any(|a| a == "--sub-features");
+    let cfg = AnalysisConfig {
+        replicas,
+        explore_sub_features: sub,
+        explore_pseudo_files: sub,
+        ..AnalysisConfig::fast()
+    };
+    let report = Engine::new(cfg)
+        .analyze(app.as_ref(), workload)
+        .map_err(|e| e.to_string())?;
+
+    if args.iter().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("{} ({} workload)", report.app, workload);
+        println!(
+            "traced: {} syscalls over {} runs; confirmed: {}",
+            report.traced().len(),
+            report.stats.total_runs(),
+            report.confirmed
+        );
+        println!("required  ({:>3}): {}", report.required().len(), report.required());
+        println!("stubbable ({:>3}): {}", report.stubbable().len(), report.stubbable());
+        println!("fakeable  ({:>3}): {}", report.fakeable().len(), report.fakeable());
+        if sub && !report.sub_features.is_empty() {
+            println!("sub-features:");
+            for (key, class) in &report.sub_features {
+                println!("  {key}: {}", class.label());
+            }
+        }
+        if !report.pseudo_files.is_empty() {
+            println!("pseudo-files:");
+            for (path, class) in &report.pseudo_files {
+                println!("  {path}: {}", class.label());
+            }
+        }
+    }
+
+    if let Some(dir) = flag_value(args, "--db") {
+        let db = Database::open(dir).map_err(|e| e.to_string())?;
+        db.save(&report).map_err(|e| e.to_string())?;
+        eprintln!("stored in {dir}");
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let os_arg = flag_value(args, "--os").ok_or("plan: missing --os")?;
+    let spec = if os_arg.ends_with(".csv") {
+        let text = std::fs::read_to_string(os_arg).map_err(|e| e.to_string())?;
+        os::OsSpec::from_csv(os_arg, "file", &text).map_err(|e| e.to_string())?
+    } else {
+        os::find(os_arg).ok_or_else(|| format!("unknown OS `{os_arg}`"))?
+    };
+    let workload = parse_workload(args, Workload::Benchmark)?;
+
+    let apps: Vec<_> = match flag_value(args, "--apps") {
+        Some(list) => list
+            .split(',')
+            .map(|n| registry::find(n.trim()).ok_or_else(|| format!("unknown app `{n}`")))
+            .collect::<Result<_, _>>()?,
+        None => registry::cloud_apps(),
+    };
+
+    // Reuse stored measurements when a database is given.
+    let db = flag_value(args, "--db")
+        .map(Database::open)
+        .transpose()
+        .map_err(|e| e.to_string())?;
+    let engine = Engine::new(AnalysisConfig::fast());
+    let mut reqs = Vec::new();
+    for app in &apps {
+        let cached = db
+            .as_ref()
+            .and_then(|db| db.load(app.name(), workload).ok().flatten());
+        let report = match cached {
+            Some(r) => r,
+            None => {
+                let r = engine
+                    .analyze(app.as_ref(), workload)
+                    .map_err(|e| e.to_string())?;
+                if let Some(db) = &db {
+                    db.save(&r).map_err(|e| e.to_string())?;
+                }
+                r
+            }
+        };
+        reqs.push(AppRequirement::from_report(&report));
+    }
+
+    let plan = SupportPlan::generate(&spec, &reqs);
+    print!("{}", plan.to_table());
+    Ok(())
+}
+
+fn cmd_os_list() -> Result<(), String> {
+    println!("{:<14} {:<14} {:>9}", "OS", "VERSION", "SYSCALLS");
+    for spec in os::db() {
+        println!("{:<14} {:<14} {:>9}", spec.name, spec.version, spec.supported.len());
+    }
+    Ok(())
+}
+
+fn cmd_importance(args: &[String]) -> Result<(), String> {
+    let workload = parse_workload(args, Workload::HealthCheck)?;
+    let n = flag_value(args, "--apps")
+        .map(|v| v.parse::<usize>().map_err(|_| "bad --apps".to_owned()))
+        .transpose()?
+        .unwrap_or(116);
+    let engine = Engine::new(AnalysisConfig::fast());
+    let mut required_sets = Vec::new();
+    for app in registry::dataset().into_iter().take(n) {
+        match engine.analyze(app.as_ref(), workload) {
+            Ok(r) => required_sets.push(r.required()),
+            Err(e) => eprintln!("skipping {}: {e}", app.name()),
+        }
+    }
+    for point in api_importance(&required_sets) {
+        println!(
+            "{:>3}. {:<22} {:>5.1}%",
+            point.rank,
+            point.sysno.name(),
+            point.importance * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let cmd_start = args.iter().position(|a| a == "--").map(|i| i + 1).unwrap_or(0);
+    let argv: Vec<&str> = args[cmd_start..].iter().map(String::as_str).collect();
+    if argv.is_empty() {
+        return Err("trace: missing command (use `loupe trace -- cmd args...`)".into());
+    }
+    let result = loupe_trace::trace_command(&argv, &loupe_trace::TracePolicy::allow_all())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "exit: {:?}; {} distinct syscalls:",
+        result.exit_code,
+        result.counts.len()
+    );
+    for (sysno, count) in result.by_sysno() {
+        println!("{:>8}  {}", count, sysno.name());
+    }
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! Log-anomaly detection — one of the paper's stated future-work items
+//! (§6: "identifying standard application-specific logs and error message
+//! formats ... to better detect silent faults and effects of stubbing,
+//! faking, and partial support techniques").
+//!
+//! The detector learns the set of console/log lines a baseline run emits
+//! and flags *novel* lines in a measured run that look like diagnostics
+//! (error/warning markers). This catches stub/fake side effects that the
+//! test script's success criteria miss — e.g. an application that passes
+//! its benchmark while quietly logging "synchronization anomalies".
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Markers that make a novel log line suspicious. Matched
+/// case-insensitively, mirroring how the paper's test scripts grep logs.
+const SUSPICIOUS_MARKERS: &[&str] = &[
+    "error", "fail", "warn", "fatal", "panic", "corrupt", "anomal", "invalid", "denied",
+    "unable", "cannot", "# ",
+];
+
+/// A learned baseline log profile.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogProfile {
+    lines: BTreeSet<String>,
+}
+
+impl LogProfile {
+    /// Learns the profile from the baseline run's console output.
+    pub fn learn<I, S>(lines: I) -> LogProfile
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        LogProfile {
+            lines: lines
+                .into_iter()
+                .map(|l| normalize(l.as_ref()))
+                .collect(),
+        }
+    }
+
+    /// Number of distinct normalised baseline lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the profile is empty (no baseline output).
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Returns the suspicious *novel* lines of a measured run: lines that
+    /// never appeared in the baseline and carry a diagnostic marker.
+    pub fn anomalies<'a, I>(&self, lines: I) -> Vec<String>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut out = Vec::new();
+        for line in lines {
+            let norm = normalize(line);
+            if norm.is_empty() || self.lines.contains(&norm) {
+                continue;
+            }
+            let lower = norm.to_lowercase();
+            if SUSPICIOUS_MARKERS.iter().any(|m| lower.contains(m)) {
+                out.push(norm);
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Normalises a log line: trims whitespace and masks decimal numbers so
+/// that pids/timestamps/counters do not defeat the novelty check.
+fn normalize(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_digits = false;
+    for c in line.trim().chars() {
+        if c.is_ascii_digit() {
+            if !in_digits {
+                out.push('N');
+                in_digits = true;
+            }
+        } else {
+            in_digits = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_lines_are_not_anomalies() {
+        let profile = LogProfile::learn(["* Ready to accept connections", "worker started"]);
+        let anomalies = profile.anomalies(["* Ready to accept connections"]);
+        assert!(anomalies.is_empty());
+    }
+
+    #[test]
+    fn novel_diagnostic_lines_are_flagged() {
+        let profile = LogProfile::learn(["* Ready to accept connections"]);
+        let anomalies = profile.anomalies([
+            "* Ready to accept connections",
+            "# Synchronization anomalies detected",
+        ]);
+        assert_eq!(anomalies.len(), 1);
+        assert!(anomalies[0].contains("Synchronization"));
+    }
+
+    #[test]
+    fn novel_benign_lines_are_ignored() {
+        let profile = LogProfile::learn(["hello"]);
+        let anomalies = profile.anomalies(["served request in 3ms"]);
+        assert!(anomalies.is_empty(), "{anomalies:?}");
+    }
+
+    #[test]
+    fn numbers_are_masked() {
+        let profile = LogProfile::learn(["worker 123 failed to bind"]);
+        // Same line with a different pid is NOT novel.
+        let anomalies = profile.anomalies(["worker 456 failed to bind"]);
+        assert!(anomalies.is_empty(), "{anomalies:?}");
+        // A genuinely different failure is.
+        let anomalies = profile.anomalies(["worker 9 failed to fsync"]);
+        assert_eq!(anomalies.len(), 1);
+    }
+
+    #[test]
+    fn empty_profile_flags_any_diagnostic() {
+        let profile = LogProfile::learn(Vec::<String>::new());
+        assert!(profile.is_empty());
+        assert_eq!(profile.len(), 0);
+        assert_eq!(profile.anomalies(["fatal: boom"]).len(), 1);
+    }
+}

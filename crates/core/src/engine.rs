@@ -1,0 +1,617 @@
+//! The analysis engine: discovery → per-feature stub/fake runs →
+//! confirmation, replicated and conservatively merged (§3.1).
+
+use std::collections::BTreeMap;
+
+use loupe_apps::model::AppOutcome;
+use loupe_apps::{AppModel, Env, Exit, Workload};
+use loupe_kernel::{Kernel, LinuxSim, ResourceUsage};
+use loupe_syscalls::Sysno;
+use serde::{Deserialize, Serialize};
+
+use crate::anomaly::LogProfile;
+use crate::interpose::Interposed;
+use crate::policy::{Action, Policy};
+use crate::report::{AppReport, BaselineStats, FeatureClass, Impact, ImpactRecord};
+use crate::script::TestScript;
+use crate::stats;
+use crate::trace::Trace;
+
+/// How performance deviations affect classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PerfPolicy {
+    /// Only test-script failures matter; perf/resource deviations are
+    /// recorded as annotations (the paper's default posture: "Loupe
+    /// notifies the user that further investigation is needed").
+    Lenient,
+    /// A statistically significant performance deviation also disqualifies
+    /// the stub/fake (§3.2: "Loupe ensures that the performance does not
+    /// incur a statistically significant variation").
+    Strict,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Number of replicated runs per measurement (paper default: 3).
+    pub replicas: u32,
+    /// Run replicas on worker threads.
+    pub parallel: bool,
+    /// Relative margin below which metric changes are noise (Table 2: 3%).
+    pub perf_epsilon: f64,
+    /// Classification policy for perf deviations.
+    pub perf_policy: PerfPolicy,
+    /// Also classify sub-features of vectored syscalls (§5.4).
+    pub explore_sub_features: bool,
+    /// Also classify pseudo-file accesses (§3.3).
+    pub explore_pseudo_files: bool,
+    /// Flag runs whose logs contain novel diagnostic lines the baseline
+    /// never produced (§6 future work: silent-fault detection). Off by
+    /// default: it is stricter than the paper's measurement protocol.
+    pub detect_log_anomalies: bool,
+    /// When the confirmation run fails, automatically bisect for the
+    /// conflicting features and re-mark them as required (§3.1: "a
+    /// process which could be automated in future works" — here it is).
+    pub auto_bisect_conflicts: bool,
+    /// Pass/fail policy.
+    pub test_script: TestScript,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            replicas: 3,
+            parallel: false,
+            perf_epsilon: 0.03,
+            perf_policy: PerfPolicy::Lenient,
+            explore_sub_features: true,
+            explore_pseudo_files: true,
+            detect_log_anomalies: false,
+            auto_bisect_conflicts: true,
+            test_script: TestScript::default(),
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// A cheap configuration for unit tests and large sweeps: single
+    /// replica, syscall granularity only.
+    pub fn fast() -> AnalysisConfig {
+        AnalysisConfig {
+            replicas: 1,
+            explore_sub_features: false,
+            explore_pseudo_files: false,
+            ..AnalysisConfig::default()
+        }
+    }
+}
+
+/// Accounting of the analysis cost, matching §3.3's
+/// `(2 + 2·t·s)·⌈r/p⌉` run-count structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Discovery + confirmation runs (the `2`), times replicas.
+    pub framing_runs: u64,
+    /// Stub/fake runs (`2` per tested feature), times replicas.
+    pub feature_runs: u64,
+    /// Distinct features tested.
+    pub features_tested: u64,
+    /// Features whose stub/fake runs were skipped thanks to transferred
+    /// knowledge from other applications (§6 future work).
+    pub transfer_skips: u64,
+    /// Extra runs spent bisecting confirmation-run conflicts.
+    pub bisect_runs: u64,
+    /// Replicas per measurement.
+    pub replicas: u32,
+}
+
+impl RunStats {
+    /// Total application executions performed.
+    pub fn total_runs(&self) -> u64 {
+        self.framing_runs + self.feature_runs
+    }
+
+    /// Checks the §3.3 structure: `(2 + 2·s) · r` runs.
+    pub fn matches_formula(&self) -> bool {
+        let r = u64::from(self.replicas);
+        self.framing_runs == 2 * r && self.feature_runs == 2 * self.features_tested * r
+    }
+}
+
+/// Errors the engine can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The application does not pass its own workload on the full kernel —
+    /// nothing can be measured.
+    BaselineFailed {
+        /// Application name.
+        app: String,
+        /// Test-script reasons.
+        reasons: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::BaselineFailed { app, reasons } => {
+                write!(f, "baseline run of {app} failed: {}", reasons.join("; "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// One run's raw results.
+#[derive(Debug, Clone)]
+struct RunResult {
+    outcome: AppOutcome,
+    trace: Trace,
+    usage: ResourceUsage,
+    console: Vec<String>,
+}
+
+/// The Loupe analysis engine.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    cfg: AnalysisConfig,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(cfg: AnalysisConfig) -> Engine {
+        Engine { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.cfg
+    }
+
+    fn run_once(&self, app: &dyn AppModel, workload: Workload, policy: &Policy) -> RunResult {
+        let mut sim = LinuxSim::new();
+        app.provision(&mut sim);
+        let mut kernel = Interposed::new(sim, policy.clone());
+        let exit = {
+            let mut env = Env::new(&mut kernel);
+            match app.run(&mut env, workload) {
+                Ok(()) => env.finish(Exit::Clean),
+                Err(e) => env.finish(e),
+            }
+        };
+        let usage = kernel.usage();
+        let console = std::mem::take(&mut kernel.host_mut().console);
+        let (_, trace) = kernel.into_parts();
+        RunResult {
+            outcome: exit,
+            trace,
+            usage,
+            console,
+        }
+    }
+
+    fn run_replicas(&self, app: &dyn AppModel, workload: Workload, policy: &Policy) -> Vec<RunResult> {
+        let r = self.cfg.replicas.max(1) as usize;
+        if self.cfg.parallel && r > 1 {
+            let mut out: Vec<Option<RunResult>> = (0..r).map(|_| None).collect();
+            crossbeam::thread::scope(|scope| {
+                for slot in out.iter_mut() {
+                    scope.spawn(move |_| {
+                        *slot = Some(self.run_once(app, workload, policy));
+                    });
+                }
+            })
+            .expect("replica thread panicked");
+            out.into_iter().map(|r| r.expect("replica ran")).collect()
+        } else {
+            (0..r).map(|_| self.run_once(app, workload, policy)).collect()
+        }
+    }
+
+    /// Evaluates replicated runs against the baseline; returns
+    /// `(all_passed, mean_perf, impact)`.
+    fn judge(
+        &self,
+        runs: &[RunResult],
+        workload: Workload,
+        baseline: &Baseline,
+    ) -> (bool, Impact) {
+        let mut all_pass = true;
+        let mut perfs = Vec::new();
+        for run in runs {
+            let verdict =
+                self.cfg
+                    .test_script
+                    .evaluate(&run.outcome, workload, Some(&baseline.features));
+            all_pass &= verdict.success;
+            perfs.push(verdict.perf);
+        }
+        let perf = stats::mean(&perfs);
+        let rss = stats::mean(&runs.iter().map(|r| r.usage.peak_rss as f64).collect::<Vec<_>>());
+        let fds = stats::mean(&runs.iter().map(|r| f64::from(r.usage.peak_fds)).collect::<Vec<_>>());
+        let impact = Impact {
+            success: all_pass,
+            perf_delta: stats::rel_delta(baseline.perf_mean, perf),
+            rss_delta: stats::rel_delta(baseline.rss_mean, rss),
+            fd_delta: stats::rel_delta(baseline.fd_mean, fds),
+        };
+        let mut ok = all_pass;
+        if ok && self.cfg.perf_policy == PerfPolicy::Strict {
+            ok = !stats::significant_deviation(&baseline.perfs, perf, self.cfg.perf_epsilon);
+        }
+        if ok && self.cfg.detect_log_anomalies {
+            // §6 future work: novel diagnostic log lines are silent-fault
+            // evidence even when the test script passes.
+            ok = runs.iter().all(|run| {
+                baseline
+                    .log_profile
+                    .anomalies(run.console.iter().map(String::as_str))
+                    .is_empty()
+            });
+        }
+        (ok, impact)
+    }
+
+    /// Runs the full Loupe analysis for one application and workload.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BaselineFailed`] when the application cannot pass its
+    /// own workload on the unmodified kernel.
+    pub fn analyze(&self, app: &dyn AppModel, workload: Workload) -> Result<AppReport, EngineError> {
+        self.analyze_with_hints(app, workload, &BTreeMap::new())
+    }
+
+    /// Like [`Engine::analyze`], but skips the stub/fake runs of syscalls
+    /// whose classification is already known from other applications —
+    /// the paper's "transferring knowledge across applications" future
+    /// work (§6). Build `hints` with [`transfer_hints`]. The final
+    /// confirmation run still validates the transferred conclusions; a
+    /// wrong hint surfaces as `confirmed == false`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BaselineFailed`] as for [`Engine::analyze`].
+    pub fn analyze_with_hints(
+        &self,
+        app: &dyn AppModel,
+        workload: Workload,
+        hints: &BTreeMap<Sysno, FeatureClass>,
+    ) -> Result<AppReport, EngineError> {
+        // ---- 1. discovery (baseline) ------------------------------------
+        let base_runs = self.run_replicas(app, workload, &Policy::allow_all());
+        let baseline = Baseline::from_runs(&base_runs, workload, &self.cfg.test_script);
+        let first = &base_runs[0];
+        let base_verdict =
+            self.cfg
+                .test_script
+                .evaluate(&first.outcome, workload, Some(&baseline.features));
+        if !base_verdict.success {
+            return Err(EngineError::BaselineFailed {
+                app: app.name().to_owned(),
+                reasons: base_verdict.reasons,
+            });
+        }
+
+        // Conservative union of traced features across replicas.
+        let mut traced: BTreeMap<Sysno, u64> = BTreeMap::new();
+        for run in &base_runs {
+            for (s, n) in &run.trace.syscalls {
+                *traced.entry(*s).or_insert(0) += *n;
+            }
+        }
+
+        let mut stats_acc = RunStats {
+            framing_runs: u64::from(self.cfg.replicas),
+            feature_runs: 0,
+            features_tested: 0,
+            transfer_skips: 0,
+            bisect_runs: 0,
+            replicas: self.cfg.replicas,
+        };
+
+        // ---- 2. per-feature stub/fake runs --------------------------------
+        let mut classes: BTreeMap<Sysno, FeatureClass> = BTreeMap::new();
+        let mut impacts: BTreeMap<Sysno, ImpactRecord> = BTreeMap::new();
+        for &sysno in traced.keys() {
+            if let Some(&hint) = hints.get(&sysno) {
+                classes.insert(sysno, hint);
+                stats_acc.transfer_skips += 1;
+                continue;
+            }
+            let stub_runs =
+                self.run_replicas(app, workload, &Policy::allow_all().with_syscall(sysno, Action::Stub));
+            let (stub_ok, stub_impact) = self.judge(&stub_runs, workload, &baseline);
+            let fake_runs =
+                self.run_replicas(app, workload, &Policy::allow_all().with_syscall(sysno, Action::Fake));
+            let (fake_ok, fake_impact) = self.judge(&fake_runs, workload, &baseline);
+            classes.insert(sysno, FeatureClass { stub_ok, fake_ok });
+            impacts.insert(
+                sysno,
+                ImpactRecord {
+                    stub: Some(stub_impact),
+                    fake: Some(fake_impact),
+                },
+            );
+            stats_acc.features_tested += 1;
+            stats_acc.feature_runs += 2 * u64::from(self.cfg.replicas);
+        }
+
+        // ---- 2b. sub-features (§5.4) ----------------------------------------
+        let mut sub_features = Vec::new();
+        if self.cfg.explore_sub_features {
+            let keys: Vec<_> = first
+                .trace
+                .sub_features
+                .iter()
+                .map(|(k, _)| *k)
+                .collect();
+            for key in keys {
+                let stub_runs = self.run_replicas(
+                    app,
+                    workload,
+                    &Policy::allow_all().with_sub_feature(key, Action::Stub),
+                );
+                let (stub_ok, _) = self.judge(&stub_runs, workload, &baseline);
+                let fake_runs = self.run_replicas(
+                    app,
+                    workload,
+                    &Policy::allow_all().with_sub_feature(key, Action::Fake),
+                );
+                let (fake_ok, _) = self.judge(&fake_runs, workload, &baseline);
+                sub_features.push((key, FeatureClass { stub_ok, fake_ok }));
+                stats_acc.features_tested += 1;
+                stats_acc.feature_runs += 2 * u64::from(self.cfg.replicas);
+            }
+        }
+
+        // ---- 2c. pseudo-files (§3.3) ----------------------------------------
+        let mut pseudo_files = BTreeMap::new();
+        if self.cfg.explore_pseudo_files {
+            let paths: Vec<String> = first.trace.pseudo_files.keys().cloned().collect();
+            for path in paths {
+                let stub_runs = self.run_replicas(
+                    app,
+                    workload,
+                    &Policy::allow_all().with_pseudo_file(path.clone(), Action::Stub),
+                );
+                let (stub_ok, _) = self.judge(&stub_runs, workload, &baseline);
+                let fake_runs = self.run_replicas(
+                    app,
+                    workload,
+                    &Policy::allow_all().with_pseudo_file(path.clone(), Action::Fake),
+                );
+                let (fake_ok, _) = self.judge(&fake_runs, workload, &baseline);
+                pseudo_files.insert(path, FeatureClass { stub_ok, fake_ok });
+                stats_acc.features_tested += 1;
+                stats_acc.feature_runs += 2 * u64::from(self.cfg.replicas);
+            }
+        }
+
+        // ---- 3. confirmation run ---------------------------------------------
+        let mut combined = Policy::allow_all();
+        for (&sysno, class) in &classes {
+            if class.stub_ok {
+                combined.set_syscall(sysno, Action::Stub);
+            } else if class.fake_ok {
+                combined.set_syscall(sysno, Action::Fake);
+            }
+        }
+        let confirm_runs = self.run_replicas(app, workload, &combined);
+        let (mut confirmed, _) = self.judge(&confirm_runs, workload, &baseline);
+        stats_acc.framing_runs += u64::from(self.cfg.replicas);
+
+        // ---- 3b. conflict bisection -----------------------------------------
+        // Individually avoidable features can interact (e.g. webfsd's
+        // writev header and sendfile body are each fakeable, but not
+        // together). When the combined run fails, drop one interposed
+        // feature at a time until it passes, and re-mark the culprit as
+        // required.
+        let mut conflicts: Vec<Sysno> = Vec::new();
+        if !confirmed && self.cfg.auto_bisect_conflicts {
+            'rounds: for _ in 0..8 {
+                let candidates: Vec<Sysno> = classes
+                    .iter()
+                    .filter(|(s, c)| c.is_avoidable() && !conflicts.contains(s))
+                    .map(|(s, _)| *s)
+                    .collect();
+                for s in candidates {
+                    let mut relaxed = combined.clone();
+                    relaxed.set_syscall(s, Action::Allow);
+                    let runs = self.run_replicas(app, workload, &relaxed);
+                    stats_acc.bisect_runs += u64::from(self.cfg.replicas);
+                    let (ok, _) = self.judge(&runs, workload, &baseline);
+                    if ok {
+                        // The relaxed combined run just passed, so it also
+                        // serves as the new confirmation run.
+                        conflicts.push(s);
+                        classes.insert(s, FeatureClass { stub_ok: false, fake_ok: false });
+                        confirmed = true;
+                        break 'rounds;
+                    }
+                }
+                // No single feature fixes it: give up and report.
+                break;
+            }
+        }
+
+        let spec = app.spec();
+        Ok(AppReport {
+            app: spec.name,
+            version: spec.version,
+            workload,
+            traced,
+            classes,
+            impacts,
+            sub_features,
+            pseudo_files,
+            conflicts,
+            confirmed,
+            baseline: BaselineStats {
+                throughput: baseline.perf_mean,
+                peak_rss: baseline.rss_mean as u64,
+                peak_fds: baseline.fd_mean as u32,
+                run_time: first.outcome.elapsed,
+            },
+            stats: stats_acc,
+        })
+    }
+}
+
+/// Baseline summary used by judgements.
+#[derive(Debug, Clone)]
+struct Baseline {
+    perfs: Vec<f64>,
+    perf_mean: f64,
+    rss_mean: f64,
+    fd_mean: f64,
+    features: BTreeMap<String, bool>,
+    log_profile: LogProfile,
+}
+
+impl Baseline {
+    fn from_runs(runs: &[RunResult], _workload: Workload, _script: &TestScript) -> Baseline {
+        let perfs: Vec<f64> = runs.iter().map(|r| r.outcome.throughput()).collect();
+        Baseline {
+            perf_mean: stats::mean(&perfs),
+            rss_mean: stats::mean(&runs.iter().map(|r| r.usage.peak_rss as f64).collect::<Vec<_>>()),
+            fd_mean: stats::mean(&runs.iter().map(|r| f64::from(r.usage.peak_fds)).collect::<Vec<_>>()),
+            features: runs[0].outcome.features.clone(),
+            log_profile: LogProfile::learn(runs.iter().flat_map(|r| r.console.iter())),
+            perfs,
+        }
+    }
+}
+
+/// Builds transfer hints from prior measurements: a syscall is hinted only
+/// when at least `min_agreement` reports traced it and *all* of them agree
+/// on its classification (conservative, like the replica merge).
+pub fn transfer_hints(
+    reports: &[crate::report::AppReport],
+    min_agreement: usize,
+) -> BTreeMap<Sysno, FeatureClass> {
+    let mut votes: BTreeMap<Sysno, Vec<FeatureClass>> = BTreeMap::new();
+    for report in reports {
+        for (&sysno, &class) in &report.classes {
+            votes.entry(sysno).or_default().push(class);
+        }
+    }
+    votes
+        .into_iter()
+        .filter(|(_, v)| v.len() >= min_agreement && v.windows(2).all(|w| w[0] == w[1]))
+        .map(|(s, v)| (s, v[0]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loupe_apps::registry;
+
+    fn engine() -> Engine {
+        Engine::new(AnalysisConfig::fast())
+    }
+
+    #[test]
+    fn weborf_health_check_analysis() {
+        let app = registry::find("weborf").unwrap();
+        let report = engine().analyze(app.as_ref(), Workload::HealthCheck).unwrap();
+        // Fundamental syscalls are required.
+        for s in [Sysno::socket, Sysno::bind, Sysno::listen, Sysno::mmap] {
+            assert!(report.required().contains(s), "{s} should be required");
+        }
+        // And a healthy fraction of the traced set is avoidable.
+        assert!(!report.avoidable().is_empty());
+        assert!(report.required().len() < report.traced().len());
+    }
+
+    #[test]
+    fn redis_bench_required_set_is_much_smaller_than_traced() {
+        let app = registry::find("redis").unwrap();
+        let report = engine().analyze(app.as_ref(), Workload::Benchmark).unwrap();
+        let traced = report.traced().len();
+        let required = report.required().len();
+        // §1: "more than half of the system calls invoked by Redis ...
+        // can be stubbed or faked".
+        assert!(
+            required * 2 <= traced + 2,
+            "required {required} vs traced {traced}"
+        );
+        // Fig. 6a: the rlimit getter is avoidable (safe-default fallback).
+        assert!(report.avoidable().contains(Sysno::prlimit64));
+        // futex is required (faking corrupts, Table 2).
+        assert!(report.required().contains(Sysno::futex));
+    }
+
+    #[test]
+    fn nginx_write_is_stubbable_but_writev_is_not() {
+        let app = registry::find("nginx").unwrap();
+        let report = engine().analyze(app.as_ref(), Workload::Benchmark).unwrap();
+        let write = report.classes[&Sysno::write];
+        assert!(write.stub_ok, "access-log write must be stubbable");
+        let writev = report.classes[&Sysno::writev];
+        assert!(writev.is_required(), "payload writev must be required");
+        // prctl: unstubbable (Fig. 6b) but fakeable.
+        let prctl = report.classes[&Sysno::prctl];
+        assert!(!prctl.stub_ok && prctl.fake_ok, "{prctl:?}");
+    }
+
+    #[test]
+    fn baseline_failure_is_reported() {
+        // The old 32-bit build crashes without its libc file: provision a
+        // broken app by wrapping a model that always crashes.
+        struct Broken;
+        impl AppModel for Broken {
+            fn name(&self) -> &str {
+                "broken"
+            }
+            fn spec(&self) -> loupe_apps::AppSpec {
+                loupe_apps::AppSpec {
+                    name: "broken".into(),
+                    version: "0".into(),
+                    year: 2024,
+                    port: None,
+                    kind: loupe_apps::AppKind::Utility,
+                    libc: loupe_apps::libc::LibcFlavor::GlibcDynamic,
+                }
+            }
+            fn run(&self, _env: &mut Env<'_>, _w: Workload) -> Result<(), Exit> {
+                Err(Exit::Crash("always".into()))
+            }
+            fn code(&self) -> loupe_apps::AppCode {
+                loupe_apps::AppCode::new()
+            }
+        }
+        let err = engine().analyze(&Broken, Workload::HealthCheck).unwrap_err();
+        assert!(matches!(err, EngineError::BaselineFailed { .. }));
+        assert!(err.to_string().contains("broken"));
+    }
+
+    #[test]
+    fn confirmation_run_passes_for_simple_apps() {
+        let app = registry::find("hello-musl-static").unwrap();
+        let report = engine().analyze(app.as_ref(), Workload::HealthCheck).unwrap();
+        assert!(report.confirmed, "combined stub/fake policy must hold");
+    }
+
+    #[test]
+    fn parallel_replicas_agree_with_serial() {
+        let app = registry::find("weborf").unwrap();
+        let serial = Engine::new(AnalysisConfig {
+            replicas: 2,
+            parallel: false,
+            ..AnalysisConfig::fast()
+        })
+        .analyze(app.as_ref(), Workload::HealthCheck)
+        .unwrap();
+        let parallel = Engine::new(AnalysisConfig {
+            replicas: 2,
+            parallel: true,
+            ..AnalysisConfig::fast()
+        })
+        .analyze(app.as_ref(), Workload::HealthCheck)
+        .unwrap();
+        assert_eq!(serial.classes, parallel.classes);
+    }
+}

@@ -1,0 +1,77 @@
+//! Syscall-specific fake success values (§2: "returning a success code —
+//! typically system-call specific — without implementing the feature").
+//!
+//! The table mirrors the conventions visible in real compatibility layers
+//! (HermiTux, OSv, Unikraft): `0` for most calls, the byte count for the
+//! write family, `0` for `clone` (which tells the caller "you are the
+//! child" — the source of Nginx's master-runs-the-worker behaviour in
+//! Table 2), and a small plausible descriptor number for fd-returning
+//! calls.
+
+use loupe_kernel::Invocation;
+use loupe_syscalls::Sysno;
+
+/// The value a *faked* invocation returns.
+pub fn fake_value(inv: &Invocation) -> i64 {
+    use Sysno as S;
+    match inv.sysno {
+        // Write family: pretend everything was written.
+        S::write | S::pwrite64 | S::writev | S::pwritev | S::sendto | S::sendmsg
+        | S::sendfile => inv.args[2].max(inv.args[3]) as i64,
+        // Read family: pretend EOF.
+        S::read | S::pread64 | S::readv | S::recvfrom | S::recvmsg => 0,
+        // fd-returning calls: a plausible low descriptor.
+        S::open | S::openat | S::creat | S::socket | S::accept | S::accept4 | S::dup
+        | S::epoll_create | S::epoll_create1 | S::eventfd | S::eventfd2 | S::timerfd_create
+        | S::signalfd | S::signalfd4 | S::inotify_init | S::inotify_init1 | S::memfd_create => 3,
+        S::dup2 | S::dup3 => inv.args[1] as i64,
+        // "You are the child."
+        S::clone | S::clone3 | S::fork | S::vfork => 0,
+        // Identity getters: root-ish defaults.
+        S::getuid | S::geteuid | S::getgid | S::getegid => 0,
+        S::getpid | S::gettid | S::getppid | S::setsid | S::getsid | S::getpgrp => 1,
+        // Counts and sizes.
+        S::getrandom => inv.args[1] as i64,
+        S::epoll_wait | S::epoll_pwait | S::poll | S::ppoll | S::select | S::pselect6 => 0,
+        S::lseek => inv.args[1] as i64,
+        // Everything else: plain success.
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_fakes_report_full_length() {
+        let inv = Invocation::new(Sysno::write, [1, 0, 512, 0, 0, 0]);
+        assert_eq!(fake_value(&inv), 512);
+        let inv = Invocation::new(Sysno::sendfile, [3, 4, 0, 65536, 0, 0]);
+        assert_eq!(fake_value(&inv), 65536);
+    }
+
+    #[test]
+    fn clone_fake_claims_to_be_the_child() {
+        assert_eq!(fake_value(&Invocation::new(Sysno::clone, [0; 6])), 0);
+    }
+
+    #[test]
+    fn fd_returning_calls_fake_a_low_fd() {
+        assert_eq!(fake_value(&Invocation::new(Sysno::openat, [0; 6])), 3);
+        assert_eq!(fake_value(&Invocation::new(Sysno::accept4, [0; 6])), 3);
+        assert_eq!(fake_value(&Invocation::new(Sysno::dup2, [5, 9, 0, 0, 0, 0])), 9);
+    }
+
+    #[test]
+    fn read_fakes_eof_and_waits_fake_no_events() {
+        assert_eq!(fake_value(&Invocation::new(Sysno::read, [0, 0, 100, 0, 0, 0])), 0);
+        assert_eq!(fake_value(&Invocation::new(Sysno::epoll_wait, [0; 6])), 0);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(fake_value(&Invocation::new(Sysno::prctl, [8, 1, 0, 0, 0, 0])), 0);
+        assert_eq!(fake_value(&Invocation::new(Sysno::brk, [0x1000, 0, 0, 0, 0, 0])), 0);
+    }
+}

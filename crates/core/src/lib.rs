@@ -1,0 +1,51 @@
+//! The Loupe dynamic-analysis engine — the paper's primary contribution.
+//!
+//! Loupe measures, for an application and a workload, which OS features
+//! (system calls, sub-features of vectored system calls, pseudo-files)
+//! must actually be **implemented** by a compatibility layer, and which
+//! can be **stubbed** (return `-ENOSYS`), **faked** (return success
+//! without doing the work) or **partially implemented**.
+//!
+//! The measurement protocol follows §3 of the paper:
+//!
+//! 1. a *discovery* run traces every feature the workload exercises;
+//! 2. for each traced feature, one run *stubs* it and one run *fakes* it,
+//!    and the test script decides whether the application still works
+//!    reliably (performance and resource usage are compared against the
+//!    baseline as additional failure signals);
+//! 3. a final *confirmation* run applies every per-feature conclusion at
+//!    once;
+//! 4. everything is replicated `r` times and merged conservatively.
+//!
+//! The total number of runs is `(2 + 2·t·s)·⌈r/p⌉` in paper notation —
+//! tracked by [`engine::RunStats`] and asserted in tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use loupe_apps::{registry, Workload};
+//! use loupe_core::{AnalysisConfig, Engine};
+//!
+//! let app = registry::find("weborf").unwrap();
+//! let engine = Engine::new(AnalysisConfig::fast());
+//! let report = engine.analyze(app.as_ref(), Workload::HealthCheck).unwrap();
+//! assert!(report.required().len() < report.traced().len());
+//! ```
+
+pub mod anomaly;
+pub mod engine;
+pub mod fakes;
+pub mod interpose;
+pub mod policy;
+pub mod report;
+pub mod script;
+pub mod stats;
+pub mod trace;
+
+pub use anomaly::LogProfile;
+pub use engine::{transfer_hints, AnalysisConfig, Engine, EngineError, PerfPolicy, RunStats};
+pub use interpose::Interposed;
+pub use policy::{Action, Policy};
+pub use report::{AppReport, FeatureClass, Impact, ImpactRecord};
+pub use script::{TestScript, Verdict};
+pub use trace::Trace;

@@ -1,0 +1,175 @@
+//! Interposition policies: which features to allow, stub or fake.
+
+use std::collections::BTreeMap;
+
+use loupe_kernel::Invocation;
+use loupe_syscalls::{SubFeatureKey, Sysno};
+use serde::{Deserialize, Serialize};
+
+/// What the interposition layer does with a matching invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Pass through to the kernel.
+    Allow,
+    /// Do not run the feature; return `-ENOSYS` (§2: feature stubbing).
+    Stub,
+    /// Do not run the feature; return a syscall-specific success value
+    /// (§2: faking feature success).
+    Fake,
+}
+
+/// A complete interposition policy.
+///
+/// Precedence, most-specific first: pseudo-file rule (for `open`-family
+/// calls on special paths) → sub-feature rule (for vectored syscalls) →
+/// per-syscall rule → default.
+///
+/// # Examples
+///
+/// ```
+/// use loupe_core::{Action, Policy};
+/// use loupe_kernel::Invocation;
+/// use loupe_syscalls::Sysno;
+///
+/// let policy = Policy::allow_all().with_syscall(Sysno::write, Action::Stub);
+/// let inv = Invocation::new(Sysno::write, [1, 0, 10, 0, 0, 0]);
+/// assert_eq!(policy.action_for(&inv), Action::Stub);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Policy {
+    per_syscall: BTreeMap<Sysno, Action>,
+    per_sub_feature: Vec<(SubFeatureKey, Action)>,
+    per_pseudo_file: BTreeMap<String, Action>,
+}
+
+impl Policy {
+    /// The pass-through policy (used by discovery runs).
+    pub fn allow_all() -> Policy {
+        Policy::default()
+    }
+
+    /// Adds a per-syscall rule (builder style).
+    pub fn with_syscall(mut self, sysno: Sysno, action: Action) -> Policy {
+        self.set_syscall(sysno, action);
+        self
+    }
+
+    /// Sets a per-syscall rule.
+    pub fn set_syscall(&mut self, sysno: Sysno, action: Action) {
+        if action == Action::Allow {
+            self.per_syscall.remove(&sysno);
+        } else {
+            self.per_syscall.insert(sysno, action);
+        }
+    }
+
+    /// Adds a sub-feature rule (builder style).
+    pub fn with_sub_feature(mut self, key: SubFeatureKey, action: Action) -> Policy {
+        self.per_sub_feature.retain(|(k, _)| *k != key);
+        if action != Action::Allow {
+            self.per_sub_feature.push((key, action));
+        }
+        self
+    }
+
+    /// Adds a pseudo-file rule (canonical path, builder style).
+    pub fn with_pseudo_file(mut self, path: impl Into<String>, action: Action) -> Policy {
+        self.per_pseudo_file.insert(path.into(), action);
+        self
+    }
+
+    /// Number of non-allow rules (diagnostics).
+    pub fn rule_count(&self) -> usize {
+        self.per_syscall.len() + self.per_sub_feature.len() + self.per_pseudo_file.len()
+    }
+
+    /// Resolves the action for an invocation.
+    pub fn action_for(&self, inv: &Invocation) -> Action {
+        if !self.per_pseudo_file.is_empty() {
+            if let Some(pf) = inv.pseudo_file() {
+                if let Some(&a) = self.per_pseudo_file.get(pf.path()) {
+                    return a;
+                }
+            }
+        }
+        if !self.per_sub_feature.is_empty() {
+            if let Some(key) = inv.sub_feature() {
+                if let Some(&a) = self
+                    .per_sub_feature
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, a)| a)
+                {
+                    return a;
+                }
+            }
+        }
+        self.per_syscall
+            .get(&inv.sysno)
+            .copied()
+            .unwrap_or(Action::Allow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loupe_syscalls::SubFeature;
+
+    #[test]
+    fn default_allows() {
+        let p = Policy::allow_all();
+        let inv = Invocation::new(Sysno::read, [0; 6]);
+        assert_eq!(p.action_for(&inv), Action::Allow);
+        assert_eq!(p.rule_count(), 0);
+    }
+
+    #[test]
+    fn sub_feature_rule_beats_syscall_rule() {
+        let p = Policy::allow_all()
+            .with_syscall(Sysno::fcntl, Action::Stub)
+            .with_sub_feature(SubFeature::F_SETFL.key(), Action::Allow);
+        // F_SETFL resolves through... Allow rules are dropped, so the
+        // syscall rule applies.
+        let setfl = Invocation::new(Sysno::fcntl, [3, 4, 0, 0, 0, 0]);
+        assert_eq!(p.action_for(&setfl), Action::Stub);
+
+        let p = Policy::allow_all().with_sub_feature(SubFeature::F_SETFD.key(), Action::Stub);
+        let setfd = Invocation::new(Sysno::fcntl, [3, 2, 1, 0, 0, 0]);
+        let setfl = Invocation::new(Sysno::fcntl, [3, 4, 0, 0, 0, 0]);
+        assert_eq!(p.action_for(&setfd), Action::Stub);
+        assert_eq!(p.action_for(&setfl), Action::Allow, "other selectors untouched");
+    }
+
+    #[test]
+    fn pseudo_file_rule_applies_to_open_family_only() {
+        let p = Policy::allow_all().with_pseudo_file("/dev/urandom", Action::Stub);
+        let open = Invocation::new(Sysno::openat, [0; 6]).with_path("/dev/urandom");
+        assert_eq!(p.action_for(&open), Action::Stub);
+        // PID canonicalisation applies.
+        let p2 = Policy::allow_all().with_pseudo_file("/proc/self/status", Action::Fake);
+        let open = Invocation::new(Sysno::openat, [0; 6]).with_path("/proc/99/status");
+        assert_eq!(p2.action_for(&open), Action::Fake);
+        // Unrelated opens untouched.
+        let other = Invocation::new(Sysno::openat, [0; 6]).with_path("/etc/passwd");
+        assert_eq!(p.action_for(&other), Action::Allow);
+    }
+
+    #[test]
+    fn setting_allow_removes_rules() {
+        let mut p = Policy::allow_all().with_syscall(Sysno::write, Action::Fake);
+        assert_eq!(p.rule_count(), 1);
+        p.set_syscall(Sysno::write, Action::Allow);
+        assert_eq!(p.rule_count(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Policy::allow_all()
+            .with_syscall(Sysno::close, Action::Fake)
+            .with_pseudo_file("/dev/null", Action::Stub);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Policy = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

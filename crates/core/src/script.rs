@@ -1,0 +1,171 @@
+//! Test scripts: deciding whether a run *worked* (§3.2).
+//!
+//! A run is successful when the application terminated cleanly, produced
+//! the expected responses, logged no failures, and — for suite workloads —
+//! kept every application feature that the baseline run had healthy.
+//! Crashes, hangs and starvation are generic failure signs; resource and
+//! performance deviations are reported separately by the engine.
+
+use std::collections::BTreeMap;
+
+use loupe_apps::model::AppOutcome;
+use loupe_apps::Workload;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of evaluating one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Did the run pass?
+    pub success: bool,
+    /// The performance metric (responses per 1000 time units).
+    pub perf: f64,
+    /// Why the run failed, when it did.
+    pub reasons: Vec<String>,
+}
+
+/// A generic test script, configurable per application needs.
+///
+/// The embedded drivers in the app models supply inputs and verify
+/// responses end-to-end; this type encodes the pass/fail policy, like the
+/// `is_failed` helper of the paper's Nginx example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestScript {
+    /// Minimum fraction of expected responses that must be verified.
+    pub min_response_fraction: f64,
+    /// Maximum tolerated fraction of failed requests.
+    pub max_failure_fraction: f64,
+}
+
+impl Default for TestScript {
+    fn default() -> Self {
+        TestScript {
+            min_response_fraction: 0.95,
+            max_failure_fraction: 0.05,
+        }
+    }
+}
+
+impl TestScript {
+    /// Creates the default policy.
+    pub fn new() -> TestScript {
+        TestScript::default()
+    }
+
+    /// Evaluates one run. `baseline_features` is the feature-health map of
+    /// the full-kernel baseline: a feature that regresses from healthy to
+    /// broken fails suite workloads (benchmarks only check the hot path).
+    pub fn evaluate(
+        &self,
+        outcome: &AppOutcome,
+        workload: Workload,
+        baseline_features: Option<&BTreeMap<String, bool>>,
+    ) -> Verdict {
+        let mut reasons = Vec::new();
+        if !outcome.exit.is_clean() {
+            reasons.push(outcome.exit.to_string());
+        }
+        let expected = u64::from(workload.requests());
+        let min_responses = ((expected as f64) * self.min_response_fraction).ceil() as u64;
+        if outcome.responses < min_responses {
+            reasons.push(format!(
+                "only {}/{} responses verified",
+                outcome.responses, expected
+            ));
+        }
+        let max_failures = ((expected as f64) * self.max_failure_fraction).floor() as usize;
+        if outcome.failures.len() > max_failures {
+            reasons.push(format!(
+                "{} failures logged (tolerated: {max_failures})",
+                outcome.failures.len()
+            ));
+        }
+        if workload.checks_aux_features() {
+            if let Some(base) = baseline_features {
+                for (feature, healthy) in base {
+                    if *healthy && outcome.features.get(feature) == Some(&false) {
+                        reasons.push(format!("feature regressed: {feature}"));
+                    }
+                }
+            }
+        }
+        Verdict {
+            success: reasons.is_empty(),
+            perf: outcome.throughput(),
+            reasons,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loupe_apps::Exit;
+
+    fn outcome(responses: u64, failures: usize, exit: Exit) -> AppOutcome {
+        AppOutcome {
+            exit,
+            responses,
+            elapsed: 1000,
+            features: BTreeMap::new(),
+            failures: vec!["x".into(); failures],
+        }
+    }
+
+    #[test]
+    fn clean_full_run_passes() {
+        let v = TestScript::new().evaluate(&outcome(200, 0, Exit::Clean), Workload::Benchmark, None);
+        assert!(v.success, "{:?}", v.reasons);
+        assert!(v.perf > 0.0);
+    }
+
+    #[test]
+    fn crash_fails() {
+        let v = TestScript::new().evaluate(
+            &outcome(200, 0, Exit::Crash("boom".into())),
+            Workload::Benchmark,
+            None,
+        );
+        assert!(!v.success);
+        assert!(v.reasons[0].contains("boom"));
+    }
+
+    #[test]
+    fn missing_responses_fail() {
+        let v = TestScript::new().evaluate(&outcome(100, 0, Exit::Clean), Workload::Benchmark, None);
+        assert!(!v.success);
+    }
+
+    #[test]
+    fn small_failure_fraction_is_tolerated() {
+        let v = TestScript::new().evaluate(&outcome(195, 5, Exit::Clean), Workload::Benchmark, None);
+        assert!(v.success, "{:?}", v.reasons);
+        let v = TestScript::new().evaluate(&outcome(195, 60, Exit::Clean), Workload::Benchmark, None);
+        assert!(!v.success);
+    }
+
+    #[test]
+    fn feature_regression_fails_suites_only() {
+        let mut base = BTreeMap::new();
+        base.insert("persistence".to_owned(), true);
+        let mut out = outcome(60, 0, Exit::Clean);
+        out.features.insert("persistence".to_owned(), false);
+
+        let suite = TestScript::new().evaluate(&out, Workload::TestSuite, Some(&base));
+        assert!(!suite.success);
+
+        let mut bench_out = outcome(200, 0, Exit::Clean);
+        bench_out.features.insert("persistence".to_owned(), false);
+        let bench = TestScript::new().evaluate(&bench_out, Workload::Benchmark, Some(&base));
+        assert!(bench.success, "benchmarks only check the hot path");
+    }
+
+    #[test]
+    fn feature_broken_in_baseline_does_not_fail() {
+        let mut base = BTreeMap::new();
+        base.insert("exotic".to_owned(), false);
+        let mut out = outcome(60, 0, Exit::Clean);
+        out.features.insert("exotic".to_owned(), false);
+        let v = TestScript::new().evaluate(&out, Workload::TestSuite, Some(&base));
+        assert!(v.success);
+    }
+}

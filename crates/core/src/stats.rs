@@ -1,0 +1,70 @@
+//! Small statistics helpers for comparing replicated measurements.
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of a sample.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Relative delta of `new` vs `base` (`0.15` = +15%). Zero baselines give
+/// zero (no meaningful comparison).
+pub fn rel_delta(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        new / base - 1.0
+    }
+}
+
+/// Whether `new` deviates from the `base` sample "statistically
+/// significantly" in the paper's working sense: outside both the
+/// baseline's ±2σ band and a relative `epsilon` margin (Table 2 uses a 3%
+/// error margin).
+pub fn significant_deviation(base: &[f64], new: f64, epsilon: f64) -> bool {
+    let m = mean(base);
+    let sd = stddev(base);
+    let outside_band = (new - m).abs() > 2.0 * sd;
+    let outside_margin = rel_delta(m, new).abs() > epsilon;
+    outside_band && outside_margin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        let sd = stddev(&[2.0, 4.0]);
+        assert!((sd - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rel_delta_handles_zero_base() {
+        assert_eq!(rel_delta(0.0, 5.0), 0.0);
+        assert!((rel_delta(100.0, 115.0) - 0.15).abs() < 1e-9);
+        assert!((rel_delta(100.0, 62.0) + 0.38).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deviation_requires_both_band_and_margin() {
+        // Identical replicas (σ=0): any relative change over epsilon flags.
+        assert!(significant_deviation(&[100.0, 100.0], 110.0, 0.03));
+        assert!(!significant_deviation(&[100.0, 100.0], 101.0, 0.03));
+        // Noisy baseline: within 2σ is not significant.
+        assert!(!significant_deviation(&[90.0, 110.0], 105.0, 0.03));
+    }
+}

@@ -1,0 +1,100 @@
+//! Trace recording: which features a run exercised, with counts.
+
+use std::collections::BTreeMap;
+
+use loupe_kernel::Invocation;
+use loupe_syscalls::{SubFeatureKey, Sysno, SysnoSet};
+use serde::{Deserialize, Serialize};
+
+/// A run's feature trace: syscalls, sub-features of vectored syscalls,
+/// and pseudo-file accesses, each with invocation counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Invocation counts per system call.
+    pub syscalls: BTreeMap<Sysno, u64>,
+    /// Invocation counts per sub-feature (vectored syscalls only).
+    pub sub_features: Vec<(SubFeatureKey, u64)>,
+    /// Access counts per canonical pseudo-file path.
+    pub pseudo_files: BTreeMap<String, u64>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Records one invocation.
+    pub fn record(&mut self, inv: &Invocation) {
+        *self.syscalls.entry(inv.sysno).or_insert(0) += 1;
+        if let Some(key) = inv.sub_feature() {
+            match self.sub_features.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => *n += 1,
+                None => self.sub_features.push((key, 1)),
+            }
+        }
+        if let Some(pf) = inv.pseudo_file() {
+            *self.pseudo_files.entry(pf.path().to_owned()).or_insert(0) += 1;
+        }
+    }
+
+    /// The set of distinct syscalls traced.
+    pub fn syscall_set(&self) -> SysnoSet {
+        self.syscalls.keys().copied().collect()
+    }
+
+    /// Number of distinct features (syscalls + pseudo-files) — the `s` of
+    /// the run-time formula in §3.3.
+    pub fn distinct_features(&self, include_pseudo_files: bool) -> usize {
+        self.syscalls.len()
+            + if include_pseudo_files {
+                self.pseudo_files.len()
+            } else {
+                0
+            }
+    }
+
+    /// Total invocations recorded.
+    pub fn total_invocations(&self) -> u64 {
+        self.syscalls.values().sum()
+    }
+
+    /// Sub-feature keys traced for `sysno`.
+    pub fn sub_features_of(&self, sysno: Sysno) -> Vec<SubFeatureKey> {
+        self.sub_features
+            .iter()
+            .filter(|(k, _)| k.sysno() == sysno)
+            .map(|(k, _)| *k)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_counts_and_sets() {
+        let mut t = Trace::new();
+        t.record(&Invocation::new(Sysno::read, [0; 6]));
+        t.record(&Invocation::new(Sysno::read, [0; 6]));
+        t.record(&Invocation::new(Sysno::write, [1, 0, 4, 0, 0, 0]));
+        assert_eq!(t.syscalls[&Sysno::read], 2);
+        assert_eq!(t.syscall_set().len(), 2);
+        assert_eq!(t.total_invocations(), 3);
+    }
+
+    #[test]
+    fn records_sub_features_and_pseudo_files() {
+        let mut t = Trace::new();
+        t.record(&Invocation::new(Sysno::fcntl, [3, 4, 0x800, 0, 0, 0]));
+        t.record(&Invocation::new(Sysno::fcntl, [3, 2, 1, 0, 0, 0]));
+        t.record(&Invocation::new(Sysno::fcntl, [3, 4, 0, 0, 0, 0]));
+        t.record(&Invocation::new(Sysno::openat, [0; 6]).with_path("/dev/urandom"));
+        assert_eq!(t.sub_features.len(), 2);
+        assert_eq!(t.sub_features_of(Sysno::fcntl).len(), 2);
+        assert_eq!(t.pseudo_files["/dev/urandom"], 1);
+        assert_eq!(t.distinct_features(true), 3);
+        assert_eq!(t.distinct_features(false), 2);
+    }
+}

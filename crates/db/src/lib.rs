@@ -1,0 +1,330 @@
+//! The measurement database — the `loupedb` analogue (§3.3: "Sharing
+//! Loupe Results").
+//!
+//! Results are final for a fixed build of the software, its workload and
+//! kernel, so they are worth persisting and sharing. This crate stores
+//! [`AppReport`]s as JSON files in a directory tree
+//! (`<root>/<app>/<workload>.json`), supports conservative merging of
+//! repeated measurements, and imports/exports OS support specs in the
+//! paper's one-syscall-per-line CSV form.
+//!
+//! # Examples
+//!
+//! ```
+//! use loupe_db::Database;
+//!
+//! let dir = std::env::temp_dir().join("loupedb-doc-example");
+//! let db = Database::open(&dir).unwrap();
+//! assert!(db.list().unwrap().is_empty() || !db.list().unwrap().is_empty());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use loupe_apps::Workload;
+use loupe_core::{AppReport, FeatureClass};
+use loupe_plan::{AppRequirement, OsSpec};
+
+/// A directory-backed measurement database.
+#[derive(Debug, Clone)]
+pub struct Database {
+    root: PathBuf,
+}
+
+/// Database errors.
+#[derive(Debug)]
+pub enum DbError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// Malformed stored JSON.
+    Corrupt {
+        /// Offending file.
+        path: PathBuf,
+        /// Parser message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Io(e) => write!(f, "database I/O error: {e}"),
+            DbError::Corrupt { path, message } => {
+                write!(f, "corrupt database entry {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<io::Error> for DbError {
+    fn from(e: io::Error) -> Self {
+        DbError::Io(e)
+    }
+}
+
+impl Database {
+    /// Opens (creating if needed) a database rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(root: impl AsRef<Path>) -> Result<Database, DbError> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(Database { root })
+    }
+
+    /// The database root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, app: &str, workload: Workload) -> PathBuf {
+        self.root.join(app).join(format!("{}.json", workload.label()))
+    }
+
+    /// Stores a report, conservatively merging with any existing entry for
+    /// the same `(app, workload)`: a feature is classified stubbable or
+    /// fakeable only if *every* stored measurement agrees (§3.1).
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialisation failures.
+    pub fn save(&self, report: &AppReport) -> Result<(), DbError> {
+        let merged = match self.load(&report.app, report.workload)? {
+            Some(existing) => merge_reports(&existing, report),
+            None => report.clone(),
+        };
+        let path = self.entry_path(&report.app, report.workload);
+        fs::create_dir_all(path.parent().expect("entry path has parent"))?;
+        let json = serde_json::to_string_pretty(&merged).map_err(|e| DbError::Corrupt {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        fs::write(&path, json)?;
+        Ok(())
+    }
+
+    /// Loads the stored report for `(app, workload)`, if any.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt entries.
+    pub fn load(&self, app: &str, workload: Workload) -> Result<Option<AppReport>, DbError> {
+        let path = self.entry_path(app, workload);
+        match fs::read_to_string(&path) {
+            Ok(text) => serde_json::from_str(&text)
+                .map(Some)
+                .map_err(|e| DbError::Corrupt {
+                    path,
+                    message: e.to_string(),
+                }),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Lists `(app, workload)` pairs present in the database.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn list(&self) -> Result<Vec<(String, Workload)>, DbError> {
+        let mut out = Vec::new();
+        for app_dir in fs::read_dir(&self.root)? {
+            let app_dir = app_dir?;
+            if !app_dir.file_type()?.is_dir() {
+                continue;
+            }
+            let app = app_dir.file_name().to_string_lossy().into_owned();
+            for entry in fs::read_dir(app_dir.path())? {
+                let entry = entry?;
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let workload = match name.as_str() {
+                    "health.json" => Workload::HealthCheck,
+                    "bench.json" => Workload::Benchmark,
+                    "suite.json" => Workload::TestSuite,
+                    _ => continue,
+                };
+                out.push((app.clone(), workload));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Loads every stored report for `workload` as planner requirements.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt entries.
+    pub fn requirements(&self, workload: Workload) -> Result<Vec<AppRequirement>, DbError> {
+        let mut out = Vec::new();
+        for (app, w) in self.list()? {
+            if w == workload {
+                if let Some(report) = self.load(&app, w)? {
+                    out.push(AppRequirement::from_report(&report));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes an OS support spec in CSV form under `<root>/os/<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn save_os_spec(&self, spec: &OsSpec) -> Result<PathBuf, DbError> {
+        let dir = self.root.join("os");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", spec.name));
+        fs::write(&path, spec.to_csv())?;
+        Ok(path)
+    }
+
+    /// Reads an OS support spec back from CSV.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and unknown syscalls in the file.
+    pub fn load_os_spec(&self, name: &str) -> Result<Option<OsSpec>, DbError> {
+        let path = self.root.join("os").join(format!("{name}.csv"));
+        match fs::read_to_string(&path) {
+            Ok(text) => OsSpec::from_csv(name, "db", &text)
+                .map(Some)
+                .map_err(|e| DbError::Corrupt {
+                    path,
+                    message: e.to_string(),
+                }),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// Conservative merge of two measurements of the same (app, workload):
+/// traced counts accumulate; stub/fake capability is the logical AND
+/// (anything that failed once is not safe); confirmation requires both.
+pub fn merge_reports(a: &AppReport, b: &AppReport) -> AppReport {
+    let mut merged = a.clone();
+    for (s, n) in &b.traced {
+        *merged.traced.entry(*s).or_insert(0) += *n;
+    }
+    for (s, class_b) in &b.classes {
+        let entry = merged.classes.entry(*s).or_insert(*class_b);
+        *entry = FeatureClass {
+            stub_ok: entry.stub_ok && class_b.stub_ok,
+            fake_ok: entry.fake_ok && class_b.fake_ok,
+        };
+    }
+    for (key, class_b) in &b.sub_features {
+        match merged.sub_features.iter_mut().find(|(k, _)| k == key) {
+            Some((_, c)) => {
+                *c = FeatureClass {
+                    stub_ok: c.stub_ok && class_b.stub_ok,
+                    fake_ok: c.fake_ok && class_b.fake_ok,
+                }
+            }
+            None => merged.sub_features.push((*key, *class_b)),
+        }
+    }
+    for (path, class_b) in &b.pseudo_files {
+        let entry = merged.pseudo_files.entry(path.clone()).or_insert(*class_b);
+        *entry = FeatureClass {
+            stub_ok: entry.stub_ok && class_b.stub_ok,
+            fake_ok: entry.fake_ok && class_b.fake_ok,
+        };
+    }
+    merged.confirmed = a.confirmed && b.confirmed;
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loupe_apps::registry;
+    use loupe_core::{AnalysisConfig, Engine};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("loupedb-test-{tag}-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn sample_report() -> AppReport {
+        let app = registry::find("hello-musl-static").unwrap();
+        Engine::new(AnalysisConfig::fast())
+            .analyze(app.as_ref(), Workload::HealthCheck)
+            .unwrap()
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let db = Database::open(&dir).unwrap();
+        let report = sample_report();
+        db.save(&report).unwrap();
+        let back = db.load(&report.app, Workload::HealthCheck).unwrap().unwrap();
+        assert_eq!(back, report);
+        assert_eq!(db.list().unwrap().len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_is_conservative() {
+        let report = sample_report();
+        let mut looser = report.clone();
+        let first = *looser.classes.keys().next().unwrap();
+        looser
+            .classes
+            .insert(first, FeatureClass { stub_ok: true, fake_ok: true });
+        let mut stricter = report.clone();
+        stricter
+            .classes
+            .insert(first, FeatureClass { stub_ok: false, fake_ok: true });
+        let merged = merge_reports(&looser, &stricter);
+        let class = merged.classes[&first];
+        assert!(!class.stub_ok, "one failed stub disqualifies");
+        assert!(class.fake_ok);
+        // Counts accumulate.
+        assert_eq!(merged.traced[&first], report.traced[&first] * 2);
+    }
+
+    #[test]
+    fn saving_twice_merges() {
+        let dir = tmpdir("merge");
+        let db = Database::open(&dir).unwrap();
+        let report = sample_report();
+        db.save(&report).unwrap();
+        db.save(&report).unwrap();
+        let back = db.load(&report.app, Workload::HealthCheck).unwrap().unwrap();
+        let first = *report.traced.keys().next().unwrap();
+        assert_eq!(back.traced[&first], report.traced[&first] * 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn os_spec_roundtrip() {
+        let dir = tmpdir("os");
+        let db = Database::open(&dir).unwrap();
+        let spec = loupe_plan::os::find("kerla").unwrap();
+        db.save_os_spec(&spec).unwrap();
+        let back = db.load_os_spec("kerla").unwrap().unwrap();
+        assert_eq!(back.supported, spec.supported);
+        assert!(db.load_os_spec("nonexistent").unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_entry_is_none() {
+        let dir = tmpdir("missing");
+        let db = Database::open(&dir).unwrap();
+        assert!(db.load("ghost", Workload::Benchmark).unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,144 @@
+//! Virtual time.
+//!
+//! The simulator measures performance in abstract *time units*. Every
+//! syscall charges a base cost (plus data-proportional cost for I/O), and
+//! application models charge their own compute between calls. Benchmarks
+//! report `requests / elapsed`, so removing work (e.g. stubbing the
+//! access-log `write`) increases throughput and adding work (busy-waiting
+//! after stubbing `rt_sigsuspend`) decreases it — reproducing the dynamics
+//! behind Table 2.
+
+use loupe_syscalls::{Category, Sysno};
+
+/// A monotonically increasing virtual clock.
+///
+/// # Examples
+///
+/// ```
+/// use loupe_kernel::VirtualClock;
+///
+/// let mut clock = VirtualClock::new();
+/// clock.advance(100);
+/// assert_eq!(clock.now(), 100);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now: u64,
+}
+
+impl VirtualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Current time in units.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the clock by `units`.
+    pub fn advance(&mut self, units: u64) {
+        self.now = self.now.saturating_add(units);
+    }
+}
+
+/// Base virtual-time cost of executing a system call in the kernel.
+///
+/// Cheap getters cost little; I/O and blocking calls cost more. The values
+/// are not calibrated against real hardware — only their *relative*
+/// magnitudes matter for reproducing the paper's performance shapes.
+pub fn base_cost(sysno: Sysno) -> u64 {
+    match sysno {
+        // Identity getters and trivial queries are nearly free.
+        Sysno::getpid
+        | Sysno::gettid
+        | Sysno::getppid
+        | Sysno::getuid
+        | Sysno::geteuid
+        | Sysno::getgid
+        | Sysno::getegid
+        | Sysno::umask
+        | Sysno::alarm => 2,
+        // Clock reads are vDSO-class.
+        Sysno::clock_gettime | Sysno::gettimeofday | Sysno::time => 1,
+        // Data-moving I/O: base cost here, per-byte cost added by the
+        // kernel at the call site.
+        Sysno::read
+        | Sysno::write
+        | Sysno::readv
+        | Sysno::writev
+        | Sysno::pread64
+        | Sysno::pwrite64
+        | Sysno::sendto
+        | Sysno::recvfrom
+        | Sysno::sendmsg
+        | Sysno::recvmsg
+        | Sysno::sendfile => 30,
+        // Connection management.
+        Sysno::accept | Sysno::accept4 | Sysno::connect => 50,
+        Sysno::socket | Sysno::bind | Sysno::listen | Sysno::socketpair => 40,
+        // Event waiting (cost of the trap; actual waiting modelled by apps).
+        Sysno::epoll_wait | Sysno::epoll_pwait | Sysno::poll | Sysno::select | Sysno::ppoll | Sysno::pselect6 => 20,
+        // Memory management.
+        Sysno::mmap | Sysno::munmap | Sysno::mremap => 60,
+        Sysno::brk => 25,
+        Sysno::mprotect | Sysno::madvise => 30,
+        // Process control is expensive.
+        Sysno::clone | Sysno::fork | Sysno::vfork | Sysno::clone3 => 400,
+        Sysno::execve | Sysno::execveat => 800,
+        // Blocking waits.
+        Sysno::rt_sigsuspend | Sysno::pause | Sysno::wait4 | Sysno::waitid => 15,
+        Sysno::futex => 12,
+        Sysno::nanosleep | Sysno::clock_nanosleep => 15,
+        // Filesystem metadata.
+        Sysno::open | Sysno::openat | Sysno::creat => 45,
+        Sysno::close => 15,
+        Sysno::stat | Sysno::fstat | Sysno::lstat | Sysno::newfstatat | Sysno::statx | Sysno::access | Sysno::faccessat => 25,
+        _ => match Category::of(sysno) {
+            Category::FileIo => 25,
+            Category::Network => 35,
+            Category::Memory => 30,
+            Category::Process => 50,
+            _ => 10,
+        },
+    }
+}
+
+/// Cost charged when a syscall is intercepted and answered by the
+/// interposition layer (stub/fake) instead of the kernel: just the trap.
+pub const INTERCEPT_COST: u64 = 1;
+
+/// Per-byte cost of moving data through read/write-style calls, expressed
+/// as bytes per time unit (i.e. `len / BYTES_PER_UNIT` extra units).
+pub const BYTES_PER_UNIT: u64 = 256;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_and_saturates() {
+        let mut c = VirtualClock::new();
+        c.advance(5);
+        c.advance(7);
+        assert_eq!(c.now(), 12);
+        c.advance(u64::MAX);
+        assert_eq!(c.now(), u64::MAX);
+    }
+
+    #[test]
+    fn relative_costs_are_sensible() {
+        assert!(base_cost(Sysno::getpid) < base_cost(Sysno::write));
+        assert!(base_cost(Sysno::write) < base_cost(Sysno::clone));
+        assert!(base_cost(Sysno::clone) < base_cost(Sysno::execve));
+        assert!(INTERCEPT_COST < base_cost(Sysno::getpid));
+    }
+
+    #[test]
+    fn every_syscall_has_a_cost() {
+        for s in Sysno::all() {
+            assert!(base_cost(s) >= 1);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The per-process file-descriptor table.
+
+use std::collections::BTreeSet;
+
+use crate::net::ConnId;
+
+/// What a file descriptor refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FdKind {
+    /// Standard input/output/error, modelled as a TTY.
+    Tty,
+    /// A regular file in the simulated VFS.
+    File {
+        /// Canonical path of the file.
+        path: String,
+        /// Current read/write offset.
+        offset: u64,
+        /// Whether the file was opened with `O_APPEND`.
+        append: bool,
+    },
+    /// A TCP socket: unbound, bound+listening, or connected outbound.
+    Listener {
+        /// Bound port, 0 before `bind`.
+        port: u16,
+        /// Whether `listen` was called.
+        listening: bool,
+        /// Whether `connect` succeeded (outbound client socket).
+        connected: bool,
+        /// Whether `SO_REUSEADDR`-class options were applied.
+        sockopt: bool,
+    },
+    /// A connected TCP socket.
+    Conn(ConnId),
+    /// The read end of a pipe.
+    PipeRead(u32),
+    /// The write end of a pipe.
+    PipeWrite(u32),
+    /// An epoll instance with its interest list.
+    Epoll(BTreeSet<i32>),
+    /// An eventfd counter.
+    EventFd(u64),
+    /// A timerfd.
+    TimerFd,
+    /// A signalfd.
+    SignalFd,
+    /// An inotify instance.
+    Inotify,
+    /// A memfd with its length.
+    MemFd(u64),
+}
+
+/// One slot in the FD table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdEntry {
+    /// What the descriptor refers to.
+    pub kind: FdKind,
+    /// `O_NONBLOCK` status flag.
+    pub nonblocking: bool,
+    /// `FD_CLOEXEC` descriptor flag.
+    pub cloexec: bool,
+}
+
+impl FdEntry {
+    /// Creates an entry with default flags.
+    pub fn new(kind: FdKind) -> FdEntry {
+        FdEntry {
+            kind,
+            nonblocking: false,
+            cloexec: false,
+        }
+    }
+}
+
+/// The file-descriptor table: fds 0..2 are pre-opened TTYs.
+#[derive(Debug, Clone, Default)]
+pub struct FdTable {
+    slots: Vec<Option<FdEntry>>,
+}
+
+impl FdTable {
+    /// Creates a table with stdin/stdout/stderr open.
+    pub fn new() -> FdTable {
+        FdTable {
+            slots: vec![
+                Some(FdEntry::new(FdKind::Tty)),
+                Some(FdEntry::new(FdKind::Tty)),
+                Some(FdEntry::new(FdKind::Tty)),
+            ],
+        }
+    }
+
+    /// Allocates the lowest free descriptor at or above `min`, or `None`
+    /// if doing so would exceed `limit`.
+    pub fn alloc_from(&mut self, entry: FdEntry, min: usize, limit: u64) -> Option<i32> {
+        let idx = (min..self.slots.len())
+            .find(|&i| self.slots[i].is_none())
+            .unwrap_or(self.slots.len().max(min));
+        if (idx as u64) >= limit {
+            return None;
+        }
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        self.slots[idx] = Some(entry);
+        Some(idx as i32)
+    }
+
+    /// Allocates the lowest free descriptor (>= 0).
+    pub fn alloc(&mut self, entry: FdEntry, limit: u64) -> Option<i32> {
+        self.alloc_from(entry, 0, limit)
+    }
+
+    /// Installs `entry` at exactly `fd` (for `dup2`), returning the
+    /// displaced entry if any.
+    pub fn install(&mut self, fd: i32, entry: FdEntry) -> Option<FdEntry> {
+        let idx = fd as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        self.slots[idx].replace(entry)
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, fd: i32) -> Option<&FdEntry> {
+        if fd < 0 {
+            return None;
+        }
+        self.slots.get(fd as usize).and_then(Option::as_ref)
+    }
+
+    /// Looks up an entry mutably.
+    pub fn get_mut(&mut self, fd: i32) -> Option<&mut FdEntry> {
+        if fd < 0 {
+            return None;
+        }
+        self.slots.get_mut(fd as usize).and_then(Option::as_mut)
+    }
+
+    /// Closes a descriptor, returning its entry if it was open.
+    pub fn close(&mut self, fd: i32) -> Option<FdEntry> {
+        if fd < 0 {
+            return None;
+        }
+        self.slots.get_mut(fd as usize).and_then(Option::take)
+    }
+
+    /// Number of currently open descriptors.
+    pub fn open_count(&self) -> u32 {
+        self.slots.iter().filter(|s| s.is_some()).count() as u32
+    }
+
+    /// Iterates over `(fd, entry)` pairs of open descriptors.
+    pub fn iter(&self) -> impl Iterator<Item = (i32, &FdEntry)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (i as i32, e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stdio_is_preopened() {
+        let t = FdTable::new();
+        assert_eq!(t.open_count(), 3);
+        assert!(matches!(t.get(0).unwrap().kind, FdKind::Tty));
+        assert!(t.get(3).is_none());
+    }
+
+    #[test]
+    fn alloc_returns_lowest_free() {
+        let mut t = FdTable::new();
+        let a = t.alloc(FdEntry::new(FdKind::Tty), 1024).unwrap();
+        assert_eq!(a, 3);
+        t.close(1);
+        let b = t.alloc(FdEntry::new(FdKind::Tty), 1024).unwrap();
+        assert_eq!(b, 1, "reuses freed slot");
+    }
+
+    #[test]
+    fn alloc_respects_limit() {
+        let mut t = FdTable::new();
+        assert!(t.alloc(FdEntry::new(FdKind::Tty), 3).is_none());
+        assert!(t.alloc(FdEntry::new(FdKind::Tty), 4).is_some());
+    }
+
+    #[test]
+    fn alloc_from_minimum() {
+        let mut t = FdTable::new();
+        let fd = t.alloc_from(FdEntry::new(FdKind::Tty), 10, 1024).unwrap();
+        assert_eq!(fd, 10);
+    }
+
+    #[test]
+    fn close_frees_and_reports() {
+        let mut t = FdTable::new();
+        assert!(t.close(2).is_some());
+        assert!(t.close(2).is_none());
+        assert_eq!(t.open_count(), 2);
+        assert!(t.close(-1).is_none());
+    }
+
+    #[test]
+    fn install_displaces() {
+        let mut t = FdTable::new();
+        let old = t.install(1, FdEntry::new(FdKind::TimerFd));
+        assert!(matches!(old.unwrap().kind, FdKind::Tty));
+        assert!(matches!(t.get(1).unwrap().kind, FdKind::TimerFd));
+        assert!(t.install(100, FdEntry::new(FdKind::TimerFd)).is_none());
+    }
+}

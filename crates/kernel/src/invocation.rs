@@ -1,0 +1,244 @@
+//! System-call invocations and outcomes: the ABI between applications, the
+//! interposition layer and the kernel.
+
+use loupe_syscalls::{Errno, PseudoFile, SubFeatureKey, Sysno};
+
+/// One system-call invocation, mirroring the raw six-register ABI.
+///
+/// Two extra fields carry information the real kernel would read from user
+/// memory: `path` (for the `open` family, so pseudo-file interposition can
+/// pattern-match it, §3.3) and `note` (a free-form tag app models attach so
+/// traces stay interpretable, e.g. `"access-log"`).
+///
+/// # Examples
+///
+/// ```
+/// use loupe_kernel::Invocation;
+/// use loupe_syscalls::Sysno;
+///
+/// let inv = Invocation::new(Sysno::openat, [u64::MAX, 0, 0, 0, 0, 0])
+///     .with_path("/dev/urandom");
+/// assert!(inv.pseudo_file().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// The system call.
+    pub sysno: Sysno,
+    /// Raw argument registers (rdi, rsi, rdx, r10, r8, r9).
+    pub args: [u64; 6],
+    /// Path argument for path-taking syscalls (`open`, `openat`, `stat`...).
+    pub path: Option<String>,
+    /// Data argument for write-family syscalls (the buffer the real kernel
+    /// would read from user memory).
+    pub data: Option<bytes::Bytes>,
+    /// Free-form tag attached by the application model.
+    pub note: Option<&'static str>,
+}
+
+impl Invocation {
+    /// Creates an invocation from a syscall number and raw arguments.
+    pub fn new(sysno: Sysno, args: [u64; 6]) -> Invocation {
+        Invocation {
+            sysno,
+            args,
+            path: None,
+            data: None,
+            note: None,
+        }
+    }
+
+    /// Attaches the path argument (builder style).
+    pub fn with_path(mut self, path: impl Into<String>) -> Invocation {
+        self.path = Some(path.into());
+        self
+    }
+
+    /// Attaches a write buffer (builder style). Also sets the length
+    /// argument (`args[2]`) if it was zero.
+    pub fn with_data(mut self, data: impl Into<bytes::Bytes>) -> Invocation {
+        let data = data.into();
+        if self.args[2] == 0 {
+            self.args[2] = data.len() as u64;
+        }
+        self.data = Some(data);
+        self
+    }
+
+    /// Attaches a trace note (builder style).
+    pub fn with_note(mut self, note: &'static str) -> Invocation {
+        self.note = Some(note);
+        self
+    }
+
+    /// The sub-feature key of this invocation, for vectored system calls.
+    ///
+    /// The selector argument position depends on the syscall: argument 1
+    /// for `ioctl`/`fcntl`/`prlimit64` (fd/pid first), argument 0 for
+    /// `prctl`/`arch_prctl`, argument 2 for `madvise`, argument 1 for
+    /// `futex` (op), argument 3 masked to `MAP_ANONYMOUS` for `mmap`.
+    pub fn sub_feature(&self) -> Option<SubFeatureKey> {
+        let sel = match self.sysno {
+            Sysno::ioctl | Sysno::fcntl | Sysno::prlimit64 | Sysno::futex => self.args[1],
+            Sysno::prctl | Sysno::arch_prctl => self.args[0],
+            Sysno::madvise => self.args[2],
+            Sysno::mmap => self.args[3] & 0x20, // MAP_ANONYMOUS bit
+            _ => return None,
+        };
+        Some(SubFeatureKey::new(self.sysno, sel))
+    }
+
+    /// The pseudo-file this invocation accesses, if it is an `open`-family
+    /// call on a `/proc`, `/dev` or `/sys` path.
+    pub fn pseudo_file(&self) -> Option<PseudoFile> {
+        if !matches!(
+            self.sysno,
+            Sysno::open | Sysno::openat | Sysno::openat2 | Sysno::creat
+        ) {
+            return None;
+        }
+        self.path.as_deref().and_then(PseudoFile::canonicalize)
+    }
+}
+
+/// Data the kernel returns *besides* the register return value.
+///
+/// The real kernel writes results through user-space pointers; the model
+/// returns them here. Crucially, when the interposition layer *fakes* a
+/// syscall it produces a success return value **without** a payload — which
+/// is exactly why faking `pipe2` leaves the application holding garbage file
+/// descriptors (§5.3).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Payload {
+    /// No out-of-band data.
+    #[default]
+    None,
+    /// Bytes read (for `read`/`recvfrom`/...).
+    Bytes(bytes::Bytes),
+    /// File descriptors returned through an out-parameter
+    /// (`pipe2`, `socketpair`).
+    Fds([i32; 2]),
+    /// A single scalar out-parameter (e.g. current break for `brk(0)`).
+    U64(u64),
+    /// Two scalars (e.g. rlimit cur/max).
+    Pair(u64, u64),
+    /// A short string (e.g. `uname` release, `getcwd`).
+    Text(String),
+    /// A list of scalars (e.g. ready file descriptors from `epoll_wait`).
+    List(Vec<u64>),
+}
+
+impl Payload {
+    /// The payload as bytes, if it is [`Payload::Bytes`].
+    pub fn as_bytes(&self) -> Option<&bytes::Bytes> {
+        match self {
+            Payload::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The payload as an fd pair, if present.
+    pub fn as_fds(&self) -> Option<[i32; 2]> {
+        match self {
+            Payload::Fds(fds) => Some(*fds),
+            _ => None,
+        }
+    }
+
+    /// The payload as a scalar, if present.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Payload::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of a system call: register return value plus payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SysOutcome {
+    /// The raw return value: `>= 0` on success, `-errno` on failure.
+    pub ret: i64,
+    /// Out-of-band result data (out-parameters, read buffers).
+    pub payload: Payload,
+}
+
+impl SysOutcome {
+    /// Success with a return value and no payload.
+    pub fn ok(ret: i64) -> SysOutcome {
+        SysOutcome {
+            ret,
+            payload: Payload::None,
+        }
+    }
+
+    /// Success with a payload.
+    pub fn with_payload(ret: i64, payload: Payload) -> SysOutcome {
+        SysOutcome { ret, payload }
+    }
+
+    /// Failure with an errno.
+    pub fn err(e: Errno) -> SysOutcome {
+        SysOutcome {
+            ret: e.to_ret(),
+            payload: Payload::None,
+        }
+    }
+
+    /// Whether the call failed (negative return).
+    pub fn is_err(&self) -> bool {
+        self.ret < 0
+    }
+
+    /// The errno, if the call failed with a known one.
+    pub fn errno(&self) -> Option<Errno> {
+        Errno::from_ret(self.ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_feature_extraction() {
+        let inv = Invocation::new(Sysno::fcntl, [4, 4, 0, 0, 0, 0]);
+        let key = inv.sub_feature().unwrap();
+        assert_eq!(key.selector_name(), Some("F_SETFL"));
+
+        let inv = Invocation::new(Sysno::arch_prctl, [0x1002, 0, 0, 0, 0, 0]);
+        assert_eq!(inv.sub_feature().unwrap().selector_name(), Some("ARCH_SET_FS"));
+
+        let inv = Invocation::new(Sysno::read, [0; 6]);
+        assert!(inv.sub_feature().is_none());
+    }
+
+    #[test]
+    fn mmap_sub_feature_distinguishes_anonymous() {
+        let anon = Invocation::new(Sysno::mmap, [0, 4096, 3, 0x22, u64::MAX, 0]);
+        assert_eq!(anon.sub_feature().unwrap().selector_name(), Some("MAP_ANONYMOUS"));
+        let file = Invocation::new(Sysno::mmap, [0, 4096, 1, 0x2, 3, 0]);
+        assert_eq!(file.sub_feature().unwrap().selector_name(), Some("MAP_FILE_BACKED"));
+    }
+
+    #[test]
+    fn pseudo_file_detection() {
+        let inv = Invocation::new(Sysno::openat, [0; 6]).with_path("/proc/1/status");
+        assert_eq!(inv.pseudo_file().unwrap().path(), "/proc/self/status");
+        let inv = Invocation::new(Sysno::openat, [0; 6]).with_path("/etc/fstab");
+        assert!(inv.pseudo_file().is_none());
+        // Only the open family is pattern-matched.
+        let inv = Invocation::new(Sysno::stat, [0; 6]).with_path("/dev/null");
+        assert!(inv.pseudo_file().is_none());
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(SysOutcome::err(Errno::ENOSYS).is_err());
+        assert_eq!(SysOutcome::err(Errno::ENOSYS).errno(), Some(Errno::ENOSYS));
+        assert!(!SysOutcome::ok(7).is_err());
+        assert_eq!(SysOutcome::ok(7).errno(), None);
+        let o = SysOutcome::with_payload(0, Payload::Fds([3, 4]));
+        assert_eq!(o.payload.as_fds(), Some([3, 4]));
+        assert_eq!(o.payload.as_u64(), None);
+    }
+}

@@ -1,0 +1,115 @@
+//! Resource limits (`getrlimit`/`setrlimit`/`prlimit64`).
+//!
+//! Limit getters matter to the reproduction because applications tune
+//! themselves from them (Fig. 6a: Redis sizes `maxclients` from
+//! `RLIMIT_NOFILE` and falls back to a conservative default when the getter
+//! fails — which is what makes `getrlimit`/`prlimit64` stubbable, at the
+//! cost of resource-usage changes, §5.3).
+
+use std::collections::BTreeMap;
+
+/// `RLIMIT_*` resource identifiers (subset used by the app models).
+pub mod resource {
+    /// RLIMIT_CPU.
+    pub const CPU: u64 = 0;
+    /// RLIMIT_FSIZE.
+    pub const FSIZE: u64 = 1;
+    /// RLIMIT_DATA.
+    pub const DATA: u64 = 2;
+    /// RLIMIT_STACK.
+    pub const STACK: u64 = 3;
+    /// RLIMIT_CORE.
+    pub const CORE: u64 = 4;
+    /// RLIMIT_NPROC.
+    pub const NPROC: u64 = 6;
+    /// RLIMIT_NOFILE.
+    pub const NOFILE: u64 = 7;
+    /// RLIMIT_AS.
+    pub const AS: u64 = 9;
+}
+
+/// The "infinity" limit value.
+pub const RLIM_INFINITY: u64 = u64::MAX;
+
+/// The per-process resource-limit table.
+#[derive(Debug, Clone)]
+pub struct RlimitTable {
+    limits: BTreeMap<u64, (u64, u64)>,
+}
+
+impl Default for RlimitTable {
+    fn default() -> Self {
+        RlimitTable::new()
+    }
+}
+
+impl RlimitTable {
+    /// Creates a table with conventional Linux defaults.
+    pub fn new() -> RlimitTable {
+        let mut limits = BTreeMap::new();
+        limits.insert(resource::CPU, (RLIM_INFINITY, RLIM_INFINITY));
+        limits.insert(resource::FSIZE, (RLIM_INFINITY, RLIM_INFINITY));
+        limits.insert(resource::DATA, (RLIM_INFINITY, RLIM_INFINITY));
+        limits.insert(resource::STACK, (8 << 20, RLIM_INFINITY));
+        limits.insert(resource::CORE, (0, RLIM_INFINITY));
+        limits.insert(resource::NPROC, (31862, 31862));
+        limits.insert(resource::NOFILE, (1024, 1048576));
+        limits.insert(resource::AS, (RLIM_INFINITY, RLIM_INFINITY));
+        RlimitTable { limits }
+    }
+
+    /// `getrlimit`: `(cur, max)` for a resource.
+    pub fn get(&self, res: u64) -> (u64, u64) {
+        self.limits
+            .get(&res)
+            .copied()
+            .unwrap_or((RLIM_INFINITY, RLIM_INFINITY))
+    }
+
+    /// `setrlimit`: updates a limit. Fails (EPERM-style `false`) when
+    /// raising the hard limit.
+    pub fn set(&mut self, res: u64, cur: u64, max: u64) -> bool {
+        let (_, old_max) = self.get(res);
+        if max > old_max {
+            return false;
+        }
+        if cur > max {
+            return false;
+        }
+        self.limits.insert(res, (cur, max));
+        true
+    }
+
+    /// Soft NOFILE limit (used by the FD table).
+    pub fn nofile(&self) -> u64 {
+        self.get(resource::NOFILE).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let t = RlimitTable::new();
+        assert_eq!(t.get(resource::NOFILE), (1024, 1048576));
+        assert_eq!(t.get(resource::STACK).0, 8 << 20);
+        assert_eq!(t.get(resource::CORE).0, 0);
+        assert_eq!(t.get(999), (RLIM_INFINITY, RLIM_INFINITY));
+    }
+
+    #[test]
+    fn set_within_hard_limit() {
+        let mut t = RlimitTable::new();
+        assert!(t.set(resource::NOFILE, 4096, 1048576));
+        assert_eq!(t.nofile(), 4096);
+    }
+
+    #[test]
+    fn cannot_raise_hard_limit() {
+        let mut t = RlimitTable::new();
+        assert!(!t.set(resource::NOFILE, 1024, u64::MAX - 1));
+        assert!(!t.set(resource::CORE, 10, 5), "cur > max rejected");
+    }
+}

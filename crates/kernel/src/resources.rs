@@ -1,0 +1,134 @@
+//! Resource-usage accounting, mirroring Loupe's `/proc`-based recording of
+//! maximum resident set size and open file descriptors (§3.2).
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of resource usage, taken at the end of a run.
+///
+/// Loupe compares these across runs to detect the resource-usage effects of
+/// stubbing/faking (Table 2: faking `close` → ×8 FDs for Redis, stubbing
+/// `brk` → +17% memory for Nginx, ...).
+///
+/// # Examples
+///
+/// ```
+/// use loupe_kernel::ResourceUsage;
+///
+/// let mut u = ResourceUsage::default();
+/// u.add_rss(1024);
+/// u.add_rss(1024);
+/// u.release_rss(512);
+/// assert_eq!(u.cur_rss, 1536);
+/// assert_eq!(u.peak_rss, 2048);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Current resident set size, in bytes.
+    pub cur_rss: u64,
+    /// Peak resident set size, in bytes.
+    pub peak_rss: u64,
+    /// Currently open file descriptors.
+    pub cur_fds: u32,
+    /// Peak simultaneously open file descriptors.
+    pub peak_fds: u32,
+    /// Total system calls dispatched to the kernel.
+    pub total_syscalls: u64,
+}
+
+impl ResourceUsage {
+    /// Creates a zeroed accounting record.
+    pub fn new() -> ResourceUsage {
+        ResourceUsage::default()
+    }
+
+    /// Accounts an RSS increase of `bytes`.
+    pub fn add_rss(&mut self, bytes: u64) {
+        self.cur_rss = self.cur_rss.saturating_add(bytes);
+        self.peak_rss = self.peak_rss.max(self.cur_rss);
+    }
+
+    /// Accounts an RSS decrease of `bytes`.
+    pub fn release_rss(&mut self, bytes: u64) {
+        self.cur_rss = self.cur_rss.saturating_sub(bytes);
+    }
+
+    /// Accounts a newly opened file descriptor.
+    pub fn add_fd(&mut self) {
+        self.cur_fds = self.cur_fds.saturating_add(1);
+        self.peak_fds = self.peak_fds.max(self.cur_fds);
+    }
+
+    /// Accounts a closed file descriptor.
+    pub fn release_fd(&mut self) {
+        self.cur_fds = self.cur_fds.saturating_sub(1);
+    }
+
+    /// Relative change of `new` vs `self` for peak RSS, as a fraction
+    /// (`0.17` = +17%). Returns `None` when the baseline is zero.
+    pub fn rss_delta(&self, new: &ResourceUsage) -> Option<f64> {
+        if self.peak_rss == 0 {
+            return None;
+        }
+        Some(new.peak_rss as f64 / self.peak_rss as f64 - 1.0)
+    }
+
+    /// Relative change of `new` vs `self` for peak FDs.
+    pub fn fd_delta(&self, new: &ResourceUsage) -> Option<f64> {
+        if self.peak_fds == 0 {
+            return None;
+        }
+        Some(new.peak_fds as f64 / self.peak_fds as f64 - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_peak_tracks_high_water_mark() {
+        let mut u = ResourceUsage::new();
+        u.add_rss(100);
+        u.release_rss(50);
+        u.add_rss(30);
+        assert_eq!(u.cur_rss, 80);
+        assert_eq!(u.peak_rss, 100);
+    }
+
+    #[test]
+    fn fd_accounting() {
+        let mut u = ResourceUsage::new();
+        for _ in 0..5 {
+            u.add_fd();
+        }
+        for _ in 0..3 {
+            u.release_fd();
+        }
+        assert_eq!(u.cur_fds, 2);
+        assert_eq!(u.peak_fds, 5);
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut u = ResourceUsage::new();
+        u.release_fd();
+        u.release_rss(10);
+        assert_eq!(u.cur_fds, 0);
+        assert_eq!(u.cur_rss, 0);
+    }
+
+    #[test]
+    fn deltas() {
+        let mut base = ResourceUsage::new();
+        base.add_rss(1000);
+        base.add_fd();
+        let mut new = ResourceUsage::new();
+        new.add_rss(1170);
+        for _ in 0..8 {
+            new.add_fd();
+        }
+        assert!((base.rss_delta(&new).unwrap() - 0.17).abs() < 1e-9);
+        assert!((base.fd_delta(&new).unwrap() - 7.0).abs() < 1e-9);
+        assert_eq!(ResourceUsage::new().rss_delta(&new), None);
+    }
+}

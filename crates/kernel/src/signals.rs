@@ -1,0 +1,108 @@
+//! Signal state: dispositions, masks and the suspend primitive.
+//!
+//! The model is deliberately shallow — what matters for the reproduction is
+//! that `rt_sigsuspend` *blocks until there is work* when implemented, and
+//! degrades to busy-wait polling when stubbed (Table 2: -38% for Nginx).
+
+use std::collections::BTreeMap;
+
+/// Signal numbers used by the app models.
+pub mod signo {
+    /// SIGHUP.
+    pub const SIGHUP: i32 = 1;
+    /// SIGINT.
+    pub const SIGINT: i32 = 2;
+    /// SIGPIPE.
+    pub const SIGPIPE: i32 = 13;
+    /// SIGTERM.
+    pub const SIGTERM: i32 = 15;
+    /// SIGCHLD.
+    pub const SIGCHLD: i32 = 17;
+    /// SIGUSR1.
+    pub const SIGUSR1: i32 = 10;
+}
+
+/// Per-process signal state.
+#[derive(Debug, Clone, Default)]
+pub struct SignalState {
+    handlers: BTreeMap<i32, u64>,
+    mask: u64,
+    altstack_installed: bool,
+}
+
+impl SignalState {
+    /// Creates default signal state (all default dispositions).
+    pub fn new() -> SignalState {
+        SignalState::default()
+    }
+
+    /// `rt_sigaction`: installs a handler, returning the previous one.
+    pub fn set_handler(&mut self, sig: i32, handler: u64) -> u64 {
+        self.handlers.insert(sig, handler).unwrap_or(0)
+    }
+
+    /// The installed handler for `sig` (0 = default).
+    pub fn handler(&self, sig: i32) -> u64 {
+        self.handlers.get(&sig).copied().unwrap_or(0)
+    }
+
+    /// `rt_sigprocmask`: SIG_SETMASK-style update, returning the old mask.
+    pub fn set_mask(&mut self, how: u64, mask: u64) -> u64 {
+        let old = self.mask;
+        match how {
+            0 => self.mask |= mask,        // SIG_BLOCK
+            1 => self.mask &= !mask,       // SIG_UNBLOCK
+            _ => self.mask = mask,         // SIG_SETMASK
+        }
+        old
+    }
+
+    /// The current blocked-signal mask.
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// `sigaltstack`: record installation.
+    pub fn install_altstack(&mut self) {
+        self.altstack_installed = true;
+    }
+
+    /// Whether an alternate signal stack is installed.
+    pub fn has_altstack(&self) -> bool {
+        self.altstack_installed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handlers_roundtrip() {
+        let mut s = SignalState::new();
+        assert_eq!(s.set_handler(signo::SIGTERM, 0x1000), 0);
+        assert_eq!(s.set_handler(signo::SIGTERM, 0x2000), 0x1000);
+        assert_eq!(s.handler(signo::SIGTERM), 0x2000);
+        assert_eq!(s.handler(signo::SIGHUP), 0);
+    }
+
+    #[test]
+    fn mask_operations() {
+        let mut s = SignalState::new();
+        s.set_mask(0, 0b0110); // block
+        assert_eq!(s.mask(), 0b0110);
+        s.set_mask(1, 0b0010); // unblock
+        assert_eq!(s.mask(), 0b0100);
+        let old = s.set_mask(2, 0b1111); // setmask
+        assert_eq!(old, 0b0100);
+        assert_eq!(s.mask(), 0b1111);
+    }
+
+    #[test]
+    fn altstack() {
+        let mut s = SignalState::new();
+        assert!(!s.has_altstack());
+        s.install_altstack();
+        assert!(s.has_altstack());
+    }
+}

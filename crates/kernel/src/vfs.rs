@@ -1,0 +1,283 @@
+//! The in-memory virtual filesystem, including pseudo-files.
+//!
+//! Application models pre-populate the VFS with their configuration files
+//! and content roots; pseudo-files under `/proc`, `/dev` and `/sys` are
+//! generated on demand so that accesses to them can be traced, stubbed or
+//! faked by the interposition layer (§3.3).
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+/// A node in the filesystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A regular file and its contents.
+    File(Vec<u8>),
+    /// A directory.
+    Dir,
+}
+
+/// The virtual filesystem tree.
+///
+/// # Examples
+///
+/// ```
+/// use loupe_kernel::vfs::Vfs;
+///
+/// let mut vfs = Vfs::new();
+/// vfs.add_file("/etc/app.conf", b"workers 4\n".to_vec());
+/// assert!(vfs.exists("/etc/app.conf"));
+/// assert!(vfs.exists("/dev/urandom")); // pseudo-files always exist
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Vfs {
+    nodes: BTreeMap<String, Node>,
+    umask: u32,
+}
+
+impl Vfs {
+    /// Creates a VFS containing only the root and standard top-level
+    /// directories.
+    pub fn new() -> Vfs {
+        let mut vfs = Vfs {
+            nodes: BTreeMap::new(),
+            umask: 0o022,
+        };
+        for d in ["/", "/etc", "/tmp", "/var", "/var/log", "/usr", "/home"] {
+            vfs.nodes.insert(d.to_owned(), Node::Dir);
+        }
+        vfs
+    }
+
+    /// Adds (or replaces) a regular file, creating parent directories.
+    pub fn add_file(&mut self, path: &str, content: Vec<u8>) {
+        self.mkdirs_for(path);
+        self.nodes.insert(path.to_owned(), Node::File(content));
+    }
+
+    /// Creates a directory (and parents).
+    pub fn mkdir(&mut self, path: &str) {
+        self.mkdirs_for(path);
+        self.nodes.insert(path.to_owned(), Node::Dir);
+    }
+
+    fn mkdirs_for(&mut self, path: &str) {
+        let mut prefix = String::new();
+        let parts: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        for comp in parts.iter().take(parts.len().saturating_sub(1)) {
+            prefix.push('/');
+            prefix.push_str(comp);
+            self.nodes.entry(prefix.clone()).or_insert(Node::Dir);
+        }
+    }
+
+    /// Whether a path exists (regular or pseudo).
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.contains_key(path) || pseudo_content(path).is_some()
+    }
+
+    /// Whether a path is a directory.
+    pub fn is_dir(&self, path: &str) -> bool {
+        matches!(self.nodes.get(path), Some(Node::Dir))
+    }
+
+    /// File size, if the path is a regular or pseudo file.
+    pub fn size(&self, path: &str) -> Option<u64> {
+        match self.nodes.get(path) {
+            Some(Node::File(c)) => Some(c.len() as u64),
+            Some(Node::Dir) => Some(4096),
+            None => pseudo_content(path).map(|c| c.len() as u64),
+        }
+    }
+
+    /// Reads up to `len` bytes at `offset`.
+    pub fn read_at(&self, path: &str, offset: u64, len: u64) -> Option<Bytes> {
+        let content: Vec<u8> = match self.nodes.get(path) {
+            Some(Node::File(c)) => c.clone(),
+            Some(Node::Dir) => return None,
+            None => pseudo_content(path)?,
+        };
+        let start = (offset as usize).min(content.len());
+        let end = (start + len as usize).min(content.len());
+        Some(Bytes::copy_from_slice(&content[start..end]))
+    }
+
+    /// Writes `data` at `offset` (extending the file), creating the file
+    /// if needed. Returns bytes written, or `None` for directories.
+    pub fn write_at(&mut self, path: &str, offset: u64, data: &[u8]) -> Option<u64> {
+        if pseudo_content(path).is_some() {
+            // Writes to pseudo-files are accepted and discarded.
+            return Some(data.len() as u64);
+        }
+        self.mkdirs_for(path);
+        let node = self
+            .nodes
+            .entry(path.to_owned())
+            .or_insert_with(|| Node::File(Vec::new()));
+        match node {
+            Node::File(c) => {
+                let off = offset as usize;
+                if c.len() < off {
+                    c.resize(off, 0);
+                }
+                let end = off + data.len();
+                if c.len() < end {
+                    c.resize(end, 0);
+                }
+                c[off..end].copy_from_slice(data);
+                Some(data.len() as u64)
+            }
+            Node::Dir => None,
+        }
+    }
+
+    /// Removes a file. Returns `true` if it existed.
+    pub fn unlink(&mut self, path: &str) -> bool {
+        matches!(self.nodes.remove(path), Some(Node::File(_)))
+    }
+
+    /// Renames a file. Returns `false` if the source is missing.
+    pub fn rename(&mut self, from: &str, to: &str) -> bool {
+        match self.nodes.remove(from) {
+            Some(node) => {
+                self.mkdirs_for(to);
+                self.nodes.insert(to.to_owned(), node);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Lists the names of entries directly under `dir`.
+    pub fn list(&self, dir: &str) -> Vec<String> {
+        let prefix = if dir.ends_with('/') {
+            dir.to_owned()
+        } else {
+            format!("{dir}/")
+        };
+        self.nodes
+            .keys()
+            .filter(|p| p.starts_with(&prefix) && !p[prefix.len()..].contains('/') && !p[prefix.len()..].is_empty())
+            .map(|p| p[prefix.len()..].to_owned())
+            .collect()
+    }
+
+    /// The process umask (stored here for `umask(2)`).
+    pub fn umask(&self) -> u32 {
+        self.umask
+    }
+
+    /// Sets the umask, returning the previous value.
+    pub fn set_umask(&mut self, mask: u32) -> u32 {
+        std::mem::replace(&mut self.umask, mask & 0o777)
+    }
+}
+
+/// Generated content for pseudo-files. Deterministic so replicated runs
+/// agree (§3.1 replication protocol).
+pub fn pseudo_content(path: &str) -> Option<Vec<u8>> {
+    let content: Vec<u8> = match path {
+        "/dev/null" => Vec::new(),
+        "/dev/zero" => vec![0u8; 4096],
+        "/dev/random" | "/dev/urandom" => (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect(),
+        "/dev/tty" => Vec::new(),
+        "/proc/cpuinfo" => b"processor\t: 0\nmodel name\t: Simulated CPU\n".to_vec(),
+        "/proc/meminfo" => b"MemTotal:       16384000 kB\nMemFree:        8192000 kB\n".to_vec(),
+        "/proc/stat" => b"cpu  100 0 100 1000 0 0 0 0 0 0\n".to_vec(),
+        "/proc/self/status" => b"Name:\tapp\nVmRSS:\t    4096 kB\nFDSize:\t64\n".to_vec(),
+        "/proc/self/exe" => b"/usr/bin/app".to_vec(),
+        "/proc/self/maps" => b"400000-401000 r-xp 00000000 00:00 0 /usr/bin/app\n".to_vec(),
+        "/proc/self/stat" => b"1 (app) R 0 1 1 0 -1 0\n".to_vec(),
+        "/proc/sys/kernel/osrelease" => b"5.15.0-sim\n".to_vec(),
+        "/proc/sys/net/core/somaxconn" => b"4096\n".to_vec(),
+        "/proc/sys/vm/overcommit_memory" => b"0\n".to_vec(),
+        "/proc/sys/vm/max_map_count" => b"65530\n".to_vec(),
+        "/sys/devices/system/cpu/online" => b"0-3\n".to_vec(),
+        "/sys/kernel/mm/transparent_hugepage/enabled" => b"[always] madvise never\n".to_vec(),
+        _ => {
+            // Any other /proc//dev//sys path yields empty readable content.
+            if loupe_syscalls::PseudoFileClass::of_path(path).is_some() {
+                Vec::new()
+            } else {
+                return None;
+            }
+        }
+    };
+    Some(content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_read_file() {
+        let mut vfs = Vfs::new();
+        vfs.add_file("/etc/nginx/nginx.conf", b"worker_processes 1;".to_vec());
+        assert!(vfs.exists("/etc/nginx/nginx.conf"));
+        assert!(vfs.is_dir("/etc/nginx"));
+        let b = vfs.read_at("/etc/nginx/nginx.conf", 0, 1024).unwrap();
+        assert_eq!(&b[..], b"worker_processes 1;");
+        let tail = vfs.read_at("/etc/nginx/nginx.conf", 7, 1024).unwrap();
+        assert_eq!(&tail[..], b"processes 1;");
+    }
+
+    #[test]
+    fn write_extends_and_overwrites() {
+        let mut vfs = Vfs::new();
+        vfs.write_at("/var/log/access.log", 0, b"GET /\n").unwrap();
+        vfs.write_at("/var/log/access.log", 6, b"GET /x\n").unwrap();
+        assert_eq!(vfs.size("/var/log/access.log"), Some(13));
+    }
+
+    #[test]
+    fn pseudo_files_always_exist() {
+        let vfs = Vfs::new();
+        assert!(vfs.exists("/dev/urandom"));
+        assert!(vfs.exists("/proc/self/status"));
+        assert!(vfs.exists("/proc/anything/at/all"));
+        assert!(!vfs.exists("/etc/missing"));
+        let rnd = vfs.read_at("/dev/urandom", 0, 16).unwrap();
+        assert_eq!(rnd.len(), 16);
+        // Deterministic across reads.
+        assert_eq!(rnd, vfs.read_at("/dev/urandom", 0, 16).unwrap());
+    }
+
+    #[test]
+    fn writes_to_pseudo_files_are_discarded() {
+        let mut vfs = Vfs::new();
+        assert_eq!(vfs.write_at("/dev/null", 0, b"gone"), Some(4));
+        assert_eq!(vfs.size("/dev/null"), Some(0));
+    }
+
+    #[test]
+    fn unlink_and_rename() {
+        let mut vfs = Vfs::new();
+        vfs.add_file("/tmp/a", b"x".to_vec());
+        assert!(vfs.rename("/tmp/a", "/tmp/b"));
+        assert!(!vfs.exists("/tmp/a"));
+        assert!(vfs.unlink("/tmp/b"));
+        assert!(!vfs.unlink("/tmp/b"));
+        assert!(!vfs.rename("/tmp/missing", "/tmp/c"));
+    }
+
+    #[test]
+    fn list_directory() {
+        let mut vfs = Vfs::new();
+        vfs.add_file("/srv/www/index.html", b"hi".to_vec());
+        vfs.add_file("/srv/www/style.css", b"c".to_vec());
+        vfs.add_file("/srv/www/sub/page.html", b"p".to_vec());
+        let mut names = vfs.list("/srv/www");
+        names.sort();
+        assert_eq!(names, ["index.html", "style.css", "sub"]);
+    }
+
+    #[test]
+    fn umask_roundtrip() {
+        let mut vfs = Vfs::new();
+        let old = vfs.set_umask(0o077);
+        assert_eq!(old, 0o022);
+        assert_eq!(vfs.umask(), 0o077);
+    }
+}

@@ -1,0 +1,91 @@
+//! API importance (§5.1, Fig. 3): the probability that a syscall is
+//! needed by at least one application — here computed per-syscall as the
+//! fraction of applications whose set contains it, then ranked.
+
+use loupe_syscalls::{Sysno, SysnoSet};
+use serde::{Deserialize, Serialize};
+
+/// One ranked point of an API-importance curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImportancePoint {
+    /// Rank (1 = most important).
+    pub rank: usize,
+    /// The syscall.
+    pub sysno: Sysno,
+    /// Fraction of applications that include it (0..=1).
+    pub importance: f64,
+}
+
+/// Computes the ranked importance curve for a family of per-app sets
+/// (traced sets → the "naive dynamic" curve; required sets → the "Loupe"
+/// curve).
+pub fn api_importance(sets: &[SysnoSet]) -> Vec<ImportancePoint> {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<Sysno, usize> = BTreeMap::new();
+    for set in sets {
+        for s in set.iter() {
+            *counts.entry(s).or_insert(0) += 1;
+        }
+    }
+    let total = sets.len().max(1) as f64;
+    let mut points: Vec<(Sysno, f64)> = counts
+        .into_iter()
+        .map(|(s, c)| (s, c as f64 / total))
+        .collect();
+    points.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    points
+        .into_iter()
+        .enumerate()
+        .map(|(i, (sysno, importance))| ImportancePoint {
+            rank: i + 1,
+            sysno,
+            importance,
+        })
+        .collect()
+}
+
+/// Number of syscalls needed to cover 100% of applications (the curve's
+/// support size: Fig. 3 reports 148 for Loupe vs 180 for naive).
+pub fn total_distinct(sets: &[SysnoSet]) -> usize {
+    let mut union = SysnoSet::new();
+    for s in sets {
+        union = union.union(s);
+    }
+    union.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(names: &[&str]) -> SysnoSet {
+        names.iter().map(|n| Sysno::from_name(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn ranks_by_frequency() {
+        let sets = vec![
+            set(&["read", "write", "mmap"]),
+            set(&["read", "write"]),
+            set(&["read"]),
+        ];
+        let imp = api_importance(&sets);
+        assert_eq!(imp[0].sysno, Sysno::read);
+        assert!((imp[0].importance - 1.0).abs() < 1e-9);
+        assert_eq!(imp[0].rank, 1);
+        assert!((imp[1].importance - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(imp.last().unwrap().sysno, Sysno::mmap);
+    }
+
+    #[test]
+    fn distinct_union() {
+        let sets = vec![set(&["read", "write"]), set(&["write", "mmap"])];
+        assert_eq!(total_distinct(&sets), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(api_importance(&[]).is_empty());
+        assert_eq!(total_distinct(&[]), 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Support-plan generation and engineering-effort analysis (§4, §5.1).
+//!
+//! Given (1) the system calls an OS under development already supports and
+//! (2) Loupe measurements for a set of target applications, this crate
+//! computes:
+//!
+//! * **incremental support plans** (Table 1): the order in which to
+//!   implement / stub / fake missing syscalls so that applications unlock
+//!   as early as possible;
+//! * **engineering-effort curves** (Fig. 2): apps-supported vs
+//!   syscalls-implemented under a Loupe-optimised plan, an "organic"
+//!   historical order, and naive trace-everything dynamic analysis;
+//! * **API importance** (Fig. 3): the fraction of applications requiring
+//!   each syscall, under naive and Loupe definitions of "required".
+
+pub mod importance;
+pub mod os;
+pub mod plan;
+pub mod requirement;
+pub mod savings;
+
+pub use importance::{api_importance, ImportancePoint};
+pub use os::OsSpec;
+pub use plan::{PlanStep, SupportPlan};
+pub use requirement::AppRequirement;
+pub use savings::{curve_points, SavingsCurve, SavingsPoint};

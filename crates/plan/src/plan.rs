@@ -1,0 +1,233 @@
+//! Incremental support-plan generation (§4.1, Table 1).
+//!
+//! Greedy strategy: at every step, unlock the application whose remaining
+//! *required* set is cheapest to implement (ties: fewer stubs/fakes, then
+//! name). Work done for one application counts towards all later ones,
+//! which is what makes ">80% of steps require implementing only 1–3
+//! system calls".
+
+use loupe_syscalls::SysnoSet;
+use serde::{Deserialize, Serialize};
+
+use crate::os::OsSpec;
+use crate::requirement::AppRequirement;
+
+/// One step of a support plan: what to implement/stub/fake, and which
+/// application it unlocks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanStep {
+    /// 1-based step index.
+    pub index: usize,
+    /// Syscalls to implement for real.
+    pub implement: SysnoSet,
+    /// Syscalls to stub (`-ENOSYS`).
+    pub stub: SysnoSet,
+    /// Syscalls to fake (success without work).
+    pub fake: SysnoSet,
+    /// The application this step unlocks.
+    pub unlocks: String,
+}
+
+/// A complete incremental plan for one OS and a set of target apps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupportPlan {
+    /// Target OS.
+    pub os: String,
+    /// Applications already supported before any work (step 0).
+    pub initially_supported: Vec<String>,
+    /// The ordered steps.
+    pub steps: Vec<PlanStep>,
+}
+
+impl SupportPlan {
+    /// Generates the plan.
+    pub fn generate(os: &OsSpec, apps: &[AppRequirement]) -> SupportPlan {
+        let mut implemented = os.supported.clone();
+        let mut stubbed = SysnoSet::new();
+        let mut faked = SysnoSet::new();
+
+        let mut remaining: Vec<&AppRequirement> = Vec::new();
+        let mut initially_supported = Vec::new();
+        for app in apps {
+            if app.supported_by(&implemented) {
+                initially_supported.push(app.app.clone());
+            } else {
+                remaining.push(app);
+            }
+        }
+
+        let mut steps = Vec::new();
+        while !remaining.is_empty() {
+            // Cheapest app: fewest missing required syscalls, then fewest
+            // missing stubs/fakes, then name.
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, app)| {
+                    let miss_req = app.missing_required(&implemented).len();
+                    let miss_stub = app
+                        .stubbable
+                        .difference(&implemented)
+                        .difference(&stubbed)
+                        .len();
+                    let miss_fake = app
+                        .fake_only
+                        .difference(&implemented)
+                        .difference(&faked)
+                        .len();
+                    (miss_req, miss_stub + miss_fake, app.app.clone())
+                })
+                .expect("remaining non-empty");
+            let app = remaining.remove(pos);
+
+            let implement = app.missing_required(&implemented);
+            let stub = app
+                .stubbable
+                .difference(&implemented)
+                .difference(&stubbed)
+                .difference(&implement);
+            let fake = app
+                .fake_only
+                .difference(&implemented)
+                .difference(&faked)
+                .difference(&implement);
+
+            implemented.extend(implement.iter());
+            stubbed.extend(stub.iter());
+            faked.extend(fake.iter());
+
+            steps.push(PlanStep {
+                index: steps.len() + 1,
+                implement,
+                stub,
+                fake,
+                unlocks: app.app.clone(),
+            });
+        }
+
+        SupportPlan {
+            os: os.name.clone(),
+            initially_supported,
+            steps,
+        }
+    }
+
+    /// Total syscalls implemented across all steps.
+    pub fn total_implemented(&self) -> usize {
+        self.steps.iter().map(|s| s.implement.len()).sum()
+    }
+
+    /// Fraction of steps that implement at most `k` syscalls (the paper's
+    /// ">80% of steps implement 1–3 syscalls" observation).
+    pub fn small_step_fraction(&self, k: usize) -> f64 {
+        if self.steps.is_empty() {
+            return 1.0;
+        }
+        let small = self.steps.iter().filter(|s| s.implement.len() <= k).count();
+        small as f64 / self.steps.len() as f64
+    }
+
+    /// Renders the plan as a Table 1-style text table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "{} (supports {} apps initially)\nStep | Implement | Stub | Fake | Support for...\n",
+            self.os,
+            self.initially_supported.len()
+        );
+        out.push_str(&format!(
+            "0    | -         | -    | -    | ({} apps)\n",
+            self.initially_supported.len()
+        ));
+        for step in &self.steps {
+            let fmt_set = |set: &SysnoSet| {
+                if set.is_empty() {
+                    "-".to_owned()
+                } else if set.len() > 6 {
+                    format!("({} syscalls)", set.len())
+                } else {
+                    set.iter()
+                        .map(|s| s.raw().to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                }
+            };
+            out.push_str(&format!(
+                "{:<4} | {} | {} | {} | + {}\n",
+                step.index,
+                fmt_set(&step.implement),
+                fmt_set(&step.stub),
+                fmt_set(&step.fake),
+                step.unlocks
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loupe_syscalls::Sysno;
+
+    fn req(name: &str, required: &[Sysno], stub: &[Sysno]) -> AppRequirement {
+        AppRequirement {
+            app: name.into(),
+            required: required.iter().copied().collect(),
+            stubbable: stub.iter().copied().collect(),
+            fake_only: SysnoSet::new(),
+            traced: required.iter().chain(stub).copied().collect(),
+        }
+    }
+
+    #[test]
+    fn greedy_orders_cheapest_first() {
+        let os = OsSpec::new("toy", "1", [Sysno::read, Sysno::write].into_iter().collect());
+        let apps = vec![
+            req("expensive", &[Sysno::read, Sysno::mmap, Sysno::futex, Sysno::clone], &[]),
+            req("cheap", &[Sysno::read, Sysno::write, Sysno::openat], &[]),
+            req("free", &[Sysno::read], &[]),
+        ];
+        let plan = SupportPlan::generate(&os, &apps);
+        assert_eq!(plan.initially_supported, vec!["free"]);
+        assert_eq!(plan.steps[0].unlocks, "cheap");
+        assert_eq!(plan.steps[0].implement.len(), 1);
+        assert_eq!(plan.steps[1].unlocks, "expensive");
+        assert_eq!(plan.total_implemented(), 4);
+    }
+
+    #[test]
+    fn work_is_shared_across_steps() {
+        let os = OsSpec::new("toy", "1", SysnoSet::new());
+        let apps = vec![
+            req("a", &[Sysno::read], &[]),
+            req("b", &[Sysno::read, Sysno::write], &[]),
+            req("c", &[Sysno::read, Sysno::write, Sysno::mmap], &[]),
+        ];
+        let plan = SupportPlan::generate(&os, &apps);
+        // Each step implements exactly one new syscall.
+        assert!(plan.steps.iter().all(|s| s.implement.len() == 1));
+        assert_eq!(plan.total_implemented(), 3);
+    }
+
+    #[test]
+    fn stubs_are_listed_once() {
+        let os = OsSpec::new("toy", "1", [Sysno::read].into_iter().collect());
+        let apps = vec![
+            req("a", &[Sysno::read], &[Sysno::sysinfo]),
+            req("b", &[Sysno::write], &[Sysno::sysinfo]),
+        ];
+        let plan = SupportPlan::generate(&os, &apps);
+        let total_stubs: usize = plan.steps.iter().map(|s| s.stub.len()).sum();
+        assert_eq!(total_stubs, 1, "sysinfo stubbed once, reused after");
+    }
+
+    #[test]
+    fn table_rendering_mentions_every_step() {
+        let os = OsSpec::new("toy", "1", SysnoSet::new());
+        let apps = vec![req("a", &[Sysno::read], &[])];
+        let plan = SupportPlan::generate(&os, &apps);
+        let table = plan.to_table();
+        assert!(table.contains("+ a"));
+        assert!(table.contains("Step"));
+    }
+}

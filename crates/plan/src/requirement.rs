@@ -1,0 +1,81 @@
+//! Distilled per-application requirements, derived from engine reports.
+
+use loupe_core::AppReport;
+use loupe_syscalls::SysnoSet;
+use serde::{Deserialize, Serialize};
+
+/// What one application needs from a compatibility layer, for one
+/// workload: the planner's unit of work.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppRequirement {
+    /// Application name.
+    pub app: String,
+    /// Syscalls that must be implemented.
+    pub required: SysnoSet,
+    /// Traced syscalls that pass when stubbed (cheapest to provide).
+    pub stubbable: SysnoSet,
+    /// Traced syscalls that need faking (stub fails, fake passes).
+    pub fake_only: SysnoSet,
+    /// Everything the workload traced.
+    pub traced: SysnoSet,
+}
+
+impl AppRequirement {
+    /// Distils a requirement from an engine report.
+    pub fn from_report(report: &AppReport) -> AppRequirement {
+        let required = report.required();
+        let stubbable = report.stubbable();
+        let fake_only = report.fakeable().difference(&stubbable);
+        AppRequirement {
+            app: report.app.clone(),
+            required,
+            stubbable,
+            fake_only,
+            traced: report.traced(),
+        }
+    }
+
+    /// Syscalls still missing before this app runs on an OS that
+    /// implements `implemented`.
+    pub fn missing_required(&self, implemented: &SysnoSet) -> SysnoSet {
+        self.required.difference(implemented)
+    }
+
+    /// Whether the app is supported by `implemented` (stub/fake layers are
+    /// assumed providable for the avoidable remainder).
+    pub fn supported_by(&self, implemented: &SysnoSet) -> bool {
+        self.required.is_subset(implemented)
+    }
+}
+
+impl From<&AppReport> for AppRequirement {
+    fn from(report: &AppReport) -> Self {
+        AppRequirement::from_report(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loupe_syscalls::Sysno;
+
+    fn req(required: &[Sysno], stub: &[Sysno]) -> AppRequirement {
+        AppRequirement {
+            app: "t".into(),
+            required: required.iter().copied().collect(),
+            stubbable: stub.iter().copied().collect(),
+            fake_only: SysnoSet::new(),
+            traced: required.iter().chain(stub).copied().collect(),
+        }
+    }
+
+    #[test]
+    fn support_check() {
+        let r = req(&[Sysno::read, Sysno::write], &[Sysno::sysinfo]);
+        let os: SysnoSet = [Sysno::read].into_iter().collect();
+        assert!(!r.supported_by(&os));
+        assert_eq!(r.missing_required(&os).len(), 1);
+        let os: SysnoSet = [Sysno::read, Sysno::write].into_iter().collect();
+        assert!(r.supported_by(&os), "stubbable syscalls do not block support");
+    }
+}

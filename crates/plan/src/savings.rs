@@ -1,0 +1,148 @@
+//! Engineering-effort savings (§4.2, Fig. 2): apps supported as a
+//! function of syscalls implemented, under three development strategies.
+
+use loupe_syscalls::SysnoSet;
+use serde::{Deserialize, Serialize};
+
+use crate::os::OsSpec;
+use crate::plan::SupportPlan;
+use crate::requirement::AppRequirement;
+
+/// One point of an effort curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SavingsPoint {
+    /// Cumulative distinct syscalls implemented.
+    pub syscalls_implemented: usize,
+    /// Applications supported at that point.
+    pub apps_supported: usize,
+}
+
+/// A labelled effort curve.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SavingsCurve {
+    /// Strategy label ("loupe", "organic", "naive").
+    pub strategy: String,
+    /// Monotone points, one per application unlocked.
+    pub points: Vec<SavingsPoint>,
+}
+
+impl SavingsCurve {
+    /// Syscalls needed to support `target` applications (∞ → `None`).
+    pub fn cost_to_support(&self, target: usize) -> Option<usize> {
+        self.points
+            .iter()
+            .find(|p| p.apps_supported >= target)
+            .map(|p| p.syscalls_implemented)
+    }
+}
+
+/// Builds the effort curve for apps supported *in the given order*, where
+/// each app's implementation cost is `cost_set(app)` (required-only for
+/// stub/fake-aware strategies, full traced set for the naive one).
+pub fn curve_points(
+    label: &str,
+    apps_in_order: &[&AppRequirement],
+    cost_set: impl Fn(&AppRequirement) -> SysnoSet,
+) -> SavingsCurve {
+    let mut implemented = SysnoSet::new();
+    let mut points = Vec::new();
+    for (i, app) in apps_in_order.iter().enumerate() {
+        implemented = implemented.union(&cost_set(app));
+        points.push(SavingsPoint {
+            syscalls_implemented: implemented.len(),
+            apps_supported: i + 1,
+        });
+    }
+    SavingsCurve {
+        strategy: label.to_owned(),
+        points,
+    }
+}
+
+/// The "organic" strategy: apps in their historical (folder-creation)
+/// order, implementing each app's required set (devs use stubs/fakes as
+/// much as possible — the paper's OSv assumption).
+pub fn organic_curve(apps_in_historical_order: &[AppRequirement]) -> SavingsCurve {
+    let refs: Vec<&AppRequirement> = apps_in_historical_order.iter().collect();
+    curve_points("organic", &refs, |a| a.required.clone())
+}
+
+/// The "naive dynamic" strategy: same historical order, but every traced
+/// syscall is implemented (no stubbing/faking).
+pub fn naive_curve(apps_in_historical_order: &[AppRequirement]) -> SavingsCurve {
+    let refs: Vec<&AppRequirement> = apps_in_historical_order.iter().collect();
+    curve_points("naive", &refs, |a| a.traced.clone())
+}
+
+/// The Loupe strategy: greedy cheapest-first ordering from an empty OS,
+/// required sets only.
+pub fn loupe_curve(apps: &[AppRequirement]) -> SavingsCurve {
+    let empty = OsSpec::new("empty", "0", SysnoSet::new());
+    let plan = SupportPlan::generate(&empty, apps);
+    let by_name = |name: &str| apps.iter().find(|a| a.app == name).expect("planned app");
+    let ordered: Vec<&AppRequirement> = plan.steps.iter().map(|s| by_name(&s.unlocks)).collect();
+    curve_points("loupe", &ordered, |a| a.required.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loupe_syscalls::Sysno;
+
+    fn req(name: &str, required: &[&str], extra_traced: &[&str]) -> AppRequirement {
+        let required: SysnoSet = required.iter().map(|n| Sysno::from_name(n).unwrap()).collect();
+        let stub: SysnoSet = extra_traced
+            .iter()
+            .map(|n| Sysno::from_name(n).unwrap())
+            .collect();
+        AppRequirement {
+            app: name.into(),
+            traced: required.union(&stub),
+            required,
+            stubbable: stub,
+            fake_only: SysnoSet::new(),
+        }
+    }
+
+    fn sample() -> Vec<AppRequirement> {
+        vec![
+            req("big", &["read", "write", "mmap", "futex", "clone"], &["sysinfo"]),
+            req("small", &["read"], &["uname", "ioctl"]),
+            req("mid", &["read", "write"], &["madvise"]),
+        ]
+    }
+
+    #[test]
+    fn loupe_orders_small_first() {
+        let apps = sample();
+        let loupe = loupe_curve(&apps);
+        assert_eq!(loupe.points[0].syscalls_implemented, 1, "small app first");
+        assert_eq!(loupe.points.len(), 3);
+    }
+
+    #[test]
+    fn naive_costs_dominate_organic() {
+        let apps = sample();
+        let organic = organic_curve(&apps);
+        let naive = naive_curve(&apps);
+        for (o, n) in organic.points.iter().zip(&naive.points) {
+            assert!(n.syscalls_implemented >= o.syscalls_implemented);
+        }
+    }
+
+    #[test]
+    fn loupe_reaches_half_cheaper_than_bad_organic_order() {
+        // Historical order puts the big app first: organic pays 5 syscalls
+        // before any app works; Loupe pays 1.
+        let apps = sample();
+        let organic = organic_curve(&apps);
+        let loupe = loupe_curve(&apps);
+        assert!(loupe.cost_to_support(1).unwrap() < organic.cost_to_support(1).unwrap());
+        assert_eq!(
+            loupe.cost_to_support(3),
+            organic.cost_to_support(3),
+            "endpoints agree: same union of required sets"
+        );
+        assert_eq!(loupe.cost_to_support(4), None);
+    }
+}

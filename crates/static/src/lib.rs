@@ -1,0 +1,178 @@
+//! Static-analysis baselines: the approaches Loupe is compared against.
+//!
+//! The paper contrasts Loupe with binary-level and source-level static
+//! analysis (Tsai et al. \[63\], the Unikraft analysers \[26, 27\]). Both are
+//! *comprehensive but conservative*: they report every syscall that could
+//! be reached under any workload, configuration or error path — which is
+//! why Fig. 4 shows them 2–5× above what applications actually need.
+//!
+//! These analysers operate on each app model's `AppCode` descriptor (its
+//! declared source/binary syscall surface), reproducing the over-
+//! estimation *mechanism*: dead and error-path code, plus — at the binary
+//! level — the entire linked libc and over-approximated indirect calls.
+//!
+//! # Examples
+//!
+//! ```
+//! use loupe_apps::registry;
+//! use loupe_static::{BinaryAnalyzer, SourceAnalyzer, StaticAnalyzer};
+//!
+//! let app = registry::find("redis").unwrap();
+//! let bin = BinaryAnalyzer::new().analyze(app.as_ref());
+//! let src = SourceAnalyzer::new().analyze(app.as_ref());
+//! assert!(src.syscalls.is_subset(&bin.syscalls));
+//! ```
+
+use loupe_apps::AppModel;
+use loupe_syscalls::SysnoSet;
+use serde::{Deserialize, Serialize};
+
+/// The result of a static analysis pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticReport {
+    /// Application name.
+    pub app: String,
+    /// Analysis level that produced this report.
+    pub level: Level,
+    /// Every syscall the analyser attributes to the application.
+    pub syscalls: SysnoSet,
+}
+
+/// Analysis level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Level {
+    /// Operates on ELF binaries: sees the app + all linked libraries, and
+    /// over-approximates indirect calls.
+    Binary,
+    /// Operates on sources: sees all branches of the app code (including
+    /// error paths) but resolves the libc more precisely.
+    Source,
+}
+
+/// Common interface of the two analysers.
+pub trait StaticAnalyzer {
+    /// Analyses one application.
+    fn analyze(&self, app: &dyn AppModel) -> StaticReport;
+
+    /// The analysis level.
+    fn level(&self) -> Level;
+}
+
+/// Binary-level analyser (à la Tsai et al. / sysfilter).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinaryAnalyzer;
+
+impl BinaryAnalyzer {
+    /// Creates the analyser.
+    pub fn new() -> BinaryAnalyzer {
+        BinaryAnalyzer
+    }
+}
+
+impl StaticAnalyzer for BinaryAnalyzer {
+    fn analyze(&self, app: &dyn AppModel) -> StaticReport {
+        let spec = app.spec();
+        StaticReport {
+            app: spec.name,
+            level: Level::Binary,
+            syscalls: app.code().binary_view(spec.libc),
+        }
+    }
+
+    fn level(&self) -> Level {
+        Level::Binary
+    }
+}
+
+/// Source-level analyser (à la the Unikraft source analyser).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SourceAnalyzer;
+
+impl SourceAnalyzer {
+    /// Creates the analyser.
+    pub fn new() -> SourceAnalyzer {
+        SourceAnalyzer
+    }
+}
+
+impl StaticAnalyzer for SourceAnalyzer {
+    fn analyze(&self, app: &dyn AppModel) -> StaticReport {
+        let spec = app.spec();
+        StaticReport {
+            app: spec.name,
+            level: Level::Source,
+            syscalls: app.code().source_view(spec.libc),
+        }
+    }
+
+    fn level(&self) -> Level {
+        Level::Source
+    }
+}
+
+/// API importance under static analysis: for each syscall, the fraction of
+/// `reports` that contain it (the metric of Tsai et al. reused in §5.1).
+pub fn api_importance(reports: &[StaticReport]) -> Vec<(loupe_syscalls::Sysno, f64)> {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<loupe_syscalls::Sysno, usize> = BTreeMap::new();
+    for r in reports {
+        for s in r.syscalls.iter() {
+            *counts.entry(s).or_insert(0) += 1;
+        }
+    }
+    let total = reports.len().max(1) as f64;
+    let mut v: Vec<_> = counts
+        .into_iter()
+        .map(|(s, c)| (s, c as f64 / total))
+        .collect();
+    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loupe_apps::registry;
+
+    #[test]
+    fn binary_dominates_source_for_every_detailed_app() {
+        let bin = BinaryAnalyzer::new();
+        let src = SourceAnalyzer::new();
+        for app in registry::detailed() {
+            let b = bin.analyze(app.as_ref());
+            let s = src.analyze(app.as_ref());
+            assert!(
+                s.syscalls.is_subset(&b.syscalls),
+                "{}: source not within binary",
+                app.name()
+            );
+            assert!(
+                b.syscalls.len() > 100,
+                "{}: binary view too small ({})",
+                app.name(),
+                b.syscalls.len()
+            );
+        }
+    }
+
+    #[test]
+    fn source_view_is_still_an_overestimate_of_behaviour() {
+        // The source view includes error-path syscalls the workloads never
+        // execute; spot-check one known dead branch.
+        let app = registry::find("redis").unwrap();
+        let s = SourceAnalyzer::new().analyze(app.as_ref());
+        assert!(s.syscalls.contains(loupe_syscalls::Sysno::mremap));
+    }
+
+    #[test]
+    fn importance_is_sorted_descending() {
+        let bin = BinaryAnalyzer::new();
+        let reports: Vec<_> = registry::detailed()
+            .iter()
+            .map(|a| bin.analyze(a.as_ref()))
+            .collect();
+        let imp = api_importance(&reports);
+        assert!(imp.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(imp[0].1 >= 0.99, "top syscalls are in every binary");
+    }
+}

@@ -1,0 +1,498 @@
+//! Coarse functional categories for system calls.
+//!
+//! Categories drive two analyses in the paper: the low-range/high-range
+//! stubbing discussion (§5.2, "higher-range syscalls are better stubbing
+//! candidates") and the resource-allocation discussion (§5.3, "syscalls that
+//! allocate resources cannot be stubbed or faked").
+
+use serde::{Deserialize, Serialize};
+
+use crate::nr::Sysno;
+
+/// Functional category of a system call.
+///
+/// # Examples
+///
+/// ```
+/// use loupe_syscalls::{Category, Sysno};
+/// assert_eq!(Category::of(Sysno::mmap), Category::Memory);
+/// assert_eq!(Category::of(Sysno::accept4), Category::Network);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// File and directory I/O (open/read/write/stat...).
+    FileIo,
+    /// Virtual memory management (mmap/brk/mprotect...).
+    Memory,
+    /// Sockets and networking.
+    Network,
+    /// Process and thread lifecycle (fork/clone/execve/exit...).
+    Process,
+    /// Signal delivery and masks.
+    Signal,
+    /// Synchronisation (futex, robust lists).
+    Sync,
+    /// Scalable event I/O (epoll/poll/select, eventfd, timerfd).
+    EventIo,
+    /// Clocks, timers and sleeping.
+    Time,
+    /// Credentials: uids, gids, capabilities, session ids.
+    Identity,
+    /// Resource limits, accounting, priorities and scheduling policy.
+    Resource,
+    /// Inter-process communication other than sockets (pipes, SysV IPC, mq).
+    Ipc,
+    /// Kernel/system-wide queries and tuning (uname, sysinfo, sysctl...).
+    System,
+    /// Security features (seccomp, landlock, keys, xattr...).
+    Security,
+    /// Everything else.
+    Misc,
+}
+
+impl Category {
+    /// All categories, for iteration in reports.
+    pub const ALL: &'static [Category] = &[
+        Category::FileIo,
+        Category::Memory,
+        Category::Network,
+        Category::Process,
+        Category::Signal,
+        Category::Sync,
+        Category::EventIo,
+        Category::Time,
+        Category::Identity,
+        Category::Resource,
+        Category::Ipc,
+        Category::System,
+        Category::Security,
+        Category::Misc,
+    ];
+
+    /// Classifies a system call.
+    pub fn of(s: Sysno) -> Category {
+        use Category::*;
+        match s {
+            Sysno::read
+            | Sysno::write
+            | Sysno::open
+            | Sysno::close
+            | Sysno::stat
+            | Sysno::fstat
+            | Sysno::lstat
+            | Sysno::lseek
+            | Sysno::pread64
+            | Sysno::pwrite64
+            | Sysno::readv
+            | Sysno::writev
+            | Sysno::access
+            | Sysno::sendfile
+            | Sysno::fcntl
+            | Sysno::flock
+            | Sysno::fsync
+            | Sysno::fdatasync
+            | Sysno::truncate
+            | Sysno::ftruncate
+            | Sysno::getdents
+            | Sysno::getdents64
+            | Sysno::getcwd
+            | Sysno::chdir
+            | Sysno::fchdir
+            | Sysno::rename
+            | Sysno::mkdir
+            | Sysno::rmdir
+            | Sysno::creat
+            | Sysno::link
+            | Sysno::unlink
+            | Sysno::symlink
+            | Sysno::readlink
+            | Sysno::chmod
+            | Sysno::fchmod
+            | Sysno::chown
+            | Sysno::fchown
+            | Sysno::lchown
+            | Sysno::umask
+            | Sysno::dup
+            | Sysno::dup2
+            | Sysno::dup3
+            | Sysno::openat
+            | Sysno::mkdirat
+            | Sysno::mknodat
+            | Sysno::fchownat
+            | Sysno::futimesat
+            | Sysno::newfstatat
+            | Sysno::unlinkat
+            | Sysno::renameat
+            | Sysno::renameat2
+            | Sysno::linkat
+            | Sysno::symlinkat
+            | Sysno::readlinkat
+            | Sysno::fchmodat
+            | Sysno::faccessat
+            | Sysno::faccessat2
+            | Sysno::utime
+            | Sysno::utimes
+            | Sysno::utimensat
+            | Sysno::statfs
+            | Sysno::fstatfs
+            | Sysno::statx
+            | Sysno::fallocate
+            | Sysno::fadvise64
+            | Sysno::readahead
+            | Sysno::splice
+            | Sysno::tee
+            | Sysno::vmsplice
+            | Sysno::sync
+            | Sysno::syncfs
+            | Sysno::sync_file_range
+            | Sysno::copy_file_range
+            | Sysno::preadv
+            | Sysno::pwritev
+            | Sysno::preadv2
+            | Sysno::pwritev2
+            | Sysno::mknod
+            | Sysno::ioctl
+            | Sysno::close_range
+            | Sysno::openat2
+            | Sysno::inotify_init
+            | Sysno::inotify_init1
+            | Sysno::inotify_add_watch
+            | Sysno::inotify_rm_watch
+            | Sysno::fanotify_init
+            | Sysno::fanotify_mark
+            | Sysno::name_to_handle_at
+            | Sysno::open_by_handle_at
+            | Sysno::memfd_create
+            | Sysno::memfd_secret => FileIo,
+
+            Sysno::mmap
+            | Sysno::munmap
+            | Sysno::mremap
+            | Sysno::mprotect
+            | Sysno::brk
+            | Sysno::msync
+            | Sysno::mincore
+            | Sysno::madvise
+            | Sysno::mlock
+            | Sysno::munlock
+            | Sysno::mlockall
+            | Sysno::munlockall
+            | Sysno::mlock2
+            | Sysno::remap_file_pages
+            | Sysno::mbind
+            | Sysno::set_mempolicy
+            | Sysno::get_mempolicy
+            | Sysno::migrate_pages
+            | Sysno::move_pages
+            | Sysno::pkey_mprotect
+            | Sysno::pkey_alloc
+            | Sysno::pkey_free
+            | Sysno::process_madvise
+            | Sysno::userfaultfd => Memory,
+
+            Sysno::socket
+            | Sysno::connect
+            | Sysno::accept
+            | Sysno::accept4
+            | Sysno::sendto
+            | Sysno::recvfrom
+            | Sysno::sendmsg
+            | Sysno::recvmsg
+            | Sysno::sendmmsg
+            | Sysno::recvmmsg
+            | Sysno::shutdown
+            | Sysno::bind
+            | Sysno::listen
+            | Sysno::getsockname
+            | Sysno::getpeername
+            | Sysno::socketpair
+            | Sysno::setsockopt
+            | Sysno::getsockopt => Network,
+
+            Sysno::clone
+            | Sysno::clone3
+            | Sysno::fork
+            | Sysno::vfork
+            | Sysno::execve
+            | Sysno::execveat
+            | Sysno::exit
+            | Sysno::exit_group
+            | Sysno::wait4
+            | Sysno::waitid
+            | Sysno::kill
+            | Sysno::tkill
+            | Sysno::tgkill
+            | Sysno::gettid
+            | Sysno::getpid
+            | Sysno::getppid
+            | Sysno::setpgid
+            | Sysno::getpgid
+            | Sysno::getpgrp
+            | Sysno::setsid
+            | Sysno::getsid
+            | Sysno::set_tid_address
+            | Sysno::pidfd_open
+            | Sysno::pidfd_getfd
+            | Sysno::pidfd_send_signal
+            | Sysno::process_vm_readv
+            | Sysno::process_vm_writev
+            | Sysno::kcmp
+            | Sysno::unshare
+            | Sysno::setns
+            | Sysno::ptrace
+            | Sysno::process_mrelease => Process,
+
+            Sysno::rt_sigaction
+            | Sysno::rt_sigprocmask
+            | Sysno::rt_sigreturn
+            | Sysno::rt_sigpending
+            | Sysno::rt_sigtimedwait
+            | Sysno::rt_sigqueueinfo
+            | Sysno::rt_tgsigqueueinfo
+            | Sysno::rt_sigsuspend
+            | Sysno::sigaltstack
+            | Sysno::pause
+            | Sysno::signalfd
+            | Sysno::signalfd4
+            | Sysno::restart_syscall => Signal,
+
+            Sysno::futex | Sysno::set_robust_list | Sysno::get_robust_list | Sysno::membarrier | Sysno::rseq => Sync,
+
+            Sysno::poll
+            | Sysno::select
+            | Sysno::pselect6
+            | Sysno::ppoll
+            | Sysno::epoll_create
+            | Sysno::epoll_create1
+            | Sysno::epoll_ctl
+            | Sysno::epoll_ctl_old
+            | Sysno::epoll_wait
+            | Sysno::epoll_wait_old
+            | Sysno::epoll_pwait
+            | Sysno::epoll_pwait2
+            | Sysno::eventfd
+            | Sysno::eventfd2
+            | Sysno::io_setup
+            | Sysno::io_destroy
+            | Sysno::io_getevents
+            | Sysno::io_pgetevents
+            | Sysno::io_submit
+            | Sysno::io_cancel
+            | Sysno::io_uring_setup
+            | Sysno::io_uring_enter
+            | Sysno::io_uring_register => EventIo,
+
+            Sysno::gettimeofday
+            | Sysno::settimeofday
+            | Sysno::time
+            | Sysno::times
+            | Sysno::nanosleep
+            | Sysno::clock_gettime
+            | Sysno::clock_settime
+            | Sysno::clock_getres
+            | Sysno::clock_nanosleep
+            | Sysno::clock_adjtime
+            | Sysno::adjtimex
+            | Sysno::alarm
+            | Sysno::getitimer
+            | Sysno::setitimer
+            | Sysno::timer_create
+            | Sysno::timer_settime
+            | Sysno::timer_gettime
+            | Sysno::timer_getoverrun
+            | Sysno::timer_delete
+            | Sysno::timerfd_create
+            | Sysno::timerfd_settime
+            | Sysno::timerfd_gettime => Time,
+
+            Sysno::getuid
+            | Sysno::getgid
+            | Sysno::geteuid
+            | Sysno::getegid
+            | Sysno::setuid
+            | Sysno::setgid
+            | Sysno::setreuid
+            | Sysno::setregid
+            | Sysno::getgroups
+            | Sysno::setgroups
+            | Sysno::setresuid
+            | Sysno::getresuid
+            | Sysno::setresgid
+            | Sysno::getresgid
+            | Sysno::setfsuid
+            | Sysno::setfsgid
+            | Sysno::capget
+            | Sysno::capset => Identity,
+
+            Sysno::getrlimit
+            | Sysno::setrlimit
+            | Sysno::prlimit64
+            | Sysno::getrusage
+            | Sysno::getpriority
+            | Sysno::setpriority
+            | Sysno::sched_yield
+            | Sysno::sched_setparam
+            | Sysno::sched_getparam
+            | Sysno::sched_setscheduler
+            | Sysno::sched_getscheduler
+            | Sysno::sched_get_priority_max
+            | Sysno::sched_get_priority_min
+            | Sysno::sched_rr_get_interval
+            | Sysno::sched_setaffinity
+            | Sysno::sched_getaffinity
+            | Sysno::sched_setattr
+            | Sysno::sched_getattr
+            | Sysno::ioprio_set
+            | Sysno::ioprio_get
+            | Sysno::acct
+            | Sysno::getcpu => Resource,
+
+            Sysno::pipe
+            | Sysno::pipe2
+            | Sysno::shmget
+            | Sysno::shmat
+            | Sysno::shmctl
+            | Sysno::shmdt
+            | Sysno::semget
+            | Sysno::semop
+            | Sysno::semctl
+            | Sysno::semtimedop
+            | Sysno::msgget
+            | Sysno::msgsnd
+            | Sysno::msgrcv
+            | Sysno::msgctl
+            | Sysno::mq_open
+            | Sysno::mq_unlink
+            | Sysno::mq_timedsend
+            | Sysno::mq_timedreceive
+            | Sysno::mq_notify
+            | Sysno::mq_getsetattr => Ipc,
+
+            Sysno::uname
+            | Sysno::sysinfo
+            | Sysno::syslog
+            | Sysno::_sysctl
+            | Sysno::sysfs
+            | Sysno::personality
+            | Sysno::sethostname
+            | Sysno::setdomainname
+            | Sysno::prctl
+            | Sysno::arch_prctl
+            | Sysno::modify_ldt
+            | Sysno::set_thread_area
+            | Sysno::get_thread_area
+            | Sysno::reboot
+            | Sysno::mount
+            | Sysno::umount2
+            | Sysno::mount_setattr
+            | Sysno::pivot_root
+            | Sysno::chroot
+            | Sysno::swapon
+            | Sysno::swapoff
+            | Sysno::getrandom
+            | Sysno::ustat
+            | Sysno::vhangup
+            | Sysno::open_tree
+            | Sysno::move_mount
+            | Sysno::fsopen
+            | Sysno::fsconfig
+            | Sysno::fsmount
+            | Sysno::fspick
+            | Sysno::quotactl
+            | Sysno::quotactl_fd
+            | Sysno::nfsservctl => System,
+
+            Sysno::seccomp
+            | Sysno::bpf
+            | Sysno::add_key
+            | Sysno::request_key
+            | Sysno::keyctl
+            | Sysno::landlock_create_ruleset
+            | Sysno::landlock_add_rule
+            | Sysno::landlock_restrict_self
+            | Sysno::setxattr
+            | Sysno::lsetxattr
+            | Sysno::fsetxattr
+            | Sysno::getxattr
+            | Sysno::lgetxattr
+            | Sysno::fgetxattr
+            | Sysno::listxattr
+            | Sysno::llistxattr
+            | Sysno::flistxattr
+            | Sysno::removexattr
+            | Sysno::lremovexattr
+            | Sysno::fremovexattr => Security,
+
+            _ => Misc,
+        }
+    }
+
+    /// Whether calls in this category typically *allocate* kernel resources
+    /// (file descriptors, memory). Per §5.3, such syscalls are the least
+    /// amenable to stubbing/faking.
+    pub fn allocates_resources(self) -> bool {
+        matches!(
+            self,
+            Category::Memory | Category::Network | Category::FileIo | Category::EventIo | Category::Ipc
+        )
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Category::FileIo => "file-io",
+            Category::Memory => "memory",
+            Category::Network => "network",
+            Category::Process => "process",
+            Category::Signal => "signal",
+            Category::Sync => "sync",
+            Category::EventIo => "event-io",
+            Category::Time => "time",
+            Category::Identity => "identity",
+            Category::Resource => "resource",
+            Category::Ipc => "ipc",
+            Category::System => "system",
+            Category::Security => "security",
+            Category::Misc => "misc",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_syscall_has_a_category() {
+        // `of` is total by construction; check a sample plus the default arm.
+        for s in Sysno::all() {
+            let _ = Category::of(s);
+        }
+    }
+
+    #[test]
+    fn classification_spot_checks() {
+        assert_eq!(Category::of(Sysno::openat), Category::FileIo);
+        assert_eq!(Category::of(Sysno::brk), Category::Memory);
+        assert_eq!(Category::of(Sysno::listen), Category::Network);
+        assert_eq!(Category::of(Sysno::execve), Category::Process);
+        assert_eq!(Category::of(Sysno::rt_sigsuspend), Category::Signal);
+        assert_eq!(Category::of(Sysno::futex), Category::Sync);
+        assert_eq!(Category::of(Sysno::epoll_wait), Category::EventIo);
+        assert_eq!(Category::of(Sysno::clock_gettime), Category::Time);
+        assert_eq!(Category::of(Sysno::setgroups), Category::Identity);
+        assert_eq!(Category::of(Sysno::prlimit64), Category::Resource);
+        assert_eq!(Category::of(Sysno::pipe2), Category::Ipc);
+        assert_eq!(Category::of(Sysno::uname), Category::System);
+        assert_eq!(Category::of(Sysno::seccomp), Category::Security);
+    }
+
+    #[test]
+    fn allocation_categories() {
+        assert!(Category::of(Sysno::mmap).allocates_resources());
+        assert!(Category::of(Sysno::socket).allocates_resources());
+        assert!(!Category::of(Sysno::getuid).allocates_resources());
+    }
+}

@@ -1,0 +1,159 @@
+//! Linux errno values as returned on the syscall ABI (negative return).
+//!
+//! Stubbing a feature means returning `-ENOSYS` ("not implemented", §2 of
+//! the paper); the simulated kernel and the ptrace backend both speak this
+//! convention.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! errnos {
+    ($(($num:expr, $name:ident, $msg:expr)),* $(,)?) => {
+        /// A Linux error number.
+        ///
+        /// # Examples
+        ///
+        /// ```
+        /// use loupe_syscalls::Errno;
+        /// assert_eq!(Errno::ENOSYS.raw(), 38);
+        /// assert_eq!(Errno::ENOSYS.to_ret(), -38);
+        /// ```
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        #[allow(clippy::upper_case_acronyms)]
+        pub enum Errno {
+            $(
+                #[doc = $msg]
+                $name = $num,
+            )*
+        }
+
+        impl Errno {
+            /// All defined errno values.
+            pub const ALL: &'static [Errno] = &[$(Errno::$name,)*];
+
+            /// The positive errno number.
+            pub fn raw(self) -> i64 {
+                self as i64
+            }
+
+            /// The value as returned on the syscall ABI (negated).
+            pub fn to_ret(self) -> i64 {
+                -(self as i64)
+            }
+
+            /// Recovers an `Errno` from a *negative* syscall return value.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            /// use loupe_syscalls::Errno;
+            /// assert_eq!(Errno::from_ret(-38), Some(Errno::ENOSYS));
+            /// assert_eq!(Errno::from_ret(0), None);
+            /// ```
+            pub fn from_ret(ret: i64) -> Option<Errno> {
+                if ret >= 0 {
+                    return None;
+                }
+                let n = -ret;
+                match n {
+                    $($num => Some(Errno::$name),)*
+                    _ => None,
+                }
+            }
+
+            /// Human-readable message, in the style of `strerror(3)`.
+            pub fn message(self) -> &'static str {
+                match self {
+                    $(Errno::$name => $msg,)*
+                }
+            }
+
+            /// The symbolic name, e.g. `"ENOSYS"`.
+            pub fn symbol(self) -> &'static str {
+                match self {
+                    $(Errno::$name => stringify!($name),)*
+                }
+            }
+        }
+    };
+}
+
+errnos![
+    (1, EPERM, "operation not permitted"),
+    (2, ENOENT, "no such file or directory"),
+    (3, ESRCH, "no such process"),
+    (4, EINTR, "interrupted system call"),
+    (5, EIO, "input/output error"),
+    (6, ENXIO, "no such device or address"),
+    (7, E2BIG, "argument list too long"),
+    (8, ENOEXEC, "exec format error"),
+    (9, EBADF, "bad file descriptor"),
+    (10, ECHILD, "no child processes"),
+    (11, EAGAIN, "resource temporarily unavailable"),
+    (12, ENOMEM, "cannot allocate memory"),
+    (13, EACCES, "permission denied"),
+    (14, EFAULT, "bad address"),
+    (16, EBUSY, "device or resource busy"),
+    (17, EEXIST, "file exists"),
+    (19, ENODEV, "no such device"),
+    (20, ENOTDIR, "not a directory"),
+    (21, EISDIR, "is a directory"),
+    (22, EINVAL, "invalid argument"),
+    (23, ENFILE, "too many open files in system"),
+    (24, EMFILE, "too many open files"),
+    (25, ENOTTY, "inappropriate ioctl for device"),
+    (28, ENOSPC, "no space left on device"),
+    (29, ESPIPE, "illegal seek"),
+    (30, EROFS, "read-only file system"),
+    (32, EPIPE, "broken pipe"),
+    (34, ERANGE, "numerical result out of range"),
+    (38, ENOSYS, "function not implemented"),
+    (39, ENOTEMPTY, "directory not empty"),
+    (88, ENOTSOCK, "socket operation on non-socket"),
+    (92, ENOPROTOOPT, "protocol not available"),
+    (95, EOPNOTSUPP, "operation not supported"),
+    (98, EADDRINUSE, "address already in use"),
+    (107, ENOTCONN, "transport endpoint is not connected"),
+    (110, ETIMEDOUT, "connection timed out"),
+    (111, ECONNREFUSED, "connection refused"),
+];
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.symbol(), self.message())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enosys_is_38() {
+        assert_eq!(Errno::ENOSYS.raw(), 38);
+        assert_eq!(Errno::ENOSYS.to_ret(), -38);
+    }
+
+    #[test]
+    fn from_ret_roundtrip() {
+        for &e in Errno::ALL {
+            assert_eq!(Errno::from_ret(e.to_ret()), Some(e));
+        }
+    }
+
+    #[test]
+    fn from_ret_rejects_success_values() {
+        assert_eq!(Errno::from_ret(0), None);
+        assert_eq!(Errno::from_ret(42), None);
+    }
+
+    #[test]
+    fn display_has_symbol_and_message() {
+        let s = Errno::EBADF.to_string();
+        assert!(s.contains("EBADF"));
+        assert!(s.contains("bad file descriptor"));
+    }
+}

@@ -1,0 +1,154 @@
+//! A minimal i386 (32-bit) syscall name table.
+//!
+//! Table 3 of the paper compares Nginx 0.3.19 built against glibc 2.3.2 in
+//! 32-bit mode with a modern 64-bit build. Reproducing that comparison
+//! requires naming the 32-bit variants (`mmap2`, `fstat64`, `_llseek`,
+//! `socketcall`-era `recv`, ...). We only carry names the experiment needs —
+//! the 32-bit ABI is otherwise out of scope.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 32-bit x86 system call, identified by name.
+///
+/// Unlike [`crate::Sysno`], this type does not carry numbers: the Table 3
+/// experiment compares *name sets*, and several 32-bit entries (`old_mmap`,
+/// `recv`) are multiplexer-era pseudo-entries without stable numbers of
+/// their own.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Sysno32(String);
+
+impl Sysno32 {
+    /// Creates a 32-bit syscall name if it is in the known table.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use loupe_syscalls::i386::Sysno32;
+    /// assert!(Sysno32::from_name("mmap2").is_some());
+    /// assert!(Sysno32::from_name("not_a_syscall").is_none());
+    /// ```
+    pub fn from_name(name: &str) -> Option<Sysno32> {
+        if NAMES.contains(&name) {
+            Some(Sysno32(name.to_owned()))
+        } else {
+            None
+        }
+    }
+
+    /// The syscall name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// Whether this 32-bit syscall exists purely because of the 32-bit
+    /// architecture (it was replaced or renamed on x86-64). Table 3 prints
+    /// these in italics.
+    pub fn is_arch_variant(&self) -> bool {
+        ARCH_VARIANTS.contains(&self.0.as_str())
+    }
+}
+
+impl fmt::Display for Sysno32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// 32-bit-only or 32-bit-renamed syscalls (italicised in Table 3).
+pub const ARCH_VARIANTS: &[&str] = &[
+    "_llseek",
+    "fcntl64",
+    "fstat64",
+    "stat64",
+    "mmap2",
+    "old_mmap",
+    "geteuid32",
+    "setuid32",
+    "setgid32",
+    "setgroups32",
+    "set_thread_area",
+    "recv",
+    "pread",
+    "pwrite",
+];
+
+/// All 32-bit syscall names the Table 3 experiment may emit.
+pub const NAMES: &[&str] = &[
+    "_llseek",
+    "accept",
+    "access",
+    "bind",
+    "brk",
+    "clone",
+    "close",
+    "connect",
+    "dup2",
+    "epoll_create",
+    "epoll_ctl",
+    "epoll_wait",
+    "execve",
+    "exit_group",
+    "fcntl64",
+    "fstat64",
+    "geteuid32",
+    "getpid",
+    "getrlimit",
+    "gettimeofday",
+    "ioctl",
+    "listen",
+    "mkdir",
+    "mmap2",
+    "munmap",
+    "old_mmap",
+    "open",
+    "prctl",
+    "pread",
+    "pwrite",
+    "read",
+    "recv",
+    "rt_sigaction",
+    "rt_sigprocmask",
+    "rt_sigsuspend",
+    "set_thread_area",
+    "setgid32",
+    "setgroups32",
+    "setsid",
+    "setsockopt",
+    "setuid32",
+    "socket",
+    "socketpair",
+    "stat64",
+    "umask",
+    "uname",
+    "write",
+    "writev",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_variants_are_in_the_table() {
+        for v in ARCH_VARIANTS {
+            assert!(NAMES.contains(v), "{v} missing from NAMES");
+        }
+    }
+
+    #[test]
+    fn lookup() {
+        let s = Sysno32::from_name("fstat64").unwrap();
+        assert!(s.is_arch_variant());
+        let s = Sysno32::from_name("read").unwrap();
+        assert!(!s.is_arch_variant());
+    }
+
+    #[test]
+    fn names_sorted_unique() {
+        let mut sorted = NAMES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), NAMES.len());
+    }
+}

@@ -1,0 +1,34 @@
+//! Linux system-call metadata used throughout the Loupe reproduction.
+//!
+//! This crate is the bottom substrate of the workspace: a complete x86-64
+//! system-call table (number ↔ name), errno constants, coarse syscall
+//! categories, *sub-features* of vectored system calls (`ioctl` requests,
+//! `fcntl` commands, `prctl` options, ...) used for partial-implementation
+//! analysis (§5.4 of the paper), and the pseudo-file registry (`/proc`,
+//! `/dev`, ...) used for special-file interposition (§3.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use loupe_syscalls::{Sysno, SysnoSet};
+//!
+//! let openat = Sysno::from_name("openat").unwrap();
+//! assert_eq!(openat.raw(), 257);
+//! assert_eq!(openat.name(), "openat");
+//!
+//! let set: SysnoSet = [Sysno::read, Sysno::write, openat].into_iter().collect();
+//! assert!(set.contains(Sysno::read));
+//! ```
+
+pub mod category;
+pub mod errno;
+pub mod i386;
+pub mod nr;
+pub mod pseudofile;
+pub mod subfeature;
+
+pub use category::Category;
+pub use errno::Errno;
+pub use nr::{Sysno, SysnoSet};
+pub use pseudofile::{PseudoFile, PseudoFileClass};
+pub use subfeature::{SubFeature, SubFeatureKey};

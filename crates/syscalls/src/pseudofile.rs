@@ -1,0 +1,198 @@
+//! The pseudo-file registry (§3.3: "Pseudo Files").
+//!
+//! Part of the Linux API is exposed through special files under `/proc`,
+//! `/dev` and `/sys`. Loupe detects accesses to them by pattern-matching the
+//! path arguments of the `open` family and can disable, stub or fake those
+//! accesses like system calls.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The filesystem namespace a pseudo-file lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PseudoFileClass {
+    /// `/proc/...`
+    Proc,
+    /// `/dev/...`
+    Dev,
+    /// `/sys/...`
+    Sys,
+}
+
+impl PseudoFileClass {
+    /// Path prefix of the class.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            PseudoFileClass::Proc => "/proc",
+            PseudoFileClass::Dev => "/dev",
+            PseudoFileClass::Sys => "/sys",
+        }
+    }
+
+    /// Classifies a path, if it points into a pseudo filesystem.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use loupe_syscalls::PseudoFileClass;
+    /// assert_eq!(PseudoFileClass::of_path("/dev/urandom"), Some(PseudoFileClass::Dev));
+    /// assert_eq!(PseudoFileClass::of_path("/etc/passwd"), None);
+    /// ```
+    pub fn of_path(path: &str) -> Option<PseudoFileClass> {
+        for class in [PseudoFileClass::Proc, PseudoFileClass::Dev, PseudoFileClass::Sys] {
+            let p = class.prefix();
+            if path == p || (path.starts_with(p) && path.as_bytes().get(p.len()) == Some(&b'/')) {
+                return Some(class);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for PseudoFileClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.prefix())
+    }
+}
+
+/// A pseudo-file access observed (or interposable) by Loupe.
+///
+/// Paths are kept in a canonical form where PID components are replaced by
+/// the placeholder `self` (`/proc/1234/status` → `/proc/self/status`) so
+/// that accesses aggregate across runs.
+///
+/// # Examples
+///
+/// ```
+/// use loupe_syscalls::{PseudoFile, PseudoFileClass};
+///
+/// let pf = PseudoFile::canonicalize("/proc/4242/status").unwrap();
+/// assert_eq!(pf.path(), "/proc/self/status");
+/// assert_eq!(pf.class(), PseudoFileClass::Proc);
+/// assert!(PseudoFile::canonicalize("/tmp/x").is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PseudoFile {
+    class: PseudoFileClass,
+    path: String,
+}
+
+impl PseudoFile {
+    /// Canonicalizes a path into a pseudo-file, or `None` if the path is a
+    /// regular file.
+    pub fn canonicalize(path: &str) -> Option<PseudoFile> {
+        let class = PseudoFileClass::of_path(path)?;
+        let canon = if class == PseudoFileClass::Proc {
+            canonicalize_proc_pid(path)
+        } else {
+            path.to_owned()
+        };
+        Some(PseudoFile { class, path: canon })
+    }
+
+    /// The canonical path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The namespace class.
+    pub fn class(&self) -> PseudoFileClass {
+        self.class
+    }
+}
+
+impl fmt::Display for PseudoFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.path)
+    }
+}
+
+fn canonicalize_proc_pid(path: &str) -> String {
+    let mut out = Vec::new();
+    for (i, comp) in path.split('/').enumerate() {
+        // Replace the PID component directly under /proc (index 2 after the
+        // leading empty component and "proc").
+        if i == 2 && !comp.is_empty() && comp.bytes().all(|b| b.is_ascii_digit()) {
+            out.push("self");
+        } else {
+            out.push(comp);
+        }
+    }
+    out.join("/")
+}
+
+/// Pseudo-files commonly accessed by the paper's application set.
+pub const WELL_KNOWN: &[&str] = &[
+    "/proc/self/status",
+    "/proc/self/exe",
+    "/proc/self/maps",
+    "/proc/self/stat",
+    "/proc/self/fd",
+    "/proc/cpuinfo",
+    "/proc/meminfo",
+    "/proc/stat",
+    "/proc/sys/kernel/osrelease",
+    "/proc/sys/net/core/somaxconn",
+    "/proc/sys/vm/overcommit_memory",
+    "/proc/sys/vm/max_map_count",
+    "/dev/null",
+    "/dev/zero",
+    "/dev/random",
+    "/dev/urandom",
+    "/dev/tty",
+    "/dev/shm",
+    "/sys/devices/system/cpu/online",
+    "/sys/kernel/mm/transparent_hugepage/enabled",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_prefixes() {
+        assert_eq!(PseudoFileClass::of_path("/proc/self/status"), Some(PseudoFileClass::Proc));
+        assert_eq!(PseudoFileClass::of_path("/sys/kernel"), Some(PseudoFileClass::Sys));
+        assert_eq!(PseudoFileClass::of_path("/devel/x"), None, "prefix must end at component");
+        assert_eq!(PseudoFileClass::of_path("/proc"), Some(PseudoFileClass::Proc));
+        assert_eq!(PseudoFileClass::of_path("relative/proc"), None);
+    }
+
+    #[test]
+    fn canonicalizes_pids() {
+        assert_eq!(
+            PseudoFile::canonicalize("/proc/31337/exe").unwrap().path(),
+            "/proc/self/exe"
+        );
+        assert_eq!(
+            PseudoFile::canonicalize("/proc/self/exe").unwrap().path(),
+            "/proc/self/exe"
+        );
+        // Non-PID components are untouched.
+        assert_eq!(
+            PseudoFile::canonicalize("/proc/cpuinfo").unwrap().path(),
+            "/proc/cpuinfo"
+        );
+        // PID-looking components deeper in the path are untouched.
+        assert_eq!(
+            PseudoFile::canonicalize("/proc/self/task/1234/stat").unwrap().path(),
+            "/proc/self/task/1234/stat"
+        );
+    }
+
+    #[test]
+    fn well_known_all_canonicalize() {
+        for p in WELL_KNOWN {
+            let pf = PseudoFile::canonicalize(p).expect("well-known paths are pseudo-files");
+            assert_eq!(pf.path(), *p, "well-known paths are already canonical");
+        }
+    }
+
+    #[test]
+    fn regular_files_are_not_pseudo() {
+        for p in ["/etc/nginx/nginx.conf", "/var/log/nginx/access.log", "index.html"] {
+            assert!(PseudoFile::canonicalize(p).is_none(), "{p}");
+        }
+    }
+}

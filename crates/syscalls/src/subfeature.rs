@@ -1,0 +1,249 @@
+//! Sub-features of vectored system calls (§5.4 of the paper).
+//!
+//! Vectored system calls (`ioctl`, `fcntl`, `prctl`, ...) bundle many
+//! operations behind one number; treating them as monolithic makes
+//! compatibility look harder than it is. Loupe can interpose at the
+//! granularity of the *operation argument*; this module names those
+//! operations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::nr::Sysno;
+
+/// Identifies one operation of a vectored system call: the syscall plus the
+/// value of its selector argument.
+///
+/// # Examples
+///
+/// ```
+/// use loupe_syscalls::{SubFeature, SubFeatureKey, Sysno};
+///
+/// let key = SubFeatureKey::new(Sysno::fcntl, SubFeature::F_SETFL.raw());
+/// assert_eq!(key.sysno(), Sysno::fcntl);
+/// assert_eq!(key.to_string(), "fcntl:F_SETFL");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SubFeatureKey {
+    sysno: Sysno,
+    selector: u64,
+}
+
+impl SubFeatureKey {
+    /// Creates a key from a syscall and the raw selector argument value.
+    pub fn new(sysno: Sysno, selector: u64) -> SubFeatureKey {
+        SubFeatureKey { sysno, selector }
+    }
+
+    /// The vectored system call.
+    pub fn sysno(self) -> Sysno {
+        self.sysno
+    }
+
+    /// The raw selector value.
+    pub fn selector(self) -> u64 {
+        self.selector
+    }
+
+    /// Symbolic name of the selector if known (e.g. `"F_SETFL"`).
+    pub fn selector_name(self) -> Option<&'static str> {
+        SubFeature::from_parts(self.sysno, self.selector).map(SubFeature::name)
+    }
+}
+
+impl fmt::Display for SubFeatureKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.selector_name() {
+            Some(name) => write!(f, "{}:{}", self.sysno.name(), name),
+            None => write!(f, "{}:{:#x}", self.sysno.name(), self.selector),
+        }
+    }
+}
+
+macro_rules! subfeatures {
+    ($(($variant:ident, $sysno:ident, $sel:expr, $name:expr, $critical:expr)),* $(,)?) => {
+        /// A known operation of a vectored system call.
+        ///
+        /// The `critical` flag captures the paper's observation that some
+        /// sub-features are load-bearing (e.g. `fcntl(F_SETFL)` sets
+        /// non-blocking mode — required by every event-driven server) while
+        /// others can always be stubbed (e.g. `fcntl(F_SETFD)` sets
+        /// close-on-exec — a non-critical hardening measure).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        #[allow(non_camel_case_types)]
+        pub enum SubFeature {
+            $(
+                #[doc = $name]
+                $variant,
+            )*
+        }
+
+        impl SubFeature {
+            /// All known sub-features.
+            pub const ALL: &'static [SubFeature] = &[$(SubFeature::$variant,)*];
+
+            /// The vectored syscall this operation belongs to.
+            pub fn sysno(self) -> Sysno {
+                match self {
+                    $(SubFeature::$variant => Sysno::$sysno,)*
+                }
+            }
+
+            /// The raw selector value.
+            pub fn raw(self) -> u64 {
+                match self {
+                    $(SubFeature::$variant => $sel,)*
+                }
+            }
+
+            /// Symbolic name, e.g. `"TCGETS"`.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(SubFeature::$variant => $name,)*
+                }
+            }
+
+            /// Whether the paper's dataset found this operation to be
+            /// critical for core application functionality (cannot be
+            /// stubbed in most applications).
+            pub fn is_typically_critical(self) -> bool {
+                match self {
+                    $(SubFeature::$variant => $critical,)*
+                }
+            }
+
+            /// Looks up a known sub-feature from syscall + selector.
+            pub fn from_parts(sysno: Sysno, selector: u64) -> Option<SubFeature> {
+                $(
+                    if sysno == Sysno::$sysno && selector == $sel {
+                        return Some(SubFeature::$variant);
+                    }
+                )*
+                None
+            }
+
+            /// Key form of this sub-feature.
+            pub fn key(self) -> SubFeatureKey {
+                SubFeatureKey::new(self.sysno(), self.raw())
+            }
+        }
+    };
+}
+
+subfeatures![
+    // fcntl(2) commands (§5.4: F_SETFL required, F_SETFD always stubbable).
+    (F_DUPFD, fcntl, 0, "F_DUPFD", false),
+    (F_GETFD, fcntl, 1, "F_GETFD", false),
+    (F_SETFD, fcntl, 2, "F_SETFD", false),
+    (F_GETFL, fcntl, 3, "F_GETFL", false),
+    (F_SETFL, fcntl, 4, "F_SETFL", true),
+    (F_SETLK, fcntl, 6, "F_SETLK", false),
+    (F_SETLKW, fcntl, 7, "F_SETLKW", false),
+    (F_GETLK, fcntl, 5, "F_GETLK", false),
+    (F_DUPFD_CLOEXEC, fcntl, 1030, "F_DUPFD_CLOEXEC", false),
+    // ioctl(2) requests observed in the paper's dataset (§5.4: all stubbable).
+    (TCGETS, ioctl, 0x5401, "TCGETS", false),
+    (TCSETS, ioctl, 0x5402, "TCSETS", false),
+    (TIOCGWINSZ, ioctl, 0x5413, "TIOCGWINSZ", false),
+    (FIONBIO, ioctl, 0x5421, "FIONBIO", false),
+    (FIOASYNC, ioctl, 0x5452, "FIOASYNC", false),
+    (FIONREAD, ioctl, 0x541b, "FIONREAD", false),
+    (FIOCLEX, ioctl, 0x5451, "FIOCLEX", false),
+    // prctl(2) options (Fig. 6b: PR_SET_KEEPCAPS can be faked).
+    (PR_SET_NAME, prctl, 15, "PR_SET_NAME", false),
+    (PR_GET_NAME, prctl, 16, "PR_GET_NAME", false),
+    (PR_SET_KEEPCAPS, prctl, 8, "PR_SET_KEEPCAPS", false),
+    (PR_SET_DUMPABLE, prctl, 4, "PR_SET_DUMPABLE", false),
+    (PR_SET_SECCOMP, prctl, 22, "PR_SET_SECCOMP", false),
+    (PR_SET_NO_NEW_PRIVS, prctl, 38, "PR_SET_NO_NEW_PRIVS", false),
+    (PR_CAPBSET_READ, prctl, 23, "PR_CAPBSET_READ", false),
+    // arch_prctl(2): §5.4 finds only ARCH_SET_FS (TLS setup) required.
+    (ARCH_SET_GS, arch_prctl, 0x1001, "ARCH_SET_GS", false),
+    (ARCH_SET_FS, arch_prctl, 0x1002, "ARCH_SET_FS", true),
+    (ARCH_GET_FS, arch_prctl, 0x1003, "ARCH_GET_FS", false),
+    (ARCH_GET_GS, arch_prctl, 0x1004, "ARCH_GET_GS", false),
+    (ARCH_CET_STATUS, arch_prctl, 0x3001, "ARCH_CET_STATUS", false),
+    // madvise(2) advice values (§5.3: optimizing hints, stubbable).
+    (MADV_NORMAL, madvise, 0, "MADV_NORMAL", false),
+    (MADV_RANDOM, madvise, 1, "MADV_RANDOM", false),
+    (MADV_SEQUENTIAL, madvise, 2, "MADV_SEQUENTIAL", false),
+    (MADV_WILLNEED, madvise, 3, "MADV_WILLNEED", false),
+    (MADV_DONTNEED, madvise, 4, "MADV_DONTNEED", false),
+    (MADV_FREE, madvise, 8, "MADV_FREE", false),
+    (MADV_HUGEPAGE, madvise, 14, "MADV_HUGEPAGE", false),
+    (MADV_DONTDUMP, madvise, 16, "MADV_DONTDUMP", false),
+    // prlimit64(2) resources (§5.4: only CORE/NOFILE/STACK used).
+    (RLIMIT_CPU, prlimit64, 0, "RLIMIT_CPU", false),
+    (RLIMIT_FSIZE, prlimit64, 1, "RLIMIT_FSIZE", false),
+    (RLIMIT_DATA, prlimit64, 2, "RLIMIT_DATA", false),
+    (RLIMIT_STACK, prlimit64, 3, "RLIMIT_STACK", false),
+    (RLIMIT_CORE, prlimit64, 4, "RLIMIT_CORE", false),
+    (RLIMIT_RSS, prlimit64, 5, "RLIMIT_RSS", false),
+    (RLIMIT_NPROC, prlimit64, 6, "RLIMIT_NPROC", false),
+    (RLIMIT_NOFILE, prlimit64, 7, "RLIMIT_NOFILE", false),
+    (RLIMIT_MEMLOCK, prlimit64, 8, "RLIMIT_MEMLOCK", false),
+    (RLIMIT_AS, prlimit64, 9, "RLIMIT_AS", false),
+    // futex(2) ops: WAIT/WAKE are the critical pair.
+    (FUTEX_WAIT, futex, 0, "FUTEX_WAIT", true),
+    (FUTEX_WAKE, futex, 1, "FUTEX_WAKE", true),
+    (FUTEX_REQUEUE, futex, 3, "FUTEX_REQUEUE", false),
+    (FUTEX_WAIT_BITSET, futex, 9, "FUTEX_WAIT_BITSET", true),
+    (FUTEX_WAKE_BITSET, futex, 10, "FUTEX_WAKE_BITSET", true),
+    // mmap(2) purposes: Loupe distinguishes anonymous-memory allocation from
+    // file mapping via the flags argument (MAP_ANONYMOUS = 0x20).
+    (MAP_FILE_BACKED, mmap, 0, "MAP_FILE_BACKED", true),
+    (MAP_ANONYMOUS, mmap, 0x20, "MAP_ANONYMOUS", true),
+];
+
+impl fmt::Display for SubFeature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.sysno().name(), self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_roundtrip() {
+        for &sf in SubFeature::ALL {
+            assert_eq!(SubFeature::from_parts(sf.sysno(), sf.raw()), Some(sf));
+        }
+    }
+
+    #[test]
+    fn unknown_selector_yields_none() {
+        assert_eq!(SubFeature::from_parts(Sysno::ioctl, 0xdead_beef), None);
+        // Selector values are scoped per syscall: F_SETFL's value under
+        // a non-vectored syscall is not a sub-feature.
+        assert_eq!(SubFeature::from_parts(Sysno::read, 4), None);
+    }
+
+    #[test]
+    fn critical_sub_features_match_the_paper() {
+        assert!(SubFeature::F_SETFL.is_typically_critical());
+        assert!(!SubFeature::F_SETFD.is_typically_critical());
+        assert!(SubFeature::ARCH_SET_FS.is_typically_critical());
+        assert!(!SubFeature::PR_SET_KEEPCAPS.is_typically_critical());
+        assert!(!SubFeature::TCGETS.is_typically_critical());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SubFeature::TCGETS.to_string(), "ioctl:TCGETS");
+        let key = SubFeatureKey::new(Sysno::ioctl, 0x1234);
+        assert_eq!(key.to_string(), "ioctl:0x1234");
+    }
+
+    #[test]
+    fn key_accessors() {
+        let k = SubFeature::RLIMIT_NOFILE.key();
+        assert_eq!(k.sysno(), Sysno::prlimit64);
+        assert_eq!(k.selector(), 7);
+        assert_eq!(k.selector_name(), Some("RLIMIT_NOFILE"));
+    }
+}

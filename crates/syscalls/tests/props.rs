@@ -1,0 +1,69 @@
+//! Property tests for the syscall-metadata substrate.
+
+use loupe_syscalls::{Category, PseudoFile, PseudoFileClass, SubFeature, Sysno};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn category_is_total_and_stable(raw in 0u32..460) {
+        if let Some(s) = Sysno::from_raw(raw) {
+            let c1 = Category::of(s);
+            let c2 = Category::of(s);
+            prop_assert_eq!(c1, c2);
+        }
+    }
+
+    #[test]
+    fn pseudo_canonicalisation_is_idempotent(pid in 1u32..1_000_000, tail in "[a-z]{1,8}") {
+        let path = format!("/proc/{pid}/{tail}");
+        let once = PseudoFile::canonicalize(&path).unwrap();
+        let twice = PseudoFile::canonicalize(once.path()).unwrap();
+        prop_assert_eq!(once.path(), twice.path());
+        prop_assert_eq!(once.class(), PseudoFileClass::Proc);
+        prop_assert!(once.path().starts_with("/proc/self/"));
+    }
+
+    #[test]
+    fn non_pseudo_paths_never_canonicalise(tail in "[a-z]{1,12}") {
+        for prefix in ["/etc", "/home", "/var", "/srv", "/opt"] {
+            let path = format!("{prefix}/{tail}");
+            prop_assert!(PseudoFile::canonicalize(&path).is_none(), "{}", path);
+        }
+    }
+
+    #[test]
+    fn sub_feature_lookup_is_injective(idx in 0..SubFeature::ALL.len()) {
+        let sf = SubFeature::ALL[idx];
+        let found = SubFeature::from_parts(sf.sysno(), sf.raw());
+        prop_assert_eq!(found, Some(sf));
+        // Display form is always "<syscall>:<NAME>".
+        let display = sf.to_string();
+        prop_assert!(display.starts_with(sf.sysno().name()));
+        prop_assert!(display.ends_with(sf.name()));
+    }
+
+    #[test]
+    fn sub_feature_keys_round_trip_selectors(idx in 0..SubFeature::ALL.len(), noise in 0u64..u64::MAX) {
+        let sf = SubFeature::ALL[idx];
+        let key = sf.key();
+        prop_assert_eq!(key.selector_name(), Some(sf.name()));
+        // Unknown selectors never alias a known name.
+        let unknown = loupe_syscalls::SubFeatureKey::new(sf.sysno(), noise);
+        if unknown.selector_name().is_some() {
+            // Then the noise value must be a real selector of this syscall.
+            prop_assert!(SubFeature::ALL.iter().any(|s| s.sysno() == sf.sysno() && s.raw() == noise));
+        }
+    }
+
+    #[test]
+    fn allocating_categories_match_fd_and_memory_calls(raw in 0u32..460) {
+        if let Some(s) = Sysno::from_raw(raw) {
+            // Spot invariant: the syscalls the paper says can "almost
+            // never" be avoided because they allocate resources are in
+            // allocating categories.
+            if matches!(s, Sysno::mmap | Sysno::openat | Sysno::socket | Sysno::pipe2 | Sysno::epoll_create1) {
+                prop_assert!(Category::of(s).allocates_resources());
+            }
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! A real `ptrace(2)` interposition backend for real Linux binaries.
+//!
+//! This is a direct Rust port of the paper's 500-LoC C shim (§3): it
+//! traces a child process with `PTRACE_SYSCALL`, records every system
+//! call, and can **stub** or **fake** selected syscalls by rewriting
+//! `orig_rax` on entry (to an invalid number, so the kernel skips the
+//! call) and `rax` on exit (to `-ENOSYS` or a fake success value).
+//!
+//! The simulated-kernel engine in `loupe-core` is the primary measurement
+//! path in this reproduction (the paper's applications are not available
+//! here); this backend demonstrates the mechanism against real binaries
+//! and is exercised by tests on `/bin/true`-class programs.
+//!
+//! Only x86-64 Linux is supported.
+
+#![cfg(target_os = "linux")]
+
+use std::collections::BTreeMap;
+use std::ffi::CString;
+use std::fmt;
+
+use loupe_syscalls::Sysno;
+
+/// Register offsets into `user_regs_struct`, in units of machine words.
+const RAX: usize = 10;
+const RDI: usize = 14;
+const ORIG_RAX: usize = 15;
+
+/// `-ENOSYS` as the kernel returns it.
+const ENOSYS_RET: i64 = -38;
+
+/// What to do with one syscall during a traced run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceAction {
+    /// Let it through (still counted).
+    Allow,
+    /// Skip the kernel and return `-ENOSYS`.
+    Stub,
+    /// Skip the kernel and return `value`.
+    Fake(i64),
+}
+
+/// Policy for a traced run: per-syscall actions, default allow.
+#[derive(Debug, Clone, Default)]
+pub struct TracePolicy {
+    actions: BTreeMap<u64, TraceAction>,
+    whitelist: Vec<String>,
+}
+
+impl TracePolicy {
+    /// The record-only policy.
+    pub fn allow_all() -> TracePolicy {
+        TracePolicy::default()
+    }
+
+    /// Sets the action for one syscall (builder style).
+    pub fn with(mut self, sysno: Sysno, action: TraceAction) -> TracePolicy {
+        self.actions.insert(u64::from(sysno.raw()), action);
+        self
+    }
+
+    /// Restricts accounting and interposition to binaries whose path
+    /// contains one of `needles` (§3.3's whitelist: run Loupe on a test
+    /// suite, count only the application's own syscalls). Matching is by
+    /// substring of the `execve` path, like the upstream tool's
+    /// binary-name matching.
+    pub fn with_whitelist<I, S>(mut self, needles: I) -> TracePolicy
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.whitelist = needles.into_iter().map(Into::into).collect();
+        self
+    }
+
+    fn action_for(&self, nr: u64) -> TraceAction {
+        self.actions.get(&nr).copied().unwrap_or(TraceAction::Allow)
+    }
+
+    fn matches_whitelist(&self, path: &str) -> bool {
+        self.whitelist.is_empty() || self.whitelist.iter().any(|n| path.contains(n.as_str()))
+    }
+}
+
+/// The result of a traced run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceResult {
+    /// Exit status of the child (`None` if killed by a signal).
+    pub exit_code: Option<i32>,
+    /// Invocation counts per syscall number (includes unknown numbers).
+    pub counts: BTreeMap<u64, u64>,
+    /// Number of syscalls answered by the tracer instead of the kernel.
+    pub intercepted: u64,
+    /// Paths passed to `execve` during the run (whitelist diagnostics).
+    pub execs: Vec<String>,
+}
+
+impl TraceResult {
+    /// Counts keyed by [`Sysno`], dropping unknown numbers.
+    pub fn by_sysno(&self) -> BTreeMap<Sysno, u64> {
+        self.counts
+            .iter()
+            .filter_map(|(nr, n)| Sysno::from_raw(*nr as u32).map(|s| (s, *n)))
+            .collect()
+    }
+
+    /// Whether the syscall was observed at least once.
+    pub fn saw(&self, sysno: Sysno) -> bool {
+        self.counts.contains_key(&u64::from(sysno.raw()))
+    }
+}
+
+/// Errors from the ptrace backend.
+#[derive(Debug)]
+pub enum TraceError {
+    /// `fork(2)` failed.
+    ForkFailed(i32),
+    /// A ptrace operation failed.
+    Ptrace {
+        /// Which operation.
+        op: &'static str,
+        /// errno.
+        errno: i32,
+    },
+    /// The command contained an interior NUL byte.
+    BadCommand,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::ForkFailed(e) => write!(f, "fork failed (errno {e})"),
+            TraceError::Ptrace { op, errno } => write!(f, "ptrace {op} failed (errno {errno})"),
+            TraceError::BadCommand => write!(f, "command contains NUL byte"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn errno() -> i32 {
+    io_errno()
+}
+
+fn io_errno() -> i32 {
+    std::io::Error::last_os_error().raw_os_error().unwrap_or(0)
+}
+
+/// Traces `argv[0]` with arguments `argv[1..]` under `policy`.
+///
+/// The child's stdout/stderr are redirected to `/dev/null` so traced
+/// programs do not pollute the caller's terminal.
+///
+/// # Errors
+///
+/// Fork/ptrace failures. A child that never stops is not handled — callers
+/// should trace short-lived commands.
+pub fn trace_command(argv: &[&str], policy: &TracePolicy) -> Result<TraceResult, TraceError> {
+    let cargs: Vec<CString> = argv
+        .iter()
+        .map(|a| CString::new(*a).map_err(|_| TraceError::BadCommand))
+        .collect::<Result<_, _>>()?;
+
+    // SAFETY: standard fork/exec pattern; the child only calls
+    // async-signal-safe functions before execvp.
+    let pid = unsafe { libc::fork() };
+    if pid < 0 {
+        return Err(TraceError::ForkFailed(errno()));
+    }
+    if pid == 0 {
+        // Child.
+        unsafe {
+            let devnull = CString::new("/dev/null").expect("static string");
+            let fd = libc::open(devnull.as_ptr(), libc::O_WRONLY);
+            if fd >= 0 {
+                libc::dup2(fd, 1);
+                libc::dup2(fd, 2);
+            }
+            libc::ptrace(libc::PTRACE_TRACEME, 0, 0, 0);
+            let mut ptrs: Vec<*const libc::c_char> =
+                cargs.iter().map(|c| c.as_ptr()).collect();
+            ptrs.push(std::ptr::null());
+            libc::execvp(ptrs[0], ptrs.as_ptr());
+            libc::_exit(127);
+        }
+    }
+
+    // Parent: wait for the post-execve stop.
+    let mut status: libc::c_int = 0;
+    // SAFETY: pid is our child.
+    unsafe { libc::waitpid(pid, &mut status, 0) };
+    if libc::WIFEXITED(status) {
+        // execvp failed before any stop (e.g. missing binary).
+        return Ok(TraceResult {
+            exit_code: Some(libc::WEXITSTATUS(status)),
+            ..TraceResult::default()
+        });
+    }
+    // Distinguish syscall stops from signal stops.
+    // SAFETY: child is in ptrace-stop.
+    unsafe {
+        libc::ptrace(
+            libc::PTRACE_SETOPTIONS,
+            pid,
+            0,
+            libc::PTRACE_O_TRACESYSGOOD,
+        )
+    };
+
+    let mut result = TraceResult::default();
+    let mut in_syscall = false;
+    let mut pending: Option<(u64, TraceAction)> = None;
+    // Whitelist state: whether the *current program image* is accounted.
+    // The initial exec target is argv[0]; later execve calls re-evaluate.
+    let mut accounted = policy.matches_whitelist(argv[0]);
+    const SYS_EXECVE: u64 = 59;
+
+    loop {
+        // SAFETY: child is stopped.
+        if unsafe { libc::ptrace(libc::PTRACE_SYSCALL, pid, 0, 0) } < 0 {
+            return Err(TraceError::Ptrace { op: "SYSCALL", errno: errno() });
+        }
+        // SAFETY: pid is our child.
+        if unsafe { libc::waitpid(pid, &mut status, 0) } < 0 {
+            return Err(TraceError::Ptrace { op: "waitpid", errno: errno() });
+        }
+        if libc::WIFEXITED(status) {
+            result.exit_code = Some(libc::WEXITSTATUS(status));
+            break;
+        }
+        if libc::WIFSIGNALED(status) {
+            result.exit_code = None;
+            break;
+        }
+        let is_syscall_stop =
+            libc::WIFSTOPPED(status) && libc::WSTOPSIG(status) == (libc::SIGTRAP | 0x80);
+        if !is_syscall_stop {
+            continue;
+        }
+
+        if !in_syscall {
+            // Syscall entry.
+            let nr = peek_user(pid, ORIG_RAX)? as u64;
+            if nr == SYS_EXECVE {
+                // Re-evaluate the whitelist against the new image (§3.3:
+                // "checking the binary path upon exec").
+                if let Ok(path) = read_child_string(pid, peek_user(pid, RDI)? as u64) {
+                    accounted = policy.matches_whitelist(&path);
+                    result.execs.push(path);
+                }
+            }
+            if accounted {
+                *result.counts.entry(nr).or_insert(0) += 1;
+                let action = policy.action_for(nr);
+                if action != TraceAction::Allow {
+                    // Divert to an invalid syscall so the kernel skips it.
+                    poke_user(pid, ORIG_RAX, -1i64 as u64)?;
+                    pending = Some((nr, action));
+                }
+            }
+            in_syscall = true;
+        } else {
+            // Syscall exit.
+            if let Some((_, action)) = pending.take() {
+                let value = match action {
+                    TraceAction::Stub => ENOSYS_RET,
+                    TraceAction::Fake(v) => v,
+                    TraceAction::Allow => unreachable!("allow is never pending"),
+                };
+                poke_user(pid, RAX, value as u64)?;
+                result.intercepted += 1;
+            }
+            in_syscall = false;
+        }
+    }
+    Ok(result)
+}
+
+fn peek_user(pid: libc::pid_t, reg: usize) -> Result<i64, TraceError> {
+    // SAFETY: reading a register slot of a stopped child.
+    let v = unsafe { libc::ptrace(libc::PTRACE_PEEKUSER, pid, (reg * 8) as libc::c_long, 0) };
+    if v == -1 && errno() != 0 {
+        // A legitimate -1 register value is indistinguishable from an
+        // error without clearing errno; register reads here are never -1
+        // for orig_rax of a syscall stop, so treat it as an error.
+        return Err(TraceError::Ptrace { op: "PEEKUSER", errno: errno() });
+    }
+    Ok(v)
+}
+
+/// Reads a NUL-terminated string from the child's address space (for the
+/// `execve` path argument), capped at 4 KiB.
+fn read_child_string(pid: libc::pid_t, addr: u64) -> Result<String, TraceError> {
+    let mut bytes = Vec::new();
+    let mut cursor = addr;
+    while bytes.len() < 4096 {
+        // SAFETY: reading a word of a stopped child's memory.
+        let word =
+            unsafe { libc::ptrace(libc::PTRACE_PEEKDATA, pid, cursor as libc::c_long, 0) };
+        if word == -1 && errno() != 0 {
+            return Err(TraceError::Ptrace { op: "PEEKDATA", errno: errno() });
+        }
+        for b in word.to_ne_bytes() {
+            if b == 0 {
+                return Ok(String::from_utf8_lossy(&bytes).into_owned());
+            }
+            bytes.push(b);
+        }
+        cursor += 8;
+    }
+    Ok(String::from_utf8_lossy(&bytes).into_owned())
+}
+
+fn poke_user(pid: libc::pid_t, reg: usize, value: u64) -> Result<(), TraceError> {
+    // SAFETY: writing a register slot of a stopped child.
+    let r = unsafe {
+        libc::ptrace(
+            libc::PTRACE_POKEUSER,
+            pid,
+            (reg * 8) as libc::c_long,
+            value as libc::c_long,
+        )
+    };
+    if r < 0 {
+        return Err(TraceError::Ptrace { op: "POKEUSER", errno: errno() });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ptrace_available() -> bool {
+        // A containerised environment may deny ptrace; probe once.
+        trace_command(&["true"], &TracePolicy::allow_all()).is_ok()
+    }
+
+    #[test]
+    fn traces_true_and_sees_core_syscalls() {
+        if !ptrace_available() {
+            eprintln!("ptrace unavailable; skipping");
+            return;
+        }
+        let r = trace_command(&["true"], &TracePolicy::allow_all()).unwrap();
+        assert_eq!(r.exit_code, Some(0));
+        assert!(r.saw(Sysno::execve) || r.counts.len() > 3, "{:?}", r.counts);
+        assert!(r.saw(Sysno::exit_group), "{:?}", r.counts.keys());
+        assert!(r.by_sysno().len() > 3);
+    }
+
+    #[test]
+    fn echo_writes_through_write_or_writev() {
+        if !ptrace_available() {
+            return;
+        }
+        let r = trace_command(&["echo", "hello"], &TracePolicy::allow_all()).unwrap();
+        assert_eq!(r.exit_code, Some(0));
+        assert!(r.saw(Sysno::write) || r.saw(Sysno::writev));
+        assert_eq!(r.intercepted, 0);
+    }
+
+    #[test]
+    fn stubbing_a_harmless_syscall_keeps_the_program_working() {
+        if !ptrace_available() {
+            return;
+        }
+        // `sysinfo`/`getrusage` style calls are not used by `true`; stub
+        // something it does call but tolerates: `brk` forces the mmap
+        // fallback in glibc (§5.3), and `true` still exits 0.
+        let policy = TracePolicy::allow_all().with(Sysno::brk, TraceAction::Stub);
+        let r = trace_command(&["true"], &policy).unwrap();
+        assert_eq!(r.exit_code, Some(0), "true survives stubbed brk");
+        if r.saw(Sysno::brk) {
+            assert!(r.intercepted > 0);
+        }
+    }
+
+    #[test]
+    fn faking_write_suppresses_output_but_passes() {
+        if !ptrace_available() {
+            return;
+        }
+        // Fake write: echo believes it wrote (return value = a plausible
+        // byte count) and exits cleanly.
+        let policy = TracePolicy::allow_all().with(Sysno::write, TraceAction::Fake(4096));
+        let r = trace_command(&["echo", "hello"], &policy).unwrap();
+        assert_eq!(r.exit_code, Some(0));
+    }
+
+    #[test]
+    fn whitelist_filters_non_matching_programs() {
+        if !ptrace_available() {
+            return;
+        }
+        // `sh -c true` execs /bin/true (or runs it builtin); whitelisting
+        // a needle that matches nothing must yield an (almost) empty
+        // count set while the run still succeeds.
+        let policy = TracePolicy::allow_all().with_whitelist(["no-such-binary-needle"]);
+        let filtered = trace_command(&["sh", "-c", "exec echo hi"], &policy).unwrap();
+        assert_eq!(filtered.exit_code, Some(0));
+        let full = trace_command(&["sh", "-c", "exec echo hi"], &TracePolicy::allow_all()).unwrap();
+        assert!(
+            filtered.counts.values().sum::<u64>() < full.counts.values().sum::<u64>(),
+            "whitelist must drop syscalls: {} vs {}",
+            filtered.counts.values().sum::<u64>(),
+            full.counts.values().sum::<u64>()
+        );
+        // Whitelisting the echo image counts its syscalls but not sh's.
+        let policy = TracePolicy::allow_all().with_whitelist(["echo"]);
+        let echo_only = trace_command(&["sh", "-c", "exec echo hi"], &policy).unwrap();
+        assert!(echo_only.execs.iter().any(|p| p.contains("echo")), "{:?}", echo_only.execs);
+        assert!(echo_only.saw(Sysno::write) || echo_only.saw(Sysno::writev));
+    }
+
+    #[test]
+    fn missing_binary_reports_exit_127() {
+        if !ptrace_available() {
+            return;
+        }
+        let r = trace_command(&["/no/such/binary-xyz"], &TracePolicy::allow_all()).unwrap();
+        assert_eq!(r.exit_code, Some(127));
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: measure one application and read its classification.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use loupe::apps::{registry, Workload};
+use loupe::core::{AnalysisConfig, Engine};
+
+fn main() {
+    // Pick an application model and a workload the test script drives.
+    let app = registry::find("redis").expect("redis is in the registry");
+    let engine = Engine::new(AnalysisConfig::fast());
+
+    // One call runs the whole Loupe protocol: discovery run, one stub run
+    // and one fake run per traced syscall, and a final confirmation run.
+    let report = engine
+        .analyze(app.as_ref(), Workload::Benchmark)
+        .expect("redis passes redis-benchmark on the full kernel");
+
+    println!(
+        "redis under redis-benchmark: {} syscalls traced, {} analysis runs",
+        report.traced().len(),
+        report.stats.total_runs()
+    );
+    println!(
+        "  required  : {:>2}  {}",
+        report.required().len(),
+        report.required()
+    );
+    println!(
+        "  stubbable : {:>2}  (return -ENOSYS, no implementation needed)",
+        report.stubbable().len()
+    );
+    println!(
+        "  fakeable  : {:>2}  (return success, no implementation needed)",
+        report.fakeable().len()
+    );
+    println!(
+        "  => a compatibility layer needs {} of {} invoked syscalls to run this workload",
+        report.required().len(),
+        report.traced().len()
+    );
+
+    // The paper's headline: more than half of what a naive strace-based
+    // approach reports does not need an implementation.
+    assert!(report.required().len() * 2 <= report.traced().len() + 2);
+}

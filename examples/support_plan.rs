@@ -1,0 +1,46 @@
+//! Generate an incremental support plan for an OS under development
+//! (the Table 1 workflow): measure a set of target applications, then ask
+//! the planner in which order to implement the missing syscalls.
+//!
+//! ```sh
+//! cargo run --example support_plan
+//! ```
+
+use loupe::apps::{registry, Workload};
+use loupe::core::{AnalysisConfig, Engine};
+use loupe::plan::{os, AppRequirement, SupportPlan};
+
+fn main() {
+    // 1. Measure the target applications (a subset keeps the example
+    //    fast; use registry::cloud_apps() for the full Table 1 set).
+    let engine = Engine::new(AnalysisConfig::fast());
+    let mut requirements = Vec::new();
+    for name in ["nginx", "redis", "memcached", "sqlite", "lighttpd", "weborf", "webfsd"] {
+        let app = registry::find(name).expect("app in registry");
+        let report = engine
+            .analyze(app.as_ref(), Workload::Benchmark)
+            .expect("baseline passes");
+        println!(
+            "measured {:<10} required={:<3} avoidable={}",
+            name,
+            report.required().len(),
+            report.avoidable().len()
+        );
+        requirements.push(AppRequirement::from_report(&report));
+    }
+
+    // 2. Pick the OS under development — Kerla, the youngest layer in the
+    //    curated database (58 syscalls). You can also parse your own
+    //    support file with `OsSpec::from_csv`.
+    let kerla = os::find("kerla").expect("curated spec");
+
+    // 3. Generate and print the plan.
+    let plan = SupportPlan::generate(&kerla, &requirements);
+    println!("\n{}", plan.to_table());
+    println!(
+        "{} steps, {} syscalls implemented in total, {:.0}% of steps implement <=3 syscalls",
+        plan.steps.len(),
+        plan.total_implemented(),
+        plan.small_step_fraction(3) * 100.0
+    );
+}

@@ -1,0 +1,42 @@
+//! Loupe — a reproduction of *"Loupe: Driving the Development of OS
+//! Compatibility Layers"* (Lefeuvre et al., ASPLOS 2024) as a Rust
+//! workspace.
+//!
+//! This facade crate re-exports the public API of the workspace members so
+//! downstream users can depend on a single crate:
+//!
+//! * [`syscalls`] — Linux syscall metadata (numbers, errno, sub-features,
+//!   pseudo-files).
+//! * [`kernel`] — the simulated Linux kernel substrate applications run on.
+//! * [`apps`] — modelled applications, libc models and workloads.
+//! * [`statics`] — binary- and source-level static analysers (baselines).
+//! * [`core`] — the Loupe dynamic-analysis engine (the paper's primary
+//!   contribution).
+//! * [`trace`] — a real `ptrace(2)` backend for real Linux binaries.
+//! * [`plan`] — incremental OS support plans, effort-savings analysis and
+//!   API importance.
+//! * [`db`] — the measurement database (loupedb analogue).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use loupe::apps::{registry, Workload};
+//! use loupe::core::{AnalysisConfig, Engine};
+//!
+//! // Measure which syscalls Nginx needs to serve a health-check workload.
+//! let app = registry::find("nginx").expect("model exists");
+//! let engine = Engine::new(AnalysisConfig::default());
+//! let report = engine.analyze(app.as_ref(), Workload::HealthCheck).unwrap();
+//!
+//! // Some syscalls must be implemented, but many can be stubbed or faked.
+//! assert!(report.required().len() < report.traced().len());
+//! ```
+
+pub use loupe_apps as apps;
+pub use loupe_core as core;
+pub use loupe_db as db;
+pub use loupe_kernel as kernel;
+pub use loupe_plan as plan;
+pub use loupe_static as statics;
+pub use loupe_syscalls as syscalls;
+pub use loupe_trace as trace;

@@ -1,0 +1,129 @@
+//! Per-application classification spot checks, pinning the app-specific
+//! requirements Table 1's plans are built from (benchmark workloads).
+
+use loupe::apps::{registry, Workload};
+use loupe::core::{AnalysisConfig, AppReport, Engine};
+use loupe::syscalls::Sysno;
+
+fn report(name: &str) -> AppReport {
+    let app = registry::find(name).expect(name);
+    Engine::new(AnalysisConfig::fast())
+        .analyze(app.as_ref(), Workload::Benchmark)
+        .expect("baseline passes")
+}
+
+#[test]
+fn mongodb_required_tail_matches_table1() {
+    // Table 1: MongoDB's unlock step implements 128 (rt_sigtimedwait),
+    // 99 (sysinfo), 27 (mincore), 229 (clock_getres), 73 (flock),
+    // 202 (futex), 283 (timerfd_create).
+    let r = report("mongodb");
+    for s in [
+        Sysno::rt_sigtimedwait,
+        Sysno::sysinfo,
+        Sysno::mincore,
+        Sysno::clock_getres,
+        Sysno::flock,
+        Sysno::futex,
+        Sysno::timerfd_create,
+    ] {
+        assert!(r.required().contains(s), "mongodb must require {s}");
+    }
+    // And sigaltstack stays stubbable / statfs fakeable (Table 1's
+    // stub/fake columns for MongoDB).
+    assert!(r.classes[&Sysno::sigaltstack].stub_ok);
+    assert!(r.classes[&Sysno::statfs].fake_ok);
+    assert!(!r.classes[&Sysno::statfs].stub_ok);
+}
+
+#[test]
+fn memcached_requires_eventfd_but_stubs_clock_nanosleep() {
+    // Table 1: Unikraft implements 290 (eventfd2) to unlock Memcached and
+    // stubs 230 (clock_nanosleep).
+    let r = report("memcached");
+    assert!(r.required().contains(Sysno::eventfd2));
+    assert!(r.classes[&Sysno::clock_nanosleep].stub_ok);
+}
+
+#[test]
+fn haproxy_requires_prlimit_and_backend_connect() {
+    // Table 1 (Kerla): implement 302 (prlimit64) for HAProxy; a proxy
+    // without a backend connect serves nothing.
+    let r = report("haproxy");
+    assert!(r.required().contains(Sysno::prlimit64));
+    assert!(r.required().contains(Sysno::connect));
+    // Socket-option tuning is unchecked and avoidable.
+    assert!(r.classes[&Sysno::getsockopt].is_avoidable());
+}
+
+#[test]
+fn webfsd_requires_identity_getters() {
+    // Table 1 (Kerla step 10): implement 102/104/107/108 for webfsd.
+    let r = report("webfsd");
+    for s in [Sysno::getuid, Sysno::getgid, Sysno::geteuid, Sysno::getegid] {
+        let class = r.classes[&s];
+        assert!(!class.stub_ok, "webfsd checks {s}");
+    }
+}
+
+#[test]
+fn sqlite_requires_journal_management() {
+    // Table 1 (Kerla): implement 8 (lseek), 21 (access), 87 (unlink) for
+    // SQLite; 25 (mremap) is fakeable (mmap+copy fallback).
+    let r = report("sqlite");
+    for s in [Sysno::lseek, Sysno::access, Sysno::unlink] {
+        assert!(r.required().contains(s), "sqlite must require {s}");
+    }
+    assert!(r.classes[&Sysno::mremap].is_avoidable());
+}
+
+#[test]
+fn weborf_requires_guard_page_mprotect() {
+    // Table 1 (Kerla): implement 10 (mprotect) for Weborf; fake 302.
+    let r = report("weborf");
+    assert!(r.required().contains(Sysno::mprotect));
+    assert!(r.classes[&Sysno::prlimit64].is_avoidable());
+}
+
+#[test]
+fn h2o_requires_tid_bookkeeping_and_fakes_getuid() {
+    // Table 1: implement 218 (set_tid_address) + 288/290 for H2O; stub 32
+    // (dup); fake 102 (getuid).
+    let r = report("h2o");
+    assert!(r.required().contains(Sysno::set_tid_address));
+    assert!(r.required().contains(Sysno::eventfd2));
+    assert!(r.classes[&Sysno::dup].stub_ok);
+    let getuid = r.classes[&Sysno::getuid];
+    assert!(!getuid.stub_ok && getuid.fake_ok);
+}
+
+#[test]
+fn httpd_requires_checked_setsockopt_and_clone() {
+    // Table 1 (Kerla step 1): implement 56 (clone) and 54 (setsockopt)
+    // for Apache httpd.
+    let r = report("httpd");
+    assert!(r.required().contains(Sysno::setsockopt));
+    assert!(r.required().contains(Sysno::clone));
+}
+
+#[test]
+fn redis_ignores_informational_failures() {
+    // §5.2's catalogue on Redis: sysinfo and ioctl failures are ignored
+    // (log-only), rlimit getters fall back to safe defaults.
+    let r = report("redis");
+    for s in [Sysno::sysinfo, Sysno::ioctl, Sysno::prlimit64, Sysno::umask] {
+        assert!(r.classes[&s].stub_ok, "redis tolerates stubbed {s}");
+    }
+    // But the AOF load path is load-bearing.
+    assert!(r.required().contains(Sysno::newfstatat) || r.required().contains(Sysno::pread64));
+}
+
+#[test]
+fn iperf3_is_nearly_all_core_path() {
+    // A streaming benchmark exercises little beyond the data path.
+    let r = report("iperf3");
+    for s in [Sysno::read, Sysno::accept4, Sysno::socket, Sysno::listen] {
+        assert!(r.required().contains(s), "iperf3 must require {s}");
+    }
+    assert!(r.classes[&Sysno::uname].stub_ok);
+}

