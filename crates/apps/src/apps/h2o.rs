@@ -45,7 +45,8 @@ impl AppModel for H2o {
 
     fn provision(&self, sim: &mut LinuxSim) {
         runtime::provision_base(sim);
-        sim.vfs.add_file("/etc/h2o/h2o.conf", b"listen: 8443\n".to_vec());
+        sim.vfs
+            .add_file("/etc/h2o/h2o.conf", b"listen: 8443\n".to_vec());
         sim.vfs.add_file("/srv/h2o/index.html", vec![b'2'; 512]);
     }
 
@@ -139,19 +140,54 @@ impl AppModel for H2o {
         use Sysno as S;
         AppCode::new()
             .with_checked(&[
-                S::socket, S::bind, S::listen, S::accept4, S::fcntl, S::epoll_create1,
-                S::epoll_ctl, S::epoll_wait, S::read, S::write, S::writev, S::close,
-                S::openat, S::stat, S::fstat, S::eventfd2, S::set_tid_address, S::getrandom,
-                S::mmap, S::munmap, S::brk, S::clone, S::futex, S::dup, S::sendfile,
-                S::setsockopt, S::rt_sigaction,
+                S::socket,
+                S::bind,
+                S::listen,
+                S::accept4,
+                S::fcntl,
+                S::epoll_create1,
+                S::epoll_ctl,
+                S::epoll_wait,
+                S::read,
+                S::write,
+                S::writev,
+                S::close,
+                S::openat,
+                S::stat,
+                S::fstat,
+                S::eventfd2,
+                S::set_tid_address,
+                S::getrandom,
+                S::mmap,
+                S::munmap,
+                S::brk,
+                S::clone,
+                S::futex,
+                S::dup,
+                S::sendfile,
+                S::setsockopt,
+                S::rt_sigaction,
             ])
             .with_unchecked(&[
-                S::getuid, S::getpid, S::clock_gettime, S::ioctl, S::exit_group,
-                S::rt_sigprocmask, S::madvise, S::sched_yield,
+                S::getuid,
+                S::getpid,
+                S::clock_gettime,
+                S::ioctl,
+                S::exit_group,
+                S::rt_sigprocmask,
+                S::madvise,
+                S::sched_yield,
             ])
             .with_binary_extra(&[
-                S::memfd_create, S::timerfd_create, S::timerfd_settime, S::pipe2,
-                S::socketpair, S::getdents64, S::unlink, S::setuid, S::setgid,
+                S::memfd_create,
+                S::timerfd_create,
+                S::timerfd_settime,
+                S::pipe2,
+                S::socketpair,
+                S::getdents64,
+                S::unlink,
+                S::setuid,
+                S::setgid,
             ])
     }
 }

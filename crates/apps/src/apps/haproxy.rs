@@ -139,20 +139,63 @@ impl AppModel for Haproxy {
         use Sysno as S;
         AppCode::new()
             .with_checked(&[
-                S::socket, S::bind, S::listen, S::accept4, S::accept, S::connect, S::fcntl,
-                S::epoll_create1, S::epoll_ctl, S::epoll_wait, S::read, S::write, S::close,
-                S::openat, S::prlimit64, S::setrlimit, S::setuid, S::setgid, S::setgroups,
-                S::chroot, S::clone, S::socketpair, S::sendto, S::recvfrom, S::brk, S::mmap,
-                S::munmap, S::rt_sigaction, S::pipe2, S::sendmsg, S::recvmsg, S::shutdown,
+                S::socket,
+                S::bind,
+                S::listen,
+                S::accept4,
+                S::accept,
+                S::connect,
+                S::fcntl,
+                S::epoll_create1,
+                S::epoll_ctl,
+                S::epoll_wait,
+                S::read,
+                S::write,
+                S::close,
+                S::openat,
+                S::prlimit64,
+                S::setrlimit,
+                S::setuid,
+                S::setgid,
+                S::setgroups,
+                S::chroot,
+                S::clone,
+                S::socketpair,
+                S::sendto,
+                S::recvfrom,
+                S::brk,
+                S::mmap,
+                S::munmap,
+                S::rt_sigaction,
+                S::pipe2,
+                S::sendmsg,
+                S::recvmsg,
+                S::shutdown,
             ])
             .with_unchecked(&[
-                S::setsockopt, S::getsockopt, S::getpid, S::clock_gettime, S::gettimeofday,
-                S::umask, S::setsid, S::exit_group, S::rt_sigprocmask, S::sched_yield,
-                S::getuid, S::geteuid,
+                S::setsockopt,
+                S::getsockopt,
+                S::getpid,
+                S::clock_gettime,
+                S::gettimeofday,
+                S::umask,
+                S::setsid,
+                S::exit_group,
+                S::rt_sigprocmask,
+                S::sched_yield,
+                S::getuid,
+                S::geteuid,
             ])
             .with_binary_extra(&[
-                S::timer_create, S::timer_settime, S::timer_delete, S::eventfd2, S::statfs,
-                S::getrandom, S::sched_setaffinity, S::sysinfo, S::splice,
+                S::timer_create,
+                S::timer_settime,
+                S::timer_delete,
+                S::eventfd2,
+                S::statfs,
+                S::getrandom,
+                S::sched_setaffinity,
+                S::sysinfo,
+                S::splice,
             ])
     }
 }

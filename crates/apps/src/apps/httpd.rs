@@ -69,7 +69,11 @@ impl AppModel for Httpd {
     fn run(&self, env: &mut Env<'_>, workload: Workload) -> Result<(), Exit> {
         let mut libc = LibcRuntime::init(env, LibcFlavor::GlibcDynamic)?;
 
-        let open_sys = if self.is_modern() { Sysno::openat } else { Sysno::open };
+        let open_sys = if self.is_modern() {
+            Sysno::openat
+        } else {
+            Sysno::open
+        };
         let conf = env.sys_path(open_sys, [0; 6], "/etc/apache2/httpd.conf");
         if conf.ret < 0 {
             return Err(Exit::Crash("could not open configuration".into()));
@@ -78,7 +82,10 @@ impl AppModel for Httpd {
         let _ = env.sys(Sysno::close, [conf.ret as u64, 0, 0, 0, 0, 0]);
 
         // Scoreboard shared memory.
-        let sb = env.sys(Sysno::mmap, [0, 128 * 1024, 3, 0x21 /* shared */, u64::MAX, 0]);
+        let sb = env.sys(
+            Sysno::mmap,
+            [0, 128 * 1024, 3, 0x21 /* shared */, u64::MAX, 0],
+        );
         if sb.ret <= 0 {
             return Err(Exit::Crash("could not create scoreboard".into()));
         }
@@ -126,7 +133,11 @@ impl AppModel for Httpd {
         }
         let _ = env.sys(Sysno::rt_sigaction, [17, 0x1, 0, 0, 0, 0]);
 
-        let log = env.sys_path(open_sys, [0, 0, 0x440, 0, 0, 0], "/var/log/apache2/access.log");
+        let log = env.sys_path(
+            open_sys,
+            [0, 0, 0x440, 0, 0, 0],
+            "/var/log/apache2/access.log",
+        );
         let access_log_fd = if log.ret >= 0 {
             Some(log.ret as u64)
         } else {
@@ -138,7 +149,11 @@ impl AppModel for Httpd {
             port: 8088,
             listen_fd,
             epoll_fd: None,
-            fallback_api: if self.is_modern() { EventApi::Poll } else { EventApi::Select },
+            fallback_api: if self.is_modern() {
+                EventApi::Poll
+            } else {
+                EventApi::Select
+            },
             read_syscall: Sysno::read,
             response: ResponsePath::Writev,
             response_len: 512,
@@ -176,19 +191,64 @@ impl AppModel for Httpd {
         use Sysno as S;
         let mut code = AppCode::new()
             .with_checked(&[
-                S::socket, S::bind, S::listen, S::accept, S::setsockopt, S::fcntl, S::read,
-                S::writev, S::close, S::open, S::openat, S::stat, S::fstat, S::mmap,
-                S::munmap, S::brk, S::clone, S::wait4, S::kill, S::rt_sigaction, S::setuid,
-                S::setgid, S::setgroups, S::chown, S::access, S::poll, S::select, S::lseek,
-                S::getdents64, S::semget, S::semop,
+                S::socket,
+                S::bind,
+                S::listen,
+                S::accept,
+                S::setsockopt,
+                S::fcntl,
+                S::read,
+                S::writev,
+                S::close,
+                S::open,
+                S::openat,
+                S::stat,
+                S::fstat,
+                S::mmap,
+                S::munmap,
+                S::brk,
+                S::clone,
+                S::wait4,
+                S::kill,
+                S::rt_sigaction,
+                S::setuid,
+                S::setgid,
+                S::setgroups,
+                S::chown,
+                S::access,
+                S::poll,
+                S::select,
+                S::lseek,
+                S::getdents64,
+                S::semget,
+                S::semop,
             ])
             .with_unchecked(&[
-                S::write, S::getpid, S::getppid, S::gettimeofday, S::umask, S::setsid,
-                S::uname, S::exit_group, S::rt_sigprocmask, S::times, S::alarm,
+                S::write,
+                S::getpid,
+                S::getppid,
+                S::gettimeofday,
+                S::umask,
+                S::setsid,
+                S::uname,
+                S::exit_group,
+                S::rt_sigprocmask,
+                S::times,
+                S::alarm,
             ])
             .with_binary_extra(&[
-                S::shmget, S::shmat, S::shmctl, S::epoll_create1, S::epoll_ctl, S::epoll_wait,
-                S::sendfile, S::pipe, S::dup2, S::chroot, S::getrlimit, S::setrlimit,
+                S::shmget,
+                S::shmat,
+                S::shmctl,
+                S::epoll_create1,
+                S::epoll_ctl,
+                S::epoll_wait,
+                S::sendfile,
+                S::pipe,
+                S::dup2,
+                S::chroot,
+                S::getrlimit,
+                S::setrlimit,
             ]);
         if self.is_modern() {
             code.source_syscalls.insert(S::accept4);

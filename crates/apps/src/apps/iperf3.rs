@@ -53,7 +53,10 @@ impl AppModel for Iperf3 {
         let _ = env.sys0(Sysno::getpid);
         let _ = env.sys0(Sysno::uname);
         let _ = env.sys0(Sysno::clock_gettime);
-        libc.printf(env, "-----------------------------------------------------------\n");
+        libc.printf(
+            env,
+            "-----------------------------------------------------------\n",
+        );
 
         let listen_fd = listen_socket(env, 5201, false, true)?;
         // TCP tuning: best-effort.
@@ -110,13 +113,35 @@ impl AppModel for Iperf3 {
         use Sysno as S;
         AppCode::new()
             .with_checked(&[
-                S::socket, S::bind, S::listen, S::accept, S::accept4, S::setsockopt, S::read,
-                S::write, S::close, S::epoll_create1, S::epoll_ctl, S::epoll_wait, S::mmap,
-                S::brk, S::munmap, S::openat, S::fcntl, S::connect, S::getsockopt, S::select,
+                S::socket,
+                S::bind,
+                S::listen,
+                S::accept,
+                S::accept4,
+                S::setsockopt,
+                S::read,
+                S::write,
+                S::close,
+                S::epoll_create1,
+                S::epoll_ctl,
+                S::epoll_wait,
+                S::mmap,
+                S::brk,
+                S::munmap,
+                S::openat,
+                S::fcntl,
+                S::connect,
+                S::getsockopt,
+                S::select,
             ])
             .with_unchecked(&[
-                S::getpid, S::uname, S::clock_gettime, S::gettimeofday, S::exit_group,
-                S::rt_sigaction, S::nanosleep,
+                S::getpid,
+                S::uname,
+                S::clock_gettime,
+                S::gettimeofday,
+                S::exit_group,
+                S::rt_sigaction,
+                S::nanosleep,
             ])
             .with_binary_extra(&[S::sendto, S::recvfrom, S::getrusage, S::sysinfo, S::pipe])
     }

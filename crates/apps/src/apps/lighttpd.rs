@@ -155,19 +155,59 @@ impl AppModel for Lighttpd {
         use Sysno as S;
         AppCode::new()
             .with_checked(&[
-                S::socket, S::bind, S::listen, S::accept4, S::accept, S::fcntl,
-                S::epoll_create1, S::epoll_ctl, S::epoll_wait, S::read, S::writev, S::close,
-                S::openat, S::open, S::stat, S::fstat, S::sendfile, S::pipe2, S::mmap,
-                S::munmap, S::brk, S::clone, S::rt_sigaction, S::getdents64, S::lseek,
-                S::pread64, S::pwrite64,
+                S::socket,
+                S::bind,
+                S::listen,
+                S::accept4,
+                S::accept,
+                S::fcntl,
+                S::epoll_create1,
+                S::epoll_ctl,
+                S::epoll_wait,
+                S::read,
+                S::writev,
+                S::close,
+                S::openat,
+                S::open,
+                S::stat,
+                S::fstat,
+                S::sendfile,
+                S::pipe2,
+                S::mmap,
+                S::munmap,
+                S::brk,
+                S::clone,
+                S::rt_sigaction,
+                S::getdents64,
+                S::lseek,
+                S::pread64,
+                S::pwrite64,
             ])
             .with_unchecked(&[
-                S::write, S::setuid, S::setgid, S::setgroups, S::setsid, S::umask, S::getpid,
-                S::getuid, S::clock_gettime, S::exit_group, S::rt_sigprocmask, S::madvise,
+                S::write,
+                S::setuid,
+                S::setgid,
+                S::setgroups,
+                S::setsid,
+                S::umask,
+                S::getpid,
+                S::getuid,
+                S::clock_gettime,
+                S::exit_group,
+                S::rt_sigprocmask,
+                S::madvise,
             ])
             .with_binary_extra(&[
-                S::chroot, S::prctl, S::getrlimit, S::prlimit64, S::setrlimit, S::sysinfo,
-                S::socketpair, S::kill, S::wait4, S::unlink,
+                S::chroot,
+                S::prctl,
+                S::getrlimit,
+                S::prlimit64,
+                S::setrlimit,
+                S::sysinfo,
+                S::socketpair,
+                S::kill,
+                S::wait4,
+                S::unlink,
             ])
     }
 }

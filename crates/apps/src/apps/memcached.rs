@@ -140,19 +140,57 @@ impl AppModel for Memcached {
         use Sysno as S;
         AppCode::new()
             .with_checked(&[
-                S::socket, S::bind, S::listen, S::accept4, S::accept, S::fcntl, S::epoll_ctl,
-                S::epoll_wait, S::epoll_create1, S::read, S::write, S::close, S::eventfd2,
-                S::mmap, S::munmap, S::brk, S::clone, S::rt_sigaction, S::getuid, S::setuid,
-                S::getrlimit, S::prlimit64, S::setrlimit, S::openat, S::futex, S::sendmsg,
-                S::recvmsg, S::setsockopt, S::getsockopt, S::pipe2,
+                S::socket,
+                S::bind,
+                S::listen,
+                S::accept4,
+                S::accept,
+                S::fcntl,
+                S::epoll_ctl,
+                S::epoll_wait,
+                S::epoll_create1,
+                S::read,
+                S::write,
+                S::close,
+                S::eventfd2,
+                S::mmap,
+                S::munmap,
+                S::brk,
+                S::clone,
+                S::rt_sigaction,
+                S::getuid,
+                S::setuid,
+                S::getrlimit,
+                S::prlimit64,
+                S::setrlimit,
+                S::openat,
+                S::futex,
+                S::sendmsg,
+                S::recvmsg,
+                S::setsockopt,
+                S::getsockopt,
+                S::pipe2,
             ])
             .with_unchecked(&[
-                S::getpid, S::uname, S::clock_gettime, S::getrusage, S::madvise,
-                S::clock_nanosleep, S::exit_group, S::rt_sigprocmask, S::sched_yield,
+                S::getpid,
+                S::uname,
+                S::clock_gettime,
+                S::getrusage,
+                S::madvise,
+                S::clock_nanosleep,
+                S::exit_group,
+                S::rt_sigprocmask,
+                S::sched_yield,
             ])
             .with_binary_extra(&[
-                S::sendto, S::recvfrom, S::socketpair, S::getegid, S::geteuid, S::getgid,
-                S::sysinfo, S::mlockall,
+                S::sendto,
+                S::recvfrom,
+                S::socketpair,
+                S::getegid,
+                S::geteuid,
+                S::getgid,
+                S::sysinfo,
+                S::mlockall,
             ])
     }
 }

@@ -51,7 +51,10 @@ impl AppModel for MongoDb {
         runtime::provision_base(sim);
         sim.vfs.mkdir("/data/db");
         sim.vfs.add_file("/data/db/WiredTiger.wt", vec![0u8; 4096]);
-        sim.vfs.add_file("/etc/mongod.conf", b"storage:\n  dbPath: /data/db\n".to_vec());
+        sim.vfs.add_file(
+            "/etc/mongod.conf",
+            b"storage:\n  dbPath: /data/db\n".to_vec(),
+        );
     }
 
     fn run(&self, env: &mut Env<'_>, workload: Workload) -> Result<(), Exit> {
@@ -199,25 +202,91 @@ impl AppModel for MongoDb {
         use Sysno as S;
         AppCode::new()
             .with_checked(&[
-                S::socket, S::bind, S::listen, S::accept4, S::fcntl, S::epoll_create1,
-                S::epoll_ctl, S::epoll_wait, S::read, S::write, S::recvmsg, S::sendmsg,
-                S::sendto, S::recvfrom, S::close, S::openat, S::stat, S::fstat, S::statfs,
-                S::pread64, S::pwrite64, S::fdatasync, S::fsync, S::fallocate, S::ftruncate,
-                S::flock, S::mmap, S::munmap, S::mremap, S::brk, S::madvise, S::mincore,
-                S::clone, S::futex, S::rt_sigaction, S::rt_sigtimedwait, S::sigaltstack,
-                S::timerfd_create, S::timerfd_settime, S::eventfd2, S::clock_getres,
-                S::sysinfo, S::prlimit64, S::setrlimit, S::getrandom, S::sched_getaffinity,
-                S::set_tid_address, S::unlink, S::rename, S::getdents64, S::lseek,
+                S::socket,
+                S::bind,
+                S::listen,
+                S::accept4,
+                S::fcntl,
+                S::epoll_create1,
+                S::epoll_ctl,
+                S::epoll_wait,
+                S::read,
+                S::write,
+                S::recvmsg,
+                S::sendmsg,
+                S::sendto,
+                S::recvfrom,
+                S::close,
+                S::openat,
+                S::stat,
+                S::fstat,
+                S::statfs,
+                S::pread64,
+                S::pwrite64,
+                S::fdatasync,
+                S::fsync,
+                S::fallocate,
+                S::ftruncate,
+                S::flock,
+                S::mmap,
+                S::munmap,
+                S::mremap,
+                S::brk,
+                S::madvise,
+                S::mincore,
+                S::clone,
+                S::futex,
+                S::rt_sigaction,
+                S::rt_sigtimedwait,
+                S::sigaltstack,
+                S::timerfd_create,
+                S::timerfd_settime,
+                S::eventfd2,
+                S::clock_getres,
+                S::sysinfo,
+                S::prlimit64,
+                S::setrlimit,
+                S::getrandom,
+                S::sched_getaffinity,
+                S::set_tid_address,
+                S::unlink,
+                S::rename,
+                S::getdents64,
+                S::lseek,
             ])
             .with_unchecked(&[
-                S::getpid, S::gettid, S::clock_gettime, S::gettimeofday, S::getrusage,
-                S::prctl, S::uname, S::exit_group, S::rt_sigprocmask, S::sched_yield,
-                S::nanosleep, S::getcwd, S::umask,
+                S::getpid,
+                S::gettid,
+                S::clock_gettime,
+                S::gettimeofday,
+                S::getrusage,
+                S::prctl,
+                S::uname,
+                S::exit_group,
+                S::rt_sigprocmask,
+                S::sched_yield,
+                S::nanosleep,
+                S::getcwd,
+                S::umask,
             ])
             .with_binary_extra(&[
-                S::shmget, S::shmat, S::semget, S::semop, S::setpriority, S::getpriority,
-                S::io_setup, S::io_submit, S::io_getevents, S::personality, S::setsid,
-                S::socketpair, S::pipe2, S::dup2, S::chdir, S::readlink, S::mlock,
+                S::shmget,
+                S::shmat,
+                S::semget,
+                S::semop,
+                S::setpriority,
+                S::getpriority,
+                S::io_setup,
+                S::io_submit,
+                S::io_getevents,
+                S::personality,
+                S::setsid,
+                S::socketpair,
+                S::pipe2,
+                S::dup2,
+                S::chdir,
+                S::readlink,
+                S::mlock,
             ])
     }
 }

@@ -113,8 +113,7 @@ impl AppModel for Nginx {
             b"worker_processes 1;\nuser www-data;\naccess_log /var/log/nginx/access.log;\n"
                 .to_vec(),
         );
-        sim.vfs
-            .add_file("/srv/www/index.html", vec![b'<'; 612]);
+        sim.vfs.add_file("/srv/www/index.html", vec![b'<'; 612]);
         sim.vfs
             .add_file("/srv/www/large.bin", vec![b'L'; 64 * 1024]);
         sim.vfs.mkdir("/var/log/nginx");
@@ -127,7 +126,9 @@ impl AppModel for Nginx {
         let open_sys = self.libc.open_syscall();
         let conf = env.sys_path(open_sys, [0; 6], "/etc/nginx/nginx.conf");
         if conf.ret < 0 {
-            return Err(Exit::Crash("[emerg] open() \"/etc/nginx/nginx.conf\" failed".into()));
+            return Err(Exit::Crash(
+                "[emerg] open() \"/etc/nginx/nginx.conf\" failed".into(),
+            ));
         }
         let conf_fd = conf.ret as u64;
         if env.sys(Sysno::fstat, [conf_fd, 0, 0, 0, 0, 0]).is_err() {
@@ -193,7 +194,11 @@ impl AppModel for Nginx {
         let access_log_fd = if log.ret >= 0 {
             // chown the log to the worker user; root-only, fake-friendly.
             if env
-                .sys_path(Sysno::chown, [0, 33, 33, 0, 0, 0], "/var/log/nginx/access.log")
+                .sys_path(
+                    Sysno::chown,
+                    [0, 33, 33, 0, 0, 0],
+                    "/var/log/nginx/access.log",
+                )
                 .ret
                 < 0
             {
@@ -236,11 +241,16 @@ impl AppModel for Nginx {
         let master_pool = env.sys(Sysno::mmap, [0, 1536 * 1024, 3, 0x22, u64::MAX, 0]);
         let clone_ret = libc.start_thread(env);
         if clone_ret < 0 {
-            return Err(Exit::Crash("[emerg] fork() failed while spawning worker".into()));
+            return Err(Exit::Crash(
+                "[emerg] fork() failed while spawning worker".into(),
+            ));
         }
         let master_runs_worker_loop = clone_ret == 0;
         if !master_runs_worker_loop && master_pool.ret > 0 {
-            let _ = env.sys(Sysno::munmap, [master_pool.ret as u64, 1536 * 1024, 0, 0, 0, 0]);
+            let _ = env.sys(
+                Sysno::munmap,
+                [master_pool.ret as u64, 1536 * 1024, 0, 0, 0, 0],
+            );
         }
         // Worker-side connection/request pools, allocated when the worker
         // loop starts — in the faked-clone path they coexist with the
@@ -355,27 +365,91 @@ impl AppModel for Nginx {
         use Sysno as S;
         let mut code = AppCode::new()
             .with_checked(&[
-                S::socket, S::bind, S::listen, S::accept, S::setsockopt, S::ioctl, S::fcntl,
-                S::epoll_ctl, S::epoll_wait, S::read, S::writev, S::sendfile, S::close,
-                S::openat, S::open, S::fstat, S::stat, S::lstat, S::pread64, S::pwrite64,
-                S::mmap, S::munmap, S::brk, S::clone, S::rt_sigaction, S::rt_sigsuspend,
-                S::setuid, S::setgid, S::setgroups, S::prctl, S::chown, S::geteuid,
-                S::setrlimit, S::getrlimit, S::prlimit64, S::setsid, S::dup2, S::mkdir,
-                S::socketpair, S::execve, S::lseek, S::recvfrom, S::sendto, S::connect,
-                S::shutdown, S::unlink, S::rename, S::getsockname, S::getsockopt,
-                S::sched_setaffinity, S::kill, S::wait4,
+                S::socket,
+                S::bind,
+                S::listen,
+                S::accept,
+                S::setsockopt,
+                S::ioctl,
+                S::fcntl,
+                S::epoll_ctl,
+                S::epoll_wait,
+                S::read,
+                S::writev,
+                S::sendfile,
+                S::close,
+                S::openat,
+                S::open,
+                S::fstat,
+                S::stat,
+                S::lstat,
+                S::pread64,
+                S::pwrite64,
+                S::mmap,
+                S::munmap,
+                S::brk,
+                S::clone,
+                S::rt_sigaction,
+                S::rt_sigsuspend,
+                S::setuid,
+                S::setgid,
+                S::setgroups,
+                S::prctl,
+                S::chown,
+                S::geteuid,
+                S::setrlimit,
+                S::getrlimit,
+                S::prlimit64,
+                S::setsid,
+                S::dup2,
+                S::mkdir,
+                S::socketpair,
+                S::execve,
+                S::lseek,
+                S::recvfrom,
+                S::sendto,
+                S::connect,
+                S::shutdown,
+                S::unlink,
+                S::rename,
+                S::getsockname,
+                S::getsockopt,
+                S::sched_setaffinity,
+                S::kill,
+                S::wait4,
             ])
             .with_unchecked(&[
-                S::write, S::umask, S::getpid, S::gettimeofday, S::clock_gettime, S::uname,
-                S::rt_sigprocmask, S::exit_group, S::epoll_create, S::epoll_create1,
-                S::accept4, S::getppid, S::_sysctl, S::times, S::madvise,
+                S::write,
+                S::umask,
+                S::getpid,
+                S::gettimeofday,
+                S::clock_gettime,
+                S::uname,
+                S::rt_sigprocmask,
+                S::exit_group,
+                S::epoll_create,
+                S::epoll_create1,
+                S::accept4,
+                S::getppid,
+                S::_sysctl,
+                S::times,
+                S::madvise,
             ])
             // Error paths and rarely-enabled modules (mail proxy, dav):
             // visible to static analysis only.
             .with_binary_extra(&[
-                S::chroot, S::symlink, S::readlink, S::utimensat, S::flock, S::getdents64,
-                S::sysinfo, S::sched_getaffinity, S::eventfd2, S::timerfd_create,
-                S::timerfd_settime, S::setitimer,
+                S::chroot,
+                S::symlink,
+                S::readlink,
+                S::utimensat,
+                S::flock,
+                S::getdents64,
+                S::sysinfo,
+                S::sched_getaffinity,
+                S::eventfd2,
+                S::timerfd_create,
+                S::timerfd_settime,
+                S::setitimer,
             ]);
         if self.era == Era::Modern {
             code.source_syscalls.insert(S::statx);

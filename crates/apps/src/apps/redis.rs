@@ -131,7 +131,9 @@ impl AppModel for Redis {
                 let r = env.sys(Sysno::pread64, [aof.ret as u64, 0, 4096, 0, 0, 0]);
                 let loaded = r.payload.as_bytes().map_or(0, |b| b.len() as u64);
                 if r.ret < 0 || loaded < aof_size.min(4096) {
-                    return Err(Exit::Crash("Bad file format reading the append only file".into()));
+                    return Err(Exit::Crash(
+                        "Bad file format reading the append only file".into(),
+                    ));
                 }
                 let _ = env.sys(Sysno::close, [aof.ret as u64, 0, 0, 0, 0, 0]);
             }
@@ -256,10 +258,7 @@ impl AppModel for Redis {
                     let w = env.sys_data(Sysno::write, [fd, 0, 0, 0, 0, 0], vec![b'R'; 2048]);
                     let _ = env.sys(Sysno::fdatasync, [fd, 0, 0, 0, 0, 0]);
                     let _ = env.sys(Sysno::close, [fd, 0, 0, 0, 0, 0]);
-                    let renamed = env
-                        .sys_path(Sysno::rename, [0; 6], "/data/temp.rdb")
-                        .ret
-                        == 0;
+                    let renamed = env.sys_path(Sysno::rename, [0; 6], "/data/temp.rdb").ret == 0;
                     w.ret > 0 && renamed
                 } else {
                     false
@@ -284,25 +283,86 @@ impl AppModel for Redis {
         use Sysno as S;
         let mut code = AppCode::new()
             .with_checked(&[
-                S::socket, S::bind, S::listen, S::accept, S::accept4, S::fcntl, S::epoll_ctl,
-                S::epoll_wait, S::epoll_create, S::epoll_create1, S::read, S::write, S::close,
-                S::openat, S::open, S::fstat, S::newfstatat, S::pread64, S::pwrite64, S::mmap,
-                S::munmap, S::brk, S::clone, S::rt_sigaction, S::rt_sigprocmask, S::futex,
-                S::pipe2, S::pipe, S::fdatasync, S::fsync, S::rename, S::unlink, S::getrlimit,
-                S::prlimit64, S::setrlimit, S::lseek, S::ftruncate, S::connect, S::setsockopt,
-                S::getsockopt, S::kill, S::wait4, S::execve, S::mremap,
+                S::socket,
+                S::bind,
+                S::listen,
+                S::accept,
+                S::accept4,
+                S::fcntl,
+                S::epoll_ctl,
+                S::epoll_wait,
+                S::epoll_create,
+                S::epoll_create1,
+                S::read,
+                S::write,
+                S::close,
+                S::openat,
+                S::open,
+                S::fstat,
+                S::newfstatat,
+                S::pread64,
+                S::pwrite64,
+                S::mmap,
+                S::munmap,
+                S::brk,
+                S::clone,
+                S::rt_sigaction,
+                S::rt_sigprocmask,
+                S::futex,
+                S::pipe2,
+                S::pipe,
+                S::fdatasync,
+                S::fsync,
+                S::rename,
+                S::unlink,
+                S::getrlimit,
+                S::prlimit64,
+                S::setrlimit,
+                S::lseek,
+                S::ftruncate,
+                S::connect,
+                S::setsockopt,
+                S::getsockopt,
+                S::kill,
+                S::wait4,
+                S::execve,
+                S::mremap,
             ])
             .with_unchecked(&[
-                S::ioctl, S::sysinfo, S::getpid, S::umask, S::getcwd, S::clock_gettime,
-                S::gettimeofday, S::getrusage, S::madvise, S::uname, S::times, S::exit_group,
-                S::getppid, S::sched_yield, S::getuid,
+                S::ioctl,
+                S::sysinfo,
+                S::getpid,
+                S::umask,
+                S::getcwd,
+                S::clock_gettime,
+                S::gettimeofday,
+                S::getrusage,
+                S::madvise,
+                S::uname,
+                S::times,
+                S::exit_group,
+                S::getppid,
+                S::sched_yield,
+                S::getuid,
             ])
             // Cluster mode, TLS, modules: present in the binary, never run
             // by these workloads.
             .with_binary_extra(&[
-                S::sendto, S::recvfrom, S::sendmsg, S::recvmsg, S::socketpair, S::eventfd2,
-                S::getrandom, S::statfs, S::getdents64, S::chdir, S::setsid, S::setuid,
-                S::setgid, S::sigaltstack, S::mincore,
+                S::sendto,
+                S::recvfrom,
+                S::sendmsg,
+                S::recvmsg,
+                S::socketpair,
+                S::eventfd2,
+                S::getrandom,
+                S::statfs,
+                S::getdents64,
+                S::chdir,
+                S::setsid,
+                S::setuid,
+                S::setgid,
+                S::sigaltstack,
+                S::mincore,
             ]);
         if !self.is_modern() {
             // 2010-era Redis predates accept4/pipe2 usage.
@@ -351,7 +411,11 @@ mod tests {
         let (out, sim) = run(&Redis::modern(), Workload::Benchmark);
         assert!(out.failures.is_empty());
         // All working buffers were released; only libc-loader maps remain.
-        assert!(sim.memory().map_count() <= 8, "maps: {}", sim.memory().map_count());
+        assert!(
+            sim.memory().map_count() <= 8,
+            "maps: {}",
+            sim.memory().map_count()
+        );
     }
 
     #[test]

@@ -70,7 +70,11 @@ impl AppModel for Sqlite {
             return Err(Exit::Crash("cannot fstat database".into()));
         }
         // POSIX advisory locks guard the file: checked, fatal.
-        if env.sys(Sysno::fcntl, [db_fd, 6 /* F_SETLK */, 0, 0, 0, 0]).ret < 0 {
+        if env
+            .sys(Sysno::fcntl, [db_fd, 6 /* F_SETLK */, 0, 0, 0, 0])
+            .ret
+            < 0
+        {
             return Err(Exit::Crash("database is locked".into()));
         }
         // Hot-journal detection probes with access(): an error return that
@@ -101,7 +105,11 @@ impl AppModel for Sqlite {
         let statements = workload.requests();
         for i in 0..statements {
             // Journal for the transaction.
-            let j = env.sys_path(Sysno::openat, [0, 0, 0x40, 0, 0, 0], "/data/test.db-journal");
+            let j = env.sys_path(
+                Sysno::openat,
+                [0, 0, 0x40, 0, 0, 0],
+                "/data/test.db-journal",
+            );
             if j.ret < 0 {
                 env.fail("cannot create rollback journal");
                 break;
@@ -114,7 +122,11 @@ impl AppModel for Sqlite {
             let _ = env.sys(Sysno::fsync, [jfd, 0, 0, 0, 0, 0]);
 
             // Statement execution: seek + paged read/write on the db.
-            if env.sys(Sysno::lseek, [db_fd, u64::from(i % 8) * 1024, 0, 0, 0, 0]).ret < 0 {
+            if env
+                .sys(Sysno::lseek, [db_fd, u64::from(i % 8) * 1024, 0, 0, 0, 0])
+                .ret
+                < 0
+            {
                 env.fail("seek failed");
                 let _ = env.sys(Sysno::close, [jfd, 0, 0, 0, 0, 0]);
                 break;
@@ -170,7 +182,10 @@ impl AppModel for Sqlite {
 
             // Cache growth every 16 statements: mremap with mmap fallback.
             if i % 16 == 15 {
-                let grown = env.sys(Sysno::mremap, [cache_addr, cache_len, cache_len * 2, 1, 0, 0]);
+                let grown = env.sys(
+                    Sysno::mremap,
+                    [cache_addr, cache_len, cache_len * 2, 1, 0, 0],
+                );
                 if grown.ret > 0 {
                     cache_addr = grown.ret as u64;
                     cache_len *= 2;
@@ -227,18 +242,54 @@ impl AppModel for Sqlite {
         use Sysno as S;
         AppCode::new()
             .with_checked(&[
-                S::openat, S::open, S::read, S::write, S::pread64, S::pwrite64, S::lseek,
-                S::close, S::fstat, S::stat, S::access, S::unlink, S::fcntl, S::fsync,
-                S::fdatasync, S::ftruncate, S::mmap, S::munmap, S::mremap, S::brk, S::rename,
-                S::getcwd, S::flock, S::mkdir, S::rmdir,
+                S::openat,
+                S::open,
+                S::read,
+                S::write,
+                S::pread64,
+                S::pwrite64,
+                S::lseek,
+                S::close,
+                S::fstat,
+                S::stat,
+                S::access,
+                S::unlink,
+                S::fcntl,
+                S::fsync,
+                S::fdatasync,
+                S::ftruncate,
+                S::mmap,
+                S::munmap,
+                S::mremap,
+                S::brk,
+                S::rename,
+                S::getcwd,
+                S::flock,
+                S::mkdir,
+                S::rmdir,
             ])
             .with_unchecked(&[
-                S::getpid, S::geteuid, S::getuid, S::madvise, S::uname, S::getdents64,
-                S::exit_group, S::clock_gettime, S::gettimeofday, S::getrusage, S::utime,
+                S::getpid,
+                S::geteuid,
+                S::getuid,
+                S::madvise,
+                S::uname,
+                S::getdents64,
+                S::exit_group,
+                S::clock_gettime,
+                S::gettimeofday,
+                S::getrusage,
+                S::utime,
             ])
             .with_binary_extra(&[
-                S::shmget, S::shmat, S::shmdt, S::nanosleep, S::readlink, S::statfs,
-                S::utimensat, S::getrandom,
+                S::shmget,
+                S::shmat,
+                S::shmdt,
+                S::nanosleep,
+                S::readlink,
+                S::statfs,
+                S::utimensat,
+                S::getrandom,
             ])
     }
 }

@@ -105,14 +105,37 @@ impl AppModel for Webfsd {
         use Sysno as S;
         AppCode::new()
             .with_checked(&[
-                S::socket, S::bind, S::listen, S::accept, S::read, S::write, S::writev,
-                S::sendfile, S::close, S::openat, S::open, S::stat, S::fstat, S::select,
-                S::fcntl, S::getuid, S::geteuid, S::getgid, S::getegid, S::getdents64,
-                S::brk, S::mmap,
+                S::socket,
+                S::bind,
+                S::listen,
+                S::accept,
+                S::read,
+                S::write,
+                S::writev,
+                S::sendfile,
+                S::close,
+                S::openat,
+                S::open,
+                S::stat,
+                S::fstat,
+                S::select,
+                S::fcntl,
+                S::getuid,
+                S::geteuid,
+                S::getgid,
+                S::getegid,
+                S::getdents64,
+                S::brk,
+                S::mmap,
             ])
             .with_unchecked(&[
-                S::getpid, S::setsockopt, S::exit_group, S::rt_sigaction, S::gettimeofday,
-                S::umask, S::munmap,
+                S::getpid,
+                S::setsockopt,
+                S::exit_group,
+                S::rt_sigaction,
+                S::gettimeofday,
+                S::umask,
+                S::munmap,
             ])
             .with_binary_extra(&[S::setuid, S::setgid, S::chroot, S::chdir, S::lseek])
     }

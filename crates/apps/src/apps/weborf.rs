@@ -107,13 +107,36 @@ impl AppModel for Weborf {
         use Sysno as S;
         AppCode::new()
             .with_checked(&[
-                S::socket, S::bind, S::listen, S::accept, S::read, S::write, S::close,
-                S::openat, S::open, S::stat, S::fstat, S::mmap, S::mprotect, S::brk, S::clone,
-                S::poll, S::fcntl, S::getdents64, S::futex,
+                S::socket,
+                S::bind,
+                S::listen,
+                S::accept,
+                S::read,
+                S::write,
+                S::close,
+                S::openat,
+                S::open,
+                S::stat,
+                S::fstat,
+                S::mmap,
+                S::mprotect,
+                S::brk,
+                S::clone,
+                S::poll,
+                S::fcntl,
+                S::getdents64,
+                S::futex,
             ])
             .with_unchecked(&[
-                S::getuid, S::getpid, S::setsockopt, S::prlimit64, S::getrlimit,
-                S::exit_group, S::clock_gettime, S::rt_sigaction, S::munmap,
+                S::getuid,
+                S::getpid,
+                S::setsockopt,
+                S::prlimit64,
+                S::getrlimit,
+                S::exit_group,
+                S::clock_gettime,
+                S::rt_sigaction,
+                S::munmap,
             ])
             .with_binary_extra(&[S::setuid, S::setgid, S::chdir, S::chroot, S::sendfile])
     }

@@ -395,7 +395,11 @@ impl ProfileApp {
             FailMode::Ignore => Ok(()),
             FailMode::Fatal => {
                 if r.ret < 0 {
-                    Err(Exit::Crash(format!("{}: {} failed", self.name, call.sysno.name())))
+                    Err(Exit::Crash(format!(
+                        "{}: {} failed",
+                        self.name,
+                        call.sysno.name()
+                    )))
                 } else {
                     Ok(())
                 }
@@ -520,8 +524,7 @@ impl AppModel for ProfileApp {
                             self.issue(env, call)?;
                         }
                     }
-                    if self.threads && i % 6 == 5 && !locked_section(env, &mut libc, 0x8000, true)
-                    {
+                    if self.threads && i % 6 == 5 && !locked_section(env, &mut libc, 0x8000, true) {
                         env.charge(300);
                         env.fail("lock corruption detected");
                     }
@@ -544,13 +547,30 @@ impl AppModel for ProfileApp {
     fn code(&self) -> AppCode {
         use Sysno as S;
         let mut code = AppCode::new().with_checked(&[
-            S::openat, S::read, S::write, S::close, S::mmap, S::munmap, S::brk, S::fstat,
-            S::lseek, S::exit_group,
+            S::openat,
+            S::read,
+            S::write,
+            S::close,
+            S::mmap,
+            S::munmap,
+            S::brk,
+            S::fstat,
+            S::lseek,
+            S::exit_group,
         ]);
         if self.port.is_some() {
             code = code.with_checked(&[
-                S::socket, S::bind, S::listen, S::accept, S::accept4, S::fcntl,
-                S::epoll_create1, S::epoll_ctl, S::epoll_wait, S::writev, S::sendto,
+                S::socket,
+                S::bind,
+                S::listen,
+                S::accept,
+                S::accept4,
+                S::fcntl,
+                S::epoll_create1,
+                S::epoll_ctl,
+                S::epoll_wait,
+                S::writev,
+                S::sendto,
                 S::setsockopt,
             ]);
         }
@@ -570,8 +590,14 @@ impl AppModel for ProfileApp {
         }
         // Dead/error-path extras every real binary carries.
         code.with_binary_extra(&[
-            S::shmget, S::semget, S::msgget, S::personality, S::swapon, S::chroot,
-            S::setrlimit, S::getrlimit,
+            S::shmget,
+            S::semget,
+            S::msgget,
+            S::personality,
+            S::swapon,
+            S::chroot,
+            S::setrlimit,
+            S::getrlimit,
         ])
     }
 }

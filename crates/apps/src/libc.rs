@@ -152,43 +152,196 @@ impl LibcFlavor {
     pub fn code_superset(self) -> SysnoSet {
         use Sysno as S;
         let common: &[Sysno] = &[
-            S::read, S::write, S::open, S::close, S::stat, S::fstat, S::lstat, S::poll,
-            S::lseek, S::mmap, S::mprotect, S::munmap, S::brk, S::rt_sigaction,
-            S::rt_sigprocmask, S::rt_sigreturn, S::ioctl, S::pread64, S::pwrite64, S::readv,
-            S::writev, S::access, S::pipe, S::select, S::sched_yield, S::mremap, S::msync,
-            S::mincore, S::madvise, S::dup, S::dup2, S::pause, S::nanosleep, S::getitimer,
-            S::alarm, S::setitimer, S::getpid, S::sendfile, S::socket, S::connect, S::accept,
-            S::sendto, S::recvfrom, S::sendmsg, S::recvmsg, S::shutdown, S::bind, S::listen,
-            S::getsockname, S::getpeername, S::socketpair, S::setsockopt, S::getsockopt,
-            S::clone, S::fork, S::vfork, S::execve, S::exit, S::wait4, S::kill, S::uname,
-            S::fcntl, S::flock, S::fsync, S::fdatasync, S::truncate, S::ftruncate,
-            S::getdents, S::getcwd, S::chdir, S::fchdir, S::rename, S::mkdir, S::rmdir,
-            S::creat, S::link, S::unlink, S::symlink, S::readlink, S::chmod, S::fchmod,
-            S::chown, S::fchown, S::lchown, S::umask, S::gettimeofday, S::getrlimit,
-            S::getrusage, S::sysinfo, S::times, S::getuid, S::syslog, S::getgid, S::setuid,
-            S::setgid, S::geteuid, S::getegid, S::setpgid, S::getppid, S::getpgrp, S::setsid,
-            S::setreuid, S::setregid, S::getgroups, S::setgroups, S::setresuid, S::getresuid,
-            S::setresgid, S::getresgid, S::getpgid, S::getsid, S::rt_sigpending,
-            S::rt_sigtimedwait, S::rt_sigsuspend, S::sigaltstack, S::utime, S::mknod,
-            S::statfs, S::fstatfs, S::getpriority, S::setpriority, S::mlock, S::munlock,
-            S::mlockall, S::munlockall, S::prctl, S::arch_prctl, S::setrlimit, S::chroot,
-            S::sync, S::gettid, S::futex, S::sched_setaffinity, S::sched_getaffinity,
-            S::getdents64, S::set_tid_address, S::fadvise64, S::clock_settime,
-            S::clock_gettime, S::clock_getres, S::clock_nanosleep, S::exit_group, S::tgkill,
-            S::utimes, S::waitid, S::openat, S::mkdirat, S::mknodat, S::fchownat,
-            S::newfstatat, S::unlinkat, S::renameat, S::linkat, S::symlinkat, S::readlinkat,
-            S::fchmodat, S::faccessat, S::pselect6, S::ppoll, S::set_robust_list,
-            S::utimensat, S::fallocate, S::accept4, S::eventfd2, S::epoll_create1, S::dup3,
-            S::pipe2, S::preadv, S::pwritev, S::prlimit64, S::sendmmsg, S::getrandom,
-            S::memfd_create, S::statx, S::copy_file_range,
+            S::read,
+            S::write,
+            S::open,
+            S::close,
+            S::stat,
+            S::fstat,
+            S::lstat,
+            S::poll,
+            S::lseek,
+            S::mmap,
+            S::mprotect,
+            S::munmap,
+            S::brk,
+            S::rt_sigaction,
+            S::rt_sigprocmask,
+            S::rt_sigreturn,
+            S::ioctl,
+            S::pread64,
+            S::pwrite64,
+            S::readv,
+            S::writev,
+            S::access,
+            S::pipe,
+            S::select,
+            S::sched_yield,
+            S::mremap,
+            S::msync,
+            S::mincore,
+            S::madvise,
+            S::dup,
+            S::dup2,
+            S::pause,
+            S::nanosleep,
+            S::getitimer,
+            S::alarm,
+            S::setitimer,
+            S::getpid,
+            S::sendfile,
+            S::socket,
+            S::connect,
+            S::accept,
+            S::sendto,
+            S::recvfrom,
+            S::sendmsg,
+            S::recvmsg,
+            S::shutdown,
+            S::bind,
+            S::listen,
+            S::getsockname,
+            S::getpeername,
+            S::socketpair,
+            S::setsockopt,
+            S::getsockopt,
+            S::clone,
+            S::fork,
+            S::vfork,
+            S::execve,
+            S::exit,
+            S::wait4,
+            S::kill,
+            S::uname,
+            S::fcntl,
+            S::flock,
+            S::fsync,
+            S::fdatasync,
+            S::truncate,
+            S::ftruncate,
+            S::getdents,
+            S::getcwd,
+            S::chdir,
+            S::fchdir,
+            S::rename,
+            S::mkdir,
+            S::rmdir,
+            S::creat,
+            S::link,
+            S::unlink,
+            S::symlink,
+            S::readlink,
+            S::chmod,
+            S::fchmod,
+            S::chown,
+            S::fchown,
+            S::lchown,
+            S::umask,
+            S::gettimeofday,
+            S::getrlimit,
+            S::getrusage,
+            S::sysinfo,
+            S::times,
+            S::getuid,
+            S::syslog,
+            S::getgid,
+            S::setuid,
+            S::setgid,
+            S::geteuid,
+            S::getegid,
+            S::setpgid,
+            S::getppid,
+            S::getpgrp,
+            S::setsid,
+            S::setreuid,
+            S::setregid,
+            S::getgroups,
+            S::setgroups,
+            S::setresuid,
+            S::getresuid,
+            S::setresgid,
+            S::getresgid,
+            S::getpgid,
+            S::getsid,
+            S::rt_sigpending,
+            S::rt_sigtimedwait,
+            S::rt_sigsuspend,
+            S::sigaltstack,
+            S::utime,
+            S::mknod,
+            S::statfs,
+            S::fstatfs,
+            S::getpriority,
+            S::setpriority,
+            S::mlock,
+            S::munlock,
+            S::mlockall,
+            S::munlockall,
+            S::prctl,
+            S::arch_prctl,
+            S::setrlimit,
+            S::chroot,
+            S::sync,
+            S::gettid,
+            S::futex,
+            S::sched_setaffinity,
+            S::sched_getaffinity,
+            S::getdents64,
+            S::set_tid_address,
+            S::fadvise64,
+            S::clock_settime,
+            S::clock_gettime,
+            S::clock_getres,
+            S::clock_nanosleep,
+            S::exit_group,
+            S::tgkill,
+            S::utimes,
+            S::waitid,
+            S::openat,
+            S::mkdirat,
+            S::mknodat,
+            S::fchownat,
+            S::newfstatat,
+            S::unlinkat,
+            S::renameat,
+            S::linkat,
+            S::symlinkat,
+            S::readlinkat,
+            S::fchmodat,
+            S::faccessat,
+            S::pselect6,
+            S::ppoll,
+            S::set_robust_list,
+            S::utimensat,
+            S::fallocate,
+            S::accept4,
+            S::eventfd2,
+            S::epoll_create1,
+            S::dup3,
+            S::pipe2,
+            S::preadv,
+            S::pwritev,
+            S::prlimit64,
+            S::sendmmsg,
+            S::getrandom,
+            S::memfd_create,
+            S::statx,
+            S::copy_file_range,
         ];
         let mut set: SysnoSet = common.iter().copied().collect();
         match self {
             LibcFlavor::MuslDynamic | LibcFlavor::MuslStatic => {
                 // musl is leaner: drop some glibc-only surface.
                 for s in [
-                    S::sysinfo, S::syslog, S::mlockall, S::munlockall, S::sendmmsg,
-                    S::memfd_create, S::statx, S::copy_file_range, S::fadvise64,
+                    S::sysinfo,
+                    S::syslog,
+                    S::mlockall,
+                    S::munlockall,
+                    S::sendmmsg,
+                    S::memfd_create,
+                    S::statx,
+                    S::copy_file_range,
+                    S::fadvise64,
                 ] {
                     set.remove(s);
                 }
@@ -196,13 +349,39 @@ impl LibcFlavor {
             LibcFlavor::OldGlibc32 => {
                 // 2003-era glibc predates the *at family and modern fds.
                 for s in [
-                    S::openat, S::mkdirat, S::mknodat, S::fchownat, S::newfstatat,
-                    S::unlinkat, S::renameat, S::linkat, S::symlinkat, S::readlinkat,
-                    S::fchmodat, S::faccessat, S::pselect6, S::ppoll, S::set_robust_list,
-                    S::utimensat, S::fallocate, S::accept4, S::eventfd2, S::epoll_create1,
-                    S::dup3, S::pipe2, S::preadv, S::pwritev, S::prlimit64, S::sendmmsg,
-                    S::getrandom, S::memfd_create, S::statx, S::copy_file_range,
-                    S::set_tid_address, S::futex, S::arch_prctl,
+                    S::openat,
+                    S::mkdirat,
+                    S::mknodat,
+                    S::fchownat,
+                    S::newfstatat,
+                    S::unlinkat,
+                    S::renameat,
+                    S::linkat,
+                    S::symlinkat,
+                    S::readlinkat,
+                    S::fchmodat,
+                    S::faccessat,
+                    S::pselect6,
+                    S::ppoll,
+                    S::set_robust_list,
+                    S::utimensat,
+                    S::fallocate,
+                    S::accept4,
+                    S::eventfd2,
+                    S::epoll_create1,
+                    S::dup3,
+                    S::pipe2,
+                    S::preadv,
+                    S::pwritev,
+                    S::prlimit64,
+                    S::sendmmsg,
+                    S::getrandom,
+                    S::memfd_create,
+                    S::statx,
+                    S::copy_file_range,
+                    S::set_tid_address,
+                    S::futex,
+                    S::arch_prctl,
                 ] {
                     set.remove(s);
                 }
@@ -373,8 +552,14 @@ impl LibcRuntime {
                         }
                     }
                     // Hardening, probing and cleanup: failure-oblivious.
-                    S::mprotect | S::munmap | S::close | S::access | S::ioctl
-                    | S::set_tid_address | S::uname | S::readlink => {
+                    S::mprotect
+                    | S::munmap
+                    | S::close
+                    | S::access
+                    | S::ioctl
+                    | S::set_tid_address
+                    | S::uname
+                    | S::readlink => {
                         let _ = env.sys(sysno, [3, 0, 0, 0, 0, 0]);
                     }
                     other => {
@@ -584,7 +769,13 @@ mod tests {
         assert_eq!(names_32bit(Sysno::fstat), vec!["fstat64"]);
         assert_eq!(names_32bit(Sysno::read), vec!["read"]);
         // Every mapped name is in the i386 table.
-        for s in [Sysno::mmap, Sysno::fstat, Sysno::fcntl, Sysno::geteuid, Sysno::recvfrom] {
+        for s in [
+            Sysno::mmap,
+            Sysno::fstat,
+            Sysno::fcntl,
+            Sysno::geteuid,
+            Sysno::recvfrom,
+        ] {
             for n in names_32bit(s) {
                 assert!(
                     loupe_syscalls::i386::Sysno32::from_name(n).is_some(),

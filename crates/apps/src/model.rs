@@ -150,7 +150,10 @@ mod tests {
         assert!(Exit::Clean.is_clean());
         assert!(!Exit::Crash("x".into()).is_clean());
         assert_eq!(Exit::Crash("tls".into()).to_string(), "crash: tls");
-        assert_eq!(Exit::Hung("no events".into()).to_string(), "hang: no events");
+        assert_eq!(
+            Exit::Hung("no events".into()).to_string(),
+            "hang: no events"
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The application registry: the 116-app dataset plus named variants.
 
 use crate::apps::{
-    H2o, Haproxy, Hello, Httpd, Iperf3, Lighttpd, Memcached, MongoDb, Nginx, Redis, Sqlite,
-    Webfsd, Weborf,
+    H2o, Haproxy, Hello, Httpd, Iperf3, Lighttpd, Memcached, MongoDb, Nginx, Redis, Sqlite, Webfsd,
+    Weborf,
 };
 use crate::fleet;
 use crate::libc::LibcFlavor;
@@ -68,6 +68,34 @@ pub fn variants() -> Vec<Box<dyn AppModel>> {
     v
 }
 
+/// Names of every app in the dataset, in dataset order, without
+/// running fleet profile generation — for cheap fleet iteration
+/// (shard planning, tooling) where the models themselves are not
+/// needed.
+pub fn dataset_names() -> Vec<String> {
+    let mut names: Vec<String> = detailed().iter().map(|a| a.name().to_owned()).collect();
+    names.extend(fleet::FLEET.iter().map(|(name, _)| (*name).to_owned()));
+    names
+}
+
+/// Deterministic shard `index` of `of` over the dataset: apps whose
+/// dataset position is congruent to `index` mod `of`. Sharding lets
+/// several sweep processes split the fleet and share one database.
+///
+/// # Panics
+///
+/// Panics when `of` is zero or `index >= of`.
+pub fn shard(index: usize, of: usize) -> Vec<Box<dyn AppModel>> {
+    assert!(of > 0, "shard count must be positive");
+    assert!(index < of, "shard index out of range");
+    dataset()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % of == index)
+        .map(|(_, app)| app)
+        .collect()
+}
+
 /// Looks an application up by name across the dataset and the variants.
 pub fn find(name: &str) -> Option<Box<dyn AppModel>> {
     dataset()
@@ -101,6 +129,28 @@ mod tests {
         assert!(find("nginx-0.3.19-glibc2.3.2").is_some());
         assert!(find("hello-musl-static").is_some());
         assert!(find("no-such-app").is_none());
+    }
+
+    #[test]
+    fn dataset_names_match_instantiated_models() {
+        let names = dataset_names();
+        let built: Vec<String> = dataset().iter().map(|a| a.name().to_owned()).collect();
+        assert_eq!(names, built);
+    }
+
+    #[test]
+    fn shards_partition_the_dataset() {
+        let of = 4;
+        let mut seen = Vec::new();
+        for i in 0..of {
+            for app in shard(i, of) {
+                seen.push(app.name().to_owned());
+            }
+        }
+        seen.sort();
+        let mut all: Vec<String> = dataset().iter().map(|a| a.name().to_owned()).collect();
+        all.sort();
+        assert_eq!(seen, all, "shards cover every app exactly once");
     }
 
     #[test]

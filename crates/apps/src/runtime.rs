@@ -18,10 +18,13 @@ use crate::model::Exit;
 /// application needs (the base-image half of the paper's Dockerfiles).
 pub fn provision_base(sim: &mut LinuxSim) {
     sim.vfs.add_file("/lib/libc.so.6", vec![0x7f; 2048]);
-    sim.vfs.add_file("/etc/passwd", b"root:x:0:0::/root:/bin/sh\n".to_vec());
+    sim.vfs
+        .add_file("/etc/passwd", b"root:x:0:0::/root:/bin/sh\n".to_vec());
     sim.vfs.add_file("/etc/group", b"root:x:0:\n".to_vec());
-    sim.vfs.add_file("/etc/hosts", b"127.0.0.1 localhost\n".to_vec());
-    sim.vfs.add_file("/etc/resolv.conf", b"nameserver 127.0.0.1\n".to_vec());
+    sim.vfs
+        .add_file("/etc/hosts", b"127.0.0.1 localhost\n".to_vec());
+    sim.vfs
+        .add_file("/etc/resolv.conf", b"nameserver 127.0.0.1\n".to_vec());
     sim.vfs.add_file("/etc/localtime", vec![0x54; 128]);
     sim.vfs.mkdir("/var/log");
     sim.vfs.mkdir("/var/run");
@@ -104,7 +107,9 @@ pub fn listen_socket(
         // (§5.4) while F_SETFD stays stubbable.
         let flags = env.sys(Sysno::fcntl, [fd, 3 /* F_GETFL */, 0, 0, 0, 0]);
         if flags.ret < 0 || flags.ret as u64 & 0x800 == 0 {
-            return Err(Exit::Crash("listener did not enter non-blocking mode".into()));
+            return Err(Exit::Crash(
+                "listener did not enter non-blocking mode".into(),
+            ));
         }
     }
     Ok(fd)
@@ -381,8 +386,10 @@ pub fn serve_requests(
                         f
                     } else {
                         let ffd = f.ret as u64;
-                        let out =
-                            env.sys(Sysno::sendfile, [cfd, ffd, 0, cfg.response_len as u64, 0, 0]);
+                        let out = env.sys(
+                            Sysno::sendfile,
+                            [cfd, ffd, 0, cfg.response_len as u64, 0, 0],
+                        );
                         let _ = env.sys(Sysno::close, [ffd, 0, 0, 0, 0, 0]);
                         out
                     }
@@ -538,8 +545,7 @@ mod tests {
         let mut sim = LinuxSim::new();
         provision_base(&mut sim);
         let mut env = Env::new(&mut sim);
-        let mut libc =
-            LibcRuntime::init(&mut env, crate::libc::LibcFlavor::GlibcDynamic).unwrap();
+        let mut libc = LibcRuntime::init(&mut env, crate::libc::LibcFlavor::GlibcDynamic).unwrap();
         assert!(locked_section(&mut env, &mut libc, 0x2000, false));
         assert!(locked_section(&mut env, &mut libc, 0x2000, true));
     }

@@ -88,7 +88,11 @@ fn bench_plan_ordering(c: &mut Criterion) {
     c.bench_function("ablation-ordering/alphabetical-24", |b| {
         b.iter(|| {
             let refs: Vec<&AppRequirement> = alpha.iter().collect();
-            black_box(curve_points("alphabetical", &refs, |a| a.required.clone()).points.len())
+            black_box(
+                curve_points("alphabetical", &refs, |a| a.required.clone())
+                    .points
+                    .len(),
+            )
         });
     });
 }

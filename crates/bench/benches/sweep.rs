@@ -1,0 +1,84 @@
+//! Criterion benches for the fleet-sweep driver: cold sweeps at several
+//! worker counts (the bounded-pool scaling story) and the pure
+//! cache-hit path (the shared-database story, §3.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use loupe_apps::{registry, Workload};
+use loupe_db::Database;
+use loupe_sweep::{Sweep, SweepConfig};
+
+fn tmp_db(tag: &str) -> Database {
+    let dir = std::env::temp_dir().join(format!("loupe-bench-sweep-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    Database::open(dir).expect("open bench db")
+}
+
+fn sweep_with_workers(workers: usize) -> Sweep {
+    Sweep::new(SweepConfig {
+        workloads: vec![Workload::HealthCheck],
+        workers,
+        ..SweepConfig::default()
+    })
+}
+
+fn bench_cold_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep-cold");
+    group.sample_size(10);
+    for workers in [1usize, 4, 0] {
+        let label = if workers == 0 {
+            "auto".to_owned()
+        } else {
+            workers.to_string()
+        };
+        group.bench_function(format!("detailed-12/workers-{label}"), |b| {
+            let sweep = sweep_with_workers(workers);
+            b.iter(|| {
+                let db = tmp_db("cold");
+                let summary = sweep.run(&db, registry::detailed()).expect("sweep");
+                std::fs::remove_dir_all(db.root()).ok();
+                black_box(summary.analyzed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cached_sweep(c: &mut Criterion) {
+    let db = tmp_db("cached");
+    let sweep = sweep_with_workers(0);
+    sweep.run(&db, registry::dataset()).expect("warm the cache");
+    let mut group = c.benchmark_group("sweep-cached");
+    group.sample_size(10);
+    group.bench_function("dataset-116", |b| {
+        b.iter(|| {
+            let summary = sweep.run(&db, registry::dataset()).expect("sweep");
+            assert_eq!(summary.analyzed, 0, "everything cached");
+            black_box(summary.cached)
+        });
+    });
+    group.finish();
+    std::fs::remove_dir_all(db.root()).ok();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let db = tmp_db("render");
+    sweep_with_workers(0)
+        .run(&db, registry::dataset())
+        .expect("seed db");
+    c.bench_function("report/render-116", |b| {
+        b.iter(|| {
+            black_box(
+                loupe_sweep::report::render(&db)
+                    .expect("render")
+                    .files
+                    .len(),
+            )
+        });
+    });
+    std::fs::remove_dir_all(db.root()).ok();
+}
+
+criterion_group!(benches, bench_cold_sweep, bench_cached_sweep, bench_render);
+criterion_main!(benches);

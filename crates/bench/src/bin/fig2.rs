@@ -26,7 +26,10 @@ fn main() {
     println!("strategy,syscalls_implemented,apps_supported");
     for curve in [&loupe, &organic, &naive] {
         for p in &curve.points {
-            println!("{},{},{}", curve.strategy, p.syscalls_implemented, p.apps_supported);
+            println!(
+                "{},{},{}",
+                curve.strategy, p.syscalls_implemented, p.apps_supported
+            );
         }
     }
 

@@ -20,16 +20,34 @@ fn main() {
 
     println!("method,rank,syscall,importance_pct");
     for p in &naive {
-        println!("naive,{},{},{:.1}", p.rank, p.sysno.name(), p.importance * 100.0);
+        println!(
+            "naive,{},{},{:.1}",
+            p.rank,
+            p.sysno.name(),
+            p.importance * 100.0
+        );
     }
     for p in &loupe {
-        println!("loupe,{},{},{:.1}", p.rank, p.sysno.name(), p.importance * 100.0);
+        println!(
+            "loupe,{},{},{:.1}",
+            p.rank,
+            p.sysno.name(),
+            p.importance * 100.0
+        );
     }
 
     let naive_total = total_distinct(&traced_sets);
     let loupe_total = total_distinct(&required_sets);
-    let naive_top25 = naive.iter().take(25).filter(|p| p.importance >= 0.5).count();
-    let loupe_top25 = loupe.iter().take(25).filter(|p| p.importance >= 0.8).count();
+    let naive_top25 = naive
+        .iter()
+        .take(25)
+        .filter(|p| p.importance >= 0.5)
+        .count();
+    let loupe_top25 = loupe
+        .iter()
+        .take(25)
+        .filter(|p| p.importance >= 0.8)
+        .count();
 
     println!("\n# summary");
     println!("total syscalls to support 100% of apps: naive={naive_total}, loupe={loupe_total}");

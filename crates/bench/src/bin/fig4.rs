@@ -9,7 +9,15 @@ use loupe_apps::{registry, Workload};
 use loupe_core::{AnalysisConfig, Engine};
 use loupe_static::{BinaryAnalyzer, SourceAnalyzer, StaticAnalyzer};
 
-const APPS: &[&str] = &["redis", "nginx", "memcached", "sqlite", "haproxy", "lighttpd", "weborf"];
+const APPS: &[&str] = &[
+    "redis",
+    "nginx",
+    "memcached",
+    "sqlite",
+    "haproxy",
+    "lighttpd",
+    "weborf",
+];
 
 fn main() {
     println!("# Figure 4 — syscalls per analysis method (7 apps)\n");
@@ -31,9 +39,7 @@ fn main() {
             let stub = report.stubbable().len();
             let fake = report.fakeable().len();
             let any = report.avoidable().len();
-            println!(
-                "{name},{workload},{s},{b},{traced},{stub},{fake},{any},{required}"
-            );
+            println!("{name},{workload},{s},{b},{traced},{stub},{fake},{any},{required}");
             assert!(required <= traced && traced <= b, "{name} ordering");
         }
     }

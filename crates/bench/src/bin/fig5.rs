@@ -10,13 +10,26 @@ use loupe_core::{AnalysisConfig, Engine};
 use loupe_static::{BinaryAnalyzer, SourceAnalyzer, StaticAnalyzer};
 use loupe_syscalls::SysnoSet;
 
-const APPS: &[&str] = &["redis", "nginx", "memcached", "sqlite", "haproxy", "lighttpd", "weborf"];
+const APPS: &[&str] = &[
+    "redis",
+    "nginx",
+    "memcached",
+    "sqlite",
+    "haproxy",
+    "lighttpd",
+    "weborf",
+];
 
 fn panel(title: &str, sets: &[SysnoSet]) {
     let points = loupe_plan::api_importance(sets);
     println!("## {title} — {} distinct syscalls", points.len());
     for p in &points {
-        println!("{:>3} {:<22} {:>5.1}%", p.sysno.raw(), p.sysno.name(), p.importance * 100.0);
+        println!(
+            "{:>3} {:<22} {:>5.1}%",
+            p.sysno.raw(),
+            p.sysno.name(),
+            p.importance * 100.0
+        );
     }
     println!();
 }

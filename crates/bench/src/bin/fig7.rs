@@ -39,7 +39,11 @@ fn main() {
     println!("\n# summary");
     println!("wrappers observed: {}", uses.len());
     println!("always checked: {always_checked}");
-    println!("never checked: {} ({})", never_checked.len(), never_checked.join(", "));
+    println!(
+        "never checked: {} ({})",
+        never_checked.len(),
+        never_checked.join(", ")
+    );
     println!("\nPaper shape: the majority of wrappers are checked; a small set");
     println!("(alarm, getppid, getrusage, utime, ...) is never checked — and the");
     println!("ability to stub/fake does NOT correlate with the absence of checks.");

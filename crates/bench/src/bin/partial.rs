@@ -16,7 +16,15 @@ use loupe_apps::{registry, Workload};
 use loupe_core::{AnalysisConfig, Engine};
 use loupe_syscalls::Sysno;
 
-const APPS: &[&str] = &["redis", "nginx", "memcached", "haproxy", "lighttpd", "weborf", "h2o"];
+const APPS: &[&str] = &[
+    "redis",
+    "nginx",
+    "memcached",
+    "haproxy",
+    "lighttpd",
+    "weborf",
+    "h2o",
+];
 
 fn main() {
     println!("# §5.4 — sub-features of vectored syscalls (bench workloads)\n");

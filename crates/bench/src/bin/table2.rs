@@ -26,7 +26,11 @@ fn row(app: &str, sysno: &str, mode: &str, i: &Impact) {
         fmt_delta(i.perf_delta),
         fmt_delta(i.fd_delta),
         fmt_delta(i.rss_delta),
-        if i.success { "passes tests" } else { "BREAKS core functioning" },
+        if i.success {
+            "passes tests"
+        } else {
+            "BREAKS core functioning"
+        },
     );
 }
 
@@ -54,7 +58,9 @@ fn main() {
                 }
             }
             if let Some(i) = rec.fake {
-                if i.is_notable(EPSILON) && (i.success || sysno.name() == "futex" || sysno.name() == "clone") {
+                if i.is_notable(EPSILON)
+                    && (i.success || sysno.name() == "futex" || sysno.name() == "clone")
+                {
                     row(name, sysno.name(), "fake", &i);
                     shown += 1;
                 }

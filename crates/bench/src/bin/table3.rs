@@ -8,9 +8,9 @@ use std::collections::BTreeSet;
 
 use loupe_apps::libc::names_32bit;
 use loupe_apps::{registry, Workload};
-use loupe_core::{AnalysisConfig, Engine, Policy};
-use loupe_core::Interposed;
 use loupe_apps::{Env, Exit};
+use loupe_core::Interposed;
+use loupe_core::{AnalysisConfig, Engine, Policy};
 use loupe_kernel::LinuxSim;
 
 fn traced_names(app_name: &str, map_32bit: bool) -> BTreeSet<String> {
@@ -58,7 +58,10 @@ fn main() {
     let strip = |s: &String| s.trim_end_matches('*').to_owned();
     let old_stripped: BTreeSet<String> = old.iter().map(strip).collect();
     let only_new: Vec<_> = new.difference(&old_stripped).cloned().collect();
-    println!("new syscalls needed by the modern build ({}):", only_new.len());
+    println!(
+        "new syscalls needed by the modern build ({}):",
+        only_new.len()
+    );
     println!("  {}", only_new.join(", "));
     println!("\n(`*` marks 32-bit arch variants, the paper's italics.)");
     println!("Paper shape: 48 vs 51 syscalls — nearly unchanged over 17 years;");
@@ -67,5 +70,8 @@ fn main() {
 
     // Keep the headline invariant honest.
     let _ = Engine::new(AnalysisConfig::fast());
-    assert!((old.len() as i64 - new.len() as i64).abs() <= 8, "counts stay close");
+    assert!(
+        (old.len() as i64 - new.len() as i64).abs() <= 8,
+        "counts stay close"
+    );
 }

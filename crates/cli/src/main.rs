@@ -5,6 +5,9 @@
 //! ```text
 //! loupe list                          # applications in the registry
 //! loupe analyze nginx --workload bench [--json] [--db DIR]
+//! loupe sweep --db DIR                # analyze the whole fleet, concurrently
+//! loupe report --db DIR --docs docs   # render the db as Markdown docs
+//! loupe report --db DIR --check       # fail when checked-in docs drifted
 //! loupe plan --os kerla [--workload bench] [--db DIR]
 //! loupe os-list                       # curated OS support specs
 //! loupe importance [--workload bench] # Fig. 3-style ranking
@@ -17,6 +20,7 @@ use loupe_apps::{registry, Workload};
 use loupe_core::{AnalysisConfig, Engine};
 use loupe_db::Database;
 use loupe_plan::{api_importance, os, AppRequirement, SupportPlan};
+use loupe_sweep::{report, Sweep, SweepConfig};
 
 fn main() -> ExitCode {
     // Behave like a Unix tool when piped into head/grep: die on SIGPIPE
@@ -35,6 +39,8 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "list" => cmd_list(),
         "analyze" => cmd_analyze(rest),
+        "sweep" => cmd_sweep(rest),
+        "report" => cmd_report(rest),
         "plan" => cmd_plan(rest),
         "os-list" => cmd_os_list(),
         "importance" => cmd_importance(rest),
@@ -64,6 +70,17 @@ commands:
       --sub-features                  classify vectored-syscall features too
       --json                          print the full report as JSON
       --db DIR                        store the report in a database
+  sweep                        analyze the whole fleet and persist to a db
+      --db DIR                        database directory (default: target/loupedb)
+      --workload health|bench|suite|all   (default: bench)
+      --apps a,b,c                    restrict to named apps (default: full dataset)
+      --shard I/N                     analyze dataset shard I of N
+      --workers N                     worker threads (default: min(cpus, 16))
+      --force                         re-measure cached entries (conservative merge)
+  report                       render a sweep db as Markdown documentation
+      --db DIR                        database directory (default: target/loupedb)
+      --docs DIR                      output directory (default: docs)
+      --check                         verify the docs match the db; exit 1 on drift
   plan --os <name|file.csv>    incremental support plan for an OS
       --workload health|bench|suite   (default: bench)
       --apps a,b,c                    target apps (default: 15 cloud apps)
@@ -146,9 +163,21 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             report.stats.total_runs(),
             report.confirmed
         );
-        println!("required  ({:>3}): {}", report.required().len(), report.required());
-        println!("stubbable ({:>3}): {}", report.stubbable().len(), report.stubbable());
-        println!("fakeable  ({:>3}): {}", report.fakeable().len(), report.fakeable());
+        println!(
+            "required  ({:>3}): {}",
+            report.required().len(),
+            report.required()
+        );
+        println!(
+            "stubbable ({:>3}): {}",
+            report.stubbable().len(),
+            report.stubbable()
+        );
+        println!(
+            "fakeable  ({:>3}): {}",
+            report.fakeable().len(),
+            report.fakeable()
+        );
         if sub && !report.sub_features.is_empty() {
             println!("sub-features:");
             for (key, class) in &report.sub_features {
@@ -168,6 +197,104 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         db.save(&report).map_err(|e| e.to_string())?;
         eprintln!("stored in {dir}");
     }
+    Ok(())
+}
+
+const DEFAULT_DB: &str = "target/loupedb";
+
+fn parse_workloads(args: &[String]) -> Result<Vec<Workload>, String> {
+    match flag_value(args, "--workload") {
+        None => Ok(vec![Workload::Benchmark]),
+        Some("all") => Ok(Workload::ALL.to_vec()),
+        Some(_) => parse_workload(args, Workload::Benchmark).map(|w| vec![w]),
+    }
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let db_dir = flag_value(args, "--db").unwrap_or(DEFAULT_DB);
+    let db = Database::open(db_dir).map_err(|e| e.to_string())?;
+    let workloads = parse_workloads(args)?;
+    let workers = flag_value(args, "--workers")
+        .map(|v| v.parse::<usize>().map_err(|_| "bad --workers".to_owned()))
+        .transpose()?
+        .unwrap_or(0);
+    let force = args.iter().any(|a| a == "--force");
+
+    let apps: Vec<_> = match (flag_value(args, "--apps"), flag_value(args, "--shard")) {
+        (Some(_), Some(_)) => return Err("sweep: --apps and --shard are exclusive".into()),
+        (Some(list), None) => list
+            .split(',')
+            .map(|n| registry::find(n.trim()).ok_or_else(|| format!("unknown app `{n}`")))
+            .collect::<Result<_, _>>()?,
+        (None, Some(spec)) => {
+            let (i, n) = spec
+                .split_once('/')
+                .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)))
+                .ok_or("sweep: --shard expects I/N")?;
+            if n == 0 || i >= n {
+                return Err("sweep: --shard index out of range".into());
+            }
+            registry::shard(i, n)
+        }
+        (None, None) => registry::dataset(),
+    };
+
+    let sweep = Sweep::new(SweepConfig {
+        workloads: workloads.clone(),
+        workers,
+        force,
+        ..SweepConfig::default()
+    });
+    let summary = sweep.run(&db, apps).map_err(|e| e.to_string())?;
+    let entries = summary.analyzed + summary.cached + summary.failures.len();
+    let unique_apps = entries / workloads.len().max(1);
+    println!(
+        "swept {} apps x {} workloads ({} entries): {} analyzed, {} cached, {} failed (db: {})",
+        unique_apps,
+        workloads.len(),
+        entries,
+        summary.analyzed,
+        summary.cached,
+        summary.failures.len(),
+        db_dir
+    );
+    for f in &summary.failures {
+        eprintln!("  failed: {} ({}): {}", f.app, f.workload, f.error);
+    }
+    if !summary.failures.is_empty() {
+        return Err(format!(
+            "sweep: {} measurement(s) failed their baseline",
+            summary.failures.len()
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let db_dir = flag_value(args, "--db").unwrap_or(DEFAULT_DB);
+    let db = Database::open(db_dir).map_err(|e| e.to_string())?;
+    let docs_dir = std::path::Path::new(flag_value(args, "--docs").unwrap_or("docs"));
+    if db.list().map_err(|e| e.to_string())?.is_empty() {
+        return Err(format!(
+            "report: database `{db_dir}` is empty; run `loupe sweep` first"
+        ));
+    }
+    if args.iter().any(|a| a == "--check") {
+        let drift = report::check(&db, docs_dir).map_err(|e| e.to_string())?;
+        if drift.is_empty() {
+            println!("docs in {} match the database", docs_dir.display());
+            return Ok(());
+        }
+        for d in &drift {
+            eprintln!("  {d}");
+        }
+        return Err(format!(
+            "report: {} file(s) drifted from the database; regenerate with `loupe report`",
+            drift.len()
+        ));
+    }
+    let written = report::write(&db, docs_dir).map_err(|e| e.to_string())?;
+    println!("wrote {} files under {}", written.len(), docs_dir.display());
     Ok(())
 }
 
@@ -223,7 +350,12 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
 fn cmd_os_list() -> Result<(), String> {
     println!("{:<14} {:<14} {:>9}", "OS", "VERSION", "SYSCALLS");
     for spec in os::db() {
-        println!("{:<14} {:<14} {:>9}", spec.name, spec.version, spec.supported.len());
+        println!(
+            "{:<14} {:<14} {:>9}",
+            spec.name,
+            spec.version,
+            spec.supported.len()
+        );
     }
     Ok(())
 }
@@ -254,7 +386,11 @@ fn cmd_importance(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_trace(args: &[String]) -> Result<(), String> {
-    let cmd_start = args.iter().position(|a| a == "--").map(|i| i + 1).unwrap_or(0);
+    let cmd_start = args
+        .iter()
+        .position(|a| a == "--")
+        .map(|i| i + 1)
+        .unwrap_or(0);
     let argv: Vec<&str> = args[cmd_start..].iter().map(String::as_str).collect();
     if argv.is_empty() {
         return Err("trace: missing command (use `loupe trace -- cmd args...`)".into());

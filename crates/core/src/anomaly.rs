@@ -16,8 +16,8 @@ use serde::{Deserialize, Serialize};
 /// Markers that make a novel log line suspicious. Matched
 /// case-insensitively, mirroring how the paper's test scripts grep logs.
 const SUSPICIOUS_MARKERS: &[&str] = &[
-    "error", "fail", "warn", "fatal", "panic", "corrupt", "anomal", "invalid", "denied",
-    "unable", "cannot", "# ",
+    "error", "fail", "warn", "fatal", "panic", "corrupt", "anomal", "invalid", "denied", "unable",
+    "cannot", "# ",
 ];
 
 /// A learned baseline log profile.
@@ -34,10 +34,7 @@ impl LogProfile {
         S: AsRef<str>,
     {
         LogProfile {
-            lines: lines
-                .into_iter()
-                .map(|l| normalize(l.as_ref()))
-                .collect(),
+            lines: lines.into_iter().map(|l| normalize(l.as_ref())).collect(),
         }
     }
 

@@ -191,7 +191,12 @@ impl Engine {
         }
     }
 
-    fn run_replicas(&self, app: &dyn AppModel, workload: Workload, policy: &Policy) -> Vec<RunResult> {
+    fn run_replicas(
+        &self,
+        app: &dyn AppModel,
+        workload: Workload,
+        policy: &Policy,
+    ) -> Vec<RunResult> {
         let r = self.cfg.replicas.max(1) as usize;
         if self.cfg.parallel && r > 1 {
             let mut out: Vec<Option<RunResult>> = (0..r).map(|_| None).collect();
@@ -205,18 +210,15 @@ impl Engine {
             .expect("replica thread panicked");
             out.into_iter().map(|r| r.expect("replica ran")).collect()
         } else {
-            (0..r).map(|_| self.run_once(app, workload, policy)).collect()
+            (0..r)
+                .map(|_| self.run_once(app, workload, policy))
+                .collect()
         }
     }
 
     /// Evaluates replicated runs against the baseline; returns
     /// `(all_passed, mean_perf, impact)`.
-    fn judge(
-        &self,
-        runs: &[RunResult],
-        workload: Workload,
-        baseline: &Baseline,
-    ) -> (bool, Impact) {
+    fn judge(&self, runs: &[RunResult], workload: Workload, baseline: &Baseline) -> (bool, Impact) {
         let mut all_pass = true;
         let mut perfs = Vec::new();
         for run in runs {
@@ -228,8 +230,18 @@ impl Engine {
             perfs.push(verdict.perf);
         }
         let perf = stats::mean(&perfs);
-        let rss = stats::mean(&runs.iter().map(|r| r.usage.peak_rss as f64).collect::<Vec<_>>());
-        let fds = stats::mean(&runs.iter().map(|r| f64::from(r.usage.peak_fds)).collect::<Vec<_>>());
+        let rss = stats::mean(
+            &runs
+                .iter()
+                .map(|r| r.usage.peak_rss as f64)
+                .collect::<Vec<_>>(),
+        );
+        let fds = stats::mean(
+            &runs
+                .iter()
+                .map(|r| f64::from(r.usage.peak_fds))
+                .collect::<Vec<_>>(),
+        );
         let impact = Impact {
             success: all_pass,
             perf_delta: stats::rel_delta(baseline.perf_mean, perf),
@@ -259,7 +271,11 @@ impl Engine {
     ///
     /// [`EngineError::BaselineFailed`] when the application cannot pass its
     /// own workload on the unmodified kernel.
-    pub fn analyze(&self, app: &dyn AppModel, workload: Workload) -> Result<AppReport, EngineError> {
+    pub fn analyze(
+        &self,
+        app: &dyn AppModel,
+        workload: Workload,
+    ) -> Result<AppReport, EngineError> {
         self.analyze_with_hints(app, workload, &BTreeMap::new())
     }
 
@@ -320,11 +336,17 @@ impl Engine {
                 stats_acc.transfer_skips += 1;
                 continue;
             }
-            let stub_runs =
-                self.run_replicas(app, workload, &Policy::allow_all().with_syscall(sysno, Action::Stub));
+            let stub_runs = self.run_replicas(
+                app,
+                workload,
+                &Policy::allow_all().with_syscall(sysno, Action::Stub),
+            );
             let (stub_ok, stub_impact) = self.judge(&stub_runs, workload, &baseline);
-            let fake_runs =
-                self.run_replicas(app, workload, &Policy::allow_all().with_syscall(sysno, Action::Fake));
+            let fake_runs = self.run_replicas(
+                app,
+                workload,
+                &Policy::allow_all().with_syscall(sysno, Action::Fake),
+            );
             let (fake_ok, fake_impact) = self.judge(&fake_runs, workload, &baseline);
             classes.insert(sysno, FeatureClass { stub_ok, fake_ok });
             impacts.insert(
@@ -341,12 +363,7 @@ impl Engine {
         // ---- 2b. sub-features (§5.4) ----------------------------------------
         let mut sub_features = Vec::new();
         if self.cfg.explore_sub_features {
-            let keys: Vec<_> = first
-                .trace
-                .sub_features
-                .iter()
-                .map(|(k, _)| *k)
-                .collect();
+            let keys: Vec<_> = first.trace.sub_features.iter().map(|(k, _)| *k).collect();
             for key in keys {
                 let stub_runs = self.run_replicas(
                     app,
@@ -426,7 +443,13 @@ impl Engine {
                         // The relaxed combined run just passed, so it also
                         // serves as the new confirmation run.
                         conflicts.push(s);
-                        classes.insert(s, FeatureClass { stub_ok: false, fake_ok: false });
+                        classes.insert(
+                            s,
+                            FeatureClass {
+                                stub_ok: false,
+                                fake_ok: false,
+                            },
+                        );
                         confirmed = true;
                         break 'rounds;
                     }
@@ -475,8 +498,18 @@ impl Baseline {
         let perfs: Vec<f64> = runs.iter().map(|r| r.outcome.throughput()).collect();
         Baseline {
             perf_mean: stats::mean(&perfs),
-            rss_mean: stats::mean(&runs.iter().map(|r| r.usage.peak_rss as f64).collect::<Vec<_>>()),
-            fd_mean: stats::mean(&runs.iter().map(|r| f64::from(r.usage.peak_fds)).collect::<Vec<_>>()),
+            rss_mean: stats::mean(
+                &runs
+                    .iter()
+                    .map(|r| r.usage.peak_rss as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            fd_mean: stats::mean(
+                &runs
+                    .iter()
+                    .map(|r| f64::from(r.usage.peak_fds))
+                    .collect::<Vec<_>>(),
+            ),
             features: runs[0].outcome.features.clone(),
             log_profile: LogProfile::learn(runs.iter().flat_map(|r| r.console.iter())),
             perfs,
@@ -516,7 +549,9 @@ mod tests {
     #[test]
     fn weborf_health_check_analysis() {
         let app = registry::find("weborf").unwrap();
-        let report = engine().analyze(app.as_ref(), Workload::HealthCheck).unwrap();
+        let report = engine()
+            .analyze(app.as_ref(), Workload::HealthCheck)
+            .unwrap();
         // Fundamental syscalls are required.
         for s in [Sysno::socket, Sysno::bind, Sysno::listen, Sysno::mmap] {
             assert!(report.required().contains(s), "{s} should be required");
@@ -583,7 +618,9 @@ mod tests {
                 loupe_apps::AppCode::new()
             }
         }
-        let err = engine().analyze(&Broken, Workload::HealthCheck).unwrap_err();
+        let err = engine()
+            .analyze(&Broken, Workload::HealthCheck)
+            .unwrap_err();
         assert!(matches!(err, EngineError::BaselineFailed { .. }));
         assert!(err.to_string().contains("broken"));
     }
@@ -591,7 +628,9 @@ mod tests {
     #[test]
     fn confirmation_run_passes_for_simple_apps() {
         let app = registry::find("hello-musl-static").unwrap();
-        let report = engine().analyze(app.as_ref(), Workload::HealthCheck).unwrap();
+        let report = engine()
+            .analyze(app.as_ref(), Workload::HealthCheck)
+            .unwrap();
         assert!(report.confirmed, "combined stub/fake policy must hold");
     }
 

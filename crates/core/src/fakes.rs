@@ -16,14 +16,29 @@ pub fn fake_value(inv: &Invocation) -> i64 {
     use Sysno as S;
     match inv.sysno {
         // Write family: pretend everything was written.
-        S::write | S::pwrite64 | S::writev | S::pwritev | S::sendto | S::sendmsg
-        | S::sendfile => inv.args[2].max(inv.args[3]) as i64,
+        S::write | S::pwrite64 | S::writev | S::pwritev | S::sendto | S::sendmsg | S::sendfile => {
+            inv.args[2].max(inv.args[3]) as i64
+        }
         // Read family: pretend EOF.
         S::read | S::pread64 | S::readv | S::recvfrom | S::recvmsg => 0,
         // fd-returning calls: a plausible low descriptor.
-        S::open | S::openat | S::creat | S::socket | S::accept | S::accept4 | S::dup
-        | S::epoll_create | S::epoll_create1 | S::eventfd | S::eventfd2 | S::timerfd_create
-        | S::signalfd | S::signalfd4 | S::inotify_init | S::inotify_init1 | S::memfd_create => 3,
+        S::open
+        | S::openat
+        | S::creat
+        | S::socket
+        | S::accept
+        | S::accept4
+        | S::dup
+        | S::epoll_create
+        | S::epoll_create1
+        | S::eventfd
+        | S::eventfd2
+        | S::timerfd_create
+        | S::signalfd
+        | S::signalfd4
+        | S::inotify_init
+        | S::inotify_init1
+        | S::memfd_create => 3,
         S::dup2 | S::dup3 => inv.args[1] as i64,
         // "You are the child."
         S::clone | S::clone3 | S::fork | S::vfork => 0,
@@ -60,18 +75,30 @@ mod tests {
     fn fd_returning_calls_fake_a_low_fd() {
         assert_eq!(fake_value(&Invocation::new(Sysno::openat, [0; 6])), 3);
         assert_eq!(fake_value(&Invocation::new(Sysno::accept4, [0; 6])), 3);
-        assert_eq!(fake_value(&Invocation::new(Sysno::dup2, [5, 9, 0, 0, 0, 0])), 9);
+        assert_eq!(
+            fake_value(&Invocation::new(Sysno::dup2, [5, 9, 0, 0, 0, 0])),
+            9
+        );
     }
 
     #[test]
     fn read_fakes_eof_and_waits_fake_no_events() {
-        assert_eq!(fake_value(&Invocation::new(Sysno::read, [0, 0, 100, 0, 0, 0])), 0);
+        assert_eq!(
+            fake_value(&Invocation::new(Sysno::read, [0, 0, 100, 0, 0, 0])),
+            0
+        );
         assert_eq!(fake_value(&Invocation::new(Sysno::epoll_wait, [0; 6])), 0);
     }
 
     #[test]
     fn default_is_zero() {
-        assert_eq!(fake_value(&Invocation::new(Sysno::prctl, [8, 1, 0, 0, 0, 0])), 0);
-        assert_eq!(fake_value(&Invocation::new(Sysno::brk, [0x1000, 0, 0, 0, 0, 0])), 0);
+        assert_eq!(
+            fake_value(&Invocation::new(Sysno::prctl, [8, 1, 0, 0, 0, 0])),
+            0
+        );
+        assert_eq!(
+            fake_value(&Invocation::new(Sysno::brk, [0x1000, 0, 0, 0, 0, 0])),
+            0
+        );
     }
 }

@@ -167,7 +167,9 @@ mod tests {
         let stub_cost = k.now() - t0;
         let mut real = LinuxSim::new();
         let t0 = real.now();
-        real.syscall(&Invocation::new(Sysno::write, [1, 0, 4096, 0, 0, 0]).with_data(vec![0u8; 4096]));
+        real.syscall(
+            &Invocation::new(Sysno::write, [1, 0, 4096, 0, 0, 0]).with_data(vec![0u8; 4096]),
+        );
         let real_cost = real.now() - t0;
         assert!(stub_cost < real_cost, "{stub_cost} !< {real_cost}");
     }

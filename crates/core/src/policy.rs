@@ -138,7 +138,11 @@ mod tests {
         let setfd = Invocation::new(Sysno::fcntl, [3, 2, 1, 0, 0, 0]);
         let setfl = Invocation::new(Sysno::fcntl, [3, 4, 0, 0, 0, 0]);
         assert_eq!(p.action_for(&setfd), Action::Stub);
-        assert_eq!(p.action_for(&setfl), Action::Allow, "other selectors untouched");
+        assert_eq!(
+            p.action_for(&setfl),
+            Action::Allow,
+            "other selectors untouched"
+        );
     }
 
     #[test]

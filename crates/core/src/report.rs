@@ -163,8 +163,13 @@ impl AppReport {
         self.impacts
             .iter()
             .filter(|(_, rec)| {
-                rec.stub.map(|i| i.success && i.is_notable(epsilon)).unwrap_or(false)
-                    || rec.fake.map(|i| i.success && i.is_notable(epsilon)).unwrap_or(false)
+                rec.stub
+                    .map(|i| i.success && i.is_notable(epsilon))
+                    .unwrap_or(false)
+                    || rec
+                        .fake
+                        .map(|i| i.success && i.is_notable(epsilon))
+                        .unwrap_or(false)
             })
             .map(|(s, rec)| (*s, *rec))
             .collect()
@@ -177,28 +182,92 @@ mod tests {
 
     #[test]
     fn class_labels() {
-        assert_eq!(FeatureClass { stub_ok: false, fake_ok: false }.label(), "required");
-        assert_eq!(FeatureClass { stub_ok: true, fake_ok: false }.label(), "stubbed");
-        assert_eq!(FeatureClass { stub_ok: false, fake_ok: true }.label(), "faked");
-        assert_eq!(FeatureClass { stub_ok: true, fake_ok: true }.label(), "any");
-        assert!(FeatureClass { stub_ok: false, fake_ok: false }.is_required());
-        assert!(FeatureClass { stub_ok: true, fake_ok: false }.is_avoidable());
+        assert_eq!(
+            FeatureClass {
+                stub_ok: false,
+                fake_ok: false
+            }
+            .label(),
+            "required"
+        );
+        assert_eq!(
+            FeatureClass {
+                stub_ok: true,
+                fake_ok: false
+            }
+            .label(),
+            "stubbed"
+        );
+        assert_eq!(
+            FeatureClass {
+                stub_ok: false,
+                fake_ok: true
+            }
+            .label(),
+            "faked"
+        );
+        assert_eq!(
+            FeatureClass {
+                stub_ok: true,
+                fake_ok: true
+            }
+            .label(),
+            "any"
+        );
+        assert!(FeatureClass {
+            stub_ok: false,
+            fake_ok: false
+        }
+        .is_required());
+        assert!(FeatureClass {
+            stub_ok: true,
+            fake_ok: false
+        }
+        .is_avoidable());
     }
 
     #[test]
     fn impact_notability() {
-        let i = Impact { success: true, perf_delta: 0.15, rss_delta: 0.0, fd_delta: 0.0 };
+        let i = Impact {
+            success: true,
+            perf_delta: 0.15,
+            rss_delta: 0.0,
+            fd_delta: 0.0,
+        };
         assert!(i.is_notable(0.03));
-        let i = Impact { success: true, perf_delta: 0.01, rss_delta: -0.02, fd_delta: 0.0 };
+        let i = Impact {
+            success: true,
+            perf_delta: 0.01,
+            rss_delta: -0.02,
+            fd_delta: 0.0,
+        };
         assert!(!i.is_notable(0.03));
     }
 
     #[test]
     fn report_set_accessors() {
         let mut classes = BTreeMap::new();
-        classes.insert(Sysno::read, FeatureClass { stub_ok: false, fake_ok: false });
-        classes.insert(Sysno::sysinfo, FeatureClass { stub_ok: true, fake_ok: true });
-        classes.insert(Sysno::prctl, FeatureClass { stub_ok: false, fake_ok: true });
+        classes.insert(
+            Sysno::read,
+            FeatureClass {
+                stub_ok: false,
+                fake_ok: false,
+            },
+        );
+        classes.insert(
+            Sysno::sysinfo,
+            FeatureClass {
+                stub_ok: true,
+                fake_ok: true,
+            },
+        );
+        classes.insert(
+            Sysno::prctl,
+            FeatureClass {
+                stub_ok: false,
+                fake_ok: true,
+            },
+        );
         let report = AppReport {
             app: "x".into(),
             version: "1".into(),
@@ -227,17 +296,32 @@ mod tests {
             version: "1".into(),
             workload: Workload::TestSuite,
             traced: [(Sysno::mmap, 7)].into_iter().collect(),
-            classes: [(Sysno::mmap, FeatureClass { stub_ok: false, fake_ok: false })]
-                .into_iter()
-                .collect(),
+            classes: [(
+                Sysno::mmap,
+                FeatureClass {
+                    stub_ok: false,
+                    fake_ok: false,
+                },
+            )]
+            .into_iter()
+            .collect(),
             impacts: BTreeMap::new(),
             sub_features: vec![(
                 loupe_syscalls::SubFeature::F_SETFD.key(),
-                FeatureClass { stub_ok: true, fake_ok: true },
+                FeatureClass {
+                    stub_ok: true,
+                    fake_ok: true,
+                },
             )],
-            pseudo_files: [("/dev/urandom".to_owned(), FeatureClass { stub_ok: true, fake_ok: true })]
-                .into_iter()
-                .collect(),
+            pseudo_files: [(
+                "/dev/urandom".to_owned(),
+                FeatureClass {
+                    stub_ok: true,
+                    fake_ok: true,
+                },
+            )]
+            .into_iter()
+            .collect(),
             conflicts: vec![],
             confirmed: true,
             baseline: BaselineStats::default(),

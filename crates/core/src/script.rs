@@ -113,7 +113,8 @@ mod tests {
 
     #[test]
     fn clean_full_run_passes() {
-        let v = TestScript::new().evaluate(&outcome(200, 0, Exit::Clean), Workload::Benchmark, None);
+        let v =
+            TestScript::new().evaluate(&outcome(200, 0, Exit::Clean), Workload::Benchmark, None);
         assert!(v.success, "{:?}", v.reasons);
         assert!(v.perf > 0.0);
     }
@@ -131,15 +132,18 @@ mod tests {
 
     #[test]
     fn missing_responses_fail() {
-        let v = TestScript::new().evaluate(&outcome(100, 0, Exit::Clean), Workload::Benchmark, None);
+        let v =
+            TestScript::new().evaluate(&outcome(100, 0, Exit::Clean), Workload::Benchmark, None);
         assert!(!v.success);
     }
 
     #[test]
     fn small_failure_fraction_is_tolerated() {
-        let v = TestScript::new().evaluate(&outcome(195, 5, Exit::Clean), Workload::Benchmark, None);
+        let v =
+            TestScript::new().evaluate(&outcome(195, 5, Exit::Clean), Workload::Benchmark, None);
         assert!(v.success, "{:?}", v.reasons);
-        let v = TestScript::new().evaluate(&outcome(195, 60, Exit::Clean), Workload::Benchmark, None);
+        let v =
+            TestScript::new().evaluate(&outcome(195, 60, Exit::Clean), Workload::Benchmark, None);
         assert!(!v.success);
     }
 

@@ -84,7 +84,9 @@ impl Database {
     }
 
     fn entry_path(&self, app: &str, workload: Workload) -> PathBuf {
-        self.root.join(app).join(format!("{}.json", workload.label()))
+        self.root
+            .join(app)
+            .join(format!("{}.json", workload.label()))
     }
 
     /// Stores a report, conservatively merging with any existing entry for
@@ -126,6 +128,32 @@ impl Database {
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e.into()),
         }
+    }
+
+    /// Whether an entry for `(app, workload)` is stored (cheap: a file
+    /// probe, no parsing) — for tooling that only needs existence; the
+    /// sweep driver itself loads the entry since a cache hit is returned.
+    pub fn contains(&self, app: &str, workload: Workload) -> bool {
+        self.entry_path(app, workload).is_file()
+    }
+
+    /// Loads every stored report for one workload, sorted by app name —
+    /// the bulk path behind fleet-wide aggregation and reporting.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt entries.
+    pub fn load_workload(&self, workload: Workload) -> Result<Vec<AppReport>, DbError> {
+        let mut out = Vec::new();
+        for (app, w) in self.list()? {
+            if w == workload {
+                if let Some(report) = self.load(&app, w)? {
+                    out.push(report);
+                }
+            }
+        }
+        out.sort_by(|a: &AppReport, b: &AppReport| a.app.cmp(&b.app));
+        Ok(out)
     }
 
     /// Lists `(app, workload)` pairs present in the database.
@@ -195,12 +223,14 @@ impl Database {
     pub fn load_os_spec(&self, name: &str) -> Result<Option<OsSpec>, DbError> {
         let path = self.root.join("os").join(format!("{name}.csv"));
         match fs::read_to_string(&path) {
-            Ok(text) => OsSpec::from_csv(name, "db", &text)
-                .map(Some)
-                .map_err(|e| DbError::Corrupt {
-                    path,
-                    message: e.to_string(),
-                }),
+            Ok(text) => {
+                OsSpec::from_csv(name, "db", &text)
+                    .map(Some)
+                    .map_err(|e| DbError::Corrupt {
+                        path,
+                        message: e.to_string(),
+                    })
+            }
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e.into()),
         }
@@ -269,7 +299,10 @@ mod tests {
         let db = Database::open(&dir).unwrap();
         let report = sample_report();
         db.save(&report).unwrap();
-        let back = db.load(&report.app, Workload::HealthCheck).unwrap().unwrap();
+        let back = db
+            .load(&report.app, Workload::HealthCheck)
+            .unwrap()
+            .unwrap();
         assert_eq!(back, report);
         assert_eq!(db.list().unwrap().len(), 1);
         fs::remove_dir_all(&dir).ok();
@@ -280,13 +313,21 @@ mod tests {
         let report = sample_report();
         let mut looser = report.clone();
         let first = *looser.classes.keys().next().unwrap();
-        looser
-            .classes
-            .insert(first, FeatureClass { stub_ok: true, fake_ok: true });
+        looser.classes.insert(
+            first,
+            FeatureClass {
+                stub_ok: true,
+                fake_ok: true,
+            },
+        );
         let mut stricter = report.clone();
-        stricter
-            .classes
-            .insert(first, FeatureClass { stub_ok: false, fake_ok: true });
+        stricter.classes.insert(
+            first,
+            FeatureClass {
+                stub_ok: false,
+                fake_ok: true,
+            },
+        );
         let merged = merge_reports(&looser, &stricter);
         let class = merged.classes[&first];
         assert!(!class.stub_ok, "one failed stub disqualifies");
@@ -302,7 +343,10 @@ mod tests {
         let report = sample_report();
         db.save(&report).unwrap();
         db.save(&report).unwrap();
-        let back = db.load(&report.app, Workload::HealthCheck).unwrap().unwrap();
+        let back = db
+            .load(&report.app, Workload::HealthCheck)
+            .unwrap()
+            .unwrap();
         let first = *report.traced.keys().next().unwrap();
         assert_eq!(back.traced[&first], report.traced[&first] * 2);
         fs::remove_dir_all(&dir).ok();

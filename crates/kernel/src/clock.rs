@@ -79,7 +79,12 @@ pub fn base_cost(sysno: Sysno) -> u64 {
         Sysno::accept | Sysno::accept4 | Sysno::connect => 50,
         Sysno::socket | Sysno::bind | Sysno::listen | Sysno::socketpair => 40,
         // Event waiting (cost of the trap; actual waiting modelled by apps).
-        Sysno::epoll_wait | Sysno::epoll_pwait | Sysno::poll | Sysno::select | Sysno::ppoll | Sysno::pselect6 => 20,
+        Sysno::epoll_wait
+        | Sysno::epoll_pwait
+        | Sysno::poll
+        | Sysno::select
+        | Sysno::ppoll
+        | Sysno::pselect6 => 20,
         // Memory management.
         Sysno::mmap | Sysno::munmap | Sysno::mremap => 60,
         Sysno::brk => 25,
@@ -94,7 +99,13 @@ pub fn base_cost(sysno: Sysno) -> u64 {
         // Filesystem metadata.
         Sysno::open | Sysno::openat | Sysno::creat => 45,
         Sysno::close => 15,
-        Sysno::stat | Sysno::fstat | Sysno::lstat | Sysno::newfstatat | Sysno::statx | Sysno::access | Sysno::faccessat => 25,
+        Sysno::stat
+        | Sysno::fstat
+        | Sysno::lstat
+        | Sysno::newfstatat
+        | Sysno::statx
+        | Sysno::access
+        | Sysno::faccessat => 25,
         _ => match Category::of(sysno) {
             Category::FileIo => 25,
             Category::Network => 35,

@@ -206,7 +206,10 @@ mod tests {
         assert_eq!(key.selector_name(), Some("F_SETFL"));
 
         let inv = Invocation::new(Sysno::arch_prctl, [0x1002, 0, 0, 0, 0, 0]);
-        assert_eq!(inv.sub_feature().unwrap().selector_name(), Some("ARCH_SET_FS"));
+        assert_eq!(
+            inv.sub_feature().unwrap().selector_name(),
+            Some("ARCH_SET_FS")
+        );
 
         let inv = Invocation::new(Sysno::read, [0; 6]);
         assert!(inv.sub_feature().is_none());
@@ -215,9 +218,15 @@ mod tests {
     #[test]
     fn mmap_sub_feature_distinguishes_anonymous() {
         let anon = Invocation::new(Sysno::mmap, [0, 4096, 3, 0x22, u64::MAX, 0]);
-        assert_eq!(anon.sub_feature().unwrap().selector_name(), Some("MAP_ANONYMOUS"));
+        assert_eq!(
+            anon.sub_feature().unwrap().selector_name(),
+            Some("MAP_ANONYMOUS")
+        );
         let file = Invocation::new(Sysno::mmap, [0, 4096, 1, 0x2, 3, 0]);
-        assert_eq!(file.sub_feature().unwrap().selector_name(), Some("MAP_FILE_BACKED"));
+        assert_eq!(
+            file.sub_feature().unwrap().selector_name(),
+            Some("MAP_FILE_BACKED")
+        );
     }
 
     #[test]

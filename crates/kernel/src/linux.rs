@@ -249,7 +249,11 @@ impl LinuxSim {
                 self.net.console.push(text);
                 ok(len as i64)
             }
-            FdKind::File { path, offset, append } => {
+            FdKind::File {
+                path,
+                offset,
+                append,
+            } => {
                 let p = path.clone();
                 let off = if *append {
                     self.vfs.size(&p).unwrap_or(0)
@@ -290,7 +294,9 @@ impl LinuxSim {
             // outside the simulation, so writes are sinked. Writing to an
             // unconnected socket is ENOTCONN — which is how a faked
             // `connect` surfaces (HAProxy's backend path).
-            FdKind::Listener { connected: true, .. } => ok(len as i64),
+            FdKind::Listener {
+                connected: true, ..
+            } => ok(len as i64),
             FdKind::Listener { .. } => err(Errno::ENOTCONN),
             _ => err(Errno::EINVAL),
         }
@@ -314,7 +320,11 @@ impl LinuxSim {
 
     fn fd_ready(&self, fd: i32) -> bool {
         match self.fds.get(fd).map(|e| &e.kind) {
-            Some(FdKind::Listener { port, listening: true, .. }) => self.net.app_has_backlog(*port),
+            Some(FdKind::Listener {
+                port,
+                listening: true,
+                ..
+            }) => self.net.app_has_backlog(*port),
             Some(FdKind::Conn(id)) => self.net.app_has_data(*id),
             Some(FdKind::PipeRead(id)) => self.pipes.has_data(*id),
             Some(FdKind::EventFd(count)) => *count > 0,
@@ -342,7 +352,11 @@ impl LinuxSim {
 
     fn do_accept(&mut self, fd: i32) -> SysOutcome {
         let port = match self.fds.get(fd).map(|e| &e.kind) {
-            Some(FdKind::Listener { port, listening: true, .. }) => *port,
+            Some(FdKind::Listener {
+                port,
+                listening: true,
+                ..
+            }) => *port,
             Some(FdKind::Listener { .. }) => return err(Errno::EINVAL),
             Some(_) => return err(Errno::ENOTSOCK),
             None => return err(Errno::EBADF),
@@ -384,8 +398,7 @@ impl LinuxSim {
                 ok(if nb { O_NONBLOCK as i64 } else { 0 }) // F_GETFL
             }
             4 => {
-                self.fds.get_mut(fd).expect("checked").nonblocking =
-                    inv.args[2] & O_NONBLOCK != 0; // F_SETFL
+                self.fds.get_mut(fd).expect("checked").nonblocking = inv.args[2] & O_NONBLOCK != 0; // F_SETFL
                 ok(0)
             }
             5..=7 => ok(0), // F_GETLK / F_SETLK / F_SETLKW
@@ -502,7 +515,9 @@ impl LinuxSim {
             S::listen => {
                 let fd = a[0] as i32;
                 match self.fds.get_mut(fd).map(|e| &mut e.kind) {
-                    Some(FdKind::Listener { port, listening, .. }) => {
+                    Some(FdKind::Listener {
+                        port, listening, ..
+                    }) => {
                         *listening = true;
                         let port = *port;
                         self.net.app_listen(port);
@@ -513,16 +528,14 @@ impl LinuxSim {
                 }
             }
             S::accept | S::accept4 => self.do_accept(a[0] as i32),
-            S::connect => {
-                match self.fds.get_mut(a[0] as i32).map(|e| &mut e.kind) {
-                    Some(FdKind::Listener { connected, .. }) => {
-                        *connected = true;
-                        ok(0)
-                    }
-                    Some(_) => err(Errno::ENOTSOCK),
-                    None => err(Errno::EBADF),
+            S::connect => match self.fds.get_mut(a[0] as i32).map(|e| &mut e.kind) {
+                Some(FdKind::Listener { connected, .. }) => {
+                    *connected = true;
+                    ok(0)
                 }
-            }
+                Some(_) => err(Errno::ENOTSOCK),
+                None => err(Errno::EBADF),
+            },
             S::setsockopt => {
                 if let Some(FdKind::Listener { sockopt, .. }) =
                     self.fds.get_mut(a[0] as i32).map(|e| &mut e.kind)
@@ -557,8 +570,7 @@ impl LinuxSim {
                     return err(Errno::EMFILE);
                 };
                 self.usage.add_fd();
-                let Some(wfd) = self.fds.alloc(FdEntry::new(FdKind::PipeWrite(pipe)), limit)
-                else {
+                let Some(wfd) = self.fds.alloc(FdEntry::new(FdKind::PipeWrite(pipe)), limit) else {
                     return err(Errno::EMFILE);
                 };
                 self.usage.add_fd();
@@ -806,8 +818,13 @@ impl LinuxSim {
                 self.egid = a[0];
                 ok(0)
             }
-            S::setreuid | S::setregid | S::setresuid | S::setresgid | S::setgroups
-            | S::setfsuid | S::setfsgid => ok(0),
+            S::setreuid
+            | S::setregid
+            | S::setresuid
+            | S::setresgid
+            | S::setgroups
+            | S::setfsuid
+            | S::setfsgid => ok(0),
             S::getgroups | S::getresuid | S::getresgid => ok(0),
             S::setsid => {
                 self.sid = self.pid;
@@ -816,7 +833,9 @@ impl LinuxSim {
             S::getsid => ok(self.sid),
             S::capget | S::capset => ok(0),
 
-            S::uname => SysOutcome::with_payload(0, Payload::Text("Linux 5.15.0-sim x86_64".into())),
+            S::uname => {
+                SysOutcome::with_payload(0, Payload::Text("Linux 5.15.0-sim x86_64".into()))
+            }
             S::getcwd => SysOutcome::with_payload(0, Payload::Text("/".into())),
             S::chdir | S::fchdir => ok(0),
             S::umask => ok(self.vfs.set_umask(a[0] as u32) as i64),
@@ -830,7 +849,12 @@ impl LinuxSim {
                 SysOutcome::with_payload(len as i64, Payload::Bytes(Bytes::from(buf)))
             }
 
-            S::stat | S::lstat | S::statx | S::newfstatat | S::access | S::faccessat
+            S::stat
+            | S::lstat
+            | S::statx
+            | S::newfstatat
+            | S::access
+            | S::faccessat
             | S::faccessat2 => {
                 let Some(path) = inv.path.as_deref() else {
                     return err(Errno::EFAULT);
@@ -904,17 +928,30 @@ impl LinuxSim {
             }
             // flock hands back a lock handle (the in-kernel lock record);
             // a faked lock has nothing to hand back.
-            S::flock => {
-                match self.fds.get(a[0] as i32).map(|e| &e.kind) {
-                    Some(FdKind::File { .. }) => SysOutcome::with_payload(0, Payload::U64(1)),
-                    Some(_) => err(Errno::EINVAL),
-                    None => err(Errno::EBADF),
-                }
-            }
-            S::ftruncate | S::truncate | S::fallocate | S::fsync | S::fdatasync
-            | S::fadvise64 | S::sync | S::syncfs | S::utime | S::utimes | S::utimensat
-            | S::futimesat | S::chmod | S::fchmod | S::fchmodat | S::chown | S::fchown
-            | S::fchownat | S::lchown => ok(0),
+            S::flock => match self.fds.get(a[0] as i32).map(|e| &e.kind) {
+                Some(FdKind::File { .. }) => SysOutcome::with_payload(0, Payload::U64(1)),
+                Some(_) => err(Errno::EINVAL),
+                None => err(Errno::EBADF),
+            },
+            S::ftruncate
+            | S::truncate
+            | S::fallocate
+            | S::fsync
+            | S::fdatasync
+            | S::fadvise64
+            | S::sync
+            | S::syncfs
+            | S::utime
+            | S::utimes
+            | S::utimensat
+            | S::futimesat
+            | S::chmod
+            | S::fchmod
+            | S::fchmodat
+            | S::chown
+            | S::fchown
+            | S::fchownat
+            | S::lchown => ok(0),
 
             S::eventfd | S::eventfd2 => self.alloc_fd(FdEntry::new(FdKind::EventFd(a[0]))),
             S::timerfd_create => self.alloc_fd(FdEntry::new(FdKind::TimerFd)),
@@ -932,8 +969,13 @@ impl LinuxSim {
             S::memfd_create => self.alloc_fd(FdEntry::new(FdKind::MemFd(0))),
 
             S::io_setup | S::io_destroy | S::io_submit | S::io_getevents | S::io_cancel => ok(0),
-            S::alarm | S::getitimer | S::setitimer | S::timer_create | S::timer_settime
-            | S::timer_gettime | S::timer_delete => ok(0),
+            S::alarm
+            | S::getitimer
+            | S::setitimer
+            | S::timer_create
+            | S::timer_settime
+            | S::timer_gettime
+            | S::timer_delete => ok(0),
             S::personality | S::_sysctl | S::sysfs | S::syslog | S::ustat => ok(0),
             S::membarrier | S::rseq | S::getcpu | S::seccomp => ok(0),
 
@@ -1017,7 +1059,11 @@ mod tests {
         // Sequential read continues at the offset.
         let out = k.syscall(&inv(Sysno::read, [fd as u64, 0, 64, 0, 0, 0]));
         assert_eq!(out.ret, 6);
-        assert_eq!(k.syscall(&inv(Sysno::close, [fd as u64, 0, 0, 0, 0, 0])).ret, 0);
+        assert_eq!(
+            k.syscall(&inv(Sysno::close, [fd as u64, 0, 0, 0, 0, 0]))
+                .ret,
+            0
+        );
         assert_eq!(k.usage().cur_fds, 0);
         assert_eq!(k.usage().peak_fds, 1);
     }
@@ -1036,7 +1082,9 @@ mod tests {
         let mut k = LinuxSim::new();
         k.vfs.add_file("/var/log/access.log", b"line1\n".to_vec());
         let fd = k
-            .syscall(&inv(Sysno::openat, [0, 0, O_APPEND, 0, 0, 0]).with_path("/var/log/access.log"))
+            .syscall(
+                &inv(Sysno::openat, [0, 0, O_APPEND, 0, 0, 0]).with_path("/var/log/access.log"),
+            )
             .ret as u64;
         k.syscall(&inv(Sysno::write, [fd, 0, 0, 0, 0, 0]).with_data(&b"line2\n"[..]));
         assert_eq!(k.vfs.size("/var/log/access.log"), Some(12));
@@ -1047,7 +1095,10 @@ mod tests {
         let mut k = LinuxSim::new();
         let sfd = k.syscall(&inv(Sysno::socket, [2, 1, 0, 0, 0, 0])).ret as u64;
         assert_eq!(k.syscall(&inv(Sysno::bind, [sfd, 8080, 0, 0, 0, 0])).ret, 0);
-        assert_eq!(k.syscall(&inv(Sysno::listen, [sfd, 128, 0, 0, 0, 0])).ret, 0);
+        assert_eq!(
+            k.syscall(&inv(Sysno::listen, [sfd, 128, 0, 0, 0, 0])).ret,
+            0
+        );
 
         // Client connects and sends a request.
         let conn = k.host_mut().connect(8080).unwrap();
@@ -1078,7 +1129,10 @@ mod tests {
         k.syscall(&inv(Sysno::bind, [sfd, 80, 0, 0, 0, 0]));
         k.syscall(&inv(Sysno::listen, [sfd, 0, 0, 0, 0, 0]));
         let ep = k.syscall(&inv(Sysno::epoll_create1, [0; 6])).ret as u64;
-        assert_eq!(k.syscall(&inv(Sysno::epoll_ctl, [ep, 1, sfd, 0, 0, 0])).ret, 0);
+        assert_eq!(
+            k.syscall(&inv(Sysno::epoll_ctl, [ep, 1, sfd, 0, 0, 0])).ret,
+            0
+        );
 
         // Nothing ready yet.
         let r = k.syscall(&inv(Sysno::epoll_wait, [ep, 0, 0, 0, 0, 0]));
@@ -1104,12 +1158,19 @@ mod tests {
     #[test]
     fn brk_and_mmap_account_memory() {
         let mut k = LinuxSim::new();
-        let cur = k.syscall(&inv(Sysno::brk, [0; 6])).payload.as_u64().unwrap();
+        let cur = k
+            .syscall(&inv(Sysno::brk, [0; 6]))
+            .payload
+            .as_u64()
+            .unwrap();
         k.syscall(&inv(Sysno::brk, [cur + 8192, 0, 0, 0, 0, 0]));
         assert_eq!(k.usage().cur_rss, 8192);
         let addr = k.syscall(&inv(Sysno::mmap, [0, 4096, 3, 0x22, 0, 0])).ret as u64;
         assert_eq!(k.usage().cur_rss, 8192 + 4096);
-        assert_eq!(k.syscall(&inv(Sysno::munmap, [addr, 4096, 0, 0, 0, 0])).ret, 0);
+        assert_eq!(
+            k.syscall(&inv(Sysno::munmap, [addr, 4096, 0, 0, 0, 0])).ret,
+            0
+        );
         assert_eq!(k.usage().cur_rss, 8192);
         assert_eq!(k.usage().peak_rss, 8192 + 4096);
     }
@@ -1150,7 +1211,11 @@ mod tests {
     fn fcntl_nonblocking_flag() {
         let mut k = LinuxSim::new();
         let fd = k.syscall(&inv(Sysno::socket, [0; 6])).ret as u64;
-        assert_eq!(k.syscall(&inv(Sysno::fcntl, [fd, 4, O_NONBLOCK, 0, 0, 0])).ret, 0);
+        assert_eq!(
+            k.syscall(&inv(Sysno::fcntl, [fd, 4, O_NONBLOCK, 0, 0, 0]))
+                .ret,
+            0
+        );
         let fl = k.syscall(&inv(Sysno::fcntl, [fd, 3, 0, 0, 0, 0])).ret;
         assert_eq!(fl as u64 & O_NONBLOCK, O_NONBLOCK);
     }
@@ -1164,7 +1229,11 @@ mod tests {
         let sfd = k.syscall(&inv(Sysno::socket, [0; 6])).ret as u64;
         let r = k.syscall(&inv(Sysno::ioctl, [sfd, TCGETS, 0, 0, 0, 0]));
         assert_eq!(Errno::from_ret(r.ret), Some(Errno::ENOTTY));
-        assert_eq!(k.syscall(&inv(Sysno::ioctl, [sfd, FIONBIO, 1, 0, 0, 0])).ret, 0);
+        assert_eq!(
+            k.syscall(&inv(Sysno::ioctl, [sfd, FIONBIO, 1, 0, 0, 0]))
+                .ret,
+            0
+        );
     }
 
     #[test]

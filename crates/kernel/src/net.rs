@@ -121,7 +121,9 @@ impl HostPort {
 
     /// Whether `port` has pending, unaccepted connections.
     pub(crate) fn app_has_backlog(&self, port: u16) -> bool {
-        self.listeners.get(&port).is_some_and(|l| !l.backlog.is_empty())
+        self.listeners
+            .get(&port)
+            .is_some_and(|l| !l.backlog.is_empty())
     }
 
     /// Reads a request chunk addressed to the application.

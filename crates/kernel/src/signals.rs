@@ -50,9 +50,9 @@ impl SignalState {
     pub fn set_mask(&mut self, how: u64, mask: u64) -> u64 {
         let old = self.mask;
         match how {
-            0 => self.mask |= mask,        // SIG_BLOCK
-            1 => self.mask &= !mask,       // SIG_UNBLOCK
-            _ => self.mask = mask,         // SIG_SETMASK
+            0 => self.mask |= mask,  // SIG_BLOCK
+            1 => self.mask &= !mask, // SIG_UNBLOCK
+            _ => self.mask = mask,   // SIG_SETMASK
         }
         old
     }

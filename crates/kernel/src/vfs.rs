@@ -158,7 +158,11 @@ impl Vfs {
         };
         self.nodes
             .keys()
-            .filter(|p| p.starts_with(&prefix) && !p[prefix.len()..].contains('/') && !p[prefix.len()..].is_empty())
+            .filter(|p| {
+                p.starts_with(&prefix)
+                    && !p[prefix.len()..].contains('/')
+                    && !p[prefix.len()..].is_empty()
+            })
             .map(|p| p[prefix.len()..].to_owned())
             .collect()
     }
@@ -180,7 +184,9 @@ pub fn pseudo_content(path: &str) -> Option<Vec<u8>> {
     let content: Vec<u8> = match path {
         "/dev/null" => Vec::new(),
         "/dev/zero" => vec![0u8; 4096],
-        "/dev/random" | "/dev/urandom" => (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect(),
+        "/dev/random" | "/dev/urandom" => (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect(),
         "/dev/tty" => Vec::new(),
         "/proc/cpuinfo" => b"processor\t: 0\nmodel name\t: Simulated CPU\n".to_vec(),
         "/proc/meminfo" => b"MemTotal:       16384000 kB\nMemFree:        8192000 kB\n".to_vec(),

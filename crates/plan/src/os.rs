@@ -58,7 +58,12 @@ impl OsSpec {
 
     /// Serialises back to the CSV format.
     pub fn to_csv(&self) -> String {
-        let mut out = format!("# {} {} — {} syscalls\n", self.name, self.version, self.supported.len());
+        let mut out = format!(
+            "# {} {} — {} syscalls\n",
+            self.name,
+            self.version,
+            self.supported.len()
+        );
         for s in self.supported.iter() {
             out.push_str(s.name());
             out.push('\n');
@@ -78,7 +83,11 @@ pub struct ParseOsSpecError {
 
 impl fmt::Display for ParseOsSpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: unknown system call `{}`", self.line, self.token)
+        write!(
+            f,
+            "line {}: unknown system call `{}`",
+            self.line, self.token
+        )
     }
 }
 
@@ -89,56 +98,282 @@ impl std::error::Error for ParseOsSpecError {}
 /// prefixes of this order, adjusted by the per-OS gaps below.
 pub const POPULARITY: &[&str] = &[
     // Process bring-up and memory: nothing runs without these.
-    "execve", "exit", "exit_group", "brk", "mmap", "munmap", "mprotect", "arch_prctl",
-    "read", "write", "open", "close", "fstat", "stat", "lseek", "access",
-    "getpid", "gettid", "getppid", "getuid", "geteuid", "getgid", "getegid",
-    "rt_sigaction", "rt_sigprocmask", "rt_sigreturn", "ioctl", "fcntl", "dup", "dup2",
-    "pipe", "select", "poll", "nanosleep", "gettimeofday", "clock_gettime", "time",
-    "socket", "connect", "accept", "bind", "listen", "sendto", "recvfrom",
-    "writev", "readv", "setsockopt", "getsockopt", "uname", "getcwd", "chdir",
-    "mkdir", "unlink", "rename", "getrlimit", "setrlimit", "umask", "getdents64",
-    "clone", "fork",
+    "execve",
+    "exit",
+    "exit_group",
+    "brk",
+    "mmap",
+    "munmap",
+    "mprotect",
+    "arch_prctl",
+    "read",
+    "write",
+    "open",
+    "close",
+    "fstat",
+    "stat",
+    "lseek",
+    "access",
+    "getpid",
+    "gettid",
+    "getppid",
+    "getuid",
+    "geteuid",
+    "getgid",
+    "getegid",
+    "rt_sigaction",
+    "rt_sigprocmask",
+    "rt_sigreturn",
+    "ioctl",
+    "fcntl",
+    "dup",
+    "dup2",
+    "pipe",
+    "select",
+    "poll",
+    "nanosleep",
+    "gettimeofday",
+    "clock_gettime",
+    "time",
+    "socket",
+    "connect",
+    "accept",
+    "bind",
+    "listen",
+    "sendto",
+    "recvfrom",
+    "writev",
+    "readv",
+    "setsockopt",
+    "getsockopt",
+    "uname",
+    "getcwd",
+    "chdir",
+    "mkdir",
+    "unlink",
+    "rename",
+    "getrlimit",
+    "setrlimit",
+    "umask",
+    "getdents64",
+    "clone",
+    "fork",
     // ~here ends the Kerla-class minimal layer (58).
-    "wait4", "kill", "futex", "sched_yield", "getrandom", "lstat", "pread64",
-    "pwrite64", "sendmsg", "recvmsg", "shutdown", "socketpair", "getsockname",
-    "getpeername", "epoll_create", "epoll_ctl", "epoll_wait", "sendfile",
+    "wait4",
+    "kill",
+    "futex",
+    "sched_yield",
+    "getrandom",
+    "lstat",
+    "pread64",
+    "pwrite64",
+    "sendmsg",
+    "recvmsg",
+    "shutdown",
+    "socketpair",
+    "getsockname",
+    "getpeername",
+    "epoll_create",
+    "epoll_ctl",
+    "epoll_wait",
+    "sendfile",
     // ~here ends a nolibc-class layer (~76).
-    "set_tid_address", "set_robust_list", "sigaltstack", "madvise", "mremap",
-    "getrusage", "sysinfo", "times", "getpriority", "setpriority", "sched_getaffinity",
-    "sched_setaffinity", "setuid", "setgid", "setgroups", "setsid", "setpgid",
-    "getpgrp", "getsid", "setreuid", "setregid", "getgroups", "chmod", "fchmod",
-    "chown", "fchown", "ftruncate", "truncate", "fsync", "fdatasync", "flock",
-    "statfs", "fstatfs", "symlink", "readlink", "link", "rmdir", "creat",
-    "utime", "utimes", "alarm", "getitimer", "setitimer", "pause", "rt_sigsuspend",
-    "rt_sigpending", "rt_sigtimedwait", "sigaltstack", "mincore", "mlock", "munlock",
+    "set_tid_address",
+    "set_robust_list",
+    "sigaltstack",
+    "madvise",
+    "mremap",
+    "getrusage",
+    "sysinfo",
+    "times",
+    "getpriority",
+    "setpriority",
+    "sched_getaffinity",
+    "sched_setaffinity",
+    "setuid",
+    "setgid",
+    "setgroups",
+    "setsid",
+    "setpgid",
+    "getpgrp",
+    "getsid",
+    "setreuid",
+    "setregid",
+    "getgroups",
+    "chmod",
+    "fchmod",
+    "chown",
+    "fchown",
+    "ftruncate",
+    "truncate",
+    "fsync",
+    "fdatasync",
+    "flock",
+    "statfs",
+    "fstatfs",
+    "symlink",
+    "readlink",
+    "link",
+    "rmdir",
+    "creat",
+    "utime",
+    "utimes",
+    "alarm",
+    "getitimer",
+    "setitimer",
+    "pause",
+    "rt_sigsuspend",
+    "rt_sigpending",
+    "rt_sigtimedwait",
+    "sigaltstack",
+    "mincore",
+    "mlock",
+    "munlock",
     // ~HermiTux-class (~128).
-    "openat", "mkdirat", "newfstatat", "unlinkat", "renameat", "faccessat",
-    "readlinkat", "fchmodat", "fchownat", "linkat", "symlinkat", "pselect6", "ppoll",
-    "accept4", "epoll_create1", "eventfd2", "dup3", "pipe2", "inotify_init1",
-    "prlimit64", "utimensat", "epoll_pwait", "signalfd4", "eventfd", "timerfd_create",
-    "timerfd_settime", "timerfd_gettime", "fallocate", "preadv", "pwritev",
+    "openat",
+    "mkdirat",
+    "newfstatat",
+    "unlinkat",
+    "renameat",
+    "faccessat",
+    "readlinkat",
+    "fchmodat",
+    "fchownat",
+    "linkat",
+    "symlinkat",
+    "pselect6",
+    "ppoll",
+    "accept4",
+    "epoll_create1",
+    "eventfd2",
+    "dup3",
+    "pipe2",
+    "inotify_init1",
+    "prlimit64",
+    "utimensat",
+    "epoll_pwait",
+    "signalfd4",
+    "eventfd",
+    "timerfd_create",
+    "timerfd_settime",
+    "timerfd_gettime",
+    "fallocate",
+    "preadv",
+    "pwritev",
     // ~Gramine/Fuchsia-class (~158).
-    "clock_getres", "clock_nanosleep", "clock_settime", "settimeofday", "capget",
-    "capset", "prctl", "tgkill", "tkill", "waitid", "vfork", "setresuid",
-    "setresgid", "getresuid", "getresgid", "setfsuid", "setfsgid", "personality",
-    "sync", "syncfs", "sync_file_range", "readahead", "fadvise64", "getdents",
+    "clock_getres",
+    "clock_nanosleep",
+    "clock_settime",
+    "settimeofday",
+    "capget",
+    "capset",
+    "prctl",
+    "tgkill",
+    "tkill",
+    "waitid",
+    "vfork",
+    "setresuid",
+    "setresgid",
+    "getresuid",
+    "getresgid",
+    "setfsuid",
+    "setfsgid",
+    "personality",
+    "sync",
+    "syncfs",
+    "sync_file_range",
+    "readahead",
+    "fadvise64",
+    "getdents",
     // ~Unikraft-class (~182).
-    "splice", "tee", "vmsplice", "copy_file_range", "memfd_create", "getcpu",
-    "sched_setscheduler", "sched_getscheduler", "sched_setparam", "sched_getparam",
-    "sched_rr_get_interval", "sched_get_priority_max", "sched_get_priority_min",
-    "mlockall", "munlockall", "msync", "mbind", "set_mempolicy", "get_mempolicy",
-    "shmget", "shmat", "shmctl", "shmdt", "semget", "semop", "semctl", "msgget",
-    "msgsnd", "msgrcv", "msgctl", "mq_open", "mq_unlink", "mq_timedsend",
-    "mq_timedreceive", "mq_notify", "mq_getsetattr", "inotify_init",
-    "inotify_add_watch", "inotify_rm_watch", "fanotify_init", "fanotify_mark",
-    "name_to_handle_at", "open_by_handle_at", "setxattr", "getxattr", "listxattr",
-    "removexattr", "fsetxattr", "fgetxattr", "flistxattr", "fremovexattr",
-    "lsetxattr", "lgetxattr", "llistxattr", "lremovexattr", "statx", "membarrier",
-    "rseq", "seccomp", "bpf", "perf_event_open", "userfaultfd", "process_vm_readv",
-    "process_vm_writev", "kcmp", "sethostname", "setdomainname", "chroot",
-    "pivot_root", "mount", "umount2", "swapon", "swapoff", "reboot", "syslog",
-    "ptrace", "_sysctl", "ustat", "sysfs", "io_setup", "io_destroy", "io_submit",
-    "io_getevents", "io_cancel", "restart_syscall", "modify_ldt", "iopl", "ioperm",
+    "splice",
+    "tee",
+    "vmsplice",
+    "copy_file_range",
+    "memfd_create",
+    "getcpu",
+    "sched_setscheduler",
+    "sched_getscheduler",
+    "sched_setparam",
+    "sched_getparam",
+    "sched_rr_get_interval",
+    "sched_get_priority_max",
+    "sched_get_priority_min",
+    "mlockall",
+    "munlockall",
+    "msync",
+    "mbind",
+    "set_mempolicy",
+    "get_mempolicy",
+    "shmget",
+    "shmat",
+    "shmctl",
+    "shmdt",
+    "semget",
+    "semop",
+    "semctl",
+    "msgget",
+    "msgsnd",
+    "msgrcv",
+    "msgctl",
+    "mq_open",
+    "mq_unlink",
+    "mq_timedsend",
+    "mq_timedreceive",
+    "mq_notify",
+    "mq_getsetattr",
+    "inotify_init",
+    "inotify_add_watch",
+    "inotify_rm_watch",
+    "fanotify_init",
+    "fanotify_mark",
+    "name_to_handle_at",
+    "open_by_handle_at",
+    "setxattr",
+    "getxattr",
+    "listxattr",
+    "removexattr",
+    "fsetxattr",
+    "fgetxattr",
+    "flistxattr",
+    "fremovexattr",
+    "lsetxattr",
+    "lgetxattr",
+    "llistxattr",
+    "lremovexattr",
+    "statx",
+    "membarrier",
+    "rseq",
+    "seccomp",
+    "bpf",
+    "perf_event_open",
+    "userfaultfd",
+    "process_vm_readv",
+    "process_vm_writev",
+    "kcmp",
+    "sethostname",
+    "setdomainname",
+    "chroot",
+    "pivot_root",
+    "mount",
+    "umount2",
+    "swapon",
+    "swapoff",
+    "reboot",
+    "syslog",
+    "ptrace",
+    "_sysctl",
+    "ustat",
+    "sysfs",
+    "io_setup",
+    "io_destroy",
+    "io_submit",
+    "io_getevents",
+    "io_cancel",
+    "restart_syscall",
+    "modify_ldt",
+    "iopl",
+    "ioperm",
 ];
 
 /// Parses the popularity table into sysnos (panics are impossible: the
@@ -178,7 +413,12 @@ pub fn db() -> Vec<OsSpec> {
             "unikraft",
             "7d6707f",
             178,
-            &[S::eventfd2, S::set_tid_address, S::timerfd_create, S::mincore],
+            &[
+                S::eventfd2,
+                S::set_tid_address,
+                S::timerfd_create,
+                S::mincore,
+            ],
             &[],
         ),
         // Fuchsia (starnix) commit 5d20758: 152 syscalls, Table 1 gaps:
@@ -244,8 +484,10 @@ mod tests {
 
     #[test]
     fn curated_sizes_match_the_paper() {
-        let sizes: std::collections::BTreeMap<String, usize> =
-            db().into_iter().map(|o| (o.name, o.supported.len())).collect();
+        let sizes: std::collections::BTreeMap<String, usize> = db()
+            .into_iter()
+            .map(|o| (o.name, o.supported.len()))
+            .collect();
         assert_eq!(sizes["unikraft"], 174);
         assert_eq!(sizes["fuchsia"], 152);
         assert_eq!(sizes["kerla"], 58);

@@ -181,9 +181,17 @@ mod tests {
 
     #[test]
     fn greedy_orders_cheapest_first() {
-        let os = OsSpec::new("toy", "1", [Sysno::read, Sysno::write].into_iter().collect());
+        let os = OsSpec::new(
+            "toy",
+            "1",
+            [Sysno::read, Sysno::write].into_iter().collect(),
+        );
         let apps = vec![
-            req("expensive", &[Sysno::read, Sysno::mmap, Sysno::futex, Sysno::clone], &[]),
+            req(
+                "expensive",
+                &[Sysno::read, Sysno::mmap, Sysno::futex, Sysno::clone],
+                &[],
+            ),
             req("cheap", &[Sysno::read, Sysno::write, Sysno::openat], &[]),
             req("free", &[Sysno::read], &[]),
         ];

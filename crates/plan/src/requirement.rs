@@ -76,6 +76,9 @@ mod tests {
         assert!(!r.supported_by(&os));
         assert_eq!(r.missing_required(&os).len(), 1);
         let os: SysnoSet = [Sysno::read, Sysno::write].into_iter().collect();
-        assert!(r.supported_by(&os), "stubbable syscalls do not block support");
+        assert!(
+            r.supported_by(&os),
+            "stubbable syscalls do not block support"
+        );
     }
 }

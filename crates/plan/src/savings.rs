@@ -90,7 +90,10 @@ mod tests {
     use loupe_syscalls::Sysno;
 
     fn req(name: &str, required: &[&str], extra_traced: &[&str]) -> AppRequirement {
-        let required: SysnoSet = required.iter().map(|n| Sysno::from_name(n).unwrap()).collect();
+        let required: SysnoSet = required
+            .iter()
+            .map(|n| Sysno::from_name(n).unwrap())
+            .collect();
         let stub: SysnoSet = extra_traced
             .iter()
             .map(|n| Sysno::from_name(n).unwrap())
@@ -106,7 +109,11 @@ mod tests {
 
     fn sample() -> Vec<AppRequirement> {
         vec![
-            req("big", &["read", "write", "mmap", "futex", "clone"], &["sysinfo"]),
+            req(
+                "big",
+                &["read", "write", "mmap", "futex", "clone"],
+                &["sysinfo"],
+            ),
             req("small", &["read"], &["uname", "ioctl"]),
             req("mid", &["read", "write"], &["madvise"]),
         ]

@@ -1,0 +1,497 @@
+//! Fleet-wide analysis sweeps and population-scale reporting.
+//!
+//! The paper's headline artifact is an *aggregate* view over ~116
+//! applications: which system calls a compatibility layer must really
+//! implement, and which it can stub or fake. This crate turns the
+//! per-app engine into that population-scale system:
+//!
+//! * [`Sweep`] drives `Engine::analyze` concurrently across a whole
+//!   application fleet × workload set on a bounded worker pool, with
+//!   deterministic result ordering and incremental persistence into a
+//!   [`Database`] (cached entries are skipped unless forced; re-measured
+//!   entries merge conservatively via the database's merge rules);
+//! * [`FleetStats`] aggregates the resulting reports into per-syscall
+//!   rollups (apps using / requiring / able to stub or fake each call,
+//!   ranked by `loupe_plan::api_importance`);
+//! * [`report`] renders the database as kerla-style Markdown: a
+//!   fleet-wide `COMPATIBILITY.md` support matrix plus per-app pages,
+//!   with a drift check for CI.
+//!
+//! # Examples
+//!
+//! ```
+//! use loupe_apps::{registry, Workload};
+//! use loupe_db::Database;
+//! use loupe_sweep::{Sweep, SweepConfig};
+//!
+//! let dir = std::env::temp_dir().join(format!("loupe-sweep-doc-{}", std::process::id()));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! let db = Database::open(&dir).unwrap();
+//! let sweep = Sweep::new(SweepConfig {
+//!     workloads: vec![Workload::HealthCheck],
+//!     ..SweepConfig::default()
+//! });
+//! let summary = sweep.run(&db, registry::detailed()).unwrap();
+//! assert_eq!(summary.reports.len(), 12);
+//! // A second sweep over the same fleet is pure cache hits.
+//! let again = sweep.run(&db, registry::detailed()).unwrap();
+//! assert_eq!(again.cached, 12);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod report;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use loupe_apps::{AppModel, Workload};
+use loupe_core::{AnalysisConfig, AppReport, Engine};
+use loupe_db::{Database, DbError};
+use loupe_plan::{api_importance, AppRequirement, ImportancePoint};
+use loupe_syscalls::{Category, Sysno};
+
+/// Configuration of a fleet sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Workloads to measure for every app.
+    pub workloads: Vec<Workload>,
+    /// Worker threads; `0` picks `min(available_parallelism, 16)`.
+    pub workers: usize,
+    /// Engine configuration used for fresh measurements.
+    pub analysis: AnalysisConfig,
+    /// Re-measure entries that are already in the database (the new
+    /// measurement merges conservatively with the stored one).
+    pub force: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            workloads: vec![Workload::Benchmark],
+            workers: 0,
+            analysis: AnalysisConfig::fast(),
+            force: false,
+        }
+    }
+}
+
+/// One failed measurement within an otherwise successful sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepFailure {
+    /// Application name.
+    pub app: String,
+    /// Workload that failed.
+    pub workload: Workload,
+    /// Engine error text (e.g. a baseline failure).
+    pub error: String,
+}
+
+/// The outcome of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Entries measured fresh in this sweep.
+    pub analyzed: usize,
+    /// Entries served from the database without re-running the engine.
+    pub cached: usize,
+    /// Apps whose baseline failed (not persisted).
+    pub failures: Vec<SweepFailure>,
+    /// Every (app, workload) report, as stored in the database,
+    /// deterministically ordered by `(app, workload label)`.
+    pub reports: Vec<AppReport>,
+}
+
+enum JobOutcome {
+    Fresh(AppReport),
+    Cached(AppReport),
+    Failed(SweepFailure),
+    Db(DbError),
+}
+
+/// The concurrent fleet-sweep driver.
+#[derive(Debug, Clone, Default)]
+pub struct Sweep {
+    cfg: SweepConfig,
+}
+
+impl Sweep {
+    /// Creates a driver with the given configuration.
+    pub fn new(cfg: SweepConfig) -> Sweep {
+        Sweep { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SweepConfig {
+        &self.cfg
+    }
+
+    /// Effective worker count for `jobs` queued jobs.
+    fn worker_count(&self, jobs: usize) -> usize {
+        let auto = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16);
+        let chosen = if self.cfg.workers == 0 {
+            auto
+        } else {
+            self.cfg.workers
+        };
+        chosen.clamp(1, jobs.max(1))
+    }
+
+    /// Runs the sweep over `apps` × `config.workloads`, persisting every
+    /// successful measurement into `db` as soon as it completes.
+    ///
+    /// Results are deterministic: the same fleet, workloads and starting
+    /// database produce the same `reports` (and therefore byte-identical
+    /// rendered matrices) regardless of worker count or scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Database I/O and corruption errors. Per-app *engine* failures do
+    /// not abort the sweep; they are collected in
+    /// [`SweepSummary::failures`].
+    pub fn run(
+        &self,
+        db: &Database,
+        mut apps: Vec<Box<dyn AppModel>>,
+    ) -> Result<SweepSummary, DbError> {
+        // Drop duplicate app names: two jobs for the same (app, workload)
+        // would race on one database file (save is load-merge-write).
+        let mut seen = std::collections::BTreeSet::new();
+        apps.retain(|app| seen.insert(app.name().to_owned()));
+
+        let jobs: Vec<(usize, Workload)> = (0..apps.len())
+            .flat_map(|a| self.cfg.workloads.iter().map(move |&w| (a, w)))
+            .collect();
+        let workers = self.worker_count(jobs.len());
+
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<JobOutcome>>> =
+            Mutex::new((0..jobs.len()).map(|_| None).collect());
+        let apps_ref: &[Box<dyn AppModel>] = &apps;
+        let jobs_ref: &[(usize, Workload)] = &jobs;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let engine = Engine::new(self.cfg.analysis.clone());
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(app_idx, workload)) = jobs_ref.get(i) else {
+                            break;
+                        };
+                        let outcome =
+                            self.run_job(db, &engine, apps_ref[app_idx].as_ref(), workload);
+                        slots.lock().expect("sweep slots poisoned")[i] = Some(outcome);
+                    }
+                });
+            }
+        });
+
+        let mut summary = SweepSummary {
+            analyzed: 0,
+            cached: 0,
+            failures: Vec::new(),
+            reports: Vec::new(),
+        };
+        for outcome in slots.into_inner().expect("sweep slots poisoned") {
+            match outcome.expect("every job ran") {
+                JobOutcome::Fresh(r) => {
+                    summary.analyzed += 1;
+                    summary.reports.push(r);
+                }
+                JobOutcome::Cached(r) => {
+                    summary.cached += 1;
+                    summary.reports.push(r);
+                }
+                JobOutcome::Failed(f) => summary.failures.push(f),
+                JobOutcome::Db(e) => return Err(e),
+            }
+        }
+        summary.reports.sort_by(|a, b| {
+            (a.app.as_str(), a.workload.label()).cmp(&(b.app.as_str(), b.workload.label()))
+        });
+        summary.failures.sort_by(|a, b| {
+            (a.app.as_str(), a.workload.label()).cmp(&(b.app.as_str(), b.workload.label()))
+        });
+        Ok(summary)
+    }
+
+    fn run_job(
+        &self,
+        db: &Database,
+        engine: &Engine,
+        app: &dyn AppModel,
+        workload: Workload,
+    ) -> JobOutcome {
+        let had_entry = match db.load(app.name(), workload) {
+            Ok(Some(cached)) if !self.cfg.force => return JobOutcome::Cached(cached),
+            Ok(existing) => existing.is_some(),
+            Err(e) => return JobOutcome::Db(e),
+        };
+        let report = match engine.analyze(app, workload) {
+            Ok(r) => r,
+            Err(e) => {
+                return JobOutcome::Failed(SweepFailure {
+                    app: app.name().to_owned(),
+                    workload,
+                    error: e.to_string(),
+                })
+            }
+        };
+        if let Err(e) = db.save(&report) {
+            return JobOutcome::Db(e);
+        }
+        if !had_entry {
+            // Nothing to merge with: the database now holds exactly this
+            // report, so skip the re-read.
+            return JobOutcome::Fresh(report);
+        }
+        // A forced re-measure merged conservatively with the stored entry;
+        // report what the database now holds so summaries match later reads.
+        match db.load(&report.app, workload) {
+            Ok(Some(stored)) => JobOutcome::Fresh(stored),
+            Ok(None) => JobOutcome::Fresh(report),
+            Err(e) => JobOutcome::Db(e),
+        }
+    }
+}
+
+/// Per-syscall aggregate over one workload's fleet reports: one row of
+/// the compatibility matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyscallRow {
+    /// The system call.
+    pub sysno: Sysno,
+    /// Its broad category.
+    pub category: Category,
+    /// Apps whose workload traced it.
+    pub apps_using: usize,
+    /// Apps for which it must be implemented.
+    pub apps_requiring: usize,
+    /// Apps for which stubbing (`-ENOSYS`) passes.
+    pub apps_stubbable: usize,
+    /// Apps for which faking success passes.
+    pub apps_fakeable: usize,
+    /// Fraction of the fleet requiring it (the Fig. 3 importance).
+    pub importance: f64,
+}
+
+impl SyscallRow {
+    /// The cheapest support strategy that satisfies every app using this
+    /// syscall: `implement` when anyone requires it; otherwise `stub` or
+    /// `fake` when that single action works for every user; otherwise
+    /// `stub or fake` (pick per app).
+    pub fn advice(&self) -> &'static str {
+        if self.apps_requiring > 0 {
+            "implement"
+        } else if self.apps_stubbable == self.apps_using {
+            "stub"
+        } else if self.apps_fakeable == self.apps_using {
+            "fake"
+        } else {
+            "stub or fake"
+        }
+    }
+}
+
+/// Fleet-wide aggregate statistics for one workload.
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// The workload aggregated.
+    pub workload: Workload,
+    /// Number of reports aggregated.
+    pub apps: usize,
+    /// Matrix rows, most-important first (required-by desc, then used-by
+    /// desc, then syscall number).
+    pub rows: Vec<SyscallRow>,
+    /// The ranked importance curve over *required* sets (Fig. 3).
+    pub importance: Vec<ImportancePoint>,
+    /// Planner requirements, one per app (support-plan input).
+    pub requirements: Vec<AppRequirement>,
+}
+
+impl FleetStats {
+    /// Aggregates reports (all of one workload) into matrix rows.
+    pub fn aggregate(workload: Workload, reports: &[AppReport]) -> FleetStats {
+        use std::collections::BTreeMap;
+
+        #[derive(Default)]
+        struct Acc {
+            using: usize,
+            required: usize,
+            stubbable: usize,
+            fakeable: usize,
+        }
+
+        let mut acc: BTreeMap<Sysno, Acc> = BTreeMap::new();
+        for report in reports {
+            for &s in report.traced.keys() {
+                acc.entry(s).or_default().using += 1;
+            }
+            for (&s, class) in &report.classes {
+                let a = acc.entry(s).or_default();
+                if class.is_required() {
+                    a.required += 1;
+                }
+                if class.stub_ok {
+                    a.stubbable += 1;
+                }
+                if class.fake_ok {
+                    a.fakeable += 1;
+                }
+            }
+        }
+
+        let apps = reports.len();
+        let total = apps.max(1) as f64;
+        let mut rows: Vec<SyscallRow> = acc
+            .into_iter()
+            .map(|(sysno, a)| SyscallRow {
+                sysno,
+                category: Category::of(sysno),
+                apps_using: a.using,
+                apps_requiring: a.required,
+                apps_stubbable: a.stubbable,
+                apps_fakeable: a.fakeable,
+                importance: a.required as f64 / total,
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.apps_requiring
+                .cmp(&a.apps_requiring)
+                .then(b.apps_using.cmp(&a.apps_using))
+                .then(a.sysno.cmp(&b.sysno))
+        });
+
+        let required_sets: Vec<_> = reports.iter().map(AppReport::required).collect();
+        FleetStats {
+            workload,
+            apps,
+            importance: api_importance(&required_sets),
+            requirements: reports.iter().map(AppRequirement::from_report).collect(),
+            rows,
+        }
+    }
+
+    /// Syscalls required by at least one app.
+    pub fn required_anywhere(&self) -> usize {
+        self.rows.iter().filter(|r| r.apps_requiring > 0).count()
+    }
+
+    /// Syscalls traced somewhere but avoidable everywhere.
+    pub fn avoidable_everywhere(&self) -> usize {
+        self.rows.len() - self.required_anywhere()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loupe_apps::registry;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("loupe-sweep-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn health_sweep(workers: usize) -> Sweep {
+        Sweep::new(SweepConfig {
+            workloads: vec![Workload::HealthCheck],
+            workers,
+            ..SweepConfig::default()
+        })
+    }
+
+    #[test]
+    fn sweep_persists_and_caches() {
+        let dir = tmpdir("cache");
+        let db = Database::open(&dir).unwrap();
+        let apps: Vec<_> = registry::detailed().into_iter().take(4).collect();
+        let names: Vec<String> = apps.iter().map(|a| a.name().to_owned()).collect();
+
+        let first = health_sweep(2).run(&db, apps).unwrap();
+        assert_eq!(first.analyzed, 4);
+        assert_eq!(first.cached, 0);
+        assert!(first.failures.is_empty());
+        for n in &names {
+            assert!(db.contains(n, Workload::HealthCheck), "{n} persisted");
+            assert!(db.load(n, Workload::HealthCheck).unwrap().is_some());
+        }
+        assert!(!db.contains("ghost", Workload::HealthCheck));
+
+        let apps: Vec<_> = registry::detailed().into_iter().take(4).collect();
+        let second = health_sweep(2).run(&db, apps).unwrap();
+        assert_eq!(second.analyzed, 0, "second sweep is pure cache hits");
+        assert_eq!(second.cached, 4);
+        assert_eq!(first.reports, second.reports);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_worker_counts() {
+        let dir_a = tmpdir("det-a");
+        let dir_b = tmpdir("det-b");
+        let db_a = Database::open(&dir_a).unwrap();
+        let db_b = Database::open(&dir_b).unwrap();
+        let apps = || -> Vec<_> { registry::detailed().into_iter().take(6).collect() };
+
+        let serial = health_sweep(1).run(&db_a, apps()).unwrap();
+        let parallel = health_sweep(6).run(&db_b, apps()).unwrap();
+        assert_eq!(serial.reports, parallel.reports);
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn forced_resweep_merges_instead_of_overwriting() {
+        let dir = tmpdir("force");
+        let db = Database::open(&dir).unwrap();
+        let apps = || -> Vec<_> { registry::detailed().into_iter().take(1).collect() };
+        let first = health_sweep(1).run(&db, apps()).unwrap();
+        let forced = Sweep::new(SweepConfig {
+            workloads: vec![Workload::HealthCheck],
+            workers: 1,
+            force: true,
+            ..SweepConfig::default()
+        })
+        .run(&db, apps())
+        .unwrap();
+        assert_eq!(forced.analyzed, 1);
+        // Traced counts accumulate under the conservative merge.
+        let s = *first.reports[0].traced.keys().next().unwrap();
+        assert_eq!(
+            forced.reports[0].traced[&s],
+            first.reports[0].traced[&s] * 2
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn aggregate_counts_are_consistent() {
+        let dir = tmpdir("agg");
+        let db = Database::open(&dir).unwrap();
+        let summary = health_sweep(0).run(&db, registry::detailed()).unwrap();
+        let stats = FleetStats::aggregate(Workload::HealthCheck, &summary.reports);
+        assert_eq!(stats.apps, 12);
+        assert!(!stats.rows.is_empty());
+        for row in &stats.rows {
+            assert!(row.apps_using <= stats.apps);
+            assert!(row.apps_requiring <= row.apps_using);
+            // A syscall cannot be both required and (stub|fake)-able for
+            // the same app, so the counts partition the users.
+            assert!(row.apps_requiring + row.apps_stubbable <= row.apps_using);
+        }
+        assert_eq!(
+            stats.required_anywhere() + stats.avoidable_everywhere(),
+            stats.rows.len()
+        );
+        // The paper's core claim at fleet scale: far fewer syscalls are
+        // required than traced.
+        assert!(stats.required_anywhere() < stats.rows.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,497 @@
+//! Markdown rendering of a sweep database: the checked-in
+//! `docs/COMPATIBILITY.md` support matrix, per-app pages, and the drift
+//! check that keeps them honest in CI.
+//!
+//! Everything rendered here is a pure function of the database contents
+//! (no timestamps, no environment), so the same measurements always
+//! produce byte-identical documents — the property the `--check` mode
+//! and the determinism tests rely on.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use loupe_apps::Workload;
+use loupe_core::AppReport;
+use loupe_db::{Database, DbError};
+use loupe_plan::{os, SupportPlan};
+
+use crate::FleetStats;
+
+/// Error margin for "notable" stub/fake impact annotations (Table 2).
+const IMPACT_EPSILON: f64 = 0.03;
+
+/// A rendered documentation set: relative path → file contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RenderedDocs {
+    /// `(relative path, contents)`, sorted by path.
+    pub files: Vec<(PathBuf, String)>,
+}
+
+/// One file-level difference found by [`check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Drift {
+    /// The file is missing on disk.
+    Missing(PathBuf),
+    /// The on-disk contents differ from the database rendering.
+    Stale(PathBuf),
+    /// A generated page exists on disk but the database no longer
+    /// renders it (e.g. an app was removed from the fleet).
+    Orphaned(PathBuf),
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Drift::Missing(p) => write!(f, "missing: {}", p.display()),
+            Drift::Stale(p) => write!(f, "stale: {}", p.display()),
+            Drift::Orphaned(p) => write!(f, "orphaned: {}", p.display()),
+        }
+    }
+}
+
+/// On-disk generated pages under `docs_dir` (relative paths) that the
+/// database no longer renders — the single definition of "orphaned"
+/// shared by [`write`] (which prunes them) and [`check`] (which flags
+/// them).
+fn orphaned_pages(rendered: &RenderedDocs, docs_dir: &Path) -> Vec<PathBuf> {
+    let mut orphans = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(docs_dir.join("apps")) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.ends_with(".md") {
+                continue;
+            }
+            let rel = PathBuf::from("apps").join(name);
+            if !rendered.files.iter().any(|(r, _)| *r == rel) {
+                orphans.push(rel);
+            }
+        }
+    }
+    orphans.sort();
+    orphans
+}
+
+/// Loads every stored report, grouped by workload (sorted by app name).
+///
+/// # Errors
+///
+/// Database I/O and corruption errors.
+pub fn reports_by_workload(db: &Database) -> Result<BTreeMap<Workload, Vec<AppReport>>, DbError> {
+    let mut grouped = BTreeMap::new();
+    for &workload in Workload::ALL {
+        let reports = db.load_workload(workload)?;
+        if !reports.is_empty() {
+            grouped.insert(workload, reports);
+        }
+    }
+    Ok(grouped)
+}
+
+/// Renders the full documentation set for a database: `COMPATIBILITY.md`
+/// plus one page per app under `apps/`.
+///
+/// # Errors
+///
+/// Database I/O and corruption errors.
+pub fn render(db: &Database) -> Result<RenderedDocs, DbError> {
+    let grouped = reports_by_workload(db)?;
+    let mut files = vec![(PathBuf::from("COMPATIBILITY.md"), render_matrix(&grouped))];
+
+    let mut by_app: BTreeMap<&str, Vec<&AppReport>> = BTreeMap::new();
+    for reports in grouped.values() {
+        for report in reports {
+            by_app.entry(report.app.as_str()).or_default().push(report);
+        }
+    }
+    for (app, reports) in &by_app {
+        files.push((
+            PathBuf::from(format!("apps/{app}.md")),
+            render_app_page(app, reports),
+        ));
+    }
+    files.push((PathBuf::from("apps/README.md"), render_app_index(&by_app)));
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(RenderedDocs { files })
+}
+
+/// Writes the rendered set under `docs_dir`, returning the paths written.
+///
+/// # Errors
+///
+/// Database and filesystem errors.
+pub fn write(db: &Database, docs_dir: &Path) -> Result<Vec<PathBuf>, DbError> {
+    let rendered = render(db)?;
+    for (rel, contents) in &rendered.files {
+        let path = docs_dir.join(rel);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, contents)?;
+    }
+    // Prune generated pages whose app is no longer in the database.
+    for rel in orphaned_pages(&rendered, docs_dir) {
+        std::fs::remove_file(docs_dir.join(&rel))?;
+    }
+    Ok(rendered
+        .files
+        .iter()
+        .map(|(rel, _)| docs_dir.join(rel))
+        .collect())
+}
+
+/// Compares the rendered set against what is on disk under `docs_dir`.
+/// An empty result means the checked-in docs match the database.
+///
+/// # Errors
+///
+/// Database I/O and corruption errors (missing/stale files are *drift*,
+/// not errors).
+pub fn check(db: &Database, docs_dir: &Path) -> Result<Vec<Drift>, DbError> {
+    let rendered = render(db)?;
+    let mut drift = Vec::new();
+    for (rel, contents) in &rendered.files {
+        let path = docs_dir.join(rel);
+        match std::fs::read_to_string(&path) {
+            Ok(on_disk) if on_disk == *contents => {}
+            Ok(_) => drift.push(Drift::Stale(rel.clone())),
+            Err(_) => drift.push(Drift::Missing(rel.clone())),
+        }
+    }
+    for rel in orphaned_pages(&rendered, docs_dir) {
+        drift.push(Drift::Orphaned(rel));
+    }
+    Ok(drift)
+}
+
+fn workload_title(w: Workload) -> &'static str {
+    match w {
+        Workload::HealthCheck => "health-check",
+        Workload::Benchmark => "benchmark",
+        Workload::TestSuite => "test-suite",
+    }
+}
+
+/// Renders the fleet-wide compatibility matrix.
+pub fn render_matrix(grouped: &BTreeMap<Workload, Vec<AppReport>>) -> String {
+    let mut out = String::new();
+    out.push_str("# Syscall compatibility matrix\n\n");
+    out.push_str(
+        "Generated by `loupe report` from a sweep database — **do not edit by\n\
+         hand**. Regenerate with:\n\n\
+         ```sh\n\
+         cargo run --release -p loupe-cli -- sweep --db target/loupedb --workload all\n\
+         cargo run --release -p loupe-cli -- report --db target/loupedb --docs docs\n\
+         ```\n\n\
+         For every system call the fleet exercises, the matrix shows how many\n\
+         applications traced it and for how many it must be **implemented**,\n\
+         can be **stubbed** (return `-ENOSYS`), or can be **faked** (return\n\
+         success without doing the work) — the paper's §3 classification,\n\
+         aggregated over the population. *Advice* is the cheapest strategy\n\
+         that satisfies every app using the call.\n\n",
+    );
+
+    for (&workload, reports) in grouped {
+        let stats = FleetStats::aggregate(workload, reports);
+        let _ = writeln!(
+            out,
+            "## {} workload — {} applications\n",
+            workload_title(workload),
+            stats.apps
+        );
+        let _ = writeln!(
+            out,
+            "{} distinct syscalls traced fleet-wide; **{} must be implemented**\n\
+             somewhere in the fleet, {} are avoidable everywhere.\n",
+            stats.rows.len(),
+            stats.required_anywhere(),
+            stats.avoidable_everywhere()
+        );
+        out.push_str(
+            "| # | Syscall | Category | Used by | Requires impl | Stubbable | Fakeable | Advice |\n\
+             |--:|---------|----------|--------:|--------------:|----------:|---------:|--------|\n",
+        );
+        for row in &stats.rows {
+            let _ = writeln!(
+                out,
+                "| {} | `{}` | {} | {} | {} ({:.0}%) | {} | {} | {} |",
+                row.sysno.raw(),
+                row.sysno.name(),
+                row.category.label(),
+                row.apps_using,
+                row.apps_requiring,
+                row.importance * 100.0,
+                row.apps_stubbable,
+                row.apps_fakeable,
+                row.advice()
+            );
+        }
+        out.push('\n');
+
+        render_plan_rollup(&mut out, &stats);
+        render_impact_rollup(&mut out, reports);
+    }
+
+    out.push_str("---\n\nPer-application breakdowns live in [`apps/`](apps/README.md).\n");
+    out
+}
+
+/// Table 1-style rollup: how much work each curated OS needs to support
+/// the measured fleet.
+fn render_plan_rollup(out: &mut String, stats: &FleetStats) {
+    out.push_str("### Support-plan rollup (curated OS specs)\n\n");
+    out.push_str(
+        "| OS | Supported today | Apps working now | Plan steps | Syscalls to implement | Steps needing ≤3 |\n\
+         |----|----------------:|-----------------:|-----------:|----------------------:|------------------:|\n",
+    );
+    for spec in os::db() {
+        let plan = SupportPlan::generate(&spec, &stats.requirements);
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {:.0}% |",
+            spec.name,
+            spec.supported.len(),
+            plan.initially_supported.len(),
+            plan.steps.len(),
+            plan.total_implemented(),
+            plan.small_step_fraction(3) * 100.0
+        );
+    }
+    out.push('\n');
+}
+
+/// Table 2-style rollup: stub/fake runs that passed but moved a metric
+/// beyond the error margin.
+fn render_impact_rollup(out: &mut String, reports: &[AppReport]) {
+    let mut rows = Vec::new();
+    for report in reports {
+        for (sysno, rec) in report.notable_impacts(IMPACT_EPSILON) {
+            for (mode, impact) in [("stub", rec.stub), ("fake", rec.fake)] {
+                if let Some(i) = impact {
+                    if i.success && i.is_notable(IMPACT_EPSILON) {
+                        rows.push((report.app.clone(), sysno, mode, i));
+                    }
+                }
+            }
+        }
+    }
+    if rows.is_empty() {
+        return;
+    }
+    rows.sort_by(|a, b| (&a.0, a.1, a.2).cmp(&(&b.0, b.1, b.2)));
+    out.push_str("### Notable stub/fake impacts (passes tests, metric moved >3%)\n\n");
+    out.push_str(
+        "| App | Syscall | Mode | Throughput | Peak RSS | Peak FDs |\n\
+         |-----|---------|------|-----------:|---------:|---------:|\n",
+    );
+    let fmt_delta = |d: f64| {
+        if d.abs() <= IMPACT_EPSILON {
+            "–".to_owned()
+        } else {
+            format!("{:+.0}%", d * 100.0)
+        }
+    };
+    for (app, sysno, mode, i) in rows {
+        let _ = writeln!(
+            out,
+            "| {} | `{}` | {} | {} | {} | {} |",
+            app,
+            sysno.name(),
+            mode,
+            fmt_delta(i.perf_delta),
+            fmt_delta(i.rss_delta),
+            fmt_delta(i.fd_delta)
+        );
+    }
+    out.push('\n');
+}
+
+/// Renders the index of per-app pages.
+fn render_app_index(by_app: &BTreeMap<&str, Vec<&AppReport>>) -> String {
+    let mut out = String::new();
+    out.push_str("# Per-application reports\n\n");
+    out.push_str("Generated by `loupe report` — do not edit by hand.\n\n");
+    out.push_str("| App | Workloads | Traced | Required | Confirmed |\n");
+    out.push_str("|-----|-----------|-------:|---------:|-----------|\n");
+    for (app, reports) in by_app {
+        let workloads: Vec<&str> = reports.iter().map(|r| r.workload.label()).collect();
+        let traced: usize = reports.iter().map(|r| r.traced().len()).max().unwrap_or(0);
+        let required: usize = reports
+            .iter()
+            .map(|r| r.required().len())
+            .max()
+            .unwrap_or(0);
+        let confirmed = reports.iter().all(|r| r.confirmed);
+        let _ = writeln!(
+            out,
+            "| [{app}]({app}.md) | {} | {traced} | {required} | {} |",
+            workloads.join(", "),
+            if confirmed { "yes" } else { "no" }
+        );
+    }
+    out
+}
+
+/// Renders one application's page from all its stored workload reports.
+pub fn render_app_page(app: &str, reports: &[&AppReport]) -> String {
+    let mut out = String::new();
+    let version = reports.first().map(|r| r.version.as_str()).unwrap_or("?");
+    let _ = writeln!(out, "# {app} (version {version})\n");
+    out.push_str("Generated by `loupe report` — do not edit by hand.\n");
+
+    for report in reports {
+        let _ = writeln!(out, "\n## {} workload\n", workload_title(report.workload));
+        let _ = writeln!(
+            out,
+            "- traced: {} syscalls over {} engine runs\n\
+             - required: {}, stubbable: {}, fakeable: {}\n\
+             - combined stub/fake policy confirmed: {}",
+            report.traced().len(),
+            report.stats.total_runs(),
+            report.required().len(),
+            report.stubbable().len(),
+            report.fakeable().len(),
+            if report.confirmed { "yes" } else { "no" }
+        );
+        if !report.conflicts.is_empty() {
+            let names: Vec<&str> = report.conflicts.iter().map(|s| s.name()).collect();
+            let _ = writeln!(
+                out,
+                "- conflict bisection re-marked as required: `{}`",
+                names.join("`, `")
+            );
+        }
+
+        out.push_str(
+            "\n| Syscall | Calls | Classification |\n|---------|------:|----------------|\n",
+        );
+        for (sysno, count) in &report.traced {
+            let class = report
+                .classes
+                .get(sysno)
+                .map(|c| c.label())
+                .unwrap_or("untested");
+            let _ = writeln!(out, "| `{}` | {} | {} |", sysno.name(), count, class);
+        }
+
+        if !report.sub_features.is_empty() {
+            out.push_str("\nSub-features of vectored syscalls:\n\n");
+            out.push_str("| Sub-feature | Classification |\n|-------------|----------------|\n");
+            for (key, class) in &report.sub_features {
+                let _ = writeln!(out, "| `{key}` | {} |", class.label());
+            }
+        }
+        if !report.pseudo_files.is_empty() {
+            out.push_str("\nPseudo-file accesses:\n\n");
+            out.push_str("| Path | Classification |\n|------|----------------|\n");
+            for (path, class) in &report.pseudo_files {
+                let _ = writeln!(out, "| `{path}` | {} |", class.label());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sweep, SweepConfig};
+    use loupe_apps::registry;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("loupe-report-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn seeded_db(tag: &str, apps: usize) -> (PathBuf, Database) {
+        let dir = tmpdir(tag);
+        let db = Database::open(&dir).unwrap();
+        let sweep = Sweep::new(SweepConfig {
+            workloads: vec![Workload::HealthCheck],
+            ..SweepConfig::default()
+        });
+        let fleet: Vec<_> = registry::detailed().into_iter().take(apps).collect();
+        sweep.run(&db, fleet).unwrap();
+        (dir, db)
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let (dir, db) = seeded_db("det", 5);
+        let a = render(&db).unwrap();
+        let b = render(&db).unwrap();
+        assert_eq!(a, b);
+        assert!(a.files.iter().any(|(p, _)| p.ends_with("COMPATIBILITY.md")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn matrix_mentions_every_app_and_core_syscalls() {
+        let (dir, db) = seeded_db("content", 3);
+        let rendered = render(&db).unwrap();
+        let matrix = &rendered
+            .files
+            .iter()
+            .find(|(p, _)| p.ends_with("COMPATIBILITY.md"))
+            .unwrap()
+            .1;
+        assert!(matrix.contains("| Syscall |"));
+        assert!(matrix.contains("`mmap`"), "core syscalls appear");
+        assert!(matrix.contains("3 applications"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_detects_missing_stale_and_clean_docs() {
+        let (dir, db) = seeded_db("drift", 2);
+        let docs = dir.join("docs");
+
+        // Nothing written yet: everything is missing.
+        let drift = check(&db, &docs).unwrap();
+        assert!(!drift.is_empty());
+        assert!(matches!(drift[0], Drift::Missing(_)));
+
+        // After writing, the check is clean.
+        write(&db, &docs).unwrap();
+        assert!(check(&db, &docs).unwrap().is_empty());
+
+        // Tampering makes it stale.
+        let matrix = docs.join("COMPATIBILITY.md");
+        std::fs::write(&matrix, "tampered").unwrap();
+        let drift = check(&db, &docs).unwrap();
+        assert!(drift
+            .iter()
+            .any(|d| matches!(d, Drift::Stale(p) if p.ends_with("COMPATIBILITY.md"))));
+
+        // A generated page whose app left the database is orphaned —
+        // flagged by check() and pruned by the next write().
+        let ghost = docs.join("apps/ghost.md");
+        std::fs::write(&ghost, "left behind").unwrap();
+        let drift = check(&db, &docs).unwrap();
+        assert!(drift
+            .iter()
+            .any(|d| matches!(d, Drift::Orphaned(p) if p.ends_with("ghost.md"))));
+        write(&db, &docs).unwrap();
+        assert!(!ghost.exists(), "write() prunes orphaned pages");
+        assert!(check(&db, &docs).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn app_pages_cover_every_stored_app() {
+        let (dir, db) = seeded_db("pages", 4);
+        let rendered = render(&db).unwrap();
+        for (app, _) in db.list().unwrap() {
+            assert!(
+                rendered
+                    .files
+                    .iter()
+                    .any(|(p, _)| p.ends_with(format!("{app}.md"))),
+                "page for {app}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -69,6 +69,27 @@ impl Category {
         Category::Misc,
     ];
 
+    /// Short human-readable label, as used in reports and the generated
+    /// compatibility matrix.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::FileIo => "file-io",
+            Category::Memory => "memory",
+            Category::Network => "network",
+            Category::Process => "process",
+            Category::Signal => "signal",
+            Category::Sync => "sync",
+            Category::EventIo => "event-io",
+            Category::Time => "time",
+            Category::Identity => "identity",
+            Category::Resource => "resource",
+            Category::Ipc => "ipc",
+            Category::System => "system",
+            Category::Security => "security",
+            Category::Misc => "misc",
+        }
+    }
+
     /// Classifies a system call.
     pub fn of(s: Sysno) -> Category {
         use Category::*;
@@ -256,7 +277,11 @@ impl Category {
             | Sysno::signalfd4
             | Sysno::restart_syscall => Signal,
 
-            Sysno::futex | Sysno::set_robust_list | Sysno::get_robust_list | Sysno::membarrier | Sysno::rseq => Sync,
+            Sysno::futex
+            | Sysno::set_robust_list
+            | Sysno::get_robust_list
+            | Sysno::membarrier
+            | Sysno::rseq => Sync,
 
             Sysno::poll
             | Sysno::select
@@ -433,7 +458,11 @@ impl Category {
     pub fn allocates_resources(self) -> bool {
         matches!(
             self,
-            Category::Memory | Category::Network | Category::FileIo | Category::EventIo | Category::Ipc
+            Category::Memory
+                | Category::Network
+                | Category::FileIo
+                | Category::EventIo
+                | Category::Ipc
         )
     }
 }

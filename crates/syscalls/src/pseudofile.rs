@@ -40,7 +40,11 @@ impl PseudoFileClass {
     /// assert_eq!(PseudoFileClass::of_path("/etc/passwd"), None);
     /// ```
     pub fn of_path(path: &str) -> Option<PseudoFileClass> {
-        for class in [PseudoFileClass::Proc, PseudoFileClass::Dev, PseudoFileClass::Sys] {
+        for class in [
+            PseudoFileClass::Proc,
+            PseudoFileClass::Dev,
+            PseudoFileClass::Sys,
+        ] {
             let p = class.prefix();
             if path == p || (path.starts_with(p) && path.as_bytes().get(p.len()) == Some(&b'/')) {
                 return Some(class);
@@ -152,10 +156,23 @@ mod tests {
 
     #[test]
     fn classifies_prefixes() {
-        assert_eq!(PseudoFileClass::of_path("/proc/self/status"), Some(PseudoFileClass::Proc));
-        assert_eq!(PseudoFileClass::of_path("/sys/kernel"), Some(PseudoFileClass::Sys));
-        assert_eq!(PseudoFileClass::of_path("/devel/x"), None, "prefix must end at component");
-        assert_eq!(PseudoFileClass::of_path("/proc"), Some(PseudoFileClass::Proc));
+        assert_eq!(
+            PseudoFileClass::of_path("/proc/self/status"),
+            Some(PseudoFileClass::Proc)
+        );
+        assert_eq!(
+            PseudoFileClass::of_path("/sys/kernel"),
+            Some(PseudoFileClass::Sys)
+        );
+        assert_eq!(
+            PseudoFileClass::of_path("/devel/x"),
+            None,
+            "prefix must end at component"
+        );
+        assert_eq!(
+            PseudoFileClass::of_path("/proc"),
+            Some(PseudoFileClass::Proc)
+        );
         assert_eq!(PseudoFileClass::of_path("relative/proc"), None);
     }
 
@@ -176,7 +193,9 @@ mod tests {
         );
         // PID-looking components deeper in the path are untouched.
         assert_eq!(
-            PseudoFile::canonicalize("/proc/self/task/1234/stat").unwrap().path(),
+            PseudoFile::canonicalize("/proc/self/task/1234/stat")
+                .unwrap()
+                .path(),
             "/proc/self/task/1234/stat"
         );
     }
@@ -191,7 +210,11 @@ mod tests {
 
     #[test]
     fn regular_files_are_not_pseudo() {
-        for p in ["/etc/nginx/nginx.conf", "/var/log/nginx/access.log", "index.html"] {
+        for p in [
+            "/etc/nginx/nginx.conf",
+            "/var/log/nginx/access.log",
+            "index.html",
+        ] {
             assert!(PseudoFile::canonicalize(p).is_none(), "{p}");
         }
     }

@@ -24,9 +24,7 @@ use crate::nr::Sysno;
 /// assert_eq!(key.sysno(), Sysno::fcntl);
 /// assert_eq!(key.to_string(), "fcntl:F_SETFL");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SubFeatureKey {
     sysno: Sysno,
     selector: u64,
@@ -165,7 +163,13 @@ subfeatures![
     (ARCH_SET_FS, arch_prctl, 0x1002, "ARCH_SET_FS", true),
     (ARCH_GET_FS, arch_prctl, 0x1003, "ARCH_GET_FS", false),
     (ARCH_GET_GS, arch_prctl, 0x1004, "ARCH_GET_GS", false),
-    (ARCH_CET_STATUS, arch_prctl, 0x3001, "ARCH_CET_STATUS", false),
+    (
+        ARCH_CET_STATUS,
+        arch_prctl,
+        0x3001,
+        "ARCH_CET_STATUS",
+        false
+    ),
     // madvise(2) advice values (§5.3: optimizing hints, stubbable).
     (MADV_NORMAL, madvise, 0, "MADV_NORMAL", false),
     (MADV_RANDOM, madvise, 1, "MADV_RANDOM", false),

@@ -177,8 +177,7 @@ pub fn trace_command(argv: &[&str], policy: &TracePolicy) -> Result<TraceResult,
                 libc::dup2(fd, 2);
             }
             libc::ptrace(libc::PTRACE_TRACEME, 0, 0, 0);
-            let mut ptrs: Vec<*const libc::c_char> =
-                cargs.iter().map(|c| c.as_ptr()).collect();
+            let mut ptrs: Vec<*const libc::c_char> = cargs.iter().map(|c| c.as_ptr()).collect();
             ptrs.push(std::ptr::null());
             libc::execvp(ptrs[0], ptrs.as_ptr());
             libc::_exit(127);
@@ -198,14 +197,7 @@ pub fn trace_command(argv: &[&str], policy: &TracePolicy) -> Result<TraceResult,
     }
     // Distinguish syscall stops from signal stops.
     // SAFETY: child is in ptrace-stop.
-    unsafe {
-        libc::ptrace(
-            libc::PTRACE_SETOPTIONS,
-            pid,
-            0,
-            libc::PTRACE_O_TRACESYSGOOD,
-        )
-    };
+    unsafe { libc::ptrace(libc::PTRACE_SETOPTIONS, pid, 0, libc::PTRACE_O_TRACESYSGOOD) };
 
     let mut result = TraceResult::default();
     let mut in_syscall = false;
@@ -218,11 +210,17 @@ pub fn trace_command(argv: &[&str], policy: &TracePolicy) -> Result<TraceResult,
     loop {
         // SAFETY: child is stopped.
         if unsafe { libc::ptrace(libc::PTRACE_SYSCALL, pid, 0, 0) } < 0 {
-            return Err(TraceError::Ptrace { op: "SYSCALL", errno: errno() });
+            return Err(TraceError::Ptrace {
+                op: "SYSCALL",
+                errno: errno(),
+            });
         }
         // SAFETY: pid is our child.
         if unsafe { libc::waitpid(pid, &mut status, 0) } < 0 {
-            return Err(TraceError::Ptrace { op: "waitpid", errno: errno() });
+            return Err(TraceError::Ptrace {
+                op: "waitpid",
+                errno: errno(),
+            });
         }
         if libc::WIFEXITED(status) {
             result.exit_code = Some(libc::WEXITSTATUS(status));
@@ -283,7 +281,10 @@ fn peek_user(pid: libc::pid_t, reg: usize) -> Result<i64, TraceError> {
         // A legitimate -1 register value is indistinguishable from an
         // error without clearing errno; register reads here are never -1
         // for orig_rax of a syscall stop, so treat it as an error.
-        return Err(TraceError::Ptrace { op: "PEEKUSER", errno: errno() });
+        return Err(TraceError::Ptrace {
+            op: "PEEKUSER",
+            errno: errno(),
+        });
     }
     Ok(v)
 }
@@ -295,10 +296,12 @@ fn read_child_string(pid: libc::pid_t, addr: u64) -> Result<String, TraceError> 
     let mut cursor = addr;
     while bytes.len() < 4096 {
         // SAFETY: reading a word of a stopped child's memory.
-        let word =
-            unsafe { libc::ptrace(libc::PTRACE_PEEKDATA, pid, cursor as libc::c_long, 0) };
+        let word = unsafe { libc::ptrace(libc::PTRACE_PEEKDATA, pid, cursor as libc::c_long, 0) };
         if word == -1 && errno() != 0 {
-            return Err(TraceError::Ptrace { op: "PEEKDATA", errno: errno() });
+            return Err(TraceError::Ptrace {
+                op: "PEEKDATA",
+                errno: errno(),
+            });
         }
         for b in word.to_ne_bytes() {
             if b == 0 {
@@ -322,7 +325,10 @@ fn poke_user(pid: libc::pid_t, reg: usize, value: u64) -> Result<(), TraceError>
         )
     };
     if r < 0 {
-        return Err(TraceError::Ptrace { op: "POKEUSER", errno: errno() });
+        return Err(TraceError::Ptrace {
+            op: "POKEUSER",
+            errno: errno(),
+        });
     }
     Ok(())
 }
@@ -409,7 +415,11 @@ mod tests {
         // Whitelisting the echo image counts its syscalls but not sh's.
         let policy = TracePolicy::allow_all().with_whitelist(["echo"]);
         let echo_only = trace_command(&["sh", "-c", "exec echo hi"], &policy).unwrap();
-        assert!(echo_only.execs.iter().any(|p| p.contains("echo")), "{:?}", echo_only.execs);
+        assert!(
+            echo_only.execs.iter().any(|p| p.contains("echo")),
+            "{:?}",
+            echo_only.execs
+        );
         assert!(echo_only.saw(Sysno::write) || echo_only.saw(Sysno::writev));
     }
 

@@ -46,7 +46,10 @@ fn main() {
     let reqs = db.requirements(Workload::Benchmark).expect("load all");
     let kerla = os::find("kerla").unwrap();
     let plan = SupportPlan::generate(&kerla, &reqs);
-    println!("\nplan for kerla from shared measurements:\n{}", plan.to_table());
+    println!(
+        "\nplan for kerla from shared measurements:\n{}",
+        plan.to_table()
+    );
 
     // The database also carries OS support specs in the paper's CSV form.
     let path = db.save_os_spec(&kerla).expect("export csv");

@@ -29,7 +29,10 @@ fn main() {
     let naive = naive_curve(&reqs);
 
     println!("apps measured: {n}");
-    println!("{:<10} {:>14} {:>14}", "strategy", "half the apps", "all the apps");
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "strategy", "half the apps", "all the apps"
+    );
     for curve in [&loupe, &organic, &naive] {
         println!(
             "{:<10} {:>10} syscalls {:>10} syscalls",

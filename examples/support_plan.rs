@@ -15,7 +15,15 @@ fn main() {
     //    fast; use registry::cloud_apps() for the full Table 1 set).
     let engine = Engine::new(AnalysisConfig::fast());
     let mut requirements = Vec::new();
-    for name in ["nginx", "redis", "memcached", "sqlite", "lighttpd", "weborf", "webfsd"] {
+    for name in [
+        "nginx",
+        "redis",
+        "memcached",
+        "sqlite",
+        "lighttpd",
+        "weborf",
+        "webfsd",
+    ] {
         let app = registry::find(name).expect("app in registry");
         let report = engine
             .analyze(app.as_ref(), Workload::Benchmark)

@@ -16,6 +16,8 @@
 //! * [`plan`] — incremental OS support plans, effort-savings analysis and
 //!   API importance.
 //! * [`db`] — the measurement database (loupedb analogue).
+//! * [`sweep`] — concurrent fleet-wide sweeps and the generated
+//!   compatibility-matrix documentation.
 //!
 //! # Quickstart
 //!
@@ -38,5 +40,6 @@ pub use loupe_db as db;
 pub use loupe_kernel as kernel;
 pub use loupe_plan as plan;
 pub use loupe_static as statics;
+pub use loupe_sweep as sweep;
 pub use loupe_syscalls as syscalls;
 pub use loupe_trace as trace;

@@ -107,12 +107,18 @@ fn replicas_merge_conservatively_with_identical_runs() {
     // With a deterministic simulator, replicas agree — merging must not
     // change conclusions, only multiply run counts.
     let app = registry::find("weborf").unwrap();
-    let r1 = Engine::new(AnalysisConfig { replicas: 1, ..AnalysisConfig::fast() })
-        .analyze(app.as_ref(), Workload::HealthCheck)
-        .unwrap();
-    let r3 = Engine::new(AnalysisConfig { replicas: 3, ..AnalysisConfig::fast() })
-        .analyze(app.as_ref(), Workload::HealthCheck)
-        .unwrap();
+    let r1 = Engine::new(AnalysisConfig {
+        replicas: 1,
+        ..AnalysisConfig::fast()
+    })
+    .analyze(app.as_ref(), Workload::HealthCheck)
+    .unwrap();
+    let r3 = Engine::new(AnalysisConfig {
+        replicas: 3,
+        ..AnalysisConfig::fast()
+    })
+    .analyze(app.as_ref(), Workload::HealthCheck)
+    .unwrap();
     assert_eq!(r1.classes, r3.classes);
     assert_eq!(r3.stats.total_runs(), 3 * r1.stats.total_runs());
 }

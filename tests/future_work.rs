@@ -88,7 +88,10 @@ fn bad_transfer_hints_are_caught_by_the_confirmation_run() {
     let mut hints = BTreeMap::new();
     hints.insert(
         Sysno::epoll_wait,
-        loupe::core::FeatureClass { stub_ok: true, fake_ok: true },
+        loupe::core::FeatureClass {
+            stub_ok: true,
+            fake_ok: true,
+        },
     );
     let app = registry::find("h2o").unwrap();
 
@@ -99,7 +102,10 @@ fn bad_transfer_hints_are_caught_by_the_confirmation_run() {
     })
     .analyze_with_hints(app.as_ref(), Workload::Benchmark, &hints)
     .unwrap();
-    assert!(!manual.confirmed, "confirmation must catch the poisoned hint");
+    assert!(
+        !manual.confirmed,
+        "confirmation must catch the poisoned hint"
+    );
 
     // With bisection: the poisoned hint is identified and repaired.
     let repaired = Engine::new(AnalysisConfig::fast())

@@ -17,10 +17,14 @@ fn fast_engine() -> Engine {
 fn every_detailed_app_passes_every_workload_baseline() {
     let engine = fast_engine();
     for app in registry::detailed() {
-        for workload in [Workload::HealthCheck, Workload::Benchmark, Workload::TestSuite] {
-            let report = engine.analyze(app.as_ref(), workload).unwrap_or_else(|e| {
-                panic!("{} fails its {} baseline: {e}", app.name(), workload)
-            });
+        for workload in [
+            Workload::HealthCheck,
+            Workload::Benchmark,
+            Workload::TestSuite,
+        ] {
+            let report = engine
+                .analyze(app.as_ref(), workload)
+                .unwrap_or_else(|e| panic!("{} fails its {} baseline: {e}", app.name(), workload));
             assert!(
                 !report.required().is_empty(),
                 "{} {}: something must be required",
@@ -95,7 +99,14 @@ fn fundamental_syscalls_are_required_across_the_board() {
             .analyze(app.as_ref(), Workload::Benchmark)
             .unwrap()
             .required();
-        for s in [Sysno::execve, Sysno::arch_prctl, Sysno::mmap, Sysno::socket, Sysno::bind, Sysno::listen] {
+        for s in [
+            Sysno::execve,
+            Sysno::arch_prctl,
+            Sysno::mmap,
+            Sysno::socket,
+            Sysno::bind,
+            Sysno::listen,
+        ] {
             assert!(required.contains(s), "{name}: {s} must be required");
         }
     }
@@ -121,9 +132,14 @@ fn lighttpd_tolerates_stubbed_privilege_drop_unlike_nginx() {
     // Lighttpd but must fake them for Nginx).
     let engine = fast_engine();
     let lighttpd = registry::find("lighttpd").unwrap();
-    let report = engine.analyze(lighttpd.as_ref(), Workload::Benchmark).unwrap();
+    let report = engine
+        .analyze(lighttpd.as_ref(), Workload::Benchmark)
+        .unwrap();
     for s in [Sysno::setuid, Sysno::setgid, Sysno::setgroups] {
-        assert!(report.classes[&s].stub_ok, "lighttpd warns-and-continues on {s}");
+        assert!(
+            report.classes[&s].stub_ok,
+            "lighttpd warns-and-continues on {s}"
+        );
     }
 }
 
@@ -252,7 +268,10 @@ fn strict_perf_policy_disqualifies_noisy_stubs() {
     let l = lenient.analyze(app.as_ref(), Workload::Benchmark).unwrap();
     let s = strict.analyze(app.as_ref(), Workload::Benchmark).unwrap();
     assert!(l.classes[&Sysno::write].stub_ok);
-    assert!(!s.classes[&Sysno::write].stub_ok, "perf deviation disqualifies");
+    assert!(
+        !s.classes[&Sysno::write].stub_ok,
+        "perf deviation disqualifies"
+    );
     assert!(
         s.required().len() >= l.required().len(),
         "strict can only require more"
@@ -263,8 +282,17 @@ fn strict_perf_policy_disqualifies_noisy_stubs() {
 fn os_database_covers_the_papers_eleven_targets() {
     let names: Vec<String> = os::db().into_iter().map(|o| o.name).collect();
     for expected in [
-        "unikraft", "fuchsia", "kerla", "osv", "hermitux", "gvisor", "gramine",
-        "linuxulator", "browsix", "zephyr", "nolibc",
+        "unikraft",
+        "fuchsia",
+        "kerla",
+        "osv",
+        "hermitux",
+        "gvisor",
+        "gramine",
+        "linuxulator",
+        "browsix",
+        "zephyr",
+        "nolibc",
     ] {
         assert!(names.iter().any(|n| n == expected), "{expected} missing");
     }
@@ -290,10 +318,18 @@ fn stubbing_close_leaks_fds_through_the_whole_stack() {
     let report = engine.analyze(app.as_ref(), Workload::Benchmark).unwrap();
     let close = report.impacts[&Sysno::close].fake.unwrap();
     assert!(close.success, "redis tolerates faked close");
-    assert!(close.fd_delta > 1.0, "fds must leak: {:+.2}", close.fd_delta);
+    assert!(
+        close.fd_delta > 1.0,
+        "fds must leak: {:+.2}",
+        close.fd_delta
+    );
     let futex = report.impacts[&Sysno::futex].fake.unwrap();
     assert!(!futex.success, "faked futex breaks core functioning");
-    assert!(futex.perf_delta < -0.3, "throughput collapses: {:+.2}", futex.perf_delta);
+    assert!(
+        futex.perf_delta < -0.3,
+        "throughput collapses: {:+.2}",
+        futex.perf_delta
+    );
 }
 
 #[test]
@@ -303,6 +339,14 @@ fn policy_action_for_respects_action_precedence() {
         .with_sub_feature(loupe::syscalls::SubFeature::FIONBIO.key(), Action::Fake);
     let fionbio = loupe::kernel::Invocation::new(Sysno::ioctl, [3, 0x5421, 1, 0, 0, 0]);
     let tcgets = loupe::kernel::Invocation::new(Sysno::ioctl, [1, 0x5401, 0, 0, 0, 0]);
-    assert_eq!(policy.action_for(&fionbio), Action::Fake, "sub-feature wins");
-    assert_eq!(policy.action_for(&tcgets), Action::Stub, "syscall rule applies");
+    assert_eq!(
+        policy.action_for(&fionbio),
+        Action::Fake,
+        "sub-feature wins"
+    );
+    assert_eq!(
+        policy.action_for(&tcgets),
+        Action::Stub,
+        "syscall rule applies"
+    );
 }

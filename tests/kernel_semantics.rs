@@ -52,7 +52,11 @@ fn stubbed_brk_vs_real_brk_memory_accounting() {
     // The glibc fallback mechanism: a stubbed brk never grows the heap;
     // the fallback mmap (issued by the libc model) grows RSS instead.
     let mut real = LinuxSim::new();
-    let base = real.syscall(&inv(Sysno::brk, [0; 6])).payload.as_u64().unwrap();
+    let base = real
+        .syscall(&inv(Sysno::brk, [0; 6]))
+        .payload
+        .as_u64()
+        .unwrap();
     real.syscall(&inv(Sysno::brk, [base + 64 * 1024, 0, 0, 0, 0, 0]));
     assert_eq!(real.usage().cur_rss, 64 * 1024);
 
@@ -70,14 +74,26 @@ fn epoll_lifecycle_add_del_and_readiness() {
     k.syscall(&inv(Sysno::bind, [s, 9090, 0, 0, 0, 0]));
     k.syscall(&inv(Sysno::listen, [s, 0, 0, 0, 0, 0]));
     let ep = k.syscall(&inv(Sysno::epoll_create1, [0; 6])).ret as u64;
-    assert_eq!(k.syscall(&inv(Sysno::epoll_ctl, [ep, 1, s, 0, 0, 0])).ret, 0);
+    assert_eq!(
+        k.syscall(&inv(Sysno::epoll_ctl, [ep, 1, s, 0, 0, 0])).ret,
+        0
+    );
 
     k.host_mut().connect(9090).unwrap();
-    assert_eq!(k.syscall(&inv(Sysno::epoll_wait, [ep, 0, 8, 0, 0, 0])).ret, 1);
+    assert_eq!(
+        k.syscall(&inv(Sysno::epoll_wait, [ep, 0, 8, 0, 0, 0])).ret,
+        1
+    );
 
     // EPOLL_CTL_DEL removes interest: no more events.
-    assert_eq!(k.syscall(&inv(Sysno::epoll_ctl, [ep, 2, s, 0, 0, 0])).ret, 0);
-    assert_eq!(k.syscall(&inv(Sysno::epoll_wait, [ep, 0, 8, 0, 0, 0])).ret, 0);
+    assert_eq!(
+        k.syscall(&inv(Sysno::epoll_ctl, [ep, 2, s, 0, 0, 0])).ret,
+        0
+    );
+    assert_eq!(
+        k.syscall(&inv(Sysno::epoll_wait, [ep, 0, 8, 0, 0, 0])).ret,
+        0
+    );
 
     // Adding a closed fd is EBADF.
     k.syscall(&inv(Sysno::close, [s, 0, 0, 0, 0, 0]));
@@ -121,7 +137,9 @@ fn sendfile_moves_file_bytes_to_the_client() {
     k.syscall(&inv(Sysno::listen, [s, 0, 0, 0, 0, 0]));
     let conn = k.host_mut().connect(80).unwrap();
     let cfd = k.syscall(&inv(Sysno::accept4, [s, 0, 0, 0, 0, 0])).ret as u64;
-    let f = k.syscall(&inv(Sysno::openat, [0; 6]).with_path("/content")).ret as u64;
+    let f = k
+        .syscall(&inv(Sysno::openat, [0; 6]).with_path("/content"))
+        .ret as u64;
     let sent = k.syscall(&inv(Sysno::sendfile, [cfd, f, 0, 300, 0, 0]));
     assert_eq!(sent.ret, 300);
     assert_eq!(k.host_mut().recv(conn).unwrap().len(), 300);
@@ -147,16 +165,24 @@ fn eventfd_counter_semantics() {
 #[test]
 fn timerfd_settime_validates_the_descriptor() {
     let mut k = LinuxSim::new();
-    let tfd = k.syscall(&inv(Sysno::timerfd_create, [1, 0, 0, 0, 0, 0])).ret as u64;
-    assert_eq!(k.syscall(&inv(Sysno::timerfd_settime, [tfd, 0, 0, 0, 0, 0])).ret, 0);
+    let tfd = k
+        .syscall(&inv(Sysno::timerfd_create, [1, 0, 0, 0, 0, 0]))
+        .ret as u64;
+    assert_eq!(
+        k.syscall(&inv(Sysno::timerfd_settime, [tfd, 0, 0, 0, 0, 0]))
+            .ret,
+        0
+    );
     // Arming a non-timer fd fails — the check that makes a faked
     // timerfd_create detectable (Table 1's MongoDB step).
     assert_eq!(
-        k.syscall(&inv(Sysno::timerfd_settime, [1, 0, 0, 0, 0, 0])).errno(),
+        k.syscall(&inv(Sysno::timerfd_settime, [1, 0, 0, 0, 0, 0]))
+            .errno(),
         Some(Errno::EINVAL)
     );
     assert_eq!(
-        k.syscall(&inv(Sysno::timerfd_settime, [99, 0, 0, 0, 0, 0])).errno(),
+        k.syscall(&inv(Sysno::timerfd_settime, [99, 0, 0, 0, 0, 0]))
+            .errno(),
         Some(Errno::EBADF)
     );
 }

@@ -33,7 +33,16 @@ fn plans_scale_inversely_with_os_maturity() {
     // Table 1: Unikraft needs few steps, Kerla needs many, for the same
     // target applications.
     let reqs = requirements(
-        &["nginx", "redis", "memcached", "sqlite", "lighttpd", "weborf", "webfsd", "h2o"],
+        &[
+            "nginx",
+            "redis",
+            "memcached",
+            "sqlite",
+            "lighttpd",
+            "weborf",
+            "webfsd",
+            "h2o",
+        ],
         Workload::Benchmark,
     );
     let unikraft = SupportPlan::generate(&os::find("unikraft").unwrap(), &reqs);
@@ -53,8 +62,22 @@ fn plans_scale_inversely_with_os_maturity() {
 fn loupe_beats_organic_beats_naive() {
     // Fig. 2 ordering, on a 16-app slice.
     let names: Vec<&str> = vec![
-        "nginx", "redis", "memcached", "sqlite", "haproxy", "lighttpd", "weborf", "webfsd",
-        "h2o", "httpd", "mongodb", "iperf3", "postgres", "etcd", "varnish", "dnsmasq",
+        "nginx",
+        "redis",
+        "memcached",
+        "sqlite",
+        "haproxy",
+        "lighttpd",
+        "weborf",
+        "webfsd",
+        "h2o",
+        "httpd",
+        "mongodb",
+        "iperf3",
+        "postgres",
+        "etcd",
+        "varnish",
+        "dnsmasq",
     ];
     let reqs = requirements(&names, Workload::HealthCheck);
     let half = reqs.len() / 2;
@@ -98,7 +121,11 @@ fn libc_floor_matches_table4_exactly() {
 fn syscall_usage_is_stable_across_releases() {
     // Fig. 8: old and new releases differ by only a handful of syscalls.
     let engine = Engine::new(AnalysisConfig::fast());
-    for (old, new) in [("nginx-0.3.19", "nginx"), ("redis-2.0", "redis"), ("httpd-2.2", "httpd")] {
+    for (old, new) in [
+        ("nginx-0.3.19", "nginx"),
+        ("redis-2.0", "redis"),
+        ("httpd-2.2", "httpd"),
+    ] {
         let o = engine
             .analyze(registry::find(old).unwrap().as_ref(), Workload::Benchmark)
             .unwrap();
@@ -119,7 +146,10 @@ fn table2_signature_effects_hold() {
 
     // Nginx: write stub speeds it up; rt_sigsuspend stub slows it down.
     let nginx = engine
-        .analyze(registry::find("nginx").unwrap().as_ref(), Workload::Benchmark)
+        .analyze(
+            registry::find("nginx").unwrap().as_ref(),
+            Workload::Benchmark,
+        )
         .unwrap();
     let write = nginx.impacts[&Sysno::write].stub.unwrap();
     assert!(write.success && write.perf_delta > 0.05, "{:?}", write);
@@ -130,7 +160,10 @@ fn table2_signature_effects_hold() {
 
     // iPerf3: brk stub costs memory, nothing else moves much.
     let iperf = engine
-        .analyze(registry::find("iperf3").unwrap().as_ref(), Workload::Benchmark)
+        .analyze(
+            registry::find("iperf3").unwrap().as_ref(),
+            Workload::Benchmark,
+        )
         .unwrap();
     let brk = iperf.impacts[&Sysno::brk].stub.unwrap();
     assert!(brk.success && brk.rss_delta > 0.03, "{:?}", brk);

@@ -1,0 +1,76 @@
+//! Minimal stand-in for the `libc` crate: exactly the x86-64 Linux FFI
+//! surface the `loupe-trace` ptrace backend and the CLI's SIGPIPE reset
+//! use. Types and constants match the kernel/glibc ABI.
+
+#![cfg(target_os = "linux")]
+#![allow(non_camel_case_types)]
+#![allow(clippy::missing_safety_doc)]
+
+pub type c_char = i8;
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type pid_t = i32;
+pub type sighandler_t = usize;
+
+/// Default signal disposition.
+pub const SIG_DFL: sighandler_t = 0;
+/// Broken-pipe signal number.
+pub const SIGPIPE: c_int = 13;
+/// Trace/breakpoint trap signal number.
+pub const SIGTRAP: c_int = 5;
+
+/// `open(2)` write-only flag.
+pub const O_WRONLY: c_int = 1;
+
+pub const PTRACE_TRACEME: c_int = 0;
+pub const PTRACE_PEEKDATA: c_int = 2;
+pub const PTRACE_PEEKUSER: c_int = 3;
+pub const PTRACE_POKEUSER: c_int = 6;
+pub const PTRACE_SYSCALL: c_int = 24;
+pub const PTRACE_SETOPTIONS: c_int = 0x4200;
+pub const PTRACE_O_TRACESYSGOOD: c_int = 1;
+
+extern "C" {
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+    pub fn fork() -> pid_t;
+    pub fn open(path: *const c_char, oflag: c_int, ...) -> c_int;
+    pub fn dup2(src: c_int, dst: c_int) -> c_int;
+    pub fn execvp(file: *const c_char, argv: *const *const c_char) -> c_int;
+    pub fn _exit(status: c_int) -> !;
+    pub fn waitpid(pid: pid_t, status: *mut c_int, options: c_int) -> pid_t;
+    pub fn ptrace(request: c_int, ...) -> c_long;
+}
+
+/// Did the child exit normally?
+#[allow(non_snake_case)]
+pub fn WIFEXITED(status: c_int) -> bool {
+    status & 0x7f == 0
+}
+
+/// Exit code of a normally exited child.
+#[allow(non_snake_case)]
+pub fn WEXITSTATUS(status: c_int) -> c_int {
+    (status >> 8) & 0xff
+}
+
+/// Was the child terminated by a signal?
+#[allow(non_snake_case)]
+pub fn WIFSIGNALED(status: c_int) -> bool {
+    // The signed-char cast matters: a stopped status (low byte 0x7f)
+    // wraps to -128 and must not read as signaled.
+    (((status & 0x7f) + 1) as i8) >> 1 > 0
+}
+
+/// Is the child stopped?
+#[allow(non_snake_case)]
+pub fn WIFSTOPPED(status: c_int) -> bool {
+    status & 0xff == 0x7f
+}
+
+/// Stop signal of a stopped child.
+#[allow(non_snake_case)]
+pub fn WSTOPSIG(status: c_int) -> c_int {
+    WEXITSTATUS(status)
+}

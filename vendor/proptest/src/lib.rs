@@ -1,0 +1,250 @@
+//! Minimal stand-in for the `proptest` crate.
+//!
+//! Provides deterministic random sampling (no shrinking): every
+//! `proptest!` test runs [`CASES`] cases with an RNG seeded from the test
+//! name, so failures reproduce exactly across runs and machines.
+//!
+//! Supported strategy surface (what the workspace's property tests use):
+//! integer ranges, `prop_map`, `collection::vec`, `array::uniform6`,
+//! `bool::ANY`, and string literals restricted to the `[class]{min,max}`
+//! regex form.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+
+/// Cases per property (a compromise between coverage and suite runtime).
+pub const CASES: u32 = 64;
+
+/// The per-test RNG.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates an RNG whose seed is derived from `name` (FNV-1a), so each
+    /// property gets a distinct but reproducible stream.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A source of sampled values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String strategies: a `&'static str` literal is interpreted as a regex
+/// of the restricted `[class]{min,max}` form (all the tests use).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_class_pattern(self).unwrap_or_else(|| {
+            panic!("unsupported string pattern `{self}` (expected `[class]{{min,max}}`)")
+        });
+        let len = min + (rng.next_u64() as usize) % (max - min + 1);
+        (0..len)
+            .map(|_| chars[(rng.next_u64() as usize) % chars.len()])
+            .collect()
+    }
+}
+
+/// Parses `[a-z_0]{1,8}` into (alphabet, min, max).
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let rest = rest.strip_prefix('{')?;
+    let counts = rest.strip_suffix('}')?;
+    let (min, max) = match counts.split_once(',') {
+        Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+        None => {
+            let n = counts.parse().ok()?;
+            (n, n)
+        }
+    };
+    let mut chars = Vec::new();
+    let class: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            for c in lo..=hi {
+                chars.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() || min > max {
+        return None;
+    }
+    Some((chars, min, max))
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec`s with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Samples vectors of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `[T; 6]`.
+    pub struct Uniform6<S>(S);
+
+    /// Samples 6-element arrays of `element` values.
+    pub fn uniform6<S: Strategy>(element: S) -> Uniform6<S> {
+        Uniform6(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform6<S> {
+        type Value = [S::Value; 6];
+
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; 6] {
+            std::array::from_fn(|_| self.0.sample(rng))
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// The uniform boolean strategy.
+    pub struct AnyBool;
+
+    /// Uniformly random booleans.
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs [`CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+                for _ in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    // The case body runs in a closure so `prop_assume!`
+                    // can skip to the next case with `return`.
+                    let __run = || { $body };
+                    __run();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts within a property (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Skips the current case when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+}

@@ -1,0 +1,440 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` macros for the vendored
+//! `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the build
+//! environment has no `syn`/`quote`), covering exactly the shapes the
+//! workspace uses:
+//!
+//! * structs with named fields (honouring `#[serde(default)]` per field);
+//! * tuple structs — one field serializes as the inner value (real
+//!   serde's newtype semantics, which also makes `#[serde(transparent)]`
+//!   a no-op here), more fields as a sequence;
+//! * unit structs;
+//! * enums with unit variants (serialized as the variant-name string),
+//!   and tuple variants (externally tagged: `{"Variant": payload}`).
+//!
+//! Generics, struct variants and renaming attributes are not supported
+//! and fail with a compile error naming the construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct FieldDef {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct VariantDef {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum InputKind {
+    NamedStruct(Vec<FieldDef>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<VariantDef>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    kind: InputKind,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Consumes leading attributes from `toks[*i..]`, returning the rendered
+/// contents of every `#[serde(...)]` attribute seen (e.g. `"default"`).
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut serde_attrs = Vec::new();
+    while *i + 1 < toks.len() {
+        match (&toks[*i], &toks[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            serde_attrs.push(args.stream().to_string());
+                        }
+                    }
+                }
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+    serde_attrs
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Counts top-level comma-separated items in a token sequence, treating
+/// `<...>` angle sections as nested (token trees do not group them).
+fn count_top_level_items(toks: &[TokenTree]) -> usize {
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut items = 1;
+    let mut saw_tokens_in_item = false;
+    for t in toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    items += 1;
+                    saw_tokens_in_item = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_in_item = true;
+    }
+    if !saw_tokens_in_item {
+        items -= 1; // trailing comma
+    }
+    items
+}
+
+/// Parses the fields of a named-field struct body.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<FieldDef>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let attrs = skip_attrs(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        skip_vis(body, &mut i);
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        // Skip the type: everything up to a top-level comma.
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(FieldDef {
+            default: attrs.iter().any(|a| a.contains("default")),
+            name,
+        });
+    }
+    Ok(fields)
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(body: &[TokenTree]) -> Result<Vec<VariantDef>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let _attrs = skip_attrs(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let kind = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Tuple(count_top_level_items(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!("struct variant `{name}` is not supported"));
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(VariantDef { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let _attrs = skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let keyword = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` is not supported"));
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                InputKind::NamedStruct(parse_named_fields(&body)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                InputKind::TupleStruct(count_top_level_items(&body))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => InputKind::UnitStruct,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                InputKind::Enum(parse_variants(&body)?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Input { name, kind })
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &input.name;
+    let body = match &input.kind {
+        InputKind::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.push((::serde::Value::Str(String::from({n:?})), \
+                         ::serde::Serialize::to_value(&self.{n})));\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let mut map: Vec<(::serde::Value, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Map(map)"
+            )
+        }
+        InputKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        InputKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        InputKind::UnitStruct => "::serde::Value::Null".to_owned(),
+        InputKind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(String::from({v:?})),\n",
+                        v = v.name
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{name}::{v}(x0) => ::serde::Value::Map(vec![(\
+                         ::serde::Value::Str(String::from({v:?})), \
+                         ::serde::Serialize::to_value(x0))]),\n",
+                        v = v.name
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Map(vec![(\
+                             ::serde::Value::Str(String::from({v:?})), \
+                             ::serde::Value::Seq(vec![{items}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &input.name;
+    let body = match &input.kind {
+        InputKind::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    if f.default {
+                        format!(
+                            "{n}: match ::serde::get_field(map, {n:?}) {{\n\
+                             Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                             None => Default::default(),\n}},\n",
+                            n = f.name
+                        )
+                    } else {
+                        format!(
+                            "{n}: ::serde::Deserialize::from_value(\
+                             ::serde::get_field(map, {n:?}).ok_or_else(|| \
+                             ::serde::Error::custom(concat!(\"missing field `\", {n:?}, \"` in {name}\")))?\
+                             )?,\n",
+                            n = f.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "let map = v.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(concat!(\"expected map for {name}\")))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        InputKind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        InputKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = v.as_seq().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected sequence for {name}\"))?;\n\
+                 if seq.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        InputKind::UnitStruct => format!("Ok({name})"),
+        InputKind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{v:?} => return Ok({name}::{v}),\n", v = v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| match &v.kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Tuple(1) => Some(format!(
+                        "{v:?} => return Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{\n\
+                             let seq = payload.as_seq().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected sequence payload\"))?;\n\
+                             if seq.len() != {n} {{ return Err(::serde::Error::custom(\"wrong variant arity\")); }}\n\
+                             return Ok({name}::{v}({items}));\n}}\n",
+                            v = v.name,
+                            items = items.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => {{\n\
+                 match s.as_str() {{\n{unit_arms}\
+                 _ => {{}}\n}}\n\
+                 Err(::serde::Error::custom(format!(\"unknown {name} variant `{{s}}`\")))\n\
+                 }}\n\
+                 ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (tag, payload) = &m[0];\n\
+                 let tag = tag.as_str().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected string variant tag\"))?;\n\
+                 match tag {{\n{data_arms}\
+                 _ => {{}}\n}}\n\
+                 Err(::serde::Error::custom(format!(\"unknown {name} variant `{{tag}}`\")))\n\
+                 }}\n\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"expected {name} variant, got {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<{name}, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
