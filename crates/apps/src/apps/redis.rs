@@ -216,7 +216,7 @@ impl AppModel for Redis {
             if i % 4 == 3 && !locked_section(env, &mut libc, lock_addr, true) {
                 corruption += 1;
                 env.charge(2200); // detect + repair the inconsistent entry
-                if corruption % 8 == 0 {
+                if corruption.is_multiple_of(8) {
                     // Inconsistent client bookkeeping re-registers an fd.
                     let _ = env.sys_path(Sysno::openat, [0; 6], "/dev/null");
                 }

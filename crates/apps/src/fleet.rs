@@ -498,7 +498,7 @@ impl AppModel for ProfileApp {
                 let threads = self.threads;
                 serve_requests(env, &cfg, n, |env, i, _| {
                     for (k, call) in loop_calls.iter().enumerate() {
-                        if i as usize % (3 + k) == 0 {
+                        if (i as usize).is_multiple_of(3 + k) {
                             self.issue(env, call)?;
                         }
                     }
@@ -520,7 +520,7 @@ impl AppModel for ProfileApp {
                     let r = env.sys(Sysno::read, [fd, 0, 4096, 0, 0, 0]);
                     env.charge(self.work_per_request);
                     for (k, call) in loop_calls.iter().enumerate() {
-                        if i as usize % (3 + k) == 0 {
+                        if (i as usize).is_multiple_of(3 + k) {
                             self.issue(env, call)?;
                         }
                     }

@@ -90,11 +90,94 @@ fn bench_full_analysis(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_probe_scheduler(c: &mut Criterion) {
+    // The ISSUE-2 tentpole: serial vs parallel vs hinted analysis of the
+    // same (app, workload). Parallel fans the per-feature stub/fake
+    // probes out on the bounded worker pool; hinted skips the probes the
+    // teacher fleet already agrees on (§6). All three produce identical
+    // classes — the determinism tests prove it — so the delta is pure
+    // scheduling.
+    let app = registry::find("redis").unwrap();
+    let teachers: Vec<_> = ["nginx", "lighttpd", "weborf"]
+        .iter()
+        .map(|n| {
+            let t = registry::find(n).unwrap();
+            Engine::new(AnalysisConfig::fast())
+                .analyze(t.as_ref(), Workload::Benchmark)
+                .unwrap()
+        })
+        .collect();
+    let mut hints = loupe_core::transfer_hints(&teachers, 3);
+    hints.retain(|_, class| class.is_avoidable());
+
+    let mut group = c.benchmark_group("probe-scheduler");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        let engine = Engine::new(AnalysisConfig {
+            jobs: 1,
+            ..AnalysisConfig::fast()
+        });
+        b.iter(|| {
+            black_box(
+                engine
+                    .analyze(app.as_ref(), Workload::Benchmark)
+                    .unwrap()
+                    .stats
+                    .total_runs(),
+            )
+        });
+    });
+    group.bench_function("parallel-auto", |b| {
+        let engine = Engine::new(AnalysisConfig {
+            jobs: 0,
+            ..AnalysisConfig::fast()
+        });
+        b.iter(|| {
+            black_box(
+                engine
+                    .analyze(app.as_ref(), Workload::Benchmark)
+                    .unwrap()
+                    .stats
+                    .total_runs(),
+            )
+        });
+    });
+    group.bench_function("hinted", |b| {
+        let engine = Engine::new(AnalysisConfig::fast());
+        b.iter(|| {
+            black_box(
+                engine
+                    .analyze_with_hints(app.as_ref(), Workload::Benchmark, &hints)
+                    .unwrap()
+                    .stats
+                    .total_runs(),
+            )
+        });
+    });
+    group.bench_function("parallel-hinted", |b| {
+        let engine = Engine::new(AnalysisConfig {
+            jobs: 0,
+            ..AnalysisConfig::fast()
+        });
+        b.iter(|| {
+            black_box(
+                engine
+                    .analyze_with_hints(app.as_ref(), Workload::Benchmark, &hints)
+                    .unwrap()
+                    .stats
+                    .total_runs(),
+            )
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_kernel_dispatch,
     bench_interposition,
     bench_single_run,
-    bench_full_analysis
+    bench_full_analysis,
+    bench_probe_scheduler
 );
 criterion_main!(benches);

@@ -20,7 +20,7 @@ use loupe_apps::{registry, Workload};
 use loupe_core::{AnalysisConfig, Engine};
 use loupe_db::Database;
 use loupe_plan::{api_importance, os, AppRequirement, SupportPlan};
-use loupe_sweep::{report, Sweep, SweepConfig};
+use loupe_sweep::{report, Sweep, SweepConfig, TransferConfig};
 
 fn main() -> ExitCode {
     // Behave like a Unix tool when piped into head/grep: die on SIGPIPE
@@ -67,6 +67,7 @@ commands:
   analyze <app>                measure an application's OS-feature needs
       --workload health|bench|suite   (default: bench)
       --replicas N                    (default: 1)
+      --jobs N                        probe-scheduler workers (default: 1; 0 = auto)
       --sub-features                  classify vectored-syscall features too
       --json                          print the full report as JSON
       --db DIR                        store the report in a database
@@ -76,6 +77,10 @@ commands:
       --apps a,b,c                    restrict to named apps (default: full dataset)
       --shard I/N                     analyze dataset shard I of N
       --workers N                     worker threads (default: min(cpus, 16))
+      --jobs N                        per-app probe-scheduler workers (default: 1)
+      --transfer                      two-pass §6 hint transfer (seed, then hinted rest)
+      --min-agreement K               seed reports that must agree to hint (default: 3)
+      --transfer-seed N               apps measured in full as the seed (default: 8)
       --force                         re-measure cached entries (conservative merge)
   report                       render a sweep db as Markdown documentation
       --db DIR                        database directory (default: target/loupedb)
@@ -110,7 +115,7 @@ fn parse_workload(args: &[String], default: Workload) -> Result<Workload, String
 }
 
 fn cmd_list() -> Result<(), String> {
-    println!("{:<28} {:<10} {:>6}  {}", "NAME", "KIND", "YEAR", "LIBC");
+    println!("{:<28} {:<10} {:>6}  LIBC", "NAME", "KIND", "YEAR");
     for app in registry::dataset() {
         let spec = app.spec();
         println!(
@@ -140,8 +145,13 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(1);
     let sub = args.iter().any(|a| a == "--sub-features");
+    let jobs = flag_value(args, "--jobs")
+        .map(|v| v.parse::<usize>().map_err(|_| "bad --jobs".to_owned()))
+        .transpose()?
+        .unwrap_or(1);
     let cfg = AnalysisConfig {
         replicas,
+        jobs,
         explore_sub_features: sub,
         explore_pseudo_files: sub,
         ..AnalysisConfig::fast()
@@ -218,7 +228,23 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse::<usize>().map_err(|_| "bad --workers".to_owned()))
         .transpose()?
         .unwrap_or(0);
+    let jobs = flag_value(args, "--jobs")
+        .map(|v| v.parse::<usize>().map_err(|_| "bad --jobs".to_owned()))
+        .transpose()?
+        .unwrap_or(1);
     let force = args.iter().any(|a| a == "--force");
+    let transfer = if args.iter().any(|a| a == "--transfer") {
+        let mut t = TransferConfig::default();
+        if let Some(k) = flag_value(args, "--min-agreement") {
+            t.min_agreement = k.parse().map_err(|_| "bad --min-agreement".to_owned())?;
+        }
+        if let Some(n) = flag_value(args, "--transfer-seed") {
+            t.seed = n.parse().map_err(|_| "bad --transfer-seed".to_owned())?;
+        }
+        Some(t)
+    } else {
+        None
+    };
 
     let apps: Vec<_> = match (flag_value(args, "--apps"), flag_value(args, "--shard")) {
         (Some(_), Some(_)) => return Err("sweep: --apps and --shard are exclusive".into()),
@@ -243,7 +269,11 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         workloads: workloads.clone(),
         workers,
         force,
-        ..SweepConfig::default()
+        transfer,
+        analysis: loupe_core::AnalysisConfig {
+            jobs,
+            ..loupe_core::AnalysisConfig::fast()
+        },
     });
     let summary = sweep.run(&db, apps).map_err(|e| e.to_string())?;
     let entries = summary.analyzed + summary.cached + summary.failures.len();
@@ -258,6 +288,19 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         summary.failures.len(),
         db_dir
     );
+    println!(
+        "engine runs: {} total ({} framing, {} feature, {} bisect)",
+        summary.runs.total_runs(),
+        summary.runs.framing_runs,
+        summary.runs.feature_runs,
+        summary.runs.bisect_runs
+    );
+    if transfer.is_some() {
+        println!(
+            "transfer: {} feature measurements skipped, {} runs saved",
+            summary.runs.transfer_skips, summary.runs.saved_runs
+        );
+    }
     for f in &summary.failures {
         eprintln!("  failed: {} ({}): {}", f.app, f.workload, f.error);
     }

@@ -1,12 +1,15 @@
-//! The analysis engine: discovery → per-feature stub/fake runs →
-//! confirmation, replicated and conservatively merged (§3.1).
+//! The analysis engine: discovery → per-feature stub/fake probes on a
+//! deterministic scheduler → confirmation, replicated and conservatively
+//! merged (§3.1).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use loupe_apps::model::AppOutcome;
 use loupe_apps::{AppModel, Env, Exit, Workload};
 use loupe_kernel::{Kernel, LinuxSim, ResourceUsage};
-use loupe_syscalls::Sysno;
+use loupe_syscalls::{SubFeatureKey, Sysno};
 use serde::{Deserialize, Serialize};
 
 use crate::anomaly::LogProfile;
@@ -37,6 +40,13 @@ pub struct AnalysisConfig {
     pub replicas: u32,
     /// Run replicas on worker threads.
     pub parallel: bool,
+    /// Probe-scheduler workers for the per-feature stub/fake runs — the
+    /// dominant cost term of §3.3's run-count formula. `1` (the default)
+    /// probes serially; `0` picks `min(available_parallelism, 16)`.
+    /// Results are merged in feature order, so every worker count
+    /// produces byte-identical reports.
+    #[serde(default)]
+    pub jobs: usize,
     /// Relative margin below which metric changes are noise (Table 2: 3%).
     pub perf_epsilon: f64,
     /// Classification policy for perf deviations.
@@ -62,6 +72,7 @@ impl Default for AnalysisConfig {
         AnalysisConfig {
             replicas: 3,
             parallel: false,
+            jobs: 1,
             perf_epsilon: 0.03,
             perf_policy: PerfPolicy::Lenient,
             explore_sub_features: true,
@@ -99,6 +110,10 @@ pub struct RunStats {
     /// Features whose stub/fake runs were skipped thanks to transferred
     /// knowledge from other applications (§6 future work).
     pub transfer_skips: u64,
+    /// Application executions *not* performed thanks to those skips
+    /// (`2 × replicas` per transferred feature).
+    #[serde(default)]
+    pub saved_runs: u64,
     /// Extra runs spent bisecting confirmation-run conflicts.
     pub bisect_runs: u64,
     /// Replicas per measurement.
@@ -108,13 +123,24 @@ pub struct RunStats {
 impl RunStats {
     /// Total application executions performed.
     pub fn total_runs(&self) -> u64 {
-        self.framing_runs + self.feature_runs
+        self.framing_runs + self.feature_runs + self.bisect_runs
     }
 
     /// Checks the §3.3 structure: `(2 + 2·s) · r` runs.
     pub fn matches_formula(&self) -> bool {
         let r = u64::from(self.replicas);
         self.framing_runs == 2 * r && self.feature_runs == 2 * self.features_tested * r
+    }
+
+    /// Accumulates another analysis' accounting (fleet-sweep rollups).
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.framing_runs += other.framing_runs;
+        self.feature_runs += other.feature_runs;
+        self.features_tested += other.features_tested;
+        self.transfer_skips += other.transfer_skips;
+        self.saved_runs += other.saved_runs;
+        self.bisect_runs += other.bisect_runs;
+        self.replicas = self.replicas.max(other.replicas);
     }
 }
 
@@ -150,6 +176,62 @@ struct RunResult {
     trace: Trace,
     usage: ResourceUsage,
     console: Vec<String>,
+}
+
+/// One feature the probe scheduler measures: a syscall, a sub-feature of
+/// a vectored syscall (§5.4), or a pseudo-file path (§3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ProbeTarget {
+    Syscall(Sysno),
+    SubFeature(SubFeatureKey),
+    PseudoFile(String),
+}
+
+impl ProbeTarget {
+    /// The single-feature interposition policy for this target.
+    fn policy(&self, mode: Action) -> Policy {
+        match self {
+            ProbeTarget::Syscall(s) => Policy::allow_all().with_syscall(*s, mode),
+            ProbeTarget::SubFeature(k) => Policy::allow_all().with_sub_feature(*k, mode),
+            ProbeTarget::PseudoFile(p) => Policy::allow_all().with_pseudo_file(p.clone(), mode),
+        }
+    }
+}
+
+/// One scheduled probe: a `(target, stub-or-fake)` measurement. Jobs are
+/// enumerated up front in feature order, so the result vector — indexed
+/// by job — yields the same merge regardless of execution schedule.
+#[derive(Debug, Clone)]
+struct ProbeJob {
+    target: usize,
+    mode: Action,
+    policy: Policy,
+}
+
+/// Enumerates the probe jobs for `targets`: one stub job then one fake
+/// job per target, in target order — the pairing both merge loops rely
+/// on (`outcomes[2i]` is target `i`'s stub, `outcomes[2i + 1]` its fake).
+fn probe_jobs(targets: &[ProbeTarget]) -> Vec<ProbeJob> {
+    targets
+        .iter()
+        .enumerate()
+        .flat_map(|(i, t)| {
+            [Action::Stub, Action::Fake]
+                .into_iter()
+                .map(move |mode| ProbeJob {
+                    target: i,
+                    mode,
+                    policy: t.policy(mode),
+                })
+        })
+        .collect()
+}
+
+/// Outcome of one probe job: final verdict plus impact annotations.
+#[derive(Debug, Clone, Copy)]
+struct ProbeOutcome {
+    ok: bool,
+    impact: Impact,
 }
 
 /// The Loupe analysis engine.
@@ -242,12 +324,6 @@ impl Engine {
                 .map(|r| f64::from(r.usage.peak_fds))
                 .collect::<Vec<_>>(),
         );
-        let impact = Impact {
-            success: all_pass,
-            perf_delta: stats::rel_delta(baseline.perf_mean, perf),
-            rss_delta: stats::rel_delta(baseline.rss_mean, rss),
-            fd_delta: stats::rel_delta(baseline.fd_mean, fds),
-        };
         let mut ok = all_pass;
         if ok && self.cfg.perf_policy == PerfPolicy::Strict {
             ok = !stats::significant_deviation(&baseline.perfs, perf, self.cfg.perf_epsilon);
@@ -262,7 +338,69 @@ impl Engine {
                     .is_empty()
             });
         }
+        // The stored impact carries the *final* verdict: a strict-policy
+        // perf deviation or a log anomaly disqualifies the run even when
+        // the raw test script passed (kept separately in `tests_passed`).
+        let impact = Impact {
+            success: ok,
+            tests_passed: Some(all_pass),
+            perf_delta: stats::rel_delta(baseline.perf_mean, perf),
+            rss_delta: stats::rel_delta(baseline.rss_mean, rss),
+            fd_delta: stats::rel_delta(baseline.fd_mean, fds),
+        };
         (ok, impact)
+    }
+
+    /// Executes probe jobs on a bounded worker pool (`cfg.jobs` threads;
+    /// `0` = auto, `1` = serial). Each job is an independent replicated
+    /// measurement against the shared baseline; results land in the slot
+    /// of their job index, so the caller's merge order never depends on
+    /// the schedule.
+    fn run_probes(
+        &self,
+        app: &dyn AppModel,
+        workload: Workload,
+        baseline: &Baseline,
+        jobs: &[ProbeJob],
+    ) -> Vec<ProbeOutcome> {
+        let probe = |job: &ProbeJob| {
+            let runs = self.run_replicas(app, workload, &job.policy);
+            let (ok, impact) = self.judge(&runs, workload, baseline);
+            ProbeOutcome { ok, impact }
+        };
+        let auto = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16);
+        let workers = match self.cfg.jobs {
+            0 => auto,
+            n => n,
+        }
+        .min(jobs.len());
+        if workers <= 1 {
+            return jobs.iter().map(probe).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<ProbeOutcome>>> =
+            Mutex::new((0..jobs.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else {
+                        break;
+                    };
+                    let outcome = probe(job);
+                    slots.lock().expect("probe slots poisoned")[i] = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("probe slots poisoned")
+            .into_iter()
+            .map(|o| o.expect("every probe ran"))
+            .collect()
     }
 
     /// Runs the full Loupe analysis for one application and workload.
@@ -323,87 +461,97 @@ impl Engine {
             feature_runs: 0,
             features_tested: 0,
             transfer_skips: 0,
+            saved_runs: 0,
             bisect_runs: 0,
             replicas: self.cfg.replicas,
         };
 
-        // ---- 2. per-feature stub/fake runs --------------------------------
+        // ---- 2. probe scheduling --------------------------------------------
+        // Enumerate every probe up front, in feature order: traced
+        // syscalls (2/), sub-feature keys (2b/§5.4), pseudo-file paths
+        // (2c/§3.3) — each as a stub job and a fake job. Execution order
+        // is then free (the worker pool races through the queue) while
+        // the merge below walks targets in enumeration order, so serial
+        // and parallel schedules produce byte-identical reports.
         let mut classes: BTreeMap<Sysno, FeatureClass> = BTreeMap::new();
-        let mut impacts: BTreeMap<Sysno, ImpactRecord> = BTreeMap::new();
+        let mut hinted: std::collections::BTreeSet<Sysno> = std::collections::BTreeSet::new();
+        let mut targets: Vec<ProbeTarget> = Vec::new();
         for &sysno in traced.keys() {
             if let Some(&hint) = hints.get(&sysno) {
                 classes.insert(sysno, hint);
+                hinted.insert(sysno);
                 stats_acc.transfer_skips += 1;
+                stats_acc.saved_runs += 2 * u64::from(self.cfg.replicas);
                 continue;
             }
-            let stub_runs = self.run_replicas(
-                app,
-                workload,
-                &Policy::allow_all().with_syscall(sysno, Action::Stub),
+            targets.push(ProbeTarget::Syscall(sysno));
+        }
+        if self.cfg.explore_sub_features {
+            // Conservative union of sub-feature keys across replicas,
+            // first-seen order.
+            let mut keys: Vec<SubFeatureKey> = Vec::new();
+            for run in &base_runs {
+                for (k, _) in &run.trace.sub_features {
+                    if !keys.contains(k) {
+                        keys.push(*k);
+                    }
+                }
+            }
+            targets.extend(keys.into_iter().map(ProbeTarget::SubFeature));
+        }
+        if self.cfg.explore_pseudo_files {
+            let mut paths: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+            for run in &base_runs {
+                paths.extend(run.trace.pseudo_files.keys().cloned());
+            }
+            targets.extend(paths.into_iter().map(ProbeTarget::PseudoFile));
+        }
+        let jobs = probe_jobs(&targets);
+        let outcomes = self.run_probes(app, workload, &baseline, &jobs);
+
+        // Deterministic merge: jobs carry their target index, and stub
+        // precedes fake for every target, so pairing them back up is a
+        // straight walk over the enumeration.
+        let mut impacts: BTreeMap<Sysno, ImpactRecord> = BTreeMap::new();
+        let mut sub_features = Vec::new();
+        let mut pseudo_files = BTreeMap::new();
+        let mut merged: Vec<(Option<ProbeOutcome>, Option<ProbeOutcome>)> =
+            vec![(None, None); targets.len()];
+        for (job, outcome) in jobs.iter().zip(&outcomes) {
+            let slot = &mut merged[job.target];
+            match job.mode {
+                Action::Stub => slot.0 = Some(*outcome),
+                Action::Fake => slot.1 = Some(*outcome),
+                Action::Allow => unreachable!("probe jobs never allow"),
+            }
+        }
+        for (target, (stub, fake)) in targets.iter().zip(merged) {
+            let (stub, fake) = (
+                stub.expect("stub probe scheduled"),
+                fake.expect("fake probe scheduled"),
             );
-            let (stub_ok, stub_impact) = self.judge(&stub_runs, workload, &baseline);
-            let fake_runs = self.run_replicas(
-                app,
-                workload,
-                &Policy::allow_all().with_syscall(sysno, Action::Fake),
-            );
-            let (fake_ok, fake_impact) = self.judge(&fake_runs, workload, &baseline);
-            classes.insert(sysno, FeatureClass { stub_ok, fake_ok });
-            impacts.insert(
-                sysno,
-                ImpactRecord {
-                    stub: Some(stub_impact),
-                    fake: Some(fake_impact),
-                },
-            );
+            let class = FeatureClass {
+                stub_ok: stub.ok,
+                fake_ok: fake.ok,
+            };
+            match target {
+                ProbeTarget::Syscall(sysno) => {
+                    classes.insert(*sysno, class);
+                    impacts.insert(
+                        *sysno,
+                        ImpactRecord {
+                            stub: Some(stub.impact),
+                            fake: Some(fake.impact),
+                        },
+                    );
+                }
+                ProbeTarget::SubFeature(key) => sub_features.push((*key, class)),
+                ProbeTarget::PseudoFile(path) => {
+                    pseudo_files.insert(path.clone(), class);
+                }
+            }
             stats_acc.features_tested += 1;
             stats_acc.feature_runs += 2 * u64::from(self.cfg.replicas);
-        }
-
-        // ---- 2b. sub-features (§5.4) ----------------------------------------
-        let mut sub_features = Vec::new();
-        if self.cfg.explore_sub_features {
-            let keys: Vec<_> = first.trace.sub_features.iter().map(|(k, _)| *k).collect();
-            for key in keys {
-                let stub_runs = self.run_replicas(
-                    app,
-                    workload,
-                    &Policy::allow_all().with_sub_feature(key, Action::Stub),
-                );
-                let (stub_ok, _) = self.judge(&stub_runs, workload, &baseline);
-                let fake_runs = self.run_replicas(
-                    app,
-                    workload,
-                    &Policy::allow_all().with_sub_feature(key, Action::Fake),
-                );
-                let (fake_ok, _) = self.judge(&fake_runs, workload, &baseline);
-                sub_features.push((key, FeatureClass { stub_ok, fake_ok }));
-                stats_acc.features_tested += 1;
-                stats_acc.feature_runs += 2 * u64::from(self.cfg.replicas);
-            }
-        }
-
-        // ---- 2c. pseudo-files (§3.3) ----------------------------------------
-        let mut pseudo_files = BTreeMap::new();
-        if self.cfg.explore_pseudo_files {
-            let paths: Vec<String> = first.trace.pseudo_files.keys().cloned().collect();
-            for path in paths {
-                let stub_runs = self.run_replicas(
-                    app,
-                    workload,
-                    &Policy::allow_all().with_pseudo_file(path.clone(), Action::Stub),
-                );
-                let (stub_ok, _) = self.judge(&stub_runs, workload, &baseline);
-                let fake_runs = self.run_replicas(
-                    app,
-                    workload,
-                    &Policy::allow_all().with_pseudo_file(path.clone(), Action::Fake),
-                );
-                let (fake_ok, _) = self.judge(&fake_runs, workload, &baseline);
-                pseudo_files.insert(path, FeatureClass { stub_ok, fake_ok });
-                stats_acc.features_tested += 1;
-                stats_acc.feature_runs += 2 * u64::from(self.cfg.replicas);
-            }
         }
 
         // ---- 3. confirmation run ---------------------------------------------
@@ -419,43 +567,131 @@ impl Engine {
         let (mut confirmed, _) = self.judge(&confirm_runs, workload, &baseline);
         stats_acc.framing_runs += u64::from(self.cfg.replicas);
 
-        // ---- 3b. conflict bisection -----------------------------------------
+        // ---- 3a. fake-side hint validation ------------------------------------
+        // The combined policy prefers Stub for dual-avoidable classes,
+        // so a transferred `{stub_ok, fake_ok}` hint only had its stub
+        // claim exercised above. One extra run with those features faked
+        // instead validates the fake claim too; a failure is treated
+        // exactly like a failing confirmation (hint fallback below).
+        // With this, every *positive* (avoidable) claim of every
+        // transferred hint is exercised end to end; only a hinted
+        // negative (a "not stubbable/fakeable" bit) is taken on the
+        // seed's word — it errs toward requiring more, and the sweep's
+        // fleet-equality test checks it empirically.
+        let dual_hinted: Vec<Sysno> = hinted
+            .iter()
+            .filter(|s| classes[s].stub_ok && classes[s].fake_ok)
+            .copied()
+            .collect();
+        if confirmed && !dual_hinted.is_empty() {
+            let mut fake_side = combined.clone();
+            for &s in &dual_hinted {
+                fake_side.set_syscall(s, Action::Fake);
+            }
+            let runs = self.run_replicas(app, workload, &fake_side);
+            stats_acc.bisect_runs += u64::from(self.cfg.replicas);
+            let (ok, _) = self.judge(&runs, workload, &baseline);
+            confirmed = ok;
+        }
+
+        // ---- 3b. hint fallback ----------------------------------------------
+        // A failing confirmation (either side) under transferred hints
+        // means at least one hint does not hold for this application (or
+        // its action choice interacts differently here). Revoke *all*
+        // hints and measure the skipped features for real — from there
+        // the analysis proceeds exactly as a full measurement would, so
+        // a wrong hint costs runs instead of changing results.
+        if !confirmed && !hinted.is_empty() && self.cfg.auto_bisect_conflicts {
+            let fallback: Vec<ProbeTarget> =
+                hinted.iter().map(|&s| ProbeTarget::Syscall(s)).collect();
+            let outcomes = self.run_probes(app, workload, &baseline, &probe_jobs(&fallback));
+            for (i, &sysno) in hinted.iter().enumerate() {
+                let (stub, fake) = (outcomes[2 * i], outcomes[2 * i + 1]);
+                classes.insert(
+                    sysno,
+                    FeatureClass {
+                        stub_ok: stub.ok,
+                        fake_ok: fake.ok,
+                    },
+                );
+                impacts.insert(
+                    sysno,
+                    ImpactRecord {
+                        stub: Some(stub.impact),
+                        fake: Some(fake.impact),
+                    },
+                );
+                stats_acc.features_tested += 1;
+                stats_acc.feature_runs += 2 * u64::from(self.cfg.replicas);
+            }
+            stats_acc.transfer_skips = 0;
+            stats_acc.saved_runs = 0;
+            combined = Policy::allow_all();
+            for (&sysno, class) in &classes {
+                if class.stub_ok {
+                    combined.set_syscall(sysno, Action::Stub);
+                } else if class.fake_ok {
+                    combined.set_syscall(sysno, Action::Fake);
+                }
+            }
+            let runs = self.run_replicas(app, workload, &combined);
+            stats_acc.bisect_runs += u64::from(self.cfg.replicas);
+            let (ok, _) = self.judge(&runs, workload, &baseline);
+            confirmed = ok;
+        }
+
+        // ---- 3c. conflict bisection -----------------------------------------
         // Individually avoidable features can interact (e.g. webfsd's
         // writev header and sendfile body are each fakeable, but not
-        // together). When the combined run fails, drop one interposed
-        // feature at a time until it passes, and re-mark the culprit as
-        // required.
+        // together). When the combined run fails, search for a set of
+        // culprits to re-mark as required: each round trials one more
+        // relaxation *on top of* the relaxations accumulated in earlier
+        // rounds, so joint conflicts spanning several features converge
+        // instead of giving up after a single sweep. A trial that passes
+        // doubles as the new confirmation run. When no single extra
+        // relaxation helps, the first candidate is relaxed cumulatively
+        // and the search continues — conservative (an innocent feature
+        // may be re-marked required) but terminating. Transferred hints
+        // never reach this point un-measured: the fallback above revoked
+        // them the moment the hinted confirmation failed.
         let mut conflicts: Vec<Sysno> = Vec::new();
         if !confirmed && self.cfg.auto_bisect_conflicts {
-            'rounds: for _ in 0..8 {
+            let mut relaxed = combined.clone();
+            'rounds: while conflicts.len() < 8 {
                 let candidates: Vec<Sysno> = classes
                     .iter()
                     .filter(|(s, c)| c.is_avoidable() && !conflicts.contains(s))
                     .map(|(s, _)| *s)
                     .collect();
-                for s in candidates {
-                    let mut relaxed = combined.clone();
-                    relaxed.set_syscall(s, Action::Allow);
-                    let runs = self.run_replicas(app, workload, &relaxed);
+                if candidates.is_empty() {
+                    break;
+                }
+                let mut culprit = None;
+                for &s in &candidates {
+                    let mut trial = relaxed.clone();
+                    trial.set_syscall(s, Action::Allow);
+                    let runs = self.run_replicas(app, workload, &trial);
                     stats_acc.bisect_runs += u64::from(self.cfg.replicas);
                     let (ok, _) = self.judge(&runs, workload, &baseline);
                     if ok {
-                        // The relaxed combined run just passed, so it also
-                        // serves as the new confirmation run.
-                        conflicts.push(s);
-                        classes.insert(
-                            s,
-                            FeatureClass {
-                                stub_ok: false,
-                                fake_ok: false,
-                            },
-                        );
-                        confirmed = true;
-                        break 'rounds;
+                        culprit = Some(s);
+                        break;
                     }
                 }
-                // No single feature fixes it: give up and report.
-                break;
+                let s = culprit.unwrap_or(candidates[0]);
+                relaxed.set_syscall(s, Action::Allow);
+                conflicts.push(s);
+                classes.insert(
+                    s,
+                    FeatureClass {
+                        stub_ok: false,
+                        fake_ok: false,
+                    },
+                );
+                if culprit.is_some() {
+                    confirmed = true;
+                    break 'rounds;
+                }
             }
         }
 
@@ -496,6 +732,7 @@ struct Baseline {
 impl Baseline {
     fn from_runs(runs: &[RunResult], _workload: Workload, _script: &TestScript) -> Baseline {
         let perfs: Vec<f64> = runs.iter().map(|r| r.outcome.throughput()).collect();
+        let features = merge_feature_health(runs.iter().map(|r| &r.outcome.features));
         Baseline {
             perf_mean: stats::mean(&perfs),
             rss_mean: stats::mean(
@@ -510,11 +747,28 @@ impl Baseline {
                     .map(|r| f64::from(r.usage.peak_fds))
                     .collect::<Vec<_>>(),
             ),
-            features: runs[0].outcome.features.clone(),
+            features,
             log_profile: LogProfile::learn(runs.iter().flat_map(|r| r.console.iter())),
             perfs,
         }
     }
+}
+
+/// Conservative feature-health merge across baseline replicas: union of
+/// keys, AND of health. Judging stub/fake runs against replica 0 alone
+/// would demand features a flaky baseline does not reliably exhibit —
+/// and miss features only later replicas reported.
+fn merge_feature_health<'a>(
+    maps: impl Iterator<Item = &'a BTreeMap<String, bool>>,
+) -> BTreeMap<String, bool> {
+    let mut merged: BTreeMap<String, bool> = BTreeMap::new();
+    for map in maps {
+        for (name, healthy) in map {
+            let entry = merged.entry(name.clone()).or_insert(true);
+            *entry = *entry && *healthy;
+        }
+    }
+    merged
 }
 
 /// Builds transfer hints from prior measurements: a syscall is hinted only
@@ -632,6 +886,186 @@ mod tests {
             .analyze(app.as_ref(), Workload::HealthCheck)
             .unwrap();
         assert!(report.confirmed, "combined stub/fake policy must hold");
+    }
+
+    #[test]
+    fn probe_scheduler_is_deterministic_across_job_counts() {
+        // Serial, bounded-parallel and auto-sized schedules must produce
+        // byte-identical reports (classes, impacts, stats — everything):
+        // the merge happens in feature order, never in completion order.
+        let cfg = |jobs: usize| AnalysisConfig {
+            jobs,
+            explore_sub_features: true,
+            explore_pseudo_files: true,
+            ..AnalysisConfig::fast()
+        };
+        let app = registry::find("redis").unwrap();
+        let serial = Engine::new(cfg(1))
+            .analyze(app.as_ref(), Workload::Benchmark)
+            .unwrap();
+        let parallel = Engine::new(cfg(8))
+            .analyze(app.as_ref(), Workload::Benchmark)
+            .unwrap();
+        let auto = Engine::new(cfg(0))
+            .analyze(app.as_ref(), Workload::Benchmark)
+            .unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, auto);
+        assert!(serial.stats.matches_formula(), "{:?}", serial.stats);
+    }
+
+    /// An app that degrades gracefully when any *one* of three optional
+    /// syscalls is unavailable, but crashes when two or more are gone:
+    /// every feature is individually avoidable, yet the combined policy
+    /// (which interposes all three) fails, and no *single* relaxation
+    /// can fix it — the joint-conflict case the cumulative bisection
+    /// resolves and the old single-sweep loop could not.
+    struct TwoOfThree;
+    impl AppModel for TwoOfThree {
+        fn name(&self) -> &str {
+            "two-of-three"
+        }
+        fn spec(&self) -> loupe_apps::AppSpec {
+            loupe_apps::AppSpec {
+                name: "two-of-three".into(),
+                version: "1".into(),
+                year: 2024,
+                port: None,
+                kind: loupe_apps::AppKind::Utility,
+                libc: loupe_apps::libc::LibcFlavor::MuslStatic,
+            }
+        }
+        fn run(&self, env: &mut Env<'_>, _w: Workload) -> Result<(), Exit> {
+            env.charge(50);
+            let mut working = 0;
+            for s in [Sysno::getpid, Sysno::getuid, Sysno::uname] {
+                if env.sys0(s).ret >= 0 {
+                    working += 1;
+                }
+            }
+            if working < 2 {
+                return Err(Exit::Crash("too many probes degraded".into()));
+            }
+            env.record_response();
+            Ok(())
+        }
+        fn code(&self) -> loupe_apps::AppCode {
+            loupe_apps::AppCode::new()
+        }
+    }
+
+    #[test]
+    fn joint_conflicts_are_resolved_by_cumulative_bisection() {
+        let report = engine()
+            .analyze(&TwoOfThree, Workload::HealthCheck)
+            .unwrap();
+        // Each syscall is individually avoidable, so the combined run
+        // stubs all three and fails; relaxing any single one still
+        // leaves only one working — the bisection must accumulate two
+        // relaxations before the confirmation passes.
+        assert!(
+            report.confirmed,
+            "cumulative bisection must restore confirmation: {report:?}"
+        );
+        assert_eq!(
+            report.conflicts.len(),
+            2,
+            "exactly two culprits: {:?}",
+            report.conflicts
+        );
+        for s in &report.conflicts {
+            assert!(report.classes[s].is_required(), "{s} re-marked required");
+        }
+        // The third feature keeps its individually measured class.
+        let spared: Vec<Sysno> = report
+            .classes
+            .iter()
+            .filter(|(s, _)| !report.conflicts.contains(s))
+            .map(|(s, _)| *s)
+            .collect();
+        assert_eq!(spared.len(), 1);
+        assert!(report.classes[&spared[0]].is_avoidable());
+        assert!(report.stats.bisect_runs > 0);
+    }
+
+    /// An app whose `sysinfo` call gates expensive telemetry work: the
+    /// workload passes without it, but skipping the work makes the run
+    /// far faster than baseline — a perf deviation, not a test failure.
+    struct TelemetryHeavy;
+    impl AppModel for TelemetryHeavy {
+        fn name(&self) -> &str {
+            "telemetry-heavy"
+        }
+        fn spec(&self) -> loupe_apps::AppSpec {
+            loupe_apps::AppSpec {
+                name: "telemetry-heavy".into(),
+                version: "1".into(),
+                year: 2024,
+                port: None,
+                kind: loupe_apps::AppKind::Utility,
+                libc: loupe_apps::libc::LibcFlavor::MuslStatic,
+            }
+        }
+        fn run(&self, env: &mut Env<'_>, _w: Workload) -> Result<(), Exit> {
+            env.charge(100);
+            if env.sys0(Sysno::sysinfo).ret >= 0 {
+                env.charge(5000); // telemetry only runs when sysinfo works
+            }
+            env.record_response();
+            Ok(())
+        }
+        fn code(&self) -> loupe_apps::AppCode {
+            loupe_apps::AppCode::new()
+        }
+    }
+
+    #[test]
+    fn strict_policy_verdict_and_stored_impact_agree() {
+        let cfg = |perf_policy| AnalysisConfig {
+            replicas: 2,
+            perf_policy,
+            ..AnalysisConfig::fast()
+        };
+        // Lenient (the paper's posture): the stub passes and the perf
+        // delta is only an annotation.
+        let lenient = Engine::new(cfg(PerfPolicy::Lenient))
+            .analyze(&TelemetryHeavy, Workload::HealthCheck)
+            .unwrap();
+        assert!(lenient.classes[&Sysno::sysinfo].stub_ok);
+
+        // Strict: the significant speed-up disqualifies the stub, and
+        // the stored impact must agree with that final verdict instead
+        // of contradicting the classification.
+        let strict = Engine::new(cfg(PerfPolicy::Strict))
+            .analyze(&TelemetryHeavy, Workload::HealthCheck)
+            .unwrap();
+        assert!(!strict.classes[&Sysno::sysinfo].stub_ok);
+        let impact = strict.impacts[&Sysno::sysinfo].stub.unwrap();
+        assert!(!impact.success, "impact reflects the final verdict");
+        assert_eq!(impact.tests_passed, Some(true), "raw script pass kept");
+        assert!(impact.policy_disqualified());
+        assert!(impact.perf_delta > 0.03, "the speed-up that triggered it");
+    }
+
+    #[test]
+    fn baseline_features_merge_conservatively_across_replicas() {
+        // Union of keys, AND of health: a feature broken in any replica
+        // is not demanded of stub/fake runs, and a feature only a later
+        // replica reported still participates (replica 0 is not special).
+        let r0: BTreeMap<String, bool> = [("logging", true), ("persistence", true)]
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect();
+        let r1: BTreeMap<String, bool> =
+            [("logging", true), ("persistence", false), ("reload", true)]
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect();
+        let merged = merge_feature_health([&r0, &r1].into_iter());
+        assert_eq!(merged["logging"], true);
+        assert_eq!(merged["persistence"], false, "one broken replica wins");
+        assert_eq!(merged["reload"], true, "later-replica features included");
+        assert_eq!(merged.len(), 3);
     }
 
     #[test]

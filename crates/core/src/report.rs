@@ -42,8 +42,16 @@ impl FeatureClass {
 /// the Table 2 annotations.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Impact {
-    /// Did the run pass the test script?
+    /// Did the run pass the *final* verdict — test script plus the
+    /// engine's perf-policy and log-anomaly checks? This is the value the
+    /// classification is built from, so report and classes always agree.
     pub success: bool,
+    /// The raw test-script pass/fail, before policy checks; `None` in
+    /// entries recorded before this field existed. Under
+    /// `PerfPolicy::Strict` a run can pass its tests yet be disqualified
+    /// (`!success`) by a perf deviation — see [`Impact::policy_disqualified`].
+    #[serde(default)]
+    pub tests_passed: Option<bool>,
     /// Relative throughput change vs baseline (`+0.15` = 15% faster).
     pub perf_delta: f64,
     /// Relative peak-RSS change vs baseline.
@@ -53,6 +61,13 @@ pub struct Impact {
 }
 
 impl Impact {
+    /// The run passed its test script but a policy check (strict perf
+    /// deviation, log anomaly) disqualified it anyway — the rows a user
+    /// investigating "why is this feature required?" wants to see first.
+    pub fn policy_disqualified(&self) -> bool {
+        !self.success && self.tests_passed == Some(true)
+    }
+
     /// Whether any metric moved outside `epsilon` (Table 2's >3% filter).
     pub fn is_notable(&self, epsilon: f64) -> bool {
         self.perf_delta.abs() > epsilon
@@ -230,6 +245,7 @@ mod tests {
     fn impact_notability() {
         let i = Impact {
             success: true,
+            tests_passed: Some(true),
             perf_delta: 0.15,
             rss_delta: 0.0,
             fd_delta: 0.0,
@@ -237,6 +253,7 @@ mod tests {
         assert!(i.is_notable(0.03));
         let i = Impact {
             success: true,
+            tests_passed: Some(true),
             perf_delta: 0.01,
             rss_delta: -0.02,
             fd_delta: 0.0,

@@ -239,9 +239,11 @@ impl Database {
 
 /// Conservative merge of two measurements of the same (app, workload):
 /// traced counts accumulate; stub/fake capability is the logical AND
-/// (anything that failed once is not safe); confirmation requires both.
+/// (anything that failed once is not safe); confirmation requires both;
+/// run accounting accumulates (the merged entry cost both analyses).
 pub fn merge_reports(a: &AppReport, b: &AppReport) -> AppReport {
     let mut merged = a.clone();
+    merged.stats.absorb(&b.stats);
     for (s, n) in &b.traced {
         *merged.traced.entry(*s).or_insert(0) += *n;
     }
@@ -332,8 +334,13 @@ mod tests {
         let class = merged.classes[&first];
         assert!(!class.stub_ok, "one failed stub disqualifies");
         assert!(class.fake_ok);
-        // Counts accumulate.
+        // Counts accumulate — including the run accounting.
         assert_eq!(merged.traced[&first], report.traced[&first] * 2);
+        assert_eq!(
+            merged.stats.total_runs(),
+            report.stats.total_runs() * 2,
+            "a merged entry cost both analyses"
+        );
     }
 
     #[test]

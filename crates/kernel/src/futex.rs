@@ -47,6 +47,8 @@ impl FutexTable {
     /// Otherwise models a successful sleep-until-woken: the word is reset
     /// to 0 (the holder released it while we slept) and `Ok(wait_cost)` is
     /// returned.
+    // The unit error *is* the model: the only failure is EAGAIN.
+    #[allow(clippy::result_unit_err)]
     pub fn wait(&mut self, addr: u64, expected: u32) -> Result<u64, ()> {
         if self.value(addr) != expected {
             return Err(());

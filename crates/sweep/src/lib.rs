@@ -41,14 +41,39 @@
 
 pub mod report;
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use loupe_apps::{AppModel, Workload};
-use loupe_core::{AnalysisConfig, AppReport, Engine};
+use loupe_core::{transfer_hints, AnalysisConfig, AppReport, Engine, FeatureClass, RunStats};
 use loupe_db::{Database, DbError};
 use loupe_plan::{api_importance, AppRequirement, ImportancePoint};
 use loupe_syscalls::{Category, Sysno};
+
+/// Cross-application knowledge transfer (§6 future work): the sweep
+/// measures a seed subset of the fleet in full, builds conservative
+/// per-workload hints from the seed reports, and analyses the remaining
+/// apps with the hinted engine — skipping the stub/fake runs of syscalls
+/// the whole seed agrees on. Each hinted app's confirmation run still
+/// validates the transferred conclusions end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferConfig {
+    /// A syscall is hinted only when at least this many seed reports
+    /// traced it and all of them agree on its classification.
+    pub min_agreement: usize,
+    /// Number of leading apps measured in full as the seed.
+    pub seed: usize,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        TransferConfig {
+            min_agreement: 3,
+            seed: 8,
+        }
+    }
+}
 
 /// Configuration of a fleet sweep.
 #[derive(Debug, Clone)]
@@ -62,6 +87,8 @@ pub struct SweepConfig {
     /// Re-measure entries that are already in the database (the new
     /// measurement merges conservatively with the stored one).
     pub force: bool,
+    /// Two-pass hint transfer; `None` measures every app in full.
+    pub transfer: Option<TransferConfig>,
 }
 
 impl Default for SweepConfig {
@@ -71,6 +98,7 @@ impl Default for SweepConfig {
             workers: 0,
             analysis: AnalysisConfig::fast(),
             force: false,
+            transfer: None,
         }
     }
 }
@@ -98,6 +126,9 @@ pub struct SweepSummary {
     /// Every (app, workload) report, as stored in the database,
     /// deterministically ordered by `(app, workload label)`.
     pub reports: Vec<AppReport>,
+    /// Engine-run accounting summed over this sweep's fresh measurements
+    /// — `transfer_skips`/`saved_runs` quantify what hint transfer saved.
+    pub runs: RunStats,
 }
 
 enum JobOutcome {
@@ -160,44 +191,67 @@ impl Sweep {
         let mut seen = std::collections::BTreeSet::new();
         apps.retain(|app| seen.insert(app.name().to_owned()));
 
-        let jobs: Vec<(usize, Workload)> = (0..apps.len())
-            .flat_map(|a| self.cfg.workloads.iter().map(move |&w| (a, w)))
-            .collect();
-        let workers = self.worker_count(jobs.len());
+        let jobs_for = |range: std::ops::Range<usize>| -> Vec<(usize, Workload)> {
+            range
+                .flat_map(|a| self.cfg.workloads.iter().map(move |&w| (a, w)))
+                .collect()
+        };
 
-        let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<JobOutcome>>> =
-            Mutex::new((0..jobs.len()).map(|_| None).collect());
-        let apps_ref: &[Box<dyn AppModel>] = &apps;
-        let jobs_ref: &[(usize, Workload)] = &jobs;
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let engine = Engine::new(self.cfg.analysis.clone());
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(app_idx, workload)) = jobs_ref.get(i) else {
-                            break;
-                        };
-                        let outcome =
-                            self.run_job(db, &engine, apps_ref[app_idx].as_ref(), workload);
-                        slots.lock().expect("sweep slots poisoned")[i] = Some(outcome);
-                    }
-                });
+        let outcomes = match self.cfg.transfer {
+            // An empty fleet (e.g. an out-of-range shard) sweeps to an
+            // empty summary on both paths; the seed clamp below needs a
+            // non-empty app list.
+            None | Some(_) if apps.is_empty() => Vec::new(),
+            None => self.run_pass(db, &apps, &jobs_for(0..apps.len()), &BTreeMap::new()),
+            Some(transfer) => {
+                // Pass 1: measure the seed subset in full.
+                let seed = transfer.seed.clamp(1, apps.len());
+                let mut outcomes = self.run_pass(db, &apps, &jobs_for(0..seed), &BTreeMap::new());
+                // Conservative per-workload hints from the seed reports
+                // (cached seed entries teach too — they are stored
+                // full measurements of the same fleet).
+                let mut hints: BTreeMap<Workload, BTreeMap<Sysno, FeatureClass>> = BTreeMap::new();
+                for &workload in &self.cfg.workloads {
+                    let teachers: Vec<AppReport> = outcomes
+                        .iter()
+                        .filter_map(|o| match o {
+                            JobOutcome::Fresh(r) | JobOutcome::Cached(r)
+                                if r.workload == workload =>
+                            {
+                                Some(r.clone())
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    let mut workload_hints = transfer_hints(&teachers, transfer.min_agreement);
+                    // Only *avoidable* classes transfer: the combined
+                    // confirmation run exercises them, and the engine's
+                    // bisection revokes (re-measures) a wrong one. A
+                    // transferred "required" class is never interposed,
+                    // so a wrong one — an app whose `read` is fakeable
+                    // while the whole seed requires it — would silently
+                    // survive and change the final classification.
+                    workload_hints.retain(|_, class| class.is_avoidable());
+                    hints.insert(workload, workload_hints);
+                }
+                // Pass 2: the rest of the fleet rides on the hints.
+                outcomes.extend(self.run_pass(db, &apps, &jobs_for(seed..apps.len()), &hints));
+                outcomes
             }
-        });
+        };
 
         let mut summary = SweepSummary {
             analyzed: 0,
             cached: 0,
             failures: Vec::new(),
             reports: Vec::new(),
+            runs: RunStats::default(),
         };
-        for outcome in slots.into_inner().expect("sweep slots poisoned") {
-            match outcome.expect("every job ran") {
+        for outcome in outcomes {
+            match outcome {
                 JobOutcome::Fresh(r) => {
                     summary.analyzed += 1;
+                    summary.runs.absorb(&r.stats);
                     summary.reports.push(r);
                 }
                 JobOutcome::Cached(r) => {
@@ -217,19 +271,65 @@ impl Sweep {
         Ok(summary)
     }
 
+    /// Runs one scheduling pass over `jobs` on the bounded worker pool.
+    /// Each job's outcome lands in the slot of its job index, so the
+    /// returned order never depends on worker scheduling.
+    fn run_pass(
+        &self,
+        db: &Database,
+        apps: &[Box<dyn AppModel>],
+        jobs: &[(usize, Workload)],
+        hints: &BTreeMap<Workload, BTreeMap<Sysno, FeatureClass>>,
+    ) -> Vec<JobOutcome> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.worker_count(jobs.len());
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<JobOutcome>>> =
+            Mutex::new((0..jobs.len()).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let engine = Engine::new(self.cfg.analysis.clone());
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(app_idx, workload)) = jobs.get(i) else {
+                            break;
+                        };
+                        let outcome =
+                            self.run_job(db, &engine, apps[app_idx].as_ref(), workload, hints);
+                        slots.lock().expect("sweep slots poisoned")[i] = Some(outcome);
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_inner()
+            .expect("sweep slots poisoned")
+            .into_iter()
+            .map(|o| o.expect("every job ran"))
+            .collect()
+    }
+
     fn run_job(
         &self,
         db: &Database,
         engine: &Engine,
         app: &dyn AppModel,
         workload: Workload,
+        hints: &BTreeMap<Workload, BTreeMap<Sysno, FeatureClass>>,
     ) -> JobOutcome {
         let had_entry = match db.load(app.name(), workload) {
             Ok(Some(cached)) if !self.cfg.force => return JobOutcome::Cached(cached),
             Ok(existing) => existing.is_some(),
             Err(e) => return JobOutcome::Db(e),
         };
-        let report = match engine.analyze(app, workload) {
+        let empty = BTreeMap::new();
+        let workload_hints = hints.get(&workload).unwrap_or(&empty);
+        let report = match engine.analyze_with_hints(app, workload, workload_hints) {
             Ok(r) => r,
             Err(e) => {
                 return JobOutcome::Failed(SweepFailure {
@@ -468,6 +568,77 @@ mod tests {
             first.reports[0].traced[&s] * 2
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transfer_sweep_with_empty_fleet_is_empty() {
+        // An out-of-range shard yields zero apps; the transfer path must
+        // return an empty summary like the plain path, not panic on the
+        // seed clamp.
+        let dir = tmpdir("transfer-empty");
+        let db = Database::open(&dir).unwrap();
+        let summary = Sweep::new(SweepConfig {
+            workloads: vec![Workload::HealthCheck],
+            transfer: Some(TransferConfig::default()),
+            ..SweepConfig::default()
+        })
+        .run(&db, Vec::new())
+        .unwrap();
+        assert!(summary.reports.is_empty());
+        assert_eq!(summary.analyzed + summary.cached, 0);
+        assert!(summary.failures.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transfer_sweep_preserves_classes_and_saves_runs() {
+        // The §6 two-pass mode must be an *optimisation*, never a result
+        // change: hinted analyses produce the same classes, conflicts and
+        // confirmation as full measurement, while skipping runs.
+        let dir_full = tmpdir("transfer-full");
+        let dir_hint = tmpdir("transfer-hint");
+        let db_full = Database::open(&dir_full).unwrap();
+        let db_hint = Database::open(&dir_hint).unwrap();
+
+        let full = health_sweep(0).run(&db_full, registry::dataset()).unwrap();
+        // The hinted sweep also runs the per-app probe scheduler in
+        // parallel (`jobs > 1`) — neither axis may change results.
+        let hinted = Sweep::new(SweepConfig {
+            workloads: vec![Workload::HealthCheck],
+            transfer: Some(TransferConfig::default()),
+            analysis: AnalysisConfig {
+                jobs: 4,
+                ..AnalysisConfig::fast()
+            },
+            ..SweepConfig::default()
+        })
+        .run(&db_hint, registry::dataset())
+        .unwrap();
+
+        assert_eq!(full.reports.len(), hinted.reports.len());
+        for (f, h) in full.reports.iter().zip(&hinted.reports) {
+            assert_eq!(f.app, h.app);
+            assert_eq!(f.classes, h.classes, "classes drifted for {}", f.app);
+            assert_eq!(f.conflicts, h.conflicts, "conflicts drifted for {}", f.app);
+            assert_eq!(
+                f.confirmed, h.confirmed,
+                "confirmation drifted for {}",
+                f.app
+            );
+        }
+        assert!(hinted.runs.transfer_skips > 0, "{:?}", hinted.runs);
+        assert_eq!(
+            hinted.runs.saved_runs,
+            2 * hinted.runs.transfer_skips * u64::from(hinted.runs.replicas)
+        );
+        assert!(
+            hinted.runs.feature_runs < full.runs.feature_runs,
+            "hinted {} !< full {}",
+            hinted.runs.feature_runs,
+            full.runs.feature_runs
+        );
+        std::fs::remove_dir_all(&dir_full).ok();
+        std::fs::remove_dir_all(&dir_hint).ok();
     }
 
     #[test]

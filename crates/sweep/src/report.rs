@@ -230,6 +230,7 @@ pub fn render_matrix(grouped: &BTreeMap<Workload, Vec<AppReport>>) -> String {
 
         render_plan_rollup(&mut out, &stats);
         render_impact_rollup(&mut out, reports);
+        render_cost_rollup(&mut out, reports);
     }
 
     out.push_str("---\n\nPer-application breakdowns live in [`apps/`](apps/README.md).\n");
@@ -306,6 +307,47 @@ fn render_impact_rollup(out: &mut String, reports: &[AppReport]) {
     out.push('\n');
 }
 
+/// §3.3-style cost rollup: how many application executions the stored
+/// measurements took, and how many the §6 hint transfer saved.
+fn render_cost_rollup(out: &mut String, reports: &[AppReport]) {
+    let mut total = loupe_core::RunStats::default();
+    for report in reports {
+        total.absorb(&report.stats);
+    }
+    out.push_str("### Analysis cost (engine runs per app)\n\n");
+    let _ = writeln!(
+        out,
+        "{} runs fleet-wide: {} framing, {} feature probes, {} bisection;\n\
+         {} feature measurements were transfer-skipped (§6), saving {} runs.\n",
+        total.total_runs(),
+        total.framing_runs,
+        total.feature_runs,
+        total.bisect_runs,
+        total.transfer_skips,
+        total.saved_runs
+    );
+    out.push_str(
+        "| App | Total runs | Framing | Feature | Bisect | Features tested | Transfer-skipped | Runs saved |\n\
+         |-----|-----------:|--------:|--------:|-------:|----------------:|-----------------:|-----------:|\n",
+    );
+    for report in reports {
+        let s = &report.stats;
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            report.app,
+            s.total_runs(),
+            s.framing_runs,
+            s.feature_runs,
+            s.bisect_runs,
+            s.features_tested,
+            s.transfer_skips,
+            s.saved_runs
+        );
+    }
+    out.push('\n');
+}
+
 /// Renders the index of per-app pages.
 fn render_app_index(by_app: &BTreeMap<&str, Vec<&AppReport>>) -> String {
     let mut out = String::new();
@@ -353,6 +395,13 @@ pub fn render_app_page(app: &str, reports: &[&AppReport]) -> String {
             report.fakeable().len(),
             if report.confirmed { "yes" } else { "no" }
         );
+        if report.stats.transfer_skips > 0 {
+            let _ = writeln!(
+                out,
+                "- transfer-skipped: {} feature measurements ({} runs saved, §6)",
+                report.stats.transfer_skips, report.stats.saved_runs
+            );
+        }
         if !report.conflicts.is_empty() {
             let names: Vec<&str> = report.conflicts.iter().map(|s| s.name()).collect();
             let _ = writeln!(

@@ -80,6 +80,62 @@ fn transfer_hints_skip_runs_without_changing_conclusions() {
 }
 
 #[test]
+fn transfer_hint_edge_cases() {
+    use loupe::core::FeatureClass;
+
+    // No teachers → no hints, regardless of the agreement floor.
+    assert!(transfer_hints(&[], 0).is_empty());
+    assert!(transfer_hints(&[], 3).is_empty());
+
+    let engine = Engine::new(AnalysisConfig::fast());
+    let nginx = engine
+        .analyze(
+            registry::find("nginx").unwrap().as_ref(),
+            Workload::Benchmark,
+        )
+        .unwrap();
+    let weborf = engine
+        .analyze(
+            registry::find("weborf").unwrap().as_ref(),
+            Workload::Benchmark,
+        )
+        .unwrap();
+
+    // min_agreement = 0 behaves like 1: every unanimously classified
+    // syscall of a single teacher transfers.
+    let zero = transfer_hints(std::slice::from_ref(&nginx), 0);
+    let one = transfer_hints(std::slice::from_ref(&nginx), 1);
+    assert_eq!(zero, one);
+    assert_eq!(zero.len(), nginx.classes.len());
+
+    // A floor higher than the teacher count yields nothing.
+    assert!(transfer_hints(std::slice::from_ref(&nginx), 2).is_empty());
+
+    // Disagreeing teachers exclude the syscall: poison weborf's copy of
+    // a class nginx reported, flipping it.
+    let mut poisoned = weborf.clone();
+    let (&sysno, &class) = nginx
+        .classes
+        .iter()
+        .find(|(s, _)| weborf.classes.contains_key(*s))
+        .expect("web servers share syscalls");
+    poisoned.classes.insert(
+        sysno,
+        FeatureClass {
+            stub_ok: !class.stub_ok,
+            fake_ok: class.fake_ok,
+        },
+    );
+    let hints = transfer_hints(&[nginx.clone(), poisoned], 1);
+    assert!(
+        !hints.contains_key(&sysno),
+        "disagreement on {sysno} must block the transfer"
+    );
+    // Agreement on everything else still transfers.
+    assert!(!hints.is_empty());
+}
+
+#[test]
 fn bad_transfer_hints_are_caught_by_the_confirmation_run() {
     // Poison the hints: claim epoll_wait is stubbable. The confirmation
     // run (which applies all conclusions at once) must catch it — and,
@@ -107,17 +163,25 @@ fn bad_transfer_hints_are_caught_by_the_confirmation_run() {
         "confirmation must catch the poisoned hint"
     );
 
-    // With bisection: the poisoned hint is identified and repaired.
+    // With the automatic fallback (rides on `auto_bisect_conflicts`):
+    // the failing confirmation revokes the hints, measures the skipped
+    // features for real, and converges to the same classes a full
+    // measurement would produce — a wrong hint costs runs, never results.
     let repaired = Engine::new(AnalysisConfig::fast())
         .analyze_with_hints(app.as_ref(), Workload::Benchmark, &hints)
         .unwrap();
     assert!(repaired.confirmed);
-    assert!(
-        repaired.conflicts.contains(&Sysno::epoll_wait),
-        "{:?}",
-        repaired.conflicts
-    );
     assert!(repaired.classes[&Sysno::epoll_wait].is_required());
+    let full = Engine::new(AnalysisConfig::fast())
+        .analyze(app.as_ref(), Workload::Benchmark)
+        .unwrap();
+    assert_eq!(repaired.classes, full.classes);
+    assert_eq!(repaired.conflicts, full.conflicts);
+    assert_eq!(
+        repaired.stats.transfer_skips, 0,
+        "revoked hints no longer count as skips"
+    );
+    assert_eq!(repaired.stats.saved_runs, 0);
 }
 
 #[test]
