@@ -1,12 +1,13 @@
-//! Criterion benches for the planner: support-plan generation and API
-//! importance, scaling with fleet size.
+//! Criterion benches for the planner: support-plan generation, empirical
+//! plan validation, and API importance, scaling up to the full 116-app
+//! fleet.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use loupe_apps::{registry, Workload};
 use loupe_bench::{analyze_apps, requirements};
-use loupe_plan::{api_importance, os, AppRequirement, SupportPlan};
+use loupe_plan::{api_importance, os, AppRequirement, PlanValidator, SupportPlan};
 
 fn measured_requirements(n: usize) -> Vec<AppRequirement> {
     let apps: Vec<_> = registry::dataset().into_iter().take(n).collect();
@@ -16,13 +17,35 @@ fn measured_requirements(n: usize) -> Vec<AppRequirement> {
 
 fn bench_plan_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("plan");
-    for n in [8usize, 16, 32] {
+    for n in [8usize, 16, 32, 116] {
         let reqs = measured_requirements(n);
         let spec = os::find("kerla").unwrap();
         group.bench_with_input(BenchmarkId::new("generate", n), &reqs, |b, reqs| {
             b.iter(|| black_box(SupportPlan::generate(&spec, reqs).steps.len()));
         });
     }
+    group.finish();
+}
+
+fn bench_plan_validation(c: &mut Criterion) {
+    // Replaying a plan runs every unlocked app twice (step k and k-1) on
+    // a restricted kernel: the cost of turning predictions into verdicts
+    // over the whole fleet.
+    let workload = Workload::HealthCheck;
+    let reqs = measured_requirements(116);
+    let spec = os::find("kerla").unwrap();
+    let plan = SupportPlan::generate(&spec, &reqs);
+    let validator = PlanValidator::new();
+    let mut group = c.benchmark_group("plan");
+    group.sample_size(10);
+    group.bench_function("validate/kerla-116-apps", |b| {
+        b.iter(|| {
+            let v = validator
+                .validate(&spec.supported, &plan, &reqs, workload, registry::find)
+                .unwrap();
+            black_box(v.is_valid())
+        });
+    });
     group.finish();
 }
 
@@ -34,5 +57,10 @@ fn bench_importance(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_plan_generation, bench_importance);
+criterion_group!(
+    benches,
+    bench_plan_generation,
+    bench_plan_validation,
+    bench_importance
+);
 criterion_main!(benches);

@@ -8,7 +8,7 @@
 //! loupe sweep --db DIR                # analyze the whole fleet, concurrently
 //! loupe report --db DIR --docs docs   # render the db as Markdown docs
 //! loupe report --db DIR --check       # fail when checked-in docs drifted
-//! loupe plan --os kerla [--workload bench] [--db DIR]
+//! loupe plan --os kerla --validate     # replay the plan on a restricted kernel
 //! loupe os-list                       # curated OS support specs
 //! loupe importance [--workload bench] # Fig. 3-style ranking
 //! loupe trace -- /bin/echo hello      # real ptrace backend
@@ -82,6 +82,8 @@ commands:
       --min-agreement K               seed reports that must agree to hint (default: 3)
       --transfer-seed N               apps measured in full as the seed (default: 8)
       --force                         re-measure cached entries (conservative merge)
+      --validate-plans                replay every curated OS's support plan on a
+                                      restricted kernel; persist verdicts in the db
   report                       render a sweep db as Markdown documentation
       --db DIR                        database directory (default: target/loupedb)
       --docs DIR                      output directory (default: docs)
@@ -90,6 +92,10 @@ commands:
       --workload health|bench|suite   (default: bench)
       --apps a,b,c                    target apps (default: 15 cloud apps)
       --db DIR                        reuse measurements from a database
+      --validate                      replay the plan step-by-step on a restricted
+                                      kernel (fails unless every step unlocks its
+                                      app at step k and not at k-1); with --db the
+                                      verdict is persisted for `loupe report`
   os-list                      show the curated OS support specs
   importance                   rank syscalls by how many apps require them
       --workload health|bench|suite   (default: health)
@@ -310,6 +316,32 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             summary.failures.len()
         ));
     }
+    if args.iter().any(|a| a == "--validate-plans") {
+        let validations =
+            loupe_sweep::validate_curated_plans(&db, &workloads).map_err(|e| e.to_string())?;
+        let invalid: Vec<&loupe_plan::PlanValidation> =
+            validations.iter().filter(|v| !v.is_valid()).collect();
+        let early: usize = validations.iter().map(|v| v.early_steps().len()).sum();
+        println!(
+            "validated {} support plans ({} OSes x {} workloads): {} valid, {} invalid, \
+             {} early unlocks (conservative classification)",
+            validations.len(),
+            loupe_plan::os::db().len(),
+            workloads.len(),
+            validations.len() - invalid.len(),
+            invalid.len(),
+            early
+        );
+        for v in &invalid {
+            eprint!("{}", v.to_table());
+        }
+        if !invalid.is_empty() {
+            return Err(format!(
+                "sweep: {} support plan(s) failed empirical validation",
+                invalid.len()
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -387,6 +419,26 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
 
     let plan = SupportPlan::generate(&spec, &reqs);
     print!("{}", plan.to_table());
+
+    if args.iter().any(|a| a == "--validate") {
+        let validation = loupe_plan::PlanValidator::new()
+            .validate(&spec.supported, &plan, &reqs, workload, registry::find)
+            .map_err(|e| e.to_string())?;
+        print!("{}", validation.to_table());
+        if let Some(db) = &db {
+            db.save_plan_validation(&validation)
+                .map_err(|e| e.to_string())?;
+            eprintln!("validation stored");
+        }
+        if !validation.is_valid() {
+            return Err(format!(
+                "plan: {} of {} steps failed empirical validation",
+                validation.failing_steps().len()
+                    + validation.initial.iter().filter(|v| !v.passes).count(),
+                validation.steps.len() + validation.initial.len()
+            ));
+        }
+    }
     Ok(())
 }
 

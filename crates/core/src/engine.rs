@@ -8,11 +8,12 @@ use std::sync::Mutex;
 
 use loupe_apps::model::AppOutcome;
 use loupe_apps::{AppModel, Env, Exit, Workload};
-use loupe_kernel::{Kernel, LinuxSim, ResourceUsage};
+use loupe_kernel::{Kernel, ResourceUsage};
 use loupe_syscalls::{SubFeatureKey, Sysno};
 use serde::{Deserialize, Serialize};
 
 use crate::anomaly::LogProfile;
+use crate::exec::ExecEnv;
 use crate::interpose::Interposed;
 use crate::policy::{Action, Policy};
 use crate::report::{AppReport, BaselineStats, FeatureClass, Impact, ImpactRecord};
@@ -63,6 +64,11 @@ pub struct AnalysisConfig {
     /// conflicting features and re-mark them as required (§3.1: "a
     /// process which could be automated in future works" — here it is).
     pub auto_bisect_conflicts: bool,
+    /// The kernel configuration hosting every run: the full simulated
+    /// Linux by default, or a restricted profile emulating an OS
+    /// mid-way through a support plan.
+    #[serde(default)]
+    pub exec_env: ExecEnv,
     /// Pass/fail policy.
     pub test_script: TestScript,
 }
@@ -79,6 +85,7 @@ impl Default for AnalysisConfig {
             explore_pseudo_files: true,
             detect_log_anomalies: false,
             auto_bisect_conflicts: true,
+            exec_env: ExecEnv::Linux,
             test_script: TestScript::default(),
         }
     }
@@ -252,9 +259,11 @@ impl Engine {
     }
 
     fn run_once(&self, app: &dyn AppModel, workload: Workload, policy: &Policy) -> RunResult {
-        let mut sim = LinuxSim::new();
-        app.provision(&mut sim);
-        let mut kernel = Interposed::new(sim, policy.clone());
+        // The execution environment decides what kernel hosts the run —
+        // full Linux for measurement, a restricted profile for plan
+        // validation; the interposition layer composes over either.
+        let host = self.cfg.exec_env.build(app);
+        let mut kernel = Interposed::new(host, policy.clone());
         let exit = {
             let mut env = Env::new(&mut kernel);
             match app.run(&mut env, workload) {
@@ -449,12 +458,7 @@ impl Engine {
         }
 
         // Conservative union of traced features across replicas.
-        let mut traced: BTreeMap<Sysno, u64> = BTreeMap::new();
-        for run in &base_runs {
-            for (s, n) in &run.trace.syscalls {
-                *traced.entry(*s).or_insert(0) += *n;
-            }
-        }
+        let traced = merge_syscall_trace(&base_runs);
 
         let mut stats_acc = RunStats {
             framing_runs: u64::from(self.cfg.replicas),
@@ -566,6 +570,13 @@ impl Engine {
         let confirm_runs = self.run_replicas(app, workload, &combined);
         let (mut confirmed, _) = self.judge(&confirm_runs, workload, &baseline);
         stats_acc.framing_runs += u64::from(self.cfg.replicas);
+        // Union of syscalls traced under the *combined* policy: stubbing
+        // and faking activate fallback paths (a stubbed `epoll_create1`
+        // sends the app to `epoll_create`), and the syscalls those paths
+        // pass through to the kernel are requirements the baseline trace
+        // never saw. Tracked across re-confirmations so the final report
+        // reflects the policy that actually confirmed.
+        let mut confirm_trace = merge_syscall_trace(&confirm_runs);
 
         // ---- 3a. fake-side hint validation ------------------------------------
         // The combined policy prefers Stub for dual-avoidable classes,
@@ -638,6 +649,7 @@ impl Engine {
             stats_acc.bisect_runs += u64::from(self.cfg.replicas);
             let (ok, _) = self.judge(&runs, workload, &baseline);
             confirmed = ok;
+            confirm_trace = merge_syscall_trace(&runs);
         }
 
         // ---- 3c. conflict bisection -----------------------------------------
@@ -674,6 +686,9 @@ impl Engine {
                     stats_acc.bisect_runs += u64::from(self.cfg.replicas);
                     let (ok, _) = self.judge(&runs, workload, &baseline);
                     if ok {
+                        // This passing trial doubles as the confirmation
+                        // run — its passthrough is the one that counts.
+                        confirm_trace = merge_syscall_trace(&runs);
                         culprit = Some(s);
                         break;
                     }
@@ -695,6 +710,24 @@ impl Engine {
             }
         }
 
+        // Fallback requirements: syscalls the confirmed combined policy
+        // passed through to the kernel although the baseline never traced
+        // them — code paths only reachable when other features are
+        // stubbed/faked. A support plan that interposes those features
+        // must implement these too, or the unlock fails on a real OS.
+        // Only a *passing* combined run teaches: an unconfirmed report's
+        // last trace is a failing run, and publishing its error-path
+        // syscalls would poison every plan built on the database.
+        let fallbacks: loupe_syscalls::SysnoSet = if confirmed {
+            confirm_trace
+                .keys()
+                .filter(|s| !classes.contains_key(s))
+                .copied()
+                .collect()
+        } else {
+            loupe_syscalls::SysnoSet::new()
+        };
+
         let spec = app.spec();
         Ok(AppReport {
             app: spec.name,
@@ -702,6 +735,7 @@ impl Engine {
             workload,
             traced,
             classes,
+            fallbacks,
             impacts,
             sub_features,
             pseudo_files,
@@ -716,6 +750,17 @@ impl Engine {
             stats: stats_acc,
         })
     }
+}
+
+/// Union of per-syscall invocation counts across replicated runs.
+fn merge_syscall_trace(runs: &[RunResult]) -> BTreeMap<Sysno, u64> {
+    let mut merged = BTreeMap::new();
+    for run in runs {
+        for (s, n) in &run.trace.syscalls {
+            *merged.entry(*s).or_insert(0) += *n;
+        }
+    }
+    merged
 }
 
 /// Baseline summary used by judgements.

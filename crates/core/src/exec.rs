@@ -1,0 +1,171 @@
+//! Pluggable execution environments: which kernel hosts a run.
+//!
+//! The engine used to hard-code `LinuxSim::new()` as the substrate of
+//! every run. [`ExecEnv`] extracts that choice into the analysis
+//! configuration so the same measurement pipeline — discovery, probes,
+//! confirmation, bisection — can run against *any* kernel surface:
+//!
+//! * [`ExecEnv::Linux`] — the full-featured simulated Linux (the
+//!   paper's measurement substrate, and the default);
+//! * [`ExecEnv::Restricted`] — a [`RestrictedKernel`] enforcing a
+//!   [`KernelProfile`], emulating an OS under development mid-way
+//!   through an incremental support plan (§4.1). Unimplemented syscalls
+//!   return `-ENOSYS`; per-step stub/fake overlays answer at the
+//!   boundary.
+//!
+//! The environment is part of [`AnalysisConfig`](crate::AnalysisConfig)
+//! and serialises with it, so a stored configuration fully describes
+//! what a measurement ran on.
+
+use loupe_apps::model::AppOutcome;
+use loupe_apps::{AppModel, Env, Exit, Workload};
+use loupe_kernel::{
+    HostPort, Invocation, Kernel, KernelProfile, LinuxSim, ResourceUsage, RestrictedKernel,
+    SysOutcome,
+};
+use serde::{Deserialize, Serialize};
+
+/// The kernel configuration hosting analysis runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum ExecEnv {
+    /// The full simulated Linux kernel.
+    #[default]
+    Linux,
+    /// A kernel restricted to an OS support profile.
+    Restricted(KernelProfile),
+}
+
+impl ExecEnv {
+    /// Human-readable environment name (report headers, CLI output).
+    pub fn name(&self) -> &str {
+        match self {
+            ExecEnv::Linux => "linux",
+            ExecEnv::Restricted(profile) => &profile.name,
+        }
+    }
+
+    /// Builds a fresh, provisioned kernel for one run of `app` — the
+    /// containerised-replica analogue: every run starts from the same
+    /// clean state (§3.1).
+    pub fn build(&self, app: &dyn AppModel) -> HostKernel {
+        let mut sim = LinuxSim::new();
+        app.provision(&mut sim);
+        match self {
+            ExecEnv::Linux => HostKernel::Linux(sim),
+            ExecEnv::Restricted(profile) => {
+                HostKernel::Restricted(RestrictedKernel::new(sim, profile.clone()))
+            }
+        }
+    }
+}
+
+/// The kernel an [`ExecEnv`] builds: a closed enum rather than a boxed
+/// trait object, so the engine's per-syscall hot path (every probe of
+/// every app in a fleet sweep) stays a branch instead of a vtable call.
+#[derive(Debug)]
+pub enum HostKernel {
+    /// A full simulated Linux.
+    Linux(LinuxSim),
+    /// A profile-restricted kernel.
+    Restricted(RestrictedKernel<LinuxSim>),
+}
+
+macro_rules! delegate {
+    ($self:ident, $k:ident => $e:expr) => {
+        match $self {
+            HostKernel::Linux($k) => $e,
+            HostKernel::Restricted($k) => $e,
+        }
+    };
+}
+
+impl Kernel for HostKernel {
+    fn syscall(&mut self, inv: &Invocation) -> SysOutcome {
+        delegate!(self, k => k.syscall(inv))
+    }
+
+    fn charge(&mut self, cost: u64) {
+        delegate!(self, k => k.charge(cost));
+    }
+
+    fn now(&self) -> u64 {
+        delegate!(self, k => k.now())
+    }
+
+    fn usage(&self) -> ResourceUsage {
+        delegate!(self, k => k.usage())
+    }
+
+    fn host_mut(&mut self) -> &mut HostPort {
+        delegate!(self, k => k.host_mut())
+    }
+
+    fn mem_store(&mut self, addr: u64, val: u32) {
+        delegate!(self, k => k.mem_store(addr, val));
+    }
+
+    fn mem_load(&self, addr: u64) -> u32 {
+        delegate!(self, k => k.mem_load(addr))
+    }
+}
+
+/// Runs `app` once under `workload` in `env`, uninterposed — the
+/// building block of support-plan validation, where the *environment*
+/// (not a probe policy) is the experiment.
+pub fn run_app(env: &ExecEnv, app: &dyn AppModel, workload: Workload) -> AppOutcome {
+    let mut kernel = env.build(app);
+    let mut app_env = Env::new(&mut kernel);
+    match app.run(&mut app_env, workload) {
+        Ok(()) => app_env.finish(Exit::Clean),
+        Err(e) => app_env.finish(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::TestScript;
+    use loupe_apps::registry;
+    use loupe_syscalls::{Sysno, SysnoSet};
+
+    #[test]
+    fn linux_env_hosts_a_passing_run() {
+        let app = registry::find("hello-musl-static").unwrap();
+        let outcome = run_app(&ExecEnv::Linux, app.as_ref(), Workload::HealthCheck);
+        let verdict = TestScript::new().evaluate(&outcome, Workload::HealthCheck, None);
+        assert!(verdict.success, "{:?}", verdict.reasons);
+    }
+
+    #[test]
+    fn empty_restricted_env_fails_real_apps() {
+        let app = registry::find("redis").unwrap();
+        let env = ExecEnv::Restricted(KernelProfile::new("bare-metal", SysnoSet::new()));
+        let outcome = run_app(&env, app.as_ref(), Workload::HealthCheck);
+        let verdict = TestScript::new().evaluate(&outcome, Workload::HealthCheck, None);
+        assert!(!verdict.success, "no syscalls, no service");
+    }
+
+    #[test]
+    fn restricted_env_with_full_surface_matches_linux() {
+        let app = registry::find("hello-musl-static").unwrap();
+        let full: SysnoSet = Sysno::all().collect();
+        let env = ExecEnv::Restricted(KernelProfile::new("everything", full));
+        let restricted = run_app(&env, app.as_ref(), Workload::HealthCheck);
+        let linux = run_app(&ExecEnv::Linux, app.as_ref(), Workload::HealthCheck);
+        assert_eq!(restricted, linux, "a full profile is transparent");
+    }
+
+    #[test]
+    fn exec_env_serde_roundtrip_and_default() {
+        assert_eq!(ExecEnv::default(), ExecEnv::Linux);
+        let env = ExecEnv::Restricted(KernelProfile::new(
+            "kerla",
+            [Sysno::read, Sysno::write].into_iter().collect(),
+        ));
+        let json = serde_json::to_string(&env).unwrap();
+        let back: ExecEnv = serde_json::from_str(&json).unwrap();
+        assert_eq!(env, back);
+        assert_eq!(back.name(), "kerla");
+        assert_eq!(ExecEnv::Linux.name(), "linux");
+    }
+}

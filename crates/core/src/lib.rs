@@ -34,7 +34,7 @@
 
 pub mod anomaly;
 pub mod engine;
-pub mod fakes;
+pub mod exec;
 pub mod interpose;
 pub mod policy;
 pub mod report;
@@ -42,8 +42,14 @@ pub mod script;
 pub mod stats;
 pub mod trace;
 
+/// Re-export: fake success values now live beside the kernels that
+/// answer them (`loupe_kernel::fakes`), shared by the interposition
+/// layer and [`RestrictedKernel`](loupe_kernel::RestrictedKernel).
+pub use loupe_kernel::fakes;
+
 pub use anomaly::LogProfile;
 pub use engine::{transfer_hints, AnalysisConfig, Engine, EngineError, PerfPolicy, RunStats};
+pub use exec::{run_app, ExecEnv};
 pub use interpose::Interposed;
 pub use policy::{Action, Policy};
 pub use report::{AppReport, FeatureClass, Impact, ImpactRecord};

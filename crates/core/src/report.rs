@@ -111,6 +111,13 @@ pub struct AppReport {
     pub traced: BTreeMap<Sysno, u64>,
     /// Per-syscall classification.
     pub classes: BTreeMap<Sysno, FeatureClass>,
+    /// Syscalls the confirmed combined stub/fake policy passed through
+    /// to the kernel although the baseline never traced them: fallback
+    /// paths activated by stubbing/faking (e.g. `epoll_create` once
+    /// `epoll_create1` is stubbed). Effectively required by any OS that
+    /// relies on this report's stub/fake classification.
+    #[serde(default)]
+    pub fallbacks: SysnoSet,
     /// Per-syscall perf/resource impact annotations.
     pub impacts: BTreeMap<Sysno, ImpactRecord>,
     /// Per-sub-feature classification (vectored syscalls, §5.4).
@@ -143,6 +150,14 @@ impl AppReport {
             .filter(|(_, c)| c.is_required())
             .map(|(s, _)| *s)
             .collect()
+    }
+
+    /// Everything an OS must implement for this report's stub/fake
+    /// conclusions to hold: the required classes plus the fallback
+    /// syscalls the combined policy exercised — the set support plans
+    /// build on.
+    pub fn plan_required(&self) -> SysnoSet {
+        self.required().union(&self.fallbacks)
     }
 
     /// Syscalls that pass when stubbed.
@@ -291,6 +306,7 @@ mod tests {
             workload: Workload::Benchmark,
             traced: classes.keys().map(|s| (*s, 1)).collect(),
             classes,
+            fallbacks: SysnoSet::new(),
             impacts: BTreeMap::new(),
             sub_features: vec![],
             pseudo_files: BTreeMap::new(),
@@ -322,6 +338,7 @@ mod tests {
             )]
             .into_iter()
             .collect(),
+            fallbacks: SysnoSet::new(),
             impacts: BTreeMap::new(),
             sub_features: vec![(
                 loupe_syscalls::SubFeature::F_SETFD.key(),

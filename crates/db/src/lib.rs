@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 
 use loupe_apps::Workload;
 use loupe_core::{AppReport, FeatureClass};
-use loupe_plan::{AppRequirement, OsSpec};
+use loupe_plan::{AppRequirement, OsSpec, PlanValidation};
 
 /// A directory-backed measurement database.
 #[derive(Debug, Clone)]
@@ -202,6 +202,91 @@ impl Database {
         Ok(out)
     }
 
+    /// Stores a plan-validation verdict under
+    /// `<root>/plans/<os>/<workload>.json`, overwriting any previous
+    /// validation of the same (OS, workload) — unlike measurements,
+    /// validations are not merged: they describe one deterministic
+    /// replay of the current plan.
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialisation failures.
+    pub fn save_plan_validation(&self, validation: &PlanValidation) -> Result<(), DbError> {
+        let path = self.plan_path(&validation.os, validation.workload);
+        fs::create_dir_all(path.parent().expect("plan path has parent"))?;
+        let json = serde_json::to_string_pretty(validation).map_err(|e| DbError::Corrupt {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        fs::write(&path, json)?;
+        Ok(())
+    }
+
+    /// Loads the stored validation for `(os, workload)`, if any.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt entries.
+    pub fn load_plan_validation(
+        &self,
+        os: &str,
+        workload: Workload,
+    ) -> Result<Option<PlanValidation>, DbError> {
+        let path = self.plan_path(os, workload);
+        match fs::read_to_string(&path) {
+            Ok(text) => serde_json::from_str(&text)
+                .map(Some)
+                .map_err(|e| DbError::Corrupt {
+                    path,
+                    message: e.to_string(),
+                }),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Lists `(os, workload)` pairs with stored plan validations.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn list_plan_validations(&self) -> Result<Vec<(String, Workload)>, DbError> {
+        let root = self.root.join("plans");
+        let mut out = Vec::new();
+        let entries = match fs::read_dir(&root) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e.into()),
+        };
+        for os_dir in entries {
+            let os_dir = os_dir?;
+            if !os_dir.file_type()?.is_dir() {
+                continue;
+            }
+            let os = os_dir.file_name().to_string_lossy().into_owned();
+            for entry in fs::read_dir(os_dir.path())? {
+                let entry = entry?;
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let workload = match name.as_str() {
+                    "health.json" => Workload::HealthCheck,
+                    "bench.json" => Workload::Benchmark,
+                    "suite.json" => Workload::TestSuite,
+                    _ => continue,
+                };
+                out.push((os.clone(), workload));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn plan_path(&self, os: &str, workload: Workload) -> PathBuf {
+        self.root
+            .join("plans")
+            .join(os)
+            .join(format!("{}.json", workload.label()))
+    }
+
     /// Writes an OS support spec in CSV form under `<root>/os/<name>.csv`.
     ///
     /// # Errors
@@ -247,6 +332,9 @@ pub fn merge_reports(a: &AppReport, b: &AppReport) -> AppReport {
     for (s, n) in &b.traced {
         *merged.traced.entry(*s).or_insert(0) += *n;
     }
+    // Fallback requirements union: a fallback path observed by either
+    // measurement must be honoured by plans built on the merged entry.
+    merged.fallbacks = a.fallbacks.union(&b.fallbacks);
     for (s, class_b) in &b.classes {
         let entry = merged.classes.entry(*s).or_insert(*class_b);
         *entry = FeatureClass {
@@ -368,6 +456,59 @@ mod tests {
         let back = db.load_os_spec("kerla").unwrap().unwrap();
         assert_eq!(back.supported, spec.supported);
         assert!(db.load_os_spec("nonexistent").unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plan_validation_roundtrip_and_listing() {
+        use loupe_plan::{InitialVerdict, StepVerdict, SupportPlan};
+        let dir = tmpdir("plans");
+        let db = Database::open(&dir).unwrap();
+        assert!(db.list_plan_validations().unwrap().is_empty());
+        let validation = PlanValidation {
+            os: "kerla".into(),
+            workload: Workload::HealthCheck,
+            plan: SupportPlan {
+                os: "kerla".into(),
+                initially_supported: vec!["hello".into()],
+                steps: vec![],
+            },
+            initial: vec![InitialVerdict {
+                app: "hello".into(),
+                passes: true,
+            }],
+            steps: vec![StepVerdict {
+                index: 1,
+                app: "redis".into(),
+                unlocked: true,
+                locked_before: Some(true),
+            }],
+        };
+        db.save_plan_validation(&validation).unwrap();
+        let back = db
+            .load_plan_validation("kerla", Workload::HealthCheck)
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, validation);
+        assert_eq!(
+            db.list_plan_validations().unwrap(),
+            vec![("kerla".to_owned(), Workload::HealthCheck)]
+        );
+        assert!(db
+            .load_plan_validation("kerla", Workload::Benchmark)
+            .unwrap()
+            .is_none());
+        // Validations live outside the measurement namespace.
+        assert!(db.list().unwrap().is_empty());
+        // Re-saving overwrites (no merge): one deterministic replay.
+        let mut second = validation.clone();
+        second.steps[0].unlocked = false;
+        db.save_plan_validation(&second).unwrap();
+        let back = db
+            .load_plan_validation("kerla", Workload::HealthCheck)
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, second);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -8,7 +8,7 @@
 //! Table 2), and a small plausible descriptor number for fd-returning
 //! calls.
 
-use loupe_kernel::Invocation;
+use crate::invocation::Invocation;
 use loupe_syscalls::Sysno;
 
 /// The value a *faked* invocation returns.

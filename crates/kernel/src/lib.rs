@@ -34,6 +34,7 @@
 //! ```
 
 pub mod clock;
+pub mod fakes;
 pub mod fd;
 pub mod futex;
 pub mod invocation;
@@ -42,14 +43,17 @@ pub mod linux;
 pub mod mem;
 pub mod net;
 pub mod resources;
+pub mod restricted;
 pub mod signals;
 pub mod vfs;
 
 pub use clock::VirtualClock;
+pub use fakes::fake_value;
 pub use invocation::{Invocation, Payload, SysOutcome};
 pub use linux::LinuxSim;
 pub use net::HostPort;
 pub use resources::ResourceUsage;
+pub use restricted::{Disposition, KernelProfile, RestrictedKernel};
 
 use loupe_syscalls::Errno;
 
@@ -83,6 +87,39 @@ pub trait Kernel {
 
     /// Loads from a user-space word.
     fn mem_load(&self, addr: u64) -> u32;
+}
+
+/// Boxed kernels are kernels too — execution environments hand the
+/// engine a `Box<dyn Kernel>` and everything downstream (interposition,
+/// restriction) composes over it.
+impl<K: Kernel + ?Sized> Kernel for Box<K> {
+    fn syscall(&mut self, inv: &Invocation) -> SysOutcome {
+        (**self).syscall(inv)
+    }
+
+    fn charge(&mut self, cost: u64) {
+        (**self).charge(cost);
+    }
+
+    fn now(&self) -> u64 {
+        (**self).now()
+    }
+
+    fn usage(&self) -> ResourceUsage {
+        (**self).usage()
+    }
+
+    fn host_mut(&mut self) -> &mut HostPort {
+        (**self).host_mut()
+    }
+
+    fn mem_store(&mut self, addr: u64, val: u32) {
+        (**self).mem_store(addr, val);
+    }
+
+    fn mem_load(&self, addr: u64) -> u32 {
+        (**self).mem_load(addr)
+    }
 }
 
 /// Convenience: builds an error return value.

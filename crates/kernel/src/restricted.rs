@@ -1,0 +1,247 @@
+//! A kernel restricted to an OS support profile (§4.1 validation).
+//!
+//! The paper's incremental support plans are *predictions*: "implement
+//! these syscalls, stub/fake those, and the app will run on your OS".
+//! [`RestrictedKernel`] lets the engine *execute* that prediction: it
+//! wraps a full-featured kernel but only forwards the system calls a
+//! [`KernelProfile`] declares implemented — everything else is answered
+//! at the boundary, `-ENOSYS` for unimplemented/stubbed calls and a
+//! syscall-specific success value for faked ones. Running an application
+//! against a `RestrictedKernel` built from a support plan's cumulative
+//! state emulates the target OS mid-way through that plan.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use loupe_syscalls::{Errno, Sysno, SysnoSet};
+
+use crate::clock::INTERCEPT_COST;
+use crate::fakes::fake_value;
+use crate::invocation::{Invocation, SysOutcome};
+use crate::net::HostPort;
+use crate::resources::ResourceUsage;
+use crate::Kernel;
+
+/// The syscall surface one execution environment provides: what is
+/// implemented for real, what is deliberately stubbed, and what is
+/// shimmed with a fake success value.
+///
+/// Precedence, mirroring how a real support plan layers work:
+/// **implemented** beats both overlays (a real implementation supersedes
+/// any shim), **faked** beats **stubbed** (a fake shim is installed
+/// precisely because `-ENOSYS` was measured insufficient), and anything
+/// else — including syscalls the profile has never heard of — returns
+/// `-ENOSYS`, exactly like an OS that has not implemented the call.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Profile name (usually the target OS, e.g. `kerla @ step 3`).
+    pub name: String,
+    /// Syscalls forwarded to the backing kernel.
+    pub implemented: SysnoSet,
+    /// Syscalls deliberately answered with `-ENOSYS`.
+    pub stubbed: SysnoSet,
+    /// Syscalls answered with a fake success value.
+    pub faked: SysnoSet,
+}
+
+impl KernelProfile {
+    /// Creates a profile that implements exactly `implemented`.
+    pub fn new(name: impl Into<String>, implemented: SysnoSet) -> KernelProfile {
+        KernelProfile {
+            name: name.into(),
+            implemented,
+            stubbed: SysnoSet::new(),
+            faked: SysnoSet::new(),
+        }
+    }
+
+    /// How the profile answers `sysno`.
+    pub fn disposition(&self, sysno: Sysno) -> Disposition {
+        if self.implemented.contains(sysno) {
+            Disposition::Forward
+        } else if self.faked.contains(sysno) {
+            Disposition::Fake
+        } else {
+            Disposition::Enosys
+        }
+    }
+}
+
+/// What a [`KernelProfile`] does with one system call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Forward to the backing kernel.
+    Forward,
+    /// Answer `-ENOSYS` (unimplemented or deliberately stubbed).
+    Enosys,
+    /// Answer a syscall-specific fake success value.
+    Fake,
+}
+
+/// A kernel that only exposes the syscall surface of a [`KernelProfile`].
+///
+/// Wraps any [`Kernel`]; calls outside the profile never reach it.
+/// Helper invocations (test-script binaries tagged `helper:`) bypass the
+/// restriction, mirroring how Loupe's whitelist lets the measurement
+/// harness itself run on the host.
+#[derive(Debug)]
+pub struct RestrictedKernel<K> {
+    inner: K,
+    profile: KernelProfile,
+    rejections: BTreeMap<Sysno, u64>,
+    faked: BTreeMap<Sysno, u64>,
+}
+
+impl<K: Kernel> RestrictedKernel<K> {
+    /// Restricts `inner` to `profile`.
+    pub fn new(inner: K, profile: KernelProfile) -> RestrictedKernel<K> {
+        RestrictedKernel {
+            inner,
+            profile,
+            rejections: BTreeMap::new(),
+            faked: BTreeMap::new(),
+        }
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> &KernelProfile {
+        &self.profile
+    }
+
+    /// Per-syscall counts of invocations answered `-ENOSYS` because the
+    /// profile does not implement them — the first thing to inspect when
+    /// a plan-validation run fails.
+    pub fn rejections(&self) -> &BTreeMap<Sysno, u64> {
+        &self.rejections
+    }
+
+    /// Per-syscall counts of invocations answered by the fake overlay.
+    pub fn fake_hits(&self) -> &BTreeMap<Sysno, u64> {
+        &self.faked
+    }
+
+    /// Borrow of the backing kernel (provisioning, diagnostics).
+    pub fn inner_mut(&mut self) -> &mut K {
+        &mut self.inner
+    }
+
+    /// Consumes the wrapper, returning the backing kernel.
+    pub fn into_inner(self) -> K {
+        self.inner
+    }
+}
+
+impl<K: Kernel> Kernel for RestrictedKernel<K> {
+    fn syscall(&mut self, inv: &Invocation) -> SysOutcome {
+        // Test-script helper binaries run on the measurement host, not
+        // the OS under development — never restricted.
+        if inv.note.is_some_and(|n| n.starts_with("helper:")) {
+            return self.inner.syscall(inv);
+        }
+        match self.profile.disposition(inv.sysno) {
+            Disposition::Forward => self.inner.syscall(inv),
+            Disposition::Enosys => {
+                *self.rejections.entry(inv.sysno).or_insert(0) += 1;
+                self.inner.charge(INTERCEPT_COST);
+                SysOutcome::err(Errno::ENOSYS)
+            }
+            Disposition::Fake => {
+                *self.faked.entry(inv.sysno).or_insert(0) += 1;
+                self.inner.charge(INTERCEPT_COST);
+                SysOutcome::ok(fake_value(inv))
+            }
+        }
+    }
+
+    fn charge(&mut self, cost: u64) {
+        self.inner.charge(cost);
+    }
+
+    fn now(&self) -> u64 {
+        self.inner.now()
+    }
+
+    fn usage(&self) -> ResourceUsage {
+        self.inner.usage()
+    }
+
+    fn host_mut(&mut self) -> &mut HostPort {
+        self.inner.host_mut()
+    }
+
+    fn mem_store(&mut self, addr: u64, val: u32) {
+        self.inner.mem_store(addr, val);
+    }
+
+    fn mem_load(&self, addr: u64) -> u32 {
+        self.inner.mem_load(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinuxSim;
+
+    fn profile(implemented: &[Sysno]) -> KernelProfile {
+        KernelProfile::new("test-os", implemented.iter().copied().collect())
+    }
+
+    #[test]
+    fn implemented_calls_reach_the_kernel() {
+        let mut k = RestrictedKernel::new(LinuxSim::new(), profile(&[Sysno::getpid]));
+        let r = k.syscall(&Invocation::new(Sysno::getpid, [0; 6]));
+        assert!(r.ret > 0);
+        assert!(k.rejections().is_empty());
+    }
+
+    #[test]
+    fn unimplemented_calls_return_enosys() {
+        let mut k = RestrictedKernel::new(LinuxSim::new(), profile(&[Sysno::getpid]));
+        let r = k.syscall(&Invocation::new(Sysno::uname, [0; 6]));
+        assert_eq!(r.errno(), Some(Errno::ENOSYS));
+        assert_eq!(k.rejections()[&Sysno::uname], 1);
+    }
+
+    #[test]
+    fn faked_calls_return_success_without_work() {
+        let mut p = profile(&[]);
+        p.faked.insert(Sysno::write);
+        let mut k = RestrictedKernel::new(LinuxSim::new(), p);
+        let r = k.syscall(&Invocation::new(Sysno::write, [1, 0, 128, 0, 0, 0]));
+        assert_eq!(r.ret, 128, "write fake reports full length");
+        assert_eq!(k.usage().cur_fds, 0);
+        assert_eq!(k.fake_hits()[&Sysno::write], 1);
+    }
+
+    #[test]
+    fn implemented_beats_fake_beats_stub() {
+        let mut p = profile(&[Sysno::getpid]);
+        p.faked.insert(Sysno::getpid);
+        p.stubbed.insert(Sysno::getpid);
+        assert_eq!(p.disposition(Sysno::getpid), Disposition::Forward);
+        let mut p2 = profile(&[]);
+        p2.faked.insert(Sysno::getuid);
+        p2.stubbed.insert(Sysno::getuid);
+        assert_eq!(p2.disposition(Sysno::getuid), Disposition::Fake);
+        assert_eq!(p2.disposition(Sysno::geteuid), Disposition::Enosys);
+    }
+
+    #[test]
+    fn helpers_bypass_the_restriction() {
+        let mut k = RestrictedKernel::new(LinuxSim::new(), profile(&[]));
+        let r = k.syscall(&Invocation::new(Sysno::getpid, [0; 6]).with_note("helper:sh"));
+        assert!(r.ret > 0, "helper calls run on the host kernel");
+        assert!(k.rejections().is_empty());
+    }
+
+    #[test]
+    fn profile_serde_roundtrip() {
+        let mut p = profile(&[Sysno::read, Sysno::write]);
+        p.stubbed.insert(Sysno::sysinfo);
+        p.faked.insert(Sysno::prctl);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: KernelProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -11,16 +11,22 @@
 //!   syscalls-implemented under a Loupe-optimised plan, an "organic"
 //!   historical order, and naive trace-everything dynamic analysis;
 //! * **API importance** (Fig. 3): the fraction of applications requiring
-//!   each syscall, under naive and Loupe definitions of "required".
+//!   each syscall, under naive and Loupe definitions of "required";
+//! * **empirical plan validation** ([`validate`]): replaying a support
+//!   plan step-by-step on a restricted kernel that emulates the target
+//!   OS, proving each step really unlocks its application — and no
+//!   earlier.
 
 pub mod importance;
 pub mod os;
 pub mod plan;
 pub mod requirement;
 pub mod savings;
+pub mod validate;
 
 pub use importance::{api_importance, ImportancePoint};
 pub use os::OsSpec;
 pub use plan::{PlanStep, SupportPlan};
 pub use requirement::AppRequirement;
 pub use savings::{curve_points, SavingsCurve, SavingsPoint};
+pub use validate::{InitialVerdict, PlanValidation, PlanValidator, StepVerdict, ValidateError};

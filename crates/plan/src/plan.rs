@@ -63,7 +63,7 @@ impl SupportPlan {
             let (pos, _) = remaining
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, app)| {
+                .min_by_key(|&(_, app)| {
                     let miss_req = app.missing_required(&implemented).len();
                     let miss_stub = app
                         .stubbable
@@ -75,7 +75,7 @@ impl SupportPlan {
                         .difference(&implemented)
                         .difference(&faked)
                         .len();
-                    (miss_req, miss_stub + miss_fake, app.app.clone())
+                    (miss_req, miss_stub + miss_fake, app.app.as_str())
                 })
                 .expect("remaining non-empty");
             let app = remaining.remove(pos);
@@ -146,7 +146,7 @@ impl SupportPlan {
                     format!("({} syscalls)", set.len())
                 } else {
                     set.iter()
-                        .map(|s| s.raw().to_string())
+                        .map(|s| s.name().to_owned())
                         .collect::<Vec<_>>()
                         .join(", ")
                 }
@@ -237,5 +237,9 @@ mod tests {
         let table = plan.to_table();
         assert!(table.contains("+ a"));
         assert!(table.contains("Step"));
+        assert!(
+            table.contains("read") && !table.contains(" 0 | "),
+            "syscalls render by name, not raw number: {table}"
+        );
     }
 }

@@ -21,9 +21,14 @@ pub struct AppRequirement {
 }
 
 impl AppRequirement {
-    /// Distils a requirement from an engine report.
+    /// Distils a requirement from an engine report. The required set is
+    /// [`AppReport::plan_required`]: the required classes *plus* the
+    /// fallback syscalls the confirmed combined policy exercised — on a
+    /// kernel that stubs/fakes the avoidable set, those fallback paths
+    /// are the ones that run, so an OS following the plan must implement
+    /// them too.
     pub fn from_report(report: &AppReport) -> AppRequirement {
-        let required = report.required();
+        let required = report.plan_required();
         let stubbable = report.stubbable();
         let fake_only = report.fakeable().difference(&stubbable);
         AppRequirement {
@@ -31,7 +36,7 @@ impl AppRequirement {
             required,
             stubbable,
             fake_only,
-            traced: report.traced(),
+            traced: report.traced().union(&report.fallbacks),
         }
     }
 

@@ -1,0 +1,166 @@
+//! Property tests for the support-plan invariants: whatever the fleet's
+//! measured requirements look like, a generated plan must cover every
+//! app's needs by its unlock step, never schedule the same work twice,
+//! grow its small-step fraction monotonically, and — on an OS that
+//! implements everything — agree with `supported_by` and validate
+//! empirically against the real application models.
+
+use loupe_apps::{registry, Workload};
+use loupe_plan::{OsSpec, PlanValidator, SupportPlan};
+use loupe_syscalls::{Sysno, SysnoSet};
+use proptest::prelude::*;
+
+use loupe_plan::AppRequirement;
+
+/// The sampling pool: every defined syscall number below 330 (dense
+/// x86-64 range), so random sets overlap enough to exercise sharing.
+fn pool() -> Vec<Sysno> {
+    (0u32..330).filter_map(Sysno::from_raw).collect()
+}
+
+/// Builds one requirement from sampled indices; the three class sets are
+/// made disjoint the same way the engine guarantees (a syscall has one
+/// classification per app).
+fn req(
+    name: usize,
+    required: &[usize],
+    stubbable: &[usize],
+    fake_only: &[usize],
+) -> AppRequirement {
+    let pool = pool();
+    let pick = |idxs: &[usize]| -> SysnoSet { idxs.iter().map(|i| pool[i % pool.len()]).collect() };
+    let required = pick(required);
+    let stubbable = pick(stubbable).difference(&required);
+    let fake_only = pick(fake_only).difference(&required).difference(&stubbable);
+    AppRequirement {
+        app: format!("app-{name}"),
+        traced: required.union(&stubbable).union(&fake_only),
+        required,
+        stubbable,
+        fake_only,
+    }
+}
+
+/// Samples a small fleet of requirements plus an OS support prefix.
+fn fleet(seed: &[usize]) -> (OsSpec, Vec<AppRequirement>) {
+    let pool = pool();
+    let chunks: Vec<&[usize]> = seed.chunks(9).collect();
+    let apps: Vec<AppRequirement> = chunks
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let (a, rest) = c.split_at(c.len() / 3);
+            let (b, d) = rest.split_at(rest.len() / 2);
+            req(i, a, b, d)
+        })
+        .collect();
+    let os_size = seed.first().copied().unwrap_or(0) % pool.len();
+    let supported: SysnoSet = pool.into_iter().take(os_size).collect();
+    (OsSpec::new("prop-os", "1", supported), apps)
+}
+
+proptest! {
+    #[test]
+    fn unlock_steps_cover_every_need(seed in proptest::collection::vec(0usize..4000, 9..72)) {
+        let (os, apps) = fleet(&seed);
+        let plan = SupportPlan::generate(&os, &apps);
+
+        // Replay the cumulative sets and check coverage at each unlock.
+        let mut implemented = os.supported.clone();
+        let mut stubbed = SysnoSet::new();
+        let mut faked = SysnoSet::new();
+        for step in &plan.steps {
+            implemented.extend(step.implement.iter());
+            stubbed.extend(step.stub.iter());
+            faked.extend(step.fake.iter());
+            let app = apps.iter().find(|a| a.app == step.unlocks).expect("unlocks a real app");
+            prop_assert!(
+                app.required.is_subset(&implemented),
+                "step {}: required not fully implemented", step.index
+            );
+            // Every stubbable syscall is implemented or (explicitly or
+            // implicitly) answered -ENOSYS; every fake-only syscall is
+            // implemented or faked.
+            for s in app.stubbable.iter() {
+                prop_assert!(
+                    implemented.contains(s) || stubbed.contains(s),
+                    "step {}: stubbable {s} unscheduled", step.index
+                );
+            }
+            for s in app.fake_only.iter() {
+                prop_assert!(
+                    implemented.contains(s) || faked.contains(s),
+                    "step {}: fake-only {s} unshimmed", step.index
+                );
+            }
+        }
+        // Every app ends up either initially supported or unlocked.
+        prop_assert_eq!(plan.initially_supported.len() + plan.steps.len(), apps.len());
+    }
+
+    #[test]
+    fn no_work_is_scheduled_twice(seed in proptest::collection::vec(0usize..4000, 9..72)) {
+        let (os, apps) = fleet(&seed);
+        let plan = SupportPlan::generate(&os, &apps);
+        let mut implemented = os.supported.clone();
+        let mut stubbed = SysnoSet::new();
+        let mut faked = SysnoSet::new();
+        for step in &plan.steps {
+            for s in step.implement.iter() {
+                prop_assert!(implemented.insert(s), "{s} implemented twice");
+            }
+            for s in step.stub.iter() {
+                prop_assert!(!implemented.contains(s), "{s} stubbed after implementing");
+                prop_assert!(stubbed.insert(s), "{s} stubbed twice");
+            }
+            for s in step.fake.iter() {
+                prop_assert!(!implemented.contains(s), "{s} faked after implementing");
+                prop_assert!(faked.insert(s), "{s} faked twice");
+            }
+        }
+    }
+
+    #[test]
+    fn small_step_fraction_is_monotone_in_k(seed in proptest::collection::vec(0usize..4000, 9..72)) {
+        let (os, apps) = fleet(&seed);
+        let plan = SupportPlan::generate(&os, &apps);
+        let mut prev = 0.0f64;
+        for k in 0..12 {
+            let f = plan.small_step_fraction(k);
+            prop_assert!(f >= prev, "fraction shrank at k={k}: {f} < {prev}");
+            prop_assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+        prop_assert_eq!(plan.small_step_fraction(usize::MAX), 1.0);
+    }
+
+    #[test]
+    fn full_linux_plan_agrees_with_supported_by_and_validates(n in 1usize..8) {
+        // On a spec implementing every syscall, supported_by is true for
+        // every app, the plan is all step-0, and the empirical replay
+        // (real app models on a restricted-but-complete kernel) agrees.
+        let workload = Workload::HealthCheck;
+        let engine = loupe_core::Engine::new(loupe_core::AnalysisConfig::fast());
+        let reqs: Vec<AppRequirement> = registry::detailed()
+            .into_iter()
+            .take(n)
+            .map(|app| {
+                let report = engine.analyze(app.as_ref(), workload).unwrap();
+                AppRequirement::from_report(&report)
+            })
+            .collect();
+        let full: SysnoSet = Sysno::all().collect();
+        let spec = OsSpec::new("linux-full", "all", full);
+        for r in &reqs {
+            prop_assert!(r.supported_by(&spec.supported));
+        }
+        let plan = SupportPlan::generate(&spec, &reqs);
+        prop_assert!(plan.steps.is_empty());
+        prop_assert_eq!(plan.initially_supported.len(), reqs.len());
+        let validation = PlanValidator::new()
+            .validate(&spec.supported, &plan, &reqs, workload, registry::find)
+            .unwrap();
+        prop_assert!(validation.is_valid(), "{}", validation.to_table());
+        prop_assert!(validation.initial.iter().all(|v| v.passes));
+    }
+}

@@ -13,8 +13,13 @@
 //! * [`FleetStats`] aggregates the resulting reports into per-syscall
 //!   rollups (apps using / requiring / able to stub or fake each call,
 //!   ranked by `loupe_plan::api_importance`);
+//! * [`plans`] replays the Table 1 support plan of every curated OS on
+//!   a restricted kernel (`loupe_kernel::RestrictedKernel`) and persists
+//!   the per-step verdicts — turning predicted plans into validated
+//!   ones;
 //! * [`report`] renders the database as kerla-style Markdown: a
-//!   fleet-wide `COMPATIBILITY.md` support matrix plus per-app pages,
+//!   fleet-wide `COMPATIBILITY.md` support matrix, a `SUPPORT_PLANS.md`
+//!   per-OS plan book with validation verdicts, plus per-app pages,
 //!   with a drift check for CI.
 //!
 //! # Examples
@@ -39,7 +44,10 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod plans;
 pub mod report;
+
+pub use plans::{validate_curated_plans, validate_plans, PlanSweepError};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -14,7 +14,8 @@ use std::path::{Path, PathBuf};
 use loupe_apps::Workload;
 use loupe_core::AppReport;
 use loupe_db::{Database, DbError};
-use loupe_plan::{os, SupportPlan};
+use loupe_plan::{os, PlanValidation, SupportPlan};
+use loupe_syscalls::SysnoSet;
 
 use crate::FleetStats;
 
@@ -96,7 +97,19 @@ pub fn reports_by_workload(db: &Database) -> Result<BTreeMap<Workload, Vec<AppRe
 /// Database I/O and corruption errors.
 pub fn render(db: &Database) -> Result<RenderedDocs, DbError> {
     let grouped = reports_by_workload(db)?;
-    let mut files = vec![(PathBuf::from("COMPATIBILITY.md"), render_matrix(&grouped))];
+    let mut validations = BTreeMap::new();
+    for (os_name, workload) in db.list_plan_validations()? {
+        if let Some(v) = db.load_plan_validation(&os_name, workload)? {
+            validations.insert((workload, os_name), v);
+        }
+    }
+    let mut files = vec![
+        (PathBuf::from("COMPATIBILITY.md"), render_matrix(&grouped)),
+        (
+            PathBuf::from("SUPPORT_PLANS.md"),
+            render_support_plans(&grouped, &validations),
+        ),
+    ];
 
     let mut by_app: BTreeMap<&str, Vec<&AppReport>> = BTreeMap::new();
     for reports in grouped.values() {
@@ -180,7 +193,7 @@ pub fn render_matrix(grouped: &BTreeMap<Workload, Vec<AppReport>>) -> String {
         "Generated by `loupe report` from a sweep database — **do not edit by\n\
          hand**. Regenerate with:\n\n\
          ```sh\n\
-         cargo run --release -p loupe-cli -- sweep --db target/loupedb --workload all\n\
+         cargo run --release -p loupe-cli -- sweep --db target/loupedb --workload all --jobs 2 --transfer --validate-plans\n\
          cargo run --release -p loupe-cli -- report --db target/loupedb --docs docs\n\
          ```\n\n\
          For every system call the fleet exercises, the matrix shows how many\n\
@@ -235,6 +248,208 @@ pub fn render_matrix(grouped: &BTreeMap<Workload, Vec<AppReport>>) -> String {
 
     out.push_str("---\n\nPer-application breakdowns live in [`apps/`](apps/README.md).\n");
     out
+}
+
+/// How one (OS, workload) plan relates to its stored validation.
+enum PlanStatus<'a> {
+    /// No validation stored: the plan is a prediction only.
+    Predicted,
+    /// A validation is stored but was produced from a *different* plan
+    /// (measurements moved since): its verdicts no longer apply.
+    Stale,
+    /// The stored validation matches this plan.
+    Validated(&'a PlanValidation),
+}
+
+/// Renders `SUPPORT_PLANS.md`: the per-OS Table 1 analogue, with each
+/// step's empirical verdict when a matching validation is stored.
+pub fn render_support_plans(
+    grouped: &BTreeMap<Workload, Vec<AppReport>>,
+    validations: &BTreeMap<(Workload, String), PlanValidation>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("# Incremental support plans\n\n");
+    out.push_str(
+        "Generated by `loupe report` from a sweep database — **do not edit by\n\
+         hand**. Regenerate (and re-validate) with:\n\n\
+         ```sh\n\
+         cargo run --release -p loupe-cli -- sweep --db target/loupedb --workload all --jobs 2 --transfer --validate-plans\n\
+         cargo run --release -p loupe-cli -- report --db target/loupedb --docs docs\n\
+         ```\n\n\
+         For every curated OS (§4.1), the ordered steps that unlock the\n\
+         measured fleet: implement the *Implement* column for real, answer the\n\
+         *Stub* column with `-ENOSYS`, shim the *Fake* column with success\n\
+         values. *Verdict* is **empirical** where a stored validation matches\n\
+         the plan: the unlocked app's workload was replayed on a restricted\n\
+         kernel exposing exactly the step's cumulative syscall surface, and\n\
+         must pass there. Each step is also replayed one step earlier:\n\
+         failing there proves the step *tight*; passing there is an *early\n\
+         unlock* — the planner over-estimated, because a \"required\"\n\
+         syscall can hide behind a code path that other stubbed features\n\
+         disable. Steps adding no kernel behaviour (stub-only) are *free*:\n\
+         unimplemented already answers `-ENOSYS`.\n\n",
+    );
+
+    for (&workload, reports) in grouped {
+        let stats = FleetStats::aggregate(workload, reports);
+        let _ = writeln!(
+            out,
+            "## {} workload — {} applications\n",
+            workload_title(workload),
+            stats.apps
+        );
+
+        // Per-OS overview, then the step-by-step tables.
+        out.push_str(
+            "| OS | Supported today | Apps working now | Plan steps | Syscalls to implement | Steps needing ≤3 | Validation |\n\
+             |----|----------------:|-----------------:|-----------:|----------------------:|------------------:|------------|\n",
+        );
+        let planned: Vec<(loupe_plan::OsSpec, SupportPlan, PlanStatus)> = os::db()
+            .into_iter()
+            .map(|spec| {
+                let plan = SupportPlan::generate(&spec, &stats.requirements);
+                let status = plan_status(workload, &plan, validations);
+                (spec, plan, status)
+            })
+            .collect();
+        for (spec, plan, status) in &planned {
+            let _ = writeln!(
+                out,
+                "| [{}](#{}-{}-workload) | {} | {} | {} | {} | {:.0}% | {} |",
+                spec.name,
+                spec.name,
+                workload_title(workload),
+                spec.supported.len(),
+                plan.initially_supported.len(),
+                plan.steps.len(),
+                plan.total_implemented(),
+                plan.small_step_fraction(3) * 100.0,
+                match status {
+                    PlanStatus::Predicted => "predicted".to_owned(),
+                    PlanStatus::Stale => "stale (re-run `--validate-plans`)".to_owned(),
+                    PlanStatus::Validated(v) =>
+                        if !v.is_valid() {
+                            format!("**INVALID** ({} failing steps)", v.failing_steps().len())
+                        } else if v.is_tight() {
+                            "**validated**".to_owned()
+                        } else {
+                            format!("**validated**, {} early unlocks", v.early_steps().len())
+                        },
+                }
+            );
+        }
+        out.push('\n');
+
+        for (_, plan, status) in &planned {
+            render_one_plan(&mut out, workload, plan, status);
+        }
+    }
+
+    out.push_str(
+        "---\n\nFleet-wide classifications live in [COMPATIBILITY.md](COMPATIBILITY.md).\n",
+    );
+    out
+}
+
+fn plan_status<'a>(
+    workload: Workload,
+    plan: &SupportPlan,
+    validations: &'a BTreeMap<(Workload, String), PlanValidation>,
+) -> PlanStatus<'a> {
+    match validations.get(&(workload, plan.os.clone())) {
+        None => PlanStatus::Predicted,
+        Some(v) if &v.plan == plan => PlanStatus::Validated(v),
+        Some(_) => PlanStatus::Stale,
+    }
+}
+
+fn fmt_sysno_set(set: &SysnoSet) -> String {
+    if set.is_empty() {
+        "–".to_owned()
+    } else if set.len() > 6 {
+        format!("({} syscalls)", set.len())
+    } else {
+        set.iter()
+            .map(|s| format!("`{}`", s.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+fn render_one_plan(out: &mut String, workload: Workload, plan: &SupportPlan, status: &PlanStatus) {
+    let _ = writeln!(
+        out,
+        "### {} ({} workload)\n",
+        plan.os,
+        workload_title(workload)
+    );
+    let initial_verdict = match status {
+        PlanStatus::Validated(v) => {
+            let failing: Vec<&str> = v
+                .initial
+                .iter()
+                .filter(|iv| !iv.passes)
+                .map(|iv| iv.app.as_str())
+                .collect();
+            if failing.is_empty() {
+                " — all verified to run with zero work".to_owned()
+            } else {
+                format!(
+                    " — **{} fail despite being listed**: {}",
+                    failing.len(),
+                    failing.join(", ")
+                )
+            }
+        }
+        _ => String::new(),
+    };
+    let _ = writeln!(
+        out,
+        "{} applications run before any work{initial_verdict}.\n",
+        plan.initially_supported.len()
+    );
+    if plan.steps.is_empty() {
+        out.push_str("No steps needed.\n\n");
+        return;
+    }
+    out.push_str(
+        "| Step | Implement | Stub | Fake | Support for… | Verdict |\n\
+         |-----:|-----------|------|------|--------------|---------|\n",
+    );
+    for step in &plan.steps {
+        let verdict = match status {
+            PlanStatus::Predicted => "predicted".to_owned(),
+            PlanStatus::Stale => "stale".to_owned(),
+            PlanStatus::Validated(v) => match v.steps.iter().find(|s| s.index == step.index) {
+                None => "missing verdict".to_owned(),
+                Some(s) => {
+                    let mut parts = Vec::new();
+                    parts.push(if s.unlocked {
+                        "✓ unlocks"
+                    } else {
+                        "**✗ still fails**"
+                    });
+                    parts.push(match s.locked_before {
+                        None => "free step",
+                        Some(true) => "tight",
+                        Some(false) => "⚠ unlocked early",
+                    });
+                    parts.join(", ")
+                }
+            },
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | + {} | {} |",
+            step.index,
+            fmt_sysno_set(&step.implement),
+            fmt_sysno_set(&step.stub),
+            fmt_sysno_set(&step.fake),
+            step.unlocks,
+            verdict
+        );
+    }
+    out.push('\n');
 }
 
 /// Table 1-style rollup: how much work each curated OS needs to support
@@ -410,6 +625,19 @@ pub fn render_app_page(app: &str, reports: &[&AppReport]) -> String {
                 names.join("`, `")
             );
         }
+        if !report.fallbacks.is_empty() {
+            let names: Vec<String> = report
+                .fallbacks
+                .iter()
+                .map(|s| s.name().to_owned())
+                .collect();
+            let _ = writeln!(
+                out,
+                "- fallback requirements (untraced in baseline, exercised by the \
+                 combined stub/fake policy): `{}`",
+                names.join("`, `")
+            );
+        }
 
         out.push_str(
             "\n| Syscall | Calls | Classification |\n|---------|------:|----------------|\n",
@@ -525,6 +753,42 @@ mod tests {
         write(&db, &docs).unwrap();
         assert!(!ghost.exists(), "write() prunes orphaned pages");
         assert!(check(&db, &docs).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn support_plans_render_predicted_then_validated() {
+        let (dir, db) = seeded_db("plans", 4);
+        let rendered = render(&db).unwrap();
+        let plans = &rendered
+            .files
+            .iter()
+            .find(|(p, _)| p.ends_with("SUPPORT_PLANS.md"))
+            .unwrap()
+            .1;
+        assert!(plans.contains("kerla"), "every curated OS appears");
+        assert!(
+            plans.contains("predicted") && !plans.contains("✓ unlocks"),
+            "no validations stored yet: predictions only"
+        );
+
+        crate::plans::validate_curated_plans(&db, &[Workload::HealthCheck]).unwrap();
+        let rendered = render(&db).unwrap();
+        let plans = &rendered
+            .files
+            .iter()
+            .find(|(p, _)| p.ends_with("SUPPORT_PLANS.md"))
+            .unwrap()
+            .1;
+        assert!(
+            plans.contains("**validated**"),
+            "summary flips to validated"
+        );
+        assert!(plans.contains("✓ unlocks"), "per-step verdicts render");
+        assert!(
+            !plans.contains("predicted |"),
+            "no step left unvalidated for stored workloads"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

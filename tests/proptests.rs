@@ -175,6 +175,7 @@ proptest! {
                 workload: loupe::apps::Workload::Benchmark,
                 traced: [(Sysno::read, 1)].into_iter().collect(),
                 classes,
+                fallbacks: Default::default(),
                 impacts: BTreeMap::new(),
                 sub_features: vec![],
                 pseudo_files: BTreeMap::new(),

@@ -43,9 +43,10 @@ fn full_fleet_sweep_persists_and_renders() {
     assert!(stats.required_anywhere() < stats.rows.len());
     assert!(stats.importance.first().unwrap().importance >= 0.9);
 
-    // Rendering covers the matrix plus one page per app (and the index).
+    // Rendering covers the matrix, the support-plan book, one page per
+    // app, and the per-app index.
     let rendered = report::render(&db).unwrap();
-    assert_eq!(rendered.files.len(), summary.reports.len() + 2);
+    assert_eq!(rendered.files.len(), summary.reports.len() + 3);
 
     // Written docs pass the drift check; a tampered file fails it.
     let docs = dir.join("docs");
