@@ -146,6 +146,7 @@ impl AppModel for H2o {
                 S::accept4,
                 S::fcntl,
                 S::epoll_create1,
+                S::epoll_create,
                 S::epoll_ctl,
                 S::epoll_wait,
                 S::read,
@@ -162,6 +163,7 @@ impl AppModel for H2o {
                 S::munmap,
                 S::brk,
                 S::clone,
+                S::set_robust_list,
                 S::futex,
                 S::dup,
                 S::sendfile,

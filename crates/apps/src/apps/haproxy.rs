@@ -147,6 +147,7 @@ impl AppModel for Haproxy {
                 S::connect,
                 S::fcntl,
                 S::epoll_create1,
+                S::epoll_create,
                 S::epoll_ctl,
                 S::epoll_wait,
                 S::read,

@@ -196,6 +196,7 @@ impl AppModel for Httpd {
                 S::listen,
                 S::accept,
                 S::setsockopt,
+                S::getsockopt,
                 S::fcntl,
                 S::read,
                 S::writev,
@@ -208,6 +209,7 @@ impl AppModel for Httpd {
                 S::munmap,
                 S::brk,
                 S::clone,
+                S::set_robust_list,
                 S::wait4,
                 S::kill,
                 S::rt_sigaction,

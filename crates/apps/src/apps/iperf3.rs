@@ -123,6 +123,7 @@ impl AppModel for Iperf3 {
                 S::write,
                 S::close,
                 S::epoll_create1,
+                S::epoll_create,
                 S::epoll_ctl,
                 S::epoll_wait,
                 S::mmap,

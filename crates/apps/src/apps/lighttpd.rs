@@ -158,6 +158,7 @@ impl AppModel for Lighttpd {
                 S::socket,
                 S::bind,
                 S::listen,
+                S::setsockopt,
                 S::accept4,
                 S::accept,
                 S::fcntl,

@@ -149,6 +149,7 @@ impl AppModel for Memcached {
                 S::epoll_ctl,
                 S::epoll_wait,
                 S::epoll_create1,
+                S::epoll_create,
                 S::read,
                 S::write,
                 S::close,
@@ -157,6 +158,7 @@ impl AppModel for Memcached {
                 S::munmap,
                 S::brk,
                 S::clone,
+                S::set_robust_list,
                 S::rt_sigaction,
                 S::getuid,
                 S::setuid,

@@ -205,9 +205,11 @@ impl AppModel for MongoDb {
                 S::socket,
                 S::bind,
                 S::listen,
+                S::setsockopt,
                 S::accept4,
                 S::fcntl,
                 S::epoll_create1,
+                S::epoll_create,
                 S::epoll_ctl,
                 S::epoll_wait,
                 S::read,
@@ -235,6 +237,7 @@ impl AppModel for MongoDb {
                 S::madvise,
                 S::mincore,
                 S::clone,
+                S::set_robust_list,
                 S::futex,
                 S::rt_sigaction,
                 S::rt_sigtimedwait,

@@ -389,6 +389,7 @@ impl AppModel for Nginx {
                 S::munmap,
                 S::brk,
                 S::clone,
+                S::set_robust_list,
                 S::rt_sigaction,
                 S::rt_sigsuspend,
                 S::setuid,

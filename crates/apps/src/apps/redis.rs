@@ -306,6 +306,7 @@ impl AppModel for Redis {
                 S::munmap,
                 S::brk,
                 S::clone,
+                S::set_robust_list,
                 S::rt_sigaction,
                 S::rt_sigprocmask,
                 S::futex,

@@ -122,6 +122,7 @@ impl AppModel for Weborf {
                 S::mprotect,
                 S::brk,
                 S::clone,
+                S::set_robust_list,
                 S::poll,
                 S::fcntl,
                 S::getdents64,

@@ -567,6 +567,10 @@ impl AppModel for ProfileApp {
                 S::accept4,
                 S::fcntl,
                 S::epoll_create1,
+                // The shared runtime's event_setup falls back to the
+                // legacy call when epoll_create1 fails — a branch any
+                // source analyser of this code would see.
+                S::epoll_create,
                 S::epoll_ctl,
                 S::epoll_wait,
                 S::writev,

@@ -1,0 +1,90 @@
+//! Criterion benches for the static-analysis stage: the fleet-wide
+//! static sweep (cold, at several worker counts, and pure cache hits)
+//! and the full static-vs-dynamic comparison over a populated database
+//! — the Figs. 4–7 pipeline at 116-app scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use loupe_apps::{registry, Workload};
+use loupe_db::Database;
+use loupe_sweep::{compare, sweep_static, Sweep, SweepConfig};
+
+fn tmp_db(tag: &str) -> Database {
+    let dir =
+        std::env::temp_dir().join(format!("loupe-bench-statics-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    Database::open(dir).expect("open bench db")
+}
+
+fn bench_cold_static_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static-sweep-cold");
+    group.sample_size(10);
+    for workers in [1usize, 4, 0] {
+        let label = if workers == 0 {
+            "auto".to_owned()
+        } else {
+            workers.to_string()
+        };
+        group.bench_function(format!("dataset-116/workers-{label}"), |b| {
+            b.iter(|| {
+                let db = tmp_db("cold");
+                let summary =
+                    sweep_static(&db, registry::dataset(), workers, false).expect("static sweep");
+                assert_eq!(summary.analyzed, 2 * registry::dataset().len());
+                std::fs::remove_dir_all(db.root()).ok();
+                black_box(summary.analyzed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cached_static_sweep(c: &mut Criterion) {
+    let db = tmp_db("cached");
+    sweep_static(&db, registry::dataset(), 0, false).expect("warm the cache");
+    let mut group = c.benchmark_group("static-sweep-cached");
+    group.sample_size(10);
+    group.bench_function("dataset-116", |b| {
+        b.iter(|| {
+            let summary = sweep_static(&db, registry::dataset(), 0, false).expect("static sweep");
+            assert_eq!(summary.analyzed, 0, "everything cached");
+            black_box(summary.cached)
+        });
+    });
+    group.finish();
+    std::fs::remove_dir_all(db.root()).ok();
+}
+
+fn bench_full_comparison(c: &mut Criterion) {
+    // One populated database: dynamic health-check measurements plus
+    // both static levels for the whole fleet.
+    let db = tmp_db("compare");
+    Sweep::new(SweepConfig {
+        workloads: vec![Workload::HealthCheck],
+        ..SweepConfig::default()
+    })
+    .run(&db, registry::dataset())
+    .expect("dynamic sweep");
+    sweep_static(&db, registry::dataset(), 0, false).expect("static sweep");
+
+    let mut group = c.benchmark_group("static-vs-dynamic");
+    group.sample_size(10);
+    group.bench_function("compare/dataset-116", |b| {
+        b.iter(|| {
+            let comparisons = compare(&db).expect("compare");
+            assert!(comparisons[0].invariants_hold());
+            black_box(comparisons.len())
+        });
+    });
+    group.finish();
+    std::fs::remove_dir_all(db.root()).ok();
+}
+
+criterion_group!(
+    benches,
+    bench_cold_static_sweep,
+    bench_cached_static_sweep,
+    bench_full_comparison
+);
+criterion_main!(benches);

@@ -6,6 +6,8 @@
 //! loupe list                          # applications in the registry
 //! loupe analyze nginx --workload bench [--json] [--db DIR]
 //! loupe sweep --db DIR                # analyze the whole fleet, concurrently
+//! loupe sweep --db DIR --static       # + static analysers over the fleet
+//! loupe compare --db DIR              # static-vs-dynamic factors (Figs. 4-7)
 //! loupe report --db DIR --docs docs   # render the db as Markdown docs
 //! loupe report --db DIR --check       # fail when checked-in docs drifted
 //! loupe plan --os kerla --validate     # replay the plan on a restricted kernel
@@ -40,6 +42,7 @@ fn main() -> ExitCode {
         "list" => cmd_list(),
         "analyze" => cmd_analyze(rest),
         "sweep" => cmd_sweep(rest),
+        "compare" => cmd_compare(rest),
         "report" => cmd_report(rest),
         "plan" => cmd_plan(rest),
         "os-list" => cmd_os_list(),
@@ -82,8 +85,18 @@ commands:
       --min-agreement K               seed reports that must agree to hint (default: 3)
       --transfer-seed N               apps measured in full as the seed (default: 8)
       --force                         re-measure cached entries (conservative merge)
+      --static                        also run the binary/source static analysers
+                                      over the fleet; persist under the db's
+                                      static/ namespace (needed by `compare` and
+                                      the generated STATIC_VS_DYNAMIC.md)
       --validate-plans                replay every curated OS's support plan on a
                                       restricted kernel; persist verdicts in the db
+  compare                      static-vs-dynamic comparison (Figs. 4-7): per-app
+                               overestimation factors, importance rank shifts and
+                               per-OS plan-size deltas; exits 1 if the invariant
+                               dynamic ⊆ source ⊆ binary is violated anywhere
+      --db DIR                        database directory (default: target/loupedb)
+      --workers N                     static-analysis worker threads (default: auto)
   report                       render a sweep db as Markdown documentation
       --db DIR                        database directory (default: target/loupedb)
       --docs DIR                      output directory (default: docs)
@@ -226,6 +239,30 @@ fn parse_workloads(args: &[String]) -> Result<Vec<Workload>, String> {
     }
 }
 
+/// The sweep fleet selection: `--apps` list, `--shard I/N`, or the full
+/// dataset. Shared by the dynamic and static passes (boxed app models
+/// are not `Clone`, so each pass materialises its own fleet).
+fn select_apps(args: &[String]) -> Result<Vec<Box<dyn loupe_apps::AppModel>>, String> {
+    match (flag_value(args, "--apps"), flag_value(args, "--shard")) {
+        (Some(_), Some(_)) => Err("sweep: --apps and --shard are exclusive".into()),
+        (Some(list), None) => list
+            .split(',')
+            .map(|n| registry::find(n.trim()).ok_or_else(|| format!("unknown app `{n}`")))
+            .collect::<Result<_, _>>(),
+        (None, Some(spec)) => {
+            let (i, n) = spec
+                .split_once('/')
+                .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)))
+                .ok_or("sweep: --shard expects I/N")?;
+            if n == 0 || i >= n {
+                return Err("sweep: --shard index out of range".into());
+            }
+            Ok(registry::shard(i, n))
+        }
+        (None, None) => Ok(registry::dataset()),
+    }
+}
+
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let db_dir = flag_value(args, "--db").unwrap_or(DEFAULT_DB);
     let db = Database::open(db_dir).map_err(|e| e.to_string())?;
@@ -252,24 +289,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         None
     };
 
-    let apps: Vec<_> = match (flag_value(args, "--apps"), flag_value(args, "--shard")) {
-        (Some(_), Some(_)) => return Err("sweep: --apps and --shard are exclusive".into()),
-        (Some(list), None) => list
-            .split(',')
-            .map(|n| registry::find(n.trim()).ok_or_else(|| format!("unknown app `{n}`")))
-            .collect::<Result<_, _>>()?,
-        (None, Some(spec)) => {
-            let (i, n) = spec
-                .split_once('/')
-                .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)))
-                .ok_or("sweep: --shard expects I/N")?;
-            if n == 0 || i >= n {
-                return Err("sweep: --shard index out of range".into());
-            }
-            registry::shard(i, n)
-        }
-        (None, None) => registry::dataset(),
-    };
+    let apps = select_apps(args)?;
 
     let sweep = Sweep::new(SweepConfig {
         workloads: workloads.clone(),
@@ -316,6 +336,19 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             summary.failures.len()
         ));
     }
+    if args.iter().any(|a| a == "--static") {
+        // Same fleet selection as the dynamic pass (static analysis is
+        // workload-independent: one report per app and level).
+        let statics = loupe_sweep::sweep_static(&db, select_apps(args)?, workers, force)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "static analysis: {} entries ({} analyzed, {} cached) under {}/static",
+            statics.analyzed + statics.cached,
+            statics.analyzed,
+            statics.cached,
+            db_dir
+        );
+    }
     if args.iter().any(|a| a == "--validate-plans") {
         let validations =
             loupe_sweep::validate_curated_plans(&db, &workloads).map_err(|e| e.to_string())?;
@@ -341,6 +374,94 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 invalid.len()
             ));
         }
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let db_dir = flag_value(args, "--db").unwrap_or(DEFAULT_DB);
+    let db = Database::open(db_dir).map_err(|e| e.to_string())?;
+    let workers = flag_value(args, "--workers")
+        .map(|v| v.parse::<usize>().map_err(|_| "bad --workers".to_owned()))
+        .transpose()?
+        .unwrap_or(0);
+
+    // Make sure every dynamically measured app has its static
+    // counterparts (pure cache hits when `sweep --static` already ran).
+    // A measured app the registry no longer knows cannot be statically
+    // analysed at all — name it instead of wedging on MissingStatic.
+    let measured: std::collections::BTreeSet<String> = db
+        .list()
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .map(|(app, _)| app)
+        .collect();
+    let unknown: Vec<&str> = measured
+        .iter()
+        .filter(|n| registry::find(n).is_none())
+        .map(String::as_str)
+        .collect();
+    if !unknown.is_empty() {
+        return Err(format!(
+            "compare: database `{db_dir}` holds measurements for apps not in the \
+             registry (no static analyser can run on them): {}",
+            unknown.join(", ")
+        ));
+    }
+    let apps: Vec<_> = measured.iter().filter_map(|n| registry::find(n)).collect();
+    loupe_sweep::sweep_static(&db, apps, workers, false).map_err(|e| e.to_string())?;
+
+    let comparisons = loupe_sweep::compare(&db).map_err(|e| e.to_string())?;
+    let mut violated: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for c in &comparisons {
+        println!(
+            "{} workload: {} apps; fleet syscalls: {} dynamic ({} required), \
+             {} source, {} binary",
+            c.workload,
+            c.apps.len(),
+            c.fleet_dynamic_used,
+            c.fleet_dynamic_required,
+            c.fleet_source,
+            c.fleet_binary
+        );
+        println!(
+            "  mean per-app overestimation: {:.2}x (source), {:.2}x (binary); \
+             invariant dynamic ⊆ source ⊆ binary: {}",
+            c.mean_source_factor,
+            c.mean_binary_factor,
+            if c.invariants_hold() {
+                "holds for every app"
+            } else {
+                "VIOLATED"
+            }
+        );
+        for a in c.apps.iter().filter(|a| !a.subset_ok) {
+            violated.insert(a.app.clone());
+            eprintln!(
+                "  INVARIANT VIOLATED for {} ({} workload): source misses {:?}, \
+                 binary misses {:?}",
+                a.app, c.workload, a.missing_from_source, a.missing_from_binary
+            );
+        }
+        println!("  static-plan waste per OS (extra syscalls implemented vs dynamic plan):");
+        for d in &c.plan_deltas {
+            println!(
+                "    {:<14} implement {:>3} (dyn) vs {:>3} (src, +{}) vs {:>3} (bin, +{})",
+                d.os,
+                d.dynamic_implemented,
+                d.source_implemented,
+                d.source_waste(),
+                d.binary_implemented,
+                d.binary_waste()
+            );
+        }
+    }
+    if !violated.is_empty() {
+        return Err(format!(
+            "compare: dynamic ⊆ source ⊆ binary violated for {} app(s): {}",
+            violated.len(),
+            violated.into_iter().collect::<Vec<_>>().join(", ")
+        ));
     }
     Ok(())
 }

@@ -733,6 +733,7 @@ impl Engine {
             app: spec.name,
             version: spec.version,
             workload,
+            env: self.cfg.exec_env.name().to_owned(),
             traced,
             classes,
             fallbacks,

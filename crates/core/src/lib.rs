@@ -52,6 +52,6 @@ pub use engine::{transfer_hints, AnalysisConfig, Engine, EngineError, PerfPolicy
 pub use exec::{run_app, ExecEnv};
 pub use interpose::Interposed;
 pub use policy::{Action, Policy};
-pub use report::{AppReport, FeatureClass, Impact, ImpactRecord};
+pub use report::{AppReport, BaselineStats, FeatureClass, Impact, ImpactRecord, LINUX_ENV};
 pub use script::{TestScript, Verdict};
 pub use trace::Trace;

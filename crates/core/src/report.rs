@@ -107,6 +107,15 @@ pub struct AppReport {
     pub version: String,
     /// Workload analysed.
     pub workload: Workload,
+    /// Name of the execution environment the measurement ran on
+    /// ([`ExecEnv::name`](crate::ExecEnv::name)): `"linux"` for the full
+    /// simulated kernel — the only environment whose reports are valid
+    /// full-Linux baselines — or the profile name of a restricted
+    /// kernel. Entries stored before this field existed deserialise to
+    /// the empty string and are conservatively *not* treated as
+    /// baselines: the database rejects them and the sweep re-measures.
+    #[serde(default)]
+    pub env: String,
     /// Invocation counts for every traced syscall.
     pub traced: BTreeMap<Sysno, u64>,
     /// Per-syscall classification.
@@ -137,7 +146,17 @@ pub struct AppReport {
     pub stats: crate::engine::RunStats,
 }
 
+/// The canonical name of the full-Linux execution environment.
+pub const LINUX_ENV: &str = "linux";
+
 impl AppReport {
+    /// Whether this report was measured on the full simulated Linux
+    /// kernel — the precondition for serving it as a dynamic baseline
+    /// (a restricted-kernel measurement under-traces by construction).
+    pub fn is_linux_baseline(&self) -> bool {
+        self.env == LINUX_ENV
+    }
+
     /// Every syscall traced under the workload.
     pub fn traced(&self) -> SysnoSet {
         self.traced.keys().copied().collect()
@@ -303,6 +322,7 @@ mod tests {
         let report = AppReport {
             app: "x".into(),
             version: "1".into(),
+            env: LINUX_ENV.into(),
             workload: Workload::Benchmark,
             traced: classes.keys().map(|s| (*s, 1)).collect(),
             classes,
@@ -327,6 +347,7 @@ mod tests {
         let report = AppReport {
             app: "x".into(),
             version: "1".into(),
+            env: LINUX_ENV.into(),
             workload: Workload::TestSuite,
             traced: [(Sysno::mmap, 7)].into_iter().collect(),
             classes: [(
@@ -364,5 +385,35 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: AppReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
+        assert!(back.is_linux_baseline());
+    }
+
+    #[test]
+    fn entries_predating_the_env_field_are_not_baselines() {
+        // A stored report written before `env` existed deserialises with
+        // an empty env and must not pass the baseline check (the db
+        // layer then re-measures instead of serving it).
+        let report = AppReport {
+            app: "x".into(),
+            version: "1".into(),
+            env: LINUX_ENV.into(),
+            workload: Workload::Benchmark,
+            traced: BTreeMap::new(),
+            classes: BTreeMap::new(),
+            fallbacks: SysnoSet::new(),
+            impacts: BTreeMap::new(),
+            sub_features: vec![],
+            pseudo_files: BTreeMap::new(),
+            conflicts: vec![],
+            confirmed: true,
+            baseline: BaselineStats::default(),
+            stats: crate::engine::RunStats::default(),
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let legacy = json.replace("\"env\":\"linux\",", "");
+        assert!(!legacy.contains("env"), "field really absent: {legacy}");
+        let back: AppReport = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.env, "");
+        assert!(!back.is_linux_baseline());
     }
 }

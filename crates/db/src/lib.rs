@@ -24,8 +24,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use loupe_apps::Workload;
-use loupe_core::{AppReport, FeatureClass};
+use loupe_core::{AppReport, FeatureClass, Impact, LINUX_ENV};
 use loupe_plan::{AppRequirement, OsSpec, PlanValidation};
+use loupe_static::{Level, StaticReport};
 
 /// A directory-backed measurement database.
 #[derive(Debug, Clone)]
@@ -83,25 +84,42 @@ impl Database {
         &self.root
     }
 
-    fn entry_path(&self, app: &str, workload: Workload) -> PathBuf {
-        self.root
-            .join(app)
-            .join(format!("{}.json", workload.label()))
+    fn entry_path(&self, env: &str, app: &str, workload: Workload) -> PathBuf {
+        // Full-Linux baselines live at the root (the shape every loupedb
+        // has always had); restricted-environment measurements are
+        // segregated under `env/<name>/` so they can never be confused
+        // with a baseline by the cache key.
+        let base = if env == LINUX_ENV {
+            self.root.clone()
+        } else {
+            self.root.join("env").join(env)
+        };
+        base.join(app).join(format!("{}.json", workload.label()))
     }
 
     /// Stores a report, conservatively merging with any existing entry for
-    /// the same `(app, workload)`: a feature is classified stubbable or
-    /// fakeable only if *every* stored measurement agrees (§3.1).
+    /// the same `(env, app, workload)`: a feature is classified stubbable
+    /// or fakeable only if *every* stored measurement agrees (§3.1).
+    /// Reports measured on a restricted execution environment are stored
+    /// under the `env/<name>/` namespace, segregated from the full-Linux
+    /// baselines the dynamic pipeline caches.
     ///
     /// # Errors
     ///
     /// I/O and serialisation failures.
     pub fn save(&self, report: &AppReport) -> Result<(), DbError> {
-        let merged = match self.load(&report.app, report.workload)? {
+        // Merge only with a stored entry of the *same* environment; a
+        // legacy mismatched entry at this path is superseded, not merged
+        // (merging a restricted-kernel trace into a baseline would
+        // poison it).
+        let merged = match self
+            .load_env(&report.env, &report.app, report.workload)?
+            .filter(|existing| existing.env == report.env)
+        {
             Some(existing) => merge_reports(&existing, report),
             None => report.clone(),
         };
-        let path = self.entry_path(&report.app, report.workload);
+        let path = self.entry_path(&report.env, &report.app, report.workload);
         fs::create_dir_all(path.parent().expect("entry path has parent"))?;
         let json = serde_json::to_string_pretty(&merged).map_err(|e| DbError::Corrupt {
             path: path.clone(),
@@ -111,13 +129,33 @@ impl Database {
         Ok(())
     }
 
-    /// Loads the stored report for `(app, workload)`, if any.
+    /// Loads the stored *full-Linux baseline* for `(app, workload)`, if
+    /// any. An entry at the baseline path that records a different
+    /// execution environment (written by tooling predating the
+    /// segregation) is rejected — `Ok(None)` — so it is re-measured
+    /// rather than served as a baseline.
     ///
     /// # Errors
     ///
     /// I/O failures and corrupt entries.
     pub fn load(&self, app: &str, workload: Workload) -> Result<Option<AppReport>, DbError> {
-        let path = self.entry_path(app, workload);
+        Ok(self
+            .load_env(LINUX_ENV, app, workload)?
+            .filter(AppReport::is_linux_baseline))
+    }
+
+    /// Loads the stored report for `(env, app, workload)`, if any.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt entries.
+    pub fn load_env(
+        &self,
+        env: &str,
+        app: &str,
+        workload: Workload,
+    ) -> Result<Option<AppReport>, DbError> {
+        let path = self.entry_path(env, app, workload);
         match fs::read_to_string(&path) {
             Ok(text) => serde_json::from_str(&text)
                 .map(Some)
@@ -130,11 +168,12 @@ impl Database {
         }
     }
 
-    /// Whether an entry for `(app, workload)` is stored (cheap: a file
-    /// probe, no parsing) — for tooling that only needs existence; the
-    /// sweep driver itself loads the entry since a cache hit is returned.
+    /// Whether a full-Linux baseline entry for `(app, workload)` is
+    /// stored (cheap: a file probe, no parsing) — for tooling that only
+    /// needs existence; the sweep driver itself loads the entry since a
+    /// cache hit is returned.
     pub fn contains(&self, app: &str, workload: Workload) -> bool {
-        self.entry_path(app, workload).is_file()
+        self.entry_path(LINUX_ENV, app, workload).is_file()
     }
 
     /// Loads every stored report for one workload, sorted by app name —
@@ -169,6 +208,10 @@ impl Database {
                 continue;
             }
             let app = app_dir.file_name().to_string_lossy().into_owned();
+            // Non-baseline namespaces sharing the root directory.
+            if matches!(app.as_str(), "env" | "plans" | "os" | "static") {
+                continue;
+            }
             for entry in fs::read_dir(app_dir.path())? {
                 let entry = entry?;
                 let name = entry.file_name().to_string_lossy().into_owned();
@@ -287,6 +330,102 @@ impl Database {
             .join(format!("{}.json", workload.label()))
     }
 
+    fn static_path(&self, level: Level, app: &str) -> PathBuf {
+        self.root
+            .join("static")
+            .join(level.label())
+            .join(format!("{app}.json"))
+    }
+
+    /// Stores a static-analysis report under
+    /// `<root>/static/<level>/<app>.json` — a namespace keyed by
+    /// analysis level, fully segregated from the dynamic measurements,
+    /// so a `StaticReport` can never collide with (or be served as) a
+    /// dynamic baseline. Overwrites any previous entry: static analysis
+    /// is a deterministic pure function of the app's code descriptor,
+    /// so unlike measurements there is nothing to merge.
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialisation failures.
+    pub fn save_static(&self, report: &StaticReport) -> Result<(), DbError> {
+        let path = self.static_path(report.level, &report.app);
+        fs::create_dir_all(path.parent().expect("static path has parent"))?;
+        let json = serde_json::to_string_pretty(report).map_err(|e| DbError::Corrupt {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        fs::write(&path, json)?;
+        Ok(())
+    }
+
+    /// Loads the stored static report for `(level, app)`, if any.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt entries.
+    pub fn load_static(&self, level: Level, app: &str) -> Result<Option<StaticReport>, DbError> {
+        let path = self.static_path(level, app);
+        match fs::read_to_string(&path) {
+            Ok(text) => serde_json::from_str(&text)
+                .map(Some)
+                .map_err(|e| DbError::Corrupt {
+                    path,
+                    message: e.to_string(),
+                }),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Whether a static entry for `(level, app)` is stored.
+    pub fn contains_static(&self, level: Level, app: &str) -> bool {
+        self.static_path(level, app).is_file()
+    }
+
+    /// Loads every stored static report of one level, sorted by app name.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt entries.
+    pub fn load_static_level(&self, level: Level) -> Result<Vec<StaticReport>, DbError> {
+        let mut out = Vec::new();
+        for (l, app) in self.list_static()? {
+            if l == level {
+                if let Some(report) = self.load_static(l, &app)? {
+                    out.push(report);
+                }
+            }
+        }
+        out.sort_by(|a, b| a.app.cmp(&b.app));
+        Ok(out)
+    }
+
+    /// Lists `(level, app)` pairs with stored static reports.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn list_static(&self) -> Result<Vec<(Level, String)>, DbError> {
+        let mut out = Vec::new();
+        for level in Level::ALL {
+            let dir = self.root.join("static").join(level.label());
+            let entries = match fs::read_dir(&dir) {
+                Ok(entries) => entries,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            };
+            for entry in entries {
+                let name = entry?.file_name().to_string_lossy().into_owned();
+                if let Some(app) = name.strip_suffix(".json") {
+                    out.push((level, app.to_owned()));
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
     /// Writes an OS support spec in CSV form under `<root>/os/<name>.csv`.
     ///
     /// # Errors
@@ -325,7 +464,9 @@ impl Database {
 /// Conservative merge of two measurements of the same (app, workload):
 /// traced counts accumulate; stub/fake capability is the logical AND
 /// (anything that failed once is not safe); confirmation requires both;
-/// run accounting accumulates (the merged entry cost both analyses).
+/// conflict lists union (a conflict seen once is real); impact
+/// annotations keep the worst observation of every metric; run
+/// accounting accumulates (the merged entry cost both analyses).
 pub fn merge_reports(a: &AppReport, b: &AppReport) -> AppReport {
     let mut merged = a.clone();
     merged.stats.absorb(&b.stats);
@@ -341,6 +482,19 @@ pub fn merge_reports(a: &AppReport, b: &AppReport) -> AppReport {
             stub_ok: entry.stub_ok && class_b.stub_ok,
             fake_ok: entry.fake_ok && class_b.fake_ok,
         };
+    }
+    // Conflicts union, keeping a's feature order and appending b's new
+    // entries in b's order: a feature that conflicted in either
+    // measurement stays flagged in the merged entry.
+    for s in &b.conflicts {
+        if !merged.conflicts.contains(s) {
+            merged.conflicts.push(*s);
+        }
+    }
+    for (s, rec_b) in &b.impacts {
+        let entry = merged.impacts.entry(*s).or_default();
+        entry.stub = merge_impact(entry.stub, rec_b.stub);
+        entry.fake = merge_impact(entry.fake, rec_b.fake);
     }
     for (key, class_b) in &b.sub_features {
         match merged.sub_features.iter_mut().find(|(k, _)| k == key) {
@@ -364,11 +518,32 @@ pub fn merge_reports(a: &AppReport, b: &AppReport) -> AppReport {
     merged
 }
 
+/// Conservative merge of two optional impact observations of the same
+/// (syscall, mode): success only if every measured run succeeded, and
+/// for each metric the worst (largest-magnitude) observed deviation —
+/// repeated measurement must never make an impact look milder.
+fn merge_impact(a: Option<Impact>, b: Option<Impact>) -> Option<Impact> {
+    let worst = |x: f64, y: f64| if y.abs() > x.abs() { y } else { x };
+    match (a, b) {
+        (Some(a), Some(b)) => Some(Impact {
+            success: a.success && b.success,
+            tests_passed: match (a.tests_passed, b.tests_passed) {
+                (Some(x), Some(y)) => Some(x && y),
+                (known, None) | (None, known) => known,
+            },
+            perf_delta: worst(a.perf_delta, b.perf_delta),
+            rss_delta: worst(a.rss_delta, b.rss_delta),
+            fd_delta: worst(a.fd_delta, b.fd_delta),
+        }),
+        (only, None) | (None, only) => only,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use loupe_apps::registry;
-    use loupe_core::{AnalysisConfig, Engine};
+    use loupe_core::{AnalysisConfig, Engine, ImpactRecord};
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("loupedb-test-{tag}-{}", std::process::id()));
@@ -418,6 +593,51 @@ mod tests {
                 fake_ok: true,
             },
         );
+        // Conflicts seen by only one measurement must survive the merge
+        // (regression: merge_reports used to drop b's conflicts wholesale).
+        let second = *report.classes.keys().nth(1).unwrap();
+        looser.conflicts = vec![first];
+        stricter.conflicts = vec![first, second];
+        // Impacts too: one side measured a stub impact the other missed,
+        // and where both measured, the worse observation must win.
+        let mild = Impact {
+            success: true,
+            tests_passed: Some(true),
+            perf_delta: 0.01,
+            rss_delta: 0.0,
+            fd_delta: 0.0,
+        };
+        let harsh = Impact {
+            success: false,
+            tests_passed: Some(false),
+            perf_delta: -0.40,
+            rss_delta: 0.10,
+            fd_delta: 0.0,
+        };
+        looser.impacts.clear();
+        stricter.impacts.clear();
+        looser.impacts.insert(
+            first,
+            ImpactRecord {
+                stub: Some(mild),
+                fake: None,
+            },
+        );
+        stricter.impacts.insert(
+            first,
+            ImpactRecord {
+                stub: Some(harsh),
+                fake: None,
+            },
+        );
+        stricter.impacts.insert(
+            second,
+            ImpactRecord {
+                stub: None,
+                fake: Some(mild),
+            },
+        );
+
         let merged = merge_reports(&looser, &stricter);
         let class = merged.classes[&first];
         assert!(!class.stub_ok, "one failed stub disqualifies");
@@ -428,6 +648,22 @@ mod tests {
             merged.stats.total_runs(),
             report.stats.total_runs() * 2,
             "a merged entry cost both analyses"
+        );
+        assert_eq!(
+            merged.conflicts,
+            vec![first, second],
+            "conflict lists union, keeping feature order"
+        );
+        let rec = merged.impacts[&first];
+        let stub = rec.stub.expect("stub impact survives the merge");
+        assert!(!stub.success, "one failed observation disqualifies");
+        assert_eq!(stub.tests_passed, Some(false));
+        assert_eq!(stub.perf_delta, -0.40, "worst deviation wins");
+        assert_eq!(stub.rss_delta, 0.10);
+        assert_eq!(
+            merged.impacts[&second].fake,
+            Some(mild),
+            "an impact measured on only one side is kept"
         );
     }
 
@@ -509,6 +745,115 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(back, second);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restricted_env_reports_are_segregated_from_baselines() {
+        let dir = tmpdir("env-seg");
+        let db = Database::open(&dir).unwrap();
+        let mut restricted = sample_report();
+        restricted.env = "kerla-step3".into();
+        db.save(&restricted).unwrap();
+
+        // The dynamic (baseline) path must not see it: the cache key now
+        // includes the execution environment.
+        assert!(db
+            .load(&restricted.app, Workload::HealthCheck)
+            .unwrap()
+            .is_none());
+        assert!(!db.contains(&restricted.app, Workload::HealthCheck));
+        assert!(db.list().unwrap().is_empty());
+        // But the segregated namespace holds it.
+        let back = db
+            .load_env("kerla-step3", &restricted.app, Workload::HealthCheck)
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, restricted);
+
+        // Saving the Linux baseline afterwards does not merge with the
+        // restricted entry: both coexist, each under its own key.
+        let baseline = sample_report();
+        db.save(&baseline).unwrap();
+        let served = db
+            .load(&baseline.app, Workload::HealthCheck)
+            .unwrap()
+            .unwrap();
+        assert_eq!(served, baseline, "baseline unpolluted by restricted run");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_restricted_entry_at_baseline_path_is_rejected() {
+        // A database written before the env segregation could hold a
+        // restricted-kernel measurement at the baseline path. The dynamic
+        // load must reject (not serve) it, and a fresh save self-heals.
+        let dir = tmpdir("env-legacy");
+        let db = Database::open(&dir).unwrap();
+        let mut stale = sample_report();
+        stale.env = "restricted-os".into();
+        let path = dir.join(&stale.app).join("health.json");
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, serde_json::to_string(&stale).unwrap()).unwrap();
+
+        assert!(
+            db.load(&stale.app, Workload::HealthCheck)
+                .unwrap()
+                .is_none(),
+            "restricted entry must not be served as a Linux baseline"
+        );
+        let fresh = sample_report();
+        db.save(&fresh).unwrap();
+        let served = db.load(&fresh.app, Workload::HealthCheck).unwrap().unwrap();
+        assert_eq!(
+            served, fresh,
+            "fresh baseline overwrites the stale entry instead of merging"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn static_reports_live_in_their_own_level_keyed_namespace() {
+        use loupe_static::{BinaryAnalyzer, SourceAnalyzer, StaticAnalyzer};
+        let dir = tmpdir("static");
+        let db = Database::open(&dir).unwrap();
+        let app = registry::find("redis").unwrap();
+        let bin = BinaryAnalyzer::new().analyze(app.as_ref());
+        let src = SourceAnalyzer::new().analyze(app.as_ref());
+        db.save_static(&bin).unwrap();
+        db.save_static(&src).unwrap();
+
+        // Levels do not collide with each other…
+        assert_eq!(
+            db.load_static(Level::Binary, "redis").unwrap().unwrap(),
+            bin
+        );
+        assert_eq!(
+            db.load_static(Level::Source, "redis").unwrap().unwrap(),
+            src
+        );
+        assert!(db.contains_static(Level::Binary, "redis"));
+        assert!(!db.contains_static(Level::Binary, "ghost"));
+        assert_eq!(
+            db.list_static().unwrap(),
+            vec![
+                (Level::Binary, "redis".to_owned()),
+                (Level::Source, "redis".to_owned())
+            ]
+        );
+        assert_eq!(db.load_static_level(Level::Source).unwrap(), vec![src]);
+        // …nor with the dynamic namespace: no measurement entries exist.
+        assert!(db.list().unwrap().is_empty());
+        assert!(db.load("redis", Workload::HealthCheck).unwrap().is_none());
+
+        // Re-saving overwrites (pure function, no merge).
+        let mut altered = bin.clone();
+        altered.syscalls = loupe_syscalls::SysnoSet::new();
+        db.save_static(&altered).unwrap();
+        assert_eq!(
+            db.load_static(Level::Binary, "redis").unwrap().unwrap(),
+            altered
+        );
         fs::remove_dir_all(&dir).ok();
     }
 

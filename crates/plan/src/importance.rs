@@ -16,10 +16,15 @@ pub struct ImportancePoint {
     pub importance: f64,
 }
 
-/// Computes the ranked importance curve for a family of per-app sets
-/// (traced sets → the "naive dynamic" curve; required sets → the "Loupe"
-/// curve).
-pub fn api_importance(sets: &[SysnoSet]) -> Vec<ImportancePoint> {
+/// The shared importance core: for each syscall, the fraction of `sets`
+/// that contain it, sorted descending by fraction (ascending syscall
+/// number on ties). This is the *one* implementation of the metric —
+/// the dynamic Fig. 3 curve and the static Tsai-style ranking
+/// (`loupe_static::api_importance`) are both thin wrappers — and it
+/// sorts with [`f64::total_cmp`], so it is total even on NaN (which a
+/// fraction `c/total` with `total ≥ 1` cannot produce, but a partial
+/// comparator would still panic on).
+pub fn importance_fractions(sets: &[SysnoSet]) -> Vec<(Sysno, f64)> {
     use std::collections::BTreeMap;
     let mut counts: BTreeMap<Sysno, usize> = BTreeMap::new();
     for set in sets {
@@ -32,8 +37,15 @@ pub fn api_importance(sets: &[SysnoSet]) -> Vec<ImportancePoint> {
         .into_iter()
         .map(|(s, c)| (s, c as f64 / total))
         .collect();
-    points.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    points.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     points
+}
+
+/// Computes the ranked importance curve for a family of per-app sets
+/// (traced sets → the "naive dynamic" curve; required sets → the "Loupe"
+/// curve).
+pub fn api_importance(sets: &[SysnoSet]) -> Vec<ImportancePoint> {
+    importance_fractions(sets)
         .into_iter()
         .enumerate()
         .map(|(i, (sysno, importance))| ImportancePoint {

@@ -24,7 +24,7 @@ pub mod requirement;
 pub mod savings;
 pub mod validate;
 
-pub use importance::{api_importance, ImportancePoint};
+pub use importance::{api_importance, importance_fractions, ImportancePoint};
 pub use os::OsSpec;
 pub use plan::{PlanStep, SupportPlan};
 pub use requirement::AppRequirement;

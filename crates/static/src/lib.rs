@@ -39,7 +39,7 @@ pub struct StaticReport {
 }
 
 /// Analysis level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Level {
     /// Operates on ELF binaries: sees the app + all linked libraries, and
     /// over-approximates indirect calls.
@@ -47,6 +47,27 @@ pub enum Level {
     /// Operates on sources: sees all branches of the app code (including
     /// error paths) but resolves the libc more precisely.
     Source,
+}
+
+impl Level {
+    /// Both levels, binary first (the paper's Fig. 4 ordering).
+    pub const ALL: [Level; 2] = [Level::Binary, Level::Source];
+
+    /// Stable lowercase label (db namespace keys, report tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Binary => "binary",
+            Level::Source => "source",
+        }
+    }
+
+    /// The analyser for this level, as a trait object.
+    pub fn analyzer(self) -> Box<dyn StaticAnalyzer + Send + Sync> {
+        match self {
+            Level::Binary => Box::new(BinaryAnalyzer::new()),
+            Level::Source => Box::new(SourceAnalyzer::new()),
+        }
+    }
 }
 
 /// Common interface of the two analysers.
@@ -112,21 +133,14 @@ impl StaticAnalyzer for SourceAnalyzer {
 
 /// API importance under static analysis: for each syscall, the fraction of
 /// `reports` that contain it (the metric of Tsai et al. reused in §5.1).
+///
+/// Delegates to [`loupe_plan::importance_fractions`] — the same (NaN-safe)
+/// implementation that ranks the dynamic curves, so static and dynamic
+/// importance are always computed identically and only the input sets
+/// differ.
 pub fn api_importance(reports: &[StaticReport]) -> Vec<(loupe_syscalls::Sysno, f64)> {
-    use std::collections::BTreeMap;
-    let mut counts: BTreeMap<loupe_syscalls::Sysno, usize> = BTreeMap::new();
-    for r in reports {
-        for s in r.syscalls.iter() {
-            *counts.entry(s).or_insert(0) += 1;
-        }
-    }
-    let total = reports.len().max(1) as f64;
-    let mut v: Vec<_> = counts
-        .into_iter()
-        .map(|(s, c)| (s, c as f64 / total))
-        .collect();
-    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-    v
+    let sets: Vec<SysnoSet> = reports.iter().map(|r| r.syscalls.clone()).collect();
+    loupe_plan::importance_fractions(&sets)
 }
 
 #[cfg(test)]

@@ -45,13 +45,16 @@
 //! ```
 
 pub mod plans;
+pub(crate) mod pool;
 pub mod report;
+pub mod statics;
 
 pub use plans::{validate_curated_plans, validate_plans, PlanSweepError};
+pub use statics::{
+    compare, sweep_static, AppComparison, CompareError, Comparison, PlanDelta, StaticSweepSummary,
+};
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use loupe_apps::{AppModel, Workload};
 use loupe_core::{transfer_hints, AnalysisConfig, AppReport, Engine, FeatureClass, RunStats};
@@ -281,7 +284,9 @@ impl Sweep {
 
     /// Runs one scheduling pass over `jobs` on the bounded worker pool.
     /// Each job's outcome lands in the slot of its job index, so the
-    /// returned order never depends on worker scheduling.
+    /// returned order never depends on worker scheduling. A job whose
+    /// app model *panics* becomes a per-app [`SweepFailure`] naming the
+    /// app, instead of poisoning the pool and killing the whole sweep.
     fn run_pass(
         &self,
         db: &Database,
@@ -289,37 +294,22 @@ impl Sweep {
         jobs: &[(usize, Workload)],
         hints: &BTreeMap<Workload, BTreeMap<Sysno, FeatureClass>>,
     ) -> Vec<JobOutcome> {
-        if jobs.is_empty() {
-            return Vec::new();
-        }
         let workers = self.worker_count(jobs.len());
-        let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<JobOutcome>>> =
-            Mutex::new((0..jobs.len()).map(|_| None).collect());
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let engine = Engine::new(self.cfg.analysis.clone());
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(app_idx, workload)) = jobs.get(i) else {
-                            break;
-                        };
-                        let outcome =
-                            self.run_job(db, &engine, apps[app_idx].as_ref(), workload, hints);
-                        slots.lock().expect("sweep slots poisoned")[i] = Some(outcome);
-                    }
-                });
-            }
-        });
-
-        slots
-            .into_inner()
-            .expect("sweep slots poisoned")
-            .into_iter()
-            .map(|o| o.expect("every job ran"))
-            .collect()
+        pool::run_jobs(workers, jobs, |&(app_idx, workload)| {
+            let engine = Engine::new(self.cfg.analysis.clone());
+            self.run_job(db, &engine, apps[app_idx].as_ref(), workload, hints)
+        })
+        .into_iter()
+        .zip(jobs)
+        .map(|(outcome, &(app_idx, workload))| match outcome {
+            Ok(o) => o,
+            Err(panic) => JobOutcome::Failed(SweepFailure {
+                app: apps[app_idx].name().to_owned(),
+                workload,
+                error: format!("app model panicked: {panic}"),
+            }),
+        })
+        .collect()
     }
 
     fn run_job(
@@ -575,6 +565,113 @@ mod tests {
             forced.reports[0].traced[&s],
             first.reports[0].traced[&s] * 2
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// An app model whose `run` panics — the regression fixture for the
+    /// pool's panic isolation.
+    struct PanickingApp;
+
+    impl loupe_apps::AppModel for PanickingApp {
+        fn name(&self) -> &str {
+            "panicking-app"
+        }
+
+        fn spec(&self) -> loupe_apps::AppSpec {
+            loupe_apps::AppSpec {
+                name: "panicking-app".into(),
+                version: "0".into(),
+                year: 2024,
+                port: None,
+                kind: loupe_apps::AppKind::Utility,
+                libc: loupe_apps::libc::LibcFlavor::MuslStatic,
+            }
+        }
+
+        fn run(
+            &self,
+            _env: &mut loupe_apps::Env<'_>,
+            _workload: Workload,
+        ) -> Result<(), loupe_apps::Exit> {
+            panic!("deliberate model bug");
+        }
+
+        fn code(&self) -> loupe_apps::AppCode {
+            loupe_apps::AppCode::new()
+        }
+    }
+
+    #[test]
+    fn a_panicking_model_fails_its_app_not_the_sweep() {
+        let dir = tmpdir("panic");
+        let db = Database::open(&dir).unwrap();
+        let mut apps: Vec<Box<dyn AppModel>> = vec![Box::new(PanickingApp)];
+        apps.extend(registry::detailed().into_iter().take(3));
+
+        let summary = health_sweep(2).run(&db, apps).unwrap();
+        assert_eq!(summary.analyzed, 3, "healthy apps still measured");
+        assert_eq!(summary.failures.len(), 1);
+        let failure = &summary.failures[0];
+        assert_eq!(failure.app, "panicking-app", "failure names the app");
+        assert!(
+            failure.error.contains("deliberate model bug"),
+            "panic message surfaced: {}",
+            failure.error
+        );
+        assert!(
+            !db.contains("panicking-app", Workload::HealthCheck),
+            "nothing persisted for the panicked app"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restricted_env_report_is_not_served_as_a_cached_baseline() {
+        // Regression for the (app, workload)-only cache key: a report
+        // measured under ExecEnv::Restricted stored in the same database
+        // must not satisfy the sweep's skip-if-cached check (nor
+        // `cmd_plan`'s identical `Database::load`) for the Linux
+        // baseline of the same (app, workload).
+        use loupe_kernel::KernelProfile;
+        use loupe_syscalls::SysnoSet;
+
+        let dir = tmpdir("env-cache");
+        let db = Database::open(&dir).unwrap();
+        let app = || -> Vec<_> { registry::detailed().into_iter().take(1).collect() };
+        let name = app()[0].name().to_owned();
+
+        // Measure once on a restricted kernel exposing the full surface
+        // (so the baseline passes) and persist the report.
+        let full: SysnoSet = loupe_syscalls::Sysno::all().collect();
+        let restricted = Sweep::new(SweepConfig {
+            workloads: vec![Workload::HealthCheck],
+            workers: 1,
+            analysis: AnalysisConfig {
+                exec_env: loupe_core::ExecEnv::Restricted(KernelProfile::new("mid-plan", full)),
+                ..AnalysisConfig::fast()
+            },
+            ..SweepConfig::default()
+        })
+        .run(&db, app())
+        .unwrap();
+        assert_eq!(restricted.analyzed, 1);
+        assert_eq!(restricted.reports[0].env, "mid-plan");
+
+        // A Linux sweep over the same (app, workload) must re-measure:
+        // the restricted entry is not a Linux baseline.
+        let linux = health_sweep(1).run(&db, app()).unwrap();
+        assert_eq!(
+            linux.analyzed, 1,
+            "restricted-env entry must not be a cache hit"
+        );
+        assert_eq!(linux.cached, 0);
+        assert_eq!(linux.reports[0].env, "linux");
+        // Both measurements coexist under their own namespaces.
+        assert!(db.load(&name, Workload::HealthCheck).unwrap().is_some());
+        assert!(db
+            .load_env("mid-plan", &name, Workload::HealthCheck)
+            .unwrap()
+            .is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,110 @@
+//! The bounded worker pool shared by the sweep stages.
+//!
+//! Both the dynamic fleet sweep ([`crate::Sweep`]) and the static
+//! analysis stage ([`crate::statics`]) fan a job list out over a fixed
+//! number of worker threads. The pool guarantees two properties the
+//! stages rely on:
+//!
+//! * **deterministic ordering** — job *i*'s outcome lands in slot *i*
+//!   of the returned vector regardless of worker count or scheduling;
+//! * **panic isolation** — a job that panics (e.g. a buggy app model)
+//!   yields `Err(panic message)` for *that job only*; the worker thread
+//!   and the slots mutex survive, and every other job still runs.
+//!   Before this existed, one panicking model poisoned the slots mutex
+//!   and took the whole sweep down with an opaque `expect` failure.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f` over every job on `workers` threads, returning one slot per
+/// job in job order. A panicking job resolves to `Err` with the panic
+/// payload rendered as text.
+pub(crate) fn run_jobs<J, R>(
+    workers: usize,
+    jobs: &[J],
+    f: impl Fn(&J) -> R + Sync,
+) -> Vec<Result<R, String>>
+where
+    J: Sync,
+    R: Send,
+{
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<R, String>>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else {
+                    break;
+                };
+                // The job body runs *outside* the slots lock, so even a
+                // panicking job cannot poison it; catch_unwind keeps the
+                // worker thread alive for the remaining jobs.
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| f(job))).map_err(|p| panic_message(&*p));
+                slots.lock().expect("no job runs under the slots lock")[i] = Some(outcome);
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("no job runs under the slots lock")
+        .into_iter()
+        .map(|o| o.expect("every job ran"))
+        .collect()
+}
+
+/// Renders a panic payload the way `std` does for unwinding panics.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unprintable panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_land_in_job_order() {
+        let jobs: Vec<usize> = (0..64).collect();
+        let out = run_jobs(8, &jobs, |&j| j * 2);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i * 2);
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_fails_alone() {
+        let jobs: Vec<usize> = (0..16).collect();
+        let out = run_jobs(4, &jobs, |&j| {
+            assert!(j != 7, "job seven exploded");
+            j
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 7 {
+                let msg = r.as_ref().unwrap_err();
+                assert!(msg.contains("job seven exploded"), "{msg}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i, "other jobs unaffected");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_empty() {
+        let out: Vec<Result<(), String>> = run_jobs(4, &[] as &[u8], |_| ());
+        assert!(out.is_empty());
+    }
+}

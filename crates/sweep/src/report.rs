@@ -90,11 +90,14 @@ pub fn reports_by_workload(db: &Database) -> Result<BTreeMap<Workload, Vec<AppRe
 }
 
 /// Renders the full documentation set for a database: `COMPATIBILITY.md`
-/// plus one page per app under `apps/`.
+/// plus one page per app under `apps/`, `SUPPORT_PLANS.md`, and — when
+/// the database holds static reports — the `STATIC_VS_DYNAMIC.md`
+/// comparison (Figs. 4–7).
 ///
 /// # Errors
 ///
-/// Database I/O and corruption errors.
+/// Database I/O and corruption errors, including a partially-populated
+/// static namespace (some apps analysed, others not).
 pub fn render(db: &Database) -> Result<RenderedDocs, DbError> {
     let grouped = reports_by_workload(db)?;
     let mut validations = BTreeMap::new();
@@ -103,13 +106,27 @@ pub fn render(db: &Database) -> Result<RenderedDocs, DbError> {
             validations.insert((workload, os_name), v);
         }
     }
+    let has_statics = !db.list_static()?.is_empty();
     let mut files = vec![
-        (PathBuf::from("COMPATIBILITY.md"), render_matrix(&grouped)),
+        (
+            PathBuf::from("COMPATIBILITY.md"),
+            render_matrix(&grouped, has_statics),
+        ),
         (
             PathBuf::from("SUPPORT_PLANS.md"),
             render_support_plans(&grouped, &validations),
         ),
     ];
+    if has_statics {
+        let comparisons = crate::statics::compare(db).map_err(|e| match e {
+            crate::statics::CompareError::Db(db_err) => db_err,
+            other => DbError::Io(std::io::Error::other(other.to_string())),
+        })?;
+        files.push((
+            PathBuf::from("STATIC_VS_DYNAMIC.md"),
+            crate::statics::render_static_comparison(&comparisons),
+        ));
+    }
 
     let mut by_app: BTreeMap<&str, Vec<&AppReport>> = BTreeMap::new();
     for reports in grouped.values() {
@@ -185,15 +202,17 @@ fn workload_title(w: Workload) -> &'static str {
     }
 }
 
-/// Renders the fleet-wide compatibility matrix.
-pub fn render_matrix(grouped: &BTreeMap<Workload, Vec<AppReport>>) -> String {
+/// Renders the fleet-wide compatibility matrix. `link_statics` adds the
+/// cross-link to `STATIC_VS_DYNAMIC.md`, which only exists when the
+/// database holds static reports (a sweep ran with `--static`).
+pub fn render_matrix(grouped: &BTreeMap<Workload, Vec<AppReport>>, link_statics: bool) -> String {
     let mut out = String::new();
     out.push_str("# Syscall compatibility matrix\n\n");
     out.push_str(
         "Generated by `loupe report` from a sweep database — **do not edit by\n\
          hand**. Regenerate with:\n\n\
          ```sh\n\
-         cargo run --release -p loupe-cli -- sweep --db target/loupedb --workload all --jobs 2 --transfer --validate-plans\n\
+         cargo run --release -p loupe-cli -- sweep --db target/loupedb --workload all --jobs 2 --transfer --static --validate-plans\n\
          cargo run --release -p loupe-cli -- report --db target/loupedb --docs docs\n\
          ```\n\n\
          For every system call the fleet exercises, the matrix shows how many\n\
@@ -246,7 +265,15 @@ pub fn render_matrix(grouped: &BTreeMap<Workload, Vec<AppReport>>) -> String {
         render_cost_rollup(&mut out, reports);
     }
 
-    out.push_str("---\n\nPer-application breakdowns live in [`apps/`](apps/README.md).\n");
+    if link_statics {
+        out.push_str(
+            "---\n\nPer-application breakdowns live in [`apps/`](apps/README.md); the\n\
+             static-analysis baselines are contrasted against these dynamic\n\
+             measurements in [STATIC_VS_DYNAMIC.md](STATIC_VS_DYNAMIC.md).\n",
+        );
+    } else {
+        out.push_str("---\n\nPer-application breakdowns live in [`apps/`](apps/README.md).\n");
+    }
     out
 }
 
@@ -273,7 +300,7 @@ pub fn render_support_plans(
         "Generated by `loupe report` from a sweep database — **do not edit by\n\
          hand**. Regenerate (and re-validate) with:\n\n\
          ```sh\n\
-         cargo run --release -p loupe-cli -- sweep --db target/loupedb --workload all --jobs 2 --transfer --validate-plans\n\
+         cargo run --release -p loupe-cli -- sweep --db target/loupedb --workload all --jobs 2 --transfer --static --validate-plans\n\
          cargo run --release -p loupe-cli -- report --db target/loupedb --docs docs\n\
          ```\n\n\
          For every curated OS (§4.1), the ordered steps that unlock the\n\

@@ -1,0 +1,771 @@
+//! The static-analysis sweep stage and the fleet-wide static-vs-dynamic
+//! comparison (the paper's Figs. 4–7 and §5.1).
+//!
+//! The paper's headline argument is that static analysis overestimates
+//! application syscall requirements 2–5×, which misdirects
+//! compatibility-layer effort. This module makes that argument
+//! measurable over the whole fleet:
+//!
+//! * [`sweep_static`] runs the [`BinaryAnalyzer`] and [`SourceAnalyzer`]
+//!   baselines over a fleet on the shared bounded worker pool and
+//!   persists the [`StaticReport`]s in the database's level-keyed
+//!   `static/` namespace;
+//! * [`compare`] joins the static reports against the stored dynamic
+//!   measurements of every workload and computes, per app, the Fig. 4
+//!   overestimation factors — checking the structural invariant
+//!   **dynamic ⊆ source ⊆ binary** along the way — plus the Fig. 6/7
+//!   API-importance rank shifts and, per curated OS, the size of a
+//!   support plan built from static requirements vs the validated
+//!   dynamic plan (the "static plans waste effort" claim, per OS);
+//! * [`render_static_comparison`] turns the comparisons into the
+//!   generated, drift-checked `docs/STATIC_VS_DYNAMIC.md`.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use loupe_apps::{AppModel, Workload};
+use loupe_core::AppReport;
+use loupe_db::{Database, DbError};
+use loupe_plan::{importance_fractions, os, AppRequirement, SupportPlan};
+use loupe_static::{api_importance, Level, StaticReport};
+use loupe_syscalls::{Sysno, SysnoSet};
+
+use crate::pool;
+
+/// The outcome of a static sweep.
+#[derive(Debug, Clone)]
+pub struct StaticSweepSummary {
+    /// Entries analysed fresh in this sweep.
+    pub analyzed: usize,
+    /// Entries served from the database.
+    pub cached: usize,
+    /// Every (app, level) report, deterministically ordered by
+    /// `(app, level)`.
+    pub reports: Vec<StaticReport>,
+}
+
+/// Runs both static analysers over `apps` on a bounded worker pool,
+/// persisting every report into `db`'s `static/` namespace. Cached
+/// entries are skipped unless `force` re-analyses them (overwriting:
+/// static analysis is pure, there is nothing to merge). `workers = 0`
+/// picks `min(available_parallelism, 16)`.
+///
+/// # Errors
+///
+/// Database I/O and corruption errors; a panicking analyser surfaces as
+/// an I/O error naming the app.
+pub fn sweep_static(
+    db: &Database,
+    mut apps: Vec<Box<dyn AppModel>>,
+    workers: usize,
+    force: bool,
+) -> Result<StaticSweepSummary, DbError> {
+    let mut seen = std::collections::BTreeSet::new();
+    apps.retain(|app| seen.insert(app.name().to_owned()));
+
+    let jobs: Vec<(usize, Level)> = (0..apps.len())
+        .flat_map(|a| Level::ALL.into_iter().map(move |l| (a, l)))
+        .collect();
+    let workers = effective_workers(workers, jobs.len());
+
+    enum JobOut {
+        Fresh(StaticReport),
+        Cached(StaticReport),
+        Db(DbError),
+    }
+
+    let outcomes = pool::run_jobs(workers, &jobs, |&(app_idx, level)| {
+        let app = apps[app_idx].as_ref();
+        match db.load_static(level, app.name()) {
+            Ok(Some(cached)) if !force => return JobOut::Cached(cached),
+            Ok(_) => {}
+            Err(e) => return JobOut::Db(e),
+        }
+        let report = level.analyzer().analyze(app);
+        match db.save_static(&report) {
+            Ok(()) => JobOut::Fresh(report),
+            Err(e) => JobOut::Db(e),
+        }
+    });
+
+    let mut summary = StaticSweepSummary {
+        analyzed: 0,
+        cached: 0,
+        reports: Vec::new(),
+    };
+    for (outcome, &(app_idx, level)) in outcomes.into_iter().zip(&jobs) {
+        match outcome {
+            Ok(JobOut::Fresh(r)) => {
+                summary.analyzed += 1;
+                summary.reports.push(r);
+            }
+            Ok(JobOut::Cached(r)) => {
+                summary.cached += 1;
+                summary.reports.push(r);
+            }
+            Ok(JobOut::Db(e)) => return Err(e),
+            Err(panic) => {
+                return Err(DbError::Io(std::io::Error::other(format!(
+                    "static analysis of {} ({}) panicked: {panic}",
+                    apps[app_idx].name(),
+                    level.label()
+                ))))
+            }
+        }
+    }
+    summary
+        .reports
+        .sort_by(|a, b| (&a.app, a.level).cmp(&(&b.app, b.level)));
+    Ok(summary)
+}
+
+fn effective_workers(workers: usize, jobs: usize) -> usize {
+    let auto = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
+    let chosen = if workers == 0 { auto } else { workers };
+    chosen.clamp(1, jobs.max(1))
+}
+
+/// Errors from the static-vs-dynamic comparison.
+#[derive(Debug)]
+pub enum CompareError {
+    /// Database I/O or corruption.
+    Db(DbError),
+    /// No dynamic measurements stored: nothing to compare against.
+    NoDynamicReports,
+    /// A dynamic report has no static counterpart at this level — run
+    /// `loupe sweep --static` first.
+    MissingStatic {
+        /// Application missing a static report.
+        app: String,
+        /// The missing level.
+        level: Level,
+    },
+}
+
+impl fmt::Display for CompareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompareError::Db(e) => write!(f, "{e}"),
+            CompareError::NoDynamicReports => {
+                write!(f, "no dynamic measurements stored; run `loupe sweep` first")
+            }
+            CompareError::MissingStatic { app, level } => write!(
+                f,
+                "no {} static report for `{app}`; run `loupe sweep --static` first",
+                level.label()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompareError {}
+
+impl From<DbError> for CompareError {
+    fn from(e: DbError) -> Self {
+        CompareError::Db(e)
+    }
+}
+
+/// One application's static-vs-dynamic numbers (a Fig. 4 bar group).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppComparison {
+    /// Application name.
+    pub app: String,
+    /// Syscalls the workload actually exercised (traced ∪ fallbacks).
+    pub dynamic_used: usize,
+    /// Syscalls Loupe says must be implemented (`plan_required`).
+    pub dynamic_required: usize,
+    /// Syscalls the source-level analyser attributes to the app.
+    pub source: usize,
+    /// Syscalls the binary-level analyser attributes to the app.
+    pub binary: usize,
+    /// `source / dynamic_used` (≥ 1 whenever the subset invariant holds).
+    pub source_over_used: f64,
+    /// `binary / dynamic_used`.
+    pub binary_over_used: f64,
+    /// `source / dynamic_required` — the effort misdirection factor.
+    pub source_over_required: f64,
+    /// `binary / dynamic_required`.
+    pub binary_over_required: f64,
+    /// Whether dynamic ⊆ source ⊆ binary holds for this app.
+    pub subset_ok: bool,
+    /// Dynamically exercised syscalls the source analyser missed
+    /// (diagnostics; empty when `subset_ok`).
+    pub missing_from_source: SysnoSet,
+    /// Source-view syscalls the binary analyser missed (empty when
+    /// `subset_ok`).
+    pub missing_from_binary: SysnoSet,
+}
+
+/// How one syscall's importance rank moves between the static and
+/// dynamic definitions of "needed" (Figs. 6–7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankShift {
+    /// The syscall.
+    pub sysno: Sysno,
+    /// Rank under the dynamic (Loupe required) definition, 1-based.
+    pub dynamic_rank: usize,
+    /// Fraction of apps requiring it dynamically.
+    pub dynamic_importance: f64,
+    /// Rank under the static (binary-analysis) definition, 1-based;
+    /// `None` if static analysis never attributes it to any app.
+    pub static_rank: Option<usize>,
+    /// Fraction of app binaries containing it statically.
+    pub static_importance: f64,
+}
+
+/// Static-plan vs dynamic-plan sizes for one curated OS: the per-OS
+/// "static plans waste effort" numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanDelta {
+    /// Target OS.
+    pub os: String,
+    /// Apps the OS supports before any work, per the dynamic plan.
+    pub dynamic_initial: usize,
+    /// Syscalls the dynamic plan implements in total.
+    pub dynamic_implemented: usize,
+    /// Apps supported with zero work when requirements come from the
+    /// source analyser.
+    pub source_initial: usize,
+    /// Syscalls a source-requirements plan implements.
+    pub source_implemented: usize,
+    /// Apps supported with zero work when requirements come from the
+    /// binary analyser.
+    pub binary_initial: usize,
+    /// Syscalls a binary-requirements plan implements.
+    pub binary_implemented: usize,
+}
+
+impl PlanDelta {
+    /// Implementation work the source-level plan schedules beyond the
+    /// dynamic plan.
+    pub fn source_waste(&self) -> usize {
+        self.source_implemented
+            .saturating_sub(self.dynamic_implemented)
+    }
+
+    /// Implementation work the binary-level plan schedules beyond the
+    /// dynamic plan.
+    pub fn binary_waste(&self) -> usize {
+        self.binary_implemented
+            .saturating_sub(self.dynamic_implemented)
+    }
+}
+
+/// The full static-vs-dynamic comparison for one workload.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The workload whose dynamic measurements anchor the comparison.
+    pub workload: Workload,
+    /// Per-app factors, sorted by app name.
+    pub apps: Vec<AppComparison>,
+    /// Mean `source / dynamic_used` over the fleet.
+    pub mean_source_factor: f64,
+    /// Mean `binary / dynamic_used` over the fleet.
+    pub mean_binary_factor: f64,
+    /// Distinct syscalls exercised anywhere in the fleet dynamically.
+    pub fleet_dynamic_used: usize,
+    /// Distinct syscalls required anywhere per Loupe.
+    pub fleet_dynamic_required: usize,
+    /// Distinct syscalls attributed anywhere by the source analyser.
+    pub fleet_source: usize,
+    /// Distinct syscalls attributed anywhere by the binary analyser.
+    pub fleet_binary: usize,
+    /// Importance rank shifts for the dynamically most-required
+    /// syscalls.
+    pub rank_shifts: Vec<RankShift>,
+    /// Per-curated-OS plan-size deltas.
+    pub plan_deltas: Vec<PlanDelta>,
+}
+
+impl Comparison {
+    /// Whether dynamic ⊆ source ⊆ binary holds for every app.
+    pub fn invariants_hold(&self) -> bool {
+        self.apps.iter().all(|a| a.subset_ok)
+    }
+}
+
+/// Number of top dynamically-required syscalls whose rank shift is
+/// tabulated (Fig. 6/7 show a comparable head of the distribution).
+const RANK_SHIFT_ROWS: usize = 15;
+
+fn ratio(over: usize, under: usize) -> f64 {
+    over as f64 / under.max(1) as f64
+}
+
+/// Joins the stored static reports against the stored dynamic
+/// measurements and computes one [`Comparison`] per workload that has
+/// dynamic reports.
+///
+/// # Errors
+///
+/// Database failures, an empty dynamic namespace, or a dynamic report
+/// with no static counterpart.
+pub fn compare(db: &Database) -> Result<Vec<Comparison>, CompareError> {
+    let mut out = Vec::new();
+    for &workload in Workload::ALL {
+        let reports = db.load_workload(workload)?;
+        if reports.is_empty() {
+            continue;
+        }
+        out.push(compare_workload(db, workload, &reports)?);
+    }
+    if out.is_empty() {
+        return Err(CompareError::NoDynamicReports);
+    }
+    Ok(out)
+}
+
+fn compare_workload(
+    db: &Database,
+    workload: Workload,
+    reports: &[AppReport],
+) -> Result<Comparison, CompareError> {
+    let mut apps = Vec::new();
+    let mut statics_binary = Vec::new();
+    let mut source_reqs = Vec::new();
+    let mut binary_reqs = Vec::new();
+    let mut fleet_used = SysnoSet::new();
+    let mut fleet_required = SysnoSet::new();
+    let mut fleet_source = SysnoSet::new();
+    let mut fleet_binary = SysnoSet::new();
+
+    for report in reports {
+        let load = |level: Level| -> Result<StaticReport, CompareError> {
+            db.load_static(level, &report.app)?
+                .ok_or_else(|| CompareError::MissingStatic {
+                    app: report.app.clone(),
+                    level,
+                })
+        };
+        let src = load(Level::Source)?;
+        let bin = load(Level::Binary)?;
+
+        let used = report.traced().union(&report.fallbacks);
+        let required = report.plan_required();
+        let missing_from_source = used.difference(&src.syscalls);
+        let missing_from_binary = src.syscalls.difference(&bin.syscalls);
+        apps.push(AppComparison {
+            app: report.app.clone(),
+            dynamic_used: used.len(),
+            dynamic_required: required.len(),
+            source: src.syscalls.len(),
+            binary: bin.syscalls.len(),
+            source_over_used: ratio(src.syscalls.len(), used.len()),
+            binary_over_used: ratio(bin.syscalls.len(), used.len()),
+            source_over_required: ratio(src.syscalls.len(), required.len()),
+            binary_over_required: ratio(bin.syscalls.len(), required.len()),
+            subset_ok: missing_from_source.is_empty() && missing_from_binary.is_empty(),
+            missing_from_source,
+            missing_from_binary,
+        });
+
+        fleet_used = fleet_used.union(&used);
+        fleet_required = fleet_required.union(&required);
+        fleet_source = fleet_source.union(&src.syscalls);
+        fleet_binary = fleet_binary.union(&bin.syscalls);
+
+        // Static "requirements": a static analyser cannot tell stubbable
+        // from required, so a plan built on it must implement everything
+        // it reports — exactly the misdirection the paper quantifies.
+        source_reqs.push(static_requirement(&src));
+        binary_reqs.push(static_requirement(&bin));
+        statics_binary.push(bin);
+    }
+
+    let n = apps.len().max(1) as f64;
+    let mean_source_factor = apps.iter().map(|a| a.source_over_used).sum::<f64>() / n;
+    let mean_binary_factor = apps.iter().map(|a| a.binary_over_used).sum::<f64>() / n;
+
+    // Importance under both definitions, via the one shared metric.
+    let required_sets: Vec<SysnoSet> = reports.iter().map(AppReport::plan_required).collect();
+    let dynamic_importance = importance_fractions(&required_sets);
+    let static_importance = api_importance(&statics_binary);
+    let rank_shifts = dynamic_importance
+        .iter()
+        .take(RANK_SHIFT_ROWS)
+        .enumerate()
+        .map(|(i, &(sysno, importance))| {
+            let static_pos = static_importance.iter().position(|&(s, _)| s == sysno);
+            RankShift {
+                sysno,
+                dynamic_rank: i + 1,
+                dynamic_importance: importance,
+                static_rank: static_pos.map(|p| p + 1),
+                static_importance: static_pos.map(|p| static_importance[p].1).unwrap_or(0.0),
+            }
+        })
+        .collect();
+
+    // Per-OS plan sizes under the three requirement definitions.
+    let dynamic_reqs: Vec<AppRequirement> =
+        reports.iter().map(AppRequirement::from_report).collect();
+    let plan_deltas = os::db()
+        .into_iter()
+        .map(|spec| {
+            let dynamic = SupportPlan::generate(&spec, &dynamic_reqs);
+            let source = SupportPlan::generate(&spec, &source_reqs);
+            let binary = SupportPlan::generate(&spec, &binary_reqs);
+            PlanDelta {
+                os: spec.name,
+                dynamic_initial: dynamic.initially_supported.len(),
+                dynamic_implemented: dynamic.total_implemented(),
+                source_initial: source.initially_supported.len(),
+                source_implemented: source.total_implemented(),
+                binary_initial: binary.initially_supported.len(),
+                binary_implemented: binary.total_implemented(),
+            }
+        })
+        .collect();
+
+    Ok(Comparison {
+        workload,
+        apps,
+        mean_source_factor,
+        mean_binary_factor,
+        fleet_dynamic_used: fleet_used.len(),
+        fleet_dynamic_required: fleet_required.len(),
+        fleet_source: fleet_source.len(),
+        fleet_binary: fleet_binary.len(),
+        rank_shifts,
+        plan_deltas,
+    })
+}
+
+/// The planner's view of a static report: everything the analyser saw
+/// must be implemented (no stub/fake knowledge exists statically).
+fn static_requirement(report: &StaticReport) -> AppRequirement {
+    AppRequirement {
+        app: report.app.clone(),
+        required: report.syscalls.clone(),
+        stubbable: SysnoSet::new(),
+        fake_only: SysnoSet::new(),
+        traced: report.syscalls.clone(),
+    }
+}
+
+fn workload_title(w: Workload) -> &'static str {
+    match w {
+        Workload::HealthCheck => "health-check",
+        Workload::Benchmark => "benchmark",
+        Workload::TestSuite => "test-suite",
+    }
+}
+
+/// Renders `docs/STATIC_VS_DYNAMIC.md` from the comparisons — a pure
+/// function of its input, byte-identical for identical databases, so
+/// the drift check applies to it like every generated page.
+pub fn render_static_comparison(comparisons: &[Comparison]) -> String {
+    let mut out = String::new();
+    out.push_str("# Static vs dynamic analysis (Figs. 4–7)\n\n");
+    out.push_str(
+        "Generated by `loupe report` from a sweep database — **do not edit by\n\
+         hand**. Regenerate with:\n\n\
+         ```sh\n\
+         cargo run --release -p loupe-cli -- sweep --db target/loupedb --workload all --jobs 2 --transfer --static --validate-plans\n\
+         cargo run --release -p loupe-cli -- report --db target/loupedb --docs docs\n\
+         ```\n\n\
+         The paper's core quantitative claim (§5.1, Fig. 4): static analysis —\n\
+         the binary-level Tsai-style analyser and the source-level Unikraft\n\
+         analyser — overestimates what applications need from a kernel, because\n\
+         it sees every dead branch, error path and linked-library syscall. The\n\
+         tables below compare both static baselines against the dynamic\n\
+         measurements stored in the same database, per app and per OS. The\n\
+         structural invariant **dynamic ⊆ source ⊆ binary** is checked for\n\
+         every app: dynamic analysis under-approximates code (it sees only\n\
+         executed paths), static analysis over-approximates it.\n\n",
+    );
+
+    for c in comparisons {
+        let _ = writeln!(
+            out,
+            "## {} workload — {} applications\n",
+            workload_title(c.workload),
+            c.apps.len()
+        );
+        let _ = writeln!(
+            out,
+            "Fleet-wide distinct syscalls: **{} dynamically exercised** ({} required\n\
+             per Loupe), {} attributed by source analysis, {} by binary analysis.\n\
+             Mean per-app overestimation vs the dynamically exercised set:\n\
+             **{:.2}× (source)**, **{:.2}× (binary)**. Invariant dynamic ⊆ source ⊆\n\
+             binary: **{}**.\n",
+            c.fleet_dynamic_used,
+            c.fleet_dynamic_required,
+            c.fleet_source,
+            c.fleet_binary,
+            c.mean_source_factor,
+            c.mean_binary_factor,
+            if c.invariants_hold() {
+                "holds for every app"
+            } else {
+                "VIOLATED (see per-app rows)"
+            }
+        );
+
+        out.push_str(
+            "### Per-app overestimation factors (Fig. 4)\n\n\
+             | App | Dynamic used | Dynamic required | Source | Binary | Source/used | Binary/used | Source/required | Binary/required | dyn ⊆ src ⊆ bin |\n\
+             |-----|-------------:|-----------------:|-------:|-------:|------------:|------------:|----------------:|----------------:|-----------------|\n",
+        );
+        for a in &c.apps {
+            let invariant = if a.subset_ok {
+                "✓".to_owned()
+            } else {
+                let mut bits = Vec::new();
+                if !a.missing_from_source.is_empty() {
+                    bits.push(format!(
+                        "source misses `{}`",
+                        names_of(&a.missing_from_source)
+                    ));
+                }
+                if !a.missing_from_binary.is_empty() {
+                    bits.push(format!(
+                        "binary misses `{}`",
+                        names_of(&a.missing_from_binary)
+                    ));
+                }
+                format!("**✗ {}**", bits.join("; "))
+            };
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {:.2}× | {:.2}× | {:.2}× | {:.2}× | {} |",
+                a.app,
+                a.dynamic_used,
+                a.dynamic_required,
+                a.source,
+                a.binary,
+                a.source_over_used,
+                a.binary_over_used,
+                a.source_over_required,
+                a.binary_over_required,
+                invariant
+            );
+        }
+        out.push('\n');
+
+        out.push_str(
+            "### API-importance rank shifts (Figs. 6–7)\n\n\
+             How the most dynamically-required syscalls rank when importance is\n\
+             measured statically (fraction of app binaries containing the call)\n\
+             instead of dynamically (fraction of apps requiring it). A large\n\
+             positive shift means static analysis buries a genuinely critical\n\
+             call under dead-code noise.\n\n\
+             | Dynamic rank | Syscall | Required by (dyn) | Static rank | In binaries (static) | Shift |\n\
+             |-------------:|---------|------------------:|------------:|---------------------:|------:|\n",
+        );
+        for s in &c.rank_shifts {
+            let (srank, shift) = match s.static_rank {
+                Some(r) => (
+                    r.to_string(),
+                    format!("{:+}", r as i64 - s.dynamic_rank as i64),
+                ),
+                None => ("–".to_owned(), "n/a".to_owned()),
+            };
+            let _ = writeln!(
+                out,
+                "| {} | `{}` | {:.0}% | {} | {:.0}% | {} |",
+                s.dynamic_rank,
+                s.sysno.name(),
+                s.dynamic_importance * 100.0,
+                srank,
+                s.static_importance * 100.0,
+                shift
+            );
+        }
+        out.push('\n');
+
+        out.push_str(
+            "### Support-plan deltas per curated OS (§4.1 × Fig. 4)\n\n\
+             Syscalls each OS would implement to support the measured fleet when\n\
+             the plan is generated from dynamic requirements vs from what a\n\
+             static analyser reports (a static analyser cannot tell stubbable\n\
+             from required, so its plan implements everything it sees). *Wasted*\n\
+             is the extra implementation work the static plan schedules.\n\n\
+             | OS | Apps at step 0 (dyn/src/bin) | Implement (dyn) | Implement (src) | Implement (bin) | Wasted (src) | Wasted (bin) |\n\
+             |----|------------------------------|----------------:|----------------:|----------------:|-------------:|-------------:|\n",
+        );
+        for d in &c.plan_deltas {
+            let _ = writeln!(
+                out,
+                "| {} | {} / {} / {} | {} | {} | {} | +{} | +{} |",
+                d.os,
+                d.dynamic_initial,
+                d.source_initial,
+                d.binary_initial,
+                d.dynamic_implemented,
+                d.source_implemented,
+                d.binary_implemented,
+                d.source_waste(),
+                d.binary_waste()
+            );
+        }
+        out.push('\n');
+    }
+
+    out.push_str(
+        "---\n\nDynamic fleet classifications live in\n\
+         [COMPATIBILITY.md](COMPATIBILITY.md); the per-OS dynamic plans these\n\
+         deltas are measured against live in [SUPPORT_PLANS.md](SUPPORT_PLANS.md).\n",
+    );
+    out
+}
+
+fn names_of(set: &SysnoSet) -> String {
+    set.iter()
+        .map(|s| s.name().to_owned())
+        .collect::<Vec<_>>()
+        .join("`, `")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sweep, SweepConfig};
+    use loupe_apps::registry;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("loupe-statics-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn static_sweep_persists_and_caches() {
+        let dir = tmpdir("cache");
+        let db = Database::open(&dir).unwrap();
+        let apps = || -> Vec<_> { registry::detailed().into_iter().take(5).collect() };
+
+        let first = sweep_static(&db, apps(), 2, false).unwrap();
+        assert_eq!(first.analyzed, 10, "5 apps x 2 levels");
+        assert_eq!(first.cached, 0);
+        assert_eq!(db.list_static().unwrap().len(), 10);
+
+        let second = sweep_static(&db, apps(), 2, false).unwrap();
+        assert_eq!(second.analyzed, 0, "second sweep is pure cache hits");
+        assert_eq!(second.cached, 10);
+        assert_eq!(first.reports, second.reports);
+
+        // Deterministic across worker counts.
+        let dir_b = tmpdir("cache-b");
+        let db_b = Database::open(&dir_b).unwrap();
+        let serial = sweep_static(&db_b, apps(), 1, false).unwrap();
+        assert_eq!(serial.reports, first.reports);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn comparison_invariants_hold_for_the_detailed_fleet() {
+        let dir = tmpdir("cmp");
+        let db = Database::open(&dir).unwrap();
+        Sweep::new(SweepConfig {
+            workloads: vec![Workload::HealthCheck],
+            ..SweepConfig::default()
+        })
+        .run(&db, registry::detailed())
+        .unwrap();
+        sweep_static(&db, registry::detailed(), 0, false).unwrap();
+
+        let comparisons = compare(&db).unwrap();
+        assert_eq!(comparisons.len(), 1);
+        let c = &comparisons[0];
+        assert_eq!(c.apps.len(), 12);
+        assert!(
+            c.invariants_hold(),
+            "dynamic ⊆ source ⊆ binary must hold: {:?}",
+            c.apps
+                .iter()
+                .filter(|a| !a.subset_ok)
+                .map(|a| (&a.app, &a.missing_from_source, &a.missing_from_binary))
+                .collect::<Vec<_>>()
+        );
+        for a in &c.apps {
+            assert!(
+                a.source_over_used >= 1.0,
+                "{}: {}",
+                a.app,
+                a.source_over_used
+            );
+            assert!(a.binary_over_used >= a.source_over_used, "{}", a.app);
+            assert!(a.source_over_required >= a.source_over_used, "{}", a.app);
+        }
+        // The paper's headline: binary analysis lands in the 2–5x band.
+        assert!(
+            c.mean_binary_factor > 2.0,
+            "binary overestimation too small: {}",
+            c.mean_binary_factor
+        );
+        // Static plans schedule strictly more implementation work.
+        for d in &c.plan_deltas {
+            assert!(d.source_implemented >= d.dynamic_implemented, "{}", d.os);
+            assert!(d.binary_implemented >= d.source_implemented, "{}", d.os);
+            assert!(
+                d.binary_waste() > 0,
+                "{}: binary plan must waste effort",
+                d.os
+            );
+            assert!(d.dynamic_initial >= d.binary_initial, "{}", d.os);
+        }
+        assert_eq!(
+            c.rank_shifts.len(),
+            RANK_SHIFT_ROWS.min(c.rank_shifts.len())
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_without_static_reports_names_the_gap() {
+        let dir = tmpdir("missing");
+        let db = Database::open(&dir).unwrap();
+        assert!(matches!(compare(&db), Err(CompareError::NoDynamicReports)));
+        Sweep::new(SweepConfig {
+            workloads: vec![Workload::HealthCheck],
+            ..SweepConfig::default()
+        })
+        .run(&db, registry::detailed().into_iter().take(1).collect())
+        .unwrap();
+        match compare(&db) {
+            Err(CompareError::MissingStatic { app, .. }) => {
+                assert!(!app.is_empty());
+            }
+            other => panic!("expected MissingStatic, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_mentions_every_app_and_os() {
+        let dir = tmpdir("render");
+        let db = Database::open(&dir).unwrap();
+        let apps = || -> Vec<_> { registry::detailed().into_iter().take(4).collect() };
+        Sweep::new(SweepConfig {
+            workloads: vec![Workload::HealthCheck],
+            ..SweepConfig::default()
+        })
+        .run(&db, apps())
+        .unwrap();
+        sweep_static(&db, apps(), 0, false).unwrap();
+        let comparisons = compare(&db).unwrap();
+        let a = render_static_comparison(&comparisons);
+        let b = render_static_comparison(&comparisons);
+        assert_eq!(a, b);
+        for app in comparisons[0].apps.iter() {
+            assert!(a.contains(&format!("| {} |", app.app)), "{} row", app.app);
+        }
+        for spec in os::db() {
+            assert!(
+                a.contains(&format!("| {} |", spec.name)),
+                "{} row",
+                spec.name
+            );
+        }
+        assert!(a.contains("holds for every app"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

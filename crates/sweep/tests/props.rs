@@ -1,0 +1,247 @@
+//! Property tests for the static-vs-dynamic comparison invariants:
+//! whatever the per-app syscall sets look like, as long as the
+//! structural containment dynamic ⊆ source ⊆ binary holds, every
+//! overestimation factor the pipeline computes is ≥ 1, the per-app
+//! invariant flag agrees, and importance vectors — dynamic and static,
+//! both riding the one shared implementation — come out sorted
+//! descending and NaN-free.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use loupe_apps::Workload;
+use loupe_core::{AppReport, BaselineStats, FeatureClass, LINUX_ENV};
+use loupe_db::Database;
+use loupe_plan::importance_fractions;
+use loupe_static::{api_importance, Level, StaticReport};
+use loupe_syscalls::{Sysno, SysnoSet};
+use proptest::prelude::*;
+
+/// Dense x86-64 syscall range: random index sets overlap enough to
+/// exercise sharing and ties.
+fn pool() -> Vec<Sysno> {
+    (0u32..330).filter_map(Sysno::from_raw).collect()
+}
+
+fn pick(idxs: &[usize]) -> SysnoSet {
+    let pool = pool();
+    idxs.iter().map(|i| pool[i % pool.len()]).collect()
+}
+
+/// Builds nested (dynamic, source, binary) sets from one seed chunk:
+/// dynamic ⊆ source ⊆ binary by construction.
+fn nested_sets(chunk: &[usize]) -> (SysnoSet, SysnoSet, SysnoSet) {
+    let third = (chunk.len() / 3).max(1);
+    let dynamic = pick(&chunk[..third.min(chunk.len())]);
+    let source = dynamic.union(&pick(
+        &chunk[third.min(chunk.len())..(2 * third).min(chunk.len())],
+    ));
+    let binary = source.union(&pick(&chunk[(2 * third).min(chunk.len())..]));
+    (dynamic, source, binary)
+}
+
+/// A synthetic dynamic report whose traced set is `dynamic` and whose
+/// required set alternates (every other traced syscall is required, the
+/// rest stubbable) — enough structure for plan generation to differ
+/// between the dynamic and static requirement definitions.
+fn synthetic_report(app: &str, dynamic: &SysnoSet) -> AppReport {
+    let mut traced = BTreeMap::new();
+    let mut classes = BTreeMap::new();
+    for (i, s) in dynamic.iter().enumerate() {
+        traced.insert(s, 1 + i as u64);
+        classes.insert(
+            s,
+            FeatureClass {
+                stub_ok: i % 2 == 1,
+                fake_ok: false,
+            },
+        );
+    }
+    AppReport {
+        app: app.to_owned(),
+        version: "1".into(),
+        env: LINUX_ENV.into(),
+        workload: Workload::HealthCheck,
+        traced,
+        classes,
+        fallbacks: SysnoSet::new(),
+        impacts: BTreeMap::new(),
+        sub_features: vec![],
+        pseudo_files: BTreeMap::new(),
+        conflicts: vec![],
+        confirmed: true,
+        baseline: BaselineStats::default(),
+        stats: Default::default(),
+    }
+}
+
+fn tmpdir(tag: &str, case: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "loupe-sweep-props-{tag}-{case}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+proptest! {
+    #[test]
+    fn factors_at_least_one_whenever_containment_holds(
+        seed in proptest::collection::vec(0usize..4000, 12..60)
+    ) {
+        let chunks: Vec<&[usize]> = seed.chunks(12).collect();
+        let dir = tmpdir("factors", seed.iter().sum::<usize>() % 7919);
+        let db = Database::open(&dir).unwrap();
+        for (i, chunk) in chunks.iter().enumerate() {
+            let (dynamic, source, binary) = nested_sets(chunk);
+            let app = format!("prop-app-{i}");
+            db.save(&synthetic_report(&app, &dynamic)).unwrap();
+            db.save_static(&StaticReport {
+                app: app.clone(),
+                level: Level::Source,
+                syscalls: source,
+            })
+            .unwrap();
+            db.save_static(&StaticReport {
+                app,
+                level: Level::Binary,
+                syscalls: binary,
+            })
+            .unwrap();
+        }
+
+        let comparisons = loupe_sweep::compare(&db).unwrap();
+        prop_assert_eq!(comparisons.len(), 1);
+        let c = &comparisons[0];
+        prop_assert_eq!(c.apps.len(), chunks.len());
+        prop_assert!(c.invariants_hold());
+        for a in &c.apps {
+            prop_assert!(a.subset_ok, "{}: containment holds by construction", a.app);
+            prop_assert!(a.source_over_used >= 1.0, "{}: {}", a.app, a.source_over_used);
+            prop_assert!(a.binary_over_used >= a.source_over_used, "{}", a.app);
+            prop_assert!(a.source_over_required >= a.source_over_used, "{}", a.app);
+            prop_assert!(a.binary_over_required >= a.binary_over_used, "{}", a.app);
+            for f in [
+                a.source_over_used,
+                a.binary_over_used,
+                a.source_over_required,
+                a.binary_over_required,
+            ] {
+                prop_assert!(f.is_finite(), "{}: factor {}", a.app, f);
+            }
+        }
+        prop_assert!(c.mean_source_factor >= 1.0 && c.mean_source_factor.is_finite());
+        prop_assert!(c.mean_binary_factor >= c.mean_source_factor);
+        // Static plans can never implement fewer syscalls than the
+        // dynamic plan: static requirements are supersets.
+        for d in &c.plan_deltas {
+            prop_assert!(d.source_implemented >= d.dynamic_implemented, "{}", d.os);
+            prop_assert!(d.binary_implemented >= d.source_implemented, "{}", d.os);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_containment_violation_is_flagged_not_hidden(
+        seed in proptest::collection::vec(0usize..4000, 6..24)
+    ) {
+        // Source deliberately misses part of the dynamic set: the
+        // comparison must flag the app rather than report factors as if
+        // all were well.
+        let (dynamic, _, binary) = nested_sets(&seed);
+        prop_assume!(dynamic.len() >= 2);
+        let crippled: SysnoSet = dynamic.iter().skip(1).collect();
+        let dir = tmpdir("violation", seed.iter().sum::<usize>() % 7919);
+        let db = Database::open(&dir).unwrap();
+        db.save(&synthetic_report("broken", &dynamic)).unwrap();
+        db.save_static(&StaticReport {
+            app: "broken".into(),
+            level: Level::Source,
+            syscalls: crippled,
+        })
+        .unwrap();
+        db.save_static(&StaticReport {
+            app: "broken".into(),
+            level: Level::Binary,
+            syscalls: binary,
+        })
+        .unwrap();
+
+        let comparisons = loupe_sweep::compare(&db).unwrap();
+        let c = &comparisons[0];
+        prop_assert!(!c.invariants_hold());
+        prop_assert!(!c.apps[0].subset_ok);
+        prop_assert_eq!(c.apps[0].missing_from_source.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn importance_vectors_sorted_descending_and_nan_free(
+        seed in proptest::collection::vec(0usize..4000, 3..60)
+    ) {
+        let sets: Vec<SysnoSet> = seed.chunks(5).map(pick).collect();
+        let dynamic = importance_fractions(&sets);
+        let static_reports: Vec<StaticReport> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| StaticReport {
+                app: format!("app-{i}"),
+                level: Level::Binary,
+                syscalls: s.clone(),
+            })
+            .collect();
+        let statics = api_importance(&static_reports);
+
+        // Both rankings ride the same shared implementation; identical
+        // inputs must give identical output.
+        prop_assert_eq!(&dynamic, &statics);
+        for ranking in [&dynamic, &statics] {
+            for w in ranking.windows(2) {
+                prop_assert!(w[0].1 >= w[1].1, "sorted descending: {:?}", w);
+                // Deterministic tie-break: ascending syscall number.
+                if w[0].1 == w[1].1 {
+                    prop_assert!(w[0].0 < w[1].0, "tie-break: {:?}", w);
+                }
+            }
+            for &(s, f) in ranking.iter() {
+                prop_assert!(f.is_finite() && !f.is_nan(), "{s}: {f}");
+                prop_assert!((0.0..=1.0).contains(&f), "{s}: fraction {f}");
+            }
+        }
+    }
+}
+
+/// Deterministic anchor, not a sampled property: the containment
+/// invariant holds for the *real* fleet — every registry app's
+/// source view within its binary view, and the health-check workload's
+/// dynamic trace within the source view (the engine-backed half for the
+/// full 116-app dataset; heavier workloads are covered for the detailed
+/// apps by `loupe-sweep`'s unit tests).
+#[test]
+fn real_fleet_respects_containment_on_health_checks() {
+    use loupe_core::{AnalysisConfig, Engine};
+    use loupe_static::{BinaryAnalyzer, SourceAnalyzer, StaticAnalyzer};
+
+    let engine = Engine::new(AnalysisConfig::fast());
+    let bin = BinaryAnalyzer::new();
+    let src = SourceAnalyzer::new();
+    for app in loupe_apps::registry::dataset() {
+        let b = bin.analyze(app.as_ref());
+        let s = src.analyze(app.as_ref());
+        assert!(
+            s.syscalls.is_subset(&b.syscalls),
+            "{}: source ⊄ binary",
+            app.name()
+        );
+        let report = engine
+            .analyze(app.as_ref(), Workload::HealthCheck)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        let used = report.traced().union(&report.fallbacks);
+        let missing = used.difference(&s.syscalls);
+        assert!(
+            missing.is_empty(),
+            "{}: dynamic ⊄ source, source misses {missing}",
+            app.name()
+        );
+    }
+}

@@ -173,6 +173,7 @@ proptest! {
                 app: "x".into(),
                 version: "1".into(),
                 workload: loupe::apps::Workload::Benchmark,
+                env: "linux".into(),
                 traced: [(Sysno::read, 1)].into_iter().collect(),
                 classes,
                 fallbacks: Default::default(),
