@@ -1,0 +1,63 @@
+//! Criterion benches for the fleet × OS matrix sweep: the cold 11-OS
+//! pass over the detailed fleet (baselines + ~2 restricted runs per
+//! cell) vs the pure cache-hit pass — the datapoint the perf trajectory
+//! of the matrix layer is tracked by.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use loupe_apps::{registry, Workload};
+use loupe_db::Database;
+use loupe_sweep::{sweep_matrix, MatrixConfig, SweepConfig};
+
+fn tmp_db(tag: &str) -> Database {
+    let dir = std::env::temp_dir().join(format!("loupe-bench-matrix-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    Database::open(dir).expect("open bench db")
+}
+
+fn all_os_cfg() -> MatrixConfig {
+    MatrixConfig {
+        sweep: SweepConfig {
+            workloads: vec![Workload::HealthCheck],
+            workers: 0,
+            ..SweepConfig::default()
+        },
+        ..MatrixConfig::default()
+    }
+}
+
+fn bench_cold_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix-cold");
+    group.sample_size(10);
+    group.bench_function("detailed-12/all-11-os", |b| {
+        b.iter(|| {
+            let db = tmp_db("cold");
+            let summary = sweep_matrix(&db, registry::detailed(), &all_os_cfg()).expect("sweep");
+            let cells = summary.matrix.as_ref().expect("matrix section").analyzed;
+            std::fs::remove_dir_all(db.root()).ok();
+            black_box(cells)
+        });
+    });
+    group.finish();
+}
+
+fn bench_cached_matrix(c: &mut Criterion) {
+    let db = tmp_db("cached");
+    sweep_matrix(&db, registry::detailed(), &all_os_cfg()).expect("warm the cache");
+    let mut group = c.benchmark_group("matrix-cached");
+    group.sample_size(10);
+    group.bench_function("detailed-12/all-11-os", |b| {
+        b.iter(|| {
+            let summary = sweep_matrix(&db, registry::detailed(), &all_os_cfg()).expect("sweep");
+            let matrix = summary.matrix.as_ref().expect("matrix section");
+            assert_eq!(matrix.analyzed, 0, "everything cached");
+            black_box(matrix.cached)
+        });
+    });
+    group.finish();
+    std::fs::remove_dir_all(db.root()).ok();
+}
+
+criterion_group!(benches, bench_cold_matrix, bench_cached_matrix);
+criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! loupe list                          # applications in the registry
 //! loupe analyze nginx --workload bench [--json] [--db DIR]
 //! loupe sweep --db DIR                # analyze the whole fleet, concurrently
+//! loupe sweep --db DIR --all-os       # + execute the fleet on all 11 OS profiles
 //! loupe sweep --db DIR --static       # + static analysers over the fleet
 //! loupe compare --db DIR              # static-vs-dynamic factors (Figs. 4-7)
 //! loupe report --db DIR --docs docs   # render the db as Markdown docs
@@ -81,6 +82,13 @@ commands:
       --shard I/N                     analyze dataset shard I of N
       --workers N                     worker threads (default: min(cpus, 16))
       --jobs N                        per-app probe-scheduler workers (default: 1)
+      --os <name>                     also run the fleet x OS empirical matrix
+                                      against one curated OS kernel profile
+      --all-os                        ... against all 11 curated OS profiles;
+                                      cells persist under the db's env/<os>/matrix
+                                      namespace and render into docs/OS_MATRIX.md
+      --tier vanilla|planned          restrict matrix measurement to one
+                                      remediation tier (default: both)
       --transfer                      two-pass §6 hint transfer (seed, then hinted rest)
       --min-agreement K               seed reports that must agree to hint (default: 3)
       --transfer-seed N               apps measured in full as the seed (default: 8)
@@ -289,9 +297,33 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         None
     };
 
+    // Fleet × OS matrix selection: one curated OS, or all of them.
+    let all_os = args.iter().any(|a| a == "--all-os");
+    let os_sel = flag_value(args, "--os");
+    if all_os && os_sel.is_some() {
+        return Err("sweep: --os and --all-os are exclusive".into());
+    }
+    let matrix_oses = if all_os {
+        Some(os::db())
+    } else if let Some(name) = os_sel {
+        let spec = os::find(name)
+            .ok_or_else(|| format!("sweep: unknown OS `{name}` (see `loupe os-list`)"))?;
+        Some(vec![spec])
+    } else {
+        None
+    };
+    let tier = flag_value(args, "--tier")
+        .map(|t| {
+            loupe_plan::Tier::from_label(t).ok_or_else(|| format!("sweep: unknown tier `{t}`"))
+        })
+        .transpose()?;
+    if tier.is_some() && matrix_oses.is_none() {
+        return Err("sweep: --tier needs --os or --all-os".into());
+    }
+
     let apps = select_apps(args)?;
 
-    let sweep = Sweep::new(SweepConfig {
+    let sweep_cfg = SweepConfig {
         workloads: workloads.clone(),
         workers,
         force,
@@ -300,9 +332,29 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             jobs,
             ..loupe_core::AnalysisConfig::fast()
         },
-    });
-    let summary = sweep.run(&db, apps).map_err(|e| e.to_string())?;
-    let entries = summary.analyzed + summary.cached + summary.failures.len();
+    };
+    let summary = match &matrix_oses {
+        None => Sweep::new(sweep_cfg).run(&db, apps),
+        Some(oses) => loupe_sweep::sweep_matrix(
+            &db,
+            apps,
+            &loupe_sweep::MatrixConfig {
+                oses: oses.clone(),
+                tier,
+                sweep: sweep_cfg,
+            },
+        ),
+    }
+    .map_err(|e| e.to_string())?;
+    // A matrix sweep can report one failure per OS for the same
+    // (app, workload); count each baseline entry once.
+    let failed_entries = summary
+        .failures
+        .iter()
+        .map(|f| (f.app.as_str(), f.workload))
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    let entries = summary.analyzed + summary.cached + failed_entries;
     let unique_apps = entries / workloads.len().max(1);
     println!(
         "swept {} apps x {} workloads ({} entries): {} analyzed, {} cached, {} failed (db: {})",
@@ -326,6 +378,29 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             "transfer: {} feature measurements skipped, {} runs saved",
             summary.runs.transfer_skips, summary.runs.saved_runs
         );
+    }
+    if let Some(matrix) = &summary.matrix {
+        println!(
+            "matrix: {} cells ({} measured, {} cached) across {} OS x workload slices",
+            matrix.analyzed + matrix.cached,
+            matrix.analyzed,
+            matrix.cached,
+            matrix.stats.len()
+        );
+        for row in &matrix.stats {
+            println!(
+                "  {:<12} {:<7} out-of-the-box {:>3}/{} ({:>3.0}%), with plan {:>3}/{} ({:>3.0}%), gain +{}",
+                row.os,
+                row.workload.label(),
+                row.vanilla_pass,
+                row.apps,
+                row.vanilla_rate() * 100.0,
+                row.planned_pass,
+                row.apps,
+                row.planned_rate() * 100.0,
+                row.plan_gain()
+            );
+        }
     }
     for f in &summary.failures {
         eprintln!("  failed: {} ({}): {}", f.app, f.workload, f.error);

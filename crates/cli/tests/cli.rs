@@ -1,0 +1,84 @@
+//! Exit-code regression tests for the `loupe` binary: user errors must
+//! exit non-zero with an actionable message on stderr, and happy paths
+//! must exit zero — the contract CI scripts and the generated docs'
+//! regeneration commands rely on.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn loupe() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_loupe"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("loupe-cli-test-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn sweep_with_unknown_os_exits_nonzero_naming_it() {
+    let dir = tmpdir("nosuch-os");
+    let out = loupe()
+        .args(["sweep", "--os", "nosuch", "--db"])
+        .arg(&dir)
+        .output()
+        .expect("spawn loupe");
+    assert!(!out.status.success(), "unknown OS must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("nosuch"),
+        "stderr names the unknown OS: {stderr}"
+    );
+    assert!(
+        stderr.contains("os-list"),
+        "stderr points at the discovery command: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_rejects_conflicting_os_flags_and_orphan_tier() {
+    for args in [
+        vec!["sweep", "--os", "kerla", "--all-os"],
+        vec!["sweep", "--tier", "vanilla"],
+        vec!["sweep", "--all-os", "--tier", "sideways"],
+    ] {
+        let out = loupe().args(&args).output().expect("spawn loupe");
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert!(!out.stderr.is_empty());
+    }
+}
+
+#[test]
+fn matrix_sweep_of_one_app_exits_zero_and_reports_rates() {
+    let dir = tmpdir("matrix-ok");
+    let out = loupe()
+        .args([
+            "sweep",
+            "--os",
+            "kerla",
+            "--workload",
+            "health",
+            "--apps",
+            "hello-musl-static",
+            "--db",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("spawn loupe");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(
+        stdout.contains("matrix:"),
+        "matrix section printed: {stdout}"
+    );
+    assert!(stdout.contains("kerla"), "per-OS row printed: {stdout}");
+    assert!(
+        dir.join("env/kerla/matrix/hello-musl-static/health.json")
+            .is_file(),
+        "cell persisted under env/<os>/matrix"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -183,6 +183,9 @@ struct RunResult {
     trace: Trace,
     usage: ResourceUsage,
     console: Vec<String>,
+    /// Boundary counters of a restricted execution environment (`None`
+    /// on Linux) — surfaced into [`AppReport`] from the discovery runs.
+    observations: Option<loupe_kernel::KernelObservations>,
 }
 
 /// One feature the probe scheduler measures: a syscall, a sub-feature of
@@ -273,12 +276,13 @@ impl Engine {
         };
         let usage = kernel.usage();
         let console = std::mem::take(&mut kernel.host_mut().console);
-        let (_, trace) = kernel.into_parts();
+        let (host, trace) = kernel.into_parts();
         RunResult {
             outcome: exit,
             trace,
             usage,
             console,
+            observations: host.observations(),
         }
     }
 
@@ -459,6 +463,18 @@ impl Engine {
 
         // Conservative union of traced features across replicas.
         let traced = merge_syscall_trace(&base_runs);
+
+        // What the execution environment rejected/faked at its boundary
+        // during discovery (restricted kernels only). Only the discovery
+        // replicas teach: probe runs deliberately perturb behaviour, so
+        // folding their counters in would make the numbers depend on the
+        // probe schedule.
+        let mut env_obs = loupe_kernel::KernelObservations::default();
+        for run in &base_runs {
+            if let Some(obs) = &run.observations {
+                env_obs.absorb(obs);
+            }
+        }
 
         let mut stats_acc = RunStats {
             framing_runs: u64::from(self.cfg.replicas),
@@ -737,6 +753,9 @@ impl Engine {
             traced,
             classes,
             fallbacks,
+            rejections: env_obs.rejections,
+            fake_hits: env_obs.fake_hits,
+            first_rejection: env_obs.first_rejection,
             impacts,
             sub_features,
             pseudo_files,

@@ -20,8 +20,8 @@
 use loupe_apps::model::AppOutcome;
 use loupe_apps::{AppModel, Env, Exit, Workload};
 use loupe_kernel::{
-    HostPort, Invocation, Kernel, KernelProfile, LinuxSim, ResourceUsage, RestrictedKernel,
-    SysOutcome,
+    HostPort, Invocation, Kernel, KernelObservations, KernelProfile, LinuxSim, ResourceUsage,
+    RestrictedKernel, SysOutcome,
 };
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +70,18 @@ pub enum HostKernel {
     Restricted(RestrictedKernel<LinuxSim>),
 }
 
+impl HostKernel {
+    /// What the hosting environment observed at its boundary: rejection
+    /// and fake-hit counters for a restricted kernel, `None` for the
+    /// full Linux kernel (nothing is ever rejected there).
+    pub fn observations(&self) -> Option<KernelObservations> {
+        match self {
+            HostKernel::Linux(_) => None,
+            HostKernel::Restricted(k) => Some(k.observations().clone()),
+        }
+    }
+}
+
 macro_rules! delegate {
     ($self:ident, $k:ident => $e:expr) => {
         match $self {
@@ -113,12 +125,29 @@ impl Kernel for HostKernel {
 /// building block of support-plan validation, where the *environment*
 /// (not a probe policy) is the experiment.
 pub fn run_app(env: &ExecEnv, app: &dyn AppModel, workload: Workload) -> AppOutcome {
+    run_app_observed(env, app, workload).0
+}
+
+/// Like [`run_app`], but also returns what the environment observed at
+/// its boundary — the per-syscall rejection/fake-hit counters and the
+/// first rejected syscall of a restricted kernel (`None` on Linux).
+/// The fleet × OS compatibility matrix uses this to answer not just
+/// *whether* an app runs on an OS profile, but *what it trips on*.
+pub fn run_app_observed(
+    env: &ExecEnv,
+    app: &dyn AppModel,
+    workload: Workload,
+) -> (AppOutcome, Option<KernelObservations>) {
     let mut kernel = env.build(app);
-    let mut app_env = Env::new(&mut kernel);
-    match app.run(&mut app_env, workload) {
-        Ok(()) => app_env.finish(Exit::Clean),
-        Err(e) => app_env.finish(e),
-    }
+    let outcome = {
+        let mut app_env = Env::new(&mut kernel);
+        match app.run(&mut app_env, workload) {
+            Ok(()) => app_env.finish(Exit::Clean),
+            Err(e) => app_env.finish(e),
+        }
+    };
+    let observations = kernel.observations();
+    (outcome, observations)
 }
 
 #[cfg(test)]
@@ -153,6 +182,26 @@ mod tests {
         let restricted = run_app(&env, app.as_ref(), Workload::HealthCheck);
         let linux = run_app(&ExecEnv::Linux, app.as_ref(), Workload::HealthCheck);
         assert_eq!(restricted, linux, "a full profile is transparent");
+    }
+
+    #[test]
+    fn observed_runs_surface_boundary_counters() {
+        let app = registry::find("redis").unwrap();
+        // Linux observes nothing: there is no boundary to trip on.
+        let (_, obs) = run_app_observed(&ExecEnv::Linux, app.as_ref(), Workload::HealthCheck);
+        assert!(obs.is_none());
+        // An empty profile rejects the very first syscall the app makes.
+        let env = ExecEnv::Restricted(KernelProfile::new("bare", SysnoSet::new()));
+        let (outcome, obs) = run_app_observed(&env, app.as_ref(), Workload::HealthCheck);
+        let obs = obs.expect("restricted runs observe");
+        assert!(obs.total_rejections() > 0, "{obs:?}");
+        assert_eq!(
+            obs.first_rejection.map(|s| obs.rejections[&s]).unwrap_or(0) > 0,
+            true,
+            "first rejection is a counted rejection"
+        );
+        let verdict = TestScript::new().evaluate(&outcome, Workload::HealthCheck, None);
+        assert!(!verdict.success);
     }
 
     #[test]

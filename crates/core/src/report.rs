@@ -127,6 +127,22 @@ pub struct AppReport {
     /// relies on this report's stub/fake classification.
     #[serde(default)]
     pub fallbacks: SysnoSet,
+    /// Per-syscall counts of invocations the execution environment
+    /// answered `-ENOSYS` at its boundary during the discovery runs —
+    /// empty on Linux (nothing is rejected there), the first diagnostic
+    /// to read for a restricted-kernel measurement. Collected by
+    /// [`RestrictedKernel`](loupe_kernel::RestrictedKernel); before this
+    /// field existed the counters died with the kernel.
+    #[serde(default)]
+    pub rejections: BTreeMap<Sysno, u64>,
+    /// Per-syscall counts of invocations the environment's fake overlay
+    /// answered during the discovery runs (restricted kernels only).
+    #[serde(default)]
+    pub fake_hits: BTreeMap<Sysno, u64>,
+    /// The first syscall the environment rejected, if any — "what did
+    /// the run trip on first?".
+    #[serde(default)]
+    pub first_rejection: Option<Sysno>,
     /// Per-syscall perf/resource impact annotations.
     pub impacts: BTreeMap<Sysno, ImpactRecord>,
     /// Per-sub-feature classification (vectored syscalls, §5.4).
@@ -327,6 +343,9 @@ mod tests {
             traced: classes.keys().map(|s| (*s, 1)).collect(),
             classes,
             fallbacks: SysnoSet::new(),
+            rejections: BTreeMap::new(),
+            fake_hits: BTreeMap::new(),
+            first_rejection: None,
             impacts: BTreeMap::new(),
             sub_features: vec![],
             pseudo_files: BTreeMap::new(),
@@ -360,6 +379,9 @@ mod tests {
             .into_iter()
             .collect(),
             fallbacks: SysnoSet::new(),
+            rejections: BTreeMap::new(),
+            fake_hits: BTreeMap::new(),
+            first_rejection: None,
             impacts: BTreeMap::new(),
             sub_features: vec![(
                 loupe_syscalls::SubFeature::F_SETFD.key(),
@@ -401,6 +423,9 @@ mod tests {
             traced: BTreeMap::new(),
             classes: BTreeMap::new(),
             fallbacks: SysnoSet::new(),
+            rejections: BTreeMap::new(),
+            fake_hits: BTreeMap::new(),
+            first_rejection: None,
             impacts: BTreeMap::new(),
             sub_features: vec![],
             pseudo_files: BTreeMap::new(),

@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 
 use loupe_apps::Workload;
 use loupe_core::{AppReport, FeatureClass, Impact, LINUX_ENV};
-use loupe_plan::{AppRequirement, OsSpec, PlanValidation};
+use loupe_plan::{AppRequirement, MatrixCell, OsSpec, PlanValidation};
 use loupe_static::{Level, StaticReport};
 
 /// A directory-backed measurement database.
@@ -65,6 +65,16 @@ impl From<io::Error> for DbError {
     fn from(e: io::Error) -> Self {
         DbError::Io(e)
     }
+}
+
+/// The inverse of `<workload>.json` entry filenames: the single place
+/// that maps a stored file name back to its [`Workload`], shared by
+/// every namespace listing (baselines, plan verdicts, matrix cells).
+fn workload_from_filename(name: &str) -> Option<Workload> {
+    Workload::ALL
+        .iter()
+        .copied()
+        .find(|w| name == format!("{}.json", w.label()))
 }
 
 impl Database {
@@ -215,11 +225,8 @@ impl Database {
             for entry in fs::read_dir(app_dir.path())? {
                 let entry = entry?;
                 let name = entry.file_name().to_string_lossy().into_owned();
-                let workload = match name.as_str() {
-                    "health.json" => Workload::HealthCheck,
-                    "bench.json" => Workload::Benchmark,
-                    "suite.json" => Workload::TestSuite,
-                    _ => continue,
+                let Some(workload) = workload_from_filename(&name) else {
+                    continue;
                 };
                 out.push((app.clone(), workload));
             }
@@ -310,11 +317,8 @@ impl Database {
             for entry in fs::read_dir(os_dir.path())? {
                 let entry = entry?;
                 let name = entry.file_name().to_string_lossy().into_owned();
-                let workload = match name.as_str() {
-                    "health.json" => Workload::HealthCheck,
-                    "bench.json" => Workload::Benchmark,
-                    "suite.json" => Workload::TestSuite,
-                    _ => continue,
+                let Some(workload) = workload_from_filename(&name) else {
+                    continue;
                 };
                 out.push((os.clone(), workload));
             }
@@ -328,6 +332,134 @@ impl Database {
             .join("plans")
             .join(os)
             .join(format!("{}.json", workload.label()))
+    }
+
+    fn matrix_path(&self, os: &str, app: &str, workload: Workload) -> PathBuf {
+        self.root
+            .join("env")
+            .join(os)
+            .join("matrix")
+            .join(app)
+            .join(format!("{}.json", workload.label()))
+    }
+
+    /// Stores one fleet × OS compatibility-matrix cell under the
+    /// environment's namespace, `env/<os>/matrix/<app>/<workload>.json`
+    /// (the `matrix/` directory is reserved inside each environment; no
+    /// application may be called `matrix`). A stored cell for the same
+    /// key is *composed with*, not clobbered: tiers the new cell did not
+    /// measure (`None`) keep the stored verdict, so a vanilla-only sweep
+    /// followed by a planned sweep yields one complete cell.
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialisation failures.
+    pub fn save_matrix_cell(&self, cell: &MatrixCell) -> Result<(), DbError> {
+        let mut merged = cell.clone();
+        if let Some(existing) = self.load_matrix_cell(&cell.os, &cell.app, cell.workload)? {
+            if merged.vanilla.is_none() {
+                merged.vanilla = existing.vanilla;
+            }
+            if merged.planned.is_none() {
+                merged.planned = existing.planned;
+            }
+        }
+        let path = self.matrix_path(&cell.os, &cell.app, cell.workload);
+        fs::create_dir_all(path.parent().expect("matrix path has parent"))?;
+        let json = serde_json::to_string_pretty(&merged).map_err(|e| DbError::Corrupt {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        fs::write(&path, json)?;
+        Ok(())
+    }
+
+    /// Loads the stored matrix cell for `(os, app, workload)`, if any.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt entries.
+    pub fn load_matrix_cell(
+        &self,
+        os: &str,
+        app: &str,
+        workload: Workload,
+    ) -> Result<Option<MatrixCell>, DbError> {
+        let path = self.matrix_path(os, app, workload);
+        match fs::read_to_string(&path) {
+            Ok(text) => serde_json::from_str(&text)
+                .map(Some)
+                .map_err(|e| DbError::Corrupt {
+                    path,
+                    message: e.to_string(),
+                }),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Lists `(os, app, workload)` keys with stored matrix cells.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn list_matrix_cells(&self) -> Result<Vec<(String, String, Workload)>, DbError> {
+        let env_root = self.root.join("env");
+        let mut out = Vec::new();
+        let oses = match fs::read_dir(&env_root) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e.into()),
+        };
+        for os_dir in oses {
+            let os_dir = os_dir?;
+            if !os_dir.file_type()?.is_dir() {
+                continue;
+            }
+            let os = os_dir.file_name().to_string_lossy().into_owned();
+            let matrix_root = os_dir.path().join("matrix");
+            let apps = match fs::read_dir(&matrix_root) {
+                Ok(entries) => entries,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            };
+            for app_dir in apps {
+                let app_dir = app_dir?;
+                if !app_dir.file_type()?.is_dir() {
+                    continue;
+                }
+                let app = app_dir.file_name().to_string_lossy().into_owned();
+                for entry in fs::read_dir(app_dir.path())? {
+                    let entry = entry?;
+                    let name = entry.file_name().to_string_lossy().into_owned();
+                    let Some(workload) = workload_from_filename(&name) else {
+                        continue;
+                    };
+                    out.push((os.clone(), app.clone(), workload));
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Loads every stored matrix cell, sorted by `(os, app, workload)` —
+    /// the bulk path behind matrix aggregation and `OS_MATRIX.md`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt entries.
+    pub fn load_matrix(&self) -> Result<Vec<MatrixCell>, DbError> {
+        let mut out = Vec::new();
+        for (os, app, workload) in self.list_matrix_cells()? {
+            if let Some(cell) = self.load_matrix_cell(&os, &app, workload)? {
+                out.push(cell);
+            }
+        }
+        out.sort_by(|a, b| {
+            (&a.os, &a.app, a.workload.label()).cmp(&(&b.os, &b.app, b.workload.label()))
+        });
+        Ok(out)
     }
 
     fn static_path(&self, level: Level, app: &str) -> PathBuf {
@@ -476,6 +608,17 @@ pub fn merge_reports(a: &AppReport, b: &AppReport) -> AppReport {
     // Fallback requirements union: a fallback path observed by either
     // measurement must be honoured by plans built on the merged entry.
     merged.fallbacks = a.fallbacks.union(&b.fallbacks);
+    // Environment boundary counters accumulate like traced counts; the
+    // first rejection of the earlier measurement stays first.
+    for (s, n) in &b.rejections {
+        *merged.rejections.entry(*s).or_insert(0) += *n;
+    }
+    for (s, n) in &b.fake_hits {
+        *merged.fake_hits.entry(*s).or_insert(0) += *n;
+    }
+    if merged.first_rejection.is_none() {
+        merged.first_rejection = b.first_rejection;
+    }
     for (s, class_b) in &b.classes {
         let entry = merged.classes.entry(*s).or_insert(*class_b);
         *entry = FeatureClass {
@@ -544,6 +687,7 @@ mod tests {
     use super::*;
     use loupe_apps::registry;
     use loupe_core::{AnalysisConfig, Engine, ImpactRecord};
+    use std::collections::BTreeMap;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("loupedb-test-{tag}-{}", std::process::id()));
@@ -854,6 +998,103 @@ mod tests {
             db.load_static(Level::Binary, "redis").unwrap().unwrap(),
             altered
         );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn matrix_cells_roundtrip_compose_and_stay_segregated() {
+        use loupe_plan::{MatrixCell, TierOutcome};
+        let dir = tmpdir("matrix");
+        let db = Database::open(&dir).unwrap();
+        assert!(db.list_matrix_cells().unwrap().is_empty());
+
+        let vanilla_only = MatrixCell {
+            os: "kerla".into(),
+            app: "redis".into(),
+            workload: Workload::HealthCheck,
+            linux_pass: true,
+            missing_required: [loupe_syscalls::Sysno::futex].into_iter().collect(),
+            vanilla: Some(TierOutcome {
+                pass: false,
+                rejections: [(loupe_syscalls::Sysno::futex, 3)].into_iter().collect(),
+                fake_hits: BTreeMap::new(),
+                first_rejection: Some(loupe_syscalls::Sysno::futex),
+            }),
+            planned: None,
+        };
+        db.save_matrix_cell(&vanilla_only).unwrap();
+        let back = db
+            .load_matrix_cell("kerla", "redis", Workload::HealthCheck)
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, vanilla_only);
+
+        // A later planned-tier measurement composes with the stored
+        // vanilla verdict instead of clobbering it.
+        let planned_only = MatrixCell {
+            vanilla: None,
+            planned: Some(TierOutcome {
+                pass: true,
+                ..TierOutcome::default()
+            }),
+            ..vanilla_only.clone()
+        };
+        db.save_matrix_cell(&planned_only).unwrap();
+        let composed = db
+            .load_matrix_cell("kerla", "redis", Workload::HealthCheck)
+            .unwrap()
+            .unwrap();
+        assert_eq!(composed.vanilla, vanilla_only.vanilla, "vanilla kept");
+        assert_eq!(composed.planned, planned_only.planned, "planned added");
+
+        // Listing and bulk load see the cell; the measurement namespaces
+        // (baseline and env) do not.
+        assert_eq!(
+            db.list_matrix_cells().unwrap(),
+            vec![(
+                "kerla".to_owned(),
+                "redis".to_owned(),
+                Workload::HealthCheck
+            )]
+        );
+        assert_eq!(db.load_matrix().unwrap(), vec![composed]);
+        assert!(db.list().unwrap().is_empty());
+        assert!(db.load("redis", Workload::HealthCheck).unwrap().is_none());
+        assert!(db
+            .load_env("kerla", "redis", Workload::HealthCheck)
+            .unwrap()
+            .is_none());
+        assert!(db
+            .load_matrix_cell("kerla", "redis", Workload::Benchmark)
+            .unwrap()
+            .is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn matrix_cells_coexist_with_env_reports_of_the_same_os() {
+        use loupe_plan::MatrixCell;
+        let dir = tmpdir("matrix-env");
+        let db = Database::open(&dir).unwrap();
+        let mut restricted = sample_report();
+        restricted.env = "kerla".into();
+        db.save(&restricted).unwrap();
+        let cell = MatrixCell {
+            os: "kerla".into(),
+            app: restricted.app.clone(),
+            workload: Workload::HealthCheck,
+            linux_pass: true,
+            missing_required: loupe_syscalls::SysnoSet::new(),
+            vanilla: None,
+            planned: None,
+        };
+        db.save_matrix_cell(&cell).unwrap();
+        // Both live under env/kerla/ without shadowing each other.
+        assert!(db
+            .load_env("kerla", &restricted.app, Workload::HealthCheck)
+            .unwrap()
+            .is_some());
+        assert_eq!(db.load_matrix().unwrap(), vec![cell]);
         fs::remove_dir_all(&dir).ok();
     }
 

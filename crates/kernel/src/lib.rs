@@ -53,7 +53,7 @@ pub use invocation::{Invocation, Payload, SysOutcome};
 pub use linux::LinuxSim;
 pub use net::HostPort;
 pub use resources::ResourceUsage;
-pub use restricted::{Disposition, KernelProfile, RestrictedKernel};
+pub use restricted::{Disposition, KernelObservations, KernelProfile, RestrictedKernel};
 
 use loupe_syscalls::Errno;
 

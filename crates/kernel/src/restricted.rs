@@ -78,6 +78,48 @@ pub enum Disposition {
     Fake,
 }
 
+/// What a [`RestrictedKernel`] observed over one run: the per-syscall
+/// boundary counters, bundled so they can outlive the kernel (the
+/// engine copies them into the analysis report, and the fleet × OS
+/// compatibility matrix persists them as per-cell failure causes).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelObservations {
+    /// Per-syscall counts of invocations answered `-ENOSYS` because the
+    /// profile does not implement them.
+    pub rejections: BTreeMap<Sysno, u64>,
+    /// Per-syscall counts of invocations answered by the fake overlay.
+    pub fake_hits: BTreeMap<Sysno, u64>,
+    /// The first syscall ever rejected — the first thing an OS developer
+    /// asks when a run fails on their profile ("what did it trip on?").
+    pub first_rejection: Option<Sysno>,
+}
+
+impl KernelObservations {
+    /// Total invocations answered `-ENOSYS` at the profile boundary.
+    pub fn total_rejections(&self) -> u64 {
+        self.rejections.values().sum()
+    }
+
+    /// Total invocations answered by the fake overlay.
+    pub fn total_fake_hits(&self) -> u64 {
+        self.fake_hits.values().sum()
+    }
+
+    /// Accumulates another run's observations (counts add; the first
+    /// rejection of the earliest run wins).
+    pub fn absorb(&mut self, other: &KernelObservations) {
+        for (&s, n) in &other.rejections {
+            *self.rejections.entry(s).or_insert(0) += n;
+        }
+        for (&s, n) in &other.fake_hits {
+            *self.fake_hits.entry(s).or_insert(0) += n;
+        }
+        if self.first_rejection.is_none() {
+            self.first_rejection = other.first_rejection;
+        }
+    }
+}
+
 /// A kernel that only exposes the syscall surface of a [`KernelProfile`].
 ///
 /// Wraps any [`Kernel`]; calls outside the profile never reach it.
@@ -88,8 +130,7 @@ pub enum Disposition {
 pub struct RestrictedKernel<K> {
     inner: K,
     profile: KernelProfile,
-    rejections: BTreeMap<Sysno, u64>,
-    faked: BTreeMap<Sysno, u64>,
+    observations: KernelObservations,
 }
 
 impl<K: Kernel> RestrictedKernel<K> {
@@ -98,8 +139,7 @@ impl<K: Kernel> RestrictedKernel<K> {
         RestrictedKernel {
             inner,
             profile,
-            rejections: BTreeMap::new(),
-            faked: BTreeMap::new(),
+            observations: KernelObservations::default(),
         }
     }
 
@@ -112,12 +152,22 @@ impl<K: Kernel> RestrictedKernel<K> {
     /// profile does not implement them — the first thing to inspect when
     /// a plan-validation run fails.
     pub fn rejections(&self) -> &BTreeMap<Sysno, u64> {
-        &self.rejections
+        &self.observations.rejections
     }
 
     /// Per-syscall counts of invocations answered by the fake overlay.
     pub fn fake_hits(&self) -> &BTreeMap<Sysno, u64> {
-        &self.faked
+        &self.observations.fake_hits
+    }
+
+    /// The first syscall this kernel ever rejected, if any.
+    pub fn first_rejection(&self) -> Option<Sysno> {
+        self.observations.first_rejection
+    }
+
+    /// The full observation bundle, cloneable past the kernel's life.
+    pub fn observations(&self) -> &KernelObservations {
+        &self.observations
     }
 
     /// Borrow of the backing kernel (provisioning, diagnostics).
@@ -141,12 +191,13 @@ impl<K: Kernel> Kernel for RestrictedKernel<K> {
         match self.profile.disposition(inv.sysno) {
             Disposition::Forward => self.inner.syscall(inv),
             Disposition::Enosys => {
-                *self.rejections.entry(inv.sysno).or_insert(0) += 1;
+                *self.observations.rejections.entry(inv.sysno).or_insert(0) += 1;
+                self.observations.first_rejection.get_or_insert(inv.sysno);
                 self.inner.charge(INTERCEPT_COST);
                 SysOutcome::err(Errno::ENOSYS)
             }
             Disposition::Fake => {
-                *self.faked.entry(inv.sysno).or_insert(0) += 1;
+                *self.observations.fake_hits.entry(inv.sysno).or_insert(0) += 1;
                 self.inner.charge(INTERCEPT_COST);
                 SysOutcome::ok(fake_value(inv))
             }
@@ -201,6 +252,30 @@ mod tests {
         let r = k.syscall(&Invocation::new(Sysno::uname, [0; 6]));
         assert_eq!(r.errno(), Some(Errno::ENOSYS));
         assert_eq!(k.rejections()[&Sysno::uname], 1);
+    }
+
+    #[test]
+    fn first_rejection_sticks_and_observations_accumulate() {
+        let mut k = RestrictedKernel::new(LinuxSim::new(), profile(&[Sysno::getpid]));
+        assert_eq!(k.first_rejection(), None);
+        k.syscall(&Invocation::new(Sysno::uname, [0; 6]));
+        k.syscall(&Invocation::new(Sysno::sysinfo, [0; 6]));
+        k.syscall(&Invocation::new(Sysno::uname, [0; 6]));
+        assert_eq!(k.first_rejection(), Some(Sysno::uname), "earliest wins");
+        let obs = k.observations().clone();
+        assert_eq!(obs.rejections[&Sysno::uname], 2);
+        assert_eq!(obs.total_rejections(), 3);
+        assert_eq!(obs.total_fake_hits(), 0);
+
+        // absorb() adds counts and keeps the earliest first rejection.
+        let mut acc = KernelObservations::default();
+        acc.absorb(&obs);
+        acc.absorb(&obs);
+        assert_eq!(acc.rejections[&Sysno::sysinfo], 2);
+        assert_eq!(acc.first_rejection, Some(Sysno::uname));
+        let json = serde_json::to_string(&acc).unwrap();
+        let back: KernelObservations = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, acc);
     }
 
     #[test]

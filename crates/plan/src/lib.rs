@@ -18,6 +18,7 @@
 //!   earlier.
 
 pub mod importance;
+pub mod matrix;
 pub mod os;
 pub mod plan;
 pub mod requirement;
@@ -25,6 +26,9 @@ pub mod savings;
 pub mod validate;
 
 pub use importance::{api_importance, importance_fractions, ImportancePoint};
+pub use matrix::{
+    measure_cell, remediation_profile, vanilla_profile, MatrixCell, Tier, TierOutcome,
+};
 pub use os::OsSpec;
 pub use plan::{PlanStep, SupportPlan};
 pub use requirement::AppRequirement;

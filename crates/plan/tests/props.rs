@@ -163,4 +163,55 @@ proptest! {
         prop_assert!(validation.is_valid(), "{}", validation.to_table());
         prop_assert!(validation.initial.iter().all(|v| v.passes));
     }
+
+    #[test]
+    fn growing_a_kernel_profile_is_monotone_in_vanilla_passes(
+        lo in 0usize..200,
+        hi in 0usize..200,
+    ) {
+        // The matrix invariant behind "more syscalls, more apps": for
+        // nested OS surfaces A ⊆ B, every app passing its vanilla tier
+        // on A also passes on B — implementing a syscall can only turn
+        // `-ENOSYS` answers into real behaviour, never break a passing
+        // run. Surfaces are popularity-order prefixes, so random sizes
+        // give nested profiles; checked by executing real app models.
+        use loupe_core::exec::{run_app, ExecEnv};
+        use loupe_core::TestScript;
+        use loupe_kernel::KernelProfile;
+        use loupe_plan::os::POPULARITY;
+
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let mut seen = SysnoSet::new();
+        let order: Vec<Sysno> = POPULARITY
+            .iter()
+            .filter_map(|n| Sysno::from_name(n))
+            .filter(|s| seen.insert(*s))
+            .collect();
+        let small: SysnoSet = order.iter().take(lo).copied().collect();
+        let large: SysnoSet = order.iter().take(hi).copied().collect();
+        prop_assert!(small.is_subset(&large));
+
+        let workload = Workload::HealthCheck;
+        let script = TestScript::default();
+        let mut passes = (0usize, 0usize);
+        for app in registry::detailed().into_iter().take(6) {
+            let run = |surface: &SysnoSet| {
+                let env = ExecEnv::Restricted(KernelProfile::new("prop", surface.clone()));
+                let outcome = run_app(&env, app.as_ref(), workload);
+                script.evaluate(&outcome, workload, None).success
+            };
+            let on_small = run(&small);
+            let on_large = run(&large);
+            prop_assert!(
+                !on_small || on_large,
+                "{}: passes on {} syscalls but fails on {}",
+                app.name(),
+                small.len(),
+                large.len()
+            );
+            passes.0 += usize::from(on_small);
+            passes.1 += usize::from(on_large);
+        }
+        prop_assert!(passes.0 <= passes.1, "pass count monotone: {passes:?}");
+    }
 }

@@ -44,11 +44,13 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod matrix;
 pub mod plans;
 pub(crate) mod pool;
 pub mod report;
 pub mod statics;
 
+pub use matrix::{sweep_matrix, MatrixConfig, MatrixSummary, OsWorkloadStats};
 pub use plans::{validate_curated_plans, validate_plans, PlanSweepError};
 pub use statics::{
     compare, sweep_static, AppComparison, CompareError, Comparison, PlanDelta, StaticSweepSummary,
@@ -140,6 +142,9 @@ pub struct SweepSummary {
     /// Engine-run accounting summed over this sweep's fresh measurements
     /// — `transfer_skips`/`saved_runs` quantify what hint transfer saved.
     pub runs: RunStats,
+    /// The fleet × OS matrix section: populated by
+    /// [`matrix::sweep_matrix`], `None` for a plain baseline sweep.
+    pub matrix: Option<MatrixSummary>,
 }
 
 enum JobOutcome {
@@ -167,7 +172,7 @@ impl Sweep {
     }
 
     /// Effective worker count for `jobs` queued jobs.
-    fn worker_count(&self, jobs: usize) -> usize {
+    pub(crate) fn worker_count(&self, jobs: usize) -> usize {
         let auto = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
@@ -257,6 +262,7 @@ impl Sweep {
             failures: Vec::new(),
             reports: Vec::new(),
             runs: RunStats::default(),
+            matrix: None,
         };
         for outcome in outcomes {
             match outcome {

@@ -14,10 +14,10 @@ use std::path::{Path, PathBuf};
 use loupe_apps::Workload;
 use loupe_core::AppReport;
 use loupe_db::{Database, DbError};
-use loupe_plan::{os, PlanValidation, SupportPlan};
+use loupe_plan::{os, MatrixCell, PlanValidation, SupportPlan};
 use loupe_syscalls::SysnoSet;
 
-use crate::FleetStats;
+use crate::{matrix, FleetStats};
 
 /// Error margin for "notable" stub/fake impact annotations (Table 2).
 const IMPACT_EPSILON: f64 = 0.03;
@@ -107,6 +107,7 @@ pub fn render(db: &Database) -> Result<RenderedDocs, DbError> {
         }
     }
     let has_statics = !db.list_static()?.is_empty();
+    let cells = db.load_matrix()?;
     let mut files = vec![
         (
             PathBuf::from("COMPATIBILITY.md"),
@@ -114,9 +115,12 @@ pub fn render(db: &Database) -> Result<RenderedDocs, DbError> {
         ),
         (
             PathBuf::from("SUPPORT_PLANS.md"),
-            render_support_plans(&grouped, &validations),
+            render_support_plans(&grouped, &validations, !cells.is_empty()),
         ),
     ];
+    if !cells.is_empty() {
+        files.push((PathBuf::from("OS_MATRIX.md"), render_os_matrix(&cells)));
+    }
     if has_statics {
         let comparisons = crate::statics::compare(db).map_err(|e| match e {
             crate::statics::CompareError::Db(db_err) => db_err,
@@ -288,11 +292,181 @@ enum PlanStatus<'a> {
     Validated(&'a PlanValidation),
 }
 
+/// Renders the fleet × OS empirical compatibility matrix
+/// (`OS_MATRIX.md`): the §5/Table 1 analogue at production scale, one
+/// row per OS and workload with "works out of the box" vs "works with
+/// plan" rates, plus per-OS failure causes straight from the restricted
+/// kernel's boundary counters.
+pub fn render_os_matrix(cells: &[MatrixCell]) -> String {
+    let sizes = matrix::os_sizes(&os::db());
+    let stats = matrix::aggregate(cells, &sizes);
+    let mut out = String::new();
+    out.push_str("# Fleet × OS empirical compatibility matrix\n\n");
+    out.push_str(
+        "Generated by `loupe report` from a sweep database — **do not edit by\n\
+         hand**. Regenerate with:\n\n\
+         ```sh\n\
+         cargo run --release -p loupe-cli -- sweep --db target/loupedb --workload all --jobs 2 --all-os\n\
+         cargo run --release -p loupe-cli -- report --db target/loupedb --docs docs\n\
+         ```\n\n\
+         Unlike [SUPPORT_PLANS.md](SUPPORT_PLANS.md) — which *derives* what each\n\
+         OS is missing — every cell here was **executed**: the application's\n\
+         workload ran on a restricted kernel exposing exactly the OS's syscall\n\
+         surface. *Out of the box* is the vanilla tier (unimplemented syscalls\n\
+         answer `-ENOSYS`); *with plan* additionally applies the support plan's\n\
+         stub/fake guidance for the app — no new syscalls implemented, so the\n\
+         delta is pure cheap-remediation gain. Apps are only credited against\n\
+         their stored full-Linux baseline; *top missing* ranks the required\n\
+         syscalls the OS lacks by how many still-blocked apps need them.\n\n",
+    );
+
+    // One table per workload, one row per OS (most-capable first).
+    let mut workloads: Vec<Workload> = stats.iter().map(|r| r.workload).collect();
+    workloads.sort_by_key(|w| w.label());
+    workloads.dedup();
+    for workload in workloads {
+        let mut rows: Vec<&matrix::OsWorkloadStats> =
+            stats.iter().filter(|r| r.workload == workload).collect();
+        rows.sort_by(|a, b| {
+            b.planned_pass
+                .cmp(&a.planned_pass)
+                .then(b.vanilla_pass.cmp(&a.vanilla_pass))
+                .then(a.os.cmp(&b.os))
+        });
+        let apps = rows.iter().map(|r| r.apps).max().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "## {} workload — {} applications\n",
+            workload_title(workload),
+            apps
+        );
+        out.push_str(
+            "| OS | Syscalls | Out of the box | With plan | Plan gain | Full Linux | Top missing syscalls |\n\
+             |----|---------:|---------------:|----------:|----------:|-----------:|----------------------|\n",
+        );
+        for row in rows {
+            let top: Vec<String> = row
+                .top_missing
+                .iter()
+                .take(4)
+                .map(|(s, n)| format!("`{}` ({n})", s.name()))
+                .collect();
+            let _ = writeln!(
+                out,
+                "| [{}](#{}) | {} | {}/{} ({:.0}%) | {}/{} ({:.0}%) | +{} | {} | {} |",
+                row.os,
+                row.os,
+                row.syscalls,
+                row.vanilla_pass,
+                row.apps,
+                row.vanilla_rate() * 100.0,
+                row.planned_pass,
+                row.apps,
+                row.planned_rate() * 100.0,
+                row.plan_gain(),
+                row.linux_pass,
+                if top.is_empty() {
+                    "–".to_owned()
+                } else {
+                    top.join(", ")
+                }
+            );
+        }
+        out.push('\n');
+    }
+
+    // Per-OS failure causes: blocked apps grouped by the first syscall
+    // the restricted kernel rejected (the empirical cause), with the
+    // analytical missing-required count alongside.
+    out.push_str("## Per-OS failure causes\n\n");
+    out.push_str(
+        "For every OS, the apps still blocked *with the plan applied*, grouped\n\
+         by the first syscall the restricted kernel rejected during the run.\n\n",
+    );
+    let mut os_names: Vec<&str> = cells.iter().map(|c| c.os.as_str()).collect();
+    os_names.sort_unstable();
+    os_names.dedup();
+    for os_name in os_names {
+        let _ = writeln!(out, "### {os_name}\n");
+        let mut wrote_any = false;
+        let mut os_workloads: Vec<Workload> = cells
+            .iter()
+            .filter(|c| c.os == os_name)
+            .map(|c| c.workload)
+            .collect();
+        os_workloads.sort_by_key(|w| w.label());
+        os_workloads.dedup();
+        for workload in os_workloads {
+            // first rejected syscall → blocked app names.
+            let mut causes: BTreeMap<String, Vec<&str>> = BTreeMap::new();
+            for cell in cells
+                .iter()
+                .filter(|c| c.os == os_name && c.workload == workload)
+            {
+                if cell.planned_at_least() {
+                    continue;
+                }
+                let tier = cell.planned.as_ref().or(cell.vanilla.as_ref());
+                let cause = match tier.and_then(|t| t.first_rejection) {
+                    Some(s) => format!("`{}`", s.name()),
+                    None if !cell.linux_pass => "fails on full Linux".to_owned(),
+                    None => "no rejection observed".to_owned(),
+                };
+                causes.entry(cause).or_default().push(cell.app.as_str());
+            }
+            if causes.is_empty() {
+                continue;
+            }
+            if !wrote_any {
+                out.push_str(
+                    "| Workload | First rejected syscall | Apps blocked | Examples |\n\
+                     |----------|------------------------|-------------:|----------|\n",
+                );
+                wrote_any = true;
+            }
+            let mut rows: Vec<(String, Vec<&str>)> = causes.into_iter().collect();
+            rows.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+            for (cause, apps) in rows {
+                let examples: Vec<&str> = apps.iter().take(4).copied().collect();
+                let more = apps.len().saturating_sub(examples.len());
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {}{} |",
+                    workload_title(workload),
+                    cause,
+                    apps.len(),
+                    examples.join(", "),
+                    if more > 0 {
+                        format!(", … (+{more})")
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+        }
+        if wrote_any {
+            out.push('\n');
+        } else {
+            out.push_str("Every measured app runs with the plan applied.\n\n");
+        }
+    }
+
+    out.push_str(
+        "---\n\nPlan derivations live in [SUPPORT_PLANS.md](SUPPORT_PLANS.md); fleet-wide\n\
+         classifications in [COMPATIBILITY.md](COMPATIBILITY.md).\n",
+    );
+    out
+}
+
 /// Renders `SUPPORT_PLANS.md`: the per-OS Table 1 analogue, with each
 /// step's empirical verdict when a matching validation is stored.
+/// `link_matrix` adds per-OS cross-links into `OS_MATRIX.md`, which
+/// only exists when the database holds matrix cells (a sweep ran with
+/// `--all-os`/`--os`).
 pub fn render_support_plans(
     grouped: &BTreeMap<Workload, Vec<AppReport>>,
     validations: &BTreeMap<(Workload, String), PlanValidation>,
+    link_matrix: bool,
 ) -> String {
     let mut out = String::new();
     out.push_str("# Incremental support plans\n\n");
@@ -327,10 +501,17 @@ pub fn render_support_plans(
         );
 
         // Per-OS overview, then the step-by-step tables.
-        out.push_str(
-            "| OS | Supported today | Apps working now | Plan steps | Syscalls to implement | Steps needing ≤3 | Validation |\n\
-             |----|----------------:|-----------------:|-----------:|----------------------:|------------------:|------------|\n",
-        );
+        if link_matrix {
+            out.push_str(
+                "| OS | Supported today | Apps working now | Plan steps | Syscalls to implement | Steps needing ≤3 | Validation | Empirical matrix |\n\
+                 |----|----------------:|-----------------:|-----------:|----------------------:|------------------:|------------|------------------|\n",
+            );
+        } else {
+            out.push_str(
+                "| OS | Supported today | Apps working now | Plan steps | Syscalls to implement | Steps needing ≤3 | Validation |\n\
+                 |----|----------------:|-----------------:|-----------:|----------------------:|------------------:|------------|\n",
+            );
+        }
         let planned: Vec<(loupe_plan::OsSpec, SupportPlan, PlanStatus)> = os::db()
             .into_iter()
             .map(|spec| {
@@ -340,7 +521,7 @@ pub fn render_support_plans(
             })
             .collect();
         for (spec, plan, status) in &planned {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "| [{}](#{}-{}-workload) | {} | {} | {} | {} | {:.0}% | {} |",
                 spec.name,
@@ -364,6 +545,10 @@ pub fn render_support_plans(
                         },
                 }
             );
+            if link_matrix {
+                let _ = write!(out, " [pass rates](OS_MATRIX.md#{}) |", spec.name);
+            }
+            out.push('\n');
         }
         out.push('\n');
 
@@ -815,6 +1000,65 @@ mod tests {
         assert!(
             !plans.contains("predicted |"),
             "no step left unvalidated for stored workloads"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn os_matrix_renders_after_a_matrix_sweep_and_cross_links() {
+        use loupe_plan::os;
+        let (dir, db) = seeded_db("osmatrix", 4);
+        // No matrix cells yet: no OS_MATRIX.md, no cross-link column.
+        let rendered = render(&db).unwrap();
+        assert!(!rendered
+            .files
+            .iter()
+            .any(|(p, _)| p.ends_with("OS_MATRIX.md")));
+        let plans = &rendered
+            .files
+            .iter()
+            .find(|(p, _)| p.ends_with("SUPPORT_PLANS.md"))
+            .unwrap()
+            .1;
+        assert!(!plans.contains("OS_MATRIX.md"));
+
+        let cfg = crate::MatrixConfig {
+            oses: vec![os::find("kerla").unwrap(), os::find("gvisor").unwrap()],
+            sweep: crate::SweepConfig {
+                workloads: vec![Workload::HealthCheck],
+                ..crate::SweepConfig::default()
+            },
+            ..crate::MatrixConfig::default()
+        };
+        let fleet: Vec<_> = registry::detailed().into_iter().take(4).collect();
+        crate::sweep_matrix(&db, fleet, &cfg).unwrap();
+
+        let rendered = render(&db).unwrap();
+        let matrix_doc = &rendered
+            .files
+            .iter()
+            .find(|(p, _)| p.ends_with("OS_MATRIX.md"))
+            .expect("OS_MATRIX.md rendered once cells exist")
+            .1;
+        assert!(
+            matrix_doc.contains("[kerla](#kerla)"),
+            "row links to section"
+        );
+        assert!(matrix_doc.contains("### kerla"), "per-OS section exists");
+        assert!(matrix_doc.contains("Out of the box"));
+        assert!(
+            matrix_doc.contains("First rejected syscall"),
+            "failure causes render"
+        );
+        let plans = &rendered
+            .files
+            .iter()
+            .find(|(p, _)| p.ends_with("SUPPORT_PLANS.md"))
+            .unwrap()
+            .1;
+        assert!(
+            plans.contains("[pass rates](OS_MATRIX.md#kerla)"),
+            "per-OS rows cross-link to the matrix"
         );
         std::fs::remove_dir_all(&dir).ok();
     }

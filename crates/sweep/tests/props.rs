@@ -65,6 +65,9 @@ fn synthetic_report(app: &str, dynamic: &SysnoSet) -> AppReport {
         traced,
         classes,
         fallbacks: SysnoSet::new(),
+        rejections: BTreeMap::new(),
+        fake_hits: BTreeMap::new(),
+        first_rejection: None,
         impacts: BTreeMap::new(),
         sub_features: vec![],
         pseudo_files: BTreeMap::new(),

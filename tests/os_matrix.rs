@@ -1,0 +1,113 @@
+//! End-to-end checks for the fleet × OS matrix layer through the facade
+//! crate: the restricted kernel's boundary counters must survive into
+//! the engine's `AppReport` (they used to die with the kernel), and the
+//! full pipeline — baselines, matrix cells, rendered doc — must agree
+//! about kerla.
+
+use loupe::apps::{registry, Workload};
+use loupe::core::{AnalysisConfig, Engine, ExecEnv};
+use loupe::kernel::KernelProfile;
+use loupe::plan::{os, AppRequirement};
+
+/// Satellite regression: an engine analysis hosted on a kerla-derived
+/// profile surfaces nonzero rejection counters (and, where the plan
+/// fakes anything, fake-hit counters) in the report itself.
+#[test]
+fn kerla_profile_run_of_redis_surfaces_boundary_counters() {
+    let workload = Workload::HealthCheck;
+    let engine = Engine::new(AnalysisConfig::fast());
+    let redis = registry::find("redis").unwrap();
+
+    // A Linux measurement derives redis's plan guidance...
+    let baseline = engine.analyze(redis.as_ref(), workload).unwrap();
+    assert!(
+        baseline.rejections.is_empty() && baseline.first_rejection.is_none(),
+        "Linux rejects nothing"
+    );
+    let req = AppRequirement::from_report(&baseline);
+
+    // ...which turns kerla into the "mid-plan" profile of redis's unlock
+    // step: kerla's surface plus redis's required set implemented, the
+    // stubbable classes deliberately `-ENOSYS`, the fake-only classes
+    // shimmed. The baseline passes there, so a full analysis runs.
+    let kerla = os::find("kerla").unwrap();
+    let mut profile =
+        KernelProfile::new("kerla @ redis unlock", kerla.supported.union(&req.required));
+    profile.stubbed = req.stubbable.difference(&profile.implemented);
+    profile.faked = req.fake_only.difference(&profile.implemented);
+    let has_fakes = !profile.faked.is_empty();
+
+    let report = Engine::new(AnalysisConfig {
+        exec_env: ExecEnv::Restricted(profile),
+        ..AnalysisConfig::fast()
+    })
+    .analyze(redis.as_ref(), workload)
+    .expect("redis passes at its unlock step");
+
+    assert_eq!(report.env, "kerla @ redis unlock");
+    assert!(
+        !report.rejections.is_empty(),
+        "stubbed syscalls must be rejected at the boundary: {report:?}"
+    );
+    assert!(report.rejections.values().all(|&n| n > 0));
+    let first = report.first_rejection.expect("a first rejection is named");
+    assert!(
+        report.rejections.contains_key(&first),
+        "the first rejection is one of the counted ones"
+    );
+    if has_fakes {
+        assert!(
+            !report.fake_hits.is_empty(),
+            "fake shims in the profile must be exercised"
+        );
+    }
+    // The counters survive persistence too.
+    let json = serde_json::to_string(&report).unwrap();
+    let back: loupe::core::AppReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.rejections, report.rejections);
+    assert_eq!(back.first_rejection, report.first_rejection);
+}
+
+/// The matrix verdicts agree with the validated plan book: kerla's
+/// vanilla tier runs almost nothing of the detailed fleet, the planned
+/// tier never regresses, and a full-surface OS runs everything.
+#[test]
+fn matrix_cells_bracket_kerla_between_bare_and_full() {
+    use loupe::core::TestScript;
+    use loupe::plan::{measure_cell, OsSpec, Tier};
+    use loupe::syscalls::Sysno;
+
+    let workload = Workload::HealthCheck;
+    let engine = Engine::new(AnalysisConfig::fast());
+    let kerla = os::find("kerla").unwrap();
+    let full = OsSpec::new("everything", "1", Sysno::all().collect());
+    let script = TestScript::default();
+
+    let mut kerla_vanilla = 0;
+    let mut kerla_planned = 0;
+    let mut full_vanilla = 0;
+    let apps: Vec<_> = registry::detailed().into_iter().take(6).collect();
+    for app in &apps {
+        let report = engine.analyze(app.as_ref(), workload).unwrap();
+        let req = AppRequirement::from_report(&report);
+        let on_kerla = measure_cell(&kerla, &req, app.as_ref(), workload, true, None, &script);
+        let on_full = measure_cell(&full, &req, app.as_ref(), workload, true, None, &script);
+        assert!(on_kerla.invariants_hold() && on_full.invariants_hold());
+        kerla_vanilla += usize::from(on_kerla.passes(Tier::Vanilla));
+        kerla_planned += usize::from(on_kerla.passes(Tier::Planned));
+        full_vanilla += usize::from(on_full.passes(Tier::Vanilla));
+        if !on_kerla.passes(Tier::Planned) {
+            assert!(
+                !on_kerla.missing_required.is_empty(),
+                "{}: a blocked app names its analytical gap",
+                app.name()
+            );
+        }
+    }
+    assert!(kerla_vanilla <= kerla_planned);
+    assert_eq!(full_vanilla, apps.len(), "full surface runs everything");
+    assert!(
+        kerla_planned < full_vanilla,
+        "kerla's 58 syscalls + shims cannot run the whole detailed fleet"
+    );
+}

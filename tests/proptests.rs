@@ -177,6 +177,9 @@ proptest! {
                 traced: [(Sysno::read, 1)].into_iter().collect(),
                 classes,
                 fallbacks: Default::default(),
+                rejections: BTreeMap::new(),
+                fake_hits: BTreeMap::new(),
+                first_rejection: None,
                 impacts: BTreeMap::new(),
                 sub_features: vec![],
                 pseudo_files: BTreeMap::new(),
