@@ -1,0 +1,68 @@
+//! Criterion benches for the conformance-suite generation stage: the
+//! cold pass (baselines + matrix + suite generation + self-validation
+//! for the detailed fleet × all 11 OSes) vs the pure cache-hit pass
+//! where every suite is already stored byte-identically — the datapoint
+//! the `BENCH_gentests.json` trajectory tracks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use loupe_apps::{registry, Workload};
+use loupe_db::Database;
+use loupe_sweep::{sweep_gentests, GentestsConfig, MatrixConfig, SweepConfig};
+
+fn tmp_db(tag: &str) -> Database {
+    let dir =
+        std::env::temp_dir().join(format!("loupe-bench-gentests-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    Database::open(dir).expect("open bench db")
+}
+
+fn all_os_cfg() -> GentestsConfig {
+    GentestsConfig {
+        matrix: MatrixConfig {
+            sweep: SweepConfig {
+                workloads: vec![Workload::HealthCheck],
+                workers: 0,
+                ..SweepConfig::default()
+            },
+            ..MatrixConfig::default()
+        },
+        check: false,
+    }
+}
+
+fn bench_cold_gentests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gentests-cold");
+    group.sample_size(10);
+    group.bench_function("detailed-12/all-11-os", |b| {
+        b.iter(|| {
+            let db = tmp_db("cold");
+            let summary = sweep_gentests(&db, registry::detailed(), &all_os_cfg()).expect("sweep");
+            assert!(summary.is_clean(), "suites agree with the matrix");
+            let generated = summary.generated;
+            std::fs::remove_dir_all(db.root()).ok();
+            black_box(generated)
+        });
+    });
+    group.finish();
+}
+
+fn bench_cached_gentests(c: &mut Criterion) {
+    let db = tmp_db("cached");
+    sweep_gentests(&db, registry::detailed(), &all_os_cfg()).expect("warm the cache");
+    let mut group = c.benchmark_group("gentests-cached");
+    group.sample_size(10);
+    group.bench_function("detailed-12/all-11-os", |b| {
+        b.iter(|| {
+            let summary = sweep_gentests(&db, registry::detailed(), &all_os_cfg()).expect("sweep");
+            assert_eq!(summary.generated, 0, "every suite already stored");
+            black_box(summary.cached)
+        });
+    });
+    group.finish();
+    std::fs::remove_dir_all(db.root()).ok();
+}
+
+criterion_group!(benches, bench_cold_gentests, bench_cached_gentests);
+criterion_main!(benches);

@@ -11,6 +11,8 @@
 //! loupe compare --db DIR              # static-vs-dynamic factors (Figs. 4-7)
 //! loupe report --db DIR --docs docs   # render the db as Markdown docs
 //! loupe report --db DIR --check       # fail when checked-in docs drifted
+//! loupe gentests --all-os             # compile corpora into conformance suites
+//! loupe gentests --all-os --check     # fail when stored suites drifted
 //! loupe plan --os kerla --validate     # replay the plan on a restricted kernel
 //! loupe os-list                       # curated OS support specs
 //! loupe importance [--workload bench] # Fig. 3-style ranking
@@ -45,6 +47,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(rest),
         "compare" => cmd_compare(rest),
         "report" => cmd_report(rest),
+        "gentests" => cmd_gentests(rest),
         "plan" => cmd_plan(rest),
         "os-list" => cmd_os_list(),
         "importance" => cmd_importance(rest),
@@ -109,6 +112,20 @@ commands:
       --db DIR                        database directory (default: target/loupedb)
       --docs DIR                      output directory (default: docs)
       --check                         verify the docs match the db; exit 1 on drift
+  gentests                     compile stored measurement corpora into executable
+                               per-app conformance suites, self-validated against
+                               the matrix verdicts; exits 1 on any disagreement
+      --db DIR                        database directory (default: target/loupedb)
+      --os <name> | --all-os          target one curated OS, or all 11 (required)
+      --app <name>                    restrict to one application
+      --workload health|bench|suite|all   (default: bench)
+      --workers N                     worker threads (default: min(cpus, 16))
+      --jobs N                        per-app probe-scheduler workers (default: 1)
+      --force                         regenerate suites already stored
+      --check                         verify stored suites match the corpus; write
+                                      nothing and exit 1 on stale/missing suites
+      --out DIR                       also export the generated suite JSON files
+                                      under DIR/<os>/<workload>/<app>.json
   plan --os <name|file.csv>    incremental support plan for an OS
       --workload health|bench|suite   (default: bench)
       --apps a,b,c                    target apps (default: 15 cloud apps)
@@ -566,6 +583,141 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     }
     let written = report::write(&db, docs_dir).map_err(|e| e.to_string())?;
     println!("wrote {} files under {}", written.len(), docs_dir.display());
+    Ok(())
+}
+
+fn cmd_gentests(args: &[String]) -> Result<(), String> {
+    let db_dir = flag_value(args, "--db").unwrap_or(DEFAULT_DB);
+    let db = Database::open(db_dir).map_err(|e| e.to_string())?;
+    let all_os = args.iter().any(|a| a == "--all-os");
+    let os_sel = flag_value(args, "--os");
+    if all_os && os_sel.is_some() {
+        return Err("gentests: --os and --all-os are exclusive".into());
+    }
+    let oses = if all_os {
+        os::db()
+    } else if let Some(name) = os_sel {
+        let spec = os::find(name)
+            .ok_or_else(|| format!("gentests: unknown OS `{name}` (see `loupe os-list`)"))?;
+        vec![spec]
+    } else {
+        return Err("gentests: need --os <name> or --all-os".into());
+    };
+    let workloads = parse_workloads(args)?;
+    let workers = flag_value(args, "--workers")
+        .map(|v| v.parse::<usize>().map_err(|_| "bad --workers".to_owned()))
+        .transpose()?
+        .unwrap_or(0);
+    let jobs = flag_value(args, "--jobs")
+        .map(|v| v.parse::<usize>().map_err(|_| "bad --jobs".to_owned()))
+        .transpose()?
+        .unwrap_or(1);
+    let check = args.iter().any(|a| a == "--check");
+    let apps: Vec<_> = match flag_value(args, "--app") {
+        Some(name) => {
+            vec![registry::find(name).ok_or_else(|| format!("unknown app `{name}`"))?]
+        }
+        None => select_apps(args)?,
+    };
+
+    let cfg = loupe_sweep::GentestsConfig {
+        matrix: loupe_sweep::MatrixConfig {
+            oses,
+            tier: None,
+            sweep: SweepConfig {
+                workloads: workloads.clone(),
+                workers,
+                force: args.iter().any(|a| a == "--force"),
+                transfer: None,
+                analysis: loupe_core::AnalysisConfig {
+                    jobs,
+                    ..loupe_core::AnalysisConfig::fast()
+                },
+            },
+        },
+        check,
+    };
+    let summary = loupe_sweep::sweep_gentests(&db, apps, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "gentests: {} suites ({} generated, {} cached{}) across {} OS x workload slices (db: {})",
+        summary.generated + summary.cached + summary.stale.len(),
+        summary.generated,
+        summary.cached,
+        if check {
+            format!(", {} stale", summary.stale.len())
+        } else {
+            String::new()
+        },
+        summary.stats.len(),
+        db_dir
+    );
+    for row in &summary.stats {
+        println!(
+            "  {:<12} {:<7} {:>3} suites, {:>5} cases; out-of-the-box {:>3}/{}, with plan {:>3}/{}",
+            row.os,
+            row.workload.label(),
+            row.suites,
+            row.cases,
+            row.vanilla_pass,
+            row.suites,
+            row.planned_pass,
+            row.suites,
+        );
+    }
+    for f in &summary.base.failures {
+        eprintln!("  failed: {} ({}): {}", f.app, f.workload, f.error);
+    }
+    if let Some(out_dir) = flag_value(args, "--out") {
+        let mut exported = 0;
+        for (os_name, app, workload) in db.list_suites().map_err(|e| e.to_string())? {
+            let Some(suite) = db
+                .load_suite(&os_name, &app, workload)
+                .map_err(|e| e.to_string())?
+            else {
+                continue;
+            };
+            let dir = std::path::Path::new(out_dir)
+                .join(&os_name)
+                .join(workload.label());
+            std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+            let json = serde_json::to_string_pretty(&suite).map_err(|e| e.to_string())?;
+            std::fs::write(dir.join(format!("{app}.json")), json).map_err(|e| e.to_string())?;
+            exported += 1;
+        }
+        println!("exported {exported} suite files under {out_dir}");
+    }
+    for d in &summary.disagreements {
+        eprintln!(
+            "  DISAGREEMENT: {} x {} ({}, {} tier): suite says {}, matrix says {}",
+            d.os,
+            d.app,
+            d.workload,
+            d.tier.label(),
+            if d.suite_pass { "pass" } else { "fail" },
+            if d.matrix_pass { "pass" } else { "fail" },
+        );
+    }
+    if !summary.disagreements.is_empty() {
+        return Err(format!(
+            "gentests: {} suite verdict(s) disagree with the stored matrix",
+            summary.disagreements.len()
+        ));
+    }
+    if check && !summary.stale.is_empty() {
+        for (os_name, app, workload) in &summary.stale {
+            eprintln!("  stale: {os_name}/{}/{app}.json", workload.label());
+        }
+        return Err(format!(
+            "gentests: {} stored suite(s) drifted from the corpus; regenerate with `loupe gentests`",
+            summary.stale.len()
+        ));
+    }
+    if !summary.base.failures.is_empty() {
+        return Err(format!(
+            "gentests: {} measurement(s) failed their baseline",
+            summary.base.failures.len()
+        ));
+    }
     Ok(())
 }
 

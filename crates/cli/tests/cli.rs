@@ -51,6 +51,59 @@ fn sweep_rejects_conflicting_os_flags_and_orphan_tier() {
 }
 
 #[test]
+fn gentests_requires_an_os_selection_and_rejects_conflicts() {
+    for args in [
+        vec!["gentests"],
+        vec!["gentests", "--os", "kerla", "--all-os"],
+        vec!["gentests", "--os", "nosuch"],
+    ] {
+        let out = loupe().args(&args).output().expect("spawn loupe");
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert!(!out.stderr.is_empty());
+    }
+}
+
+#[test]
+fn gentests_generates_a_suite_then_check_mode_finds_it_fresh() {
+    let dir = tmpdir("gentests-ok");
+    let gen = |extra: &[&str]| {
+        let mut cmd = loupe();
+        cmd.args([
+            "gentests",
+            "--os",
+            "kerla",
+            "--workload",
+            "health",
+            "--app",
+            "hello-musl-static",
+            "--db",
+        ])
+        .arg(&dir)
+        .args(extra);
+        cmd.output().expect("spawn loupe")
+    };
+
+    let out = gen(&[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("1 generated"), "fresh suite: {stdout}");
+    assert!(
+        dir.join("gentests/kerla/health/hello-musl-static.json")
+            .is_file(),
+        "suite persisted under gentests/<os>/<workload>"
+    );
+
+    // A second run in check mode writes nothing and exits zero: the
+    // stored suite is exactly what the generator emits today.
+    let out = gen(&["--check"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "check mode on fresh suites: {stdout}");
+    assert!(stdout.contains("0 stale"), "nothing stale: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn matrix_sweep_of_one_app_exits_zero_and_reports_rates() {
     let dir = tmpdir("matrix-ok");
     let out = loupe()

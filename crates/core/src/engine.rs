@@ -766,6 +766,7 @@ impl Engine {
                 peak_rss: baseline.rss_mean as u64,
                 peak_fds: baseline.fd_mean as u32,
                 run_time: first.outcome.elapsed,
+                features: baseline.features.clone(),
             },
             stats: stats_acc,
         })

@@ -86,7 +86,7 @@ pub struct ImpactRecord {
 }
 
 /// Baseline (full-kernel) metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct BaselineStats {
     /// Mean throughput across replicas.
     pub throughput: f64,
@@ -96,6 +96,13 @@ pub struct BaselineStats {
     pub peak_fds: u32,
     /// Virtual time one run takes (the `t` of the §3.3 formula).
     pub run_time: u64,
+    /// Feature-health map of the baseline runs — the reference the test
+    /// script holds suite workloads to (a healthy baseline feature that
+    /// breaks on a restricted kernel fails the run). Persisted so
+    /// downstream consumers (the OS matrix, conformance generation) can
+    /// judge restricted runs exactly like the measuring engine did.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub features: BTreeMap<String, bool>,
 }
 
 /// The complete analysis result for one application under one workload.
@@ -211,6 +218,13 @@ impl AppReport {
             .filter(|(_, c)| c.fake_ok)
             .map(|(s, _)| *s)
             .collect()
+    }
+
+    /// Syscalls that *only* pass when faked: the fake run succeeded but
+    /// the stub run did not, so a compatibility layer must provide at
+    /// least a plausible success value — `-ENOSYS` is not tolerated.
+    pub fn fake_only(&self) -> SysnoSet {
+        self.fakeable().difference(&self.stubbable())
     }
 
     /// Syscalls that pass when either stubbed or faked.

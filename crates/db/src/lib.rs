@@ -25,6 +25,7 @@ use std::path::{Path, PathBuf};
 
 use loupe_apps::Workload;
 use loupe_core::{AppReport, FeatureClass, Impact, LINUX_ENV};
+use loupe_gentests::ConformanceSuite;
 use loupe_plan::{AppRequirement, MatrixCell, OsSpec, PlanValidation};
 use loupe_static::{Level, StaticReport};
 
@@ -219,7 +220,7 @@ impl Database {
             }
             let app = app_dir.file_name().to_string_lossy().into_owned();
             // Non-baseline namespaces sharing the root directory.
-            if matches!(app.as_str(), "env" | "plans" | "os" | "static") {
+            if matches!(app.as_str(), "env" | "plans" | "os" | "static" | "gentests") {
                 continue;
             }
             for entry in fs::read_dir(app_dir.path())? {
@@ -332,6 +333,119 @@ impl Database {
             .join("plans")
             .join(os)
             .join(format!("{}.json", workload.label()))
+    }
+
+    /// Stores a generated conformance suite under
+    /// `<root>/gentests/<os>/<workload>/<app>.json`, overwriting any
+    /// previous suite for the same cell — like plan validations (and
+    /// unlike measurements), suites are not merged: each one is a
+    /// deterministic compilation of the current corpus.
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialisation failures.
+    pub fn save_suite(&self, suite: &ConformanceSuite) -> Result<(), DbError> {
+        let path = self.suite_path(&suite.os, &suite.app, suite.workload);
+        fs::create_dir_all(path.parent().expect("suite path has parent"))?;
+        let json = serde_json::to_string_pretty(suite).map_err(|e| DbError::Corrupt {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        fs::write(&path, json)?;
+        Ok(())
+    }
+
+    /// Loads the stored conformance suite for `(os, app, workload)`, if
+    /// any.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt entries.
+    pub fn load_suite(
+        &self,
+        os: &str,
+        app: &str,
+        workload: Workload,
+    ) -> Result<Option<ConformanceSuite>, DbError> {
+        let path = self.suite_path(os, app, workload);
+        match fs::read_to_string(&path) {
+            Ok(text) => serde_json::from_str(&text)
+                .map(Some)
+                .map_err(|e| DbError::Corrupt {
+                    path,
+                    message: e.to_string(),
+                }),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Lists `(os, app, workload)` triples with stored conformance
+    /// suites.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn list_suites(&self) -> Result<Vec<(String, String, Workload)>, DbError> {
+        let root = self.root.join("gentests");
+        let mut out = Vec::new();
+        let entries = match fs::read_dir(&root) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e.into()),
+        };
+        for os_dir in entries {
+            let os_dir = os_dir?;
+            if !os_dir.file_type()?.is_dir() {
+                continue;
+            }
+            let os = os_dir.file_name().to_string_lossy().into_owned();
+            for wl_dir in fs::read_dir(os_dir.path())? {
+                let wl_dir = wl_dir?;
+                if !wl_dir.file_type()?.is_dir() {
+                    continue;
+                }
+                let label = wl_dir.file_name().to_string_lossy().into_owned();
+                let Some(workload) = Workload::ALL.iter().copied().find(|w| w.label() == label)
+                else {
+                    continue;
+                };
+                for entry in fs::read_dir(wl_dir.path())? {
+                    let entry = entry?;
+                    let name = entry.file_name().to_string_lossy().into_owned();
+                    let Some(app) = name.strip_suffix(".json") else {
+                        continue;
+                    };
+                    out.push((os.clone(), app.to_owned(), workload));
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Loads every stored conformance suite, sorted by `(os, app,
+    /// workload)` — the bulk path behind `docs/CONFORMANCE.md`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt entries.
+    pub fn load_suites(&self) -> Result<Vec<ConformanceSuite>, DbError> {
+        let mut out = Vec::new();
+        for (os, app, workload) in self.list_suites()? {
+            if let Some(suite) = self.load_suite(&os, &app, workload)? {
+                out.push(suite);
+            }
+        }
+        Ok(out)
+    }
+
+    fn suite_path(&self, os: &str, app: &str, workload: Workload) -> PathBuf {
+        self.root
+            .join("gentests")
+            .join(os)
+            .join(workload.label())
+            .join(format!("{app}.json"))
     }
 
     fn matrix_path(&self, os: &str, app: &str, workload: Workload) -> PathBuf {
@@ -714,6 +828,51 @@ mod tests {
             .unwrap();
         assert_eq!(back, report);
         assert_eq!(db.list().unwrap().len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn suite_namespace_roundtrips_and_stays_segregated() {
+        let dir = tmpdir("suites");
+        let db = Database::open(&dir).unwrap();
+        let report = sample_report();
+        db.save(&report).unwrap();
+
+        let spec = loupe_plan::os::find("kerla").unwrap();
+        let suite = ConformanceSuite::generate(&spec, &report, None);
+        db.save_suite(&suite).unwrap();
+
+        // Roundtrip is exact; overwriting replaces rather than merges.
+        let back = db
+            .load_suite("kerla", &report.app, Workload::HealthCheck)
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, suite);
+        let mut rewritten = suite.clone();
+        rewritten.cases.truncate(1);
+        db.save_suite(&rewritten).unwrap();
+        let back = db
+            .load_suite("kerla", &report.app, Workload::HealthCheck)
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, rewritten, "suites overwrite, not merge");
+
+        // The gentests namespace is invisible to the baseline listing,
+        // and the bulk loaders see exactly the stored triples.
+        assert_eq!(db.list().unwrap().len(), 1);
+        assert_eq!(
+            db.list_suites().unwrap(),
+            vec![(
+                "kerla".to_owned(),
+                report.app.clone(),
+                Workload::HealthCheck
+            )]
+        );
+        assert_eq!(db.load_suites().unwrap(), vec![rewritten]);
+        assert!(db
+            .load_suite("gvisor", &report.app, Workload::HealthCheck)
+            .unwrap()
+            .is_none());
         fs::remove_dir_all(&dir).ok();
     }
 

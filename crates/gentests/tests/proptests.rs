@@ -1,0 +1,215 @@
+//! Property tests for the conformance-suite invariants: whatever the
+//! measured classification looks like, the generated suite is *minimal*
+//! (every constraint case is load-bearing — dropping the syscall it
+//! probes from an otherwise-satisfying profile fails exactly that
+//! case), *monotone* (growing a kernel profile never flips a passing
+//! suite to failing — all constraints are positive set memberships),
+//! and its serialized form round-trips exactly.
+
+use loupe_apps::Workload;
+use loupe_gentests::{
+    CaseExpectation, CaseOrigin, ConformanceCase, ConformanceSuite, ExpectedVerdicts,
+};
+use loupe_kernel::KernelProfile;
+use loupe_syscalls::{Sysno, SysnoSet};
+use proptest::prelude::*;
+
+/// The sampling pool: every defined syscall number below 330 (dense
+/// x86-64 range), so random sets overlap enough to exercise sharing.
+fn pool() -> Vec<Sysno> {
+    (0u32..330).filter_map(Sysno::from_raw).collect()
+}
+
+/// Builds a suite from sampled indices exactly the way the generator
+/// does: disjoint required / fake-only / stubbable classes, implemented
+/// constraints first (hottest syscalls first), fake tolerances next,
+/// the harness check last. Field-for-field this is what
+/// [`ConformanceSuite::generate`] emits for a corpus with these
+/// classes; building it directly lets the property quantify over the
+/// whole classification space instead of the 116 stored corpora.
+fn suite(required: &[usize], fake_only: &[usize], stubbable: &[usize]) -> ConformanceSuite {
+    let pool = pool();
+    let pick = |idxs: &[usize]| -> SysnoSet { idxs.iter().map(|i| pool[i % pool.len()]).collect() };
+    let required = pick(required);
+    let fake_only = pick(fake_only).difference(&required);
+    let stubbable = pick(stubbable).difference(&required).difference(&fake_only);
+
+    let case = |sysno: Sysno, expectation, origin, calls| ConformanceCase {
+        sysno,
+        expectation,
+        origin,
+        calls,
+        impact: None,
+    };
+    let block = |set: &SysnoSet, expectation, origin| -> Vec<ConformanceCase> {
+        let mut cases: Vec<ConformanceCase> = set
+            .iter()
+            .map(|s| case(s, expectation, origin, u64::from(s.raw()) % 7))
+            .collect();
+        cases.sort_by(|a, b| b.calls.cmp(&a.calls).then(a.sysno.cmp(&b.sysno)));
+        cases
+    };
+
+    let mut cases = block(
+        &required,
+        CaseExpectation::Implemented,
+        CaseOrigin::Required,
+    );
+    cases.extend(block(
+        &fake_only,
+        CaseExpectation::ImplementedOrFaked,
+        CaseOrigin::FakeOnly,
+    ));
+    cases.push(case(
+        Sysno::getpid,
+        CaseExpectation::HelperBypass,
+        CaseOrigin::Harness,
+        0,
+    ));
+
+    ConformanceSuite {
+        os: "prop-os".into(),
+        app: "prop-app".into(),
+        workload: Workload::HealthCheck,
+        linux_pass: true,
+        tolerated_stubs: stubbable,
+        expected: ExpectedVerdicts::default(),
+        cases,
+    }
+}
+
+/// The profile that satisfies every constraint the cheapest way:
+/// implemented constraints implemented, fake tolerances faked, nothing
+/// else — in particular none of the tolerated stubs.
+fn satisfying_profile(suite: &ConformanceSuite) -> KernelProfile {
+    let mut profile = KernelProfile::new("satisfies-all", suite.must_implement());
+    profile.faked = suite.may_fake();
+    profile
+}
+
+proptest! {
+    /// Minimality, both directions. A profile meeting every constraint
+    /// passes even though it implements *none* of the tolerated stubs
+    /// (they carry no case, so they constrain nothing). And every
+    /// constraint case is load-bearing: weakening the satisfying
+    /// profile at exactly one case's syscall — dropping an implemented
+    /// constraint to a fake, or a fake tolerance to `-ENOSYS` — fails
+    /// the suite precisely at that case.
+    #[test]
+    fn every_constraint_case_is_load_bearing_and_stubs_constrain_nothing(
+        required in proptest::collection::vec(0usize..4000, 0..12),
+        fake_only in proptest::collection::vec(0usize..4000, 0..12),
+        stubbable in proptest::collection::vec(0usize..4000, 0..12),
+    ) {
+        let suite = suite(&required, &fake_only, &stubbable);
+        let full = satisfying_profile(&suite);
+        prop_assert!(suite.run_on_profile(&full).pass, "satisfying profile passes");
+
+        let constraints: Vec<ConformanceCase> = suite.constraint_cases().cloned().collect();
+        for case in &constraints {
+            let mut weakened = full.clone();
+            match case.expectation {
+                CaseExpectation::Implemented => {
+                    // Demote to a fake: still answered, but not by a
+                    // real implementation.
+                    weakened.implemented.remove(case.sysno);
+                    weakened.faked.insert(case.sysno);
+                }
+                CaseExpectation::ImplementedOrFaked => {
+                    // Remove the fake shim: the probe now hits -ENOSYS.
+                    weakened.faked.remove(case.sysno);
+                }
+                CaseExpectation::HelperBypass => unreachable!("not a constraint case"),
+            }
+            let run = suite.run_on_profile(&weakened);
+            prop_assert!(!run.pass, "dropping {} must fail the suite", case.sysno);
+            prop_assert_eq!(
+                run.first_failure(), Some(case.sysno),
+                "the failure is exactly the weakened case"
+            );
+            let failures = run.cases.iter().filter(|c| !c.pass).count();
+            prop_assert_eq!(failures, 1, "no other case notices the weakening");
+        }
+    }
+
+    /// Monotonicity: every suite constraint is a positive membership
+    /// (of the implemented set, or of implemented ∪ faked), so *growing*
+    /// a profile — implementing more syscalls, faking more syscalls,
+    /// promoting fakes to implementations — can never flip a passing
+    /// suite to failing. This is what lets a compatibility-layer
+    /// developer burn the suite into CI and add syscalls fearlessly.
+    #[test]
+    fn growing_a_profile_never_flips_a_passing_suite_to_failing(
+        required in proptest::collection::vec(0usize..4000, 0..12),
+        fake_only in proptest::collection::vec(0usize..4000, 0..12),
+        base_impl in proptest::collection::vec(0usize..4000, 0..40),
+        base_fake in proptest::collection::vec(0usize..4000, 0..40),
+        grow_impl in proptest::collection::vec(0usize..4000, 0..40),
+        grow_fake in proptest::collection::vec(0usize..4000, 0..40),
+    ) {
+        let suite = suite(&required, &fake_only, &[]);
+        let pool = pool();
+        let pick = |idxs: &[usize]| -> SysnoSet {
+            idxs.iter().map(|i| pool[i % pool.len()]).collect()
+        };
+
+        let mut base = KernelProfile::new("base", pick(&base_impl));
+        base.faked = pick(&base_fake);
+        let before = suite.run_on_profile(&base);
+
+        let mut grown = base.clone();
+        grown.implemented.extend(pick(&grow_impl).iter());
+        grown.faked.extend(pick(&grow_fake).iter());
+        let after = suite.run_on_profile(&grown);
+
+        prop_assert!(
+            !before.pass || after.pass,
+            "growth flipped pass → fail (base {:?}/{:?})",
+            base.implemented.len(), base.faked.len()
+        );
+        // Stronger, per case: growth never loses a passing case.
+        for (b, a) in before.cases.iter().zip(&after.cases) {
+            prop_assert!(!b.pass || a.pass, "case {} regressed under growth", b.sysno);
+        }
+    }
+
+    /// The wire format is lossless: any generated-shaped suite (with
+    /// and without impact annotations) survives a JSON round-trip
+    /// exactly, cases in order.
+    #[test]
+    fn suite_json_roundtrips_exactly(
+        required in proptest::collection::vec(0usize..4000, 0..12),
+        fake_only in proptest::collection::vec(0usize..4000, 0..12),
+        stubbable in proptest::collection::vec(0usize..4000, 0..12),
+        linux_pass in proptest::bool::ANY,
+        flags in proptest::collection::vec(proptest::bool::ANY, 5..6),
+    ) {
+        let mut suite = suite(&required, &fake_only, &stubbable);
+        suite.linux_pass = linux_pass;
+        suite.expected = ExpectedVerdicts {
+            vanilla: flags[0].then_some(flags[1]),
+            planned: flags[2].then_some(flags[3]),
+        };
+        let annotate = flags[4];
+        if annotate {
+            if let Some(case) = suite
+                .cases
+                .iter_mut()
+                .find(|c| c.expectation == CaseExpectation::ImplementedOrFaked)
+            {
+                case.impact = Some("fake passes but moves throughput -12%".into());
+            }
+        }
+
+        let json = serde_json::to_string(&suite).unwrap();
+        let back: ConformanceSuite = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &suite);
+
+        // And per-case, the unit the db stores inside every suite file.
+        for case in &suite.cases {
+            let case_json = serde_json::to_string(case).unwrap();
+            let case_back: ConformanceCase = serde_json::from_str(&case_json).unwrap();
+            prop_assert_eq!(&case_back, case);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The real-trace bridge: a conformance suite built not from the
+//! simulated corpus but from a *real* `ptrace` trace of a real binary.
+//! This is the paper's end-to-end loop in miniature — observe an
+//! application's actual syscall surface (§3.1), compile it into an
+//! executable suite, and hold kernel profiles to it.
+//!
+//! Linux-only by nature, and skipped gracefully where `ptrace` is
+//! unavailable (seccomp-confined CI sandboxes, containers without
+//! `SYS_PTRACE`).
+
+#![cfg(target_os = "linux")]
+
+use loupe_apps::Workload;
+use loupe_gentests::{CaseExpectation, CaseOrigin, ConformanceSuite};
+use loupe_kernel::KernelProfile;
+use loupe_syscalls::{Sysno, SysnoSet};
+use loupe_trace::{trace_command, TracePolicy};
+
+/// `ptrace` needs kernel cooperation the test environment may deny.
+fn ptrace_available() -> bool {
+    trace_command(&["true"], &TracePolicy::allow_all()).is_ok()
+}
+
+/// Trace `/bin/true`, compile the observed counts into a suite, and
+/// check the suite passes exactly on profiles implementing the whole
+/// observed surface: the full profile passes, the empty profile fails
+/// on the trace's hottest syscall, and dropping any single observed
+/// syscall from the full profile fails its case.
+#[test]
+fn suite_from_a_real_ptrace_trace_gates_on_the_observed_surface() {
+    if !ptrace_available() {
+        eprintln!("skipping: ptrace unavailable in this environment");
+        return;
+    }
+    let result = trace_command(&["true"], &TracePolicy::allow_all()).unwrap();
+    assert_eq!(result.exit_code, Some(0), "/bin/true exits 0 under trace");
+    let counts = result.by_sysno();
+    assert!(
+        !counts.is_empty(),
+        "even /bin/true issues syscalls (execve at minimum)"
+    );
+
+    let suite = ConformanceSuite::from_observed_counts("true", Workload::HealthCheck, &counts);
+    assert_eq!(suite.cases.len(), counts.len());
+    assert!(
+        suite
+            .cases
+            .iter()
+            .all(|c| c.expectation == CaseExpectation::Implemented
+                && c.origin == CaseOrigin::Required)
+    );
+    // Trace-driven ordering: the hottest observed syscall is probed first.
+    let hottest = counts
+        .iter()
+        .max_by_key(|(s, n)| (**n, std::cmp::Reverse(**s)))
+        .map(|(s, _)| *s)
+        .unwrap();
+    assert_eq!(suite.cases[0].sysno, hottest);
+
+    // A kernel implementing everything satisfies the real trace.
+    let full = KernelProfile::new("full", Sysno::all().collect());
+    assert!(suite.run_on_profile(&full).pass);
+
+    // An empty kernel fails immediately, naming the hottest syscall.
+    let empty = KernelProfile::new("empty", SysnoSet::new());
+    let run = suite.run_on_profile(&empty);
+    assert!(!run.pass);
+    assert_eq!(run.first_failure(), Some(hottest));
+
+    // Every observed syscall is load-bearing: implementing all but one
+    // fails exactly that one's case.
+    for &missing in counts.keys() {
+        let mut profile = KernelProfile::new("partial", Sysno::all().collect());
+        profile.implemented.remove(missing);
+        let run = suite.run_on_profile(&profile);
+        assert!(!run.pass, "dropping {missing} must fail the suite");
+        assert_eq!(run.first_failure(), Some(missing));
+    }
+}
+
+/// The interposition side: stubbing an observed-but-optional syscall in
+/// the *real* tracer mirrors what a generated suite's tolerated-stub
+/// set records — the run still succeeds, so the syscall earns no case.
+#[test]
+fn real_stub_tolerance_maps_to_an_uncased_tolerated_stub() {
+    if !ptrace_available() {
+        eprintln!("skipping: ptrace unavailable in this environment");
+        return;
+    }
+    // /bin/true tolerates losing set_robust_list (glibc startup issues
+    // it but ignores the failure) — the live analogue of a measured
+    // stubbable classification.
+    let policy =
+        TracePolicy::allow_all().with(Sysno::set_robust_list, loupe_trace::TraceAction::Stub);
+    let Ok(result) = trace_command(&["true"], &policy) else {
+        eprintln!("skipping: stub trace failed to start");
+        return;
+    };
+    if result.exit_code != Some(0) {
+        eprintln!("skipping: this libc does not tolerate the stub");
+        return;
+    }
+
+    // Rebuild the suite from the observed counts *minus* the tolerated
+    // stub, recording it in tolerated_stubs — exactly the shape
+    // `generate` produces for a stubbable classification.
+    let mut counts = result.by_sysno();
+    let stubbed_was_observed = counts.remove(&Sysno::set_robust_list).is_some();
+    let mut suite = ConformanceSuite::from_observed_counts("true", Workload::HealthCheck, &counts);
+    suite.tolerated_stubs.insert(Sysno::set_robust_list);
+
+    // Minimality carries over from the simulation to the real trace: a
+    // profile without the stubbed syscall still passes the suite.
+    let mut profile = KernelProfile::new("no-robust-list", Sysno::all().collect());
+    profile.implemented.remove(Sysno::set_robust_list);
+    assert!(suite.run_on_profile(&profile).pass);
+    assert!(!suite.must_implement().contains(Sysno::set_robust_list));
+    if stubbed_was_observed {
+        assert!(result.intercepted > 0, "the tracer answered the stub");
+    }
+}

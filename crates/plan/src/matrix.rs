@@ -190,9 +190,16 @@ pub fn remediation_profile(os: &OsSpec, req: &AppRequirement) -> KernelProfile {
 /// `false` the restricted tiers are recorded as failing without running
 /// (nothing a compatibility layer does can fix broken software).
 ///
+/// `baseline_features` is the full-Linux baseline's feature-health map
+/// (`AppReport::baseline.features`): on suite workloads, a restricted
+/// run that breaks a baseline-healthy feature fails the cell — exactly
+/// the judgement the measuring engine applied when classifying the
+/// syscall, so matrix verdicts and classifications agree.
+///
 /// The planned tier reuses the vanilla verdict when vanilla already
 /// passes: the plan prescribes no work for an app that runs out of the
 /// box, so its planned kernel *is* the vanilla kernel.
+#[allow(clippy::too_many_arguments)]
 pub fn measure_cell(
     os: &OsSpec,
     req: &AppRequirement,
@@ -201,6 +208,7 @@ pub fn measure_cell(
     linux_pass: bool,
     tier: Option<Tier>,
     script: &TestScript,
+    baseline_features: Option<&BTreeMap<String, bool>>,
 ) -> MatrixCell {
     let run = |profile: KernelProfile| -> TierOutcome {
         if !linux_pass {
@@ -211,7 +219,9 @@ pub fn measure_cell(
         }
         let env = ExecEnv::Restricted(profile);
         let (outcome, obs) = run_app_observed(&env, app, workload);
-        let pass = script.evaluate(&outcome, workload, None).success;
+        let pass = script
+            .evaluate(&outcome, workload, baseline_features)
+            .success;
         TierOutcome::new(pass, obs)
     };
 
@@ -288,6 +298,7 @@ mod tests {
             true,
             None,
             &TestScript::new(),
+            None,
         );
         let vanilla = cell.vanilla.as_ref().unwrap();
         assert!(!vanilla.pass, "kerla's 58 syscalls do not run redis");
@@ -316,6 +327,7 @@ mod tests {
             true,
             None,
             &TestScript::new(),
+            None,
         );
         assert!(cell.passes(Tier::Vanilla));
         assert!(cell.passes(Tier::Planned));
@@ -341,6 +353,7 @@ mod tests {
             false,
             None,
             &TestScript::new(),
+            None,
         );
         assert!(!cell.linux_pass);
         assert!(!cell.passes(Tier::Vanilla));
@@ -367,6 +380,7 @@ mod tests {
             true,
             Some(Tier::Vanilla),
             &TestScript::new(),
+            None,
         );
         assert!(cell.vanilla.is_some());
         assert!(cell.planned.is_none());

@@ -17,6 +17,9 @@
 //!   a restricted kernel (`loupe_kernel::RestrictedKernel`) and persists
 //!   the per-step verdicts — turning predicted plans into validated
 //!   ones;
+//! * [`gentests`] compiles every stored corpus into an executable
+//!   conformance suite (`loupe_gentests`), persisted and self-validated
+//!   against the matrix verdicts;
 //! * [`report`] renders the database as kerla-style Markdown: a
 //!   fleet-wide `COMPATIBILITY.md` support matrix, a `SUPPORT_PLANS.md`
 //!   per-OS plan book with validation verdicts, plus per-app pages,
@@ -44,12 +47,16 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod gentests;
 pub mod matrix;
 pub mod plans;
 pub(crate) mod pool;
 pub mod report;
 pub mod statics;
 
+pub use gentests::{
+    sweep_gentests, Disagreement, GentestsConfig, GentestsSummary, SuiteSliceStats,
+};
 pub use matrix::{sweep_matrix, MatrixConfig, MatrixSummary, OsWorkloadStats};
 pub use plans::{validate_curated_plans, validate_plans, PlanSweepError};
 pub use statics::{

@@ -183,24 +183,30 @@ pub fn sweep_matrix(
     // Requirements for every app with a stored baseline, per workload.
     // Models are re-resolved from the registry by name inside each job:
     // the boxed inputs were consumed by the baseline sweep.
-    let mut reqs: BTreeMap<(Workload, String), AppRequirement> = BTreeMap::new();
+    let mut reqs: BTreeMap<(Workload, String), (AppRequirement, BTreeMap<String, bool>)> =
+        BTreeMap::new();
     for report in &summary.reports {
         reqs.insert(
             (report.workload, report.app.clone()),
-            AppRequirement::from_report(report),
+            (
+                AppRequirement::from_report(report),
+                report.baseline.features.clone(),
+            ),
         );
     }
     struct Job<'a> {
         os: &'a OsSpec,
         req: &'a AppRequirement,
+        baseline_features: &'a BTreeMap<String, bool>,
         workload: Workload,
     }
     let mut jobs = Vec::new();
     for os_spec in &cfg.oses {
-        for ((workload, _), req) in &reqs {
+        for ((workload, _), (req, features)) in &reqs {
             jobs.push(Job {
                 os: os_spec,
                 req,
+                baseline_features: features,
                 workload: *workload,
             });
         }
@@ -243,6 +249,7 @@ pub fn sweep_matrix(
             true,
             cfg.tier,
             &script,
+            Some(job.baseline_features),
         );
         match db.save_matrix_cell(&cell) {
             Ok(()) => JobOut::Fresh,

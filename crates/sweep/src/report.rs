@@ -14,7 +14,8 @@ use std::path::{Path, PathBuf};
 use loupe_apps::Workload;
 use loupe_core::AppReport;
 use loupe_db::{Database, DbError};
-use loupe_plan::{os, MatrixCell, PlanValidation, SupportPlan};
+use loupe_gentests::{CaseExpectation, ConformanceSuite};
+use loupe_plan::{os, MatrixCell, PlanValidation, SupportPlan, Tier};
 use loupe_syscalls::SysnoSet;
 
 use crate::{matrix, FleetStats};
@@ -120,6 +121,10 @@ pub fn render(db: &Database) -> Result<RenderedDocs, DbError> {
     ];
     if !cells.is_empty() {
         files.push((PathBuf::from("OS_MATRIX.md"), render_os_matrix(&cells)));
+    }
+    let suites = db.load_suites()?;
+    if !suites.is_empty() {
+        files.push((PathBuf::from("CONFORMANCE.md"), render_conformance(&suites)));
     }
     if has_statics {
         let comparisons = crate::statics::compare(db).map_err(|e| match e {
@@ -453,6 +458,167 @@ pub fn render_os_matrix(cells: &[MatrixCell]) -> String {
 
     out.push_str(
         "---\n\nPlan derivations live in [SUPPORT_PLANS.md](SUPPORT_PLANS.md); fleet-wide\n\
+         classifications in [COMPATIBILITY.md](COMPATIBILITY.md).\n",
+    );
+    out
+}
+
+/// Renders `CONFORMANCE.md`: the generated conformance-suite summary —
+/// suite sizes, per-tier executed verdicts, and agreement with the
+/// empirical matrix verdicts each suite carries.
+pub fn render_conformance(suites: &[ConformanceSuite]) -> String {
+    let mut out = String::new();
+    out.push_str("# Generated conformance suites\n\n");
+    out.push_str(
+        "Generated by `loupe report` from a sweep database — **do not edit by\n\
+         hand**. Regenerate with:\n\n\
+         ```sh\n\
+         cargo run --release -p loupe-cli -- gentests --db target/loupedb --all-os --workload all --jobs 2\n\
+         cargo run --release -p loupe-cli -- report --db target/loupedb --docs docs\n\
+         ```\n\n\
+         `loupe gentests` compiles each application's measurement corpus —\n\
+         baseline trace, stub/fake classifications, fallback requirements and\n\
+         impact data — into an *executable* conformance suite: an ordered,\n\
+         minimal sequence of syscall cases a compatibility layer can run\n\
+         against its own kernel (`gentests/<os>/<workload>/<app>.json` in the\n\
+         database). *Implement* cases demand a real implementation; *fake*\n\
+         cases accept a success shim; measured-stubbable syscalls carry no\n\
+         case at all — `-ENOSYS` is tolerated there by construction. Every\n\
+         suite is executed against its OS's vanilla and planned kernel\n\
+         profiles; *matrix agreement* counts the suites whose verdicts\n\
+         reproduce the [OS_MATRIX.md](OS_MATRIX.md) cell verdicts exactly —\n\
+         the generator, the matrix sweep and the planner cross-validating\n\
+         each other.\n\n",
+    );
+
+    // One table per workload, one row per OS (most suites passing first).
+    struct Row {
+        os: String,
+        suites: usize,
+        cases: usize,
+        fake_cases: usize,
+        vanilla_pass: usize,
+        planned_pass: usize,
+        agree: usize,
+        expected: usize,
+    }
+    let mut workloads: Vec<Workload> = suites.iter().map(|s| s.workload).collect();
+    workloads.sort_by_key(|w| w.label());
+    workloads.dedup();
+    for workload in workloads {
+        let mut rows: BTreeMap<&str, Row> = BTreeMap::new();
+        for suite in suites.iter().filter(|s| s.workload == workload) {
+            let Some(spec) = os::find(&suite.os) else {
+                continue;
+            };
+            let row = rows.entry(suite.os.as_str()).or_insert_with(|| Row {
+                os: suite.os.clone(),
+                suites: 0,
+                cases: 0,
+                fake_cases: 0,
+                vanilla_pass: 0,
+                planned_pass: 0,
+                agree: 0,
+                expected: 0,
+            });
+            row.suites += 1;
+            row.cases += suite.cases.len();
+            row.fake_cases += suite
+                .cases
+                .iter()
+                .filter(|c| c.expectation == CaseExpectation::ImplementedOrFaked)
+                .count();
+            row.vanilla_pass += usize::from(suite.verdict(&spec, Tier::Vanilla));
+            row.planned_pass += usize::from(suite.verdict(&spec, Tier::Planned));
+            let has_expectation =
+                suite.expected.vanilla.is_some() || suite.expected.planned.is_some();
+            if has_expectation {
+                row.expected += 1;
+                row.agree += usize::from(suite.disagreements(&spec).is_empty());
+            }
+        }
+        let mut rows: Vec<Row> = rows.into_values().collect();
+        rows.sort_by(|a, b| {
+            b.planned_pass
+                .cmp(&a.planned_pass)
+                .then(b.vanilla_pass.cmp(&a.vanilla_pass))
+                .then(a.os.cmp(&b.os))
+        });
+        let apps = rows.iter().map(|r| r.suites).max().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "## {} workload — {} suites per OS\n",
+            workload_title(workload),
+            apps
+        );
+        out.push_str(
+            "| OS | Suites | Cases | Fake-tolerance cases | Out of the box | With plan | Matrix agreement |\n\
+             |----|-------:|------:|---------------------:|---------------:|----------:|-----------------:|\n",
+        );
+        for row in rows {
+            let _ = writeln!(
+                out,
+                "| [{}](OS_MATRIX.md#{}) | {} | {} | {} | {}/{} | {}/{} | {}/{} |",
+                row.os,
+                row.os,
+                row.suites,
+                row.cases,
+                row.fake_cases,
+                row.vanilla_pass,
+                row.suites,
+                row.planned_pass,
+                row.suites,
+                row.agree,
+                row.expected,
+            );
+        }
+        out.push('\n');
+    }
+
+    // Suite shape: the apps with the largest implement-surface, per
+    // workload — "what a compat layer signs up for".
+    out.push_str("## Largest suites\n\n");
+    out.push_str(
+        "Cases are identical across OSes for a given `(app, workload)` — the\n\
+         corpus determines the suite; the OS only determines the verdict. The\n\
+         heaviest conformance obligations in the fleet:\n\n",
+    );
+    out.push_str(
+        "| App | Workload | Cases | Must implement | May fake | Tolerated stubs |\n\
+         |-----|----------|------:|---------------:|---------:|----------------:|\n",
+    );
+    let mut shapes: BTreeMap<(&str, &'static str), &ConformanceSuite> = BTreeMap::new();
+    for suite in suites {
+        shapes
+            .entry((suite.app.as_str(), suite.workload.label()))
+            .or_insert(suite);
+    }
+    let mut shapes: Vec<&ConformanceSuite> = shapes.into_values().collect();
+    shapes.sort_by(|a, b| {
+        b.cases
+            .len()
+            .cmp(&a.cases.len())
+            .then(a.app.cmp(&b.app))
+            .then(a.workload.label().cmp(b.workload.label()))
+    });
+    for suite in shapes.into_iter().take(10) {
+        let _ = writeln!(
+            out,
+            "| [{}](apps/{}.md) | {} | {} | {} | {} | {} |",
+            suite.app,
+            suite.app,
+            workload_title(suite.workload),
+            suite.cases.len(),
+            suite.must_implement().len(),
+            suite.may_fake().len(),
+            suite.tolerated_stubs.len(),
+        );
+    }
+    out.push('\n');
+
+    out.push_str(
+        "---\n\nEmpirical cell verdicts live in [OS_MATRIX.md](OS_MATRIX.md); plan\n\
+         derivations in [SUPPORT_PLANS.md](SUPPORT_PLANS.md); fleet-wide\n\
          classifications in [COMPATIBILITY.md](COMPATIBILITY.md).\n",
     );
     out

@@ -16,6 +16,8 @@
 //! * [`plan`] — incremental OS support plans, effort-savings analysis and
 //!   API importance.
 //! * [`db`] — the measurement database (loupedb analogue).
+//! * [`gentests`] — trace-driven conformance suite generation: stored
+//!   measurements compiled into executable per-app compatibility tests.
 //! * [`sweep`] — concurrent fleet-wide sweeps and the generated
 //!   compatibility-matrix documentation.
 //!
@@ -37,6 +39,7 @@
 pub use loupe_apps as apps;
 pub use loupe_core as core;
 pub use loupe_db as db;
+pub use loupe_gentests as gentests;
 pub use loupe_kernel as kernel;
 pub use loupe_plan as plan;
 pub use loupe_static as statics;

@@ -90,8 +90,26 @@ fn matrix_cells_bracket_kerla_between_bare_and_full() {
     for app in &apps {
         let report = engine.analyze(app.as_ref(), workload).unwrap();
         let req = AppRequirement::from_report(&report);
-        let on_kerla = measure_cell(&kerla, &req, app.as_ref(), workload, true, None, &script);
-        let on_full = measure_cell(&full, &req, app.as_ref(), workload, true, None, &script);
+        let on_kerla = measure_cell(
+            &kerla,
+            &req,
+            app.as_ref(),
+            workload,
+            true,
+            None,
+            &script,
+            None,
+        );
+        let on_full = measure_cell(
+            &full,
+            &req,
+            app.as_ref(),
+            workload,
+            true,
+            None,
+            &script,
+            None,
+        );
         assert!(on_kerla.invariants_hold() && on_full.invariants_hold());
         kerla_vanilla += usize::from(on_kerla.passes(Tier::Vanilla));
         kerla_planned += usize::from(on_kerla.passes(Tier::Planned));
