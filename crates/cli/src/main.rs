@@ -13,6 +13,8 @@
 //! loupe report --db DIR --check       # fail when checked-in docs drifted
 //! loupe gentests --all-os             # compile corpora into conformance suites
 //! loupe gentests --all-os --check     # fail when stored suites drifted
+//! loupe cache stats                   # incremental-cache manifest + sweep counters
+//! loupe cache invalidate --os kerla   # force re-measurement of one OS's cells
 //! loupe plan --os kerla --validate     # replay the plan on a restricted kernel
 //! loupe os-list                       # curated OS support specs
 //! loupe importance [--workload bench] # Fig. 3-style ranking
@@ -48,6 +50,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(rest),
         "report" => cmd_report(rest),
         "gentests" => cmd_gentests(rest),
+        "cache" => cmd_cache(rest),
         "plan" => cmd_plan(rest),
         "os-list" => cmd_os_list(),
         "importance" => cmd_importance(rest),
@@ -126,6 +129,17 @@ commands:
                                       nothing and exit 1 on stale/missing suites
       --out DIR                       also export the generated suite JSON files
                                       under DIR/<os>/<workload>/<app>.json
+  cache stats                  show the incremental-cache manifest: entries and
+                               provenance coverage per namespace, plus the
+                               hit/miss/stale counters of the last sweep
+      --db DIR                        database directory (default: target/loupedb)
+  cache invalidate             drop provenance records so the next sweep
+                               re-measures the matching cells (artifacts stay;
+                               only the is-this-current? answer is forgotten)
+      --db DIR                        database directory (default: target/loupedb)
+      --os <name>                     cells measured against one curated OS
+      --app <name>                    cells derived from one application
+      --all                           every record in every namespace
   plan --os <name|file.csv>    incremental support plan for an OS
       --workload health|bench|suite   (default: bench)
       --apps a,b,c                    target apps (default: 15 cloud apps)
@@ -200,7 +214,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         explore_pseudo_files: sub,
         ..AnalysisConfig::fast()
     };
-    let report = Engine::new(cfg)
+    let report = Engine::new(cfg.clone())
         .analyze(app.as_ref(), workload)
         .map_err(|e| e.to_string())?;
 
@@ -249,6 +263,17 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     if let Some(dir) = flag_value(args, "--db") {
         let db = Database::open(dir).map_err(|e| e.to_string())?;
         db.save(&report).map_err(|e| e.to_string())?;
+        // Record what the measurement depended on, so a later `loupe
+        // sweep` over an unchanged app serves this report from cache.
+        if report.is_linux_baseline() {
+            db.record_provenance(
+                loupe_db::ns::BASELINES,
+                &loupe_db::baseline_key(&report.app, report.workload),
+                loupe_sweep::baseline_inputs(app.as_ref(), workload, &cfg),
+                Default::default(),
+            );
+        }
+        db.flush().map_err(|e| e.to_string())?;
         eprintln!("stored in {dir}");
     }
     Ok(())
@@ -419,6 +444,14 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             );
         }
     }
+    if !summary.cache.is_empty() {
+        let t = summary.cache.total();
+        println!(
+            "cache: {} hits, {} misses, {} stale (details: `loupe cache stats --db {db_dir}`)",
+            t.hits, t.misses, t.stale
+        );
+    }
+    db.persist_sweep_stats().map_err(|e| e.to_string())?;
     for f in &summary.failures {
         eprintln!("  failed: {} ({}): {}", f.app, f.workload, f.error);
     }
@@ -467,6 +500,9 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             ));
         }
     }
+    // The static and plan-validation passes add cache decisions after
+    // the first persist; record the final tallies.
+    db.persist_sweep_stats().map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -651,6 +687,14 @@ fn cmd_gentests(args: &[String]) -> Result<(), String> {
         summary.stats.len(),
         db_dir
     );
+    if !summary.base.cache.is_empty() {
+        let t = summary.base.cache.total();
+        println!(
+            "cache: {} hits, {} misses, {} stale (details: `loupe cache stats --db {db_dir}`)",
+            t.hits, t.misses, t.stale
+        );
+    }
+    db.persist_sweep_stats().map_err(|e| e.to_string())?;
     for row in &summary.stats {
         println!(
             "  {:<12} {:<7} {:>3} suites, {:>5} cases; out-of-the-box {:>3}/{}, with plan {:>3}/{}",
@@ -721,6 +765,91 @@ fn cmd_gentests(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_cache(args: &[String]) -> Result<(), String> {
+    let sub = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("cache: need a subcommand: stats | invalidate")?;
+    let rest = &args[1..];
+    let db_dir = flag_value(rest, "--db").unwrap_or(DEFAULT_DB);
+    let db = Database::open(db_dir).map_err(|e| e.to_string())?;
+    match sub.as_str() {
+        "stats" => {
+            println!("cache manifest for {db_dir}:");
+            println!(
+                "{:<12} {:>8}  {:>15}",
+                "NAMESPACE", "ENTRIES", "WITH PROVENANCE"
+            );
+            for (namespace, total, with_inputs) in db.cache_entry_counts() {
+                println!("{namespace:<12} {total:>8}  {with_inputs:>15}");
+            }
+            match db.last_sweep_stats() {
+                Some(stats) if !stats.is_empty() => {
+                    println!("\nlast sweep:");
+                    println!(
+                        "{:<12} {:>6} {:>8} {:>6}",
+                        "NAMESPACE", "HITS", "MISSES", "STALE"
+                    );
+                    for (namespace, c) in &stats.namespaces {
+                        if c.total() > 0 {
+                            println!(
+                                "{namespace:<12} {:>6} {:>8} {:>6}",
+                                c.hits, c.misses, c.stale
+                            );
+                        }
+                    }
+                    let t = stats.total();
+                    println!(
+                        "{:<12} {:>6} {:>8} {:>6}",
+                        "total", t.hits, t.misses, t.stale
+                    );
+                }
+                _ => println!("\nno sweep has recorded cache counters yet"),
+            }
+            Ok(())
+        }
+        "invalidate" => {
+            let os_sel = flag_value(rest, "--os");
+            let app_sel = flag_value(rest, "--app");
+            let all = rest.iter().any(|a| a == "--all");
+            if all && (os_sel.is_some() || app_sel.is_some()) {
+                return Err("cache invalidate: --all excludes --os/--app".into());
+            }
+            if !all && os_sel.is_none() && app_sel.is_none() {
+                return Err("cache invalidate: pass --os <name>, --app <name>, or --all".into());
+            }
+            if let Some(name) = os_sel {
+                if os::find(name).is_none() {
+                    return Err(format!(
+                        "cache invalidate: unknown OS `{name}` (see `loupe os-list`)"
+                    ));
+                }
+            }
+            if let Some(name) = app_sel {
+                if registry::find(name).is_none() {
+                    return Err(format!("cache invalidate: unknown app `{name}`"));
+                }
+            }
+            let dropped = db.invalidate_matching(os_sel, app_sel);
+            db.flush().map_err(|e| e.to_string())?;
+            let total: usize = dropped.iter().map(|(_, n)| n).sum();
+            for (namespace, n) in &dropped {
+                if *n > 0 {
+                    println!("  {namespace}: {n} record(s) invalidated");
+                }
+            }
+            println!(
+                "invalidated {total} provenance record(s) in {db_dir}; \
+                 the next sweep re-measures the affected cells"
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "cache: unknown subcommand `{other}` (stats | invalidate)"
+        )),
+    }
+}
+
 fn cmd_plan(args: &[String]) -> Result<(), String> {
     let os_arg = flag_value(args, "--os").ok_or("plan: missing --os")?;
     let spec = if os_arg.ends_with(".csv") {
@@ -744,7 +873,8 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
         .map(Database::open)
         .transpose()
         .map_err(|e| e.to_string())?;
-    let engine = Engine::new(AnalysisConfig::fast());
+    let analysis = AnalysisConfig::fast();
+    let engine = Engine::new(analysis.clone());
     let mut reqs = Vec::new();
     for app in &apps {
         let cached = db
@@ -758,6 +888,14 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
                     .map_err(|e| e.to_string())?;
                 if let Some(db) = &db {
                     db.save(&r).map_err(|e| e.to_string())?;
+                    if r.is_linux_baseline() {
+                        db.record_provenance(
+                            loupe_db::ns::BASELINES,
+                            &loupe_db::baseline_key(&r.app, r.workload),
+                            loupe_sweep::baseline_inputs(app.as_ref(), workload, &analysis),
+                            Default::default(),
+                        );
+                    }
                 }
                 r
             }
@@ -776,6 +914,16 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
         if let Some(db) = &db {
             db.save_plan_validation(&validation)
                 .map_err(|e| e.to_string())?;
+            let mut inputs = std::collections::BTreeMap::new();
+            inputs.insert("os".to_owned(), loupe_core::fingerprint_of(&spec));
+            inputs.insert("requirements".to_owned(), loupe_core::fingerprint_of(&reqs));
+            db.record_provenance(
+                loupe_db::ns::PLANS,
+                &loupe_db::plan_key(&spec.name, workload),
+                inputs,
+                Default::default(),
+            );
+            db.flush().map_err(|e| e.to_string())?;
             eprintln!("validation stored");
         }
         if !validation.is_valid() {

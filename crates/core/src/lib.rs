@@ -35,6 +35,7 @@
 pub mod anomaly;
 pub mod engine;
 pub mod exec;
+pub mod fingerprint;
 pub mod interpose;
 pub mod policy;
 pub mod report;
@@ -50,6 +51,7 @@ pub use loupe_kernel::fakes;
 pub use anomaly::LogProfile;
 pub use engine::{transfer_hints, AnalysisConfig, Engine, EngineError, PerfPolicy, RunStats};
 pub use exec::{run_app, ExecEnv};
+pub use fingerprint::{fingerprint_of, fingerprint_value, Fingerprint};
 pub use interpose::Interposed;
 pub use policy::{Action, Policy};
 pub use report::{AppReport, BaselineStats, FeatureClass, Impact, ImpactRecord, LINUX_ENV};

@@ -8,6 +8,21 @@
 //! repeated measurements, and imports/exports OS support specs in the
 //! paper's one-syscall-per-line CSV form.
 //!
+//! On top of the JSON tree sit two derived layers that make warm sweeps
+//! incremental and fast:
+//!
+//! * a **cache manifest** ([`manifest`]) recording, per stored artifact,
+//!   the fingerprints of the inputs that produced it — so a sweep stage
+//!   can answer "is this cell current?" with one map lookup, and an edit
+//!   to one OS profile invalidates exactly its downstream cells; and
+//! * **binary namespace snapshots** ([`snapshot`]) so bulk reads load a
+//!   whole namespace from one compact file instead of re-parsing
+//!   hundreds of JSON entries, rebuilt automatically whenever the
+//!   content-addressed state they were written against changes.
+//!
+//! Both layers are derived and disposable: deleting `manifest.json` or
+//! `index/` costs one rebuild, never correctness.
+//!
 //! # Examples
 //!
 //! ```
@@ -19,20 +34,199 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+use std::collections::BTreeMap;
+use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use loupe_apps::Workload;
-use loupe_core::{AppReport, FeatureClass, Impact, LINUX_ENV};
+use loupe_core::{fingerprint_of, AppReport, FeatureClass, Fingerprint, Impact, LINUX_ENV};
 use loupe_gentests::ConformanceSuite;
 use loupe_plan::{AppRequirement, MatrixCell, OsSpec, PlanValidation};
 use loupe_static::{Level, StaticReport};
 
+pub mod manifest;
+mod snapshot;
+
+pub use manifest::{ns, ArtifactRecord, CacheCounters, CacheStats, Manifest, MANIFEST_VERSION};
+
 /// A directory-backed measurement database.
-#[derive(Debug, Clone)]
+///
+/// Cloning is cheap and clones share one in-process state (manifest,
+/// snapshots, writer lock), so a `Database` can be handed to worker
+/// threads freely. Open one `Database` per root per process: two
+/// independent `open()`s of the same root keep independent manifests
+/// and can overwrite each other's provenance on flush.
 pub struct Database {
+    shared: Arc<Shared>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Database {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Database")
+            .field("root", &self.shared.root)
+            .finish()
+    }
+}
+
+/// In-memory snapshot of one namespace: the manifest generation it was
+/// loaded at, plus the decoded entries keyed by artifact key.
+type SnapshotSlot<T> = Mutex<Option<(u64, Arc<BTreeMap<String, T>>)>>;
+
+struct Shared {
     root: PathBuf,
+    manifest: Mutex<ManifestState>,
+    stats: Mutex<CacheStats>,
+    /// Single-writer guard: every save composes read-modify-write
+    /// (merge / tier composition), so writers must exclude each other.
+    /// In-process only — see KNOWN_ISSUES.md.
+    write_lock: Mutex<()>,
+    baselines: SnapshotSlot<AppReport>,
+    matrix: SnapshotSlot<MatrixCell>,
+    suites: SnapshotSlot<ConformanceSuite>,
+    statics: SnapshotSlot<StaticReport>,
+}
+
+struct ManifestState {
+    manifest: Manifest,
+    /// Monotonic per-namespace counters, bumped whenever a namespace's
+    /// content changes — the freshness signal for in-memory snapshots.
+    generations: BTreeMap<String, u64>,
+    dirty: bool,
+}
+
+impl Shared {
+    fn manifest_path(&self) -> PathBuf {
+        self.root.join("manifest.json")
+    }
+
+    fn with_manifest<R>(&self, f: impl FnOnce(&mut ManifestState) -> R) -> R {
+        let mut state = self.manifest.lock().expect("manifest lock");
+        f(&mut state)
+    }
+
+    fn generation(&self, namespace: &str) -> u64 {
+        self.with_manifest(|s| s.generations.get(namespace).copied().unwrap_or(0))
+    }
+
+    /// Content-addressed state of a namespace: the fingerprint of every
+    /// `(key, output-fingerprint)` pair. This is what binary snapshots
+    /// are tagged with, making their staleness check survive process
+    /// boundaries.
+    fn namespace_state(&self, namespace: &str) -> Fingerprint {
+        self.with_manifest(|s| {
+            let pairs: Vec<(String, String)> = s
+                .manifest
+                .records
+                .get(namespace)
+                .map(|records| {
+                    records
+                        .iter()
+                        .map(|(k, r)| (k.clone(), r.output.to_hex()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            fingerprint_of(&pairs)
+        })
+    }
+
+    /// Updates the record for a just-written artifact. If the stored
+    /// output fingerprint is unchanged, the record (including its
+    /// provenance) is kept — content-addressed identity. Otherwise the
+    /// record's inputs become unknown until a sweep stage re-attaches
+    /// them via [`Database::record_provenance`].
+    fn record_artifact<T: serde::Serialize>(&self, namespace: &str, key: &str, artifact: &T) {
+        let output = fingerprint_of(artifact);
+        self.with_manifest(|s| {
+            let records = s.manifest.records.entry(namespace.to_owned()).or_default();
+            if let Some(rec) = records.get(key) {
+                if rec.output == output {
+                    return;
+                }
+            }
+            records.insert(
+                key.to_owned(),
+                ArtifactRecord {
+                    inputs: None,
+                    output,
+                    meta: BTreeMap::new(),
+                },
+            );
+            *s.generations.entry(namespace.to_owned()).or_insert(0) += 1;
+            s.dirty = true;
+        });
+    }
+
+    /// Reconciles a namespace's records with the entries found on disk
+    /// during a bulk rebuild: records gain/refresh output fingerprints,
+    /// records whose content changed out-of-band lose their provenance,
+    /// and records for deleted files are dropped.
+    fn adopt_outputs<T: serde::Serialize>(&self, namespace: &str, entries: &[(String, T)]) {
+        let outputs: Vec<(&String, Fingerprint)> = entries
+            .iter()
+            .map(|(k, v)| (k, fingerprint_of(v)))
+            .collect();
+        self.with_manifest(|s| {
+            let records = s.manifest.records.entry(namespace.to_owned()).or_default();
+            let mut fresh: BTreeMap<String, ArtifactRecord> = BTreeMap::new();
+            let mut changed = false;
+            for (key, output) in outputs {
+                let rec = match records.get(key) {
+                    Some(rec) if rec.output == output => rec.clone(),
+                    _ => {
+                        changed = true;
+                        ArtifactRecord {
+                            inputs: None,
+                            output,
+                            meta: BTreeMap::new(),
+                        }
+                    }
+                };
+                fresh.insert(key.clone(), rec);
+            }
+            changed |= fresh.len() != records.len();
+            if changed {
+                *records = fresh;
+                *s.generations.entry(namespace.to_owned()).or_insert(0) += 1;
+                s.dirty = true;
+            }
+        });
+    }
+
+    fn flush_manifest(&self) -> Result<(), DbError> {
+        let path = self.manifest_path();
+        self.with_manifest(|s| {
+            if !s.dirty {
+                return Ok(());
+            }
+            let json = serde_json::to_string_pretty(&s.manifest).map_err(|e| DbError::Corrupt {
+                path: path.clone(),
+                message: e.to_string(),
+            })?;
+            fs::write(&path, json)?;
+            s.dirty = false;
+            Ok(())
+        })
+    }
+}
+
+impl Drop for Shared {
+    fn drop(&mut self) {
+        // Best-effort durability: provenance learned this session is
+        // derived data, so a failed flush costs re-measurement, not
+        // correctness.
+        let _ = self.flush_manifest();
+    }
 }
 
 /// Database errors.
@@ -78,6 +272,60 @@ fn workload_from_filename(name: &str) -> Option<Workload> {
         .find(|w| name == format!("{}.json", w.label()))
 }
 
+/// Manifest key of a full-Linux baseline report.
+pub fn baseline_key(app: &str, workload: Workload) -> String {
+    format!("{app}/{}", workload.label())
+}
+
+/// Manifest key of a restricted-environment report.
+pub fn env_key(env: &str, app: &str, workload: Workload) -> String {
+    format!("{env}/{app}/{}", workload.label())
+}
+
+/// Manifest key of a fleet × OS matrix cell.
+pub fn matrix_key(os: &str, app: &str, workload: Workload) -> String {
+    format!("{os}/{app}/{}", workload.label())
+}
+
+/// Manifest key of a conformance suite (mirrors the on-disk layout:
+/// `gentests/<os>/<workload>/<app>.json`).
+pub fn suite_key(os: &str, app: &str, workload: Workload) -> String {
+    format!("{os}/{}/{app}", workload.label())
+}
+
+/// Manifest key of a static-analysis report.
+pub fn static_key(level: Level, app: &str) -> String {
+    format!("{}/{app}", level.label())
+}
+
+/// Manifest key of a plan validation.
+pub fn plan_key(os: &str, workload: Workload) -> String {
+    format!("{os}/{}", workload.label())
+}
+
+fn read_json<T: serde::Deserialize>(path: &Path) -> Result<Option<T>, DbError> {
+    match fs::read_to_string(path) {
+        Ok(text) => serde_json::from_str(&text)
+            .map(Some)
+            .map_err(|e| DbError::Corrupt {
+                path: path.to_path_buf(),
+                message: e.to_string(),
+            }),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+fn write_json<T: serde::Serialize>(path: &Path, value: &T) -> Result<(), DbError> {
+    fs::create_dir_all(path.parent().expect("entry path has parent"))?;
+    let json = serde_json::to_string_pretty(value).map_err(|e| DbError::Corrupt {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
 impl Database {
     /// Opens (creating if needed) a database rooted at `root`.
     ///
@@ -87,12 +335,31 @@ impl Database {
     pub fn open(root: impl AsRef<Path>) -> Result<Database, DbError> {
         let root = root.as_ref().to_path_buf();
         fs::create_dir_all(&root)?;
-        Ok(Database { root })
+        let manifest = match fs::read_to_string(root.join("manifest.json")) {
+            Ok(text) => Manifest::from_json(&text),
+            Err(_) => Manifest::new(),
+        };
+        Ok(Database {
+            shared: Arc::new(Shared {
+                root,
+                manifest: Mutex::new(ManifestState {
+                    manifest,
+                    generations: BTreeMap::new(),
+                    dirty: false,
+                }),
+                stats: Mutex::new(CacheStats::default()),
+                write_lock: Mutex::new(()),
+                baselines: Mutex::new(None),
+                matrix: Mutex::new(None),
+                suites: Mutex::new(None),
+                statics: Mutex::new(None),
+            }),
+        })
     }
 
     /// The database root directory.
     pub fn root(&self) -> &Path {
-        &self.root
+        &self.shared.root
     }
 
     fn entry_path(&self, env: &str, app: &str, workload: Workload) -> PathBuf {
@@ -101,9 +368,9 @@ impl Database {
         // segregated under `env/<name>/` so they can never be confused
         // with a baseline by the cache key.
         let base = if env == LINUX_ENV {
-            self.root.clone()
+            self.shared.root.clone()
         } else {
-            self.root.join("env").join(env)
+            self.shared.root.join("env").join(env)
         };
         base.join(app).join(format!("{}.json", workload.label()))
     }
@@ -119,24 +386,53 @@ impl Database {
     ///
     /// I/O and serialisation failures.
     pub fn save(&self, report: &AppReport) -> Result<(), DbError> {
+        let _writer = self.shared.write_lock.lock().expect("writer lock");
+        self.save_report_locked(report, true)
+    }
+
+    /// Stores a report, *replacing* any existing entry instead of
+    /// merging — the path the incremental engine takes when the stored
+    /// entry's recorded inputs no longer match (merging content produced
+    /// by outdated inputs would poison the fresh measurement).
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialisation failures.
+    pub fn save_replacing(&self, report: &AppReport) -> Result<(), DbError> {
+        let _writer = self.shared.write_lock.lock().expect("writer lock");
+        self.save_report_locked(report, false)
+    }
+
+    fn save_report_locked(&self, report: &AppReport, merge: bool) -> Result<(), DbError> {
         // Merge only with a stored entry of the *same* environment; a
         // legacy mismatched entry at this path is superseded, not merged
         // (merging a restricted-kernel trace into a baseline would
         // poison it).
-        let merged = match self
-            .load_env(&report.env, &report.app, report.workload)?
-            .filter(|existing| existing.env == report.env)
-        {
+        let existing = if merge {
+            self.load_env(&report.env, &report.app, report.workload)?
+                .filter(|existing| existing.env == report.env)
+        } else {
+            None
+        };
+        let merged = match existing {
             Some(existing) => merge_reports(&existing, report),
             None => report.clone(),
         };
         let path = self.entry_path(&report.env, &report.app, report.workload);
-        fs::create_dir_all(path.parent().expect("entry path has parent"))?;
-        let json = serde_json::to_string_pretty(&merged).map_err(|e| DbError::Corrupt {
-            path: path.clone(),
-            message: e.to_string(),
-        })?;
-        fs::write(&path, json)?;
+        write_json(&path, &merged)?;
+        if report.env == LINUX_ENV {
+            self.shared.record_artifact(
+                ns::BASELINES,
+                &baseline_key(&report.app, report.workload),
+                &merged,
+            );
+        } else {
+            self.shared.record_artifact(
+                ns::ENV,
+                &env_key(&report.env, &report.app, report.workload),
+                &merged,
+            );
+        }
         Ok(())
     }
 
@@ -166,17 +462,161 @@ impl Database {
         app: &str,
         workload: Workload,
     ) -> Result<Option<AppReport>, DbError> {
-        let path = self.entry_path(env, app, workload);
-        match fs::read_to_string(&path) {
-            Ok(text) => serde_json::from_str(&text)
-                .map(Some)
-                .map_err(|e| DbError::Corrupt {
-                    path,
-                    message: e.to_string(),
-                }),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(e.into()),
+        if env == LINUX_ENV {
+            if let Some(hit) = self.cached_entry(
+                &self.shared.baselines,
+                ns::BASELINES,
+                &baseline_key(app, workload),
+            ) {
+                return Ok(Some(hit));
+            }
         }
+        read_json(&self.entry_path(env, app, workload))
+    }
+
+    /// Serves one entry from a namespace's in-memory snapshot, if the
+    /// snapshot is generation-fresh and holds the key. Anything else
+    /// (no snapshot yet, stale, key absent) falls back to the JSON file
+    /// — files written out-of-band stay visible.
+    fn cached_entry<T: Clone>(
+        &self,
+        slot: &SnapshotSlot<T>,
+        namespace: &str,
+        key: &str,
+    ) -> Option<T> {
+        let guard = slot.lock().expect("snapshot lock");
+        let (generation, map) = guard.as_ref()?;
+        if *generation != self.shared.generation(namespace) {
+            return None;
+        }
+        map.get(key).cloned()
+    }
+
+    /// Bulk-loads a whole namespace: in-memory snapshot if fresh, else
+    /// the binary disk snapshot if its content-addressed state matches,
+    /// else a rebuild from the JSON tree (which also backfills the
+    /// manifest and rewrites the disk snapshot).
+    fn bulk<T>(
+        &self,
+        namespace: &'static str,
+        slot: &SnapshotSlot<T>,
+        rebuild: impl FnOnce() -> Result<Vec<(String, T)>, DbError>,
+    ) -> Result<Arc<BTreeMap<String, T>>, DbError>
+    where
+        T: Clone + serde::Serialize + serde::Deserialize,
+    {
+        let mut guard = slot.lock().expect("snapshot lock");
+        let generation = self.shared.generation(namespace);
+        if let Some((g, map)) = guard.as_ref() {
+            if *g == generation {
+                return Ok(Arc::clone(map));
+            }
+        }
+        let path = self
+            .shared
+            .root
+            .join("index")
+            .join(format!("{namespace}.bin"));
+        let expected = self.shared.namespace_state(namespace);
+        let decoded = snapshot::read(&path, expected).and_then(|entries| {
+            let mut map = BTreeMap::new();
+            for (key, value) in entries {
+                match T::from_value(&value) {
+                    Ok(t) => {
+                        map.insert(key, t);
+                    }
+                    // Undecodable snapshot (schema drift): rebuild.
+                    Err(_) => return None,
+                }
+            }
+            Some(map)
+        });
+        let map = match decoded {
+            Some(map) => map,
+            None => {
+                let entries = rebuild()?;
+                self.shared.adopt_outputs(namespace, &entries);
+                let map: BTreeMap<String, T> = entries.into_iter().collect();
+                let state = self.shared.namespace_state(namespace);
+                let encoded: Vec<(&String, serde::Value)> =
+                    map.iter().map(|(k, v)| (k, v.to_value())).collect();
+                // Best-effort: a failed snapshot write only costs the
+                // next rebuild.
+                let _ = snapshot::write(&path, state, encoded.iter().map(|(k, v)| (k.as_str(), v)));
+                map
+            }
+        };
+        let generation = self.shared.generation(namespace);
+        let map = Arc::new(map);
+        *guard = Some((generation, Arc::clone(&map)));
+        Ok(map)
+    }
+
+    fn bulk_baselines(&self) -> Result<Arc<BTreeMap<String, AppReport>>, DbError> {
+        self.bulk(ns::BASELINES, &self.shared.baselines, || {
+            let mut out = Vec::new();
+            for (app, workload) in self.list()? {
+                let path = self.entry_path(LINUX_ENV, &app, workload);
+                if let Some(report) = read_json::<AppReport>(&path)? {
+                    out.push((baseline_key(&app, workload), report));
+                }
+            }
+            Ok(out)
+        })
+    }
+
+    fn bulk_matrix(&self) -> Result<Arc<BTreeMap<String, MatrixCell>>, DbError> {
+        self.bulk(ns::MATRIX, &self.shared.matrix, || {
+            let mut out = Vec::new();
+            for (os, app, workload) in self.list_matrix_cells()? {
+                let path = self.matrix_path(&os, &app, workload);
+                if let Some(cell) = read_json::<MatrixCell>(&path)? {
+                    out.push((matrix_key(&os, &app, workload), cell));
+                }
+            }
+            Ok(out)
+        })
+    }
+
+    fn bulk_suites(&self) -> Result<Arc<BTreeMap<String, ConformanceSuite>>, DbError> {
+        self.bulk(ns::SUITES, &self.shared.suites, || {
+            let mut out = Vec::new();
+            for (os, app, workload) in self.list_suites()? {
+                let path = self.suite_path(&os, &app, workload);
+                if let Some(suite) = read_json::<ConformanceSuite>(&path)? {
+                    out.push((suite_key(&os, &app, workload), suite));
+                }
+            }
+            Ok(out)
+        })
+    }
+
+    fn bulk_statics(&self) -> Result<Arc<BTreeMap<String, StaticReport>>, DbError> {
+        self.bulk(ns::STATIC, &self.shared.statics, || {
+            let mut out = Vec::new();
+            for (level, app) in self.list_static()? {
+                let path = self.static_path(level, &app);
+                if let Some(report) = read_json::<StaticReport>(&path)? {
+                    out.push((static_key(level, &app), report));
+                }
+            }
+            Ok(out)
+        })
+    }
+
+    /// Warms every namespace snapshot (building binary indices as
+    /// needed) so subsequent point and bulk reads are served from
+    /// memory. Sweeps call this once up front.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt entries.
+    pub fn preload(&self) -> Result<(), DbError> {
+        self.bulk_baselines()?;
+        self.bulk_matrix()?;
+        self.bulk_suites()?;
+        self.bulk_statics()?;
+        Ok(())
     }
 
     /// Whether a full-Linux baseline entry for `(app, workload)` is
@@ -194,14 +634,12 @@ impl Database {
     ///
     /// I/O failures and corrupt entries.
     pub fn load_workload(&self, workload: Workload) -> Result<Vec<AppReport>, DbError> {
-        let mut out = Vec::new();
-        for (app, w) in self.list()? {
-            if w == workload {
-                if let Some(report) = self.load(&app, w)? {
-                    out.push(report);
-                }
-            }
-        }
+        let map = self.bulk_baselines()?;
+        let mut out: Vec<AppReport> = map
+            .values()
+            .filter(|r| r.workload == workload && r.is_linux_baseline())
+            .cloned()
+            .collect();
         out.sort_by(|a: &AppReport, b: &AppReport| a.app.cmp(&b.app));
         Ok(out)
     }
@@ -213,14 +651,17 @@ impl Database {
     /// I/O failures.
     pub fn list(&self) -> Result<Vec<(String, Workload)>, DbError> {
         let mut out = Vec::new();
-        for app_dir in fs::read_dir(&self.root)? {
+        for app_dir in fs::read_dir(&self.shared.root)? {
             let app_dir = app_dir?;
             if !app_dir.file_type()?.is_dir() {
                 continue;
             }
             let app = app_dir.file_name().to_string_lossy().into_owned();
             // Non-baseline namespaces sharing the root directory.
-            if matches!(app.as_str(), "env" | "plans" | "os" | "static" | "gentests") {
+            if matches!(
+                app.as_str(),
+                "env" | "plans" | "os" | "static" | "gentests" | "index"
+            ) {
                 continue;
             }
             for entry in fs::read_dir(app_dir.path())? {
@@ -242,15 +683,11 @@ impl Database {
     ///
     /// I/O failures and corrupt entries.
     pub fn requirements(&self, workload: Workload) -> Result<Vec<AppRequirement>, DbError> {
-        let mut out = Vec::new();
-        for (app, w) in self.list()? {
-            if w == workload {
-                if let Some(report) = self.load(&app, w)? {
-                    out.push(AppRequirement::from_report(&report));
-                }
-            }
-        }
-        Ok(out)
+        Ok(self
+            .load_workload(workload)?
+            .iter()
+            .map(AppRequirement::from_report)
+            .collect())
     }
 
     /// Stores a plan-validation verdict under
@@ -263,13 +700,14 @@ impl Database {
     ///
     /// I/O and serialisation failures.
     pub fn save_plan_validation(&self, validation: &PlanValidation) -> Result<(), DbError> {
+        let _writer = self.shared.write_lock.lock().expect("writer lock");
         let path = self.plan_path(&validation.os, validation.workload);
-        fs::create_dir_all(path.parent().expect("plan path has parent"))?;
-        let json = serde_json::to_string_pretty(validation).map_err(|e| DbError::Corrupt {
-            path: path.clone(),
-            message: e.to_string(),
-        })?;
-        fs::write(&path, json)?;
+        write_json(&path, validation)?;
+        self.shared.record_artifact(
+            ns::PLANS,
+            &plan_key(&validation.os, validation.workload),
+            validation,
+        );
         Ok(())
     }
 
@@ -283,17 +721,7 @@ impl Database {
         os: &str,
         workload: Workload,
     ) -> Result<Option<PlanValidation>, DbError> {
-        let path = self.plan_path(os, workload);
-        match fs::read_to_string(&path) {
-            Ok(text) => serde_json::from_str(&text)
-                .map(Some)
-                .map_err(|e| DbError::Corrupt {
-                    path,
-                    message: e.to_string(),
-                }),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(e.into()),
-        }
+        read_json(&self.plan_path(os, workload))
     }
 
     /// Lists `(os, workload)` pairs with stored plan validations.
@@ -302,7 +730,7 @@ impl Database {
     ///
     /// I/O failures.
     pub fn list_plan_validations(&self) -> Result<Vec<(String, Workload)>, DbError> {
-        let root = self.root.join("plans");
+        let root = self.shared.root.join("plans");
         let mut out = Vec::new();
         let entries = match fs::read_dir(&root) {
             Ok(entries) => entries,
@@ -329,7 +757,8 @@ impl Database {
     }
 
     fn plan_path(&self, os: &str, workload: Workload) -> PathBuf {
-        self.root
+        self.shared
+            .root
             .join("plans")
             .join(os)
             .join(format!("{}.json", workload.label()))
@@ -345,13 +774,14 @@ impl Database {
     ///
     /// I/O and serialisation failures.
     pub fn save_suite(&self, suite: &ConformanceSuite) -> Result<(), DbError> {
+        let _writer = self.shared.write_lock.lock().expect("writer lock");
         let path = self.suite_path(&suite.os, &suite.app, suite.workload);
-        fs::create_dir_all(path.parent().expect("suite path has parent"))?;
-        let json = serde_json::to_string_pretty(suite).map_err(|e| DbError::Corrupt {
-            path: path.clone(),
-            message: e.to_string(),
-        })?;
-        fs::write(&path, json)?;
+        write_json(&path, suite)?;
+        self.shared.record_artifact(
+            ns::SUITES,
+            &suite_key(&suite.os, &suite.app, suite.workload),
+            suite,
+        );
         Ok(())
     }
 
@@ -367,17 +797,14 @@ impl Database {
         app: &str,
         workload: Workload,
     ) -> Result<Option<ConformanceSuite>, DbError> {
-        let path = self.suite_path(os, app, workload);
-        match fs::read_to_string(&path) {
-            Ok(text) => serde_json::from_str(&text)
-                .map(Some)
-                .map_err(|e| DbError::Corrupt {
-                    path,
-                    message: e.to_string(),
-                }),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(e.into()),
+        if let Some(hit) = self.cached_entry(
+            &self.shared.suites,
+            ns::SUITES,
+            &suite_key(os, app, workload),
+        ) {
+            return Ok(Some(hit));
         }
+        read_json(&self.suite_path(os, app, workload))
     }
 
     /// Lists `(os, app, workload)` triples with stored conformance
@@ -387,7 +814,7 @@ impl Database {
     ///
     /// I/O failures.
     pub fn list_suites(&self) -> Result<Vec<(String, String, Workload)>, DbError> {
-        let root = self.root.join("gentests");
+        let root = self.shared.root.join("gentests");
         let mut out = Vec::new();
         let entries = match fs::read_dir(&root) {
             Ok(entries) => entries,
@@ -431,17 +858,15 @@ impl Database {
     ///
     /// I/O failures and corrupt entries.
     pub fn load_suites(&self) -> Result<Vec<ConformanceSuite>, DbError> {
-        let mut out = Vec::new();
-        for (os, app, workload) in self.list_suites()? {
-            if let Some(suite) = self.load_suite(&os, &app, workload)? {
-                out.push(suite);
-            }
-        }
+        let map = self.bulk_suites()?;
+        let mut out: Vec<ConformanceSuite> = map.values().cloned().collect();
+        out.sort_by(|a, b| (&a.os, &a.app, a.workload).cmp(&(&b.os, &b.app, b.workload)));
         Ok(out)
     }
 
     fn suite_path(&self, os: &str, app: &str, workload: Workload) -> PathBuf {
-        self.root
+        self.shared
+            .root
             .join("gentests")
             .join(os)
             .join(workload.label())
@@ -449,7 +874,8 @@ impl Database {
     }
 
     fn matrix_path(&self, os: &str, app: &str, workload: Workload) -> PathBuf {
-        self.root
+        self.shared
+            .root
             .join("env")
             .join(os)
             .join("matrix")
@@ -469,22 +895,42 @@ impl Database {
     ///
     /// I/O and serialisation failures.
     pub fn save_matrix_cell(&self, cell: &MatrixCell) -> Result<(), DbError> {
+        let _writer = self.shared.write_lock.lock().expect("writer lock");
+        self.save_matrix_cell_locked(cell, true)
+    }
+
+    /// Stores a matrix cell, *replacing* any stored cell instead of
+    /// composing tiers — the path taken when the stored cell's recorded
+    /// inputs no longer match (tiers measured against outdated inputs
+    /// must not survive into the fresh cell).
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialisation failures.
+    pub fn save_matrix_cell_replacing(&self, cell: &MatrixCell) -> Result<(), DbError> {
+        let _writer = self.shared.write_lock.lock().expect("writer lock");
+        self.save_matrix_cell_locked(cell, false)
+    }
+
+    fn save_matrix_cell_locked(&self, cell: &MatrixCell, compose: bool) -> Result<(), DbError> {
         let mut merged = cell.clone();
-        if let Some(existing) = self.load_matrix_cell(&cell.os, &cell.app, cell.workload)? {
-            if merged.vanilla.is_none() {
-                merged.vanilla = existing.vanilla;
-            }
-            if merged.planned.is_none() {
-                merged.planned = existing.planned;
+        if compose {
+            if let Some(existing) = self.load_matrix_cell(&cell.os, &cell.app, cell.workload)? {
+                if merged.vanilla.is_none() {
+                    merged.vanilla = existing.vanilla;
+                }
+                if merged.planned.is_none() {
+                    merged.planned = existing.planned;
+                }
             }
         }
         let path = self.matrix_path(&cell.os, &cell.app, cell.workload);
-        fs::create_dir_all(path.parent().expect("matrix path has parent"))?;
-        let json = serde_json::to_string_pretty(&merged).map_err(|e| DbError::Corrupt {
-            path: path.clone(),
-            message: e.to_string(),
-        })?;
-        fs::write(&path, json)?;
+        write_json(&path, &merged)?;
+        self.shared.record_artifact(
+            ns::MATRIX,
+            &matrix_key(&cell.os, &cell.app, cell.workload),
+            &merged,
+        );
         Ok(())
     }
 
@@ -499,17 +945,14 @@ impl Database {
         app: &str,
         workload: Workload,
     ) -> Result<Option<MatrixCell>, DbError> {
-        let path = self.matrix_path(os, app, workload);
-        match fs::read_to_string(&path) {
-            Ok(text) => serde_json::from_str(&text)
-                .map(Some)
-                .map_err(|e| DbError::Corrupt {
-                    path,
-                    message: e.to_string(),
-                }),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(e.into()),
+        if let Some(hit) = self.cached_entry(
+            &self.shared.matrix,
+            ns::MATRIX,
+            &matrix_key(os, app, workload),
+        ) {
+            return Ok(Some(hit));
         }
+        read_json(&self.matrix_path(os, app, workload))
     }
 
     /// Lists `(os, app, workload)` keys with stored matrix cells.
@@ -518,7 +961,7 @@ impl Database {
     ///
     /// I/O failures.
     pub fn list_matrix_cells(&self) -> Result<Vec<(String, String, Workload)>, DbError> {
-        let env_root = self.root.join("env");
+        let env_root = self.shared.root.join("env");
         let mut out = Vec::new();
         let oses = match fs::read_dir(&env_root) {
             Ok(entries) => entries,
@@ -564,12 +1007,8 @@ impl Database {
     ///
     /// I/O failures and corrupt entries.
     pub fn load_matrix(&self) -> Result<Vec<MatrixCell>, DbError> {
-        let mut out = Vec::new();
-        for (os, app, workload) in self.list_matrix_cells()? {
-            if let Some(cell) = self.load_matrix_cell(&os, &app, workload)? {
-                out.push(cell);
-            }
-        }
+        let map = self.bulk_matrix()?;
+        let mut out: Vec<MatrixCell> = map.values().cloned().collect();
         out.sort_by(|a, b| {
             (&a.os, &a.app, a.workload.label()).cmp(&(&b.os, &b.app, b.workload.label()))
         });
@@ -577,7 +1016,8 @@ impl Database {
     }
 
     fn static_path(&self, level: Level, app: &str) -> PathBuf {
-        self.root
+        self.shared
+            .root
             .join("static")
             .join(level.label())
             .join(format!("{app}.json"))
@@ -595,13 +1035,11 @@ impl Database {
     ///
     /// I/O and serialisation failures.
     pub fn save_static(&self, report: &StaticReport) -> Result<(), DbError> {
+        let _writer = self.shared.write_lock.lock().expect("writer lock");
         let path = self.static_path(report.level, &report.app);
-        fs::create_dir_all(path.parent().expect("static path has parent"))?;
-        let json = serde_json::to_string_pretty(report).map_err(|e| DbError::Corrupt {
-            path: path.clone(),
-            message: e.to_string(),
-        })?;
-        fs::write(&path, json)?;
+        write_json(&path, report)?;
+        self.shared
+            .record_artifact(ns::STATIC, &static_key(report.level, &report.app), report);
         Ok(())
     }
 
@@ -611,17 +1049,12 @@ impl Database {
     ///
     /// I/O failures and corrupt entries.
     pub fn load_static(&self, level: Level, app: &str) -> Result<Option<StaticReport>, DbError> {
-        let path = self.static_path(level, app);
-        match fs::read_to_string(&path) {
-            Ok(text) => serde_json::from_str(&text)
-                .map(Some)
-                .map_err(|e| DbError::Corrupt {
-                    path,
-                    message: e.to_string(),
-                }),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(e.into()),
+        if let Some(hit) =
+            self.cached_entry(&self.shared.statics, ns::STATIC, &static_key(level, app))
+        {
+            return Ok(Some(hit));
         }
+        read_json(&self.static_path(level, app))
     }
 
     /// Whether a static entry for `(level, app)` is stored.
@@ -635,14 +1068,9 @@ impl Database {
     ///
     /// I/O failures and corrupt entries.
     pub fn load_static_level(&self, level: Level) -> Result<Vec<StaticReport>, DbError> {
-        let mut out = Vec::new();
-        for (l, app) in self.list_static()? {
-            if l == level {
-                if let Some(report) = self.load_static(l, &app)? {
-                    out.push(report);
-                }
-            }
-        }
+        let map = self.bulk_statics()?;
+        let mut out: Vec<StaticReport> =
+            map.values().filter(|r| r.level == level).cloned().collect();
         out.sort_by(|a, b| a.app.cmp(&b.app));
         Ok(out)
     }
@@ -655,7 +1083,7 @@ impl Database {
     pub fn list_static(&self) -> Result<Vec<(Level, String)>, DbError> {
         let mut out = Vec::new();
         for level in Level::ALL {
-            let dir = self.root.join("static").join(level.label());
+            let dir = self.shared.root.join("static").join(level.label());
             let entries = match fs::read_dir(&dir) {
                 Ok(entries) => entries,
                 Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
@@ -678,7 +1106,7 @@ impl Database {
     ///
     /// I/O failures.
     pub fn save_os_spec(&self, spec: &OsSpec) -> Result<PathBuf, DbError> {
-        let dir = self.root.join("os");
+        let dir = self.shared.root.join("os");
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.csv", spec.name));
         fs::write(&path, spec.to_csv())?;
@@ -691,7 +1119,7 @@ impl Database {
     ///
     /// I/O failures and unknown syscalls in the file.
     pub fn load_os_spec(&self, name: &str) -> Result<Option<OsSpec>, DbError> {
-        let path = self.root.join("os").join(format!("{name}.csv"));
+        let path = self.shared.root.join("os").join(format!("{name}.csv"));
         match fs::read_to_string(&path) {
             Ok(text) => {
                 OsSpec::from_csv(name, "db", &text)
@@ -705,6 +1133,224 @@ impl Database {
             Err(e) => Err(e.into()),
         }
     }
+
+    // ----- cache manifest: provenance, currency, invalidation -----
+
+    /// Whether the artifact at `(namespace, key)` is *current*: it has
+    /// recorded provenance and every recorded input fingerprint equals
+    /// the freshly computed one. Artifacts without provenance (raw
+    /// saves, pre-manifest databases) are never current.
+    pub fn is_current(
+        &self,
+        namespace: &str,
+        key: &str,
+        inputs: &BTreeMap<String, Fingerprint>,
+    ) -> bool {
+        self.shared.with_manifest(|s| {
+            s.manifest
+                .records
+                .get(namespace)
+                .and_then(|records| records.get(key))
+                .and_then(|rec| rec.inputs.as_ref())
+                .is_some_and(|recorded| recorded == inputs)
+        })
+    }
+
+    /// Attaches provenance (and optional metadata) to an existing
+    /// artifact record — called by sweep stages right after a save, once
+    /// they know which inputs produced the artifact. A no-op if no
+    /// record exists.
+    pub fn record_provenance(
+        &self,
+        namespace: &str,
+        key: &str,
+        inputs: BTreeMap<String, Fingerprint>,
+        meta: BTreeMap<String, String>,
+    ) {
+        self.shared.with_manifest(|s| {
+            let Some(rec) = s
+                .manifest
+                .records
+                .get_mut(namespace)
+                .and_then(|records| records.get_mut(key))
+            else {
+                return;
+            };
+            if rec.inputs.as_ref() == Some(&inputs) && rec.meta == meta {
+                return;
+            }
+            rec.inputs = Some(inputs);
+            rec.meta = meta;
+            s.dirty = true;
+        });
+    }
+
+    /// The recorded output fingerprint of `(namespace, key)`, if any.
+    pub fn recorded_output(&self, namespace: &str, key: &str) -> Option<Fingerprint> {
+        self.shared.with_manifest(|s| {
+            s.manifest
+                .records
+                .get(namespace)
+                .and_then(|records| records.get(key))
+                .map(|rec| rec.output)
+        })
+    }
+
+    /// The recorded input fingerprints of `(namespace, key)`, if any.
+    pub fn recorded_inputs(
+        &self,
+        namespace: &str,
+        key: &str,
+    ) -> Option<BTreeMap<String, Fingerprint>> {
+        self.shared.with_manifest(|s| {
+            s.manifest
+                .records
+                .get(namespace)
+                .and_then(|records| records.get(key))
+                .and_then(|rec| rec.inputs.clone())
+        })
+    }
+
+    /// The recorded metadata of `(namespace, key)`, if a record exists.
+    pub fn recorded_meta(&self, namespace: &str, key: &str) -> Option<BTreeMap<String, String>> {
+        self.shared.with_manifest(|s| {
+            s.manifest
+                .records
+                .get(namespace)
+                .and_then(|records| records.get(key))
+                .map(|rec| rec.meta.clone())
+        })
+    }
+
+    /// Force-invalidates provenance: every record whose key matches the
+    /// given OS and/or app filters (both `None` = everything) loses its
+    /// inputs, so the next sweep re-measures it. Artifact files are
+    /// untouched. Returns `(namespace, records invalidated)` for every
+    /// tracked namespace.
+    pub fn invalidate_matching(&self, os: Option<&str>, app: Option<&str>) -> Vec<(String, usize)> {
+        self.shared.with_manifest(|s| {
+            let mut out = Vec::new();
+            for namespace in ns::ALL {
+                let mut count = 0;
+                if let Some(records) = s.manifest.records.get_mut(*namespace) {
+                    for (key, rec) in records.iter_mut() {
+                        if rec.inputs.is_none() || !key_matches(namespace, key, os, app) {
+                            continue;
+                        }
+                        rec.inputs = None;
+                        count += 1;
+                        s.dirty = true;
+                    }
+                }
+                out.push(((*namespace).to_owned(), count));
+            }
+            out
+        })
+    }
+
+    /// Per-namespace `(entries tracked, entries with provenance)` counts.
+    pub fn cache_entry_counts(&self) -> Vec<(String, usize, usize)> {
+        self.shared.with_manifest(|s| {
+            ns::ALL
+                .iter()
+                .map(|namespace| {
+                    let (total, with) = s
+                        .manifest
+                        .records
+                        .get(*namespace)
+                        .map(|records| {
+                            (
+                                records.len(),
+                                records.values().filter(|r| r.inputs.is_some()).count(),
+                            )
+                        })
+                        .unwrap_or((0, 0));
+                    ((*namespace).to_owned(), total, with)
+                })
+                .collect()
+        })
+    }
+
+    /// Records a cache hit for this session's counters.
+    pub fn note_hit(&self, namespace: &str) {
+        self.shared.stats.lock().expect("stats lock").hit(namespace);
+    }
+
+    /// Records a cache miss (nothing stored) for this session.
+    pub fn note_miss(&self, namespace: &str) {
+        self.shared
+            .stats
+            .lock()
+            .expect("stats lock")
+            .miss(namespace);
+    }
+
+    /// Records a stale recomputation (stored but outdated) for this
+    /// session.
+    pub fn note_stale(&self, namespace: &str) {
+        self.shared
+            .stats
+            .lock()
+            .expect("stats lock")
+            .stale(namespace);
+    }
+
+    /// This session's accumulated cache counters.
+    pub fn session_cache_stats(&self) -> CacheStats {
+        self.shared.stats.lock().expect("stats lock").clone()
+    }
+
+    /// Persists this session's counters as the manifest's "last sweep"
+    /// stats (shown by `loupe cache stats`) and flushes the manifest.
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialisation failures.
+    pub fn persist_sweep_stats(&self) -> Result<(), DbError> {
+        let stats = self.session_cache_stats();
+        self.shared.with_manifest(|s| {
+            if s.manifest.last_sweep.as_ref() != Some(&stats) {
+                s.manifest.last_sweep = Some(stats);
+                s.dirty = true;
+            }
+        });
+        self.flush()
+    }
+
+    /// The counters persisted by the last completed sweep, if any.
+    pub fn last_sweep_stats(&self) -> Option<CacheStats> {
+        self.shared.with_manifest(|s| s.manifest.last_sweep.clone())
+    }
+
+    /// Writes the manifest to disk if it changed. Also runs on drop;
+    /// call it explicitly when the error matters.
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialisation failures.
+    pub fn flush(&self) -> Result<(), DbError> {
+        self.shared.flush_manifest()
+    }
+}
+
+/// Whether a record key refers to the given OS and/or app, decoded per
+/// namespace key shape. A `None` filter matches everything; a set
+/// filter matches only namespaces whose keys carry that dimension
+/// (baselines have no OS, plans no app).
+fn key_matches(namespace: &str, key: &str, os: Option<&str>, app: Option<&str>) -> bool {
+    let mut segs = key.split('/');
+    let first = segs.next();
+    let second = segs.next();
+    let third = segs.next();
+    let (key_os, key_app) = match namespace {
+        ns::BASELINES => (None, first),
+        ns::ENV | ns::MATRIX => (first, second),
+        ns::SUITES => (first, third),
+        ns::STATIC => (None, second),
+        ns::PLANS => (first, None),
+        _ => (None, None),
+    };
+    os.is_none_or(|want| key_os == Some(want)) && app.is_none_or(|want| key_app == Some(want))
 }
 
 /// Conservative merge of two measurements of the same (app, workload):
@@ -1262,6 +1908,241 @@ mod tests {
         let dir = tmpdir("missing");
         let db = Database::open(&dir).unwrap();
         assert!(db.load("ghost", Workload::Benchmark).unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn provenance_lifecycle_tracks_saves_and_invalidation() {
+        let dir = tmpdir("provenance");
+        let db = Database::open(&dir).unwrap();
+        let report = sample_report();
+        let key = baseline_key(&report.app, report.workload);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("app".to_owned(), fingerprint_of(&report.app));
+
+        // Before any save: no record, nothing current.
+        assert!(db.recorded_output(ns::BASELINES, &key).is_none());
+        assert!(!db.is_current(ns::BASELINES, &key, &inputs));
+
+        // A raw save records the output but no provenance — the artifact
+        // exists, yet is not current until a stage attaches inputs.
+        db.save(&report).unwrap();
+        let output = db.recorded_output(ns::BASELINES, &key).unwrap();
+        assert_eq!(output, fingerprint_of(&report));
+        assert!(db.recorded_inputs(ns::BASELINES, &key).is_none());
+        assert!(!db.is_current(ns::BASELINES, &key, &inputs));
+
+        db.record_provenance(
+            ns::BASELINES,
+            &key,
+            inputs.clone(),
+            [("note".to_owned(), "x".to_owned())].into(),
+        );
+        assert!(db.is_current(ns::BASELINES, &key, &inputs));
+        assert_eq!(
+            db.recorded_inputs(ns::BASELINES, &key),
+            Some(inputs.clone())
+        );
+        assert_eq!(db.recorded_meta(ns::BASELINES, &key).unwrap()["note"], "x");
+        // Different inputs → not current.
+        let mut other = inputs.clone();
+        other.insert("extra".to_owned(), fingerprint_of(&1u64));
+        assert!(!db.is_current(ns::BASELINES, &key, &other));
+
+        // A subsequent save changes the content (merge doubles counts),
+        // so the provenance is wiped until re-attached.
+        db.save(&report).unwrap();
+        assert!(!db.is_current(ns::BASELINES, &key, &inputs));
+        assert_ne!(db.recorded_output(ns::BASELINES, &key), Some(output));
+
+        // Provenance survives a flush + reopen (manifest.json).
+        db.record_provenance(ns::BASELINES, &key, inputs.clone(), BTreeMap::new());
+        drop(db);
+        let db = Database::open(&dir).unwrap();
+        assert!(db.is_current(ns::BASELINES, &key, &inputs));
+
+        // Force-invalidation strips provenance without touching files.
+        let counts = db.invalidate_matching(None, Some(&report.app));
+        assert!(counts.contains(&(ns::BASELINES.to_owned(), 1)));
+        assert!(!db.is_current(ns::BASELINES, &key, &inputs));
+        assert!(db.load(&report.app, report.workload).unwrap().is_some());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn invalidation_filters_respect_key_shapes() {
+        assert!(key_matches(
+            ns::MATRIX,
+            "kerla/redis/health",
+            Some("kerla"),
+            None
+        ));
+        assert!(!key_matches(
+            ns::MATRIX,
+            "gvisor/redis/health",
+            Some("kerla"),
+            None
+        ));
+        assert!(key_matches(
+            ns::MATRIX,
+            "kerla/redis/health",
+            None,
+            Some("redis")
+        ));
+        assert!(key_matches(
+            ns::SUITES,
+            "kerla/health/redis",
+            Some("kerla"),
+            Some("redis")
+        ));
+        assert!(!key_matches(
+            ns::SUITES,
+            "kerla/health/redis",
+            None,
+            Some("health")
+        ));
+        assert!(key_matches(
+            ns::BASELINES,
+            "redis/health",
+            None,
+            Some("redis")
+        ));
+        // Baselines carry no OS dimension: an --os filter never hits them.
+        assert!(!key_matches(
+            ns::BASELINES,
+            "redis/health",
+            Some("kerla"),
+            None
+        ));
+        assert!(key_matches(ns::PLANS, "kerla/health", Some("kerla"), None));
+        assert!(!key_matches(ns::PLANS, "kerla/health", None, Some("redis")));
+        assert!(key_matches(ns::STATIC, "binary/redis", None, Some("redis")));
+        // No filters → everything matches.
+        assert!(key_matches(ns::MATRIX, "kerla/redis/health", None, None));
+    }
+
+    #[test]
+    fn concurrent_tier_saves_do_not_drop_a_tier() {
+        use loupe_plan::{MatrixCell, TierOutcome};
+        // Regression: save_matrix_cell composes read-modify-write; two
+        // concurrent single-tier saves used to be able to interleave so
+        // the second read missed the first write, dropping a tier.
+        let dir = tmpdir("race");
+        let db = Database::open(&dir).unwrap();
+        let base = MatrixCell {
+            os: "kerla".into(),
+            app: "redis".into(),
+            workload: Workload::HealthCheck,
+            linux_pass: true,
+            missing_required: loupe_syscalls::SysnoSet::new(),
+            vanilla: None,
+            planned: None,
+        };
+        for round in 0..16 {
+            let vanilla = MatrixCell {
+                app: format!("redis{round}"),
+                vanilla: Some(TierOutcome {
+                    pass: true,
+                    ..TierOutcome::default()
+                }),
+                ..base.clone()
+            };
+            let planned = MatrixCell {
+                app: format!("redis{round}"),
+                planned: Some(TierOutcome {
+                    pass: false,
+                    ..TierOutcome::default()
+                }),
+                ..base.clone()
+            };
+            let (db1, db2) = (db.clone(), db.clone());
+            let t1 = std::thread::spawn(move || db1.save_matrix_cell(&vanilla).unwrap());
+            let t2 = std::thread::spawn(move || db2.save_matrix_cell(&planned).unwrap());
+            t1.join().unwrap();
+            t2.join().unwrap();
+            let cell = db
+                .load_matrix_cell("kerla", &format!("redis{round}"), Workload::HealthCheck)
+                .unwrap()
+                .unwrap();
+            assert!(cell.vanilla.is_some(), "vanilla tier lost in round {round}");
+            assert!(cell.planned.is_some(), "planned tier lost in round {round}");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_snapshot_serves_bulk_reads_and_heals_on_corruption() {
+        use loupe_plan::{MatrixCell, TierOutcome};
+        let dir = tmpdir("binsnap");
+        let db = Database::open(&dir).unwrap();
+        let mut cells = Vec::new();
+        for app in ["alpha", "beta", "gamma"] {
+            let cell = MatrixCell {
+                os: "kerla".into(),
+                app: app.into(),
+                workload: Workload::Benchmark,
+                linux_pass: true,
+                missing_required: loupe_syscalls::SysnoSet::new(),
+                vanilla: Some(TierOutcome {
+                    pass: app != "beta",
+                    ..TierOutcome::default()
+                }),
+                planned: None,
+            };
+            db.save_matrix_cell(&cell).unwrap();
+            cells.push(cell);
+        }
+        let loaded = db.load_matrix().unwrap();
+        assert_eq!(loaded, cells);
+        let bin = dir.join("index").join("matrix.bin");
+        assert!(bin.is_file(), "bulk load materialises the binary index");
+        drop(db);
+
+        // A fresh process serves the same bytes from the snapshot.
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.load_matrix().unwrap(), cells);
+        drop(db);
+
+        // Corrupting the snapshot only costs a rebuild, never wrong data.
+        fs::write(&bin, b"LOUPEBINgarbage").unwrap();
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.load_matrix().unwrap(), cells);
+        drop(db);
+
+        // An out-of-band JSON edit is invisible while the snapshot still
+        // matches the manifest (documented limitation); the remedy —
+        // deleting the index — forces a rebuild that sees the new truth
+        // and clears the edited cell's provenance.
+        let db = Database::open(&dir).unwrap();
+        db.record_provenance(
+            ns::MATRIX,
+            &matrix_key("kerla", "beta", Workload::Benchmark),
+            BTreeMap::new(),
+            BTreeMap::new(),
+        );
+        drop(db);
+        let path = dir
+            .join("env")
+            .join("kerla")
+            .join("matrix")
+            .join("beta")
+            .join("bench.json");
+        let mut edited = cells[1].clone();
+        edited.linux_pass = false;
+        fs::write(&path, serde_json::to_string_pretty(&edited).unwrap()).unwrap();
+        fs::remove_file(&bin).unwrap();
+
+        let db = Database::open(&dir).unwrap();
+        let reloaded = db.load_matrix().unwrap();
+        assert_eq!(reloaded[1], edited, "rebuild sees the out-of-band edit");
+        assert!(
+            db.recorded_inputs(
+                ns::MATRIX,
+                &matrix_key("kerla", "beta", Workload::Benchmark)
+            )
+            .is_none(),
+            "rebuild clears provenance of out-of-band-edited artifacts"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 }

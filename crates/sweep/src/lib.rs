@@ -66,10 +66,40 @@ pub use statics::{
 use std::collections::BTreeMap;
 
 use loupe_apps::{AppModel, Workload};
-use loupe_core::{transfer_hints, AnalysisConfig, AppReport, Engine, FeatureClass, RunStats};
-use loupe_db::{Database, DbError};
+use loupe_core::{
+    fingerprint_of, transfer_hints, AnalysisConfig, AppReport, Engine, FeatureClass, Fingerprint,
+    RunStats,
+};
+use loupe_db::{ns, CacheStats, Database, DbError};
 use loupe_plan::{api_importance, AppRequirement, ImportancePoint};
 use loupe_syscalls::{Category, Sysno};
+
+/// Fingerprint of the analysis configuration *as a measurement input*:
+/// scheduling-only knobs (probe-scheduler jobs, replica parallelism) are
+/// normalised out because every worker count produces byte-identical
+/// reports — changing parallelism must never invalidate stored results.
+pub fn analysis_fingerprint(cfg: &AnalysisConfig) -> Fingerprint {
+    let mut canonical = cfg.clone();
+    canonical.jobs = 0;
+    canonical.parallel = false;
+    fingerprint_of(&canonical)
+}
+
+/// Input fingerprints of one baseline measurement, keyed by role — what
+/// the manifest compares to decide whether a stored baseline is current.
+/// Shared by the sweep driver and the CLI's single-app `analyze` path so
+/// both record identical provenance.
+pub fn baseline_inputs(
+    app: &dyn AppModel,
+    workload: Workload,
+    analysis: &AnalysisConfig,
+) -> BTreeMap<String, Fingerprint> {
+    let mut inputs = BTreeMap::new();
+    inputs.insert("app".to_owned(), fingerprint_of(&(app.spec(), app.code())));
+    inputs.insert("workload".to_owned(), fingerprint_of(&workload));
+    inputs.insert("config".to_owned(), analysis_fingerprint(analysis));
+    inputs
+}
 
 /// Cross-application knowledge transfer (§6 future work): the sweep
 /// measures a seed subset of the fleet in full, builds conservative
@@ -152,6 +182,9 @@ pub struct SweepSummary {
     /// The fleet × OS matrix section: populated by
     /// [`matrix::sweep_matrix`], `None` for a plain baseline sweep.
     pub matrix: Option<MatrixSummary>,
+    /// Cache hit/miss/stale counters accumulated on the database this
+    /// session (all stages sharing the `Database` handle contribute).
+    pub cache: CacheStats,
 }
 
 enum JobOutcome {
@@ -214,6 +247,13 @@ impl Sweep {
         let mut seen = std::collections::BTreeSet::new();
         apps.retain(|app| seen.insert(app.name().to_owned()));
 
+        // Warm the namespace snapshots up front so the per-job cache
+        // checks are memory lookups. Best-effort: a failure here only
+        // means jobs fall back to per-file reads.
+        if !apps.is_empty() {
+            let _ = db.preload();
+        }
+
         let jobs_for = |range: std::ops::Range<usize>| -> Vec<(usize, Workload)> {
             range
                 .flat_map(|a| self.cfg.workloads.iter().map(move |&w| (a, w)))
@@ -270,6 +310,7 @@ impl Sweep {
             reports: Vec::new(),
             runs: RunStats::default(),
             matrix: None,
+            cache: CacheStats::default(),
         };
         for outcome in outcomes {
             match outcome {
@@ -292,6 +333,7 @@ impl Sweep {
         summary.failures.sort_by(|a, b| {
             (a.app.as_str(), a.workload.label()).cmp(&(b.app.as_str(), b.workload.label()))
         });
+        summary.cache = db.session_cache_stats();
         Ok(summary)
     }
 
@@ -333,11 +375,28 @@ impl Sweep {
         workload: Workload,
         hints: &BTreeMap<Workload, BTreeMap<Sysno, FeatureClass>>,
     ) -> JobOutcome {
+        let key = loupe_db::baseline_key(app.name(), workload);
+        let inputs = baseline_inputs(app, workload, &self.cfg.analysis);
+        // Current = the stored entry's recorded input fingerprints match
+        // this job's. A stored entry with different (or unknown)
+        // provenance is *stale*: it is re-measured and replaced, because
+        // merging with content produced by other inputs would poison the
+        // fresh measurement.
+        let current = db.is_current(ns::BASELINES, &key, &inputs);
         let had_entry = match db.load(app.name(), workload) {
-            Ok(Some(cached)) if !self.cfg.force => return JobOutcome::Cached(cached),
+            Ok(Some(cached)) if current && !self.cfg.force => {
+                db.note_hit(ns::BASELINES);
+                return JobOutcome::Cached(cached);
+            }
             Ok(existing) => existing.is_some(),
             Err(e) => return JobOutcome::Db(e),
         };
+        let stale = had_entry && !current;
+        if stale {
+            db.note_stale(ns::BASELINES);
+        } else {
+            db.note_miss(ns::BASELINES);
+        }
         let empty = BTreeMap::new();
         let workload_hints = hints.get(&workload).unwrap_or(&empty);
         let report = match engine.analyze_with_hints(app, workload, workload_hints) {
@@ -350,12 +409,20 @@ impl Sweep {
                 })
             }
         };
-        if let Err(e) = db.save(&report) {
+        let saved = if stale {
+            db.save_replacing(&report)
+        } else {
+            db.save(&report)
+        };
+        if let Err(e) = saved {
             return JobOutcome::Db(e);
         }
-        if !had_entry {
-            // Nothing to merge with: the database now holds exactly this
-            // report, so skip the re-read.
+        if report.is_linux_baseline() {
+            db.record_provenance(ns::BASELINES, &key, inputs, BTreeMap::new());
+        }
+        if !had_entry || stale {
+            // The database now holds exactly this report (fresh save or
+            // replacement), so skip the re-read.
             return JobOutcome::Fresh(report);
         }
         // A forced re-measure merged conservatively with the stored entry;

@@ -25,8 +25,8 @@
 use std::collections::BTreeMap;
 
 use loupe_apps::{AppModel, Workload};
-use loupe_core::TestScript;
-use loupe_db::{Database, DbError};
+use loupe_core::{fingerprint_of, Fingerprint, TestScript};
+use loupe_db::{ns, Database, DbError};
 use loupe_plan::{measure_cell, os, AppRequirement, MatrixCell, OsSpec, Tier};
 use loupe_syscalls::Sysno;
 
@@ -194,20 +194,40 @@ pub fn sweep_matrix(
             ),
         );
     }
+    // Fingerprints are computed once per distinct input, not once per
+    // job: the cell inputs are the cross product of per-OS and per-app
+    // fingerprints, so a warm sweep's per-job cost is map lookups only.
+    let os_fps: BTreeMap<&str, Fingerprint> = cfg
+        .oses
+        .iter()
+        .map(|o| (o.name.as_str(), fingerprint_of(o)))
+        .collect();
+    let req_fps: BTreeMap<&(Workload, String), (Fingerprint, Fingerprint)> = reqs
+        .iter()
+        .map(|(key, (req, features))| (key, (fingerprint_of(req), fingerprint_of(features))))
+        .collect();
+
     struct Job<'a> {
         os: &'a OsSpec,
         req: &'a AppRequirement,
         baseline_features: &'a BTreeMap<String, bool>,
         workload: Workload,
+        inputs: BTreeMap<String, Fingerprint>,
     }
     let mut jobs = Vec::new();
     for os_spec in &cfg.oses {
-        for ((workload, _), (req, features)) in &reqs {
+        for (key, (req, features)) in &reqs {
+            let (req_fp, features_fp) = req_fps[key];
+            let mut inputs = BTreeMap::new();
+            inputs.insert("os".to_owned(), os_fps[os_spec.name.as_str()]);
+            inputs.insert("requirement".to_owned(), req_fp);
+            inputs.insert("features".to_owned(), features_fp);
             jobs.push(Job {
                 os: os_spec,
                 req,
                 baseline_features: features,
-                workload: *workload,
+                workload: key.0,
+                inputs,
             });
         }
     }
@@ -221,16 +241,34 @@ pub fn sweep_matrix(
 
     let script = TestScript::default();
     let workers = sweep.worker_count(jobs.len());
+    let measures_both = cfg.tier != Some(Tier::Vanilla);
     let needs = |cell: &MatrixCell| -> bool {
         // A cached cell satisfies the sweep only when it covers every
         // tier this configuration measures.
-        cell.vanilla.is_some() && (cfg.tier == Some(Tier::Vanilla) || cell.planned.is_some())
+        cell.vanilla.is_some() && (!measures_both || cell.planned.is_some())
     };
     let outcomes = pool::run_jobs(workers, &jobs, |job| {
-        match db.load_matrix_cell(&job.os.name, &job.req.app, job.workload) {
-            Ok(Some(cell)) if !cfg.sweep.force && needs(&cell) => return JobOut::Cached,
-            Ok(_) => {}
+        let key = loupe_db::matrix_key(&job.os.name, &job.req.app, job.workload);
+        let current = db.is_current(ns::MATRIX, &key, &job.inputs);
+        let stored = match db.load_matrix_cell(&job.os.name, &job.req.app, job.workload) {
+            Ok(Some(cell)) if current && !cfg.sweep.force && needs(&cell) => {
+                db.note_hit(ns::MATRIX);
+                return JobOut::Cached;
+            }
+            Ok(stored) => stored,
             Err(e) => return JobOut::Db(e),
+        };
+        // Stale = a cell exists but its recorded inputs no longer match
+        // (e.g. the OS profile or the app's baseline changed): the fresh
+        // measurement *replaces* it — tiers measured against outdated
+        // inputs must not survive tier composition. A current cell that
+        // merely lacks a tier (a prior `--tier vanilla` sweep) keeps its
+        // stored tiers and composes.
+        let stale = stored.is_some() && !current;
+        if stale {
+            db.note_stale(ns::MATRIX);
+        } else {
+            db.note_miss(ns::MATRIX);
         }
         let Some(model) = loupe_apps::registry::find(&job.req.app) else {
             return JobOut::Skipped(SweepFailure {
@@ -251,10 +289,25 @@ pub fn sweep_matrix(
             &script,
             Some(job.baseline_features),
         );
-        match db.save_matrix_cell(&cell) {
-            Ok(()) => JobOut::Fresh,
-            Err(e) => JobOut::Db(e),
+        let saved = if stale {
+            db.save_matrix_cell_replacing(&cell)
+        } else {
+            db.save_matrix_cell(&cell)
+        };
+        if let Err(e) = saved {
+            return JobOut::Db(e);
         }
+        // Coverage after this save: replaced cells hold what was just
+        // measured; composed cells keep any stored planned tier.
+        let covers_both =
+            measures_both || (!stale && stored.as_ref().is_some_and(|c| c.planned.is_some()));
+        let meta = [(
+            "tiers".to_owned(),
+            if covers_both { "both" } else { "vanilla" }.to_owned(),
+        )]
+        .into();
+        db.record_provenance(ns::MATRIX, &key, job.inputs.clone(), meta);
+        JobOut::Fresh
     });
 
     let mut matrix = MatrixSummary::default();
@@ -287,6 +340,7 @@ pub fn sweep_matrix(
         .collect();
     matrix.stats = aggregate(&cells, &os_sizes(&cfg.oses));
     summary.matrix = Some(matrix);
+    summary.cache = db.session_cache_stats();
     Ok(summary)
 }
 

@@ -4,10 +4,12 @@
 //! measurements so the generated `SUPPORT_PLANS.md` can show *validated*
 //! rather than merely *predicted* support.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use loupe_apps::{registry, Workload};
-use loupe_db::{Database, DbError};
+use loupe_core::fingerprint_of;
+use loupe_db::{ns, Database, DbError};
 use loupe_plan::{os, OsSpec, PlanValidation, PlanValidator, SupportPlan, ValidateError};
 
 /// Errors from a fleet-wide validation pass.
@@ -64,7 +66,27 @@ pub fn validate_plans(
         if reqs.is_empty() {
             continue;
         }
+        // One requirements fingerprint per workload, one OS fingerprint
+        // per spec: a validation is a deterministic replay of the plan
+        // generated from exactly these two inputs.
+        let reqs_fp = fingerprint_of(&reqs);
         for spec in oses {
+            let key = loupe_db::plan_key(&spec.name, workload);
+            let mut inputs = BTreeMap::new();
+            inputs.insert("os".to_owned(), fingerprint_of(spec));
+            inputs.insert("requirements".to_owned(), reqs_fp);
+            if db.is_current(ns::PLANS, &key, &inputs) {
+                if let Some(stored) = db.load_plan_validation(&spec.name, workload)? {
+                    db.note_hit(ns::PLANS);
+                    out.push(stored);
+                    continue;
+                }
+            }
+            if db.recorded_output(ns::PLANS, &key).is_some() {
+                db.note_stale(ns::PLANS);
+            } else {
+                db.note_miss(ns::PLANS);
+            }
             let plan = SupportPlan::generate(spec, &reqs);
             let validation = validator
                 .validate(&spec.supported, &plan, &reqs, workload, registry::find)
@@ -73,6 +95,7 @@ pub fn validate_plans(
                     error,
                 })?;
             db.save_plan_validation(&validation)?;
+            db.record_provenance(ns::PLANS, &key, inputs, BTreeMap::new());
             out.push(validation);
         }
     }

@@ -1,20 +1,26 @@
-//! The bounded worker pool shared by the sweep stages.
+//! The work-stealing worker pool shared by the sweep stages.
 //!
 //! Both the dynamic fleet sweep ([`crate::Sweep`]) and the static
 //! analysis stage ([`crate::statics`]) fan a job list out over a fixed
-//! number of worker threads. The pool guarantees two properties the
-//! stages rely on:
+//! number of worker threads. Jobs are dealt round-robin into per-worker
+//! deques; a worker drains its own deque from the front and, when empty,
+//! steals from the back of its neighbours'. Compared to the previous
+//! single shared counter, contention stays on the cold path (stealing
+//! only happens when a worker runs dry), and long-tailed jobs no longer
+//! serialise behind one hot mutex.
+//!
+//! The pool guarantees two properties the stages rely on:
 //!
 //! * **deterministic ordering** — job *i*'s outcome lands in slot *i*
 //!   of the returned vector regardless of worker count or scheduling;
 //! * **panic isolation** — a job that panics (e.g. a buggy app model)
 //!   yields `Err(panic message)` for *that job only*; the worker thread
-//!   and the slots mutex survive, and every other job still runs.
+//!   and the result slots survive, and every other job still runs.
 //!   Before this existed, one panicking model poisoned the slots mutex
 //!   and took the whole sweep down with an opaque `expect` failure.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Runs `f` over every job on `workers` threads, returning one slot per
@@ -32,32 +38,59 @@ where
     if jobs.is_empty() {
         return Vec::new();
     }
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<Result<R, String>>>> =
-        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let workers = workers.max(1).min(jobs.len());
+
+    // Round-robin deal: worker w owns jobs w, w+workers, w+2·workers…
+    // Every job index appears in exactly one deque and is removed
+    // exactly once (own pop or steal), so each slot is written once.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..jobs.len()).step_by(workers).collect()))
+        .collect();
+    // One mutex per slot instead of one around the whole vector: a
+    // result landing never contends with another worker's result.
+    let slots: Vec<Mutex<Option<Result<R, String>>>> =
+        (0..jobs.len()).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else {
+        for me in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Own work first (front), then steal from the victims'
+                // opposite end to minimise interference.
+                let mut found = queues[me].lock().expect("queue lock").pop_front();
+                if found.is_none() {
+                    for offset in 1..workers {
+                        let victim = (me + offset) % workers;
+                        if let Some(i) = queues[victim].lock().expect("queue lock").pop_back() {
+                            found = Some(i);
+                            break;
+                        }
+                    }
+                }
+                // Jobs never respawn: once every deque is empty the pool
+                // is drained and the worker can retire.
+                let Some(i) = found else {
                     break;
                 };
-                // The job body runs *outside* the slots lock, so even a
-                // panicking job cannot poison it; catch_unwind keeps the
-                // worker thread alive for the remaining jobs.
+                // The job body runs *outside* any lock, so even a
+                // panicking job cannot poison anything; catch_unwind
+                // keeps the worker alive for the remaining jobs.
                 let outcome =
-                    catch_unwind(AssertUnwindSafe(|| f(job))).map_err(|p| panic_message(&*p));
-                slots.lock().expect("no job runs under the slots lock")[i] = Some(outcome);
+                    catch_unwind(AssertUnwindSafe(|| f(&jobs[i]))).map_err(|p| panic_message(&*p));
+                *slots[i].lock().expect("no job runs under a slot lock") = Some(outcome);
             });
         }
     });
 
     slots
-        .into_inner()
-        .expect("no job runs under the slots lock")
         .into_iter()
-        .map(|o| o.expect("every job ran"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no job runs under a slot lock")
+                .expect("every job ran")
+        })
         .collect()
 }
 
@@ -106,5 +139,39 @@ mod tests {
     fn empty_job_list_is_empty() {
         let out: Vec<Result<(), String>> = run_jobs(4, &[] as &[u8], |_| ());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn idle_workers_steal_the_long_tail() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Worker 0 owns all the slow jobs under round-robin dealing with
+        // 2 workers (slow jobs sit at even indices). If stealing works,
+        // worker 1 must end up executing some of them; without stealing
+        // it would finish its fast half and retire.
+        let jobs: Vec<usize> = (0..32).collect();
+        let executed = AtomicUsize::new(0);
+        let out = run_jobs(2, &jobs, |&j| {
+            if j % 2 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            executed.fetch_add(1, Ordering::Relaxed);
+            j
+        });
+        assert_eq!(executed.load(Ordering::Relaxed), 32, "every job ran once");
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_results() {
+        let jobs: Vec<usize> = (0..41).collect();
+        let reference = run_jobs(1, &jobs, |&j| j * j);
+        for workers in [2, 3, 8, 64] {
+            let out = run_jobs(workers, &jobs, |&j| j * j);
+            for (a, b) in reference.iter().zip(out.iter()) {
+                assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+            }
+        }
     }
 }

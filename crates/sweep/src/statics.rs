@@ -24,8 +24,8 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use loupe_apps::{AppModel, Workload};
-use loupe_core::AppReport;
-use loupe_db::{Database, DbError};
+use loupe_core::{fingerprint_of, AppReport};
+use loupe_db::{ns, Database, DbError};
 use loupe_plan::{importance_fractions, os, AppRequirement, SupportPlan};
 use loupe_static::{api_importance, Level, StaticReport};
 use loupe_syscalls::{Sysno, SysnoSet};
@@ -68,6 +68,14 @@ pub fn sweep_static(
         .collect();
     let workers = effective_workers(workers, jobs.len());
 
+    // Static analysis is a pure function of the app's code descriptor,
+    // so the input set is the app fingerprint alone — computed once per
+    // app, not once per (app, level) job.
+    let app_fps: Vec<loupe_core::Fingerprint> = apps
+        .iter()
+        .map(|app| fingerprint_of(&(app.spec(), app.code())))
+        .collect();
+
     enum JobOut {
         Fresh(StaticReport),
         Cached(StaticReport),
@@ -76,14 +84,29 @@ pub fn sweep_static(
 
     let outcomes = pool::run_jobs(workers, &jobs, |&(app_idx, level)| {
         let app = apps[app_idx].as_ref();
-        match db.load_static(level, app.name()) {
-            Ok(Some(cached)) if !force => return JobOut::Cached(cached),
-            Ok(_) => {}
+        let key = loupe_db::static_key(level, app.name());
+        let mut inputs = std::collections::BTreeMap::new();
+        inputs.insert("app".to_owned(), app_fps[app_idx]);
+        let current = db.is_current(ns::STATIC, &key, &inputs);
+        let had_entry = match db.load_static(level, app.name()) {
+            Ok(Some(cached)) if current && !force => {
+                db.note_hit(ns::STATIC);
+                return JobOut::Cached(cached);
+            }
+            Ok(existing) => existing.is_some(),
             Err(e) => return JobOut::Db(e),
+        };
+        if had_entry && !current {
+            db.note_stale(ns::STATIC);
+        } else {
+            db.note_miss(ns::STATIC);
         }
         let report = level.analyzer().analyze(app);
         match db.save_static(&report) {
-            Ok(()) => JobOut::Fresh(report),
+            Ok(()) => {
+                db.record_provenance(ns::STATIC, &key, inputs, Default::default());
+                JobOut::Fresh(report)
+            }
             Err(e) => JobOut::Db(e),
         }
     });
