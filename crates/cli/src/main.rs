@@ -16,6 +16,8 @@
 //! loupe cache stats                   # incremental-cache manifest + sweep counters
 //! loupe cache invalidate --os kerla   # force re-measurement of one OS's cells
 //! loupe plan --os kerla --validate     # replay the plan on a restricted kernel
+//! loupe serve --db DIR                # query daemon over the sharded in-memory index
+//! loupe query --os kerla --app redis  # ask a daemon (or --offline: the db directly)
 //! loupe os-list                       # curated OS support specs
 //! loupe importance [--workload bench] # Fig. 3-style ranking
 //! loupe trace -- /bin/echo hello      # real ptrace backend
@@ -52,6 +54,8 @@ fn main() -> ExitCode {
         "gentests" => cmd_gentests(rest),
         "cache" => cmd_cache(rest),
         "plan" => cmd_plan(rest),
+        "serve" => cmd_serve(rest),
+        "query" => cmd_query(rest),
         "os-list" => cmd_os_list(),
         "importance" => cmd_importance(rest),
         "trace" => cmd_trace(rest),
@@ -148,6 +152,33 @@ commands:
                                       kernel (fails unless every step unlocks its
                                       app at step k and not at k-1); with --db the
                                       verdict is persisted for `loupe report`
+  serve                        long-running query daemon: loads the db once,
+                               compiles it into sharded in-memory verdict
+                               indices and answers length-prefixed JSON
+                               queries over TCP (protocol: docs/SERVING.md)
+      --db DIR                        database directory (default: target/loupedb)
+      --addr A                        bind address (default: 127.0.0.1:7071;
+                                      port 0 picks a free port)
+      --threads N                     max concurrent connections (default: 1024)
+      --batch-window-us N             verdict coalescing window in microseconds
+                                      (default: 50; 0 disables batching)
+      --watch-ms N                    db-change poll interval in milliseconds
+                                      (default: 200; 0 disables the watcher)
+      --eager                         build the plan/inverted-syscall tables at
+                                      startup instead of on first query
+  query                        ask a running daemon one question
+      --addr A                        daemon address (default: 127.0.0.1:7071)
+      --os X --app Y                  compatibility verdict (the default mode)
+      --workload health|bench|suite   (default: health)
+      --tier vanilla|planned          (default: planned)
+      --summary                       fleet pass-rate summary instead
+      --missing                       top syscalls blocking apps on --os
+      --limit N                       rows for --missing (default: 10)
+      --plan                          cheapest support plan for --os
+      --apps-requiring <syscall>      apps whose required set contains it
+      --json                          print the raw response JSON
+      --offline                       answer from --db DIR directly (no daemon;
+                                      same resolution code, default db above)
   os-list                      show the curated OS support specs
   importance                   rank syscalls by how many apps require them
       --workload health|bench|suite   (default: health)
@@ -934,6 +965,204 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
                 validation.steps.len() + validation.initial.len()
             ));
         }
+    }
+    Ok(())
+}
+
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7071";
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let db_dir = flag_value(args, "--db").unwrap_or(DEFAULT_DB);
+    let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_SERVE_ADDR);
+    let threads = flag_value(args, "--threads")
+        .map(|v| v.parse::<usize>().map_err(|_| "bad --threads".to_owned()))
+        .transpose()?
+        .unwrap_or(1024);
+    let batch_us = flag_value(args, "--batch-window-us")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| "bad --batch-window-us".to_owned())
+        })
+        .transpose()?
+        .unwrap_or(50);
+    let watch_ms = flag_value(args, "--watch-ms")
+        .map(|v| v.parse::<u64>().map_err(|_| "bad --watch-ms".to_owned()))
+        .transpose()?
+        .unwrap_or(200);
+    let cfg = loupe_serve::ServeConfig {
+        addr: addr.to_owned(),
+        threads,
+        batch_window: std::time::Duration::from_micros(batch_us),
+        watch_interval: std::time::Duration::from_millis(watch_ms),
+        eager: args.iter().any(|a| a == "--eager"),
+    };
+    let server = loupe_serve::Server::start(db_dir, cfg).map_err(|e| e.to_string())?;
+    // Scripted clients parse this line for the resolved port.
+    println!("listening on {}", server.local_addr());
+    println!("serving {db_dir} (batch window {batch_us}us, watch {watch_ms}ms); ^C to stop");
+    // The daemon runs until killed; its accept/batcher/watcher threads
+    // do all the work.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Builds the protocol request the `query` flags describe.
+fn build_query(args: &[String]) -> Result<loupe_serve::Request, String> {
+    let mut request = loupe_serve::Request {
+        os: flag_value(args, "--os").map(str::to_owned),
+        app: flag_value(args, "--app").map(str::to_owned),
+        workload: flag_value(args, "--workload").map(str::to_owned),
+        tier: flag_value(args, "--tier").map(str::to_owned),
+        limit: flag_value(args, "--limit")
+            .map(|v| v.parse::<u64>().map_err(|_| "bad --limit".to_owned()))
+            .transpose()?,
+        ..Default::default()
+    };
+    request.cmd = if args.iter().any(|a| a == "--summary") {
+        "summary"
+    } else if args.iter().any(|a| a == "--missing") {
+        "missing"
+    } else if args.iter().any(|a| a == "--plan") {
+        "plan"
+    } else if let Some(syscall) = flag_value(args, "--apps-requiring") {
+        request.syscall = Some(syscall.to_owned());
+        "apps"
+    } else if request.os.is_some() || request.app.is_some() {
+        "verdict"
+    } else {
+        return Err("query: pass --os X --app Y, or one of \
+                    --summary/--missing/--plan/--apps-requiring"
+            .into());
+    }
+    .to_owned();
+    Ok(request)
+}
+
+fn print_query_response(request: &loupe_serve::Request, response: &loupe_serve::Response) {
+    match request.cmd.as_str() {
+        "verdict" => {
+            let Some(v) = &response.verdict else { return };
+            let outcome = if !v.known {
+                "UNMEASURED (no stored matrix cell)"
+            } else if v.pass {
+                "PASS"
+            } else {
+                "FAIL"
+            };
+            println!(
+                "{} on {} ({} workload, {} tier): {outcome}",
+                v.app, v.os, v.workload, v.tier
+            );
+            if v.known {
+                println!(
+                    "  linux reference: {}",
+                    if v.linux_pass { "pass" } else { "fail" }
+                );
+                if let Some(rejection) = &v.first_rejection {
+                    println!("  first rejection: {rejection}");
+                }
+                if !v.missing_required.is_empty() {
+                    println!(
+                        "  missing required ({}): {}",
+                        v.missing_required.len(),
+                        v.missing_required.join(", ")
+                    );
+                }
+            }
+        }
+        "summary" => {
+            println!(
+                "{:<14} {:<7} {:>8} {:>5} {:>6} {:>8} {:>10}",
+                "OS", "WORK", "SYSCALLS", "APPS", "LINUX", "VANILLA", "WITH PLAN"
+            );
+            for row in &response.summary {
+                println!(
+                    "{:<14} {:<7} {:>8} {:>5} {:>6} {:>8} {:>10}",
+                    row.os,
+                    row.workload,
+                    row.syscalls,
+                    row.apps,
+                    row.linux_pass,
+                    row.vanilla_pass,
+                    row.planned_pass
+                );
+            }
+        }
+        "missing" => {
+            println!("{:<22} {:>12}", "SYSCALL", "BLOCKED APPS");
+            for row in &response.missing {
+                println!("{:<22} {:>12}", row.syscall, row.blocked_apps);
+            }
+        }
+        "plan" => {
+            let Some(plan) = &response.plan else { return };
+            println!(
+                "support plan for {} ({} workload): {} apps out of the box, {} steps",
+                plan.os,
+                plan.workload,
+                plan.initially_supported.len(),
+                plan.steps.len()
+            );
+            for step in &plan.steps {
+                println!(
+                    "  {:>2}. implement {:>3}, stub {:>3}, fake {:>3} -> unlocks {}",
+                    step.index,
+                    step.implement.len(),
+                    step.stub.len(),
+                    step.fake.len(),
+                    step.unlocks
+                );
+            }
+        }
+        "apps" => {
+            for app in &response.apps {
+                println!("{app}");
+            }
+        }
+        _ => {}
+    }
+    if let Some(generation) = response.generation {
+        eprintln!("(index generation {generation})");
+    }
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let request = build_query(args)?;
+    let response = if args.iter().any(|a| a == "--offline") {
+        // No daemon: load the database and resolve against a
+        // freshly built index — the same code the daemon runs.
+        let db_dir = flag_value(args, "--db").unwrap_or(DEFAULT_DB);
+        let db = Database::open(db_dir).map_err(|e| e.to_string())?;
+        let index = loupe_serve::ServeIndex::build(db, 0).map_err(|e| e.to_string())?;
+        index.answer(&request)
+    } else {
+        let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_SERVE_ADDR);
+        let mut client = loupe_serve::Client::connect(addr).map_err(|e| {
+            format!(
+                "query: cannot reach a daemon at {addr}: {e} \
+                 (start one with `loupe serve`, or pass --offline)"
+            )
+        })?;
+        client
+            .set_timeout(std::time::Duration::from_secs(30))
+            .map_err(|e| e.to_string())?;
+        client.request(&request).map_err(|e| e.to_string())?
+    };
+    if args.iter().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
+        );
+    }
+    if !response.ok {
+        return Err(format!(
+            "query: {}",
+            response.error.as_deref().unwrap_or("request failed")
+        ));
+    }
+    if !args.iter().any(|a| a == "--json") {
+        print_query_response(&request, &response);
     }
     Ok(())
 }

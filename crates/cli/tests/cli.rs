@@ -103,6 +103,168 @@ fn gentests_generates_a_suite_then_check_mode_finds_it_fresh() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// One measured cell to query: kerla x hello-musl-static x health.
+fn seed_queryable_db(dir: &std::path::Path) {
+    let out = loupe()
+        .args([
+            "sweep",
+            "--os",
+            "kerla",
+            "--workload",
+            "health",
+            "--apps",
+            "hello-musl-static",
+            "--db",
+        ])
+        .arg(dir)
+        .output()
+        .expect("spawn loupe");
+    assert!(
+        out.status.success(),
+        "seed sweep: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn query_offline_answers_verdicts_and_rejects_unknown_names() {
+    let dir = tmpdir("query-offline");
+    seed_queryable_db(&dir);
+
+    let query = |extra: &[&str]| {
+        let mut cmd = loupe();
+        cmd.args(["query", "--offline", "--db"])
+            .arg(&dir)
+            .args(extra);
+        cmd.output().expect("spawn loupe")
+    };
+
+    let out = query(&[
+        "--os",
+        "kerla",
+        "--app",
+        "hello-musl-static",
+        "--workload",
+        "health",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("hello-musl-static on kerla"),
+        "verdict line: {stdout}"
+    );
+
+    // Unknown OS and app names exit non-zero, naming the offender.
+    for (extra, offender) in [
+        (
+            ["--os", "atlantis", "--app", "hello-musl-static"].as_slice(),
+            "atlantis",
+        ),
+        (["--os", "kerla", "--app", "doom"].as_slice(), "doom"),
+        (
+            [
+                "--os",
+                "kerla",
+                "--app",
+                "hello-musl-static",
+                "--tier",
+                "sideways",
+            ]
+            .as_slice(),
+            "sideways",
+        ),
+    ] {
+        let out = query(extra);
+        assert!(!out.status.success(), "{extra:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(offender),
+            "stderr names `{offender}`: {stderr}"
+        );
+    }
+
+    // Modes: summary and missing resolve against the same db.
+    let out = query(&["--summary"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("kerla"));
+    let out = query(&["--missing", "--os", "kerla"]);
+    assert!(out.status.success());
+
+    // No mode and no os/app: usage error.
+    let out = query(&[]);
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_daemon_answers_the_query_command() {
+    use std::io::BufRead;
+
+    let dir = tmpdir("serve-daemon");
+    seed_queryable_db(&dir);
+
+    let mut daemon = loupe()
+        .args(["serve", "--addr", "127.0.0.1:0", "--db"])
+        .arg(&dir)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let stdout = daemon.stdout.take().expect("daemon stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let first = lines
+        .next()
+        .expect("daemon prints its address")
+        .expect("readable stdout");
+    let addr = first
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {first}"))
+        .to_owned();
+
+    let query = |extra: &[&str]| {
+        let mut cmd = loupe();
+        cmd.args(["query", "--addr", &addr]).args(extra);
+        cmd.output().expect("spawn loupe")
+    };
+
+    let out = query(&[
+        "--os",
+        "kerla",
+        "--app",
+        "hello-musl-static",
+        "--workload",
+        "health",
+        "--tier",
+        "vanilla",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("hello-musl-static on kerla"),
+        "verdict line: {stdout}"
+    );
+
+    let out = query(&["--os", "kerla", "--app", "doom"]);
+    assert!(!out.status.success(), "unknown app over the wire fails");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("doom"));
+
+    let out = query(&["--summary", "--json"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"ok\": true"));
+
+    daemon.kill().ok();
+    daemon.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn matrix_sweep_of_one_app_exits_zero_and_reports_rates() {
     let dir = tmpdir("matrix-ok");

@@ -47,18 +47,24 @@ use loupe_gentests::ConformanceSuite;
 use loupe_plan::{AppRequirement, MatrixCell, OsSpec, PlanValidation};
 use loupe_static::{Level, StaticReport};
 
+pub mod lock;
 pub mod manifest;
-mod snapshot;
+pub mod snapshot;
 
+pub use lock::{FileLock, LOCK_FILE};
 pub use manifest::{ns, ArtifactRecord, CacheCounters, CacheStats, Manifest, MANIFEST_VERSION};
 
 /// A directory-backed measurement database.
 ///
 /// Cloning is cheap and clones share one in-process state (manifest,
 /// snapshots, writer lock), so a `Database` can be handed to worker
-/// threads freely. Open one `Database` per root per process: two
-/// independent `open()`s of the same root keep independent manifests
-/// and can overwrite each other's provenance on flush.
+/// threads freely. Writers are additionally serialised *across
+/// processes* by an advisory file lock ([`lock`]), so concurrent
+/// read-modify-write saves from two processes can never drop each
+/// other's data. Provenance is still per-process: two independent
+/// `open()`s of the same root keep independent manifests and the last
+/// flush wins (derived data — the cost is re-measurement, never
+/// corruption, since the flush itself is atomic).
 pub struct Database {
     shared: Arc<Shared>,
 }
@@ -79,9 +85,27 @@ impl fmt::Debug for Database {
     }
 }
 
-/// In-memory snapshot of one namespace: the manifest generation it was
-/// loaded at, plus the decoded entries keyed by artifact key.
-type SnapshotSlot<T> = Mutex<Option<(u64, Arc<BTreeMap<String, T>>)>>;
+/// In-memory snapshot cache of one namespace, keyed by the manifest
+/// generation it reflects.
+type SnapshotSlot<T> = Mutex<SlotState<T>>;
+
+/// What the process currently knows about one namespace's snapshot.
+/// The states form a ladder — `Empty` → (`Unavailable` | `Mapped`) →
+/// `Decoded` — climbed lazily: a point read maps the disk snapshot and
+/// decodes single values out of it; only a bulk read pays for decoding
+/// the whole namespace. Any generation bump resets the ladder.
+enum SlotState<T> {
+    /// Nothing learned yet.
+    Empty,
+    /// No usable disk snapshot at this generation — point reads go
+    /// straight to the JSON files without re-probing the index.
+    Unavailable(u64),
+    /// Disk snapshot memory-mapped and validated; values decode
+    /// per-key on demand.
+    Mapped(u64, snapshot::MappedSnapshot),
+    /// Whole namespace decoded into memory.
+    Decoded(u64, Arc<BTreeMap<String, T>>),
+}
 
 struct Shared {
     root: PathBuf,
@@ -89,7 +113,8 @@ struct Shared {
     stats: Mutex<CacheStats>,
     /// Single-writer guard: every save composes read-modify-write
     /// (merge / tier composition), so writers must exclude each other.
-    /// In-process only — see KNOWN_ISSUES.md.
+    /// Extended across processes by the advisory [`lock::FileLock`]
+    /// taken with it (see [`Shared::lock_writers`]).
     write_lock: Mutex<()>,
     baselines: SnapshotSlot<AppReport>,
     matrix: SnapshotSlot<MatrixCell>,
@@ -102,12 +127,38 @@ struct ManifestState {
     /// Monotonic per-namespace counters, bumped whenever a namespace's
     /// content changes — the freshness signal for in-memory snapshots.
     generations: BTreeMap<String, u64>,
+    /// Memoised [`Shared::namespace_state`] per namespace, valid for
+    /// the generation it was computed at. Point reads consult the
+    /// state on every snapshot probe; without the memo each probe
+    /// would re-hash the whole record table.
+    state_memo: BTreeMap<String, (u64, Fingerprint)>,
     dirty: bool,
+}
+
+/// Both writer guards held together: the in-process mutex and the
+/// cross-process advisory file lock. Acquired in that order everywhere
+/// (process mutex, then file lock, then the manifest mutex as needed)
+/// so writers can never deadlock.
+struct WriteGuard<'a> {
+    _process: std::sync::MutexGuard<'a, ()>,
+    _file: lock::FileLock,
 }
 
 impl Shared {
     fn manifest_path(&self) -> PathBuf {
         self.root.join("manifest.json")
+    }
+
+    /// Excludes every other database writer — threads of this process
+    /// via the mutex, other processes via `flock` on the root's lock
+    /// file — for the duration of the returned guard.
+    fn lock_writers(&self) -> Result<WriteGuard<'_>, DbError> {
+        let process = self.write_lock.lock().expect("writer lock");
+        let file = lock::FileLock::acquire(&self.root)?;
+        Ok(WriteGuard {
+            _process: process,
+            _file: file,
+        })
     }
 
     fn with_manifest<R>(&self, f: impl FnOnce(&mut ManifestState) -> R) -> R {
@@ -125,6 +176,12 @@ impl Shared {
     /// boundaries.
     fn namespace_state(&self, namespace: &str) -> Fingerprint {
         self.with_manifest(|s| {
+            let generation = s.generations.get(namespace).copied().unwrap_or(0);
+            if let Some((g, fp)) = s.state_memo.get(namespace) {
+                if *g == generation {
+                    return *fp;
+                }
+            }
             let pairs: Vec<(String, String)> = s
                 .manifest
                 .records
@@ -136,7 +193,9 @@ impl Shared {
                         .collect()
                 })
                 .unwrap_or_default();
-            fingerprint_of(&pairs)
+            let fp = fingerprint_of(&pairs);
+            s.state_memo.insert(namespace.to_owned(), (generation, fp));
+            fp
         })
     }
 
@@ -204,6 +263,14 @@ impl Shared {
     }
 
     fn flush_manifest(&self) -> Result<(), DbError> {
+        if self.with_manifest(|s| !s.dirty) {
+            return Ok(());
+        }
+        // File lock before the manifest mutex (the writer ordering), and
+        // an atomic temp-file + rename so a concurrent reader — a serve
+        // daemon polling for generation changes — can never observe a
+        // torn manifest.
+        let _file = lock::FileLock::acquire(&self.root)?;
         let path = self.manifest_path();
         self.with_manifest(|s| {
             if !s.dirty {
@@ -213,7 +280,9 @@ impl Shared {
                 path: path.clone(),
                 message: e.to_string(),
             })?;
-            fs::write(&path, json)?;
+            let tmp = path.with_extension("json.tmp");
+            fs::write(&tmp, json)?;
+            fs::rename(&tmp, &path)?;
             s.dirty = false;
             Ok(())
         })
@@ -345,14 +414,15 @@ impl Database {
                 manifest: Mutex::new(ManifestState {
                     manifest,
                     generations: BTreeMap::new(),
+                    state_memo: BTreeMap::new(),
                     dirty: false,
                 }),
                 stats: Mutex::new(CacheStats::default()),
                 write_lock: Mutex::new(()),
-                baselines: Mutex::new(None),
-                matrix: Mutex::new(None),
-                suites: Mutex::new(None),
-                statics: Mutex::new(None),
+                baselines: Mutex::new(SlotState::Empty),
+                matrix: Mutex::new(SlotState::Empty),
+                suites: Mutex::new(SlotState::Empty),
+                statics: Mutex::new(SlotState::Empty),
             }),
         })
     }
@@ -386,7 +456,7 @@ impl Database {
     ///
     /// I/O and serialisation failures.
     pub fn save(&self, report: &AppReport) -> Result<(), DbError> {
-        let _writer = self.shared.write_lock.lock().expect("writer lock");
+        let _writer = self.shared.lock_writers()?;
         self.save_report_locked(report, true)
     }
 
@@ -399,7 +469,7 @@ impl Database {
     ///
     /// I/O and serialisation failures.
     pub fn save_replacing(&self, report: &AppReport) -> Result<(), DbError> {
-        let _writer = self.shared.write_lock.lock().expect("writer lock");
+        let _writer = self.shared.lock_writers()?;
         self.save_report_locked(report, false)
     }
 
@@ -474,22 +544,49 @@ impl Database {
         read_json(&self.entry_path(env, app, workload))
     }
 
-    /// Serves one entry from a namespace's in-memory snapshot, if the
-    /// snapshot is generation-fresh and holds the key. Anything else
-    /// (no snapshot yet, stale, key absent) falls back to the JSON file
-    /// — files written out-of-band stay visible.
-    fn cached_entry<T: Clone>(
+    /// On-disk binary index of one namespace.
+    fn index_path(&self, namespace: &str) -> PathBuf {
+        self.shared
+            .root
+            .join("index")
+            .join(format!("{namespace}.bin"))
+    }
+
+    /// Serves one entry from a namespace's snapshot if one is fresh
+    /// and holds the key. The first point read at a generation lazily
+    /// *maps* the disk snapshot (no value decode) and subsequent reads
+    /// decode single values out of the mapping; a full decode only
+    /// happens on bulk loads. Anything else (no snapshot, stale, key
+    /// absent, malformed value) falls back to the JSON file — files
+    /// written out-of-band stay visible.
+    fn cached_entry<T: Clone + serde::Deserialize>(
         &self,
         slot: &SnapshotSlot<T>,
         namespace: &str,
         key: &str,
     ) -> Option<T> {
-        let guard = slot.lock().expect("snapshot lock");
-        let (generation, map) = guard.as_ref()?;
-        if *generation != self.shared.generation(namespace) {
-            return None;
+        let mut guard = slot.lock().expect("snapshot lock");
+        let generation = self.shared.generation(namespace);
+        match &*guard {
+            SlotState::Decoded(g, map) if *g == generation => return map.get(key).cloned(),
+            SlotState::Mapped(g, snap) if *g == generation => {
+                return snap.get(key).and_then(|v| T::from_value(&v).ok());
+            }
+            SlotState::Unavailable(g) if *g == generation => return None,
+            _ => {}
         }
-        map.get(key).cloned()
+        let expected = self.shared.namespace_state(namespace);
+        match snapshot::MappedSnapshot::open(&self.index_path(namespace), expected) {
+            Some(snap) => {
+                let hit = snap.get(key).and_then(|v| T::from_value(&v).ok());
+                *guard = SlotState::Mapped(generation, snap);
+                hit
+            }
+            None => {
+                *guard = SlotState::Unavailable(generation);
+                None
+            }
+        }
     }
 
     /// Bulk-loads a whole namespace: in-memory snapshot if fresh, else
@@ -507,18 +604,20 @@ impl Database {
     {
         let mut guard = slot.lock().expect("snapshot lock");
         let generation = self.shared.generation(namespace);
-        if let Some((g, map)) = guard.as_ref() {
+        if let SlotState::Decoded(g, map) = &*guard {
             if *g == generation {
                 return Ok(Arc::clone(map));
             }
         }
-        let path = self
-            .shared
-            .root
-            .join("index")
-            .join(format!("{namespace}.bin"));
+        let path = self.index_path(namespace);
         let expected = self.shared.namespace_state(namespace);
-        let decoded = snapshot::read(&path, expected).and_then(|entries| {
+        // Reuse a fresh mapping installed by an earlier point read;
+        // otherwise map the disk snapshot now.
+        let snap = match std::mem::replace(&mut *guard, SlotState::Empty) {
+            SlotState::Mapped(g, snap) if g == generation => Some(snap),
+            _ => snapshot::MappedSnapshot::open(&path, expected),
+        };
+        let decoded = snap.and_then(|snap| snap.decode_all()).and_then(|entries| {
             let mut map = BTreeMap::new();
             for (key, value) in entries {
                 match T::from_value(&value) {
@@ -548,7 +647,7 @@ impl Database {
         };
         let generation = self.shared.generation(namespace);
         let map = Arc::new(map);
-        *guard = Some((generation, Arc::clone(&map)));
+        *guard = SlotState::Decoded(generation, Arc::clone(&map));
         Ok(map)
     }
 
@@ -700,7 +799,7 @@ impl Database {
     ///
     /// I/O and serialisation failures.
     pub fn save_plan_validation(&self, validation: &PlanValidation) -> Result<(), DbError> {
-        let _writer = self.shared.write_lock.lock().expect("writer lock");
+        let _writer = self.shared.lock_writers()?;
         let path = self.plan_path(&validation.os, validation.workload);
         write_json(&path, validation)?;
         self.shared.record_artifact(
@@ -774,7 +873,7 @@ impl Database {
     ///
     /// I/O and serialisation failures.
     pub fn save_suite(&self, suite: &ConformanceSuite) -> Result<(), DbError> {
-        let _writer = self.shared.write_lock.lock().expect("writer lock");
+        let _writer = self.shared.lock_writers()?;
         let path = self.suite_path(&suite.os, &suite.app, suite.workload);
         write_json(&path, suite)?;
         self.shared.record_artifact(
@@ -895,7 +994,7 @@ impl Database {
     ///
     /// I/O and serialisation failures.
     pub fn save_matrix_cell(&self, cell: &MatrixCell) -> Result<(), DbError> {
-        let _writer = self.shared.write_lock.lock().expect("writer lock");
+        let _writer = self.shared.lock_writers()?;
         self.save_matrix_cell_locked(cell, true)
     }
 
@@ -908,7 +1007,7 @@ impl Database {
     ///
     /// I/O and serialisation failures.
     pub fn save_matrix_cell_replacing(&self, cell: &MatrixCell) -> Result<(), DbError> {
-        let _writer = self.shared.write_lock.lock().expect("writer lock");
+        let _writer = self.shared.lock_writers()?;
         self.save_matrix_cell_locked(cell, false)
     }
 
@@ -1035,7 +1134,7 @@ impl Database {
     ///
     /// I/O and serialisation failures.
     pub fn save_static(&self, report: &StaticReport) -> Result<(), DbError> {
-        let _writer = self.shared.write_lock.lock().expect("writer lock");
+        let _writer = self.shared.lock_writers()?;
         let path = self.static_path(report.level, &report.app);
         write_json(&path, report)?;
         self.shared
@@ -2067,6 +2166,55 @@ mod tests {
             assert!(cell.vanilla.is_some(), "vanilla tier lost in round {round}");
             assert!(cell.planned.is_some(), "planned tier lost in round {round}");
         }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn point_reads_decode_lazily_from_the_mapped_index() {
+        use loupe_plan::{MatrixCell, TierOutcome};
+        let dir = tmpdir("lazypoint");
+        let db = Database::open(&dir).unwrap();
+        for app in ["alpha", "beta"] {
+            db.save_matrix_cell(&MatrixCell {
+                os: "kerla".into(),
+                app: app.into(),
+                workload: Workload::HealthCheck,
+                linux_pass: true,
+                missing_required: loupe_syscalls::SysnoSet::new(),
+                vanilla: Some(TierOutcome {
+                    pass: true,
+                    ..TierOutcome::default()
+                }),
+                planned: None,
+            })
+            .unwrap();
+        }
+        db.load_matrix().unwrap(); // materialise the binary index
+        drop(db);
+
+        // Remove one JSON entry out-of-band WITHOUT touching the
+        // manifest: the index still matches the recorded state, so a
+        // fresh process's *point* read must be served from the mapped
+        // snapshot — no bulk decode, no JSON file needed.
+        fs::remove_file(
+            dir.join("env")
+                .join("kerla")
+                .join("matrix")
+                .join("alpha")
+                .join("health.json"),
+        )
+        .unwrap();
+        let db = Database::open(&dir).unwrap();
+        let cell = db
+            .load_matrix_cell("kerla", "alpha", Workload::HealthCheck)
+            .unwrap()
+            .expect("point read served from the mapped index");
+        assert_eq!(cell.app, "alpha");
+        // A key the index does not hold falls back to JSON (absent).
+        assert!(db
+            .load_matrix_cell("kerla", "gamma", Workload::HealthCheck)
+            .unwrap()
+            .is_none());
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,80 @@
+//! A minimal blocking client for the serve protocol.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto::{self, Request, Response};
+
+/// One connection to a serve daemon; requests are answered in order.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Sets a per-request read timeout (never waits forever on a hung
+    /// daemon).
+    ///
+    /// # Errors
+    ///
+    /// Socket option failures.
+    pub fn set_timeout(&mut self, timeout: Duration) -> io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))
+    }
+
+    /// Sends a raw JSON payload and returns the raw JSON answer —
+    /// the byte-level interface the equivalence tests compare on.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and a daemon that hangs up mid-request.
+    pub fn request_raw(&mut self, payload: &str) -> io::Result<String> {
+        proto::write_frame(&mut self.stream, payload)?;
+        proto::read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+        })
+    }
+
+    /// Sends a typed request and parses the typed response.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and malformed response JSON.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        let payload = serde_json::to_string(request)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let answer = self.request_raw(&payload)?;
+        serde_json::from_str(&answer)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Liveness probe; returns the daemon's index generation.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and non-ok responses.
+    pub fn ping(&mut self) -> io::Result<u64> {
+        let response = self.request(&Request {
+            cmd: "ping".to_owned(),
+            ..Request::default()
+        })?;
+        if !response.ok {
+            return Err(io::Error::other(
+                response.error.unwrap_or_else(|| "ping failed".to_owned()),
+            ));
+        }
+        Ok(response.generation.unwrap_or(0))
+    }
+}

@@ -1,0 +1,36 @@
+//! `loupe serve`: a long-running daemon answering compatibility
+//! queries out of sharded, immutable in-memory indices.
+//!
+//! The sweep pipeline measures; this crate *answers*. A fleet
+//! dashboard, a CI gate or a porting engineer asks "will app X run on
+//! OS Y at tier T?", "what is the cheapest support plan?", "which
+//! syscalls block the most apps?" — each of which the database can
+//! answer only by loading and re-aggregating namespaces. The daemon
+//! does that work once per database generation:
+//!
+//! * startup loads the database (binary snapshots mapped, decoded
+//!   lazily) and compiles the matrix namespace into [`index::SHARDS`]
+//!   hash shards of precomputed per-tier verdicts plus the
+//!   `OS_MATRIX.md` aggregation — reads after that touch no disk;
+//! * plan and inverted-syscall queries build their (baselines-backed)
+//!   tables on first touch, so a verdict-only daemon never decodes a
+//!   baseline;
+//! * a watcher polls the manifest fingerprint and swaps in a freshly
+//!   built index when the database changes — queries see the old or
+//!   the new generation, never a mix;
+//! * concurrent verdict lookups coalesce in a short batching window
+//!   into shard-ordered passes ([`batch::Batcher`]).
+//!
+//! The wire protocol ([`proto`]) is length-prefixed JSON over TCP —
+//! std-only, no async runtime, speakable from any language.
+
+pub mod batch;
+pub mod client;
+pub mod index;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use index::ServeIndex;
+pub use proto::{CellQuery, Request, Response, Verdict};
+pub use server::{ServeConfig, ServeError, Server};

@@ -42,6 +42,7 @@ pub use loupe_db as db;
 pub use loupe_gentests as gentests;
 pub use loupe_kernel as kernel;
 pub use loupe_plan as plan;
+pub use loupe_serve as serve;
 pub use loupe_static as statics;
 pub use loupe_sweep as sweep;
 pub use loupe_syscalls as syscalls;

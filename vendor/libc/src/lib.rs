@@ -1,6 +1,8 @@
 //! Minimal stand-in for the `libc` crate: exactly the x86-64 Linux FFI
-//! surface the `loupe-trace` ptrace backend and the CLI's SIGPIPE reset
-//! use. Types and constants match the kernel/glibc ABI.
+//! surface the `loupe-trace` ptrace backend, the CLI's SIGPIPE reset,
+//! the database's cross-process advisory file lock (`flock`) and the
+//! snapshot index's memory mapping (`mmap`/`munmap`) use. Types and
+//! constants match the kernel/glibc ABI.
 
 #![cfg(target_os = "linux")]
 #![allow(non_camel_case_types)]
@@ -11,7 +13,10 @@ pub type c_int = i32;
 pub type c_uint = u32;
 pub type c_long = i64;
 pub type c_ulong = u64;
+pub type c_void = core::ffi::c_void;
 pub type pid_t = i32;
+pub type size_t = usize;
+pub type off_t = i64;
 pub type sighandler_t = usize;
 
 /// Default signal disposition.
@@ -23,6 +28,20 @@ pub const SIGTRAP: c_int = 5;
 
 /// `open(2)` write-only flag.
 pub const O_WRONLY: c_int = 1;
+
+/// `flock(2)` exclusive-lock operation.
+pub const LOCK_EX: c_int = 2;
+/// `flock(2)` unlock operation.
+pub const LOCK_UN: c_int = 8;
+
+/// `mmap(2)` read protection.
+pub const PROT_READ: c_int = 1;
+/// `mmap(2)` shared mapping.
+pub const MAP_SHARED: c_int = 1;
+/// `mmap(2)` private copy-on-write mapping.
+pub const MAP_PRIVATE: c_int = 2;
+/// `mmap(2)` failure sentinel.
+pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
 
 pub const PTRACE_TRACEME: c_int = 0;
 pub const PTRACE_PEEKDATA: c_int = 2;
@@ -41,6 +60,16 @@ extern "C" {
     pub fn _exit(status: c_int) -> !;
     pub fn waitpid(pid: pid_t, status: *mut c_int, options: c_int) -> pid_t;
     pub fn ptrace(request: c_int, ...) -> c_long;
+    pub fn flock(fd: c_int, operation: c_int) -> c_int;
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
 }
 
 /// Did the child exit normally?
