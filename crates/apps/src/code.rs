@@ -29,6 +29,12 @@ pub struct AppCode {
     /// For each wrapper used in the sources: does user code check the
     /// return value? (Fig. 7's manual-inspection ground truth.)
     pub return_checks: BTreeMap<Sysno, bool>,
+    /// Raw `syscall(N)` invocations in the sources: the number is a
+    /// literal, but compiled code loads it into a register, so only an
+    /// analysis with intraprocedural constant propagation resolves the
+    /// site — a naive binary analysis must expand it to the full table.
+    #[serde(default)]
+    pub raw_syscalls: SysnoSet,
 }
 
 impl AppCode {
@@ -64,12 +70,22 @@ impl AppCode {
         self
     }
 
+    /// Adds raw `syscall(N)` invocations (number in a register,
+    /// resolvable only by constant propagation).
+    pub fn with_raw(mut self, syscalls: &[Sysno]) -> AppCode {
+        for &s in syscalls {
+            self.raw_syscalls.insert(s);
+        }
+        self
+    }
+
     /// The set a source-level static analyser reports: application sources
     /// plus the libc calls a source analyser resolves through headers.
     pub fn source_view(&self, libc: LibcFlavor) -> SysnoSet {
         // Source analysis sees the app code and the libc init calls that
-        // headers/crt0 pull in, but not the whole libc.
-        let mut set = self.source_syscalls.clone();
+        // headers/crt0 pull in, but not the whole libc. Raw syscall(N)
+        // literals are visible in source form.
+        let mut set = self.source_syscalls.union(&self.raw_syscalls);
         for (s, _) in libc.init_sequence() {
             set.insert(s);
         }

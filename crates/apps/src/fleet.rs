@@ -592,6 +592,13 @@ impl AppModel for ProfileApp {
                 code = code.with_unchecked(&[call.sysno]);
             }
         }
+        // A deterministic slice of the fleet performs raw syscall(N)
+        // invocations (thread-id probes the libc has no wrapper for):
+        // resolvable by constant propagation, opaque to naive binary
+        // analysis — the L1→L2 rung of the static precision ladder.
+        if crate::program::fnv1a(self.name).is_multiple_of(8) {
+            code = code.with_raw(&[S::gettid, S::sched_yield]);
+        }
         // Dead/error-path extras every real binary carries.
         code.with_binary_extra(&[
             S::shmget,

@@ -27,6 +27,7 @@ pub mod env;
 pub mod fleet;
 pub mod libc;
 pub mod model;
+pub mod program;
 pub mod registry;
 pub mod runtime;
 pub mod workload;
@@ -34,4 +35,5 @@ pub mod workload;
 pub use code::AppCode;
 pub use env::Env;
 pub use model::{AppKind, AppModel, AppSpec, Exit};
+pub use program::ProgramGraph;
 pub use workload::Workload;

@@ -1,0 +1,635 @@
+//! Synthetic whole-program representation for static analysis.
+//!
+//! Real static syscall analyzers (Tsai et al., sysfilter, the Unikraft
+//! analysers) do not union declared sets: they build a call graph over
+//! the program *and everything linked into it*, resolve indirect calls
+//! against the address-taken function set, and walk reachability from
+//! the entry point to every `syscall` site. [`ProgramGraph`] lowers an
+//! app model (and its [`LibcFlavor`]) into exactly that shape:
+//!
+//! * one function per libc syscall wrapper (each in its own `.o`, the
+//!   classic static-linking granularity), holding a constant-number
+//!   syscall site;
+//! * PLT-style direct edges from the application functions into the
+//!   wrappers its sources reference, plus crt0 entry/init/exit chains;
+//! * indirect call sites in `main` typed by signature class, with the
+//!   address-taken wrapper population as the candidate target space;
+//! * error-path branches (`error_path` functions) that static analysis
+//!   sees but no dynamic execution enters;
+//! * raw `syscall(N)` sites whose number operand is either a constant
+//!   or an unknown register (resolvable only by constant propagation).
+//!
+//! The analyzers in `loupe-static` run graph reachability over this
+//! representation at four precision levels; [`ProgramGraph::validate`]
+//! enforces the well-formedness rules that make the containment chain
+//! *dynamic ⊆ L3 ⊆ L2 ⊆ L1 ⊆ L0* a theorem rather than a hope.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use loupe_syscalls::{Category, Sysno, SysnoSet};
+
+use crate::libc::LibcFlavor;
+use crate::model::AppModel;
+
+/// Index of a function in [`ProgramGraph::functions`].
+pub type FuncId = usize;
+
+/// The signature class of a function or indirect call site — the
+/// arity/type bucket a signature-pruning analysis matches on. Derived
+/// from the syscall's [`Category`], which groups calls with similar
+/// prototypes (file I/O, memory, network, ...).
+pub fn sig_class(s: Sysno) -> u8 {
+    let cat = Category::of(s);
+    Category::ALL
+        .iter()
+        .position(|&c| c == cat)
+        .unwrap_or(Category::ALL.len() - 1) as u8
+}
+
+/// One outgoing call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallEdge {
+    /// A direct call: the target is known statically.
+    Direct {
+        /// Callee.
+        target: FuncId,
+    },
+    /// An indirect call through a function pointer of signature class
+    /// `sig`. Static analysis must over-approximate the target set;
+    /// `actual` is the function the pointer holds at runtime (if the
+    /// call executes at all), used only by dynamic reachability.
+    Indirect {
+        /// Signature class of the pointer.
+        sig: u8,
+        /// Runtime target, if this call dynamically executes.
+        actual: Option<FuncId>,
+    },
+}
+
+/// The number operand of a syscall site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumberOperand {
+    /// `syscall` instruction with a constant number: every level
+    /// attributes exactly this syscall.
+    Const(Sysno),
+    /// The number lives in a register. A naive analysis must expand the
+    /// site to the full syscall table; intraprocedural constant
+    /// propagation recovers `resolvable` when the register is loaded
+    /// from a literal in the same function (`syscall(N)` idiom).
+    Register {
+        /// The constant a propagating analysis recovers, if any.
+        resolvable: Option<Sysno>,
+    },
+}
+
+/// A syscall instruction inside a function body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallSite {
+    /// The number operand.
+    pub number: NumberOperand,
+}
+
+/// One function of the lowered program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Unique symbol name (`crt::_start`, `app::use_read`,
+    /// `libc::openat`, `deps::shmget`, ...).
+    pub name: String,
+    /// The object file the symbol lives in. Source-level analysis drops
+    /// whole objects that nothing references (`--gc-sections` at `.o`
+    /// granularity); each libc wrapper gets its own object.
+    pub object: String,
+    /// Whether building from source links this object at all. Binary
+    /// analysis sees every function; source analysis only the linked
+    /// ones.
+    pub source_linked: bool,
+    /// Whether the function's address escapes (stored in a table,
+    /// passed as a callback): the indirect-call candidate set.
+    pub address_taken: bool,
+    /// Signature class, matched against indirect call sites.
+    pub sig: u8,
+    /// Whether the function is only reachable on error paths — code
+    /// static analysis sees but no healthy execution enters.
+    pub error_path: bool,
+    /// Outgoing calls.
+    pub calls: Vec<CallEdge>,
+    /// Syscall sites in the body.
+    pub sites: Vec<SyscallSite>,
+}
+
+/// The lowered whole-program call graph of one application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramGraph {
+    /// Application name.
+    pub app: String,
+    /// The libc flavor linked in.
+    pub libc: LibcFlavor,
+    /// Entry point (`_start`).
+    pub entry: FuncId,
+    /// All functions, direct-call targets by index.
+    pub functions: Vec<Function>,
+}
+
+/// Fraction (percent) of libc wrapper objects whose address escapes
+/// into tables a binary analyser must treat as indirect-call targets.
+/// Calibrated so the naive L0 attribution lands in the paper's 2–5×
+/// overestimation band for the detailed apps (see
+/// `docs/STATIC_VS_DYNAMIC.md`).
+const ADDRESS_TAKEN_PCT: u64 = 45;
+
+/// Signature classes a program plausibly stores function pointers of:
+/// I/O, event and IPC handlers end up in callback tables; memory
+/// management, process control and the other privileged classes are
+/// called directly. Indirect call sites are only lowered for these, so
+/// signature pruning (L1) always has classes left to exclude.
+const CALLBACK_CATEGORIES: &[Category] = &[
+    Category::FileIo,
+    Category::Network,
+    Category::EventIo,
+    Category::Ipc,
+    Category::Sync,
+    Category::Time,
+    Category::Misc,
+];
+
+/// FNV-1a, the repo's stock deterministic string hash.
+pub(crate) fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl ProgramGraph {
+    /// Lowers an app model into its whole-program graph: crt0 entry
+    /// chain, application functions calling PLT wrappers, the full
+    /// linked libc wrapper population (one object each), linked non-libc
+    /// dependency objects (`binary_extra`), error-path branches, and raw
+    /// `syscall(N)` sites.
+    pub fn lower(app: &dyn AppModel) -> ProgramGraph {
+        let spec = app.spec();
+        let code = app.code();
+        let flavor = spec.libc;
+
+        let init_set: SysnoSet = flavor.init_sequence().iter().map(|&(s, _)| s).collect();
+        // Everything the app sources reference resolves to a linked
+        // wrapper object; the rest of the libc is linked (binary level)
+        // but dead at source level.
+        let referenced: SysnoSet = code
+            .source_syscalls
+            .union(&init_set)
+            .union(&[Sysno::exit_group].into_iter().collect());
+        let wrappers: SysnoSet = flavor.code_superset().union(&referenced);
+
+        let mut b = GraphBuilder::new(spec.name.clone(), flavor);
+
+        // crt0: _start -> libc_start_main (init syscalls) -> main; exit.
+        let start = b.func("crt::_start", "crt/crt1.o", true, false, 0, false);
+        let init = b.func("crt::libc_start_main", "crt/crt1.o", true, false, 0, false);
+        let exit = b.func("crt::exit", "crt/exit.o", true, false, 0, false);
+        let main = b.func("app::main", "app/main.o", true, false, 0, false);
+        b.direct(start, init);
+        for s in init_set.iter() {
+            b.site(init, NumberOperand::Const(s));
+        }
+        b.direct(init, main);
+        b.direct(init, exit);
+
+        // The shared error-path handler: reached only from return-value
+        // checks, so dynamic execution never enters it, but every static
+        // level walks into it.
+        let on_error = b.func("app::on_error", "app/error.o", true, false, 0, true);
+
+        // One application function per referenced wrapper, direct-calling
+        // its PLT stub; checked returns branch into the error handler.
+        for s in code.source_syscalls.iter() {
+            let f = b.func(
+                &format!("app::use_{}", s.name()),
+                &format!("app/{}.o", s.name()),
+                true,
+                false,
+                sig_class(s),
+                false,
+            );
+            b.direct(main, f);
+            let w = b.wrapper(s, &referenced);
+            b.direct(f, w);
+            if code.return_checks.get(&s).copied().unwrap_or(false) {
+                b.direct(f, on_error);
+            }
+        }
+
+        // Raw syscall(N) sites: the number is a literal in the source,
+        // but compiled code loads it into a register — only constant
+        // propagation (L2+) recovers it; a naive analysis must expand
+        // the site to the whole table.
+        for s in code.raw_syscalls.iter() {
+            let f = b.func(
+                &format!("app::raw_{}", s.name()),
+                "app/raw.o",
+                true,
+                false,
+                sig_class(s),
+                false,
+            );
+            b.direct(main, f);
+            b.site(
+                f,
+                NumberOperand::Register {
+                    resolvable: Some(s),
+                },
+            );
+        }
+
+        // The error handler logs and aborts through the libc.
+        let log = b.wrapper(flavor.printf_syscall(), &referenced);
+        let abort = b.wrapper(Sysno::exit_group, &referenced);
+        b.direct(on_error, log);
+        b.direct(on_error, abort);
+
+        // Indirect call sites in main: one per signature class the app
+        // actually stores function pointers of (its own syscall
+        // categories), restricted to callback-plausible classes — real
+        // programs route I/O, event and IPC work through handler
+        // tables, not memory management or process control. The
+        // runtime target is unknown to static analysis.
+        let cats: BTreeSet<u8> = code
+            .source_syscalls
+            .iter()
+            .map(sig_class)
+            .filter(|&sig| CALLBACK_CATEGORIES.contains(&Category::ALL[sig as usize]))
+            .collect();
+        for sig in cats {
+            b.indirect(main, sig, None);
+        }
+
+        // Linked non-libc dependency objects: present in the binary and
+        // address-taken (plugin/vtable style), absent from the source
+        // build's link line.
+        for s in code.binary_extra.iter() {
+            let f = b.func(
+                &format!("deps::{}", s.name()),
+                "deps/libdeps.so",
+                false,
+                true,
+                sig_class(s),
+                false,
+            );
+            b.site(f, NumberOperand::Const(s));
+        }
+
+        // The full linked libc wrapper population (referenced wrappers
+        // were already created on demand above; the rest are dead at
+        // source level).
+        for s in wrappers.iter() {
+            b.wrapper(s, &referenced);
+        }
+
+        let g = b.finish(start);
+        debug_assert_eq!(g.validate(), Ok(()));
+        g
+    }
+
+    /// The function index of `name`, if present.
+    pub fn find(&self, name: &str) -> Option<FuncId> {
+        self.functions.iter().position(|f| f.name == name)
+    }
+
+    /// The syscalls an actual execution of this program can invoke:
+    /// reachability over direct edges (skipping error-path branches) and
+    /// the *actual* runtime targets of indirect calls, collecting
+    /// constant sites and runtime-resolved register sites.
+    pub fn dynamic_reachable(&self) -> SysnoSet {
+        let mut out = SysnoSet::new();
+        let mut seen = vec![false; self.functions.len()];
+        let mut stack = vec![self.entry];
+        seen[self.entry] = true;
+        while let Some(f) = stack.pop() {
+            let func = &self.functions[f];
+            for site in &func.sites {
+                match site.number {
+                    NumberOperand::Const(s) => {
+                        out.insert(s);
+                    }
+                    NumberOperand::Register { resolvable } => {
+                        if let Some(s) = resolvable {
+                            out.insert(s);
+                        }
+                    }
+                }
+            }
+            let follow = |t: FuncId, seen: &mut Vec<bool>, stack: &mut Vec<FuncId>| {
+                if !self.functions[t].error_path && !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            };
+            for edge in &func.calls {
+                match *edge {
+                    CallEdge::Direct { target } => follow(target, &mut seen, &mut stack),
+                    CallEdge::Indirect { actual, .. } => {
+                        if let Some(t) = actual {
+                            follow(t, &mut seen, &mut stack);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Well-formedness: the structural rules under which the analyzer
+    /// containment chain *dynamic ⊆ L3 ⊆ L2 ⊆ L1 ⊆ L0* is guaranteed
+    /// for **any** graph, not just lowered app models.
+    ///
+    /// * the entry exists, is source-linked and not error-path;
+    /// * function names are unique (witness paths address by name);
+    /// * every direct target and indirect `actual` is in bounds;
+    /// * every indirect `actual` is address-taken, matches the site's
+    ///   signature class and is source-linked and not error-path (a
+    ///   runtime pointer can only hold a live, linked function every
+    ///   precision level keeps in its candidate set);
+    /// * every dynamically-reachable function is source-linked (code
+    ///   that executes cannot live in a dead object).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated rule.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.functions.is_empty() {
+            return Err("graph has no functions".into());
+        }
+        if self.entry >= self.functions.len() {
+            return Err(format!("entry {} out of bounds", self.entry));
+        }
+        let entry = &self.functions[self.entry];
+        if entry.error_path || !entry.source_linked {
+            return Err(format!(
+                "entry `{}` must be source-linked and not error-path",
+                entry.name
+            ));
+        }
+        let mut names = BTreeSet::new();
+        for f in &self.functions {
+            if !names.insert(&f.name) {
+                return Err(format!("duplicate function name `{}`", f.name));
+            }
+        }
+        for f in &self.functions {
+            for edge in &f.calls {
+                match *edge {
+                    CallEdge::Direct { target } => {
+                        if target >= self.functions.len() {
+                            return Err(format!("`{}`: direct target out of bounds", f.name));
+                        }
+                    }
+                    CallEdge::Indirect { sig, actual } => {
+                        if let Some(t) = actual {
+                            if t >= self.functions.len() {
+                                return Err(format!("`{}`: indirect actual out of bounds", f.name));
+                            }
+                            let g = &self.functions[t];
+                            if !g.address_taken || g.sig != sig || !g.source_linked || g.error_path
+                            {
+                                return Err(format!(
+                                    "`{}`: indirect actual `{}` is not a live candidate \
+                                     (address_taken={}, sig {} vs {}, source_linked={}, \
+                                     error_path={})",
+                                    f.name,
+                                    g.name,
+                                    g.address_taken,
+                                    g.sig,
+                                    sig,
+                                    g.source_linked,
+                                    g.error_path
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Dynamic walk stays inside linked code.
+        let mut seen = vec![false; self.functions.len()];
+        let mut stack = vec![self.entry];
+        seen[self.entry] = true;
+        while let Some(f) = stack.pop() {
+            if !self.functions[f].source_linked {
+                return Err(format!(
+                    "`{}` is dynamically reachable but not source-linked",
+                    self.functions[f].name
+                ));
+            }
+            for edge in &self.functions[f].calls {
+                let t = match *edge {
+                    CallEdge::Direct { target } => Some(target),
+                    CallEdge::Indirect { actual, .. } => actual,
+                };
+                if let Some(t) = t {
+                    if !self.functions[t].error_path && !seen[t] {
+                        seen[t] = true;
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder used by [`ProgramGraph::lower`].
+struct GraphBuilder {
+    app: String,
+    libc: LibcFlavor,
+    functions: Vec<Function>,
+    by_name: BTreeMap<String, FuncId>,
+}
+
+impl GraphBuilder {
+    fn new(app: String, libc: LibcFlavor) -> GraphBuilder {
+        GraphBuilder {
+            app,
+            libc,
+            functions: Vec::new(),
+            by_name: BTreeMap::new(),
+        }
+    }
+
+    fn func(
+        &mut self,
+        name: &str,
+        object: &str,
+        source_linked: bool,
+        address_taken: bool,
+        sig: u8,
+        error_path: bool,
+    ) -> FuncId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.functions.len();
+        self.functions.push(Function {
+            name: name.to_owned(),
+            object: object.to_owned(),
+            source_linked,
+            address_taken,
+            sig,
+            error_path,
+            calls: Vec::new(),
+            sites: Vec::new(),
+        });
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// The libc wrapper function for syscall `s`, created on first use:
+    /// its own object, a constant syscall site, source-linked iff the
+    /// app sources reference it, address-taken per the deterministic
+    /// escape model.
+    fn wrapper(&mut self, s: Sysno, referenced: &SysnoSet) -> FuncId {
+        let name = format!("libc::{}", s.name());
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        let address_taken = fnv1a(&name) % 100 < ADDRESS_TAKEN_PCT;
+        let id = self.func(
+            &name,
+            &format!("libc/{}.o", s.name()),
+            referenced.contains(s),
+            address_taken,
+            sig_class(s),
+            false,
+        );
+        self.site(id, NumberOperand::Const(s));
+        id
+    }
+
+    fn direct(&mut self, from: FuncId, to: FuncId) {
+        let edge = CallEdge::Direct { target: to };
+        if !self.functions[from].calls.contains(&edge) {
+            self.functions[from].calls.push(edge);
+        }
+    }
+
+    fn indirect(&mut self, from: FuncId, sig: u8, actual: Option<FuncId>) {
+        self.functions[from]
+            .calls
+            .push(CallEdge::Indirect { sig, actual });
+    }
+
+    fn site(&mut self, f: FuncId, number: NumberOperand) {
+        self.functions[f].sites.push(SyscallSite { number });
+    }
+
+    fn finish(self, entry: FuncId) -> ProgramGraph {
+        ProgramGraph {
+            app: self.app,
+            libc: self.libc,
+            entry,
+            functions: self.functions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn lowered_graphs_validate_for_the_whole_dataset() {
+        for app in registry::dataset() {
+            let g = ProgramGraph::lower(app.as_ref());
+            assert_eq!(g.validate(), Ok(()), "{}", app.name());
+            assert_eq!(g.app, app.name());
+            assert!(g.functions.len() > 100, "{}: libc population", app.name());
+        }
+    }
+
+    #[test]
+    fn dynamic_reachability_covers_sources_and_init_but_not_dead_code() {
+        let app = registry::find("redis").unwrap();
+        let g = ProgramGraph::lower(app.as_ref());
+        let dynamic = g.dynamic_reachable();
+        let spec = app.spec();
+        // Everything the sources call plus the init floor is dynamically
+        // reachable in the graph...
+        for (s, _) in spec.libc.init_sequence() {
+            assert!(dynamic.contains(s), "init {}", s.name());
+        }
+        assert!(dynamic.contains(Sysno::exit_group));
+        // ...but linked-dead dependency code is not.
+        for s in app.code().binary_extra.iter() {
+            if !app.code().source_syscalls.contains(s) {
+                assert!(!dynamic.contains(s), "dead dep {} executed", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn error_paths_exist_statically_but_not_dynamically() {
+        let app = registry::find("nginx").unwrap();
+        let g = ProgramGraph::lower(app.as_ref());
+        let err = g.find("app::on_error").expect("error handler");
+        assert!(g.functions[err].error_path);
+        // It has incoming edges (checked returns)...
+        assert!(g
+            .functions
+            .iter()
+            .any(|f| f.calls.contains(&CallEdge::Direct { target: err })));
+        // ...but the dynamic walk never enters it (its exclusive callees
+        // would otherwise be attributed).
+        let mut g2 = g.clone();
+        g2.functions[err].sites.push(SyscallSite {
+            number: NumberOperand::Const(Sysno::acct),
+        });
+        assert!(!g2.dynamic_reachable().contains(Sysno::acct));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_graphs() {
+        let app = registry::find("weborf").unwrap();
+        let mut g = ProgramGraph::lower(app.as_ref());
+        g.entry = g.functions.len();
+        assert!(g.validate().is_err());
+
+        let mut g = ProgramGraph::lower(app.as_ref());
+        let dead = g
+            .functions
+            .iter()
+            .position(|f| !f.source_linked)
+            .expect("a dead dep or libc object");
+        let main = g.find("app::main").unwrap();
+        g.functions[main]
+            .calls
+            .push(CallEdge::Direct { target: dead });
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("not source-linked"), "{err}");
+
+        let mut g = ProgramGraph::lower(app.as_ref());
+        let not_taken = g
+            .functions
+            .iter()
+            .position(|f| !f.address_taken && f.source_linked)
+            .unwrap();
+        let sig = g.functions[not_taken].sig;
+        let main = g.find("app::main").unwrap();
+        g.functions[main].calls.push(CallEdge::Indirect {
+            sig,
+            actual: Some(not_taken),
+        });
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("not a live candidate"), "{err}");
+    }
+
+    #[test]
+    fn lowering_is_deterministic() {
+        let app = registry::find("redis").unwrap();
+        assert_eq!(
+            ProgramGraph::lower(app.as_ref()),
+            ProgramGraph::lower(app.as_ref())
+        );
+    }
+}

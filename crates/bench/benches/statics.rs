@@ -1,13 +1,15 @@
-//! Criterion benches for the static-analysis stage: the fleet-wide
-//! static sweep (cold, at several worker counts, and pure cache hits)
-//! and the full static-vs-dynamic comparison over a populated database
-//! — the Figs. 4–7 pipeline at 116-app scale.
+//! Criterion benches for the static-analysis stage: whole-program graph
+//! lowering, single-app analysis at each rung of the precision ladder,
+//! the fleet-wide static sweep (cold, at several worker counts, and
+//! pure cache hits) and the full static-vs-dynamic comparison over a
+//! populated database — the Figs. 4–7 pipeline at 116-app scale.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use loupe_apps::{registry, Workload};
+use loupe_apps::{registry, ProgramGraph, Workload};
 use loupe_db::Database;
+use loupe_static::{analyze_graph, Level};
 use loupe_sweep::{compare, sweep_static, Sweep, SweepConfig};
 
 fn tmp_db(tag: &str) -> Database {
@@ -15,6 +17,42 @@ fn tmp_db(tag: &str) -> Database {
         std::env::temp_dir().join(format!("loupe-bench-statics-{tag}-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     Database::open(dir).expect("open bench db")
+}
+
+fn bench_graph_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph-lowering");
+    let nginx = registry::find("nginx").expect("nginx in registry");
+    group.bench_function("nginx", |b| {
+        b.iter(|| {
+            let graph = ProgramGraph::lower(nginx.as_ref());
+            black_box(graph.functions.len())
+        });
+    });
+    group.bench_function("dataset-116", |b| {
+        b.iter(|| {
+            let total: usize = registry::dataset()
+                .iter()
+                .map(|app| ProgramGraph::lower(app.as_ref()).functions.len())
+                .sum();
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+fn bench_per_level_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze-nginx");
+    let nginx = registry::find("nginx").expect("nginx in registry");
+    let graph = ProgramGraph::lower(nginx.as_ref());
+    for level in Level::ALL {
+        group.bench_function(level.label(), |b| {
+            b.iter(|| {
+                let report = analyze_graph(&graph, level);
+                black_box(report.syscalls.len())
+            });
+        });
+    }
+    group.finish();
 }
 
 fn bench_cold_static_sweep(c: &mut Criterion) {
@@ -31,7 +69,10 @@ fn bench_cold_static_sweep(c: &mut Criterion) {
                 let db = tmp_db("cold");
                 let summary =
                     sweep_static(&db, registry::dataset(), workers, false).expect("static sweep");
-                assert_eq!(summary.analyzed, 2 * registry::dataset().len());
+                assert_eq!(
+                    summary.analyzed,
+                    Level::ALL.len() * registry::dataset().len()
+                );
                 std::fs::remove_dir_all(db.root()).ok();
                 black_box(summary.analyzed)
             });
@@ -58,7 +99,7 @@ fn bench_cached_static_sweep(c: &mut Criterion) {
 
 fn bench_full_comparison(c: &mut Criterion) {
     // One populated database: dynamic health-check measurements plus
-    // both static levels for the whole fleet.
+    // all four static levels for the whole fleet.
     let db = tmp_db("compare");
     Sweep::new(SweepConfig {
         workloads: vec![Workload::HealthCheck],
@@ -83,6 +124,8 @@ fn bench_full_comparison(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_graph_lowering,
+    bench_per_level_analysis,
     bench_cold_static_sweep,
     bench_cached_static_sweep,
     bench_full_comparison

@@ -50,6 +50,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(rest),
         "sweep" => cmd_sweep(rest),
         "compare" => cmd_compare(rest),
+        "statics" => cmd_statics(rest),
         "report" => cmd_report(rest),
         "gentests" => cmd_gentests(rest),
         "cache" => cmd_cache(rest),
@@ -103,18 +104,35 @@ commands:
       --min-agreement K               seed reports that must agree to hint (default: 3)
       --transfer-seed N               apps measured in full as the seed (default: 8)
       --force                         re-measure cached entries (conservative merge)
-      --static                        also run the binary/source static analysers
-                                      over the fleet; persist under the db's
-                                      static/ namespace (needed by `compare` and
-                                      the generated STATIC_VS_DYNAMIC.md)
+      --static                        also run the static precision ladder
+                                      (L0-L3 graph reachability) over the fleet;
+                                      persist under the db's static/ namespace
+                                      (needed by `compare` and the generated
+                                      STATIC_VS_DYNAMIC.md)
       --validate-plans                replay every curated OS's support plan on a
                                       restricted kernel; persist verdicts in the db
   compare                      static-vs-dynamic comparison (Figs. 4-7): per-app
-                               overestimation factors, importance rank shifts and
-                               per-OS plan-size deltas; exits 1 if the invariant
-                               dynamic ⊆ source ⊆ binary is violated anywhere
+                               overestimation factors at every precision level,
+                               importance rank shifts and per-OS plan-size
+                               deltas; exits 1 if the containment chain
+                               dynamic ⊆ L3 ⊆ L2 ⊆ L1 ⊆ L0 is violated anywhere
       --db DIR                        database directory (default: target/loupedb)
       --workers N                     static-analysis worker threads (default: auto)
+  statics                      run the static precision ladder over the fleet:
+                               each app is lowered to a whole-program call graph
+                               and analysed by reachability at L0 (naive binary),
+                               L1 (signature-pruned), L2 (constant propagation)
+                               and L3 (source level)
+      --db DIR                        database directory (default: target/loupedb)
+      --app NAME                      restrict to one app (also --apps/--shard)
+      --level l0|l1|l2|l3|all         comma-separated levels (default: all;
+                                      binary/source alias l0/l3)
+      --workers N                     worker threads (default: min(cpus, 16))
+      --force                         re-analyse cached entries
+      --explain <app> <syscall>       print the witness call path behind an
+                                      attribution at every level, re-verified
+                                      against the graph; exits 1 if no level
+                                      attributes the syscall
   report                       render a sweep db as Markdown documentation
       --db DIR                        database directory (default: target/loupedb)
       --docs DIR                      output directory (default: docs)
@@ -574,52 +592,150 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let mut violated: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     for c in &comparisons {
         println!(
-            "{} workload: {} apps; fleet syscalls: {} dynamic ({} required), \
-             {} source, {} binary",
+            "{} workload: {} apps; fleet syscalls: {} dynamic ({} required); \
+             static L0/L1/L2/L3: {}/{}/{}/{}",
             c.workload,
             c.apps.len(),
             c.fleet_dynamic_used,
             c.fleet_dynamic_required,
-            c.fleet_source,
-            c.fleet_binary
+            c.fleet_static[0],
+            c.fleet_static[1],
+            c.fleet_static[2],
+            c.fleet_static[3]
         );
         println!(
-            "  mean per-app overestimation: {:.2}x (source), {:.2}x (binary); \
-             invariant dynamic ⊆ source ⊆ binary: {}",
-            c.mean_source_factor,
-            c.mean_binary_factor,
+            "  mean per-app overestimation: {:.2}x (L0), {:.2}x (L1), {:.2}x (L2), \
+             {:.2}x (L3); chain dynamic ⊆ L3 ⊆ L2 ⊆ L1 ⊆ L0: {}",
+            c.mean_factor[0],
+            c.mean_factor[1],
+            c.mean_factor[2],
+            c.mean_factor[3],
             if c.invariants_hold() {
                 "holds for every app"
             } else {
                 "VIOLATED"
             }
         );
-        for a in c.apps.iter().filter(|a| !a.subset_ok) {
+        for a in c.apps.iter().filter(|a| !a.chain_ok) {
             violated.insert(a.app.clone());
-            eprintln!(
-                "  INVARIANT VIOLATED for {} ({} workload): source misses {:?}, \
-                 binary misses {:?}",
-                a.app, c.workload, a.missing_from_source, a.missing_from_binary
-            );
+            for (link, missing) in &a.chain_breaks {
+                eprintln!(
+                    "  CHAIN BROKEN for {} ({} workload): {link}, coarser side misses {missing}",
+                    a.app, c.workload
+                );
+            }
         }
         println!("  static-plan waste per OS (extra syscalls implemented vs dynamic plan):");
         for d in &c.plan_deltas {
             println!(
-                "    {:<14} implement {:>3} (dyn) vs {:>3} (src, +{}) vs {:>3} (bin, +{})",
+                "    {:<14} implement {:>3} (dyn) vs {:>3} (L3, +{}) vs {:>3} (L0, +{})",
                 d.os,
                 d.dynamic_implemented,
-                d.source_implemented,
+                d.implemented(loupe_static::Level::L3),
                 d.source_waste(),
-                d.binary_implemented,
+                d.implemented(loupe_static::Level::L0),
                 d.binary_waste()
             );
         }
     }
     if !violated.is_empty() {
         return Err(format!(
-            "compare: dynamic ⊆ source ⊆ binary violated for {} app(s): {}",
+            "compare: dynamic ⊆ L3 ⊆ L2 ⊆ L1 ⊆ L0 violated for {} app(s): {}",
             violated.len(),
             violated.into_iter().collect::<Vec<_>>().join(", ")
+        ));
+    }
+    Ok(())
+}
+
+/// `loupe statics`: run the precision ladder over the fleet (persisting
+/// into the db), or — with `--explain` — print and re-verify the
+/// witness path behind one attribution.
+fn cmd_statics(args: &[String]) -> Result<(), String> {
+    if let Some(pos) = args.iter().position(|a| a == "--explain") {
+        let app = args
+            .get(pos + 1)
+            .ok_or("statics: --explain expects <app> <syscall>")?;
+        let sysno = args
+            .get(pos + 2)
+            .ok_or("statics: --explain expects <app> <syscall>")?;
+        return explain_witness(app, sysno);
+    }
+
+    let db_dir = flag_value(args, "--db").unwrap_or(DEFAULT_DB);
+    let db = Database::open(db_dir).map_err(|e| e.to_string())?;
+    let workers = flag_value(args, "--workers")
+        .map(|v| v.parse::<usize>().map_err(|_| "bad --workers".to_owned()))
+        .transpose()?
+        .unwrap_or(0);
+    let force = args.iter().any(|a| a == "--force");
+    let levels: Vec<loupe_static::Level> = match flag_value(args, "--level") {
+        None => loupe_static::Level::ALL.to_vec(),
+        Some("all") => loupe_static::Level::ALL.to_vec(),
+        Some(spec) => spec
+            .split(',')
+            .map(|l| {
+                loupe_static::Level::parse(l.trim())
+                    .ok_or_else(|| format!("statics: unknown level `{l}` (l0..l3, binary, source)"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let apps = match flag_value(args, "--app") {
+        Some(name) => vec![registry::find(name).ok_or_else(|| format!("unknown app `{name}`"))?],
+        None => select_apps(args)?,
+    };
+    let summary = loupe_sweep::sweep_static_levels(&db, apps, &levels, workers, force)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "static analysis: {} entries ({} analyzed, {} cached) at level(s) {} under {}/static",
+        summary.analyzed + summary.cached,
+        summary.analyzed,
+        summary.cached,
+        levels
+            .iter()
+            .map(|l| l.label())
+            .collect::<Vec<_>>()
+            .join(","),
+        db_dir
+    );
+    db.persist_sweep_stats().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Prints, for each ladder level, the witness path that justifies
+/// attributing `sysno` to `app` — re-verified against the lowered
+/// program graph before printing.
+fn explain_witness(app: &str, sysno: &str) -> Result<(), String> {
+    use loupe_static::{analyze_graph, verify_witness, Level};
+
+    let model = registry::find(app).ok_or_else(|| format!("unknown app `{app}`"))?;
+    let sysno = match sysno.parse::<u32>() {
+        Ok(n) => loupe_syscalls::Sysno::from_raw(n),
+        Err(_) => sysno.parse::<loupe_syscalls::Sysno>().ok(),
+    }
+    .ok_or_else(|| format!("unknown syscall `{sysno}`"))?;
+    let graph = loupe_apps::ProgramGraph::lower(model.as_ref());
+    let mut attributed_anywhere = false;
+    println!(
+        "{app}: why does static analysis attribute `{}`?",
+        sysno.name()
+    );
+    for &level in &Level::ALL {
+        let report = analyze_graph(&graph, level);
+        match report.witness(sysno) {
+            Some(w) => {
+                verify_witness(&graph, level, w)
+                    .map_err(|e| format!("statics: stored witness failed re-verification: {e}"))?;
+                attributed_anywhere = true;
+                println!("  {:<26} {}", level.title(), w.render());
+            }
+            None => println!("  {:<26} not attributed", level.title()),
+        }
+    }
+    if !attributed_anywhere {
+        return Err(format!(
+            "statics: no level attributes `{}` to {app}",
+            sysno.name()
         ));
     }
     Ok(())

@@ -694,8 +694,7 @@ impl Database {
         self.bulk(ns::STATIC, &self.shared.statics, || {
             let mut out = Vec::new();
             for (level, app) in self.list_static()? {
-                let path = self.static_path(level, &app);
-                if let Some(report) = read_json::<StaticReport>(&path)? {
+                if let Some(report) = self.read_static(level, &app)? {
                     out.push((static_key(level, &app), report));
                 }
             }
@@ -1122,6 +1121,33 @@ impl Database {
             .join(format!("{app}.json"))
     }
 
+    /// The pre-ladder location of a static report (`static/binary/`,
+    /// `static/source/`), for the levels that existed then. Reads fall
+    /// back to it so databases written before the L0–L3 precision
+    /// ladder keep serving their artifacts; writes always use the
+    /// ladder-keyed path.
+    fn static_legacy_path(&self, level: Level, app: &str) -> Option<PathBuf> {
+        level.legacy_label().map(|label| {
+            self.shared
+                .root
+                .join("static")
+                .join(label)
+                .join(format!("{app}.json"))
+        })
+    }
+
+    /// Reads a static report from its ladder path, falling back to the
+    /// legacy location.
+    fn read_static(&self, level: Level, app: &str) -> Result<Option<StaticReport>, DbError> {
+        if let Some(report) = read_json(&self.static_path(level, app))? {
+            return Ok(Some(report));
+        }
+        match self.static_legacy_path(level, app) {
+            Some(path) => read_json(&path),
+            None => Ok(None),
+        }
+    }
+
     /// Stores a static-analysis report under
     /// `<root>/static/<level>/<app>.json` — a namespace keyed by
     /// analysis level, fully segregated from the dynamic measurements,
@@ -1153,12 +1179,15 @@ impl Database {
         {
             return Ok(Some(hit));
         }
-        read_json(&self.static_path(level, app))
+        self.read_static(level, app)
     }
 
     /// Whether a static entry for `(level, app)` is stored.
     pub fn contains_static(&self, level: Level, app: &str) -> bool {
         self.static_path(level, app).is_file()
+            || self
+                .static_legacy_path(level, app)
+                .is_some_and(|p| p.is_file())
     }
 
     /// Loads every stored static report of one level, sorted by app name.
@@ -1180,23 +1209,29 @@ impl Database {
     ///
     /// I/O failures.
     pub fn list_static(&self) -> Result<Vec<(Level, String)>, DbError> {
-        let mut out = Vec::new();
-        for level in Level::ALL {
-            let dir = self.shared.root.join("static").join(level.label());
+        let mut out = std::collections::BTreeSet::new();
+        let mut scan = |dir: PathBuf, level: Level| -> Result<(), DbError> {
             let entries = match fs::read_dir(&dir) {
                 Ok(entries) => entries,
-                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
                 Err(e) => return Err(e.into()),
             };
             for entry in entries {
                 let name = entry?.file_name().to_string_lossy().into_owned();
                 if let Some(app) = name.strip_suffix(".json") {
-                    out.push((level, app.to_owned()));
+                    out.insert((level, app.to_owned()));
                 }
             }
+            Ok(())
+        };
+        for level in Level::ALL {
+            scan(self.shared.root.join("static").join(level.label()), level)?;
+            // Pre-ladder databases stored L0/L3 under binary/source.
+            if let Some(legacy) = level.legacy_label() {
+                scan(self.shared.root.join("static").join(legacy), level)?;
+            }
         }
-        out.sort();
-        Ok(out)
+        Ok(out.into_iter().collect())
     }
 
     /// Writes an OS support spec in CSV form under `<root>/os/<name>.csv`.

@@ -24,15 +24,24 @@ pub struct ImportancePoint {
 /// sorts with [`f64::total_cmp`], so it is total even on NaN (which a
 /// fraction `c/total` with `total ≥ 1` cannot produce, but a partial
 /// comparator would still panic on).
-pub fn importance_fractions(sets: &[SysnoSet]) -> Vec<(Sysno, f64)> {
+///
+/// Accepts any iterator of borrowed sets (`&[SysnoSet]`, a `Vec` of
+/// them, or a `.map(|r| &r.syscalls)` projection), so callers holding
+/// sets inside report structs never clone them to rank them.
+pub fn importance_fractions<'a, I>(sets: I) -> Vec<(Sysno, f64)>
+where
+    I: IntoIterator<Item = &'a SysnoSet>,
+{
     use std::collections::BTreeMap;
     let mut counts: BTreeMap<Sysno, usize> = BTreeMap::new();
+    let mut total_sets = 0usize;
     for set in sets {
+        total_sets += 1;
         for s in set.iter() {
             *counts.entry(s).or_insert(0) += 1;
         }
     }
-    let total = sets.len().max(1) as f64;
+    let total = total_sets.max(1) as f64;
     let mut points: Vec<(Sysno, f64)> = counts
         .into_iter()
         .map(|(s, c)| (s, c as f64 / total))

@@ -1,30 +1,54 @@
-//! Static-analysis baselines: the approaches Loupe is compared against.
+//! Whole-program static syscall analysis: the approaches Loupe is
+//! compared against, implemented as real call-graph reachability.
 //!
 //! The paper contrasts Loupe with binary-level and source-level static
-//! analysis (Tsai et al. \[63\], the Unikraft analysers \[26, 27\]). Both are
-//! *comprehensive but conservative*: they report every syscall that could
-//! be reached under any workload, configuration or error path — which is
-//! why Fig. 4 shows them 2–5× above what applications actually need.
+//! analysis (Tsai et al. \[63\], the Unikraft analysers \[26, 27\]). Both
+//! are *comprehensive but conservative*: they report every syscall that
+//! could be reached under any workload, configuration or error path —
+//! which is why Fig. 4 shows them 2–5× above what applications actually
+//! need.
 //!
-//! These analysers operate on each app model's `AppCode` descriptor (its
-//! declared source/binary syscall surface), reproducing the over-
-//! estimation *mechanism*: dead and error-path code, plus — at the binary
-//! level — the entire linked libc and over-approximated indirect calls.
+//! Each app model lowers into a [`ProgramGraph`] (functions, direct and
+//! indirect call edges, address-taken sets, per-object linkage, syscall
+//! sites); the analyser walks reachability from the entry point at one
+//! of four **precision levels**:
+//!
+//! * **L0** — naive binary analysis: every address-taken function is a
+//!   candidate target of every indirect call, and a syscall site whose
+//!   number sits in a register expands to the full table;
+//! * **L1** — indirect-call candidates pruned by signature class
+//!   (arity/type matching à la sysfilter);
+//! * **L2** — L1 plus intraprocedural constant propagation, resolving
+//!   `syscall(N)` sites whose number is a local literal;
+//! * **L3** — source-level analysis: objects nothing references are
+//!   dropped from the link (dead libc wrappers disappear), candidates
+//!   restricted to linked code.
+//!
+//! Every attributed syscall carries a [`Witness`]: the shortest
+//! entry→site call path that justifies the attribution, re-checkable
+//! against the graph with [`verify_witness`]. By construction (see
+//! [`ProgramGraph::validate`]) the attributed sets form the containment
+//! chain **dynamic ⊆ L3 ⊆ L2 ⊆ L1 ⊆ L0**.
 //!
 //! # Examples
 //!
 //! ```
 //! use loupe_apps::registry;
-//! use loupe_static::{BinaryAnalyzer, SourceAnalyzer, StaticAnalyzer};
+//! use loupe_static::{analyze_graph, Level};
+//! use loupe_apps::ProgramGraph;
 //!
 //! let app = registry::find("redis").unwrap();
-//! let bin = BinaryAnalyzer::new().analyze(app.as_ref());
-//! let src = SourceAnalyzer::new().analyze(app.as_ref());
-//! assert!(src.syscalls.is_subset(&bin.syscalls));
+//! let graph = ProgramGraph::lower(app.as_ref());
+//! let l0 = analyze_graph(&graph, Level::L0);
+//! let l3 = analyze_graph(&graph, Level::L3);
+//! assert!(l3.syscalls.is_subset(&l0.syscalls));
 //! ```
 
+use std::collections::VecDeque;
+
+use loupe_apps::program::{CallEdge, FuncId, NumberOperand, ProgramGraph};
 use loupe_apps::AppModel;
-use loupe_syscalls::SysnoSet;
+use loupe_syscalls::{Sysno, SysnoSet};
 use serde::{Deserialize, Serialize};
 
 /// The result of a static analysis pass.
@@ -36,50 +60,436 @@ pub struct StaticReport {
     pub level: Level,
     /// Every syscall the analyser attributes to the application.
     pub syscalls: SysnoSet,
+    /// One witness per attributed syscall: the shortest entry→site call
+    /// path justifying it. Empty in reports stored by older versions.
+    #[serde(default)]
+    pub witnesses: Vec<Witness>,
 }
 
-/// Analysis level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+impl StaticReport {
+    /// The witness for `sysno`, if attributed.
+    pub fn witness(&self, sysno: Sysno) -> Option<&Witness> {
+        self.witnesses.iter().find(|w| w.sysno == sysno)
+    }
+}
+
+/// Analysis precision level, naive binary (L0) to source-aware (L3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Level {
-    /// Operates on ELF binaries: sees the app + all linked libraries, and
-    /// over-approximates indirect calls.
-    Binary,
-    /// Operates on sources: sees all branches of the app code (including
-    /// error paths) but resolves the libc more precisely.
-    Source,
+    /// Naive binary analysis: all address-taken functions are indirect
+    /// targets, register-number syscall sites expand to the full table.
+    L0,
+    /// Indirect-call candidates pruned by signature class.
+    L1,
+    /// L1 + intraprocedural constant propagation resolves `syscall(N)`.
+    L2,
+    /// Source-level: dead-linked objects excluded from the walk.
+    L3,
+}
+
+// Manual serde impls: pre-ladder databases stored the two historic
+// levels under `"Binary"`/`"Source"`, which must keep deserializing
+// (into L0/L3) alongside the ladder names.
+impl Serialize for Level {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(
+            match self {
+                Level::L0 => "L0",
+                Level::L1 => "L1",
+                Level::L2 => "L2",
+                Level::L3 => "L3",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl Deserialize for Level {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let name = v
+            .as_str()
+            .ok_or_else(|| serde::Error::custom(format!("expected level name, got {v:?}")))?;
+        match name {
+            "L0" | "Binary" => Ok(Level::L0),
+            "L1" => Ok(Level::L1),
+            "L2" => Ok(Level::L2),
+            "L3" | "Source" => Ok(Level::L3),
+            other => Err(serde::Error::custom(format!(
+                "unknown analysis level `{other}`"
+            ))),
+        }
+    }
 }
 
 impl Level {
-    /// Both levels, binary first (the paper's Fig. 4 ordering).
-    pub const ALL: [Level; 2] = [Level::Binary, Level::Source];
+    /// Every level, coarsest first (the precision ladder).
+    pub const ALL: [Level; 4] = [Level::L0, Level::L1, Level::L2, Level::L3];
 
-    /// Stable lowercase label (db namespace keys, report tables).
+    /// The historic binary-level analysis: an alias for [`Level::L0`]
+    /// (pre-ladder databases store this name).
+    #[allow(non_upper_case_globals)]
+    pub const Binary: Level = Level::L0;
+
+    /// The historic source-level analysis: an alias for [`Level::L3`].
+    #[allow(non_upper_case_globals)]
+    pub const Source: Level = Level::L3;
+
+    /// Stable lowercase label (db namespace keys, report tables, CLI).
     pub fn label(self) -> &'static str {
         match self {
-            Level::Binary => "binary",
-            Level::Source => "source",
+            Level::L0 => "l0",
+            Level::L1 => "l1",
+            Level::L2 => "l2",
+            Level::L3 => "l3",
+        }
+    }
+
+    /// The label pre-ladder databases stored this level under, for the
+    /// levels that existed then.
+    pub fn legacy_label(self) -> Option<&'static str> {
+        match self {
+            Level::L0 => Some("binary"),
+            Level::L3 => Some("source"),
+            _ => None,
+        }
+    }
+
+    /// Human-readable title for docs and CLI output.
+    pub fn title(self) -> &'static str {
+        match self {
+            Level::L0 => "L0 (naive binary)",
+            Level::L1 => "L1 (signature-pruned)",
+            Level::L2 => "L2 (constant propagation)",
+            Level::L3 => "L3 (source level)",
+        }
+    }
+
+    /// What the level adds over the previous rung, for docs.
+    pub fn description(self) -> &'static str {
+        match self {
+            Level::L0 => {
+                "every address-taken function targets every indirect call; \
+                 register-number syscall sites expand to the full table"
+            }
+            Level::L1 => "indirect-call candidates pruned by signature class",
+            Level::L2 => "intraprocedural constant propagation resolves syscall(N) sites",
+            Level::L3 => "dead-linked objects dropped; only source-linked code walked",
+        }
+    }
+
+    /// Parses a CLI/user spelling: `l0`..`l3`, bare digits, or the
+    /// legacy `binary`/`source` names.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "l0" | "0" | "binary" => Some(Level::L0),
+            "l1" | "1" => Some(Level::L1),
+            "l2" | "2" => Some(Level::L2),
+            "l3" | "3" | "source" => Some(Level::L3),
+            _ => None,
         }
     }
 
     /// The analyser for this level, as a trait object.
     pub fn analyzer(self) -> Box<dyn StaticAnalyzer + Send + Sync> {
-        match self {
-            Level::Binary => Box::new(BinaryAnalyzer::new()),
-            Level::Source => Box::new(SourceAnalyzer::new()),
-        }
+        Box::new(GraphAnalyzer::new(self))
     }
 }
 
-/// Common interface of the two analysers.
+/// How a witness step was reached from its predecessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// The first step: the program entry point.
+    Entry,
+    /// Reached through a direct call.
+    Direct,
+    /// Reached as a candidate target of an indirect call.
+    Indirect,
+}
+
+/// One function on a witness path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WitnessStep {
+    /// Function name (graph names are unique).
+    pub function: String,
+    /// How the walk arrived here.
+    pub edge: EdgeKind,
+}
+
+/// The justification for one attributed syscall: the shortest call path
+/// from the entry point to a syscall site whose expansion (at the
+/// report's level) contains the syscall.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Witness {
+    /// The attributed syscall.
+    pub sysno: Sysno,
+    /// Entry-to-site path; the first step is always the entry point.
+    pub path: Vec<WitnessStep>,
+    /// Index of the justifying syscall site in the final function.
+    pub site: usize,
+}
+
+impl Witness {
+    /// Renders the path as `a → b → c [site k]` for CLI/doc output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, step) in self.path.iter().enumerate() {
+            if i > 0 {
+                out.push_str(match step.edge {
+                    EdgeKind::Entry => " → ",
+                    EdgeKind::Direct => " → ",
+                    EdgeKind::Indirect => " ⇢ ", // over-approximated hop
+                });
+            }
+            out.push_str(&step.function);
+        }
+        out.push_str(&format!(" [site {}]", self.site));
+        out
+    }
+}
+
+/// Whether `site`'s expansion at `level` contains `sysno`.
+fn site_covers(site: NumberOperand, level: Level, sysno: Sysno) -> bool {
+    match site {
+        NumberOperand::Const(s) => s == sysno,
+        NumberOperand::Register { resolvable } => match level {
+            // Naive levels cannot read the register: the whole table.
+            Level::L0 | Level::L1 => true,
+            // Constant propagation resolves the literal when present.
+            Level::L2 | Level::L3 => resolvable.is_none_or(|n| n == sysno),
+        },
+    }
+}
+
+/// Whether `target` is a candidate of an indirect call with signature
+/// class `sig` at `level`.
+fn indirect_candidate(graph: &ProgramGraph, level: Level, sig: u8, target: FuncId) -> bool {
+    let f = &graph.functions[target];
+    if !f.address_taken {
+        return false;
+    }
+    match level {
+        Level::L0 => true,
+        Level::L1 | Level::L2 => f.sig == sig,
+        Level::L3 => f.sig == sig && f.source_linked,
+    }
+}
+
+/// Whether a direct call edge into `target` is walked at `level`
+/// (source analysis never enters dead-linked objects).
+fn direct_walkable(graph: &ProgramGraph, level: Level, target: FuncId) -> bool {
+    level != Level::L3 || graph.functions[target].source_linked
+}
+
+/// Runs graph reachability over `graph` at `level`, attributing every
+/// syscall some reachable site can expand to, with one shortest-path
+/// [`Witness`] per attributed syscall (breadth-first, so paths are
+/// minimal in call-edge count; ties broken by deterministic traversal
+/// order).
+pub fn analyze_graph(graph: &ProgramGraph, level: Level) -> StaticReport {
+    let n = graph.functions.len();
+    // Address-taken population, bucketed for the sig-pruning levels.
+    let candidates: Vec<FuncId> = (0..n)
+        .filter(|&i| graph.functions[i].address_taken)
+        .collect();
+
+    let mut prev: Vec<Option<(FuncId, EdgeKind)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[graph.entry] = true;
+    queue.push_back(graph.entry);
+
+    let mut syscalls = SysnoSet::new();
+    let mut witnesses: Vec<Witness> = Vec::new();
+
+    while let Some(f) = queue.pop_front() {
+        // Attribute this function's sites.
+        for (site_idx, site) in graph.functions[f].sites.iter().enumerate() {
+            let expand = |syscalls: &mut SysnoSet, witnesses: &mut Vec<Witness>, s: Sysno| {
+                if syscalls.insert(s) {
+                    witnesses.push(Witness {
+                        sysno: s,
+                        path: path_to(graph, &prev, f),
+                        site: site_idx,
+                    });
+                }
+            };
+            match site.number {
+                NumberOperand::Const(s) => expand(&mut syscalls, &mut witnesses, s),
+                NumberOperand::Register { resolvable } => match (level, resolvable) {
+                    (Level::L2 | Level::L3, Some(s)) => expand(&mut syscalls, &mut witnesses, s),
+                    _ => {
+                        for s in Sysno::all() {
+                            expand(&mut syscalls, &mut witnesses, s);
+                        }
+                    }
+                },
+            }
+        }
+        // Walk outgoing edges.
+        for edge in &graph.functions[f].calls {
+            match *edge {
+                CallEdge::Direct { target } => {
+                    if direct_walkable(graph, level, target) && !seen[target] {
+                        seen[target] = true;
+                        prev[target] = Some((f, EdgeKind::Direct));
+                        queue.push_back(target);
+                    }
+                }
+                CallEdge::Indirect { sig, .. } => {
+                    for &t in &candidates {
+                        if indirect_candidate(graph, level, sig, t) && !seen[t] {
+                            seen[t] = true;
+                            prev[t] = Some((f, EdgeKind::Indirect));
+                            queue.push_back(t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    witnesses.sort_by_key(|w| w.sysno);
+    StaticReport {
+        app: graph.app.clone(),
+        level,
+        syscalls,
+        witnesses,
+    }
+}
+
+/// Reconstructs the BFS path from the entry to `f`.
+fn path_to(
+    graph: &ProgramGraph,
+    prev: &[Option<(FuncId, EdgeKind)>],
+    f: FuncId,
+) -> Vec<WitnessStep> {
+    let mut steps = Vec::new();
+    let mut cur = f;
+    loop {
+        match prev[cur] {
+            Some((p, kind)) => {
+                steps.push(WitnessStep {
+                    function: graph.functions[cur].name.clone(),
+                    edge: kind,
+                });
+                cur = p;
+            }
+            None => {
+                steps.push(WitnessStep {
+                    function: graph.functions[cur].name.clone(),
+                    edge: EdgeKind::Entry,
+                });
+                break;
+            }
+        }
+    }
+    steps.reverse();
+    steps
+}
+
+/// Re-walks a witness against the graph at `level`: every step must be
+/// a real edge the level would take, and the final site must expand to
+/// the witnessed syscall.
+///
+/// # Errors
+///
+/// A description of the first step that does not re-walk.
+pub fn verify_witness(graph: &ProgramGraph, level: Level, w: &Witness) -> Result<(), String> {
+    if w.path.is_empty() {
+        return Err("empty witness path".into());
+    }
+    let resolve = |name: &str| -> Result<FuncId, String> {
+        graph
+            .find(name)
+            .ok_or_else(|| format!("function `{name}` not in graph"))
+    };
+    let first = resolve(&w.path[0].function)?;
+    if first != graph.entry {
+        return Err(format!(
+            "path starts at `{}`, not the entry point",
+            w.path[0].function
+        ));
+    }
+    if w.path[0].edge != EdgeKind::Entry {
+        return Err("first step must be an Entry edge".into());
+    }
+    let mut at = first;
+    for step in &w.path[1..] {
+        let next = resolve(&step.function)?;
+        let ok = match step.edge {
+            EdgeKind::Entry => false,
+            EdgeKind::Direct => {
+                graph.functions[at]
+                    .calls
+                    .contains(&CallEdge::Direct { target: next })
+                    && direct_walkable(graph, level, next)
+            }
+            EdgeKind::Indirect => graph.functions[at].calls.iter().any(|e| {
+                matches!(*e, CallEdge::Indirect { sig, .. }
+                    if indirect_candidate(graph, level, sig, next))
+            }),
+        };
+        if !ok {
+            return Err(format!(
+                "no {:?} edge `{}` → `{}` at {}",
+                step.edge,
+                graph.functions[at].name,
+                step.function,
+                level.title()
+            ));
+        }
+        at = next;
+    }
+    let sites = &graph.functions[at].sites;
+    let site = sites
+        .get(w.site)
+        .ok_or_else(|| format!("`{}` has no site {}", graph.functions[at].name, w.site))?;
+    if !site_covers(site.number, level, w.sysno) {
+        return Err(format!(
+            "site {} of `{}` cannot expand to `{}` at {}",
+            w.site,
+            graph.functions[at].name,
+            w.sysno.name(),
+            level.title()
+        ));
+    }
+    Ok(())
+}
+
+/// Common interface of the per-level analysers.
 pub trait StaticAnalyzer {
-    /// Analyses one application.
+    /// Analyses one application (lowering it to its program graph).
     fn analyze(&self, app: &dyn AppModel) -> StaticReport;
 
     /// The analysis level.
     fn level(&self) -> Level;
 }
 
-/// Binary-level analyser (à la Tsai et al. / sysfilter).
+/// The graph-reachability analyser at a chosen precision level.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphAnalyzer {
+    level: Level,
+}
+
+impl GraphAnalyzer {
+    /// Creates the analyser for `level`.
+    pub fn new(level: Level) -> GraphAnalyzer {
+        GraphAnalyzer { level }
+    }
+}
+
+impl StaticAnalyzer for GraphAnalyzer {
+    fn analyze(&self, app: &dyn AppModel) -> StaticReport {
+        analyze_graph(&ProgramGraph::lower(app), self.level)
+    }
+
+    fn level(&self) -> Level {
+        self.level
+    }
+}
+
+/// Binary-level analyser (à la Tsai et al. / sysfilter): the naive
+/// [`Level::L0`] configuration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BinaryAnalyzer;
 
@@ -92,20 +502,16 @@ impl BinaryAnalyzer {
 
 impl StaticAnalyzer for BinaryAnalyzer {
     fn analyze(&self, app: &dyn AppModel) -> StaticReport {
-        let spec = app.spec();
-        StaticReport {
-            app: spec.name,
-            level: Level::Binary,
-            syscalls: app.code().binary_view(spec.libc),
-        }
+        GraphAnalyzer::new(Level::L0).analyze(app)
     }
 
     fn level(&self) -> Level {
-        Level::Binary
+        Level::L0
     }
 }
 
-/// Source-level analyser (à la the Unikraft source analyser).
+/// Source-level analyser (à la the Unikraft source analyser): the
+/// [`Level::L3`] configuration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SourceAnalyzer;
 
@@ -118,29 +524,23 @@ impl SourceAnalyzer {
 
 impl StaticAnalyzer for SourceAnalyzer {
     fn analyze(&self, app: &dyn AppModel) -> StaticReport {
-        let spec = app.spec();
-        StaticReport {
-            app: spec.name,
-            level: Level::Source,
-            syscalls: app.code().source_view(spec.libc),
-        }
+        GraphAnalyzer::new(Level::L3).analyze(app)
     }
 
     fn level(&self) -> Level {
-        Level::Source
+        Level::L3
     }
 }
 
-/// API importance under static analysis: for each syscall, the fraction of
-/// `reports` that contain it (the metric of Tsai et al. reused in §5.1).
+/// API importance under static analysis: for each syscall, the fraction
+/// of `reports` that contain it (the metric of Tsai et al. reused in
+/// §5.1).
 ///
-/// Delegates to [`loupe_plan::importance_fractions`] — the same (NaN-safe)
-/// implementation that ranks the dynamic curves, so static and dynamic
-/// importance are always computed identically and only the input sets
-/// differ.
-pub fn api_importance(reports: &[StaticReport]) -> Vec<(loupe_syscalls::Sysno, f64)> {
-    let sets: Vec<SysnoSet> = reports.iter().map(|r| r.syscalls.clone()).collect();
-    loupe_plan::importance_fractions(&sets)
+/// Delegates to [`loupe_plan::importance_fractions`] — the same
+/// (NaN-safe) implementation that ranks the dynamic curves — borrowing
+/// each report's set rather than cloning it.
+pub fn api_importance(reports: &[StaticReport]) -> Vec<(Sysno, f64)> {
+    loupe_plan::importance_fractions(reports.iter().map(|r| &r.syscalls))
 }
 
 #[cfg(test)]
@@ -149,30 +549,140 @@ mod tests {
     use loupe_apps::registry;
 
     #[test]
-    fn binary_dominates_source_for_every_detailed_app() {
-        let bin = BinaryAnalyzer::new();
-        let src = SourceAnalyzer::new();
+    fn ladder_is_monotone_for_every_detailed_app() {
         for app in registry::detailed() {
-            let b = bin.analyze(app.as_ref());
-            let s = src.analyze(app.as_ref());
+            let graph = ProgramGraph::lower(app.as_ref());
+            let reports: Vec<_> = Level::ALL
+                .iter()
+                .map(|&l| analyze_graph(&graph, l))
+                .collect();
+            for pair in reports.windows(2) {
+                assert!(
+                    pair[1].syscalls.is_subset(&pair[0].syscalls),
+                    "{}: {} ⊄ {}",
+                    app.name(),
+                    pair[1].level.label(),
+                    pair[0].level.label()
+                );
+            }
             assert!(
-                s.syscalls.is_subset(&b.syscalls),
-                "{}: source not within binary",
+                graph.dynamic_reachable().is_subset(&reports[3].syscalls),
+                "{}: dynamic ⊄ L3",
                 app.name()
             );
             assert!(
-                b.syscalls.len() > 100,
-                "{}: binary view too small ({})",
+                reports[0].syscalls.len() > 90,
+                "{}: naive view too small ({})",
                 app.name(),
-                b.syscalls.len()
+                reports[0].syscalls.len()
+            );
+            // Signature pruning must actually prune something.
+            assert!(
+                reports[1].syscalls.len() < reports[0].syscalls.len(),
+                "{}: L1 did not prune",
+                app.name()
+            );
+            // Source level drops the dead libc objects.
+            assert!(
+                reports[3].syscalls.len() < reports[2].syscalls.len(),
+                "{}: L3 did not drop dead objects",
+                app.name()
             );
         }
     }
 
     #[test]
+    fn every_attributed_syscall_has_a_verifying_witness() {
+        // The acceptance anchor: for a detailed app, every attributed
+        // syscall at every level carries a witness that re-walks.
+        let app = registry::find("redis").unwrap();
+        let graph = ProgramGraph::lower(app.as_ref());
+        for &level in &Level::ALL {
+            let report = analyze_graph(&graph, level);
+            assert_eq!(
+                report.witnesses.len(),
+                report.syscalls.len(),
+                "one witness per attributed syscall at {}",
+                level.label()
+            );
+            for w in &report.witnesses {
+                assert!(report.syscalls.contains(w.sysno));
+                verify_witness(&graph, level, w).unwrap_or_else(|e| {
+                    panic!("{} witness for {}: {e}", level.label(), w.sysno.name())
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_are_shortest_paths_and_render() {
+        let app = registry::find("weborf").unwrap();
+        let graph = ProgramGraph::lower(app.as_ref());
+        let report = analyze_graph(&graph, Level::L3);
+        // Init syscalls sit one hop from the entry.
+        let w = report
+            .witness(loupe_syscalls::Sysno::execve)
+            .expect("execve witnessed");
+        assert_eq!(w.path.len(), 2, "{:?}", w);
+        assert_eq!(w.path[0].function, "crt::_start");
+        assert!(w.render().contains("crt::libc_start_main"));
+        // A corrupted witness must not verify.
+        let mut bad = w.clone();
+        bad.path[1].function = "app::main".into();
+        assert!(verify_witness(&graph, Level::L3, &bad).is_err());
+    }
+
+    #[test]
+    fn constant_propagation_resolves_raw_sites() {
+        // A fleet app with raw syscall(N) sites: the naive levels expand
+        // them to the full table, L2 resolves them.
+        let app = registry::dataset()
+            .into_iter()
+            .find(|a| !a.code().raw_syscalls.is_empty())
+            .expect("a fleet app with raw sites");
+        let graph = ProgramGraph::lower(app.as_ref());
+        let l1 = analyze_graph(&graph, Level::L1);
+        let l2 = analyze_graph(&graph, Level::L2);
+        assert_eq!(
+            l1.syscalls.len(),
+            Sysno::all().count(),
+            "{}: unknown register expands to the whole table",
+            app.name()
+        );
+        assert!(l2.syscalls.len() < l1.syscalls.len() / 2, "{}", app.name());
+        for s in app.code().raw_syscalls.iter() {
+            assert!(l2.syscalls.contains(s));
+            let w = l2.witness(s).expect("resolved site witnessed");
+            verify_witness(&graph, Level::L2, w).unwrap();
+        }
+    }
+
+    #[test]
+    fn legacy_levels_alias_the_ladder_ends() {
+        assert_eq!(Level::Binary, Level::L0);
+        assert_eq!(Level::Source, Level::L3);
+        assert_eq!(Level::parse("binary"), Some(Level::L0));
+        assert_eq!(Level::parse("source"), Some(Level::L3));
+        assert_eq!(Level::parse("L2"), Some(Level::L2));
+        assert_eq!(Level::parse("nope"), None);
+        // Pre-ladder reports deserialize into the aliased levels, with
+        // no witnesses.
+        let old = r#"{"app":"redis","level":"Binary","syscalls":[0]}"#;
+        let report: StaticReport = serde_json::from_str(old).unwrap();
+        assert_eq!(report.level, Level::L0);
+        assert!(report.witnesses.is_empty());
+        let app = registry::find("redis").unwrap();
+        let b = BinaryAnalyzer::new().analyze(app.as_ref());
+        let s = SourceAnalyzer::new().analyze(app.as_ref());
+        assert_eq!(b.level, Level::L0);
+        assert_eq!(s.level, Level::L3);
+        assert!(s.syscalls.is_subset(&b.syscalls));
+    }
+
+    #[test]
     fn source_view_is_still_an_overestimate_of_behaviour() {
-        // The source view includes error-path syscalls the workloads never
-        // execute; spot-check one known dead branch.
+        // The source level includes error-path syscalls the workloads
+        // never execute; spot-check one known dead branch.
         let app = registry::find("redis").unwrap();
         let s = SourceAnalyzer::new().analyze(app.as_ref());
         assert!(s.syscalls.contains(loupe_syscalls::Sysno::mremap));

@@ -60,7 +60,8 @@ pub use gentests::{
 pub use matrix::{sweep_matrix, MatrixConfig, MatrixSummary, OsWorkloadStats};
 pub use plans::{validate_curated_plans, validate_plans, PlanSweepError};
 pub use statics::{
-    compare, sweep_static, AppComparison, CompareError, Comparison, PlanDelta, StaticSweepSummary,
+    compare, sweep_static, sweep_static_levels, AppComparison, CompareError, Comparison,
+    LevelStats, PlanDelta, StaticSweepSummary, WitnessExample,
 };
 
 use std::collections::BTreeMap;

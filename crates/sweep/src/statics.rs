@@ -6,28 +6,31 @@
 //! compatibility-layer effort. This module makes that argument
 //! measurable over the whole fleet:
 //!
-//! * [`sweep_static`] runs the [`BinaryAnalyzer`] and [`SourceAnalyzer`]
-//!   baselines over a fleet on the shared bounded worker pool and
-//!   persists the [`StaticReport`]s in the database's level-keyed
-//!   `static/` namespace;
+//! * [`sweep_static`] lowers every app to its [`ProgramGraph`] and runs
+//!   graph reachability at each rung of the precision ladder
+//!   ([`Level::ALL`]) on the shared bounded worker pool, persisting the
+//!   [`StaticReport`]s in the database's level-keyed `static/`
+//!   namespace ([`sweep_static_levels`] restricts the rungs);
 //! * [`compare`] joins the static reports against the stored dynamic
 //!   measurements of every workload and computes, per app, the Fig. 4
-//!   overestimation factors — checking the structural invariant
-//!   **dynamic ⊆ source ⊆ binary** along the way — plus the Fig. 6/7
-//!   API-importance rank shifts and, per curated OS, the size of a
-//!   support plan built from static requirements vs the validated
-//!   dynamic plan (the "static plans waste effort" claim, per OS);
+//!   overestimation factor at every level — checking the containment
+//!   chain **dynamic ⊆ L3 ⊆ L2 ⊆ L1 ⊆ L0** along the way — plus the
+//!   Fig. 6/7 API-importance rank shifts and, per curated OS, the size
+//!   of a support plan built from each level's requirements vs the
+//!   validated dynamic plan (the "static plans waste effort" claim);
 //! * [`render_static_comparison`] turns the comparisons into the
-//!   generated, drift-checked `docs/STATIC_VS_DYNAMIC.md`.
+//!   generated, drift-checked `docs/STATIC_VS_DYNAMIC.md`, including
+//!   worked witness examples showing *why* an analyser attributed a
+//!   syscall.
 
 use std::fmt;
 use std::fmt::Write as _;
 
-use loupe_apps::{AppModel, Workload};
+use loupe_apps::{AppModel, ProgramGraph, Workload};
 use loupe_core::{fingerprint_of, AppReport};
 use loupe_db::{ns, Database, DbError};
 use loupe_plan::{importance_fractions, os, AppRequirement, SupportPlan};
-use loupe_static::{api_importance, Level, StaticReport};
+use loupe_static::{analyze_graph, api_importance, Level, StaticReport};
 use loupe_syscalls::{Sysno, SysnoSet};
 
 use crate::pool;
@@ -39,16 +42,16 @@ pub struct StaticSweepSummary {
     pub analyzed: usize,
     /// Entries served from the database.
     pub cached: usize,
-    /// Every (app, level) report, deterministically ordered by
-    /// `(app, level)`.
+    /// The reports analysed fresh in this sweep, deterministically
+    /// ordered by `(app, level)`. Cache hits are answered from the
+    /// provenance manifest without re-reading (or re-parsing) the
+    /// stored artifact — load them with [`Database::load_static`] if
+    /// their content is needed.
     pub reports: Vec<StaticReport>,
 }
 
-/// Runs both static analysers over `apps` on a bounded worker pool,
-/// persisting every report into `db`'s `static/` namespace. Cached
-/// entries are skipped unless `force` re-analyses them (overwriting:
-/// static analysis is pure, there is nothing to merge). `workers = 0`
-/// picks `min(available_parallelism, 16)`.
+/// Runs the full precision ladder over `apps`: shorthand for
+/// [`sweep_static_levels`] with [`Level::ALL`].
 ///
 /// # Errors
 ///
@@ -56,7 +59,28 @@ pub struct StaticSweepSummary {
 /// an I/O error naming the app.
 pub fn sweep_static(
     db: &Database,
+    apps: Vec<Box<dyn AppModel>>,
+    workers: usize,
+    force: bool,
+) -> Result<StaticSweepSummary, DbError> {
+    sweep_static_levels(db, apps, &Level::ALL, workers, force)
+}
+
+/// Lowers each app to its program graph once, then analyses it at each
+/// of `levels` on a bounded worker pool, persisting every report into
+/// `db`'s `static/` namespace. Cached entries are skipped unless
+/// `force` re-analyses them (overwriting: static analysis is pure,
+/// there is nothing to merge). `workers = 0` picks
+/// `min(available_parallelism, 16)`.
+///
+/// # Errors
+///
+/// Database I/O and corruption errors; a panicking analyser surfaces as
+/// an I/O error naming the app.
+pub fn sweep_static_levels(
+    db: &Database,
     mut apps: Vec<Box<dyn AppModel>>,
+    levels: &[Level],
     workers: usize,
     force: bool,
 ) -> Result<StaticSweepSummary, DbError> {
@@ -64,21 +88,28 @@ pub fn sweep_static(
     apps.retain(|app| seen.insert(app.name().to_owned()));
 
     let jobs: Vec<(usize, Level)> = (0..apps.len())
-        .flat_map(|a| Level::ALL.into_iter().map(move |l| (a, l)))
+        .flat_map(|a| levels.iter().map(move |&l| (a, l)))
         .collect();
     let workers = effective_workers(workers, jobs.len());
 
-    // Static analysis is a pure function of the app's code descriptor,
-    // so the input set is the app fingerprint alone — computed once per
-    // app, not once per (app, level) job.
+    // The graph — and therefore every level's report — is a pure
+    // function of the app's descriptor, so the cache input set is the
+    // (spec, code) fingerprint alone, computed once per app. The
+    // lowered graphs are shared read-only across the per-level jobs.
     let app_fps: Vec<loupe_core::Fingerprint> = apps
         .iter()
         .map(|app| fingerprint_of(&(app.spec(), app.code())))
         .collect();
+    // Graphs are lowered on demand: a fully cached sweep (the common
+    // CI re-run) answers every job from the provenance manifest and
+    // never lowers anything.
+    let graphs: Vec<std::sync::OnceLock<ProgramGraph>> = (0..apps.len())
+        .map(|_| std::sync::OnceLock::new())
+        .collect();
 
     enum JobOut {
         Fresh(StaticReport),
-        Cached(StaticReport),
+        Cached,
         Db(DbError),
     }
 
@@ -87,21 +118,22 @@ pub fn sweep_static(
         let key = loupe_db::static_key(level, app.name());
         let mut inputs = std::collections::BTreeMap::new();
         inputs.insert("app".to_owned(), app_fps[app_idx]);
+        // A current fingerprint answers the job outright: the stored
+        // report is not re-read, let alone re-parsed — witnesses make
+        // L0 artifacts large, and provenance was only recorded after a
+        // successful save.
         let current = db.is_current(ns::STATIC, &key, &inputs);
-        let had_entry = match db.load_static(level, app.name()) {
-            Ok(Some(cached)) if current && !force => {
-                db.note_hit(ns::STATIC);
-                return JobOut::Cached(cached);
-            }
-            Ok(existing) => existing.is_some(),
-            Err(e) => return JobOut::Db(e),
-        };
-        if had_entry && !current {
+        if current && !force {
+            db.note_hit(ns::STATIC);
+            return JobOut::Cached;
+        }
+        if !current && db.contains_static(level, app.name()) {
             db.note_stale(ns::STATIC);
         } else {
             db.note_miss(ns::STATIC);
         }
-        let report = level.analyzer().analyze(app);
+        let graph = graphs[app_idx].get_or_init(|| ProgramGraph::lower(apps[app_idx].as_ref()));
+        let report = analyze_graph(graph, level);
         match db.save_static(&report) {
             Ok(()) => {
                 db.record_provenance(ns::STATIC, &key, inputs, Default::default());
@@ -122,10 +154,7 @@ pub fn sweep_static(
                 summary.analyzed += 1;
                 summary.reports.push(r);
             }
-            Ok(JobOut::Cached(r)) => {
-                summary.cached += 1;
-                summary.reports.push(r);
-            }
+            Ok(JobOut::Cached) => summary.cached += 1,
             Ok(JobOut::Db(e)) => return Err(e),
             Err(panic) => {
                 return Err(DbError::Io(std::io::Error::other(format!(
@@ -192,7 +221,28 @@ impl From<DbError> for CompareError {
     }
 }
 
-/// One application's static-vs-dynamic numbers (a Fig. 4 bar group).
+/// Index of `level` in [`Level::ALL`] (and in every `[_; 4]` array of
+/// per-level values below).
+fn level_index(level: Level) -> usize {
+    Level::ALL.iter().position(|&l| l == level).unwrap()
+}
+
+/// One precision rung's numbers for one application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelStats {
+    /// The precision level.
+    pub level: Level,
+    /// Syscalls the analyser attributes to the app at this level.
+    pub attributed: usize,
+    /// `attributed / dynamic_used` (≥ 1 whenever containment holds).
+    pub over_used: f64,
+    /// `attributed / dynamic_required` — the effort misdirection
+    /// factor.
+    pub over_required: f64,
+}
+
+/// One application's static-vs-dynamic numbers (a Fig. 4 bar group,
+/// one bar per precision level).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AppComparison {
     /// Application name.
@@ -201,26 +251,21 @@ pub struct AppComparison {
     pub dynamic_used: usize,
     /// Syscalls Loupe says must be implemented (`plan_required`).
     pub dynamic_required: usize,
-    /// Syscalls the source-level analyser attributes to the app.
-    pub source: usize,
-    /// Syscalls the binary-level analyser attributes to the app.
-    pub binary: usize,
-    /// `source / dynamic_used` (≥ 1 whenever the subset invariant holds).
-    pub source_over_used: f64,
-    /// `binary / dynamic_used`.
-    pub binary_over_used: f64,
-    /// `source / dynamic_required` — the effort misdirection factor.
-    pub source_over_required: f64,
-    /// `binary / dynamic_required`.
-    pub binary_over_required: f64,
-    /// Whether dynamic ⊆ source ⊆ binary holds for this app.
-    pub subset_ok: bool,
-    /// Dynamically exercised syscalls the source analyser missed
-    /// (diagnostics; empty when `subset_ok`).
-    pub missing_from_source: SysnoSet,
-    /// Source-view syscalls the binary analyser missed (empty when
-    /// `subset_ok`).
-    pub missing_from_binary: SysnoSet,
+    /// Per-level stats, coarsest (L0) first — same order as
+    /// [`Level::ALL`].
+    pub levels: Vec<LevelStats>,
+    /// Whether dynamic ⊆ L3 ⊆ L2 ⊆ L1 ⊆ L0 holds for this app.
+    pub chain_ok: bool,
+    /// Each broken link, as (description, syscalls the coarser side
+    /// missed). Empty when `chain_ok`.
+    pub chain_breaks: Vec<(String, SysnoSet)>,
+}
+
+impl AppComparison {
+    /// The stats for `level`.
+    pub fn level(&self, level: Level) -> &LevelStats {
+        &self.levels[level_index(level)]
+    }
 }
 
 /// How one syscall's importance rank moves between the static and
@@ -233,7 +278,7 @@ pub struct RankShift {
     pub dynamic_rank: usize,
     /// Fraction of apps requiring it dynamically.
     pub dynamic_importance: f64,
-    /// Rank under the static (binary-analysis) definition, 1-based;
+    /// Rank under the static (naive binary, L0) definition, 1-based;
     /// `None` if static analysis never attributes it to any app.
     pub static_rank: Option<usize>,
     /// Fraction of app binaries containing it statically.
@@ -241,7 +286,7 @@ pub struct RankShift {
 }
 
 /// Static-plan vs dynamic-plan sizes for one curated OS: the per-OS
-/// "static plans waste effort" numbers.
+/// "static plans waste effort" numbers, at every precision level.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanDelta {
     /// Target OS.
@@ -250,32 +295,56 @@ pub struct PlanDelta {
     pub dynamic_initial: usize,
     /// Syscalls the dynamic plan implements in total.
     pub dynamic_implemented: usize,
-    /// Apps supported with zero work when requirements come from the
-    /// source analyser.
-    pub source_initial: usize,
-    /// Syscalls a source-requirements plan implements.
-    pub source_implemented: usize,
-    /// Apps supported with zero work when requirements come from the
-    /// binary analyser.
-    pub binary_initial: usize,
-    /// Syscalls a binary-requirements plan implements.
-    pub binary_implemented: usize,
+    /// Apps supported with zero work when requirements come from each
+    /// level's analyser (L0 first, as [`Level::ALL`]).
+    pub level_initial: [usize; 4],
+    /// Syscalls a plan built from each level's requirements implements.
+    pub level_implemented: [usize; 4],
 }
 
 impl PlanDelta {
-    /// Implementation work the source-level plan schedules beyond the
+    /// Apps supported at step 0 under `level`'s requirements.
+    pub fn initial(&self, level: Level) -> usize {
+        self.level_initial[level_index(level)]
+    }
+
+    /// Syscalls a plan built from `level`'s requirements implements.
+    pub fn implemented(&self, level: Level) -> usize {
+        self.level_implemented[level_index(level)]
+    }
+
+    /// Implementation work the `level` plan schedules beyond the
     /// dynamic plan.
-    pub fn source_waste(&self) -> usize {
-        self.source_implemented
+    pub fn waste(&self, level: Level) -> usize {
+        self.implemented(level)
             .saturating_sub(self.dynamic_implemented)
     }
 
-    /// Implementation work the binary-level plan schedules beyond the
-    /// dynamic plan.
-    pub fn binary_waste(&self) -> usize {
-        self.binary_implemented
-            .saturating_sub(self.dynamic_implemented)
+    /// Waste of the source-level (L3) plan.
+    pub fn source_waste(&self) -> usize {
+        self.waste(Level::Source)
     }
+
+    /// Waste of the naive binary (L0) plan.
+    pub fn binary_waste(&self) -> usize {
+        self.waste(Level::Binary)
+    }
+}
+
+/// A worked witness example for the generated docs: one attributed
+/// syscall and the call path that justifies it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WitnessExample {
+    /// Application whose graph the path runs through.
+    pub app: String,
+    /// Level whose analyser produced the witness.
+    pub level: Level,
+    /// The attributed syscall.
+    pub sysno: Sysno,
+    /// The rendered entry→site path (see `loupe_static::Witness`).
+    pub rendered: String,
+    /// Why this example was picked, for the doc caption.
+    pub note: String,
 }
 
 /// The full static-vs-dynamic comparison for one workload.
@@ -285,29 +354,36 @@ pub struct Comparison {
     pub workload: Workload,
     /// Per-app factors, sorted by app name.
     pub apps: Vec<AppComparison>,
-    /// Mean `source / dynamic_used` over the fleet.
-    pub mean_source_factor: f64,
-    /// Mean `binary / dynamic_used` over the fleet.
-    pub mean_binary_factor: f64,
+    /// Mean `attributed / dynamic_used` over the fleet, per level
+    /// (L0 first).
+    pub mean_factor: [f64; 4],
+    /// Median `attributed / dynamic_used` over the fleet, per level.
+    pub median_factor: [f64; 4],
+    /// Distinct syscalls attributed anywhere in the fleet, per level.
+    pub fleet_static: [usize; 4],
     /// Distinct syscalls exercised anywhere in the fleet dynamically.
     pub fleet_dynamic_used: usize,
     /// Distinct syscalls required anywhere per Loupe.
     pub fleet_dynamic_required: usize,
-    /// Distinct syscalls attributed anywhere by the source analyser.
-    pub fleet_source: usize,
-    /// Distinct syscalls attributed anywhere by the binary analyser.
-    pub fleet_binary: usize,
     /// Importance rank shifts for the dynamically most-required
     /// syscalls.
     pub rank_shifts: Vec<RankShift>,
     /// Per-curated-OS plan-size deltas.
     pub plan_deltas: Vec<PlanDelta>,
+    /// Worked witness examples (deterministically chosen; empty when
+    /// the stored reports predate witnesses).
+    pub witness_examples: Vec<WitnessExample>,
 }
 
 impl Comparison {
-    /// Whether dynamic ⊆ source ⊆ binary holds for every app.
+    /// Whether dynamic ⊆ L3 ⊆ L2 ⊆ L1 ⊆ L0 holds for every app.
     pub fn invariants_hold(&self) -> bool {
-        self.apps.iter().all(|a| a.subset_ok)
+        self.apps.iter().all(|a| a.chain_ok)
+    }
+
+    /// Mean over-used factor at `level`.
+    pub fn mean_factor_of(&self, level: Level) -> f64 {
+        self.mean_factor[level_index(level)]
     }
 }
 
@@ -317,6 +393,19 @@ const RANK_SHIFT_ROWS: usize = 15;
 
 fn ratio(over: usize, under: usize) -> f64 {
     over as f64 / under.max(1) as f64
+}
+
+fn median(sorted: &mut [f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
 }
 
 /// Joins the stored static reports against the stored dynamic
@@ -348,13 +437,12 @@ fn compare_workload(
     reports: &[AppReport],
 ) -> Result<Comparison, CompareError> {
     let mut apps = Vec::new();
-    let mut statics_binary = Vec::new();
-    let mut source_reqs = Vec::new();
-    let mut binary_reqs = Vec::new();
+    let mut statics_l0 = Vec::new();
+    let mut level_reqs: [Vec<AppRequirement>; 4] = Default::default();
     let mut fleet_used = SysnoSet::new();
     let mut fleet_required = SysnoSet::new();
-    let mut fleet_source = SysnoSet::new();
-    let mut fleet_binary = SysnoSet::new();
+    let mut fleet_static_sets: [SysnoSet; 4] = Default::default();
+    let mut witness_examples = Vec::new();
 
     for report in reports {
         let load = |level: Level| -> Result<StaticReport, CompareError> {
@@ -364,49 +452,118 @@ fn compare_workload(
                     level,
                 })
         };
-        let src = load(Level::Source)?;
-        let bin = load(Level::Binary)?;
+        let ladder: Vec<StaticReport> = Level::ALL
+            .iter()
+            .map(|&l| load(l))
+            .collect::<Result<_, _>>()?;
 
         let used = report.traced().union(&report.fallbacks);
         let required = report.plan_required();
-        let missing_from_source = used.difference(&src.syscalls);
-        let missing_from_binary = src.syscalls.difference(&bin.syscalls);
+
+        // The containment chain, finest set first: each link's finer
+        // side must sit inside the coarser side.
+        let mut chain_breaks = Vec::new();
+        let missing_from_l3 = used.difference(&ladder[3].syscalls);
+        if !missing_from_l3.is_empty() {
+            chain_breaks.push(("dynamic ⊄ l3".to_owned(), missing_from_l3));
+        }
+        for fine in (1..4).rev() {
+            let coarse = fine - 1;
+            let missing = ladder[fine].syscalls.difference(&ladder[coarse].syscalls);
+            if !missing.is_empty() {
+                chain_breaks.push((
+                    format!(
+                        "{} ⊄ {}",
+                        Level::ALL[fine].label(),
+                        Level::ALL[coarse].label()
+                    ),
+                    missing,
+                ));
+            }
+        }
+
+        let levels: Vec<LevelStats> = ladder
+            .iter()
+            .map(|r| LevelStats {
+                level: r.level,
+                attributed: r.syscalls.len(),
+                over_used: ratio(r.syscalls.len(), used.len()),
+                over_required: ratio(r.syscalls.len(), required.len()),
+            })
+            .collect();
+
         apps.push(AppComparison {
             app: report.app.clone(),
             dynamic_used: used.len(),
             dynamic_required: required.len(),
-            source: src.syscalls.len(),
-            binary: bin.syscalls.len(),
-            source_over_used: ratio(src.syscalls.len(), used.len()),
-            binary_over_used: ratio(bin.syscalls.len(), used.len()),
-            source_over_required: ratio(src.syscalls.len(), required.len()),
-            binary_over_required: ratio(bin.syscalls.len(), required.len()),
-            subset_ok: missing_from_source.is_empty() && missing_from_binary.is_empty(),
-            missing_from_source,
-            missing_from_binary,
+            levels,
+            chain_ok: chain_breaks.is_empty(),
+            chain_breaks,
         });
 
         fleet_used = fleet_used.union(&used);
         fleet_required = fleet_required.union(&required);
-        fleet_source = fleet_source.union(&src.syscalls);
-        fleet_binary = fleet_binary.union(&bin.syscalls);
+        for (i, r) in ladder.iter().enumerate() {
+            fleet_static_sets[i] = fleet_static_sets[i].union(&r.syscalls);
+            // Static "requirements": a static analyser cannot tell
+            // stubbable from required, so a plan built on it must
+            // implement everything it reports — exactly the
+            // misdirection the paper quantifies.
+            level_reqs[i].push(static_requirement(r));
+        }
 
-        // Static "requirements": a static analyser cannot tell stubbable
-        // from required, so a plan built on it must implement everything
-        // it reports — exactly the misdirection the paper quantifies.
-        source_reqs.push(static_requirement(&src));
-        binary_reqs.push(static_requirement(&bin));
-        statics_binary.push(bin);
+        // Two worked examples from the first app whose reports carry
+        // witnesses (reports are sorted by app, so this is stable):
+        // the deepest L3 path, and a syscall only the naive L0 view
+        // attributes.
+        if witness_examples.is_empty() && !ladder[3].witnesses.is_empty() {
+            if let Some(w) = ladder[3]
+                .witnesses
+                .iter()
+                .max_by_key(|w| (w.path.len(), std::cmp::Reverse(w.sysno)))
+            {
+                witness_examples.push(WitnessExample {
+                    app: report.app.clone(),
+                    level: Level::L3,
+                    sysno: w.sysno,
+                    rendered: w.render(),
+                    note: "deepest source-level (L3) attribution path".to_owned(),
+                });
+            }
+            if let Some(w) = ladder[0]
+                .witnesses
+                .iter()
+                .find(|w| !ladder[3].syscalls.contains(w.sysno))
+            {
+                witness_examples.push(WitnessExample {
+                    app: report.app.clone(),
+                    level: Level::L0,
+                    sysno: w.sysno,
+                    rendered: w.render(),
+                    note: "attributed only by the naive binary view (L0); \
+                           every finer level prunes it"
+                        .to_owned(),
+                });
+            }
+        }
+
+        statics_l0.push(ladder.into_iter().next().unwrap());
     }
 
     let n = apps.len().max(1) as f64;
-    let mean_source_factor = apps.iter().map(|a| a.source_over_used).sum::<f64>() / n;
-    let mean_binary_factor = apps.iter().map(|a| a.binary_over_used).sum::<f64>() / n;
+    let mut mean_factor = [0.0f64; 4];
+    let mut median_factor = [0.0f64; 4];
+    for i in 0..4 {
+        let mut factors: Vec<f64> = apps.iter().map(|a| a.levels[i].over_used).collect();
+        mean_factor[i] = factors.iter().sum::<f64>() / n;
+        median_factor[i] = median(&mut factors);
+    }
 
-    // Importance under both definitions, via the one shared metric.
+    // Importance under both definitions, via the one shared metric —
+    // borrowing each report's set, never cloning it.
     let required_sets: Vec<SysnoSet> = reports.iter().map(AppReport::plan_required).collect();
     let dynamic_importance = importance_fractions(&required_sets);
-    let static_importance = api_importance(&statics_binary);
+    let static_importance = api_importance(&statics_l0);
     let rank_shifts = dynamic_importance
         .iter()
         .take(RANK_SHIFT_ROWS)
@@ -423,23 +580,27 @@ fn compare_workload(
         })
         .collect();
 
-    // Per-OS plan sizes under the three requirement definitions.
+    // Per-OS plan sizes under the five requirement definitions
+    // (dynamic + one per ladder rung).
     let dynamic_reqs: Vec<AppRequirement> =
         reports.iter().map(AppRequirement::from_report).collect();
     let plan_deltas = os::db()
         .into_iter()
         .map(|spec| {
             let dynamic = SupportPlan::generate(&spec, &dynamic_reqs);
-            let source = SupportPlan::generate(&spec, &source_reqs);
-            let binary = SupportPlan::generate(&spec, &binary_reqs);
+            let mut level_initial = [0usize; 4];
+            let mut level_implemented = [0usize; 4];
+            for (i, reqs) in level_reqs.iter().enumerate() {
+                let plan = SupportPlan::generate(&spec, reqs);
+                level_initial[i] = plan.initially_supported.len();
+                level_implemented[i] = plan.total_implemented();
+            }
             PlanDelta {
                 os: spec.name,
                 dynamic_initial: dynamic.initially_supported.len(),
                 dynamic_implemented: dynamic.total_implemented(),
-                source_initial: source.initially_supported.len(),
-                source_implemented: source.total_implemented(),
-                binary_initial: binary.initially_supported.len(),
-                binary_implemented: binary.total_implemented(),
+                level_initial,
+                level_implemented,
             }
         })
         .collect();
@@ -447,14 +608,14 @@ fn compare_workload(
     Ok(Comparison {
         workload,
         apps,
-        mean_source_factor,
-        mean_binary_factor,
+        mean_factor,
+        median_factor,
+        fleet_static: fleet_static_sets.map(|s| s.len()),
         fleet_dynamic_used: fleet_used.len(),
         fleet_dynamic_required: fleet_required.len(),
-        fleet_source: fleet_source.len(),
-        fleet_binary: fleet_binary.len(),
         rank_shifts,
         plan_deltas,
+        witness_examples,
     })
 }
 
@@ -491,16 +652,44 @@ pub fn render_static_comparison(comparisons: &[Comparison]) -> String {
          cargo run --release -p loupe-cli -- sweep --db target/loupedb --workload all --jobs 2 --transfer --static --validate-plans\n\
          cargo run --release -p loupe-cli -- report --db target/loupedb --docs docs\n\
          ```\n\n\
-         The paper's core quantitative claim (§5.1, Fig. 4): static analysis —\n\
-         the binary-level Tsai-style analyser and the source-level Unikraft\n\
-         analyser — overestimates what applications need from a kernel, because\n\
-         it sees every dead branch, error path and linked-library syscall. The\n\
-         tables below compare both static baselines against the dynamic\n\
-         measurements stored in the same database, per app and per OS. The\n\
-         structural invariant **dynamic ⊆ source ⊆ binary** is checked for\n\
-         every app: dynamic analysis under-approximates code (it sees only\n\
-         executed paths), static analysis over-approximates it.\n\n",
+         The paper's core quantitative claim (§5.1, Fig. 4): static analysis\n\
+         overestimates what applications need from a kernel, because it sees\n\
+         every dead branch, error path and linked-library syscall. Each app\n\
+         model is lowered to a whole-program call graph (functions, direct and\n\
+         indirect call edges, address-taken sets, syscall sites) and analysed\n\
+         by graph reachability at four precision levels:\n\n",
     );
+    for &level in &Level::ALL {
+        let _ = writeln!(out, "* **{}** — {};", level.title(), level.description());
+    }
+    out.push_str(
+        "\nEvery attributed syscall carries a **witness**: the shortest\n\
+         entry→site call path justifying it (`loupe statics --explain <app>\n\
+         <syscall>` prints and re-verifies them). The containment chain\n\
+         **dynamic ⊆ L3 ⊆ L2 ⊆ L1 ⊆ L0** is checked for every app: dynamic\n\
+         analysis under-approximates code (it sees only executed paths), each\n\
+         coarser static level over-approximates it further.\n\n",
+    );
+
+    if let Some(c) = comparisons.iter().find(|c| !c.witness_examples.is_empty()) {
+        out.push_str(
+            "## Worked witness examples\n\n\
+             `→` is a direct call edge, `⇢` an over-approximated indirect-call\n\
+             hop; `[site k]` names the syscall site inside the final function.\n\n",
+        );
+        for w in &c.witness_examples {
+            let _ = writeln!(
+                out,
+                "* `{}` in **{}** at {} — {}:\n\n  ```\n  {}\n  ```",
+                w.sysno.name(),
+                w.app,
+                w.level.title(),
+                w.note,
+                w.rendered
+            );
+        }
+        out.push('\n');
+    }
 
     for c in comparisons {
         let _ = writeln!(
@@ -512,16 +701,9 @@ pub fn render_static_comparison(comparisons: &[Comparison]) -> String {
         let _ = writeln!(
             out,
             "Fleet-wide distinct syscalls: **{} dynamically exercised** ({} required\n\
-             per Loupe), {} attributed by source analysis, {} by binary analysis.\n\
-             Mean per-app overestimation vs the dynamically exercised set:\n\
-             **{:.2}× (source)**, **{:.2}× (binary)**. Invariant dynamic ⊆ source ⊆\n\
-             binary: **{}**.\n",
+             per Loupe). Containment chain dynamic ⊆ L3 ⊆ L2 ⊆ L1 ⊆ L0: **{}**.\n",
             c.fleet_dynamic_used,
             c.fleet_dynamic_required,
-            c.fleet_source,
-            c.fleet_binary,
-            c.mean_source_factor,
-            c.mean_binary_factor,
             if c.invariants_hold() {
                 "holds for every app"
             } else {
@@ -530,42 +712,51 @@ pub fn render_static_comparison(comparisons: &[Comparison]) -> String {
         );
 
         out.push_str(
+            "### The precision ladder\n\n\
+             | Level | Mean ×used | Median ×used | Fleet distinct |\n\
+             |-------|-----------:|-------------:|---------------:|\n",
+        );
+        for (i, &level) in Level::ALL.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "| {} | {:.2}× | {:.2}× | {} |",
+                level.title(),
+                c.mean_factor[i],
+                c.median_factor[i],
+                c.fleet_static[i]
+            );
+        }
+        out.push('\n');
+
+        out.push_str(
             "### Per-app overestimation factors (Fig. 4)\n\n\
-             | App | Dynamic used | Dynamic required | Source | Binary | Source/used | Binary/used | Source/required | Binary/required | dyn ⊆ src ⊆ bin |\n\
-             |-----|-------------:|-----------------:|-------:|-------:|------------:|------------:|----------------:|----------------:|-----------------|\n",
+             | App | Dyn used | Dyn required | L0 | L1 | L2 | L3 | L0/used | L3/used | chain |\n\
+             |-----|---------:|-------------:|---:|---:|---:|---:|--------:|--------:|-------|\n",
         );
         for a in &c.apps {
-            let invariant = if a.subset_ok {
+            let chain = if a.chain_ok {
                 "✓".to_owned()
             } else {
-                let mut bits = Vec::new();
-                if !a.missing_from_source.is_empty() {
-                    bits.push(format!(
-                        "source misses `{}`",
-                        names_of(&a.missing_from_source)
-                    ));
-                }
-                if !a.missing_from_binary.is_empty() {
-                    bits.push(format!(
-                        "binary misses `{}`",
-                        names_of(&a.missing_from_binary)
-                    ));
-                }
+                let bits: Vec<String> = a
+                    .chain_breaks
+                    .iter()
+                    .map(|(link, missing)| format!("{link}: misses `{}`", names_of(missing)))
+                    .collect();
                 format!("**✗ {}**", bits.join("; "))
             };
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {} | {:.2}× | {:.2}× | {:.2}× | {:.2}× | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {:.2}× | {:.2}× | {} |",
                 a.app,
                 a.dynamic_used,
                 a.dynamic_required,
-                a.source,
-                a.binary,
-                a.source_over_used,
-                a.binary_over_used,
-                a.source_over_required,
-                a.binary_over_required,
-                invariant
+                a.levels[0].attributed,
+                a.levels[1].attributed,
+                a.levels[2].attributed,
+                a.levels[3].attributed,
+                a.levels[0].over_used,
+                a.levels[3].over_used,
+                chain
             );
         }
         out.push('\n');
@@ -573,12 +764,12 @@ pub fn render_static_comparison(comparisons: &[Comparison]) -> String {
         out.push_str(
             "### API-importance rank shifts (Figs. 6–7)\n\n\
              How the most dynamically-required syscalls rank when importance is\n\
-             measured statically (fraction of app binaries containing the call)\n\
-             instead of dynamically (fraction of apps requiring it). A large\n\
-             positive shift means static analysis buries a genuinely critical\n\
-             call under dead-code noise.\n\n\
-             | Dynamic rank | Syscall | Required by (dyn) | Static rank | In binaries (static) | Shift |\n\
-             |-------------:|---------|------------------:|------------:|---------------------:|------:|\n",
+             measured statically (fraction of app binaries containing the call,\n\
+             per the naive L0 view) instead of dynamically (fraction of apps\n\
+             requiring it). A large positive shift means static analysis buries\n\
+             a genuinely critical call under dead-code noise.\n\n\
+             | Dynamic rank | Syscall | Required by (dyn) | Static rank | In binaries (L0) | Shift |\n\
+             |-------------:|---------|------------------:|------------:|-----------------:|------:|\n",
         );
         for s in &c.rank_shifts {
             let (srank, shift) = match s.static_rank {
@@ -604,26 +795,25 @@ pub fn render_static_comparison(comparisons: &[Comparison]) -> String {
         out.push_str(
             "### Support-plan deltas per curated OS (§4.1 × Fig. 4)\n\n\
              Syscalls each OS would implement to support the measured fleet when\n\
-             the plan is generated from dynamic requirements vs from what a\n\
-             static analyser reports (a static analyser cannot tell stubbable\n\
-             from required, so its plan implements everything it sees). *Wasted*\n\
-             is the extra implementation work the static plan schedules.\n\n\
-             | OS | Apps at step 0 (dyn/src/bin) | Implement (dyn) | Implement (src) | Implement (bin) | Wasted (src) | Wasted (bin) |\n\
-             |----|------------------------------|----------------:|----------------:|----------------:|-------------:|-------------:|\n",
+             the plan is generated from dynamic requirements vs from what each\n\
+             static level reports (a static analyser cannot tell stubbable from\n\
+             required, so its plan implements everything it sees). *Wasted* is\n\
+             the extra implementation work the static plan schedules.\n\n\
+             | OS | Implement (dyn) | L0 | L1 | L2 | L3 | Wasted (L0) | Wasted (L3) |\n\
+             |----|----------------:|---:|---:|---:|---:|------------:|------------:|\n",
         );
         for d in &c.plan_deltas {
             let _ = writeln!(
                 out,
-                "| {} | {} / {} / {} | {} | {} | {} | +{} | +{} |",
+                "| {} | {} | {} | {} | {} | {} | +{} | +{} |",
                 d.os,
-                d.dynamic_initial,
-                d.source_initial,
-                d.binary_initial,
                 d.dynamic_implemented,
-                d.source_implemented,
-                d.binary_implemented,
-                d.source_waste(),
-                d.binary_waste()
+                d.level_implemented[0],
+                d.level_implemented[1],
+                d.level_implemented[2],
+                d.level_implemented[3],
+                d.binary_waste(),
+                d.source_waste()
             );
         }
         out.push('\n');
@@ -665,14 +855,22 @@ mod tests {
         let apps = || -> Vec<_> { registry::detailed().into_iter().take(5).collect() };
 
         let first = sweep_static(&db, apps(), 2, false).unwrap();
-        assert_eq!(first.analyzed, 10, "5 apps x 2 levels");
+        assert_eq!(first.analyzed, 20, "5 apps x 4 levels");
         assert_eq!(first.cached, 0);
-        assert_eq!(db.list_static().unwrap().len(), 10);
+        assert_eq!(db.list_static().unwrap().len(), 20);
 
         let second = sweep_static(&db, apps(), 2, false).unwrap();
         assert_eq!(second.analyzed, 0, "second sweep is pure cache hits");
-        assert_eq!(second.cached, 10);
-        assert_eq!(first.reports, second.reports);
+        assert_eq!(second.cached, 20);
+        assert!(
+            second.reports.is_empty(),
+            "cache hits are manifest answers, not re-reads"
+        );
+        // What the db stores is exactly what the first sweep analysed.
+        for r in &first.reports {
+            let stored = db.load_static(r.level, &r.app).unwrap().unwrap();
+            assert_eq!(&stored, r);
+        }
 
         // Deterministic across worker counts.
         let dir_b = tmpdir("cache-b");
@@ -681,6 +879,23 @@ mod tests {
         assert_eq!(serial.reports, first.reports);
         std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn level_restricted_sweep_only_touches_those_levels() {
+        let dir = tmpdir("levels");
+        let db = Database::open(&dir).unwrap();
+        let apps = || -> Vec<_> { registry::detailed().into_iter().take(3).collect() };
+        let partial = sweep_static_levels(&db, apps(), &[Level::L2], 1, false).unwrap();
+        assert_eq!(partial.analyzed, 3);
+        assert!(partial.reports.iter().all(|r| r.level == Level::L2));
+        assert_eq!(db.list_static().unwrap().len(), 3);
+
+        // Filling in the rest reuses the L2 entries.
+        let full = sweep_static(&db, apps(), 1, false).unwrap();
+        assert_eq!(full.analyzed, 9, "3 apps x 3 missing levels");
+        assert_eq!(full.cached, 3);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -701,44 +916,83 @@ mod tests {
         assert_eq!(c.apps.len(), 12);
         assert!(
             c.invariants_hold(),
-            "dynamic ⊆ source ⊆ binary must hold: {:?}",
+            "dynamic ⊆ L3 ⊆ L2 ⊆ L1 ⊆ L0 must hold: {:?}",
             c.apps
                 .iter()
-                .filter(|a| !a.subset_ok)
-                .map(|a| (&a.app, &a.missing_from_source, &a.missing_from_binary))
+                .filter(|a| !a.chain_ok)
+                .map(|a| (&a.app, &a.chain_breaks))
                 .collect::<Vec<_>>()
         );
         for a in &c.apps {
+            // Factors are non-increasing as precision rises, ≥ 1 at
+            // the source level.
+            for pair in a.levels.windows(2) {
+                assert!(
+                    pair[0].over_used >= pair[1].over_used,
+                    "{}: {} < {}",
+                    a.app,
+                    pair[0].level.label(),
+                    pair[1].level.label()
+                );
+            }
+            assert!(a.level(Level::L3).over_used >= 1.0, "{}", a.app);
             assert!(
-                a.source_over_used >= 1.0,
-                "{}: {}",
-                a.app,
-                a.source_over_used
+                a.level(Level::L3).over_required >= a.level(Level::L3).over_used,
+                "{}",
+                a.app
             );
-            assert!(a.binary_over_used >= a.source_over_used, "{}", a.app);
-            assert!(a.source_over_required >= a.source_over_used, "{}", a.app);
+            // The paper's headline band: naive binary analysis
+            // overestimates every detailed app 2–5×.
+            let l0 = a.level(Level::L0).over_used;
+            assert!(
+                (2.0..=5.0).contains(&l0),
+                "{}: L0 factor {l0:.2} outside the paper's 2-5x band",
+                a.app
+            );
         }
-        // The paper's headline: binary analysis lands in the 2–5x band.
         assert!(
-            c.mean_binary_factor > 2.0,
+            c.mean_factor_of(Level::L0) > 2.0,
             "binary overestimation too small: {}",
-            c.mean_binary_factor
+            c.mean_factor_of(Level::L0)
         );
-        // Static plans schedule strictly more implementation work.
+        // Each refinement must actually buy precision on this fleet.
+        assert!(c.mean_factor[0] > c.mean_factor[1], "L1 should prune");
+        assert!(c.mean_factor[2] > c.mean_factor[3], "L3 should prune");
+        for i in 0..4 {
+            assert!(c.median_factor[i] <= c.mean_factor[i] * 2.0);
+            assert!(c.median_factor[i] >= 1.0);
+        }
+        // Static plans schedule strictly more implementation work, and
+        // more of it the coarser the level.
         for d in &c.plan_deltas {
-            assert!(d.source_implemented >= d.dynamic_implemented, "{}", d.os);
-            assert!(d.binary_implemented >= d.source_implemented, "{}", d.os);
+            assert!(
+                d.implemented(Level::L3) >= d.dynamic_implemented,
+                "{}",
+                d.os
+            );
+            for pair in Level::ALL.windows(2) {
+                assert!(
+                    d.implemented(pair[0]) >= d.implemented(pair[1]),
+                    "{}: {} < {}",
+                    d.os,
+                    pair[0].label(),
+                    pair[1].label()
+                );
+            }
             assert!(
                 d.binary_waste() > 0,
                 "{}: binary plan must waste effort",
                 d.os
             );
-            assert!(d.dynamic_initial >= d.binary_initial, "{}", d.os);
+            assert!(d.dynamic_initial >= d.initial(Level::L0), "{}", d.os);
         }
         assert_eq!(
             c.rank_shifts.len(),
             RANK_SHIFT_ROWS.min(c.rank_shifts.len())
         );
+        // Fresh sweeps carry witnesses, so the worked examples exist.
+        assert_eq!(c.witness_examples.len(), 2, "{:?}", c.witness_examples);
+        assert!(c.witness_examples[0].rendered.contains("crt::_start"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -789,6 +1043,8 @@ mod tests {
             );
         }
         assert!(a.contains("holds for every app"));
+        assert!(a.contains("Worked witness examples"));
+        assert!(a.contains("L1 (signature-pruned)"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }
