@@ -166,7 +166,7 @@ mod tests {
         let out = env.finish(Exit::Clean);
         assert_eq!(out.responses, 3);
         assert!(out.elapsed >= 50);
-        assert_eq!(out.features["logging"], false);
+        assert!(!out.features["logging"]);
         assert_eq!(out.failures, vec!["oops"]);
     }
 

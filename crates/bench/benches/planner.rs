@@ -41,7 +41,7 @@ fn bench_plan_validation(c: &mut Criterion) {
     group.bench_function("validate/kerla-116-apps", |b| {
         b.iter(|| {
             let v = validator
-                .validate(&spec.supported, &plan, &reqs, workload, registry::find)
+                .validate(&spec, &plan, &reqs, workload, registry::find)
                 .unwrap();
             black_box(v.is_valid())
         });

@@ -43,6 +43,7 @@ fn populate(dir: &PathBuf) {
                         pass,
                         ..TierOutcome::default()
                     }),
+                    missing_required_flags: Vec::new(),
                 })
                 .expect("seed cell");
             }

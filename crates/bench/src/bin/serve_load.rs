@@ -101,6 +101,7 @@ fn populate_synthetic(dir: &Path) {
                         pass: planned,
                         ..TierOutcome::default()
                     }),
+                    missing_required_flags: Vec::new(),
                 };
                 db.save_matrix_cell_replacing(&cell).expect("seed cell");
             }

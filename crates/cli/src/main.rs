@@ -28,7 +28,7 @@ use std::process::ExitCode;
 use loupe_apps::{registry, Workload};
 use loupe_core::{AnalysisConfig, Engine};
 use loupe_db::Database;
-use loupe_plan::{api_importance, os, AppRequirement, SupportPlan};
+use loupe_plan::{api_importance, os, AppRequirement, CompatTable, SupportPlan};
 use loupe_sweep::{report, Sweep, SweepConfig, TransferConfig};
 
 fn main() -> ExitCode {
@@ -58,6 +58,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
         "os-list" => cmd_os_list(),
+        "ingest" => cmd_ingest(rest),
         "importance" => cmd_importance(rest),
         "trace" => cmd_trace(rest),
         "help" | "--help" | "-h" => {
@@ -198,6 +199,18 @@ commands:
       --offline                       answer from --db DIR directly (no daemon;
                                       same resolution code, default db above)
   os-list                      show the curated OS support specs
+  ingest --from <file.md>      parse a kerla-style markdown compatibility table
+                               (| No | Name | Implementation Status | ... |)
+                               into a kernel support spec with per-flag holes
+      --os <name>                     spec name (default: the file stem)
+      --version V                     spec version string (default: ingested)
+      --overrides <file>              refine pessimistically-seeded flag holes
+                                      (`supported fcntl:F_SETFL` / `hole ...`)
+      --check                         verify the table renders back byte-stably
+                                      AND, when --os names a curated OS, that
+                                      the ingested spec matches the curated one;
+                                      exit 1 on any mismatch
+      --json                          print the ingested spec as JSON
   importance                   rank syscalls by how many apps require them
       --workload health|bench|suite   (default: health)
       --apps N                        dataset size (default: 116)
@@ -1055,7 +1068,7 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
 
     if args.iter().any(|a| a == "--validate") {
         let validation = loupe_plan::PlanValidator::new()
-            .validate(&spec.supported, &plan, &reqs, workload, registry::find)
+            .validate(&spec, &plan, &reqs, workload, registry::find)
             .map_err(|e| e.to_string())?;
         print!("{}", validation.to_table());
         if let Some(db) = &db {
@@ -1292,6 +1305,76 @@ fn cmd_os_list() -> Result<(), String> {
             spec.version,
             spec.supported.len()
         );
+    }
+    Ok(())
+}
+
+fn cmd_ingest(args: &[String]) -> Result<(), String> {
+    let path = flag_value(args, "--from").ok_or("ingest: missing --from <file.md>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("ingest: {path}: {e}"))?;
+    let name = flag_value(args, "--os")
+        .map(str::to_owned)
+        .or_else(|| {
+            std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .ok_or("ingest: cannot derive a spec name; pass --os <name>")?;
+    let version = flag_value(args, "--version").unwrap_or("ingested");
+    let overrides = match flag_value(args, "--overrides") {
+        Some(p) => {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("ingest: {p}: {e}"))?;
+            loupe_plan::ingest::parse_overrides(&text).map_err(|e| format!("ingest: {p}: {e}"))?
+        }
+        None => Vec::new(),
+    };
+
+    let table = CompatTable::parse(&text).map_err(|e| format!("ingest: {path}: {e}"))?;
+    let spec = table
+        .to_spec(&name, version, &overrides)
+        .map_err(|e| format!("ingest: {path}: {e}"))?;
+
+    if args.iter().any(|a| a == "--check") {
+        if table.render() != text {
+            return Err(format!(
+                "ingest: {path} is not in canonical form (re-render changes bytes)"
+            ));
+        }
+        if let Some(curated) = os::find(&name) {
+            if spec.supported != curated.supported || spec.partial != curated.partial {
+                let missing = curated.supported.difference(&spec.supported);
+                let extra = spec.supported.difference(&curated.supported);
+                return Err(format!(
+                    "ingest: {path} disagrees with the curated `{name}` spec \
+                     ({} syscalls missing, {} extra, holes {} vs curated {})",
+                    missing.len(),
+                    extra.len(),
+                    spec.all_holes().len(),
+                    curated.all_holes().len()
+                ));
+            }
+            println!("{name}: canonical table, matches the curated spec");
+        } else {
+            println!("{name}: canonical table (no curated spec to compare)");
+        }
+    }
+
+    if args.iter().any(|a| a == "--json") {
+        let json = serde_json::to_string_pretty(&spec).map_err(|e| e.to_string())?;
+        println!("{json}");
+        return Ok(());
+    }
+
+    println!(
+        "{}: {} syscalls supported, {} partially ({} flag holes)",
+        spec.name,
+        spec.supported.len(),
+        spec.partial.len(),
+        spec.all_holes().len()
+    );
+    for (sysno, holes) in &spec.partial {
+        let rendered: Vec<String> = holes.iter().map(|k| k.to_string()).collect();
+        println!("  {:<12} missing {}", sysno.name(), rendered.join(", "));
     }
     Ok(())
 }

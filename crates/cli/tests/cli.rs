@@ -297,3 +297,56 @@ fn matrix_sweep_of_one_app_exits_zero_and_reports_rates() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn ingest_round_trips_the_vendored_kerla_table_and_rejects_corruption() {
+    let repo = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let table = repo.join("crates/plan/data/kerla_compatibility.md");
+    let overrides = repo.join("crates/plan/data/kerla_overrides.txt");
+
+    // Happy path: the vendored snapshot is canonical and matches the
+    // curated spec, and the summary names the flag holes.
+    let out = loupe()
+        .arg("ingest")
+        .arg("--from")
+        .arg(&table)
+        .args(["--os", "kerla", "--overrides"])
+        .arg(&overrides)
+        .arg("--check")
+        .output()
+        .expect("spawn loupe");
+    assert!(
+        out.status.success(),
+        "vendored table must ingest cleanly: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("matches the curated spec"), "{stdout}");
+    assert!(stdout.contains("fcntl:F_SETLK"), "{stdout}");
+
+    // Corrupt tables exit non-zero with a row-numbered message.
+    let text = std::fs::read_to_string(&table).unwrap();
+    let corrupt = text.replace("| write ", "| wrlte ");
+    assert_ne!(corrupt, text, "fixture edit must apply");
+    let dir = tmpdir("ingest-corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.md");
+    std::fs::write(&bad, corrupt).unwrap();
+    let out = loupe()
+        .arg("ingest")
+        .arg("--from")
+        .arg(&bad)
+        .args(["--os", "broken"])
+        .output()
+        .expect("spawn loupe");
+    assert!(!out.status.success(), "corrupt table must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line "), "row-numbered error: {stderr}");
+    assert!(stderr.contains("wrlte"), "names the bad cell: {stderr}");
+
+    // Missing --from is a usage error.
+    let out = loupe().arg("ingest").output().expect("spawn loupe");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--from"));
+    std::fs::remove_dir_all(&dir).ok();
+}

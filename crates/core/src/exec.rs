@@ -62,6 +62,11 @@ impl ExecEnv {
 /// The kernel an [`ExecEnv`] builds: a closed enum rather than a boxed
 /// trait object, so the engine's per-syscall hot path (every probe of
 /// every app in a fleet sweep) stays a branch instead of a vtable call.
+// One `HostKernel` exists per probe execution — never in bulk storage —
+// so the variant size gap (the restricted kernel carries its profile's
+// per-flag support map inline) costs nothing, while boxing it would put
+// an indirection on the very hot path this enum exists to keep flat.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum HostKernel {
     /// A full simulated Linux.
@@ -195,9 +200,8 @@ mod tests {
         let (outcome, obs) = run_app_observed(&env, app.as_ref(), Workload::HealthCheck);
         let obs = obs.expect("restricted runs observe");
         assert!(obs.total_rejections() > 0, "{obs:?}");
-        assert_eq!(
+        assert!(
             obs.first_rejection.map(|s| obs.rejections[&s]).unwrap_or(0) > 0,
-            true,
             "first rejection is a counted rejection"
         );
         let verdict = TestScript::new().evaluate(&outcome, Workload::HealthCheck, None);

@@ -1958,8 +1958,12 @@ mod tests {
                 rejections: [(loupe_syscalls::Sysno::futex, 3)].into_iter().collect(),
                 fake_hits: BTreeMap::new(),
                 first_rejection: Some(loupe_syscalls::Sysno::futex),
+                flag_rejections: Vec::new(),
+                flag_fake_hits: Vec::new(),
+                first_rejected_flag: None,
             }),
             planned: None,
+            missing_required_flags: Vec::new(),
         };
         db.save_matrix_cell(&vanilla_only).unwrap();
         let back = db
@@ -2026,6 +2030,7 @@ mod tests {
             missing_required: loupe_syscalls::SysnoSet::new(),
             vanilla: None,
             planned: None,
+            missing_required_flags: Vec::new(),
         };
         db.save_matrix_cell(&cell).unwrap();
         // Both live under env/kerla/ without shadowing each other.
@@ -2171,6 +2176,7 @@ mod tests {
             missing_required: loupe_syscalls::SysnoSet::new(),
             vanilla: None,
             planned: None,
+            missing_required_flags: Vec::new(),
         };
         for round in 0..16 {
             let vanilla = MatrixCell {
@@ -2221,6 +2227,7 @@ mod tests {
                     ..TierOutcome::default()
                 }),
                 planned: None,
+                missing_required_flags: Vec::new(),
             })
             .unwrap();
         }
@@ -2271,6 +2278,7 @@ mod tests {
                     ..TierOutcome::default()
                 }),
                 planned: None,
+                missing_required_flags: Vec::new(),
             };
             db.save_matrix_cell(&cell).unwrap();
             cells.push(cell);

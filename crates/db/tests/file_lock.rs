@@ -32,6 +32,7 @@ fn cell(app: usize, vanilla: bool) -> MatrixCell {
         missing_required: SysnoSet::new(),
         vanilla: vanilla.then(|| outcome.clone()),
         planned: (!vanilla).then_some(outcome),
+        missing_required_flags: Vec::new(),
     }
 }
 

@@ -35,7 +35,7 @@ use loupe_apps::Workload;
 use loupe_core::AppReport;
 use loupe_kernel::{Invocation, Kernel, KernelProfile, LinuxSim, RestrictedKernel};
 use loupe_plan::{vanilla_profile, MatrixCell, OsSpec, Tier};
-use loupe_syscalls::{Errno, Sysno, SysnoSet};
+use loupe_syscalls::{Errno, SubFeatureKey, Sysno, SysnoSet};
 
 /// The note tag of the suite's helper-bypass harness case. Anything
 /// starting with `helper:` is whitelisted by [`RestrictedKernel`].
@@ -91,12 +91,22 @@ pub struct ConformanceCase {
     /// (e.g. a fake that passes tests but moves throughput).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub impact: Option<String>,
+    /// When set, the case probes one *sub-feature* of `sysno` instead of
+    /// the syscall as a whole (§5.4 partial fidelity): the probe places
+    /// the key's selector in the decoding register, and the expectation
+    /// is held against the flag's answer. `None` for suites stored
+    /// before partial fidelity existed.
+    #[serde(default)]
+    pub sub_feature: Option<SubFeatureKey>,
 }
 
 impl ConformanceCase {
     /// The probe invocation this case issues.
     pub fn probe(&self) -> Invocation {
-        let inv = Invocation::new(self.sysno, [0; 6]);
+        let inv = match self.sub_feature {
+            Some(key) => Invocation::for_sub_feature(key),
+            None => Invocation::new(self.sysno, [0; 6]),
+        };
         match self.expectation {
             CaseExpectation::HelperBypass => inv.with_note(HELPER_NOTE),
             _ => inv,
@@ -135,6 +145,12 @@ pub struct ConformanceSuite {
     /// and these constrain no profile. Recorded so the planned-tier
     /// profile can be reconstructed from the suite alone.
     pub tolerated_stubs: SysnoSet,
+    /// Sub-features whose stub probe passed — the flag-granular
+    /// tolerated set, case-free for the same minimality reason.
+    /// Recorded (sorted) so the planned-tier profile's flag overlays can
+    /// be reconstructed from the suite alone.
+    #[serde(default)]
+    pub tolerated_stub_flags: Vec<SubFeatureKey>,
     /// The matrix cell's empirical verdicts, for self-validation.
     pub expected: ExpectedVerdicts,
     /// The ordered cases: implemented-constraints first (hottest
@@ -158,6 +174,8 @@ pub enum CaseObservation {
 pub struct CaseRun {
     /// The syscall probed.
     pub sysno: Sysno,
+    /// The sub-feature probed, for flag-granular cases.
+    pub sub_feature: Option<SubFeatureKey>,
     /// The expectation held against it.
     pub expectation: CaseExpectation,
     /// What the kernel did.
@@ -179,6 +197,18 @@ impl SuiteRun {
     /// The first failing case's syscall — "what did it trip on?".
     pub fn first_failure(&self) -> Option<Sysno> {
         self.cases.iter().find(|c| !c.pass).map(|c| c.sysno)
+    }
+
+    /// The first failing case, flag-precise: `fcntl:F_SETFL` when the
+    /// trip was a sub-feature case, the syscall name otherwise.
+    pub fn first_failure_cause(&self) -> Option<String> {
+        self.cases
+            .iter()
+            .find(|c| !c.pass)
+            .map(|c| match c.sub_feature {
+                Some(key) => key.to_string(),
+                None => c.sysno.name().to_owned(),
+            })
     }
 }
 
@@ -216,6 +246,30 @@ impl ConformanceSuite {
             })
             .collect();
 
+        // Partition the measured sub-feature classes exactly as
+        // `AppRequirement::from_report` does, so the suite's flag cases
+        // mirror the planner's flag requirement sets.
+        let mut required_flags: Vec<SubFeatureKey> = Vec::new();
+        let mut tolerated_stub_flags: Vec<SubFeatureKey> = Vec::new();
+        let mut fake_only_flags: Vec<SubFeatureKey> = Vec::new();
+        for (key, class) in &report.sub_features {
+            if class.stub_ok {
+                tolerated_stub_flags.push(*key);
+            } else if class.fake_ok {
+                fake_only_flags.push(*key);
+            } else {
+                required_flags.push(*key);
+            }
+        }
+        for v in [
+            &mut required_flags,
+            &mut tolerated_stub_flags,
+            &mut fake_only_flags,
+        ] {
+            v.sort();
+            v.dedup();
+        }
+
         let calls_of = |s: Sysno| report.traced.get(&s).copied().unwrap_or(0);
         let mut implemented: Vec<ConformanceCase> = required
             .iter()
@@ -225,6 +279,7 @@ impl ConformanceSuite {
                 origin: CaseOrigin::Required,
                 calls: calls_of(s),
                 impact: None,
+                sub_feature: None,
             })
             .chain(report.fallbacks.iter().map(|s| ConformanceCase {
                 sysno: s,
@@ -232,9 +287,29 @@ impl ConformanceSuite {
                 origin: CaseOrigin::Fallback,
                 calls: calls_of(s),
                 impact: None,
+                sub_feature: None,
             }))
             .collect();
         implemented.sort_by(|a, b| b.calls.cmp(&a.calls).then(a.sysno.cmp(&b.sysno)));
+        // Flag-granular Implemented cases ride after the syscall-level
+        // block, busiest parent syscall first.
+        let mut implemented_flags: Vec<ConformanceCase> = required_flags
+            .iter()
+            .map(|key| ConformanceCase {
+                sysno: key.sysno(),
+                expectation: CaseExpectation::Implemented,
+                origin: CaseOrigin::Required,
+                calls: calls_of(key.sysno()),
+                impact: None,
+                sub_feature: Some(*key),
+            })
+            .collect();
+        implemented_flags.sort_by(|a, b| {
+            b.calls
+                .cmp(&a.calls)
+                .then(a.sub_feature.cmp(&b.sub_feature))
+        });
+        implemented.extend(implemented_flags);
 
         let mut faked: Vec<ConformanceCase> = fake_only
             .iter()
@@ -247,9 +322,27 @@ impl ConformanceSuite {
                     .iter()
                     .find(|(is, _)| *is == s)
                     .map(|(_, note)| note.clone()),
+                sub_feature: None,
             })
             .collect();
         faked.sort_by(|a, b| b.calls.cmp(&a.calls).then(a.sysno.cmp(&b.sysno)));
+        let mut faked_flags: Vec<ConformanceCase> = fake_only_flags
+            .iter()
+            .map(|key| ConformanceCase {
+                sysno: key.sysno(),
+                expectation: CaseExpectation::ImplementedOrFaked,
+                origin: CaseOrigin::FakeOnly,
+                calls: calls_of(key.sysno()),
+                impact: None,
+                sub_feature: Some(*key),
+            })
+            .collect();
+        faked_flags.sort_by(|a, b| {
+            b.calls
+                .cmp(&a.calls)
+                .then(a.sub_feature.cmp(&b.sub_feature))
+        });
+        faked.extend(faked_flags);
 
         let mut cases = implemented;
         cases.extend(faked);
@@ -259,6 +352,7 @@ impl ConformanceSuite {
             origin: CaseOrigin::Harness,
             calls: 0,
             impact: None,
+            sub_feature: None,
         });
 
         let expected = cell
@@ -279,6 +373,7 @@ impl ConformanceSuite {
             workload: report.workload,
             linux_pass: cell.map(|c| c.linux_pass).unwrap_or(true),
             tolerated_stubs: stubbable,
+            tolerated_stub_flags,
             expected,
             cases,
         }
@@ -304,6 +399,7 @@ impl ConformanceSuite {
                 origin: CaseOrigin::Required,
                 calls,
                 impact: None,
+                sub_feature: None,
             })
             .collect();
         cases.sort_by(|a, b| b.calls.cmp(&a.calls).then(a.sysno.cmp(&b.sysno)));
@@ -313,6 +409,7 @@ impl ConformanceSuite {
             workload,
             linux_pass: true,
             tolerated_stubs: SysnoSet::new(),
+            tolerated_stub_flags: Vec::new(),
             expected: ExpectedVerdicts::default(),
             cases,
         }
@@ -326,11 +423,12 @@ impl ConformanceSuite {
             .filter(|c| c.expectation != CaseExpectation::HelperBypass)
     }
 
-    /// Syscalls held to [`CaseExpectation::Implemented`].
+    /// Syscalls held to [`CaseExpectation::Implemented`] as a whole
+    /// (flag-granular cases constrain their selector, not the syscall).
     pub fn must_implement(&self) -> SysnoSet {
         self.cases
             .iter()
-            .filter(|c| c.expectation == CaseExpectation::Implemented)
+            .filter(|c| c.expectation == CaseExpectation::Implemented && c.sub_feature.is_none())
             .map(|c| c.sysno)
             .collect()
     }
@@ -339,9 +437,36 @@ impl ConformanceSuite {
     pub fn may_fake(&self) -> SysnoSet {
         self.cases
             .iter()
-            .filter(|c| c.expectation == CaseExpectation::ImplementedOrFaked)
+            .filter(|c| {
+                c.expectation == CaseExpectation::ImplementedOrFaked && c.sub_feature.is_none()
+            })
             .map(|c| c.sysno)
             .collect()
+    }
+
+    /// Sub-features held to [`CaseExpectation::Implemented`], sorted.
+    pub fn must_implement_flags(&self) -> Vec<SubFeatureKey> {
+        let mut keys: Vec<SubFeatureKey> = self
+            .cases
+            .iter()
+            .filter(|c| c.expectation == CaseExpectation::Implemented)
+            .filter_map(|c| c.sub_feature)
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Sub-features held to [`CaseExpectation::ImplementedOrFaked`],
+    /// sorted.
+    pub fn may_fake_flags(&self) -> Vec<SubFeatureKey> {
+        let mut keys: Vec<SubFeatureKey> = self
+            .cases
+            .iter()
+            .filter(|c| c.expectation == CaseExpectation::ImplementedOrFaked)
+            .filter_map(|c| c.sub_feature)
+            .collect();
+        keys.sort();
+        keys
     }
 
     /// The planned-tier kernel profile reconstructed *from the suite
@@ -357,6 +482,21 @@ impl ConformanceSuite {
         );
         profile.stubbed = self.tolerated_stubs.difference(&os.supported);
         profile.faked = self.may_fake().difference(&os.supported);
+        for (sysno, holes) in &os.partial {
+            profile.set_partial(*sysno, holes.clone());
+        }
+        let holes = os.all_holes();
+        profile.stubbed_flags = self
+            .tolerated_stub_flags
+            .iter()
+            .filter(|k| holes.contains(k))
+            .copied()
+            .collect();
+        profile.faked_flags = self
+            .may_fake_flags()
+            .into_iter()
+            .filter(|k| holes.contains(k))
+            .collect();
         profile
     }
 
@@ -371,10 +511,20 @@ impl ConformanceSuite {
         for case in &self.cases {
             let rejections = kernel.observations().total_rejections();
             let fake_hits = kernel.observations().total_fake_hits();
+            let flag_rejections = kernel.observations().total_flag_rejections();
+            let flag_fake_hits = kernel.observations().total_flag_fake_hits();
             kernel.syscall(&case.probe());
-            let observed = if kernel.observations().total_rejections() > rejections {
+            // Flag counters are disjoint from syscall counters: a probe
+            // tripping a partial-support hole charges the *flag*, a probe
+            // on an unimplemented syscall charges the syscall — either
+            // way the case saw a rejection (or a fake).
+            let observed = if kernel.observations().total_rejections() > rejections
+                || kernel.observations().total_flag_rejections() > flag_rejections
+            {
                 CaseObservation::Rejected
-            } else if kernel.observations().total_fake_hits() > fake_hits {
+            } else if kernel.observations().total_fake_hits() > fake_hits
+                || kernel.observations().total_flag_fake_hits() > flag_fake_hits
+            {
                 CaseObservation::Faked
             } else {
                 CaseObservation::Forwarded
@@ -387,6 +537,7 @@ impl ConformanceSuite {
             };
             cases.push(CaseRun {
                 sysno: case.sysno,
+                sub_feature: case.sub_feature,
                 expectation: case.expectation,
                 observed,
                 pass,
@@ -417,6 +568,7 @@ impl ConformanceSuite {
             };
             cases.push(CaseRun {
                 sysno: case.sysno,
+                sub_feature: case.sub_feature,
                 expectation: case.expectation,
                 observed,
                 pass: !rejected,
@@ -494,23 +646,62 @@ mod tests {
                 "stubbable syscalls carry no implemented-constraint"
             );
         }
-        // Trace-driven ordering: within the implemented block, hotter
-        // syscalls come first.
+        // Trace-driven ordering: within the syscall-level implemented
+        // block, hotter syscalls come first.
         let implemented: Vec<&ConformanceCase> = suite
             .cases
             .iter()
             .take_while(|c| c.expectation == CaseExpectation::Implemented)
+            .filter(|c| c.sub_feature.is_none())
             .collect();
-        for w in implemented.windows(2) {
-            assert!(
-                w[0].calls >= w[1].calls || w[0].origin != w[1].origin || w[0].calls == w[1].calls
-            );
-        }
         for w in implemented.windows(2) {
             assert!(
                 w[0].calls > w[1].calls || (w[0].calls == w[1].calls && w[0].sysno < w[1].sysno),
                 "deterministic order: calls desc then sysno"
             );
+        }
+        // Flag-granular Implemented cases follow the syscall-level
+        // block and mirror the measured required sub-features exactly.
+        let flag_cases: Vec<&ConformanceCase> = suite
+            .cases
+            .iter()
+            .take_while(|c| c.expectation == CaseExpectation::Implemented)
+            .filter(|c| c.sub_feature.is_some())
+            .collect();
+        let required_flags: Vec<SubFeatureKey> = {
+            let mut keys: Vec<SubFeatureKey> = rep
+                .sub_features
+                .iter()
+                .filter(|(_, class)| !class.stub_ok && !class.fake_ok)
+                .map(|(key, _)| *key)
+                .collect();
+            keys.sort();
+            keys.dedup();
+            keys
+        };
+        assert_eq!(suite.must_implement_flags(), required_flags);
+        assert!(!flag_cases.is_empty(), "redis requires sub-features");
+        let first_flag = suite
+            .cases
+            .iter()
+            .position(|c| c.sub_feature.is_some())
+            .unwrap();
+        let last_plain_implemented = suite
+            .cases
+            .iter()
+            .rposition(|c| c.sub_feature.is_none() && c.expectation == CaseExpectation::Implemented)
+            .unwrap();
+        assert!(
+            last_plain_implemented < first_flag,
+            "flag cases ride after the syscall-level implemented block"
+        );
+        for case in &flag_cases {
+            assert_eq!(case.sub_feature.unwrap().sysno(), case.sysno);
+            assert_eq!(case.probe().sub_feature(), case.sub_feature);
+        }
+        // Stub-tolerated flags carry no case, only the recorded set.
+        for key in &suite.tolerated_stub_flags {
+            assert!(suite.cases.iter().all(|c| c.sub_feature != Some(*key)));
         }
         // The harness case comes last.
         assert_eq!(

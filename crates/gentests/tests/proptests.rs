@@ -40,6 +40,7 @@ fn suite(required: &[usize], fake_only: &[usize], stubbable: &[usize]) -> Confor
         origin,
         calls,
         impact: None,
+        sub_feature: None,
     };
     let block = |set: &SysnoSet, expectation, origin| -> Vec<ConformanceCase> {
         let mut cases: Vec<ConformanceCase> = set
@@ -72,6 +73,7 @@ fn suite(required: &[usize], fake_only: &[usize], stubbable: &[usize]) -> Confor
         app: "prop-app".into(),
         workload: Workload::HealthCheck,
         linux_pass: true,
+        tolerated_stub_flags: Vec::new(),
         tolerated_stubs: stubbable,
         expected: ExpectedVerdicts::default(),
         cases,

@@ -70,6 +70,24 @@ impl Invocation {
         self
     }
 
+    /// Builds a probe invocation that decodes back to exactly `key` —
+    /// the inverse of [`Invocation::sub_feature`], placing the selector
+    /// in the register the decoder reads for that syscall. Conformance
+    /// suites use this to probe one flag of a vectored syscall instead
+    /// of whatever selector a zeroed register vector happens to spell.
+    /// For non-vectored syscalls (where `sub_feature()` would return
+    /// `None`) the selector lands in argument 1 and is ignored.
+    pub fn for_sub_feature(key: SubFeatureKey) -> Invocation {
+        let mut args = [0u64; 6];
+        match key.sysno() {
+            Sysno::prctl | Sysno::arch_prctl => args[0] = key.selector(),
+            Sysno::madvise => args[2] = key.selector(),
+            Sysno::mmap => args[3] = key.selector(),
+            _ => args[1] = key.selector(),
+        }
+        Invocation::new(key.sysno(), args)
+    }
+
     /// The sub-feature key of this invocation, for vectored system calls.
     ///
     /// The selector argument position depends on the syscall: argument 1
@@ -227,6 +245,19 @@ mod tests {
             file.sub_feature().unwrap().selector_name(),
             Some("MAP_FILE_BACKED")
         );
+    }
+
+    #[test]
+    fn for_sub_feature_inverts_decoding() {
+        use loupe_syscalls::SubFeature;
+        for &sf in SubFeature::ALL {
+            let key = sf.key();
+            let inv = Invocation::for_sub_feature(key);
+            assert_eq!(inv.sub_feature(), Some(key), "{key}");
+        }
+        // Raw (unmodeled) selectors round-trip too.
+        let raw = SubFeatureKey::new(Sysno::ioctl, 0x5423);
+        assert_eq!(Invocation::for_sub_feature(raw).sub_feature(), Some(raw));
     }
 
     #[test]

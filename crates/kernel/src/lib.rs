@@ -53,7 +53,9 @@ pub use invocation::{Invocation, Payload, SysOutcome};
 pub use linux::LinuxSim;
 pub use net::HostPort;
 pub use resources::ResourceUsage;
-pub use restricted::{Disposition, KernelObservations, KernelProfile, RestrictedKernel};
+pub use restricted::{
+    Disposition, FlagAnswer, KernelObservations, KernelProfile, RestrictedKernel, SyscallSupport,
+};
 
 use loupe_syscalls::Errno;
 

@@ -13,7 +13,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-use loupe_syscalls::{Errno, Sysno, SysnoSet};
+use loupe_syscalls::{Errno, SubFeatureKey, Sysno, SysnoSet};
 
 use crate::clock::INTERCEPT_COST;
 use crate::fakes::fake_value;
@@ -42,6 +42,25 @@ pub struct KernelProfile {
     pub stubbed: SysnoSet,
     /// Syscalls answered with a fake success value.
     pub faked: SysnoSet,
+    /// Per-syscall support level layered over `implemented`: a syscall
+    /// absent from this map is [`SyscallSupport::Full`]. A
+    /// [`SyscallSupport::Partial`] entry lists the *holes* — selector
+    /// values of a vectored syscall (fcntl commands, futex ops, ...)
+    /// the kernel recognises the number of but cannot execute. Profiles
+    /// stored before this field existed deserialise to the empty map.
+    #[serde(default)]
+    pub support: BTreeMap<Sysno, SyscallSupport>,
+    /// Sub-feature holes a support plan deliberately leaves rejected —
+    /// the per-flag analogue of `stubbed`. Purely declarative (a hole
+    /// rejects whether or not it is listed here); plans record the
+    /// decision so validation can tell "tolerated" from "overlooked".
+    #[serde(default)]
+    pub stubbed_flags: Vec<SubFeatureKey>,
+    /// Sub-feature holes answered with a fake success value instead of
+    /// a rejection — the per-flag analogue of `faked`. Only meaningful
+    /// for keys that are holes of a `Partial` syscall.
+    #[serde(default)]
+    pub faked_flags: Vec<SubFeatureKey>,
 }
 
 impl KernelProfile {
@@ -52,7 +71,60 @@ impl KernelProfile {
             implemented,
             stubbed: SysnoSet::new(),
             faked: SysnoSet::new(),
+            support: BTreeMap::new(),
+            stubbed_flags: Vec::new(),
+            faked_flags: Vec::new(),
         }
+    }
+
+    /// Marks `sysno` as partially implemented with the given holes
+    /// (builder style). An empty hole list means [`SyscallSupport::Full`]
+    /// and removes any previous entry.
+    pub fn set_partial(&mut self, sysno: Sysno, holes: Vec<SubFeatureKey>) {
+        if holes.is_empty() {
+            self.support.remove(&sysno);
+        } else {
+            self.support.insert(sysno, SyscallSupport::Partial(holes));
+        }
+    }
+
+    /// Removes one hole — the flag-granular analogue of inserting into
+    /// `implemented`. Plan validation replays `implement_flags` steps
+    /// with this. No-op if `key` is not currently a hole; also drops
+    /// any stub/fake overlay the plugged flag had, a real
+    /// implementation superseding both.
+    pub fn plug_hole(&mut self, key: SubFeatureKey) {
+        let mut holes = self.holes(key.sysno()).to_vec();
+        holes.retain(|k| *k != key);
+        self.set_partial(key.sysno(), holes);
+        self.stubbed_flags.retain(|k| *k != key);
+        self.faked_flags.retain(|k| *k != key);
+    }
+
+    /// The unsupported selectors of `sysno` (empty for full support).
+    pub fn holes(&self, sysno: Sysno) -> &[SubFeatureKey] {
+        match self.support.get(&sysno) {
+            Some(SyscallSupport::Partial(holes)) => holes,
+            _ => &[],
+        }
+    }
+
+    /// Whether `key` is an unsupported selector of an otherwise
+    /// implemented syscall.
+    pub fn is_hole(&self, key: SubFeatureKey) -> bool {
+        self.holes(key.sysno()).contains(&key)
+    }
+
+    /// Every hole across the whole profile, in syscall order.
+    pub fn all_holes(&self) -> Vec<SubFeatureKey> {
+        self.support
+            .values()
+            .flat_map(|s| match s {
+                SyscallSupport::Full => [].as_slice(),
+                SyscallSupport::Partial(holes) => holes.as_slice(),
+            })
+            .copied()
+            .collect()
     }
 
     /// How the profile answers `sysno`.
@@ -65,6 +137,53 @@ impl KernelProfile {
             Disposition::Enosys
         }
     }
+
+    /// How the profile answers one decoded sub-feature of a *forwarded*
+    /// syscall; `None` means the selector is supported and the call
+    /// proceeds to the backing kernel. Only consulted when
+    /// [`disposition`](KernelProfile::disposition) says
+    /// [`Disposition::Forward`] — a syscall that is not implemented at
+    /// all never gets to flag granularity.
+    pub fn flag_disposition(&self, key: SubFeatureKey) -> Option<FlagAnswer> {
+        if !self.is_hole(key) {
+            return None;
+        }
+        if self.faked_flags.contains(&key) {
+            return Some(FlagAnswer::Fake);
+        }
+        // A kernel that has never heard of the whole *mechanism* behind
+        // a critical operation answers like an unimplemented syscall;
+        // one that merely does not recognise the flag value answers
+        // `-EINVAL`, like Linux does for unknown selectors.
+        Some(FlagAnswer::Reject(if key.is_typically_critical() {
+            Errno::ENOSYS
+        } else {
+            Errno::EINVAL
+        }))
+    }
+}
+
+/// Support level of one implemented syscall (see
+/// [`KernelProfile::support`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyscallSupport {
+    /// Every operation of the syscall works.
+    #[default]
+    Full,
+    /// The syscall is recognised but the listed selector values are
+    /// unsupported — invoking one is rejected at the boundary.
+    Partial(Vec<SubFeatureKey>),
+}
+
+/// What a [`KernelProfile`] does with one unsupported sub-feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagAnswer {
+    /// Reject with this errno (`ENOSYS` for typically-critical
+    /// operations whose mechanism is absent, `EINVAL` for unrecognised
+    /// flag values).
+    Reject(Errno),
+    /// Answer a syscall-specific fake success value.
+    Fake,
 }
 
 /// What a [`KernelProfile`] does with one system call.
@@ -92,6 +211,30 @@ pub struct KernelObservations {
     /// The first syscall ever rejected — the first thing an OS developer
     /// asks when a run fails on their profile ("what did it trip on?").
     pub first_rejection: Option<Sysno>,
+    /// Per-sub-feature counts of invocations rejected because their
+    /// decoded selector is a hole of a partially-implemented syscall.
+    /// Deliberately *not* folded into `rejections`: the syscall is
+    /// implemented — the flag is what the OS is missing, and the counter
+    /// must say so. Keys are raw `(sysno, selector)` pairs, so selectors
+    /// outside the modeled [`SubFeature`](loupe_syscalls::SubFeature)
+    /// table still surface (as `ioctl:0x…`) instead of vanishing.
+    #[serde(default)]
+    pub flag_rejections: Vec<(SubFeatureKey, u64)>,
+    /// Per-sub-feature counts answered by the per-flag fake overlay.
+    #[serde(default)]
+    pub flag_fake_hits: Vec<(SubFeatureKey, u64)>,
+    /// The first sub-feature ever rejected, independent of
+    /// `first_rejection` (a run can trip on a flag without any syscall
+    /// ever being rejected whole).
+    #[serde(default)]
+    pub first_rejected_flag: Option<SubFeatureKey>,
+}
+
+fn bump(counters: &mut Vec<(SubFeatureKey, u64)>, key: SubFeatureKey, n: u64) {
+    match counters.iter_mut().find(|(k, _)| *k == key) {
+        Some((_, count)) => *count += n,
+        None => counters.push((key, n)),
+    }
 }
 
 impl KernelObservations {
@@ -105,6 +248,16 @@ impl KernelObservations {
         self.fake_hits.values().sum()
     }
 
+    /// Total invocations rejected because of a sub-feature hole.
+    pub fn total_flag_rejections(&self) -> u64 {
+        self.flag_rejections.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Total invocations answered by the per-flag fake overlay.
+    pub fn total_flag_fake_hits(&self) -> u64 {
+        self.flag_fake_hits.iter().map(|(_, n)| n).sum()
+    }
+
     /// Accumulates another run's observations (counts add; the first
     /// rejection of the earliest run wins).
     pub fn absorb(&mut self, other: &KernelObservations) {
@@ -116,6 +269,15 @@ impl KernelObservations {
         }
         if self.first_rejection.is_none() {
             self.first_rejection = other.first_rejection;
+        }
+        for &(k, n) in &other.flag_rejections {
+            bump(&mut self.flag_rejections, k, n);
+        }
+        for &(k, n) in &other.flag_fake_hits {
+            bump(&mut self.flag_fake_hits, k, n);
+        }
+        if self.first_rejected_flag.is_none() {
+            self.first_rejected_flag = other.first_rejected_flag;
         }
     }
 }
@@ -165,6 +327,11 @@ impl<K: Kernel> RestrictedKernel<K> {
         self.observations.first_rejection
     }
 
+    /// The first sub-feature this kernel ever rejected, if any.
+    pub fn first_rejected_flag(&self) -> Option<SubFeatureKey> {
+        self.observations.first_rejected_flag
+    }
+
     /// The full observation bundle, cloneable past the kernel's life.
     pub fn observations(&self) -> &KernelObservations {
         &self.observations
@@ -189,7 +356,30 @@ impl<K: Kernel> Kernel for RestrictedKernel<K> {
             return self.inner.syscall(inv);
         }
         match self.profile.disposition(inv.sysno) {
-            Disposition::Forward => self.inner.syscall(inv),
+            Disposition::Forward => {
+                // The syscall is implemented — but a partially-supported
+                // one still rejects (or fakes) the selector values it
+                // cannot execute, and the counters charge the *flag*.
+                if let Some(answer) = inv
+                    .sub_feature()
+                    .and_then(|key| self.profile.flag_disposition(key).map(|a| (key, a)))
+                {
+                    let (key, answer) = answer;
+                    self.inner.charge(INTERCEPT_COST);
+                    return match answer {
+                        FlagAnswer::Reject(errno) => {
+                            bump(&mut self.observations.flag_rejections, key, 1);
+                            self.observations.first_rejected_flag.get_or_insert(key);
+                            SysOutcome::err(errno)
+                        }
+                        FlagAnswer::Fake => {
+                            bump(&mut self.observations.flag_fake_hits, key, 1);
+                            SysOutcome::ok(fake_value(inv))
+                        }
+                    };
+                }
+                self.inner.syscall(inv)
+            }
             Disposition::Enosys => {
                 *self.observations.rejections.entry(inv.sysno).or_insert(0) += 1;
                 self.observations.first_rejection.get_or_insert(inv.sysno);
@@ -318,5 +508,134 @@ mod tests {
         let json = serde_json::to_string(&p).unwrap();
         let back: KernelProfile = serde_json::from_str(&json).unwrap();
         assert_eq!(p, back);
+    }
+
+    #[test]
+    fn profiles_stored_before_partial_fidelity_deserialise() {
+        // The partial-fidelity fields all carry `#[serde(default)]`:
+        // profile JSON written before they existed deserialises to a
+        // hole-free profile that behaves exactly as it used to.
+        let legacy = r#"{"name":"old","implemented":[0],"stubbed":[],"faked":[]}"#;
+        let back: KernelProfile = serde_json::from_str(legacy).unwrap();
+        assert!(back.support.is_empty());
+        assert!(back.stubbed_flags.is_empty() && back.faked_flags.is_empty());
+        assert_eq!(back.disposition(Sysno::read), Disposition::Forward);
+        assert!(back.holes(Sysno::read).is_empty());
+    }
+
+    #[test]
+    fn partial_profile_serde_roundtrip() {
+        use loupe_syscalls::SubFeature;
+        let mut p = profile(&[Sysno::fcntl, Sysno::futex]);
+        p.set_partial(
+            Sysno::fcntl,
+            vec![SubFeature::F_SETFL.key(), SubFeature::F_SETLK.key()],
+        );
+        p.set_partial(Sysno::futex, vec![SubFeature::FUTEX_REQUEUE.key()]);
+        p.faked_flags.push(SubFeature::F_SETLK.key());
+        p.stubbed_flags.push(SubFeature::FUTEX_REQUEUE.key());
+        let json = serde_json::to_string(&p).unwrap();
+        let back: KernelProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+        assert_eq!(p.all_holes().len(), 3);
+        // Emptying the holes removes the entry entirely.
+        p.set_partial(Sysno::fcntl, vec![]);
+        assert!(p.holes(Sysno::fcntl).is_empty());
+        assert!(!p.is_hole(SubFeature::F_SETFL.key()));
+    }
+
+    #[test]
+    fn flag_holes_reject_by_criticality() {
+        use loupe_syscalls::SubFeature;
+        // F_SETFD is non-critical (unknown-flag EINVAL); FUTEX_WAIT is
+        // critical (whole mechanism absent: ENOSYS).
+        let mut p = profile(&[Sysno::fcntl, Sysno::futex]);
+        p.set_partial(Sysno::fcntl, vec![SubFeature::F_SETFD.key()]);
+        p.set_partial(Sysno::futex, vec![SubFeature::FUTEX_WAIT.key()]);
+        let mut k = RestrictedKernel::new(LinuxSim::new(), p);
+
+        let r = k.syscall(&Invocation::for_sub_feature(SubFeature::F_SETFD.key()));
+        assert_eq!(r.errno(), Some(Errno::EINVAL));
+        let r = k.syscall(&Invocation::for_sub_feature(SubFeature::FUTEX_WAIT.key()));
+        assert_eq!(r.errno(), Some(Errno::ENOSYS));
+
+        // Attribution goes to the flag, not the syscall.
+        assert!(k.rejections().is_empty(), "syscall counters untouched");
+        assert_eq!(k.first_rejection(), None);
+        assert_eq!(k.first_rejected_flag(), Some(SubFeature::F_SETFD.key()));
+        let obs = k.observations();
+        assert_eq!(obs.total_flag_rejections(), 2);
+
+        // Other selectors of the same syscalls still reach the kernel.
+        let r = k.syscall(&Invocation::for_sub_feature(SubFeature::F_GETFL.key()));
+        assert!(r.ret >= 0 || r.errno() != Some(Errno::EINVAL));
+        assert_eq!(k.observations().total_flag_rejections(), 2);
+    }
+
+    #[test]
+    fn faked_flags_answer_success_and_count_separately() {
+        use loupe_syscalls::SubFeature;
+        let mut p = profile(&[Sysno::prlimit64]);
+        p.set_partial(Sysno::prlimit64, vec![SubFeature::RLIMIT_MEMLOCK.key()]);
+        p.faked_flags.push(SubFeature::RLIMIT_MEMLOCK.key());
+        let mut k = RestrictedKernel::new(LinuxSim::new(), p);
+        let r = k.syscall(&Invocation::for_sub_feature(
+            SubFeature::RLIMIT_MEMLOCK.key(),
+        ));
+        assert!(r.ret >= 0, "faked flag answers success: {r:?}");
+        let obs = k.observations();
+        assert_eq!(obs.total_flag_fake_hits(), 1);
+        assert_eq!(obs.total_flag_rejections(), 0);
+        assert!(obs.fake_hits.is_empty(), "syscall fake counters untouched");
+        assert_eq!(obs.first_rejected_flag, None);
+    }
+
+    #[test]
+    fn unmodeled_selectors_surface_as_raw_keys() {
+        // A hole on a selector the SubFeature table has never heard of
+        // must still reject and must still be observable afterwards —
+        // the raw (sysno, selector) key survives into the counters and
+        // renders as `ioctl:0x5423`.
+        let raw = SubFeatureKey::new(Sysno::ioctl, 0x5423);
+        let mut p = profile(&[Sysno::ioctl]);
+        p.set_partial(Sysno::ioctl, vec![raw]);
+        let mut k = RestrictedKernel::new(LinuxSim::new(), p);
+        let r = k.syscall(&Invocation::for_sub_feature(raw));
+        assert_eq!(r.errno(), Some(Errno::EINVAL), "unmodeled → non-critical");
+        let obs = k.observations().clone();
+        assert_eq!(obs.flag_rejections, vec![(raw, 1)]);
+        assert_eq!(obs.first_rejected_flag, Some(raw));
+        assert_eq!(obs.first_rejected_flag.unwrap().to_string(), "ioctl:0x5423");
+        // And the raw key round-trips through persistence.
+        let json = serde_json::to_string(&obs).unwrap();
+        let back: KernelObservations = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, obs);
+    }
+
+    #[test]
+    fn helpers_bypass_flag_holes_and_absorb_merges_flag_counters() {
+        use loupe_syscalls::SubFeature;
+        let mut p = profile(&[Sysno::fcntl]);
+        p.set_partial(Sysno::fcntl, vec![SubFeature::F_SETFL.key()]);
+        let mut k = RestrictedKernel::new(LinuxSim::new(), p);
+        let inv = Invocation::for_sub_feature(SubFeature::F_SETFL.key()).with_note("helper:sh");
+        k.syscall(&inv);
+        assert_eq!(k.observations().total_flag_rejections(), 0);
+
+        let mut a = KernelObservations::default();
+        let mut b = KernelObservations::default();
+        bump(&mut a.flag_rejections, SubFeature::F_SETFL.key(), 2);
+        a.first_rejected_flag = Some(SubFeature::F_SETFL.key());
+        bump(&mut b.flag_rejections, SubFeature::F_SETFL.key(), 3);
+        bump(&mut b.flag_fake_hits, SubFeature::F_SETFD.key(), 1);
+        b.first_rejected_flag = Some(SubFeature::F_SETFD.key());
+        a.absorb(&b);
+        assert_eq!(a.flag_rejections, vec![(SubFeature::F_SETFL.key(), 5)]);
+        assert_eq!(a.flag_fake_hits, vec![(SubFeature::F_SETFD.key(), 1)]);
+        assert_eq!(
+            a.first_rejected_flag,
+            Some(SubFeature::F_SETFL.key()),
+            "earliest wins"
+        );
     }
 }

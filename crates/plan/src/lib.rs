@@ -18,6 +18,7 @@
 //!   earlier.
 
 pub mod importance;
+pub mod ingest;
 pub mod matrix;
 pub mod os;
 pub mod plan;
@@ -26,6 +27,7 @@ pub mod savings;
 pub mod validate;
 
 pub use importance::{api_importance, importance_fractions, ImportancePoint};
+pub use ingest::{CompatRow, CompatTable, IngestError, OverrideLine, SupportStatus};
 pub use matrix::{
     measure_cell, remediation_profile, vanilla_profile, MatrixCell, Tier, TierOutcome,
 };

@@ -32,7 +32,7 @@ use loupe_apps::{AppModel, Workload};
 use loupe_core::exec::{run_app_observed, ExecEnv};
 use loupe_core::TestScript;
 use loupe_kernel::{KernelObservations, KernelProfile};
-use loupe_syscalls::{Sysno, SysnoSet};
+use loupe_syscalls::{SubFeatureKey, Sysno, SysnoSet};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -88,6 +88,19 @@ pub struct TierOutcome {
     pub fake_hits: BTreeMap<Sysno, u64>,
     /// The first rejected syscall — the failure cause to read first.
     pub first_rejection: Option<Sysno>,
+    /// Per-sub-feature rejections: invocations whose decoded selector
+    /// hit a hole of an otherwise-forwarded syscall (§5.4). Empty for
+    /// cells stored before partial fidelity existed.
+    #[serde(default)]
+    pub flag_rejections: Vec<(SubFeatureKey, u64)>,
+    /// Per-sub-feature fake-overlay hits.
+    #[serde(default)]
+    pub flag_fake_hits: Vec<(SubFeatureKey, u64)>,
+    /// The first sub-feature rejected at the boundary — when the failure
+    /// cause is a flag of an implemented syscall, this names it (and
+    /// `first_rejection` may be `None`: the syscall itself was fine).
+    #[serde(default)]
+    pub first_rejected_flag: Option<SubFeatureKey>,
 }
 
 impl TierOutcome {
@@ -99,7 +112,20 @@ impl TierOutcome {
             rejections: obs.rejections,
             fake_hits: obs.fake_hits,
             first_rejection: obs.first_rejection,
+            flag_rejections: obs.flag_rejections,
+            flag_fake_hits: obs.flag_fake_hits,
+            first_rejected_flag: obs.first_rejected_flag,
         }
+    }
+
+    /// The failure cause to display: the first rejected *flag* when the
+    /// boundary saw one before (or instead of) a whole-syscall
+    /// rejection, else the first rejected syscall. A flag rejection is
+    /// the more precise attribution — "`fcntl:F_SETFL`", not "`fcntl`".
+    pub fn first_cause(&self) -> Option<String> {
+        self.first_rejected_flag
+            .map(|k| k.to_string())
+            .or_else(|| self.first_rejection.map(|s| s.name().to_owned()))
     }
 }
 
@@ -121,6 +147,12 @@ pub struct MatrixCell {
     /// not implement — the *analytical* failure cause next to the
     /// empirical one.
     pub missing_required: SysnoSet,
+    /// Required sub-features that fall into the OS's per-flag holes —
+    /// the flag-granular analytical gap. Non-empty exactly when the OS
+    /// implements a syscall the app needs but not the *operation* the
+    /// app needs it for.
+    #[serde(default)]
+    pub missing_required_flags: Vec<SubFeatureKey>,
     /// The vanilla-tier verdict, when that tier was measured.
     pub vanilla: Option<TierOutcome>,
     /// The planned-tier verdict, when that tier was measured.
@@ -163,9 +195,14 @@ impl MatrixCell {
 }
 
 /// The vanilla-tier kernel profile for an OS: exactly its implemented
-/// syscalls, nothing stubbed or faked on purpose.
+/// syscalls — with the spec's per-flag holes carried over — and nothing
+/// stubbed or faked on purpose.
 pub fn vanilla_profile(os: &OsSpec) -> KernelProfile {
-    KernelProfile::new(os.name.clone(), os.supported.clone())
+    let mut profile = KernelProfile::new(os.name.clone(), os.supported.clone());
+    for (sysno, holes) in &os.partial {
+        profile.set_partial(*sysno, holes.clone());
+    }
+    profile
 }
 
 /// The planned-tier kernel profile for one app on an OS: the support
@@ -174,6 +211,12 @@ pub fn vanilla_profile(os: &OsSpec) -> KernelProfile {
 /// `-ENOSYS` deliberately — behaviourally identical to vanilla, but now
 /// a recorded decision), fake-only classes get fake shims. Nothing new
 /// is implemented: that is precisely what makes this tier *cheap*.
+/// At flag granularity the same logic applies to the OS's holes: holes
+/// on measured-stubbable flags are recorded as deliberate stubs (a hole
+/// already answers a rejection, so behaviour is unchanged — the plan
+/// merely signs off on it), holes on fake-only flags get fake shims.
+/// Holes on *required* flags stay open: no cheap remediation fixes
+/// those, and the planned tier is allowed to fail on them.
 pub fn remediation_profile(os: &OsSpec, req: &AppRequirement) -> KernelProfile {
     let mut profile = KernelProfile::new(
         format!("{}+plan[{}]", os.name, req.app),
@@ -181,6 +224,22 @@ pub fn remediation_profile(os: &OsSpec, req: &AppRequirement) -> KernelProfile {
     );
     profile.stubbed = req.stubbable.difference(&os.supported);
     profile.faked = req.fake_only.difference(&os.supported);
+    for (sysno, holes) in &os.partial {
+        profile.set_partial(*sysno, holes.clone());
+    }
+    let holes = os.all_holes();
+    profile.stubbed_flags = req
+        .stubbable_flags
+        .iter()
+        .filter(|k| holes.contains(k))
+        .copied()
+        .collect();
+    profile.faked_flags = req
+        .fake_only_flags
+        .iter()
+        .filter(|k| holes.contains(k))
+        .copied()
+        .collect();
     profile
 }
 
@@ -237,6 +296,7 @@ pub fn measure_cell(
         workload,
         linux_pass,
         missing_required: req.required.difference(&os.supported),
+        missing_required_flags: req.missing_required_flags(&os.all_holes()),
         vanilla: Some(vanilla),
         planned,
     }

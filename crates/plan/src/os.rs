@@ -8,7 +8,7 @@
 //! Fuchsia 152, Kerla 58, ...). Membership is derived from a popularity
 //! prefix plus the per-OS gaps Table 1 documents.
 
-use loupe_syscalls::{Sysno, SysnoSet};
+use loupe_syscalls::{SubFeatureKey, Sysno, SysnoSet};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -21,16 +21,44 @@ pub struct OsSpec {
     pub version: String,
     /// Implemented system calls.
     pub supported: SysnoSet,
+    /// Per-flag holes of partially implemented syscalls: for each
+    /// entry, the syscall *is* in `supported` but the listed
+    /// sub-features are not answered (§5.4 partial fidelity). Sorted by
+    /// syscall; empty for specs stored before partial fidelity existed.
+    #[serde(default)]
+    pub partial: Vec<(Sysno, Vec<SubFeatureKey>)>,
 }
 
 impl OsSpec {
-    /// Creates a spec from parts.
+    /// Creates a spec from parts (no partial holes).
     pub fn new(name: impl Into<String>, version: impl Into<String>, supported: SysnoSet) -> OsSpec {
         OsSpec {
             name: name.into(),
             version: version.into(),
             supported,
+            partial: Vec::new(),
         }
+    }
+
+    /// The sub-feature holes of one syscall (empty when fully
+    /// implemented).
+    pub fn holes_for(&self, sysno: Sysno) -> &[SubFeatureKey] {
+        self.partial
+            .iter()
+            .find(|(s, _)| *s == sysno)
+            .map(|(_, holes)| holes.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All sub-feature holes across the spec, sorted.
+    pub fn all_holes(&self) -> Vec<SubFeatureKey> {
+        let mut holes: Vec<SubFeatureKey> = self
+            .partial
+            .iter()
+            .flat_map(|(_, h)| h.iter().copied())
+            .collect();
+        holes.sort();
+        holes
     }
 
     /// Parses the paper's CSV format: one syscall name (or number) per
@@ -387,7 +415,10 @@ fn popularity_sysnos() -> Vec<Sysno> {
         .collect()
 }
 
-fn prefix(n: usize) -> SysnoSet {
+/// The first `n` syscalls of the popularity order, as a set. Crate-public
+/// so the vendored-data regeneration helper can rebuild the kerla table
+/// from the same prefix the curated specs use.
+pub(crate) fn prefix(n: usize) -> SysnoSet {
     popularity_sysnos().into_iter().take(n).collect()
 }
 
@@ -402,6 +433,28 @@ fn spec(name: &str, version: &str, size: usize, remove: &[Sysno], add: &[Sysno])
     OsSpec::new(name, version, set)
 }
 
+/// Adds curated partial-support holes to a spec: each entry is a
+/// syscall the OS *does* list as implemented whose named sub-features
+/// it nonetheless rejects (§5.4). Keys are the symbolic
+/// [`SubFeatureKey`] spellings; panics on typos (covered by tests).
+fn with_holes(mut spec: OsSpec, holes: &[(&str, &[&str])]) -> OsSpec {
+    for (sysno_name, keys) in holes {
+        let sysno = Sysno::from_name(sysno_name).expect("curated hole syscall");
+        assert!(
+            spec.supported.contains(sysno),
+            "{}: curated holes only refine supported syscalls ({sysno_name})",
+            spec.name
+        );
+        let parsed: Vec<SubFeatureKey> = keys
+            .iter()
+            .map(|k| SubFeatureKey::parse(&format!("{sysno_name}:{k}")).expect("curated hole key"))
+            .collect();
+        spec.partial.push((sysno, parsed));
+    }
+    spec.partial.sort_by_key(|(s, _)| s.raw());
+    spec
+}
+
 /// Curated support specs for the 11 OSes of §4.1, sized per the paper.
 pub fn db() -> Vec<OsSpec> {
     use Sysno as S;
@@ -409,50 +462,93 @@ pub fn db() -> Vec<OsSpec> {
         // Unikraft commit 7d6707f: 174 syscalls, with the Table 1 gaps
         // (eventfd2 290, set_tid_address 218, timerfd_create 283,
         // mincore 27, epoll on, gettid missing).
-        spec(
-            "unikraft",
-            "7d6707f",
-            178,
-            &[
-                S::eventfd2,
-                S::set_tid_address,
-                S::timerfd_create,
-                S::mincore,
-            ],
-            &[],
+        with_holes(
+            spec(
+                "unikraft",
+                "7d6707f",
+                178,
+                &[
+                    S::eventfd2,
+                    S::set_tid_address,
+                    S::timerfd_create,
+                    S::mincore,
+                ],
+                &[],
+            ),
+            // POSIX record locks and capability toggling are unwired in
+            // the unikernel's vfscore/process shims.
+            &[("fcntl", &["F_SETLK"]), ("prctl", &["PR_SET_KEEPCAPS"])],
         ),
         // Fuchsia (starnix) commit 5d20758: 152 syscalls, Table 1 gaps:
         // dup2 33, rt_sigtimedwait 128, sysinfo 99, mincore 27, setuid 105,
         // sendfile 40, prlimit64 302, eventfd2 302?, epoll variants.
-        spec(
-            "fuchsia",
-            "5d20758",
-            161,
-            &[
-                S::dup2,
-                S::rt_sigtimedwait,
-                S::sysinfo,
-                S::mincore,
-                S::sendfile,
-                S::eventfd2,
-                S::prlimit64,
-                S::epoll_create1,
-                S::timerfd_create,
-            ],
-            &[],
+        with_holes(
+            spec(
+                "fuchsia",
+                "5d20758",
+                161,
+                &[
+                    S::dup2,
+                    S::rt_sigtimedwait,
+                    S::sysinfo,
+                    S::mincore,
+                    S::sendfile,
+                    S::eventfd2,
+                    S::prlimit64,
+                    S::epoll_create1,
+                    S::timerfd_create,
+                ],
+                &[],
+            ),
+            // starnix answers fcntl but file locks hit an unimplemented
+            // path in its VFS translation.
+            &[("fcntl", &["F_SETLK", "F_SETLKW"])],
         ),
-        // Kerla commit 73a1873: 58 syscalls.
-        spec("kerla", "73a1873", 58, &[], &[]),
+        // Kerla commit 73a1873: 58 syscalls, ingested from the vendored
+        // compatibility.md snapshot plus curated per-flag overrides
+        // (mmap/ioctl/fcntl/arch_prctl are Partially implemented).
+        crate::ingest::kerla_spec(),
         // OSv: a mature research libOS.
-        spec("osv", "v0.56", 132, &[], &[]),
+        with_holes(
+            spec("osv", "v0.56", 132, &[], &[]),
+            // Single-address-space libOS: advisory file locking is a
+            // stub that errors out.
+            &[("fcntl", &["F_SETLK"])],
+        ),
         // HermiTux.
         spec("hermitux", "master", 100, &[], &[]),
         // gVisor: broad production coverage.
-        spec("gvisor", "release-2021", 211, &[], &[]),
+        with_holes(
+            spec("gvisor", "release-2021", 211, &[], &[]),
+            // Sentry-mediated gaps: POSIX record locks and the
+            // keep-capabilities prctl are rejected inside otherwise
+            // implemented syscalls.
+            &[
+                ("fcntl", &["F_SETLK", "F_SETLKW"]),
+                ("prctl", &["PR_SET_KEEPCAPS"]),
+            ],
+        ),
         // Gramine.
-        spec("gramine", "v1.0", 150, &[], &[]),
+        with_holes(
+            spec("gramine", "v1.0", 150, &[], &[]),
+            // Enclave file handling: byte-range locks and the
+            // file-descriptor rlimit resize are unsupported inside SGX.
+            &[
+                ("fcntl", &["F_SETLK", "F_SETLKW"]),
+                ("prlimit64", &["RLIMIT_NOFILE"]),
+            ],
+        ),
         // FreeBSD Linuxulator.
-        spec("linuxulator", "13.0", 186, &[], &[]),
+        with_holes(
+            spec("linuxulator", "13.0", 186, &[], &[]),
+            // Emulation-layer gaps: Linux-flavoured record locks and the
+            // NOFILE prlimit are not translated to their FreeBSD
+            // counterparts.
+            &[
+                ("fcntl", &["F_SETLK", "F_SETLKW"]),
+                ("prlimit64", &["RLIMIT_NOFILE"]),
+            ],
+        ),
         // Browsix: Unix in the browser.
         spec("browsix", "master", 45, &[], &[]),
         // Zephyr POSIX layer.

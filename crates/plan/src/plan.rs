@@ -6,7 +6,7 @@
 //! which is what makes ">80% of steps require implementing only 1–3
 //! system calls".
 
-use loupe_syscalls::SysnoSet;
+use loupe_syscalls::{SubFeatureKey, SysnoSet};
 use serde::{Deserialize, Serialize};
 
 use crate::os::OsSpec;
@@ -24,6 +24,19 @@ pub struct PlanStep {
     pub stub: SysnoSet,
     /// Syscalls to fake (success without work).
     pub fake: SysnoSet,
+    /// Sub-feature holes to implement for real (flags of already-
+    /// implemented syscalls the next app *requires*, §5.4). Empty for
+    /// plans stored before partial fidelity existed.
+    #[serde(default)]
+    pub implement_flags: Vec<SubFeatureKey>,
+    /// Holes to leave rejecting, now as a recorded decision (the app
+    /// tolerates the rejection — behaviourally free).
+    #[serde(default)]
+    pub stub_flags: Vec<SubFeatureKey>,
+    /// Holes to answer with a fake success (rejection measured
+    /// insufficient, fake sufficient).
+    #[serde(default)]
+    pub fake_flags: Vec<SubFeatureKey>,
     /// The application this step unlocks.
     pub unlocks: String,
 }
@@ -39,17 +52,30 @@ pub struct SupportPlan {
     pub steps: Vec<PlanStep>,
 }
 
+/// How many of `keys` are open holes not yet covered by `done`.
+fn count_new(keys: &[SubFeatureKey], holes: &[SubFeatureKey], done: &[SubFeatureKey]) -> usize {
+    keys.iter()
+        .filter(|k| holes.contains(k) && !done.contains(k))
+        .count()
+}
+
 impl SupportPlan {
-    /// Generates the plan.
+    /// Generates the plan. The OS's per-flag holes are scheduled like
+    /// missing syscalls, one level finer: a hole an app *requires* is
+    /// implemented in that app's step; holes on tolerated flags are
+    /// recorded as stub/fake decisions (no implementation work).
     pub fn generate(os: &OsSpec, apps: &[AppRequirement]) -> SupportPlan {
         let mut implemented = os.supported.clone();
         let mut stubbed = SysnoSet::new();
         let mut faked = SysnoSet::new();
+        let mut holes = os.all_holes();
+        let mut stubbed_flags: Vec<SubFeatureKey> = Vec::new();
+        let mut faked_flags: Vec<SubFeatureKey> = Vec::new();
 
         let mut remaining: Vec<&AppRequirement> = Vec::new();
         let mut initially_supported = Vec::new();
         for app in apps {
-            if app.supported_by(&implemented) {
+            if app.supported_by_surface(&implemented, &holes) {
                 initially_supported.push(app.app.clone());
             } else {
                 remaining.push(app);
@@ -58,23 +84,27 @@ impl SupportPlan {
 
         let mut steps = Vec::new();
         while !remaining.is_empty() {
-            // Cheapest app: fewest missing required syscalls, then fewest
-            // missing stubs/fakes, then name.
+            // Cheapest app: fewest missing required syscalls *and*
+            // required flag holes, then fewest missing stubs/fakes
+            // (again at both granularities), then name.
             let (pos, _) = remaining
                 .iter()
                 .enumerate()
                 .min_by_key(|&(_, app)| {
-                    let miss_req = app.missing_required(&implemented).len();
+                    let miss_req = app.missing_required(&implemented).len()
+                        + app.missing_required_flags(&holes).len();
                     let miss_stub = app
                         .stubbable
                         .difference(&implemented)
                         .difference(&stubbed)
-                        .len();
+                        .len()
+                        + count_new(&app.stubbable_flags, &holes, &stubbed_flags);
                     let miss_fake = app
                         .fake_only
                         .difference(&implemented)
                         .difference(&faked)
-                        .len();
+                        .len()
+                        + count_new(&app.fake_only_flags, &holes, &faked_flags);
                     (miss_req, miss_stub + miss_fake, app.app.as_str())
                 })
                 .expect("remaining non-empty");
@@ -91,16 +121,35 @@ impl SupportPlan {
                 .difference(&implemented)
                 .difference(&faked)
                 .difference(&implement);
+            let implement_flags = app.missing_required_flags(&holes);
+            let stub_flags: Vec<SubFeatureKey> = app
+                .stubbable_flags
+                .iter()
+                .filter(|k| holes.contains(k) && !stubbed_flags.contains(k))
+                .copied()
+                .collect();
+            let fake_flags: Vec<SubFeatureKey> = app
+                .fake_only_flags
+                .iter()
+                .filter(|k| holes.contains(k) && !faked_flags.contains(k))
+                .copied()
+                .collect();
 
             implemented.extend(implement.iter());
             stubbed.extend(stub.iter());
             faked.extend(fake.iter());
+            holes.retain(|k| !implement_flags.contains(k));
+            stubbed_flags.extend(stub_flags.iter().copied());
+            faked_flags.extend(fake_flags.iter().copied());
 
             steps.push(PlanStep {
                 index: steps.len() + 1,
                 implement,
                 stub,
                 fake,
+                implement_flags,
+                stub_flags,
+                fake_flags,
                 unlocks: app.app.clone(),
             });
         }
@@ -112,18 +161,29 @@ impl SupportPlan {
         }
     }
 
-    /// Total syscalls implemented across all steps.
+    /// Total syscalls implemented across all steps (whole syscalls;
+    /// flag holes plugged ride on `total_implemented_flags`).
     pub fn total_implemented(&self) -> usize {
         self.steps.iter().map(|s| s.implement.len()).sum()
     }
 
-    /// Fraction of steps that implement at most `k` syscalls (the paper's
-    /// ">80% of steps implement 1–3 syscalls" observation).
+    /// Total sub-feature holes implemented across all steps.
+    pub fn total_implemented_flags(&self) -> usize {
+        self.steps.iter().map(|s| s.implement_flags.len()).sum()
+    }
+
+    /// Fraction of steps whose implementation work — syscalls plus flag
+    /// holes plugged — is at most `k` items (the paper's ">80% of steps
+    /// implement 1–3 syscalls" observation).
     pub fn small_step_fraction(&self, k: usize) -> f64 {
         if self.steps.is_empty() {
             return 1.0;
         }
-        let small = self.steps.iter().filter(|s| s.implement.len() <= k).count();
+        let small = self
+            .steps
+            .iter()
+            .filter(|s| s.implement.len() + s.implement_flags.len() <= k)
+            .count();
         small as f64 / self.steps.len() as f64
     }
 
@@ -139,24 +199,28 @@ impl SupportPlan {
             self.initially_supported.len()
         ));
         for step in &self.steps {
-            let fmt_set = |set: &SysnoSet| {
-                if set.is_empty() {
+            // Syscalls and flag holes render in the same column: the
+            // step's work items, whatever their granularity.
+            let fmt = |set: &SysnoSet, flags: &[SubFeatureKey]| {
+                let items: Vec<String> = set
+                    .iter()
+                    .map(|s| s.name().to_owned())
+                    .chain(flags.iter().map(|k| k.to_string()))
+                    .collect();
+                if items.is_empty() {
                     "-".to_owned()
-                } else if set.len() > 6 {
-                    format!("({} syscalls)", set.len())
+                } else if items.len() > 6 {
+                    format!("({} items)", items.len())
                 } else {
-                    set.iter()
-                        .map(|s| s.name().to_owned())
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                    items.join(", ")
                 }
             };
             out.push_str(&format!(
                 "{:<4} | {} | {} | {} | + {}\n",
                 step.index,
-                fmt_set(&step.implement),
-                fmt_set(&step.stub),
-                fmt_set(&step.fake),
+                fmt(&step.implement, &step.implement_flags),
+                fmt(&step.stub, &step.stub_flags),
+                fmt(&step.fake, &step.fake_flags),
                 step.unlocks
             ));
         }
@@ -176,6 +240,7 @@ mod tests {
             stubbable: stub.iter().copied().collect(),
             fake_only: SysnoSet::new(),
             traced: required.iter().chain(stub).copied().collect(),
+            ..AppRequirement::default()
         }
     }
 
@@ -227,6 +292,44 @@ mod tests {
         let plan = SupportPlan::generate(&os, &apps);
         let total_stubs: usize = plan.steps.iter().map(|s| s.stub.len()).sum();
         assert_eq!(total_stubs, 1, "sysinfo stubbed once, reused after");
+    }
+
+    #[test]
+    fn required_flag_holes_are_scheduled_once_and_plugged() {
+        use loupe_syscalls::SubFeature;
+        let setfl = SubFeature::F_SETFL.key();
+        let setfd = SubFeature::F_SETFD.key();
+        let mut os = OsSpec::new(
+            "toy",
+            "1",
+            [Sysno::read, Sysno::fcntl].into_iter().collect(),
+        );
+        os.partial = vec![(Sysno::fcntl, vec![setfd, setfl])];
+        let mut a = req("a", &[Sysno::read, Sysno::fcntl], &[]);
+        a.required_flags = vec![setfl];
+        a.stubbable_flags = vec![setfd];
+        let mut b = req("b", &[Sysno::read, Sysno::fcntl], &[]);
+        b.required_flags = vec![setfl];
+        let plan = SupportPlan::generate(&os, &[a, b]);
+        assert!(
+            plan.initially_supported.is_empty(),
+            "a required hole blocks initial support even though the syscall is implemented"
+        );
+        // b is cheaper (no flag stubs to record) and goes first, plugging
+        // the hole; a then needs no implementation work at all.
+        assert_eq!(plan.steps[0].unlocks, "b");
+        assert_eq!(plan.steps[0].implement_flags, vec![setfl]);
+        assert!(plan.steps[0].implement.is_empty());
+        assert_eq!(plan.steps[1].unlocks, "a");
+        assert!(
+            plan.steps[1].implement_flags.is_empty(),
+            "the plugged hole is not re-scheduled"
+        );
+        assert_eq!(plan.steps[1].stub_flags, vec![setfd]);
+        assert_eq!(plan.total_implemented(), 0);
+        assert_eq!(plan.total_implemented_flags(), 1);
+        let table = plan.to_table();
+        assert!(table.contains("fcntl:F_SETFL"), "{table}");
     }
 
     #[test]

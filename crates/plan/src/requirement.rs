@@ -1,12 +1,21 @@
 //! Distilled per-application requirements, derived from engine reports.
 
 use loupe_core::AppReport;
-use loupe_syscalls::SysnoSet;
+use loupe_syscalls::{SubFeatureKey, SysnoSet};
 use serde::{Deserialize, Serialize};
 
 /// What one application needs from a compatibility layer, for one
 /// workload: the planner's unit of work.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Requirements exist at two granularities. The syscall-level sets
+/// (`required` / `stubbable` / `fake_only`) mirror the paper's binary
+/// view; the `*_flags` vectors refine it to [`SubFeatureKey`]
+/// granularity for vectored syscalls (§5.4), so a profile that
+/// implements `fcntl` but not `F_SETFL` is held to the flag, not the
+/// syscall. The flag vectors are sorted and deduplicated, and default
+/// to empty when deserialising requirements stored before partial
+/// fidelity existed.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AppRequirement {
     /// Application name.
     pub app: String,
@@ -18,6 +27,16 @@ pub struct AppRequirement {
     pub fake_only: SysnoSet,
     /// Everything the workload traced.
     pub traced: SysnoSet,
+    /// Sub-features that must be answered by a real implementation
+    /// (their stub *and* fake probes both failed the workload).
+    #[serde(default)]
+    pub required_flags: Vec<SubFeatureKey>,
+    /// Sub-features the workload tolerates failing (stub probe passed).
+    #[serde(default)]
+    pub stubbable_flags: Vec<SubFeatureKey>,
+    /// Sub-features that need a fake success (stub failed, fake passed).
+    #[serde(default)]
+    pub fake_only_flags: Vec<SubFeatureKey>,
 }
 
 impl AppRequirement {
@@ -26,17 +45,41 @@ impl AppRequirement {
     /// fallback syscalls the confirmed combined policy exercised — on a
     /// kernel that stubs/fakes the avoidable set, those fallback paths
     /// are the ones that run, so an OS following the plan must implement
-    /// them too.
+    /// them too. Flag-granular classes come straight from the report's
+    /// sub-feature probes.
     pub fn from_report(report: &AppReport) -> AppRequirement {
         let required = report.plan_required();
         let stubbable = report.stubbable();
         let fake_only = report.fakeable().difference(&stubbable);
+        let mut required_flags = Vec::new();
+        let mut stubbable_flags = Vec::new();
+        let mut fake_only_flags = Vec::new();
+        for (key, class) in &report.sub_features {
+            if class.stub_ok {
+                stubbable_flags.push(*key);
+            } else if class.fake_ok {
+                fake_only_flags.push(*key);
+            } else {
+                required_flags.push(*key);
+            }
+        }
+        for v in [
+            &mut required_flags,
+            &mut stubbable_flags,
+            &mut fake_only_flags,
+        ] {
+            v.sort();
+            v.dedup();
+        }
         AppRequirement {
             app: report.app.clone(),
             required,
             stubbable,
             fake_only,
             traced: report.traced().union(&report.fallbacks),
+            required_flags,
+            stubbable_flags,
+            fake_only_flags,
         }
     }
 
@@ -46,10 +89,28 @@ impl AppRequirement {
         self.required.difference(implemented)
     }
 
+    /// Required sub-features of this app that sit in `holes` — the
+    /// flag-granular counterpart of [`Self::missing_required`]. Sorted.
+    pub fn missing_required_flags(&self, holes: &[SubFeatureKey]) -> Vec<SubFeatureKey> {
+        self.required_flags
+            .iter()
+            .filter(|k| holes.contains(k))
+            .copied()
+            .collect()
+    }
+
     /// Whether the app is supported by `implemented` (stub/fake layers are
-    /// assumed providable for the avoidable remainder).
+    /// assumed providable for the avoidable remainder). Flag-blind: see
+    /// [`Self::supported_by_surface`] for the partial-fidelity check.
     pub fn supported_by(&self, implemented: &SysnoSet) -> bool {
         self.required.is_subset(implemented)
+    }
+
+    /// Whether the app is supported by an OS surface with per-flag
+    /// `holes`: every required syscall implemented *and* no required
+    /// sub-feature falls into a hole.
+    pub fn supported_by_surface(&self, implemented: &SysnoSet, holes: &[SubFeatureKey]) -> bool {
+        self.supported_by(implemented) && self.missing_required_flags(holes).is_empty()
     }
 }
 
@@ -62,7 +123,7 @@ impl From<&AppReport> for AppRequirement {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use loupe_syscalls::Sysno;
+    use loupe_syscalls::{SubFeature, Sysno};
 
     fn req(required: &[Sysno], stub: &[Sysno]) -> AppRequirement {
         AppRequirement {
@@ -71,6 +132,7 @@ mod tests {
             stubbable: stub.iter().copied().collect(),
             fake_only: SysnoSet::new(),
             traced: required.iter().chain(stub).copied().collect(),
+            ..AppRequirement::default()
         }
     }
 
@@ -85,5 +147,30 @@ mod tests {
             r.supported_by(&os),
             "stubbable syscalls do not block support"
         );
+    }
+
+    #[test]
+    fn flag_holes_block_support_only_when_required() {
+        let setfl = SubFeature::F_SETFL.key();
+        let setfd = SubFeature::F_SETFD.key();
+        let mut r = req(&[Sysno::fcntl], &[]);
+        r.required_flags = vec![setfl];
+        r.stubbable_flags = vec![setfd];
+        let os: SysnoSet = [Sysno::fcntl].into_iter().collect();
+        assert!(r.supported_by_surface(&os, &[]));
+        assert!(
+            r.supported_by_surface(&os, &[setfd]),
+            "a hole on a tolerated flag does not block"
+        );
+        assert!(!r.supported_by_surface(&os, &[setfl]));
+        assert_eq!(r.missing_required_flags(&[setfl, setfd]), vec![setfl]);
+    }
+
+    #[test]
+    fn requirements_stored_before_flags_deserialise() {
+        let legacy = r#"{"app":"t","required":[0],"stubbable":[],"fake_only":[],"traced":[0]}"#;
+        let back: AppRequirement = serde_json::from_str(legacy).unwrap();
+        assert!(back.required_flags.is_empty());
+        assert!(back.stubbable_flags.is_empty() && back.fake_only_flags.is_empty());
     }
 }

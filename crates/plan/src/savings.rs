@@ -104,6 +104,7 @@ mod tests {
             required,
             stubbable: stub,
             fake_only: SysnoSet::new(),
+            ..AppRequirement::default()
         }
     }
 

@@ -28,11 +28,13 @@ use loupe_apps::model::AppOutcome;
 use loupe_apps::{AppModel, Workload};
 use loupe_core::exec::{run_app, ExecEnv};
 use loupe_core::TestScript;
-use loupe_kernel::KernelProfile;
+#[cfg(test)]
 use loupe_syscalls::SysnoSet;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::matrix::vanilla_profile;
+use crate::os::OsSpec;
 use crate::plan::SupportPlan;
 use crate::requirement::AppRequirement;
 
@@ -229,7 +231,7 @@ impl PlanValidator {
     /// overlay cannot be derived).
     pub fn validate(
         &self,
-        os_supported: &SysnoSet,
+        os: &OsSpec,
         plan: &SupportPlan,
         reqs: &[AppRequirement],
         workload: Workload,
@@ -239,10 +241,11 @@ impl PlanValidator {
             resolve(name).ok_or_else(|| ValidateError::UnknownApp(name.to_owned()))
         };
 
-        // Step 0: the bare OS surface. The planner treats stub/fake
-        // layers for already-supported apps as providable (§4.1), so
-        // each initially supported app gets exactly the fake shims its
-        // own measurement demands — nothing from any later step.
+        // Step 0: the bare OS surface — per-flag holes included. The
+        // planner treats stub/fake layers for already-supported apps as
+        // providable (§4.1), so each initially supported app gets
+        // exactly the fake shims its own measurement demands — at both
+        // granularities — and nothing from any later step.
         let mut initial = Vec::new();
         for name in &plan.initially_supported {
             let req = reqs
@@ -250,9 +253,16 @@ impl PlanValidator {
                 .find(|r| &r.app == name)
                 .ok_or_else(|| ValidateError::MissingRequirement(name.clone()))?;
             let app = find(name)?;
-            let mut profile =
-                KernelProfile::new(format!("{} @ step 0", plan.os), os_supported.clone());
-            profile.faked = req.fake_only.difference(os_supported);
+            let mut profile = vanilla_profile(os);
+            profile.name = format!("{} @ step 0", plan.os);
+            profile.faked = req.fake_only.difference(&os.supported);
+            let holes = os.all_holes();
+            profile.faked_flags = req
+                .fake_only_flags
+                .iter()
+                .filter(|k| holes.contains(k))
+                .copied()
+                .collect();
             let env = ExecEnv::Restricted(profile);
             initial.push(InitialVerdict {
                 app: name.clone(),
@@ -262,7 +272,8 @@ impl PlanValidator {
 
         // Steps 1..n: cumulative profiles. `previous` trails one step
         // behind `cumulative` for the tightness check.
-        let mut cumulative = KernelProfile::new(plan.os.clone(), os_supported.clone());
+        let mut cumulative = vanilla_profile(os);
+        cumulative.name = plan.os.clone();
         let mut steps = Vec::new();
         for step in &plan.steps {
             let previous = cumulative.clone();
@@ -270,6 +281,15 @@ impl PlanValidator {
             cumulative.implemented.extend(step.implement.iter());
             cumulative.stubbed.extend(step.stub.iter());
             cumulative.faked.extend(step.fake.iter());
+            for key in &step.implement_flags {
+                cumulative.plug_hole(*key);
+            }
+            cumulative
+                .stubbed_flags
+                .extend(step.stub_flags.iter().copied());
+            cumulative
+                .faked_flags
+                .extend(step.fake_flags.iter().copied());
 
             let app = find(&step.unlocks)?;
             let unlocked = self.passes(
@@ -278,9 +298,14 @@ impl PlanValidator {
                 workload,
             );
             // A stub-only (or empty) step changes nothing observable:
-            // on a restricted kernel, unimplemented already answers
-            // `-ENOSYS`. Only implementing or faking moves behaviour.
-            let adds_behaviour = !step.implement.is_empty() || !step.fake.is_empty();
+            // on a restricted kernel, unimplemented already means
+            // `-ENOSYS`, and a stubbed flag hole rejects exactly like an
+            // untouched one. Only implementing or faking — a syscall or
+            // a flag — moves behaviour.
+            let adds_behaviour = !step.implement.is_empty()
+                || !step.fake.is_empty()
+                || !step.implement_flags.is_empty()
+                || !step.fake_flags.is_empty();
             let locked_before = adds_behaviour
                 .then(|| !self.passes(&ExecEnv::Restricted(previous), app.as_ref(), workload));
             steps.push(StepVerdict {
@@ -328,7 +353,7 @@ mod tests {
         let plan = SupportPlan::generate(&spec, &reqs);
         assert!(!plan.steps.is_empty(), "kerla needs work for cloud apps");
         let validation = PlanValidator::new()
-            .validate(&spec.supported, &plan, &reqs, workload, registry::find)
+            .validate(&spec, &plan, &reqs, workload, registry::find)
             .unwrap();
         assert!(
             validation.is_valid(),
@@ -367,7 +392,7 @@ mod tests {
             .expect("some step implements something");
         plan.steps[step_idx].implement.remove(dropped);
         let validation = PlanValidator::new()
-            .validate(&spec.supported, &plan, &reqs, workload, registry::find)
+            .validate(&spec, &plan, &reqs, workload, registry::find)
             .unwrap();
         assert!(
             !validation.steps[step_idx].unlocked,
@@ -394,7 +419,7 @@ mod tests {
             assert!(req.supported_by(&spec.supported));
         }
         let validation = PlanValidator::new()
-            .validate(&spec.supported, &plan, &reqs, workload, registry::find)
+            .validate(&spec, &plan, &reqs, workload, registry::find)
             .unwrap();
         assert!(validation.is_valid(), "{}", validation.to_table());
         assert_eq!(validation.initial.len(), reqs.len());
@@ -409,12 +434,11 @@ mod tests {
             stubbable: SysnoSet::new(),
             fake_only: SysnoSet::new(),
             traced: [Sysno::read].into_iter().collect(),
+            ..AppRequirement::default()
         }];
         let plan = SupportPlan::generate(&spec, &reqs);
         let err = PlanValidator::new()
-            .validate(&spec.supported, &plan, &reqs, Workload::HealthCheck, |_| {
-                None
-            })
+            .validate(&spec, &plan, &reqs, Workload::HealthCheck, |_| None)
             .unwrap_err();
         assert_eq!(err, ValidateError::UnknownApp("ghost".into()));
         assert!(err.to_string().contains("ghost"));

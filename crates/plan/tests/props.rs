@@ -38,6 +38,7 @@ fn req(
         required,
         stubbable,
         fake_only,
+        ..AppRequirement::default()
     }
 }
 
@@ -158,7 +159,7 @@ proptest! {
         prop_assert!(plan.steps.is_empty());
         prop_assert_eq!(plan.initially_supported.len(), reqs.len());
         let validation = PlanValidator::new()
-            .validate(&spec.supported, &plan, &reqs, workload, registry::find)
+            .validate(&spec, &plan, &reqs, workload, registry::find)
             .unwrap();
         prop_assert!(validation.is_valid(), "{}", validation.to_table());
         prop_assert!(validation.initial.iter().all(|v| v.passes));
@@ -213,5 +214,172 @@ proptest! {
             passes.1 += usize::from(on_large);
         }
         prop_assert!(passes.0 <= passes.1, "pass count monotone: {passes:?}");
+    }
+}
+
+/// Builds an arbitrary-but-valid compatibility table from sampled
+/// indices: unique sysnos from the pool, one of the three statuses
+/// each, release/notes cells with awkward-but-legal content.
+fn arb_table(seed: &[usize]) -> loupe_plan::CompatTable {
+    use loupe_plan::{CompatRow, CompatTable, SupportStatus};
+    let pool = pool();
+    let mut seen = SysnoSet::new();
+    let rows: Vec<CompatRow> = seed
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &idx)| {
+            let sysno = pool[idx % pool.len()];
+            if !seen.insert(sysno) {
+                return None;
+            }
+            let status = match idx % 3 {
+                0 => SupportStatus::Full,
+                1 => SupportStatus::Partially,
+                _ => SupportStatus::Unimplemented,
+            };
+            Some(CompatRow {
+                sysno,
+                status,
+                release: if idx % 2 == 0 {
+                    format!("v{}.{}", i % 9, idx % 7)
+                } else {
+                    String::new()
+                },
+                notes: match idx % 4 {
+                    0 => "works".to_owned(),
+                    1 => format!("since build {idx}"),
+                    _ => String::new(),
+                },
+            })
+        })
+        .collect();
+    let mut rows = rows;
+    rows.sort_by_key(|r| r.sysno.raw());
+    CompatTable {
+        preamble: "# Generated fixture\n\nArbitrary preamble text.\n\n".to_owned(),
+        rows,
+    }
+}
+
+proptest! {
+    /// Tentpole round-trip at table granularity: rendering any valid
+    /// table and parsing it back is the identity, and the rendered form
+    /// is canonical (a second render changes nothing).
+    #[test]
+    fn ingest_parse_inverts_render_on_arbitrary_tables(
+        seed in proptest::collection::vec(0usize..4000, 1..48),
+    ) {
+        use loupe_plan::CompatTable;
+        let table = arb_table(&seed);
+        let text = table.render();
+        let back = CompatTable::parse(&text).expect("rendered tables parse");
+        prop_assert_eq!(&back, &table);
+        prop_assert_eq!(back.render(), text, "render is canonical");
+    }
+
+    /// And at spec granularity: an ingested spec survives the full
+    /// markdown + overrides round trip (the invariant that lets the
+    /// vendored kerla snapshot BE the curated spec).
+    #[test]
+    fn ingested_specs_survive_the_markdown_roundtrip(
+        seed in proptest::collection::vec(0usize..4000, 1..48),
+    ) {
+        use loupe_plan::ingest::{overrides_for_spec, parse_overrides};
+        use loupe_plan::CompatTable;
+        let table = arb_table(&seed);
+        let spec = table.to_spec("prop-os", "1", &[]).expect("valid tables ingest");
+        let rendered = CompatTable::from_spec(&spec, "# Prop\n\n");
+        let overrides = parse_overrides(&overrides_for_spec(&spec)).unwrap();
+        let back = CompatTable::parse(&rendered.render())
+            .unwrap()
+            .to_spec("prop-os", "1", &overrides)
+            .unwrap();
+        prop_assert_eq!(back.supported, spec.supported);
+        prop_assert_eq!(back.partial, spec.partial);
+    }
+
+    /// Flag-granular monotonicity: plugging a hole (flipping one flag
+    /// from unsupported to fully supported) never turns a passing
+    /// vanilla run into a failure, app by app, and never shrinks the
+    /// fleet-wide vanilla pass count.
+    #[test]
+    fn plugging_a_flag_hole_is_monotone_in_vanilla_passes(which in 0usize..13) {
+        use loupe_core::exec::{run_app, ExecEnv};
+        use loupe_core::TestScript;
+        use loupe_plan::{os, vanilla_profile};
+
+        let spec = os::find("kerla").unwrap();
+        let holes = spec.all_holes();
+        let key = holes[which % holes.len()];
+        let mut plugged_spec = spec.clone();
+        plugged_spec.partial = spec
+            .partial
+            .iter()
+            .map(|(s, ks)| {
+                (*s, ks.iter().copied().filter(|k| *k != key).collect())
+            })
+            .collect();
+
+        let workload = Workload::HealthCheck;
+        let script = TestScript::default();
+        let mut passes = (0usize, 0usize);
+        for app in registry::detailed().into_iter().take(8) {
+            let run = |spec: &loupe_plan::OsSpec| {
+                let env = ExecEnv::Restricted(vanilla_profile(spec));
+                let outcome = run_app(&env, app.as_ref(), workload);
+                script.evaluate(&outcome, workload, None).success
+            };
+            let before = run(&spec);
+            let after = run(&plugged_spec);
+            prop_assert!(
+                !before || after,
+                "{}: passed with hole {key} open but fails with it plugged",
+                app.name()
+            );
+            passes.0 += usize::from(before);
+            passes.1 += usize::from(after);
+        }
+        prop_assert!(passes.0 <= passes.1);
+    }
+
+    /// The matrix ordering invariant survives flag granularity: on
+    /// every hole-carrying curated OS, each measured cell's planned
+    /// tier is at least its vanilla tier.
+    #[test]
+    fn planned_never_regresses_vanilla_on_hole_carrying_oses(n in 1usize..6) {
+        use loupe_core::TestScript;
+        use loupe_plan::{measure_cell, os, Tier};
+
+        let workload = Workload::HealthCheck;
+        let engine = loupe_core::Engine::new(loupe_core::AnalysisConfig::fast());
+        let script = TestScript::default();
+        let holey: Vec<_> = os::db()
+            .into_iter()
+            .filter(|s| !s.all_holes().is_empty())
+            .collect();
+        prop_assert!(holey.len() >= 7, "kerla + six curated hole sets");
+        for app in registry::detailed().into_iter().take(n) {
+            let rep = engine.analyze(app.as_ref(), workload).unwrap();
+            let req = AppRequirement::from_report(&rep);
+            for spec in &holey {
+                let cell = measure_cell(
+                    spec,
+                    &req,
+                    app.as_ref(),
+                    workload,
+                    true,
+                    None,
+                    &script,
+                    Some(&rep.baseline.features),
+                );
+                prop_assert!(cell.invariants_hold());
+                prop_assert!(
+                    !cell.passes(Tier::Vanilla) || cell.passes(Tier::Planned),
+                    "{} on {}: vanilla pass must imply planned pass",
+                    app.name(),
+                    spec.name
+                );
+            }
+        }
     }
 }

@@ -155,16 +155,8 @@ impl ServeIndex {
                 linux_pass: cell.linux_pass,
                 vanilla_pass: cell.passes(Tier::Vanilla),
                 planned_pass: cell.planned_at_least(),
-                first_rejection_vanilla: cell
-                    .vanilla
-                    .as_ref()
-                    .and_then(|t| t.first_rejection)
-                    .map(|s| s.name().to_owned()),
-                first_rejection_planned: cell
-                    .planned
-                    .as_ref()
-                    .and_then(|t| t.first_rejection)
-                    .map(|s| s.name().to_owned()),
+                first_rejection_vanilla: cell.vanilla.as_ref().and_then(|t| t.first_cause()),
+                first_rejection_planned: cell.planned.as_ref().and_then(|t| t.first_cause()),
                 missing_required: names(&cell.missing_required),
             };
             let shard = (shard_hash(&cell.os, &cell.app) % SHARDS as u64) as usize;

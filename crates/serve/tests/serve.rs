@@ -237,6 +237,7 @@ fn seed_synthetic(dir: &Path, oses: &[&str], apps: &[&str], planned_pass: bool) 
                         pass: vanilla || planned_pass,
                         ..TierOutcome::default()
                     }),
+                    missing_required_flags: Vec::new(),
                 };
                 db.save_matrix_cell_replacing(&cell).unwrap();
             }

@@ -89,7 +89,7 @@ pub fn validate_plans(
             }
             let plan = SupportPlan::generate(spec, &reqs);
             let validation = validator
-                .validate(&spec.supported, &plan, &reqs, workload, registry::find)
+                .validate(spec, &plan, &reqs, workload, registry::find)
                 .map_err(|error| PlanSweepError::Validate {
                     os: spec.name.clone(),
                     error,

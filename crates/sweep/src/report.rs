@@ -412,8 +412,8 @@ pub fn render_os_matrix(cells: &[MatrixCell]) -> String {
                     continue;
                 }
                 let tier = cell.planned.as_ref().or(cell.vanilla.as_ref());
-                let cause = match tier.and_then(|t| t.first_rejection) {
-                    Some(s) => format!("`{}`", s.name()),
+                let cause = match tier.and_then(|t| t.first_cause()) {
+                    Some(s) => format!("`{s}`"),
                     None if !cell.linux_pass => "fails on full Linux".to_owned(),
                     None => "no rejection observed".to_owned(),
                 };
@@ -424,7 +424,7 @@ pub fn render_os_matrix(cells: &[MatrixCell]) -> String {
             }
             if !wrote_any {
                 out.push_str(
-                    "| Workload | First rejected syscall | Apps blocked | Examples |\n\
+                    "| Workload | First rejected feature | Apps blocked | Examples |\n\
                      |----------|------------------------|-------------:|----------|\n",
                 );
                 wrote_any = true;
@@ -669,12 +669,12 @@ pub fn render_support_plans(
         // Per-OS overview, then the step-by-step tables.
         if link_matrix {
             out.push_str(
-                "| OS | Supported today | Apps working now | Plan steps | Syscalls to implement | Steps needing ≤3 | Validation | Empirical matrix |\n\
+                "| OS | Supported today | Apps working now | Plan steps | Features to implement | Steps needing ≤3 | Validation | Empirical matrix |\n\
                  |----|----------------:|-----------------:|-----------:|----------------------:|------------------:|------------|------------------|\n",
             );
         } else {
             out.push_str(
-                "| OS | Supported today | Apps working now | Plan steps | Syscalls to implement | Steps needing ≤3 | Validation |\n\
+                "| OS | Supported today | Apps working now | Plan steps | Features to implement | Steps needing ≤3 | Validation |\n\
                  |----|----------------:|-----------------:|-----------:|----------------------:|------------------:|------------|\n",
             );
         }
@@ -696,7 +696,7 @@ pub fn render_support_plans(
                 spec.supported.len(),
                 plan.initially_supported.len(),
                 plan.steps.len(),
-                plan.total_implemented(),
+                plan.total_implemented() + plan.total_implemented_flags(),
                 plan.small_step_fraction(3) * 100.0,
                 match status {
                     PlanStatus::Predicted => "predicted".to_owned(),
@@ -741,14 +741,18 @@ fn plan_status<'a>(
     }
 }
 
-fn fmt_sysno_set(set: &SysnoSet) -> String {
-    if set.is_empty() {
+/// Renders one column of plan work: whole syscalls plus flag-granular
+/// sub-features (`fcntl:F_SETLK`) in the same cell, elided past 6 items.
+fn fmt_work(set: &SysnoSet, flags: &[loupe_syscalls::SubFeatureKey]) -> String {
+    let total = set.len() + flags.len();
+    if total == 0 {
         "–".to_owned()
-    } else if set.len() > 6 {
-        format!("({} syscalls)", set.len())
+    } else if total > 6 {
+        format!("({total} items)")
     } else {
         set.iter()
             .map(|s| format!("`{}`", s.name()))
+            .chain(flags.iter().map(|k| format!("`{k}`")))
             .collect::<Vec<_>>()
             .join(", ")
     }
@@ -820,9 +824,9 @@ fn render_one_plan(out: &mut String, workload: Workload, plan: &SupportPlan, sta
             out,
             "| {} | {} | {} | {} | + {} | {} |",
             step.index,
-            fmt_sysno_set(&step.implement),
-            fmt_sysno_set(&step.stub),
-            fmt_sysno_set(&step.fake),
+            fmt_work(&step.implement, &step.implement_flags),
+            fmt_work(&step.stub, &step.stub_flags),
+            fmt_work(&step.fake, &step.fake_flags),
             step.unlocks,
             verdict
         );
@@ -835,7 +839,7 @@ fn render_one_plan(out: &mut String, workload: Workload, plan: &SupportPlan, sta
 fn render_plan_rollup(out: &mut String, stats: &FleetStats) {
     out.push_str("### Support-plan rollup (curated OS specs)\n\n");
     out.push_str(
-        "| OS | Supported today | Apps working now | Plan steps | Syscalls to implement | Steps needing ≤3 |\n\
+        "| OS | Supported today | Apps working now | Plan steps | Features to implement | Steps needing ≤3 |\n\
          |----|----------------:|-----------------:|-----------:|----------------------:|------------------:|\n",
     );
     for spec in os::db() {
@@ -847,7 +851,7 @@ fn render_plan_rollup(out: &mut String, stats: &FleetStats) {
             spec.supported.len(),
             plan.initially_supported.len(),
             plan.steps.len(),
-            plan.total_implemented(),
+            plan.total_implemented() + plan.total_implemented_flags(),
             plan.small_step_fraction(3) * 100.0
         );
     }
@@ -1213,7 +1217,7 @@ mod tests {
         assert!(matrix_doc.contains("### kerla"), "per-OS section exists");
         assert!(matrix_doc.contains("Out of the box"));
         assert!(
-            matrix_doc.contains("First rejected syscall"),
+            matrix_doc.contains("First rejected feature"),
             "failure causes render"
         );
         let plans = &rendered

@@ -628,6 +628,7 @@ fn static_requirement(report: &StaticReport) -> AppRequirement {
         stubbable: SysnoSet::new(),
         fake_only: SysnoSet::new(),
         traced: report.syscalls.clone(),
+        ..AppRequirement::default()
     }
 }
 

@@ -237,6 +237,7 @@ fn synthetic_cell(
             pass: planned_pass,
             ..TierOutcome::default()
         }),
+        missing_required_flags: Vec::new(),
     }
 }
 

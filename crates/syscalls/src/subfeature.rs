@@ -50,6 +50,33 @@ impl SubFeatureKey {
     pub fn selector_name(self) -> Option<&'static str> {
         SubFeature::from_parts(self.sysno, self.selector).map(SubFeature::name)
     }
+
+    /// Whether this operation is typically critical (see
+    /// [`SubFeature::is_typically_critical`]). Selectors not in the
+    /// modeled table are conservatively non-critical: a kernel that
+    /// recognises the syscall but not the flag answers `-EINVAL`, not
+    /// `-ENOSYS`.
+    pub fn is_typically_critical(self) -> bool {
+        SubFeature::from_parts(self.sysno, self.selector)
+            .is_some_and(SubFeature::is_typically_critical)
+    }
+
+    /// Parses the [`Display`](fmt::Display) form back into a key:
+    /// `"fcntl:F_SETFL"` (symbolic) or `"ioctl:0x5423"` (raw hex for
+    /// selectors outside the modeled table). Returns `None` for unknown
+    /// syscall names, unknown symbolic selectors, or malformed hex.
+    pub fn parse(s: &str) -> Option<SubFeatureKey> {
+        let (sys_name, sel) = s.split_once(':')?;
+        let sysno = Sysno::from_name(sys_name)?;
+        if let Some(hex) = sel.strip_prefix("0x") {
+            let selector = u64::from_str_radix(hex, 16).ok()?;
+            return Some(SubFeatureKey::new(sysno, selector));
+        }
+        SubFeature::ALL
+            .iter()
+            .find(|f| f.sysno() == sysno && f.name() == sel)
+            .map(|f| f.key())
+    }
 }
 
 impl fmt::Display for SubFeatureKey {
@@ -111,6 +138,19 @@ macro_rules! subfeatures {
                 match self {
                     $(SubFeature::$variant => $critical,)*
                 }
+            }
+
+            /// All modeled operations of one vectored syscall — the seed
+            /// set for pessimistic "Partially implemented" kernel
+            /// profiles (a table ingester that only knows *the syscall*
+            /// is partial assumes every modeled flag is a hole until an
+            /// override says otherwise).
+            pub fn for_sysno(sysno: Sysno) -> Vec<SubFeature> {
+                SubFeature::ALL
+                    .iter()
+                    .copied()
+                    .filter(|f| f.sysno() == sysno)
+                    .collect()
             }
 
             /// Looks up a known sub-feature from syscall + selector.
@@ -249,5 +289,51 @@ mod tests {
         assert_eq!(k.sysno(), Sysno::prlimit64);
         assert_eq!(k.selector(), 7);
         assert_eq!(k.selector_name(), Some("RLIMIT_NOFILE"));
+    }
+
+    #[test]
+    fn parse_roundtrips_display() {
+        for &sf in SubFeature::ALL {
+            let key = sf.key();
+            assert_eq!(SubFeatureKey::parse(&key.to_string()), Some(key));
+        }
+        // Raw keys outside the modeled table round-trip through hex.
+        let raw = SubFeatureKey::new(Sysno::ioctl, 0x5423);
+        assert_eq!(SubFeatureKey::parse(&raw.to_string()), Some(raw));
+        assert_eq!(SubFeatureKey::parse("ioctl:0x5423"), Some(raw));
+        // Unknown syscall, unknown symbolic selector, malformed hex.
+        assert_eq!(SubFeatureKey::parse("notasyscall:F_SETFL"), None);
+        assert_eq!(SubFeatureKey::parse("fcntl:F_BOGUS"), None);
+        assert_eq!(SubFeatureKey::parse("ioctl:0xzz"), None);
+        assert_eq!(SubFeatureKey::parse("no-colon"), None);
+    }
+
+    #[test]
+    fn raw_key_criticality_defaults_false() {
+        assert!(SubFeature::FUTEX_WAIT.key().is_typically_critical());
+        assert!(!SubFeature::F_SETFD.key().is_typically_critical());
+        assert!(!SubFeatureKey::new(Sysno::ioctl, 0xdead).is_typically_critical());
+    }
+
+    #[test]
+    fn for_sysno_partitions_the_table() {
+        let fcntl = SubFeature::for_sysno(Sysno::fcntl);
+        assert!(fcntl.contains(&SubFeature::F_SETFL));
+        assert!(fcntl.iter().all(|f| f.sysno() == Sysno::fcntl));
+        let total: usize = [
+            Sysno::fcntl,
+            Sysno::ioctl,
+            Sysno::prctl,
+            Sysno::arch_prctl,
+            Sysno::madvise,
+            Sysno::prlimit64,
+            Sysno::futex,
+            Sysno::mmap,
+        ]
+        .iter()
+        .map(|&s| SubFeature::for_sysno(s).len())
+        .sum();
+        assert_eq!(total, SubFeature::ALL.len());
+        assert!(SubFeature::for_sysno(Sysno::read).is_empty());
     }
 }

@@ -71,8 +71,13 @@ fn generated_suites_reproduce_matrix_verdicts_fleet_wide() {
 
     // Independent cross-check, not trusting the sweep's own comparison:
     // re-load every stored suite and matrix cell, re-execute the suite
-    // on both tiers, and compare verdicts.
+    // on both tiers, and compare verdicts. Along the way, tally the
+    // flag-granular machinery: suites carrying per-flag cases, and
+    // failures whose first cause is a specific flag rather than a
+    // whole syscall.
     let mut cells_checked = 0;
+    let mut suites_with_flag_cases = 0;
+    let mut flag_precise_failures = 0;
     for (os_name, app, workload) in db.list_suites().unwrap() {
         let suite = db.load_suite(&os_name, &app, workload).unwrap().unwrap();
         let cell = db
@@ -88,12 +93,43 @@ fn generated_suites_reproduce_matrix_verdicts_fleet_wide() {
                 tier.label()
             );
         }
+        if suite.cases.iter().any(|c| c.sub_feature.is_some()) {
+            suites_with_flag_cases += 1;
+        }
+        // A vanilla failure on a hole-carrying OS whose suite trips a
+        // flag case must name the flag (`fcntl:F_SETLK`), matching the
+        // matrix cell's own flag-precise first cause.
+        if !suite.verdict(&spec, Tier::Vanilla) && !spec.all_holes().is_empty() {
+            let run = suite.run_on_profile(&loupe::plan::vanilla_profile(&spec));
+            if let Some(cause) = run.first_failure_cause() {
+                if cause.contains(':') {
+                    flag_precise_failures += 1;
+                    let cell_cause = cell
+                        .vanilla
+                        .as_ref()
+                        .and_then(|t| t.first_cause())
+                        .expect("failing vanilla tier names a cause");
+                    assert!(
+                        cell_cause.contains(':'),
+                        "{os_name} x {app}: suite tripped {cause} but the                          matrix cell blames {cell_cause}"
+                    );
+                }
+            }
+        }
         cells_checked += 1;
     }
     assert_eq!(
         cells_checked,
         os::db().len() * Workload::ALL.len() * registry::dataset().len(),
         "the cross-check covered the whole matrix"
+    );
+    assert!(
+        suites_with_flag_cases > 0,
+        "the fleet exercises per-flag conformance cases"
+    );
+    assert!(
+        flag_precise_failures > 0,
+        "at least one vanilla failure is attributed to a specific flag"
     );
     std::fs::remove_dir_all(&dir).ok();
 }

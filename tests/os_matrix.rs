@@ -129,3 +129,74 @@ fn matrix_cells_bracket_kerla_between_bare_and_full() {
         "kerla's 58 syscalls + shims cannot run the whole detailed fleet"
     );
 }
+
+/// Satellite regression for the partial-fidelity PR: the curated
+/// per-flag holes cost each OS a *recorded* number of out-of-the-box
+/// passes. The pinned values are the "after" column of the before/after
+/// table in `docs/KNOWN_ISSUES.md` — if you touch a curated hole set,
+/// this test, the sweep-regenerated docs and that table must move
+/// together.
+#[test]
+fn curated_flag_holes_drop_vanilla_rates_as_recorded() {
+    use loupe::core::TestScript;
+    use loupe::plan::{measure_cell, Tier};
+
+    // (os, benchmark, health-check, test-suite) out-of-the-box passes
+    // over the full 116-app fleet.
+    let pinned = [
+        ("gvisor", 91, 91, 90),
+        ("linuxulator", 91, 91, 91),
+        ("gramine", 48, 48, 48),
+        ("unikraft", 34, 34, 33),
+        ("fuchsia", 22, 22, 22),
+        ("osv", 6, 6, 6),
+    ];
+    let engine = Engine::new(AnalysisConfig::fast());
+    let script = TestScript::default();
+    let apps = registry::dataset();
+    for workload in [
+        Workload::Benchmark,
+        Workload::HealthCheck,
+        Workload::TestSuite,
+    ] {
+        let reqs: Vec<(usize, loupe::core::AppReport)> = apps
+            .iter()
+            .enumerate()
+            .map(|(i, app)| (i, engine.analyze(app.as_ref(), workload).unwrap()))
+            .collect();
+        for (os_name, bench, health, suite) in pinned {
+            let spec = os::find(os_name).unwrap();
+            assert!(
+                !spec.all_holes().is_empty(),
+                "{os_name} carries curated holes"
+            );
+            let expected = match workload {
+                Workload::Benchmark => bench,
+                Workload::HealthCheck => health,
+                Workload::TestSuite => suite,
+            };
+            let mut vanilla = 0;
+            for (i, rep) in &reqs {
+                let req = AppRequirement::from_report(rep);
+                let cell = measure_cell(
+                    &spec,
+                    &req,
+                    apps[*i].as_ref(),
+                    workload,
+                    true,
+                    None,
+                    &script,
+                    Some(&rep.baseline.features),
+                );
+                vanilla += usize::from(cell.passes(Tier::Vanilla));
+            }
+            assert_eq!(
+                vanilla,
+                expected,
+                "{os_name} out-of-the-box passes moved ({} workload); \
+                 update docs/KNOWN_ISSUES.md's before/after table too",
+                workload.label()
+            );
+        }
+    }
+}

@@ -129,6 +129,7 @@ proptest! {
                 required,
                 stubbable: SysnoSet::new(),
                 fake_only: SysnoSet::new(),
+                ..AppRequirement::default()
             })
             .collect();
         let os = OsSpec::new("empty", "0", SysnoSet::new());
